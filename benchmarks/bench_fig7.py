@@ -1,0 +1,21 @@
+"""Figure 7 bench: burst structure of the two 400 Kb/s profiles.
+
+Shape assertions: both profiles move the same volume per second, but
+the 1 fps program concentrates its data into far larger instantaneous
+bursts ("sends all of its data in one much larger burst").
+"""
+
+from repro.experiments.fig7_burstiness_traces import run
+
+
+def test_fig7_burst_contrast(once):
+    result = once(run, quick=True)
+    rows = {row[0]: row for row in result.rows}
+    smooth = rows["10fps x 40Kb"]
+    bursty = rows["1fps x 400Kb"]
+    # Equal-ish volume over the one-second window (same average rate).
+    assert 0.5 * smooth[1] <= bursty[1] <= 2.0 * smooth[1]
+    # The bursty profile's largest 50 ms burst dwarfs the smooth one's.
+    assert bursty[2] > 3.0 * smooth[2]
+    # The smooth profile's largest burst is about one frame (5 KB).
+    assert smooth[2] < 10.0

@@ -1,0 +1,19 @@
+"""Figure 8 bench: CPU contention throttles the sender; a DSRT
+reservation restores it.
+
+Shape assertions (§5.5): steady full rate; significant drop once the
+hog starts; full rate again once the 90% CPU reservation activates.
+"""
+
+from repro.experiments.fig8_cpu_reservation import run
+
+
+def test_fig8_cpu_reservation(once):
+    result = once(run, quick=True)
+    target = result.extra["target_kbps"]
+    before = result.extra["before_contention_kbps"]
+    during = result.extra["during_contention_kbps"]
+    after = result.extra["after_reservation_kbps"]
+    assert before > 0.95 * target
+    assert during < 0.75 * before, "the hog must visibly throttle the app"
+    assert after > 0.9 * target, "the DSRT reservation must restore it"

@@ -1,0 +1,28 @@
+"""Figure 9 bench: the full five-phase story — congestion, network
+reservation, CPU contention, CPU reservation.
+
+Shape assertions (§5.5): each contention phase visibly degrades the
+35 Mb/s stream and each reservation restores it; "it is insufficient to
+make just a network reservation or a CPU reservation: both reservations
+are needed".
+"""
+
+from repro.experiments.fig9_combined import run
+
+
+def test_fig9_phases(once):
+    result = once(run, quick=True)
+    target = result.extra["target_kbps"]
+    p1 = result.extra["phase1_clean_kbps"]
+    p2 = result.extra["phase2_congested_kbps"]
+    p3 = result.extra["phase3_net_reserved_kbps"]
+    p4 = result.extra["phase4_cpu_contended_kbps"]
+    p5 = result.extra["phase5_both_reserved_kbps"]
+    assert p1 > 0.95 * target
+    assert p2 < 0.7 * p1, "network congestion must bite"
+    assert p3 > 0.9 * target, "the network reservation must restore"
+    assert p4 < 0.75 * p3, (
+        "CPU contention must bite even though the network is reserved "
+        "(a network reservation alone is insufficient)"
+    )
+    assert p5 > 0.9 * target, "both reservations together restore the rate"

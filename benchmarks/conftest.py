@@ -1,0 +1,23 @@
+"""Benchmark-suite configuration.
+
+Each benchmark runs a scaled-down ("quick") variant of one paper
+experiment exactly once under pytest-benchmark's pedantic mode (these
+are whole-simulation runs, not microbenchmarks — except the substrate
+suite) and then asserts the *shape* properties the paper reports.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` once under the benchmark and return its result."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)
+
+
+@pytest.fixture
+def once(benchmark):
+    def _run(fn, *args, **kwargs):
+        return run_once(benchmark, fn, *args, **kwargs)
+
+    return _run

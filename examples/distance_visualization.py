@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Distance visualization over a congested WAN (paper §5.3).
+
+A sender streams fixed-size frames to a remote display at 10 frames per
+second — the paper's emulation of a distance-visualization pipeline.
+The script sweeps the premium reservation and prints the achieved
+bandwidth, showing the paper's two headline effects:
+
+* a reservation slightly below ~1.06x the sending rate collapses the
+  stream (TCP congestion control, not proportional degradation);
+* once adequate, extra reservation buys nothing.
+
+Run:  python examples/distance_visualization.py
+"""
+
+from repro import Simulator, garnet, kbps, mbps, MpichGQ
+from repro.apps import UdpTrafficGenerator, VisualizationPipeline
+from repro.net import KB
+
+
+def stream(reservation_kbps: float) -> float:
+    sim = Simulator(seed=7)
+    testbed = garnet(sim, backbone_bandwidth=mbps(30))
+    gq = MpichGQ.on_garnet(testbed)
+    UdpTrafficGenerator(
+        testbed.competitive_src, testbed.competitive_dst, rate=mbps(40)
+    ).start()
+
+    if reservation_kbps > 0:
+        gq.agent.reserve_flows(0, 1, kbps(reservation_kbps))
+
+    app = VisualizationPipeline(frame_bytes=20 * KB, fps=10, duration=8.0)
+    gq.world.launch(app.main)
+    sim.run(until=30.0)
+    return app.achieved_bandwidth_kbps(1.0, 8.0)
+
+
+def main():
+    target = 20 * KB * 8 * 10 / 1e3  # 1638 Kb/s
+    print(f"20 KB frames at 10 fps -> target {target:.0f} Kb/s")
+    print(f"{'reservation':>12}  {'achieved':>9}  {'of target':>9}")
+    for reservation in (0, 600, 1200, 1500, 1600, 1750, 2000, 2400):
+        achieved = stream(reservation)
+        print(
+            f"{reservation:>9} Kb/s {achieved:8.0f} Kb/s "
+            f"{achieved / target:8.0%}"
+        )
+    print(
+        "\nNote the cliff: ~1.06x the sending rate is adequate, a bit "
+        "less collapses the stream."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""MPICH-GQ reproduction: Quality-of-Service for message-passing
+programs (Roy et al., SC 2000), rebuilt on a discrete-event simulation
+substrate.
+
+Layering (bottom-up):
+
+``repro.kernel``
+    Discrete-event engine (events, processes, monitors).
+``repro.net``
+    Packets, links, routers, topologies (incl. the GARNET testbed).
+``repro.diffserv``
+    Classifiers, token buckets, EF/AF/BE per-hop behaviours.
+``repro.transport``
+    TCP Reno/NewReno and UDP over the simulated network.
+``repro.cpu``
+    Processor-sharing CPU with DSRT-style reservations.
+``repro.gara``
+    Slot tables, reservation lifecycle, resource managers, broker.
+``repro.mpi``
+    Communicators, point-to-point, collectives, attributes.
+``repro.core``
+    MPICH-GQ itself: QoS attributes, the MPI QoS agent, shaping.
+``repro.apps`` / ``repro.experiments``
+    The paper's workloads and every table/figure regenerator.
+
+Quickstart::
+
+    from repro import Simulator, garnet, MpichGQ, QosAttribute, QOS_PREMIUM
+
+    sim = Simulator(seed=1)
+    testbed = garnet(sim)
+    gq = MpichGQ.on_garnet(testbed)
+
+    def main(comm):
+        comm.attr_put(gq.qos_keyval,
+                      QosAttribute(QOS_PREMIUM, bandwidth_kbps=800))
+        ...
+
+    gq.world.launch(main)
+    sim.run(until=30.0)
+"""
+
+from .kernel import Counter, Monitor, Simulator
+from .net import garnet, kbps, mbps, Network
+from .core import (
+    MpichGQ,
+    QOS_BEST_EFFORT,
+    QOS_LOW_LATENCY,
+    QOS_PREMIUM,
+    QosAttribute,
+    Shaper,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Counter",
+    "Monitor",
+    "MpichGQ",
+    "Network",
+    "QOS_BEST_EFFORT",
+    "QOS_LOW_LATENCY",
+    "QOS_PREMIUM",
+    "QosAttribute",
+    "Shaper",
+    "Simulator",
+    "garnet",
+    "kbps",
+    "mbps",
+    "__version__",
+]

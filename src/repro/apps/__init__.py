@@ -1,0 +1,19 @@
+"""The paper's workloads: ping-pong, distance visualization, UDP
+contention generator, CPU hog, and a finite-difference SPMD code."""
+
+from .cpu_hog import CpuHog
+from .finite_difference import FiniteDifference
+from .pingpong import PingPong, PingPongResult
+from .storage_stream import StoragePipeline
+from .traffic_gen import UdpTrafficGenerator
+from .visualization import VisualizationPipeline
+
+__all__ = [
+    "CpuHog",
+    "FiniteDifference",
+    "PingPong",
+    "PingPongResult",
+    "StoragePipeline",
+    "UdpTrafficGenerator",
+    "VisualizationPipeline",
+]

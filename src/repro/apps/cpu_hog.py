@@ -1,0 +1,38 @@
+"""A best-effort CPU hog (the competing application of §5.5)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..cpu import Cpu, Job
+from ..net.node import Host
+
+__all__ = ["CpuHog"]
+
+
+class CpuHog:
+    """Occupies as much CPU as the scheduler will give it."""
+
+    def __init__(self, host: Host, name: str = "hog") -> None:
+        if host.cpu is None:
+            Cpu(host.sim, host=host, name=f"cpu-{host.name}")
+        self.cpu: Cpu = host.cpu
+        self.task = self.cpu.create_task(name)
+        self._job: Optional[Job] = None
+
+    @property
+    def running(self) -> bool:
+        return self._job is not None and not self._job.cancelled
+
+    def start(self) -> None:
+        if self.running:
+            return
+        self._job = self.cpu.run_job(self.task, float("inf"))
+
+    def stop(self) -> None:
+        if self._job is not None:
+            self._job.cancel()
+            self._job = None
+
+    def cpu_time(self) -> float:
+        return self.task.cpu_time

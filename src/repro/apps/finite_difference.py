@@ -1,0 +1,130 @@
+"""A 2-D finite-difference (Jacobi) stencil application.
+
+This is the motivating workload of §3: "a simple finite difference
+application partitioned across two 8-processor multiprocessors
+connected by a wide area network ... The application immediately
+performs an MPI_Send involving a large buffer (100 KB), depleting the
+token bucket" — i.e. low *average* rate but large instantaneous bursts.
+
+The implementation does real numerics (NumPy Jacobi sweeps on a strip
+decomposition) with halo exchange over MPI and a periodic allreduce on
+the residual, plus optional CPU accounting per sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from ..cpu import Cpu
+from ..mpi import Communicator, DOUBLE, MAX
+
+__all__ = ["FiniteDifference"]
+
+
+@dataclass
+class _FdStats:
+    iterations: int = 0
+    residuals: List[float] = field(default_factory=list)
+    halo_bytes: int = 0
+
+
+class FiniteDifference:
+    """Jacobi iteration on an ``n x n`` grid, strip-decomposed by rank."""
+
+    def __init__(
+        self,
+        n: int = 64,
+        iterations: int = 20,
+        residual_every: int = 5,
+        compute_seconds_per_sweep: float = 0.0,
+        tag: int = 11,
+    ) -> None:
+        if n < 4:
+            raise ValueError("grid too small")
+        self.n = n
+        self.iterations = iterations
+        self.residual_every = residual_every
+        self.compute_seconds = compute_seconds_per_sweep
+        self.tag = tag
+        self.stats = _FdStats()
+        #: Final local strips by rank (for verification).
+        self.solutions: dict = {}
+
+    def halo_bytes_per_exchange(self) -> int:
+        """Wire bytes per halo row (one row of doubles)."""
+        return DOUBLE.extent(self.n)
+
+    def main(self, comm: Communicator):
+        """SPMD entry point for every rank."""
+        sim = comm.sim
+        size, rank = comm.size, comm.rank
+        rows = self.n // size
+        if rows < 1:
+            raise ValueError("more ranks than rows")
+        # Local strip with two ghost rows; boundary condition: top edge
+        # of the global domain held at 1.0.
+        u = np.zeros((rows + 2, self.n))
+        if rank == 0:
+            u[0, :] = 1.0
+
+        cpu_task = None
+        if self.compute_seconds > 0:
+            host = comm.proc.host
+            if host.cpu is None:
+                Cpu(sim, host=host, name=f"cpu-{host.name}")
+            cpu_task = host.cpu.create_task(f"fd-{rank}-{id(self)}")
+
+        up, down = rank - 1, rank + 1
+        nbytes = self.halo_bytes_per_exchange()
+        for it in range(self.iterations):
+            # Halo exchange: send boundary rows, receive ghost rows.
+            reqs = []
+            if up >= 0:
+                reqs.append(comm.isend(up, nbytes=nbytes, tag=self.tag,
+                                       data=u[1].copy()))
+                reqs.append(comm.irecv(source=up, tag=self.tag))
+            if down < size:
+                reqs.append(comm.isend(down, nbytes=nbytes, tag=self.tag,
+                                       data=u[rows].copy()))
+                reqs.append(comm.irecv(source=down, tag=self.tag))
+            results = yield sim.all_of([r.wait() for r in reqs])
+            for value in results:
+                if isinstance(value, tuple):  # a receive: (data, status)
+                    data, status = value
+                    if status.source == up:
+                        u[0] = data
+                    else:
+                        u[rows + 1] = data
+            if rank == 0:
+                u[0, :] = 1.0  # re-impose the boundary condition
+            if down >= size:
+                u[rows + 1, :] = 0.0
+
+            # The sweep itself (real numerics).
+            new = u.copy()
+            new[1 : rows + 1, 1:-1] = 0.25 * (
+                u[0:rows, 1:-1]
+                + u[2 : rows + 2, 1:-1]
+                + u[1 : rows + 1, 0:-2]
+                + u[1 : rows + 1, 2:]
+            )
+            diff = float(np.max(np.abs(new - u)))
+            u = new
+            if cpu_task is not None:
+                yield comm.proc.host.cpu.run(cpu_task, self.compute_seconds)
+
+            if (it + 1) % self.residual_every == 0:
+                residual = yield from comm.allreduce(
+                    diff, nbytes=DOUBLE.size, op=MAX
+                )
+                if rank == 0:
+                    self.stats.residuals.append(residual)
+            if rank == 0:
+                self.stats.iterations = it + 1
+            self.stats.halo_bytes += nbytes * len(
+                [r for r in (up >= 0, down < size) if r]
+            )
+        self.solutions[rank] = u[1 : rows + 1]

@@ -1,0 +1,102 @@
+"""The ping-pong benchmark (§5.2).
+
+"Two processes repeatedly exchange a fixed-sized message via MPI_Send
+and MPI_Recv calls. While artificial, this communication pattern is
+characteristic of many SPMD applications." Figure 5 reports the
+*one-way* throughput as a function of the reservation, for several
+message sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..kernel import Counter
+from ..mpi import Communicator
+
+__all__ = ["PingPong", "PingPongResult"]
+
+
+@dataclass
+class PingPongResult:
+    """Outcome of one ping-pong run."""
+
+    message_bytes: int
+    rounds_completed: int = 0
+    started_at: float = 0.0
+    finished_at: float = 0.0
+    #: Receiver-side per-round completion stamps (rank 0's receives).
+    delivered: Optional[Counter] = None
+
+    @property
+    def elapsed(self) -> float:
+        return self.finished_at - self.started_at
+
+    def one_way_throughput_bps(self) -> float:
+        """Application bytes moved per direction per second."""
+        if self.elapsed <= 0:
+            return 0.0
+        return self.rounds_completed * self.message_bytes * 8.0 / self.elapsed
+
+    def one_way_throughput_kbps(self) -> float:
+        return self.one_way_throughput_bps() / 1e3
+
+
+class PingPong:
+    """Two-rank ping-pong over MPI."""
+
+    def __init__(
+        self,
+        message_bytes: int,
+        duration: Optional[float] = None,
+        rounds: Optional[int] = None,
+        tag: int = 42,
+        warmup_rounds: int = 2,
+    ) -> None:
+        if (duration is None) == (rounds is None):
+            raise ValueError("give exactly one of duration / rounds")
+        self.message_bytes = message_bytes
+        self.duration = duration
+        self.rounds = rounds
+        self.tag = tag
+        self.warmup_rounds = warmup_rounds
+        self.result = PingPongResult(message_bytes)
+
+    def main(self, comm: Communicator):
+        """SPMD entry point for both ranks (launch on ranks 0 and 1)."""
+        if comm.rank == 0:
+            yield from self._rank0(comm)
+        elif comm.rank == 1:
+            yield from self._rank1(comm)
+
+    def _stop_after(self, start: float) -> bool:
+        if self.rounds is not None:
+            return self.result.rounds_completed >= self.rounds
+        return (self.result.delivered.sim.now - start) >= self.duration
+
+    def _rank0(self, comm: Communicator):
+        sim = comm.sim
+        self.result.delivered = Counter(sim, "pingpong-recv")
+        for _ in range(self.warmup_rounds):
+            yield comm.send(1, nbytes=self.message_bytes, tag=self.tag)
+            yield comm.recv(source=1, tag=self.tag)
+        start = sim.now
+        self.result.started_at = start
+        while not self._stop_after(start):
+            yield comm.send(1, nbytes=self.message_bytes, tag=self.tag)
+            yield comm.recv(source=1, tag=self.tag)
+            self.result.rounds_completed += 1
+            self.result.delivered.add(self.message_bytes)
+        self.result.finished_at = sim.now
+        # Tell rank 1 to stop (zero payload would be invalid; use 1B).
+        yield comm.send(1, nbytes=1, tag=self.tag + 1)
+
+    def _rank1(self, comm: Communicator):
+        stop = comm.irecv(source=0, tag=self.tag + 1)
+        while True:
+            ping = comm.irecv(source=0, tag=self.tag)
+            yield comm.sim.any_of([stop.wait(), ping.wait()])
+            if stop.completed:
+                return
+            yield comm.send(0, nbytes=self.message_bytes, tag=self.tag)

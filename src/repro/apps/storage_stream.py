@@ -1,0 +1,113 @@
+"""A storage-fed streaming pipeline (DPSS end-to-end scenario).
+
+GARA's resource managers include one for "the Distributed Parallel
+Storage System (DPSS), a network storage system" (§4.2), and the
+paper's thesis is *end-to-end* QoS: "immediate and advance reservation,
+and co-reservation, of CPU, network, and other resources needed for
+end-to-end performance" (§1).
+
+:class:`StoragePipeline` is the visualization sender with its frames
+read off a (reservable) :class:`~repro.gara.StorageServer` first —
+so the stream's end-to-end rate is gated by disk, CPU, *and* network,
+and restoring it under combined contention needs a three-way
+co-reservation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..cpu import Cpu
+from ..gara import StorageServer
+from ..kernel import Counter
+from ..mpi import Communicator
+
+__all__ = ["StoragePipeline"]
+
+
+class StoragePipeline:
+    """rank 0: read frame from storage -> (optional CPU work) -> send;
+    rank 1: receive/display."""
+
+    def __init__(
+        self,
+        server: StorageServer,
+        client_id: str,
+        frame_bytes: int,
+        fps: float,
+        duration: float,
+        tag: int = 88,
+        work_fraction: float = 0.0,
+    ) -> None:
+        if frame_bytes <= 0 or fps <= 0 or duration <= 0:
+            raise ValueError("frame_bytes, fps and duration must be positive")
+        self.server = server
+        self.client_id = client_id
+        self.frame_bytes = int(frame_bytes)
+        self.fps = fps
+        self.duration = duration
+        self.tag = tag
+        self.work_fraction = work_fraction
+        self.frames_sent = 0
+        self.delivered: Optional[Counter] = None
+        self._cpu_task = None
+
+    @property
+    def target_bandwidth_bps(self) -> float:
+        return self.frame_bytes * 8.0 * self.fps
+
+    def main(self, comm: Communicator):
+        if comm.rank == 0:
+            yield from self._sender(comm)
+        elif comm.rank == 1:
+            yield from self._receiver(comm)
+
+    def _sender(self, comm: Communicator):
+        sim = comm.sim
+        interval = 1.0 / self.fps
+        n_frames = int(self.duration * self.fps)
+        deadline = sim.now
+        # Single-frame read-ahead: frame i+1 streams off the disk while
+        # frame i is processed and sent, so the disk latency overlaps
+        # the CPU/network stages instead of adding to them.
+        next_read = self.server.read(self.client_id, self.frame_bytes)
+        for i in range(n_frames):
+            yield next_read
+            if i + 1 < n_frames:
+                next_read = self.server.read(self.client_id, self.frame_bytes)
+            if self.work_fraction > 0:
+                host = comm.proc.host
+                if host.cpu is None:
+                    Cpu(sim, host=host, name=f"cpu-{host.name}")
+                if self._cpu_task is None:
+                    self._cpu_task = host.cpu.create_task(
+                        f"pipeline-{id(self)}"
+                    )
+                yield host.cpu.run(
+                    self._cpu_task, self.work_fraction * interval
+                )
+            yield comm.send(1, nbytes=self.frame_bytes, tag=self.tag)
+            self.frames_sent += 1
+            deadline += interval
+            if sim.now < deadline:
+                yield sim.timeout(deadline - sim.now)
+        yield comm.send(1, nbytes=1, tag=self.tag + 1)
+
+    def _receiver(self, comm: Communicator):
+        sim = comm.sim
+        self.delivered = Counter(sim, "pipeline-delivered")
+        stop = comm.irecv(source=0, tag=self.tag + 1)
+        while True:
+            frame = comm.irecv(source=0, tag=self.tag)
+            yield sim.any_of([stop.wait(), frame.wait()])
+            if frame.completed:
+                _data, status = frame.wait().value
+                self.delivered.add(status.nbytes)
+                continue
+            if stop.completed:
+                return
+
+    def achieved_bandwidth_kbps(self, t0: float, t1: float) -> float:
+        if self.delivered is None:
+            return 0.0
+        return self.delivered.rate_over(t0, t1) * 8.0 / 1e3

@@ -1,0 +1,91 @@
+"""The UDP contention generator.
+
+"Contention is generated via a UDP traffic generator that is quite
+capable of overwhelming any TCP application that does not have a
+reservation" (§5.2). Constant-bit-rate by default, with an optional
+on/off duty cycle for burstier contention.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..kernel import Counter, Simulator
+from ..net.node import Host
+from ..net.packet import PROTO_UDP
+from ..transport.udp import UDP_MAX_PAYLOAD, UdpLayer
+
+__all__ = ["UdpTrafficGenerator"]
+
+
+class UdpTrafficGenerator:
+    """Blasts UDP datagrams from ``src`` to ``dst`` at ``rate`` bits/s."""
+
+    def __init__(
+        self,
+        src: Host,
+        dst: Host,
+        rate: float,
+        payload_bytes: int = UDP_MAX_PAYLOAD,
+        port: int = 9001,
+        on_time: Optional[float] = None,
+        off_time: Optional[float] = None,
+    ) -> None:
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        if not 0 < payload_bytes <= UDP_MAX_PAYLOAD:
+            raise ValueError("bad payload size")
+        if (on_time is None) != (off_time is None):
+            raise ValueError("on_time and off_time go together")
+        self.sim: Simulator = src.sim
+        self.src = src
+        self.dst = dst
+        self.rate = rate
+        self.payload_bytes = payload_bytes
+        self.port = port
+        self.on_time = on_time
+        self.off_time = off_time
+        self._running = False
+        layer = src.protocols.get(PROTO_UDP)
+        self.udp = layer if isinstance(layer, UdpLayer) else UdpLayer(src)
+        self.socket = self.udp.create_socket()
+        self.sent = Counter(self.sim, "udp-gen-sent")
+        # A sink on the destination so datagrams terminate cleanly.
+        dst_layer = dst.protocols.get(PROTO_UDP)
+        dst_udp = dst_layer if isinstance(dst_layer, UdpLayer) else UdpLayer(dst)
+        self.sink = dst_udp.create_socket(port=port)
+        self.sim.process(self._sink_loop(), name="udp-gen-sink")
+
+    def _sink_loop(self):
+        while True:
+            yield self.sink.recvfrom()
+
+    def start(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        self.sim.process(self._send_loop(), name="udp-gen")
+
+    def stop(self) -> None:
+        self._running = False
+
+    @property
+    def interval(self) -> float:
+        """Inter-datagram gap at the configured rate."""
+        return (self.payload_bytes + 28) * 8.0 / self.rate
+
+    def _send_loop(self):
+        period_start = self.sim.now
+        while self._running:
+            if self.on_time is not None:
+                phase = (self.sim.now - period_start) % (
+                    self.on_time + self.off_time
+                )
+                if phase >= self.on_time:
+                    yield self.sim.timeout(
+                        self.on_time + self.off_time - phase
+                    )
+                    continue
+            self.socket.sendto(self.payload_bytes, self.dst.addr, self.port)
+            self.sent.add(self.payload_bytes)
+            yield self.sim.timeout(self.interval)

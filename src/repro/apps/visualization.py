@@ -1,0 +1,138 @@
+"""The distance-visualization pipeline (§5.3).
+
+"The program communicates a stream of fixed-sized messages from a
+sender to a receiver at a fixed rate; both the rate ('frames per
+second') and the message size ('frame size') can be adjusted, hence
+varying both the generated bandwidth and the burstiness of the
+traffic."
+
+§5.5 adds the detail that matters for the CPU experiments: the original
+sleep-based version barely used the CPU and so was *not* affected by
+CPU contention; "after a modification to make the application do some
+'work' between sending frames, the application was more affected". The
+sender here demands ``work_fraction / fps`` CPU-seconds per frame
+through the host's processor-sharing CPU, so contention slows frame
+production exactly as the paper describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..cpu import Cpu
+from ..kernel import Counter
+from ..mpi import Communicator
+from ..core.shaping import Shaper
+
+__all__ = ["VisualizationPipeline"]
+
+
+@dataclass
+class _VizStats:
+    frames_sent: int = 0
+    frames_received: int = 0
+    late_frames: int = 0
+
+
+class VisualizationPipeline:
+    """Rank 0 streams frames to rank 1 at a target rate."""
+
+    def __init__(
+        self,
+        frame_bytes: int,
+        fps: float,
+        duration: float,
+        tag: int = 77,
+        work_fraction: float = 0.0,
+        shaper: Optional[Shaper] = None,
+    ) -> None:
+        if frame_bytes <= 0 or fps <= 0 or duration <= 0:
+            raise ValueError("frame_bytes, fps and duration must be positive")
+        if not 0 <= work_fraction < 1:
+            raise ValueError("work_fraction must be in [0, 1)")
+        self.frame_bytes = frame_bytes
+        self.fps = fps
+        self.duration = duration
+        self.tag = tag
+        self.work_fraction = work_fraction
+        self.shaper = shaper
+        self.stats = _VizStats()
+        #: Receiver-side delivery counter (bytes at frame completion).
+        self.delivered: Optional[Counter] = None
+        self._cpu_task = None
+
+    @property
+    def target_bandwidth_bps(self) -> float:
+        return self.frame_bytes * 8.0 * self.fps
+
+    @property
+    def frame_interval(self) -> float:
+        return 1.0 / self.fps
+
+    def main(self, comm: Communicator):
+        """SPMD entry point (launch on ranks 0 and 1)."""
+        if comm.rank == 0:
+            yield from self._sender(comm)
+        elif comm.rank == 1:
+            yield from self._receiver(comm)
+
+    # -- sender ---------------------------------------------------------
+
+    def _work(self, comm: Communicator):
+        """Per-frame computation through the host CPU scheduler."""
+        if self.work_fraction <= 0:
+            return
+        host = comm.proc.host
+        if host.cpu is None:
+            Cpu(comm.sim, host=host, name=f"cpu-{host.name}")
+        if self._cpu_task is None:
+            self._cpu_task = host.cpu.create_task(f"viz-sender-{id(self)}")
+        yield host.cpu.run(self._cpu_task, self.work_fraction * self.frame_interval)
+
+    def _sender(self, comm: Communicator):
+        sim = comm.sim
+        n_frames = int(self.duration * self.fps)
+        next_deadline = sim.now
+        for _ in range(n_frames):
+            yield from self._work(comm)
+            if self.shaper is not None:
+                yield from self.shaper.acquire(self.frame_bytes)
+            yield comm.send(1, nbytes=self.frame_bytes, tag=self.tag)
+            self.stats.frames_sent += 1
+            next_deadline += self.frame_interval
+            now = sim.now
+            if now < next_deadline:
+                yield sim.timeout(next_deadline - now)
+            else:
+                # Running behind: send back-to-back, track lateness.
+                self.stats.late_frames += 1
+        yield comm.send(1, nbytes=1, tag=self.tag + 1)  # end-of-stream
+
+    # -- receiver ----------------------------------------------------------
+
+    def _receiver(self, comm: Communicator):
+        sim = comm.sim
+        self.delivered = Counter(sim, "viz-delivered")
+        stop = comm.irecv(source=0, tag=self.tag + 1)
+        while True:
+            frame = comm.irecv(source=0, tag=self.tag)
+            yield sim.any_of([stop.wait(), frame.wait()])
+            if frame.completed:
+                _data, status = frame.wait().value
+                self.delivered.add(status.nbytes)
+                self.stats.frames_received += 1
+                continue
+            if stop.completed:
+                return
+
+    # -- analysis --------------------------------------------------------------
+
+    def achieved_bandwidth_bps(self, t_start: float, t_end: float) -> float:
+        """Receiver-side goodput over an interval, bits/second."""
+        if self.delivered is None:
+            return 0.0
+        return self.delivered.rate_over(t_start, t_end) * 8.0
+
+    def achieved_bandwidth_kbps(self, t_start: float, t_end: float) -> float:
+        return self.achieved_bandwidth_bps(t_start, t_end) / 1e3

@@ -1,0 +1,34 @@
+"""MPICH-GQ: the paper's contribution — QoS for MPI programs via the
+attribute mechanism, an MPI QoS agent over GARA, end-system traffic
+shaping, and the dynamic/adaptive extensions the paper proposes."""
+
+from .adaptive import AdaptiveQosSession
+from .agent import MpiQosAgent
+from .dynamic_bucket import DynamicBucketSizer
+from .globus_io import GlobusIoSocket
+from .mpichgq import MpichGQ
+from .qos import (
+    QOS_BEST_EFFORT,
+    QOS_LOW_LATENCY,
+    QOS_PREMIUM,
+    QosAttribute,
+    protocol_overhead_factor,
+)
+from .shaping import Shaper
+from .weather import NetworkWeatherMonitor, WeatherForecast
+
+__all__ = [
+    "AdaptiveQosSession",
+    "DynamicBucketSizer",
+    "GlobusIoSocket",
+    "MpiQosAgent",
+    "MpichGQ",
+    "NetworkWeatherMonitor",
+    "QOS_BEST_EFFORT",
+    "QOS_LOW_LATENCY",
+    "QOS_PREMIUM",
+    "QosAttribute",
+    "Shaper",
+    "WeatherForecast",
+    "protocol_overhead_factor",
+]

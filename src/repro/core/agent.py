@@ -1,0 +1,201 @@
+"""The MPI QoS Agent.
+
+"An MPI QoS Agent incorporates the rules used to translate application-
+level QoS specifications into the lower-level commands and parameters
+required to implement QoS" (§4). Concretely:
+
+* ``attr_put(MPICH_QOS, QosAttribute(...))`` triggers this agent (the
+  paper's put-as-action semantics);
+* a *premium* request becomes one GARA network reservation per flow
+  direction between the communicator's endpoint pairs, sized by the
+  protocol-overhead rule, with the TCP 5-tuples bound to it;
+* a *low-latency* request marks the flows into the AF class (no
+  admission control — it is not a guaranteed service);
+* a *best-effort* request (or deleting the attribute, or freeing the
+  communicator) cancels whatever the attribute held.
+
+The outcome is written back into the :class:`QosAttribute`, so
+``attr_get`` tells the application whether the QoS is in place.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..diffserv import DiffServDomain, FlowSpec
+from ..gara import Gara, NetworkReservationSpec, ReservationError
+from ..mpi import Communicator, Intercommunicator, MpiWorld
+from ..net.packet import PROTO_TCP
+from .qos import QOS_BEST_EFFORT, QOS_LOW_LATENCY, QOS_PREMIUM, QosAttribute
+
+__all__ = ["MpiQosAgent"]
+
+
+class MpiQosAgent:
+    """Binds the MPICH_QOS keyval to GARA and the DiffServ domain."""
+
+    def __init__(
+        self,
+        world: MpiWorld,
+        gara: Gara,
+        domain: DiffServDomain,
+        bucket_divisor: Optional[float] = None,
+    ) -> None:
+        self.world = world
+        self.gara = gara
+        self.domain = domain
+        self.bucket_divisor = bucket_divisor
+        #: The keyval applications use (the paper's ``MPICH_ATM_QOS``).
+        self.keyval = world.create_keyval(
+            put_hook=self._on_put,
+            delete_fn=self._on_delete,
+        )
+        #: Low-latency flow handles per communicator identity.
+        self._af_handles: dict = {}
+
+    # ------------------------------------------------------------------
+    # Flow enumeration
+    # ------------------------------------------------------------------
+
+    def flow_directions(
+        self, comm: Communicator
+    ) -> List[Tuple[int, int]]:
+        """Ordered (src world rank, dst world rank) pairs that need a
+        reservation for this communicator.
+
+        Two-party intercommunicators (the paper's initial focus) yield
+        one pair per direction; intracommunicators yield every ordered
+        pair (full-mesh, for SPMD codes).
+        """
+        if isinstance(comm, Intercommunicator):
+            pairs = comm.flow_pairs()
+            return pairs + [(b, a) for a, b in pairs]
+        ranks = comm.group.world_ranks
+        return [(a, b) for a in ranks for b in ranks if a != b]
+
+    def _flow_specs(self, src_rank: int, dst_rank: int) -> List[FlowSpec]:
+        """The TCP 5-tuple patterns covering rank->rank traffic.
+
+        MPI channels are lazily created from either side, so the
+        direction src->dst carries segments of src-initiated
+        connections (``dport == dst's listener``) and of dst-initiated
+        connections (``sport == src's listener``).
+        """
+        src = self.world.procs[src_rank]
+        dst = self.world.procs[dst_rank]
+        return [
+            FlowSpec(
+                src=src.host.addr, dst=dst.host.addr,
+                dport=dst.port, proto=PROTO_TCP,
+            ),
+            FlowSpec(
+                src=src.host.addr, dst=dst.host.addr,
+                sport=src.port, proto=PROTO_TCP,
+            ),
+        ]
+
+    # ------------------------------------------------------------------
+    # External management (§4.1: "it can be useful to allow for
+    # external management of QoS, by a separate QoS agent")
+    # ------------------------------------------------------------------
+
+    def reserve_flows(
+        self,
+        src_rank: int,
+        dst_rank: int,
+        bandwidth_bps: float,
+        start: Optional[float] = None,
+        duration: Optional[float] = None,
+        bucket_divisor: Optional[float] = None,
+    ):
+        """Directly reserve ``bandwidth_bps`` of premium service for the
+        rank-to-rank direction, with the MPI flows bound. This is the
+        network-level reservation (no protocol-overhead inflation) —
+        what the paper's figures put on their x axes."""
+        src_host = self.world.procs[src_rank].host
+        dst_host = self.world.procs[dst_rank].host
+        spec = NetworkReservationSpec(src_host, dst_host, bandwidth_bps)
+        divisor = bucket_divisor or self.bucket_divisor
+        if divisor is not None:
+            spec.bucket_divisor = divisor
+        reservation = self.gara.reserve(spec, start=start, duration=duration)
+        for flow in self._flow_specs(src_rank, dst_rank):
+            self.gara.bind(reservation, flow)
+        return reservation
+
+    # ------------------------------------------------------------------
+    # Keyval hooks
+    # ------------------------------------------------------------------
+
+    def _on_put(self, comm: Communicator, keyval, attr: QosAttribute) -> None:
+        if not isinstance(attr, QosAttribute):
+            raise TypeError(
+                f"the MPICH_QOS attribute takes a QosAttribute, got {attr!r}"
+            )
+        if attr.qosclass == QOS_BEST_EFFORT:
+            attr.granted = True  # vacuously: no QoS requested
+            return
+        if attr.qosclass == QOS_LOW_LATENCY:
+            self._grant_low_latency(comm, attr)
+            return
+        if attr.qosclass == QOS_PREMIUM:
+            self._grant_premium(comm, attr)
+            return
+        attr.granted = False
+        attr.error = f"unknown QoS class {attr.qosclass}"
+
+    def _on_delete(self, comm: Communicator, keyval, attr: QosAttribute) -> None:
+        for reservation in attr.reservations:
+            reservation.cancel()
+        attr.reservations.clear()
+        handle = self._af_handles.pop(id(attr), None)
+        if handle is not None:
+            self.domain.remove_premium_flow(handle)
+        attr.granted = False
+
+    # ------------------------------------------------------------------
+    # Grant paths
+    # ------------------------------------------------------------------
+
+    def _grant_premium(self, comm: Communicator, attr: QosAttribute) -> None:
+        if attr.bandwidth_kbps <= 0:
+            attr.granted = False
+            attr.error = "premium QoS needs a positive bandwidth"
+            return
+        net_bw = attr.network_bandwidth_bps()
+        requests = []
+        bindings = []
+        for src_rank, dst_rank in self.flow_directions(comm):
+            src_host = self.world.procs[src_rank].host
+            dst_host = self.world.procs[dst_rank].host
+            if src_host is dst_host:
+                continue  # same-node traffic never crosses the network
+            spec = NetworkReservationSpec(src_host, dst_host, net_bw)
+            if self.bucket_divisor is not None:
+                spec.bucket_divisor = self.bucket_divisor
+            requests.append((spec, None, None))
+            bindings.append(self._flow_specs(src_rank, dst_rank))
+        try:
+            reservations = self.gara.reserve_many(requests)
+        except ReservationError as exc:
+            attr.granted = False
+            attr.error = str(exc)
+            return
+        for reservation, flow_specs in zip(reservations, bindings):
+            for flow in flow_specs:
+                self.gara.bind(reservation, flow)
+        attr.reservations = reservations
+        attr.granted = True
+        attr.error = None
+
+    def _grant_low_latency(self, comm: Communicator, attr: QosAttribute) -> None:
+        specs: List[FlowSpec] = []
+        for src_rank, dst_rank in self.flow_directions(comm):
+            if self.world.procs[src_rank].host is self.world.procs[dst_rank].host:
+                continue
+            specs.extend(self._flow_specs(src_rank, dst_rank))
+        if specs:
+            handle = self.domain.install_low_latency_flow(specs)
+            self._af_handles[id(attr)] = handle
+        attr.granted = True
+        attr.error = None

@@ -1,0 +1,135 @@
+"""Dynamic token-bucket sizing (§5.4's first proposed remedy).
+
+"One approach to this problem is to attempt to compute the 'correct'
+token bucket size dynamically, by using application-specific
+information and perhaps also dynamic network performance data."
+
+:class:`DynamicBucketSizer` does exactly that: it observes the
+application's actual burst sizes (reported by the sending path — the
+globus_io wrapper or the application itself), and periodically adjusts
+the reservation's bucket depth to cover the observed peak burst with a
+safety margin, never dropping below the static ``bandwidth/40`` rule.
+The paper's §5.4 caveat applies and is preserved: deeper buckets spend
+"scarce system resources", so the sizer also *shrinks* the bucket when
+bursts subside.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..diffserv.token_bucket import paper_bucket_depth
+from ..gara import Reservation, ReservationError
+from ..kernel import Simulator
+
+__all__ = ["DynamicBucketSizer"]
+
+
+class DynamicBucketSizer:
+    """Adapts one network reservation's bucket depth to observed bursts.
+
+    Parameters
+    ----------
+    sim:
+        The simulator (for the adjustment timer).
+    reservation:
+        A network reservation whose spec supports
+        ``bucket_depth_bytes`` modification.
+    margin:
+        Safety factor over the observed peak burst (the paper's static
+        rule also over-provisions "to allow for larger bursts").
+    interval:
+        Seconds between adjustments.
+    window:
+        Number of recent intervals whose peak is covered; bursts older
+        than this stop holding the bucket open.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        reservation: Reservation,
+        margin: float = 1.2,
+        interval: float = 1.0,
+        window: int = 5,
+        weather=None,
+    ) -> None:
+        if margin < 1.0:
+            raise ValueError("margin must be >= 1")
+        if interval <= 0 or window < 1:
+            raise ValueError("bad interval/window")
+        self.sim = sim
+        self.reservation = reservation
+        self.margin = margin
+        self.interval = interval
+        self.window = window
+        #: Optional NetworkWeatherMonitor supplying measured path delay
+        #: for the paper's original ``depth = bandwidth * delay`` rule.
+        self.weather = weather
+        self._interval_peaks = [0.0]
+        self._current_burst = 0.0
+        self._last_send_end: Optional[float] = None
+        self.adjustments = 0
+        self.last_depth: Optional[float] = None
+        self._timer = sim.call_in(interval, self._adjust)
+        self._stopped = False
+
+    # -- observation hooks -------------------------------------------------
+
+    def observe_send(self, nbytes: int, gap_threshold: float = 0.01) -> None:
+        """Report an application send of ``nbytes``.
+
+        Consecutive sends closer than ``gap_threshold`` seconds count
+        as one burst (a message split over several writes still arrives
+        at the policer back-to-back).
+        """
+        now = self.sim.now
+        if (
+            self._last_send_end is not None
+            and now - self._last_send_end <= gap_threshold
+        ):
+            self._current_burst += nbytes
+        else:
+            self._current_burst = float(nbytes)
+        self._last_send_end = now
+        self._interval_peaks[-1] = max(
+            self._interval_peaks[-1], self._current_burst
+        )
+
+    # -- control loop ----------------------------------------------------
+
+    @property
+    def floor_depth(self) -> float:
+        """Depth never drops below the static rule — or, when a weather
+        monitor is attached, below ``bandwidth * measured delay`` (the
+        §4.3 derivation with live data instead of a guess)."""
+        spec = self.reservation.spec
+        static = paper_bucket_depth(spec.bandwidth, spec.bucket_divisor)
+        if self.weather is not None:
+            return self.weather.bucket_depth_for(spec.bandwidth, static)
+        return static
+
+    def recommended_depth(self) -> float:
+        peak = max(self._interval_peaks)
+        return max(self.floor_depth, peak * self.margin)
+
+    def _adjust(self) -> None:
+        if self._stopped or self.reservation.state in ("CANCELLED", "EXPIRED"):
+            return
+        depth = self.recommended_depth()
+        if self.last_depth is None or abs(depth - self.last_depth) > 1.0:
+            try:
+                self.reservation.modify(bucket_depth_bytes=depth)
+                self.last_depth = depth
+                self.adjustments += 1
+            except ReservationError:
+                pass  # keep observing; retry next interval
+        self._interval_peaks.append(0.0)
+        if len(self._interval_peaks) > self.window:
+            del self._interval_peaks[0]
+        self._timer = self.sim.call_in(self.interval, self._adjust)
+
+    def stop(self) -> None:
+        self._stopped = True
+        if self._timer is not None:
+            self._timer.cancel()

@@ -1,0 +1,52 @@
+"""The globus_io-style socket wrapper.
+
+"The globus-io library provides a convenient wrapper for the low-level
+socket calls used to implement wide area transport; traffic shaping can
+also be performed here" (§4). :class:`GlobusIoSocket` wraps a
+:class:`~repro.transport.tcp.TcpConnection` and optionally paces writes
+through a :class:`~repro.core.shaping.Shaper`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..transport.tcp import TcpConnection
+from .shaping import Shaper
+
+__all__ = ["GlobusIoSocket"]
+
+
+class GlobusIoSocket:
+    """A thin, shapable wrapper over a TCP connection."""
+
+    def __init__(
+        self, connection: TcpConnection, shaper: Optional[Shaper] = None
+    ) -> None:
+        self.connection = connection
+        self.shaper = shaper
+
+    @property
+    def sim(self):
+        return self.connection.sim
+
+    def set_shaper(self, shaper: Optional[Shaper]) -> None:
+        """Attach/detach end-system traffic shaping."""
+        self.shaper = shaper
+
+    def send(self, nbytes: int, marker: Any = None):
+        """Generator: (optionally shaped) blocking send."""
+        if self.shaper is not None:
+            yield from self.shaper.acquire(nbytes)
+        yield from self.connection.send_message(nbytes, marker)
+
+    def recv(self, max_bytes: int):
+        """Blocking receive (event to yield)."""
+        return self.connection.recv(max_bytes)
+
+    def recv_object(self):
+        """Blocking whole-message receive (event to yield)."""
+        return self.connection.recv_object()
+
+    def close(self) -> None:
+        self.connection.close()

@@ -1,0 +1,107 @@
+"""Top-level MPICH-GQ wiring (the architecture of Fig 2).
+
+:class:`MpichGQ` assembles the full stack over an existing network:
+DiffServ domain on the routers, bandwidth broker, GARA with network/
+CPU/storage managers, an MPI world over the given hosts, and the MPI
+QoS Agent exposing the ``MPICH_QOS`` keyval.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..diffserv import DiffServDomain
+from ..gara import (
+    BandwidthBroker,
+    DiffServNetworkManager,
+    DsrtCpuManager,
+    DpssStorageManager,
+    Gara,
+)
+from ..kernel import Simulator
+from ..mpi import MpiWorld
+from ..net.node import Host, Router
+from ..net.topology import GarnetTestbed, Network
+from ..transport.tcp import TcpConfig
+from .agent import MpiQosAgent
+
+__all__ = ["MpichGQ"]
+
+
+class MpichGQ:
+    """One QoS-enabled MPI deployment."""
+
+    def __init__(
+        self,
+        network: Network,
+        mpi_hosts: List[Host],
+        routers: Optional[List[Router]] = None,
+        ef_share: float = 0.7,
+        eager_threshold: int = 64 * 1024,
+        tcp_config: Optional[TcpConfig] = None,
+        bucket_divisor: Optional[float] = None,
+    ) -> None:
+        self.network = network
+        self.sim: Simulator = network.sim
+        if routers is None:
+            routers = [n for n in network.nodes.values() if isinstance(n, Router)]
+        self.domain = DiffServDomain(self.sim, routers)
+        self.broker = BandwidthBroker(network, ef_share=ef_share)
+        self.gara = Gara(self.sim)
+        self.network_manager = DiffServNetworkManager(
+            self.sim, self.domain, self.broker
+        )
+        self.cpu_manager = DsrtCpuManager(self.sim)
+        self.storage_manager = DpssStorageManager(self.sim)
+        self.gara.register_manager(self.network_manager)
+        self.gara.register_manager(self.cpu_manager)
+        self.gara.register_manager(self.storage_manager)
+        self.world = MpiWorld(
+            self.sim,
+            mpi_hosts,
+            eager_threshold=eager_threshold,
+            tcp_config=tcp_config,
+        )
+        self.agent = MpiQosAgent(
+            self.world, self.gara, self.domain, bucket_divisor=bucket_divisor
+        )
+
+    @property
+    def qos_keyval(self):
+        """The MPICH_QOS keyval for ``attr_put``/``attr_get`` (Fig 3)."""
+        return self.agent.keyval
+
+    def enable_end_system_shaping(
+        self,
+        src_rank: int,
+        dst_rank: int,
+        rate: float,
+        depth_bytes: Optional[float] = None,
+    ):
+        """Install §5.4's proposed end-system traffic shaping for one
+        rank pair: MPI wire traffic is paced to ``rate`` (bits/s) with
+        bursts bounded by ``depth_bytes`` (default: 8 KB, comfortably
+        under any sane policer bucket). Returns the Shaper."""
+        from .shaping import Shaper
+
+        shaper = Shaper(
+            self.sim, rate=rate,
+            depth_bytes=depth_bytes if depth_bytes is not None else 8192,
+        )
+        self.world.set_flow_shaper(src_rank, dst_rank, shaper)
+        return shaper
+
+    @classmethod
+    def on_garnet(
+        cls, testbed: GarnetTestbed, ranks_hosts: Optional[List[Host]] = None, **kwargs
+    ) -> "MpichGQ":
+        """Deploy on the GARNET testbed: rank 0 on the premium source,
+        rank 1 on the premium destination (the paper's two-party
+        experiments), unless explicit hosts are given."""
+        hosts = ranks_hosts or [testbed.premium_src, testbed.premium_dst]
+        return cls(
+            testbed.network,
+            hosts,
+            routers=[testbed.edge1, testbed.core, testbed.edge2],
+            **kwargs,
+        )

@@ -1,0 +1,58 @@
+"""End-system traffic shaping.
+
+§5.4's closing alternative to ever-larger router token buckets: "An
+alternative approach is to incorporate traffic-shaping support into the
+MPICH-GQ implementation on the end-system." A :class:`Shaper` paces
+application writes through a token bucket *before* they reach TCP, so a
+bursty application (1 frame/second) presents the network with the same
+smooth profile as a 10 frames/second one.
+"""
+
+from __future__ import annotations
+
+from ..diffserv.token_bucket import TokenBucket
+from ..kernel import Simulator
+
+__all__ = ["Shaper"]
+
+
+class Shaper:
+    """Token-bucket pacing of application sends."""
+
+    def __init__(
+        self, sim: Simulator, rate: float, depth_bytes: float
+    ) -> None:
+        """``rate`` in bits/second, ``depth_bytes`` the largest burst
+        released without pacing."""
+        self.sim = sim
+        self.bucket = TokenBucket(rate, depth_bytes)
+        self.bucket._last = sim.now
+        self.delayed_sends = 0
+        self.total_delay = 0.0
+
+    @property
+    def rate(self) -> float:
+        return self.bucket.rate
+
+    def reconfigure(self, rate: float = None, depth_bytes: float = None) -> None:
+        self.bucket.reconfigure(rate=rate, depth=depth_bytes, now=self.sim.now)
+
+    def acquire(self, nbytes: int):
+        """Generator: block until ``nbytes`` conform to the profile.
+
+        Oversized requests are admitted in depth-sized slices, so a
+        single huge frame is smoothed rather than rejected.
+        """
+        remaining = nbytes
+        while remaining > 0:
+            chunk = min(remaining, int(self.bucket.depth))
+            while True:
+                wait = self.bucket.time_until_conforming(chunk, self.sim.now)
+                if wait <= 0:
+                    break
+                self.delayed_sends += 1
+                self.total_delay += wait
+                yield self.sim.timeout(wait)
+            if not self.bucket.consume(chunk, self.sim.now):
+                raise RuntimeError("shaper accounting error")  # pragma: no cover
+            remaining -= chunk

@@ -1,0 +1,158 @@
+"""Network weather monitoring (the paper's [35], Wolski's NWS).
+
+§5.4 proposes computing the token-bucket size dynamically "by using
+application-specific information and perhaps also dynamic network
+performance data [35]". :class:`NetworkWeatherMonitor` supplies that
+second input: it sends periodic UDP probes between two hosts (a
+reflector echoes them), maintains EWMA forecasts of round-trip latency
+and loss, and can feed the measured delay into the §4.3
+``depth = bandwidth * delay`` rule via
+:meth:`DynamicBucketSizer`-style consumers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..kernel import Simulator
+from ..net.node import Host
+from ..net.packet import PROTO_UDP
+from ..transport.udp import UdpLayer
+
+__all__ = ["NetworkWeatherMonitor", "WeatherForecast"]
+
+_PROBE_BYTES = 64
+
+
+@dataclass
+class WeatherForecast:
+    """Current path estimate."""
+
+    rtt: Optional[float]  # smoothed round-trip time (s); None before data
+    rtt_min: Optional[float]
+    rtt_max: Optional[float]
+    loss_rate: float  # fraction of recent probes lost
+    samples: int
+
+
+def _udp_layer(host: Host) -> UdpLayer:
+    layer = host.protocols.get(PROTO_UDP)
+    return layer if isinstance(layer, UdpLayer) else UdpLayer(host)
+
+
+class NetworkWeatherMonitor:
+    """Active path prober with EWMA forecasting."""
+
+    ALPHA = 0.25  # EWMA gain
+    LOSS_WINDOW = 20  # probes in the loss estimate
+
+    def __init__(
+        self,
+        src: Host,
+        dst: Host,
+        interval: float = 0.5,
+        timeout: float = 2.0,
+        reflector_port: int = 9500,
+    ) -> None:
+        if interval <= 0 or timeout <= 0:
+            raise ValueError("interval and timeout must be positive")
+        self.sim: Simulator = src.sim
+        self.src = src
+        self.dst = dst
+        self.interval = interval
+        self.timeout = timeout
+        self._socket = _udp_layer(src).create_socket()
+        self._reflector = _udp_layer(dst).create_socket(port=reflector_port)
+        self.reflector_port = reflector_port
+        self._in_flight: Dict[int, float] = {}  # seq -> sent time
+        self._next_seq = 0
+        self._recent: list = []  # 1 = answered, 0 = lost (window)
+        self.srtt: Optional[float] = None
+        self.rtt_min: Optional[float] = None
+        self.rtt_max: Optional[float] = None
+        self.probes_sent = 0
+        self.probes_answered = 0
+        self._running = False
+
+    # -- lifecycle ------------------------------------------------------
+
+    def start(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        self.sim.process(self._reflector_loop(), name="nws-reflector")
+        self.sim.process(self._receive_loop(), name="nws-receiver")
+        self.sim.process(self._probe_loop(), name="nws-prober")
+
+    def stop(self) -> None:
+        self._running = False
+
+    # -- probing -----------------------------------------------------------
+
+    def _probe_loop(self):
+        while self._running:
+            seq = self._next_seq
+            self._next_seq += 1
+            self._in_flight[seq] = self.sim.now
+            self.probes_sent += 1
+            self._socket.sendto(
+                _PROBE_BYTES, self.dst.addr, self.reflector_port, payload=seq
+            )
+            self.sim.call_in(self.timeout, self._expire, seq)
+            yield self.sim.timeout(self.interval)
+
+    def _reflector_loop(self):
+        while True:
+            nbytes, src_addr, sport, payload = yield self._reflector.recvfrom()
+            self._reflector.sendto(nbytes, src_addr, sport, payload=payload)
+
+    def _receive_loop(self):
+        while True:
+            _nbytes, _src, _sport, seq = yield self._socket.recvfrom()
+            sent = self._in_flight.pop(seq, None)
+            if sent is None:
+                continue  # answered after its timeout; already counted lost
+            rtt = self.sim.now - sent
+            self.probes_answered += 1
+            self._record(answered=True)
+            if self.srtt is None:
+                self.srtt = rtt
+            else:
+                self.srtt += self.ALPHA * (rtt - self.srtt)
+            self.rtt_min = rtt if self.rtt_min is None else min(self.rtt_min, rtt)
+            self.rtt_max = rtt if self.rtt_max is None else max(self.rtt_max, rtt)
+
+    def _expire(self, seq: int) -> None:
+        if self._in_flight.pop(seq, None) is not None:
+            self._record(answered=False)
+
+    def _record(self, answered: bool) -> None:
+        self._recent.append(1 if answered else 0)
+        if len(self._recent) > self.LOSS_WINDOW:
+            del self._recent[0]
+
+    # -- forecasts -----------------------------------------------------------
+
+    @property
+    def loss_rate(self) -> float:
+        if not self._recent:
+            return 0.0
+        return 1.0 - sum(self._recent) / len(self._recent)
+
+    def forecast(self) -> WeatherForecast:
+        return WeatherForecast(
+            rtt=self.srtt,
+            rtt_min=self.rtt_min,
+            rtt_max=self.rtt_max,
+            loss_rate=self.loss_rate,
+            samples=self.probes_answered,
+        )
+
+    def bucket_depth_for(self, bandwidth_bps: float, fallback: float) -> float:
+        """The §4.3 rule with *measured* delay:
+        ``depth_bytes = bandwidth * delay / 8`` (``fallback`` until the
+        first forecast exists)."""
+        if self.srtt is None:
+            return fallback
+        return max(fallback, bandwidth_bps * self.srtt / 8.0)

@@ -1,0 +1,5 @@
+"""CPU substrate: fluid processor sharing with DSRT-style reservations."""
+
+from .scheduler import Cpu, CpuTask, Job
+
+__all__ = ["Cpu", "CpuTask", "Job"]

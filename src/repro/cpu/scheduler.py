@@ -1,0 +1,201 @@
+"""A fluid processor-sharing CPU model with soft real-time reservations.
+
+This substitutes for the paper's DSRT scheduler (§5.5): DSRT "works by
+overriding the Unix scheduler and performing soft real-time scheduling
+of select processes". We model the CPU as a fluid resource:
+
+* a task with a reservation is guaranteed its fraction of the CPU;
+* leftover capacity is shared equally among best-effort tasks (or
+  returned to reserved tasks when nothing else is runnable);
+* when the runnable set or reservations change, rates are recomputed
+  and the earliest job completion is (re)scheduled.
+
+Quantum-level context switching is deliberately abstracted away — the
+experiments only depend on *shares* over tens of milliseconds, which
+the fluid model reproduces exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..kernel import Event, Simulator, TimerHandle
+
+__all__ = ["Cpu", "CpuTask", "Job"]
+
+_EPS = 1e-12
+
+
+class CpuTask:
+    """A schedulable entity (think: a pid DSRT can reserve for)."""
+
+    def __init__(self, cpu: "Cpu", name: str) -> None:
+        self.cpu = cpu
+        self.name = name
+        #: Guaranteed CPU fraction in [0, 1); 0 means best effort.
+        self.reservation = 0.0
+        #: Total CPU-seconds consumed.
+        self.cpu_time = 0.0
+
+    def __repr__(self) -> str:
+        r = f" res={self.reservation:.0%}" if self.reservation else ""
+        return f"<CpuTask {self.name}{r}>"
+
+
+class Job:
+    """One unit of demanded work by a task."""
+
+    __slots__ = ("task", "remaining", "event", "rate", "cancelled")
+
+    def __init__(self, task: CpuTask, work: float, event: Event) -> None:
+        self.task = task
+        self.remaining = work
+        self.event = event
+        self.rate = 0.0
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Abandon the job; its completion event never triggers."""
+        self.cancelled = True
+        self.task.cpu._on_change()
+
+
+class Cpu:
+    """The processor-sharing scheduler for one host."""
+
+    def __init__(self, sim: Simulator, host=None, name: str = "cpu") -> None:
+        self.sim = sim
+        self.name = name
+        self.host = host
+        if host is not None:
+            host.cpu = self
+        self._jobs: List[Job] = []
+        self._last = 0.0
+        self._timer: Optional[TimerHandle] = None
+        self._tasks: Dict[str, CpuTask] = {}
+
+    # -- tasks ----------------------------------------------------------
+
+    def create_task(self, name: str) -> CpuTask:
+        if name in self._tasks:
+            raise ValueError(f"task {name!r} already exists on {self.name}")
+        task = CpuTask(self, name)
+        self._tasks[name] = task
+        return task
+
+    def task(self, name: str) -> CpuTask:
+        return self._tasks[name]
+
+    def set_reservation(self, task: CpuTask, fraction: float) -> None:
+        """Grant ``task`` a guaranteed CPU fraction (DSRT reserve)."""
+        if not 0.0 <= fraction < 1.0:
+            raise ValueError("reservation fraction must be in [0, 1)")
+        self._advance()
+        task.reservation = fraction
+        self._reallocate()
+
+    def clear_reservation(self, task: CpuTask) -> None:
+        self.set_reservation(task, 0.0)
+
+    # -- work -------------------------------------------------------------
+
+    def run(self, task: CpuTask, work: float) -> Event:
+        """Demand ``work`` CPU-seconds; the event triggers on completion.
+
+        ``work`` may be ``inf`` for a hog that runs until cancelled —
+        keep the returned event's :class:`Job` via :meth:`run_job` if
+        you need to cancel.
+        """
+        return self.run_job(task, work).event
+
+    def run_job(self, task: CpuTask, work: float) -> Job:
+        if work <= 0:
+            raise ValueError("work must be positive")
+        if task.cpu is not self:
+            raise ValueError(f"{task!r} belongs to a different CPU")
+        event = Event(self.sim)
+        job = Job(task, work, event)
+        self._advance()
+        self._jobs.append(job)
+        self._reallocate()
+        return job
+
+    @property
+    def runnable(self) -> int:
+        """Number of active jobs."""
+        return len(self._jobs)
+
+    def rate_of(self, task: CpuTask) -> float:
+        """The task's current CPU share (0 if it has no active job)."""
+        self._advance()
+        self._reallocate(reschedule=False)
+        return sum(j.rate for j in self._jobs if j.task is task)
+
+    # -- internals -----------------------------------------------------------
+
+    def _advance(self) -> None:
+        """Apply progress at current rates since the last change."""
+        now = self.sim.now
+        dt = now - self._last
+        if dt > 0:
+            for job in self._jobs:
+                if job.rate > 0:
+                    done = dt * job.rate
+                    job.remaining -= done
+                    job.task.cpu_time += done
+        self._last = now
+
+    def _compute_rates(self) -> None:
+        jobs = self._jobs
+        if not jobs:
+            return
+        total_reserved = sum(j.task.reservation for j in jobs)
+        scale = 1.0 / total_reserved if total_reserved > 1.0 else 1.0
+        best_effort = [j for j in jobs if j.task.reservation == 0.0]
+        leftover = max(0.0, 1.0 - min(total_reserved, 1.0))
+        for job in jobs:
+            job.rate = job.task.reservation * scale
+        if best_effort:
+            share = leftover / len(best_effort)
+            for job in best_effort:
+                job.rate = share
+        elif leftover > 0 and total_reserved > 0:
+            # Idle capacity flows back to the reserved tasks.
+            for job in jobs:
+                job.rate += leftover * job.task.reservation / total_reserved
+
+    def _reallocate(self, reschedule: bool = True) -> None:
+        # Finish any jobs that just completed.
+        finished = [j for j in self._jobs if j.remaining <= _EPS or j.cancelled]
+        if finished:
+            self._jobs = [j for j in self._jobs if j not in finished]
+            for job in finished:
+                if not job.cancelled:
+                    job.event.succeed(job.task.cpu_time)
+        self._compute_rates()
+        if not reschedule:
+            return
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        horizon = float("inf")
+        for job in self._jobs:
+            if job.rate > 0 and job.remaining != float("inf"):
+                horizon = min(horizon, job.remaining / job.rate)
+        if horizon != float("inf"):
+            # Floor the horizon: a float-residue remaining would
+            # otherwise schedule a tick that does not advance float
+            # time, spinning the simulator at one timestamp.
+            self._timer = self.sim.call_in(max(horizon, 1e-9), self._on_tick)
+
+    def _on_tick(self) -> None:
+        self._timer = None
+        self._advance()
+        self._reallocate()
+
+    def _on_change(self) -> None:
+        self._advance()
+        self._reallocate()
+
+    def __repr__(self) -> str:
+        return f"<Cpu {self.name} jobs={len(self._jobs)}>"

@@ -1,0 +1,52 @@
+"""Differentiated-services mechanisms: classify, meter, mark, police,
+and the EF per-hop behaviour (priority queuing)."""
+
+from .classifier import Classifier, FlowSpec
+from .conditioner import (
+    EXCEED_DROP,
+    EXCEED_REMARK,
+    PolicedMarking,
+    TrafficConditioner,
+)
+from .dscp import (
+    AF_LOW_LATENCY,
+    BEST_EFFORT,
+    CLASS_AF,
+    CLASS_BE,
+    CLASS_EF,
+    DSCP_NAMES,
+    EF,
+    service_class_of,
+)
+from .mqc import DiffServDomain, PremiumFlowHandle
+from .phb import PriorityQdisc
+from .token_bucket import (
+    LARGE_DEPTH_DIVISOR,
+    NORMAL_DEPTH_DIVISOR,
+    TokenBucket,
+    paper_bucket_depth,
+)
+
+__all__ = [
+    "AF_LOW_LATENCY",
+    "BEST_EFFORT",
+    "CLASS_AF",
+    "CLASS_BE",
+    "CLASS_EF",
+    "Classifier",
+    "DSCP_NAMES",
+    "DiffServDomain",
+    "EF",
+    "EXCEED_DROP",
+    "EXCEED_REMARK",
+    "FlowSpec",
+    "LARGE_DEPTH_DIVISOR",
+    "NORMAL_DEPTH_DIVISOR",
+    "PolicedMarking",
+    "PremiumFlowHandle",
+    "PriorityQdisc",
+    "TokenBucket",
+    "TrafficConditioner",
+    "paper_bucket_depth",
+    "service_class_of",
+]

@@ -1,0 +1,84 @@
+"""Multi-field packet classification (edge-router function).
+
+Edge devices classify packets "based on information in the header,
+such as source and destination addresses and ports" (§2). A
+:class:`FlowSpec` is a 5-tuple pattern with wildcards; a
+:class:`Classifier` is an ordered rule list mapping flow specs to
+actions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator, List, Optional, Tuple
+
+from ..net.packet import Packet
+
+__all__ = ["FlowSpec", "Classifier"]
+
+
+@dataclass(frozen=True)
+class FlowSpec:
+    """A 5-tuple pattern; ``None`` fields are wildcards."""
+
+    src: Optional[int] = None
+    dst: Optional[int] = None
+    sport: Optional[int] = None
+    dport: Optional[int] = None
+    proto: Optional[int] = None
+
+    def matches(self, packet: Packet) -> bool:
+        return (
+            (self.src is None or self.src == packet.src)
+            and (self.dst is None or self.dst == packet.dst)
+            and (self.sport is None or self.sport == packet.sport)
+            and (self.dport is None or self.dport == packet.dport)
+            and (self.proto is None or self.proto == packet.proto)
+        )
+
+    def reversed(self) -> "FlowSpec":
+        """The spec matching the reverse direction of this flow."""
+        return FlowSpec(
+            src=self.dst, dst=self.src, sport=self.dport, dport=self.sport,
+            proto=self.proto,
+        )
+
+    def __str__(self) -> str:
+        def show(x):
+            return "*" if x is None else str(x)
+
+        return (
+            f"{show(self.src)}:{show(self.sport)}->"
+            f"{show(self.dst)}:{show(self.dport)}/{show(self.proto)}"
+        )
+
+
+class Classifier:
+    """Ordered first-match rule table: FlowSpec -> action object."""
+
+    def __init__(self) -> None:
+        self._rules: List[Tuple[FlowSpec, Any]] = []
+
+    def add(self, spec: FlowSpec, action: Any) -> None:
+        self._rules.append((spec, action))
+
+    def remove(self, spec: FlowSpec) -> bool:
+        """Remove the first rule with exactly this spec; True if found."""
+        for i, (s, _a) in enumerate(self._rules):
+            if s == spec:
+                del self._rules[i]
+                return True
+        return False
+
+    def lookup(self, packet: Packet) -> Optional[Any]:
+        """Action of the first matching rule, or None."""
+        for spec, action in self._rules:
+            if spec.matches(packet):
+                return action
+        return None
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    def __iter__(self) -> Iterator[Tuple[FlowSpec, Any]]:
+        return iter(self._rules)

@@ -1,0 +1,112 @@
+"""Edge traffic conditioning: classify, meter, mark, police.
+
+A :class:`TrafficConditioner` is installed on the ingress side of an
+edge-router interface (``Interface.ingress``). For every arriving
+packet it looks up the classifier:
+
+* **match** → the rule's :class:`PolicedMarking` meters the packet
+  against its token bucket; conforming packets are marked with the
+  rule's codepoint, excess packets are dropped (policed) or remarked
+  down, per the rule's ``exceed_action``;
+* **no match** → the packet is remarked to the conditioner's
+  ``default_dscp`` (best effort), so hosts cannot self-promote.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..kernel import Simulator
+from ..net.packet import Packet
+from .classifier import Classifier, FlowSpec
+from .dscp import BEST_EFFORT
+from .token_bucket import TokenBucket
+
+__all__ = ["PolicedMarking", "TrafficConditioner", "EXCEED_DROP", "EXCEED_REMARK"]
+
+EXCEED_DROP = "drop"
+EXCEED_REMARK = "remark"
+
+
+class PolicedMarking:
+    """One conditioning rule: mark ``dscp`` up to the bucket's profile."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        dscp: int,
+        bucket: Optional[TokenBucket],
+        exceed_action: str = EXCEED_DROP,
+        exceed_dscp: int = BEST_EFFORT,
+    ) -> None:
+        if exceed_action not in (EXCEED_DROP, EXCEED_REMARK):
+            raise ValueError(f"unknown exceed action {exceed_action!r}")
+        self.sim = sim
+        self.dscp = dscp
+        self.bucket = bucket
+        self.exceed_action = exceed_action
+        self.exceed_dscp = exceed_dscp
+        self.conforming_packets = 0
+        self.conforming_bytes = 0
+        self.exceeding_packets = 0
+        self.exceeding_bytes = 0
+
+    def apply(self, packet: Packet) -> bool:
+        """Mark/police ``packet``; returns False if it must be dropped."""
+        if self.bucket is None or self.bucket.consume(packet.size, self.sim.now):
+            packet.dscp = self.dscp
+            self.conforming_packets += 1
+            self.conforming_bytes += packet.size
+            return True
+        self.exceeding_packets += 1
+        self.exceeding_bytes += packet.size
+        if self.exceed_action == EXCEED_REMARK:
+            packet.dscp = self.exceed_dscp
+            return True
+        return False
+
+
+class TrafficConditioner:
+    """The per-interface ingress conditioning block.
+
+    Callable with the ``(packet) -> bool`` signature that
+    :attr:`repro.net.node.Interface.ingress` expects.
+    """
+
+    def __init__(self, sim: Simulator, default_dscp: int = BEST_EFFORT) -> None:
+        self.sim = sim
+        self.classifier = Classifier()
+        self.default_dscp = default_dscp
+        self.policed_drops = 0
+
+    def add_rule(
+        self,
+        spec: FlowSpec,
+        dscp: int,
+        rate: Optional[float] = None,
+        depth: Optional[float] = None,
+        exceed_action: str = EXCEED_DROP,
+    ) -> PolicedMarking:
+        """Install a mark+police rule; rate/depth None means mark-only."""
+        bucket = None
+        if rate is not None:
+            if depth is None:
+                raise ValueError("depth required when rate is given")
+            bucket = TokenBucket(rate, depth)
+            bucket._last = self.sim.now
+        rule = PolicedMarking(self.sim, dscp, bucket, exceed_action)
+        self.classifier.add(spec, rule)
+        return rule
+
+    def remove_rule(self, spec: FlowSpec) -> bool:
+        return self.classifier.remove(spec)
+
+    def __call__(self, packet: Packet) -> bool:
+        rule = self.classifier.lookup(packet)
+        if rule is None:
+            packet.dscp = self.default_dscp
+            return True
+        ok = rule.apply(packet)
+        if not ok:
+            self.policed_drops += 1
+        return ok

@@ -1,0 +1,44 @@
+"""DiffServ codepoints and service classes.
+
+The paper uses three application-visible QoS classes (§4.1): premium
+(built on the EF per-hop behaviour), low-latency (for small-message
+traffic such as collectives — we map it to an AF-style class), and
+best-effort.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "BEST_EFFORT",
+    "AF_LOW_LATENCY",
+    "EF",
+    "DSCP_NAMES",
+    "service_class_of",
+    "CLASS_EF",
+    "CLASS_AF",
+    "CLASS_BE",
+]
+
+#: Default forwarding — codepoint 0.
+BEST_EFFORT = 0
+#: Assured-forwarding-style class used for the "low-latency" QoS class.
+AF_LOW_LATENCY = 10  # AF11
+#: Expedited Forwarding (RFC 2598): strict-priority service.
+EF = 46
+
+DSCP_NAMES = {BEST_EFFORT: "BE", AF_LOW_LATENCY: "AF11", EF: "EF"}
+
+# Internal service-class indices used by the priority qdisc
+# (lower index = higher priority).
+CLASS_EF = 0
+CLASS_AF = 1
+CLASS_BE = 2
+
+
+def service_class_of(dscp: int) -> int:
+    """Map a codepoint to its scheduling class."""
+    if dscp == EF:
+        return CLASS_EF
+    if dscp == AF_LOW_LATENCY:
+        return CLASS_AF
+    return CLASS_BE

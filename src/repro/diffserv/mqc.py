@@ -1,0 +1,185 @@
+"""Domain-level DiffServ configuration (Cisco MQC-style facade).
+
+The testbed description (§5.1) lists three mechanisms per router:
+a packet classifier on each interface, token-bucket mark/police on
+edge-ingress ports, and priority queuing on egress ports.
+:class:`DiffServDomain` installs exactly that configuration over a set of
+routers and then offers the two operations GARA's network resource
+manager needs: install and remove a policed premium flow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..kernel import Simulator
+from ..net.node import Host, Interface, Router
+from .classifier import FlowSpec
+from .conditioner import EXCEED_DROP, PolicedMarking, TrafficConditioner
+from .dscp import AF_LOW_LATENCY, BEST_EFFORT, EF
+from .phb import PriorityQdisc
+from .token_bucket import TokenBucket
+
+__all__ = ["DiffServDomain", "PremiumFlowHandle"]
+
+
+@dataclass
+class PremiumFlowHandle:
+    """Handle for one installed premium flow aggregate.
+
+    ``specs`` may hold several 5-tuples (e.g. every socket pair of an
+    MPI communicator) that share one policing profile per edge.
+    """
+
+    specs: List[FlowSpec]
+    rate: float
+    depth: float
+    rules: List[PolicedMarking] = field(default_factory=list)
+    conditioners: List[TrafficConditioner] = field(default_factory=list)
+    removed: bool = False
+
+    @property
+    def spec(self) -> FlowSpec:
+        """The first (often only) flow spec, for convenience."""
+        return self.specs[0]
+
+    @property
+    def conforming_bytes(self) -> int:
+        return sum(r.conforming_bytes for r in self.rules)
+
+    @property
+    def policed_drops(self) -> int:
+        return sum(r.exceeding_packets for r in self.rules)
+
+
+class DiffServDomain:
+    """A set of routers operated as one DiffServ domain.
+
+    On construction this rewrites every router egress qdisc to
+    :class:`PriorityQdisc` (the EF PHB) and installs a
+    :class:`TrafficConditioner` on every edge-ingress interface (an
+    interface whose link peer is a host). Unmatched traffic is remarked
+    best-effort so end systems cannot self-promote.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        routers: List[Router],
+        ef_limit_packets: int = 400,
+        be_limit_packets: int = 100,
+        ef_aggregate_share: Optional[float] = None,
+    ) -> None:
+        """``ef_aggregate_share`` (e.g. 0.7) additionally installs an
+        aggregate EF policer on every *core-facing* egress port — the
+        §5.1 "police the premium aggregate" mechanism guarding against
+        broken admission control."""
+        if ef_aggregate_share is not None and not 0 < ef_aggregate_share <= 1:
+            raise ValueError("ef_aggregate_share must be in (0, 1]")
+        self.sim = sim
+        self.routers = list(routers)
+        self.ef_aggregate_share = ef_aggregate_share
+        self.conditioners: Dict[Interface, TrafficConditioner] = {}
+        self.priority_qdiscs: List[PriorityQdisc] = []
+        for router in self.routers:
+            for iface in router.interfaces:
+                aggregate = None
+                if (
+                    ef_aggregate_share is not None
+                    and not isinstance(iface.peer.node, Host)
+                ):
+                    rate = iface.bandwidth * ef_aggregate_share
+                    aggregate = TokenBucket(rate, depth=rate / 40.0)
+                    aggregate._last = sim.now
+                qdisc = PriorityQdisc(
+                    ef_limit_packets=ef_limit_packets,
+                    be_limit_packets=be_limit_packets,
+                    ef_aggregate_policer=aggregate,
+                    sim=sim,
+                )
+                iface.qdisc = qdisc
+                self.priority_qdiscs.append(qdisc)
+                if isinstance(iface.peer.node, Host):
+                    conditioner = TrafficConditioner(sim, default_dscp=BEST_EFFORT)
+                    iface.ingress.append(conditioner)
+                    self.conditioners[iface] = conditioner
+
+    # -- premium flows ----------------------------------------------------
+
+    def install_premium_flow(
+        self,
+        spec,
+        rate: float,
+        depth: float,
+        exceed_action: str = EXCEED_DROP,
+    ) -> PremiumFlowHandle:
+        """Police+mark flow(s) as EF at every edge-ingress conditioner.
+
+        ``spec`` is a :class:`FlowSpec` or a list of them; a list forms
+        an *aggregate*: all its flows share one token bucket per edge.
+        A flow physically enters the domain at exactly one edge, so only
+        one edge's rule ever meters it; installing at all edges avoids
+        needing topology knowledge here (GARA's bandwidth broker does
+        the per-path admission control).
+        """
+        specs = [spec] if isinstance(spec, FlowSpec) else list(spec)
+        if not specs:
+            raise ValueError("at least one flow spec required")
+        handle = PremiumFlowHandle(specs=specs, rate=rate, depth=depth)
+        for conditioner in self.conditioners.values():
+            bucket = TokenBucket(rate, depth)
+            bucket._last = self.sim.now
+            rule = PolicedMarking(self.sim, EF, bucket, exceed_action)
+            for s in specs:
+                conditioner.classifier.add(s, rule)
+            handle.rules.append(rule)
+            handle.conditioners.append(conditioner)
+        return handle
+
+    def install_low_latency_flow(self, spec) -> PremiumFlowHandle:
+        """Mark flow(s) as the AF low-latency class (no policing)."""
+        specs = [spec] if isinstance(spec, FlowSpec) else list(spec)
+        handle = PremiumFlowHandle(specs=specs, rate=0.0, depth=0.0)
+        for conditioner in self.conditioners.values():
+            rule = PolicedMarking(self.sim, AF_LOW_LATENCY, None)
+            for s in specs:
+                conditioner.classifier.add(s, rule)
+            handle.rules.append(rule)
+            handle.conditioners.append(conditioner)
+        return handle
+
+    def modify_premium_flow(
+        self, handle: PremiumFlowHandle, rate: float, depth: float
+    ) -> None:
+        """Change the policing profile of an installed flow in place."""
+        if handle.removed:
+            raise ValueError("flow has been removed")
+        for rule in handle.rules:
+            if rule.bucket is not None:
+                rule.bucket.reconfigure(rate=rate, depth=depth, now=self.sim.now)
+        handle.rate = rate
+        handle.depth = depth
+
+    def remove_premium_flow(self, handle: PremiumFlowHandle) -> None:
+        """Remove the flow's rules; its packets revert to best effort."""
+        if handle.removed:
+            return
+        for conditioner in handle.conditioners:
+            for spec in handle.specs:
+                conditioner.remove_rule(spec)
+        handle.removed = True
+
+    def add_flow_to_aggregate(
+        self, handle: PremiumFlowHandle, spec: FlowSpec
+    ) -> None:
+        """Bind one more flow to an existing premium aggregate."""
+        if handle.removed:
+            raise ValueError("flow has been removed")
+        handle.specs.append(spec)
+        for conditioner, rule in zip(handle.conditioners, handle.rules):
+            conditioner.classifier.add(spec, rule)
+
+    def ef_backlog_packets(self) -> int:
+        """Total packets sitting in EF queues (diagnostic)."""
+        return sum(len(q.ef_queue) for q in self.priority_qdiscs)

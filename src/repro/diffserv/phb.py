@@ -1,0 +1,102 @@
+"""Per-hop behaviours: the priority-queuing egress discipline.
+
+The paper's testbed uses priority queuing on egress ports: "all packets
+associated with reservations are sent before any other packets. When
+there are no packets in the priority queue, other packets are allowed
+to use the entire available bandwidth" (§5.1). This realises the EF PHB.
+
+:class:`PriorityQdisc` holds one drop-tail queue per service class
+(EF > AF > BE) and always dequeues from the highest non-empty class.
+An optional aggregate EF policer at a domain-ingress port limits the
+total expedited traffic, "to prevent starvation of nonexpedited flows"
+(§2).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..net.packet import Packet
+from ..net.queues import DropTailQueue, Qdisc
+from .dscp import CLASS_AF, CLASS_BE, CLASS_EF, service_class_of
+from .token_bucket import TokenBucket
+
+__all__ = ["PriorityQdisc"]
+
+
+class PriorityQdisc(Qdisc):
+    """Strict-priority scheduling over per-class drop-tail queues.
+
+    Parameters
+    ----------
+    ef_limit_packets, af_limit_packets, be_limit_packets:
+        Per-class queue bounds. The EF queue is generously sized — with
+        admission control it should never grow; drops there indicate a
+        broken reservation rather than normal congestion.
+    ef_aggregate_policer:
+        Optional :class:`TokenBucket` policing the *aggregate* EF
+        arrivals at this port (used at domain-ingress routers).
+    """
+
+    N_CLASSES = 3
+
+    def __init__(
+        self,
+        ef_limit_packets: int = 400,
+        af_limit_packets: int = 200,
+        be_limit_packets: int = 100,
+        ef_aggregate_policer: Optional[TokenBucket] = None,
+        sim=None,
+    ) -> None:
+        self._queues: List[DropTailQueue] = [
+            DropTailQueue(limit_packets=ef_limit_packets),
+            DropTailQueue(limit_packets=af_limit_packets),
+            DropTailQueue(limit_packets=be_limit_packets),
+        ]
+        self.ef_aggregate_policer = ef_aggregate_policer
+        self.sim = sim
+        if ef_aggregate_policer is not None and sim is None:
+            raise ValueError("an aggregate policer needs the sim for timestamps")
+        self.ef_policer_drops = 0
+
+    # -- class accessors (for tests and monitoring) ----------------------
+
+    @property
+    def ef_queue(self) -> DropTailQueue:
+        return self._queues[CLASS_EF]
+
+    @property
+    def af_queue(self) -> DropTailQueue:
+        return self._queues[CLASS_AF]
+
+    @property
+    def be_queue(self) -> DropTailQueue:
+        return self._queues[CLASS_BE]
+
+    @property
+    def drops(self) -> int:
+        return sum(q.drops for q in self._queues) + self.ef_policer_drops
+
+    # -- qdisc interface --------------------------------------------------
+
+    def enqueue(self, packet: Packet) -> bool:
+        klass = service_class_of(packet.dscp)
+        if klass == CLASS_EF and self.ef_aggregate_policer is not None:
+            if not self.ef_aggregate_policer.consume(packet.size, self.sim.now):
+                self.ef_policer_drops += 1
+                return False
+        return self._queues[klass].enqueue(packet)
+
+    def dequeue(self) -> Optional[Packet]:
+        for queue in self._queues:
+            packet = queue.dequeue()
+            if packet is not None:
+                return packet
+        return None
+
+    def __len__(self) -> int:
+        return sum(len(q) for q in self._queues)
+
+    @property
+    def backlog_bytes(self) -> int:
+        return sum(q.backlog_bytes for q in self._queues)

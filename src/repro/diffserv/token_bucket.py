@@ -1,0 +1,123 @@
+"""Token-bucket meter, the basic DiffServ policing/shaping primitive.
+
+Tokens are measured in bytes. The bucket refills continuously at
+``rate`` (bits/second, matching the unit conventions) up to ``depth``
+bytes. A packet conforms if the bucket currently holds at least its
+size in tokens.
+
+The paper's edge-router configuration rule (§4.3)::
+
+    depth = bandwidth * delay
+
+with a safety factor, "currently bandwidth/40" — exposed here as
+:func:`paper_bucket_depth`.
+"""
+
+from __future__ import annotations
+
+__all__ = ["TokenBucket", "paper_bucket_depth", "NORMAL_DEPTH_DIVISOR", "LARGE_DEPTH_DIVISOR"]
+
+#: The paper's "normal" token bucket: depth = bandwidth/40 (§4.3, §5.4).
+NORMAL_DEPTH_DIVISOR = 40.0
+#: The paper's "large" token bucket: depth = bandwidth/4 (§5.4, Table 1).
+LARGE_DEPTH_DIVISOR = 4.0
+
+
+def paper_bucket_depth(bandwidth_bps: float, divisor: float = NORMAL_DEPTH_DIVISOR) -> float:
+    """Bucket depth in **bytes** from the paper's bandwidth/divisor rule.
+
+    ``depth_bytes = bandwidth_bps / divisor``. The paper's own Table 1
+    arithmetic pins the units down: at 400 Kb/s the "normal" (bw/40)
+    bucket admits a 10 fps burst (5 KB frames) but not a 1 fps burst
+    (50 KB frames), while the "large" (bw/4) bucket admits both —
+    which holds for 10 KB / 100 KB depths, i.e. bytes = bits-per-second
+    divided by the divisor.
+    """
+    if bandwidth_bps <= 0:
+        raise ValueError("bandwidth must be positive")
+    if divisor <= 0:
+        raise ValueError("divisor must be positive")
+    return bandwidth_bps / divisor
+
+
+class TokenBucket:
+    """Continuous-refill token bucket.
+
+    Parameters
+    ----------
+    rate:
+        Token refill rate in bits/second.
+    depth:
+        Bucket capacity in bytes. The bucket starts full.
+    """
+
+    __slots__ = ("rate", "depth", "tokens", "_last")
+
+    def __init__(self, rate: float, depth: float) -> None:
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        if depth <= 0:
+            raise ValueError("depth must be positive")
+        self.rate = rate
+        self.depth = float(depth)
+        self.tokens = float(depth)
+        self._last = 0.0
+
+    def _refill(self, now: float) -> None:
+        if now > self._last:
+            self.tokens = min(
+                self.depth, self.tokens + (now - self._last) * self.rate / 8.0
+            )
+            self._last = now
+
+    def peek(self, now: float) -> float:
+        """Tokens (bytes) available at time ``now`` without consuming."""
+        self._refill(now)
+        return self.tokens
+
+    #: Absolute tolerance (bytes) absorbing float residue from
+    #: wait-then-consume patterns (shapers computing exact wait times).
+    _TOLERANCE = 1e-6
+
+    def consume(self, nbytes: int, now: float) -> bool:
+        """Try to take ``nbytes`` tokens; True if the packet conforms."""
+        self._refill(now)
+        if self.tokens + self._TOLERANCE >= nbytes:
+            self.tokens = max(0.0, self.tokens - nbytes)
+            return True
+        return False
+
+    def time_until_conforming(self, nbytes: int, now: float) -> float:
+        """Seconds until ``nbytes`` tokens will be available (0 if now).
+
+        Used by the end-host shaper: rather than dropping, wait this
+        long before releasing the packet.
+        """
+        if nbytes > self.depth:
+            raise ValueError(
+                f"packet of {nbytes}B can never conform to depth {self.depth}B"
+            )
+        self._refill(now)
+        deficit = nbytes - self.tokens
+        # Tolerance matters: a residual deficit of ~1e-10 bytes would
+        # yield a wait so small that now + wait == now in floats, and a
+        # wait-then-retry shaper would spin forever at one timestamp.
+        if deficit <= self._TOLERANCE:
+            return 0.0
+        return deficit * 8.0 / self.rate
+
+    def reconfigure(self, rate: float = None, depth: float = None, now: float = 0.0) -> None:
+        """Change rate and/or depth in place (reservation modify)."""
+        self._refill(now)
+        if rate is not None:
+            if rate <= 0:
+                raise ValueError("rate must be positive")
+            self.rate = rate
+        if depth is not None:
+            if depth <= 0:
+                raise ValueError("depth must be positive")
+            self.depth = float(depth)
+            self.tokens = min(self.tokens, self.depth)
+
+    def __repr__(self) -> str:
+        return f"<TokenBucket rate={self.rate:.0f}b/s depth={self.depth:.0f}B>"

@@ -1,0 +1,9 @@
+"""Regenerators for every table and figure of the paper's evaluation.
+
+Modules map one-to-one onto the paper (see DESIGN.md's experiment
+index); each exposes ``run(quick=False, seed=0) -> ExperimentResult``.
+"""
+
+from .common import ExperimentResult, GarnetDeployment, build_deployment
+
+__all__ = ["ExperimentResult", "GarnetDeployment", "build_deployment"]

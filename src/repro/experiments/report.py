@@ -1,0 +1,90 @@
+"""Plain-text rendering of experiment results: tables and ASCII plots."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["format_table", "ascii_plot", "render_result"]
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if value != value:  # nan
+            return "-"
+        if abs(value) >= 100:
+            return f"{value:.0f}"
+        return f"{value:.2f}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
+    """Fixed-width table with a header rule."""
+    cells = [[_fmt(v) for v in row] for row in rows]
+    widths = [
+        max(len(str(h)), *(len(r[i]) for r in cells)) if cells else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    def line(values):
+        return "  ".join(str(v).rjust(w) for v, w in zip(values, widths))
+
+    out = [line(headers), line("-" * w for w in widths)]
+    out.extend(line(r) for r in cells)
+    return "\n".join(out)
+
+
+def ascii_plot(
+    series: Dict[str, Tuple[np.ndarray, np.ndarray]],
+    width: int = 72,
+    height: int = 16,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Multi-series scatter/line plot in ASCII (one glyph per series)."""
+    glyphs = "*o+x#@%&"
+    populated = {
+        name: (np.asarray(x, dtype=float), np.asarray(y, dtype=float))
+        for name, (x, y) in series.items()
+        if len(x) > 0
+    }
+    if not populated:
+        return "(no data)"
+    all_x = np.concatenate([x for x, _ in populated.values()])
+    all_y = np.concatenate([y for _, y in populated.values()])
+    x_min, x_max = float(all_x.min()), float(all_x.max())
+    y_min, y_max = float(min(all_y.min(), 0.0)), float(all_y.max())
+    if x_max == x_min:
+        x_max = x_min + 1.0
+    if y_max == y_min:
+        y_max = y_min + 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for (name, (x, y)), glyph in zip(populated.items(), glyphs):
+        cols = ((x - x_min) / (x_max - x_min) * (width - 1)).round().astype(int)
+        rows = ((y - y_min) / (y_max - y_min) * (height - 1)).round().astype(int)
+        for c, r in zip(cols, rows):
+            grid[height - 1 - r][c] = glyph
+    lines = [f"{y_label} (max {_fmt(y_max)})"]
+    lines.extend("|" + "".join(row) for row in grid)
+    lines.append("+" + "-" * width)
+    lines.append(
+        f" {x_label}: {_fmt(x_min)} .. {_fmt(x_max)}   legend: "
+        + ", ".join(
+            f"{g}={n}" for (n, _), g in zip(populated.items(), glyphs)
+        )
+    )
+    return "\n".join(lines)
+
+
+def render_result(result) -> str:
+    """Full plain-text report for one ExperimentResult."""
+    parts = [f"=== {result.experiment}: {result.description} ==="]
+    if result.rows:
+        parts.append(format_table(result.headers, result.rows))
+    if result.series:
+        parts.append(ascii_plot(result.series))
+    if result.extra:
+        parts.append(
+            "\n".join(f"  {k}: {_fmt(v)}" for k, v in result.extra.items())
+        )
+    return "\n\n".join(parts) + "\n"

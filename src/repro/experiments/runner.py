@@ -1,0 +1,95 @@
+"""Command-line entry point regenerating every paper table and figure.
+
+Usage::
+
+    mpichgq-experiments [--quick] [--seed N] [--out DIR] [exp ...]
+
+where ``exp`` is any of: fig1 fig5 fig6 fig7 table1 fig8 fig9 (default:
+all, in paper order). ``--quick`` runs the scaled-down variants the
+benchmark suite uses.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from . import (
+    fig1_tcp_reservation,
+    fig5_pingpong,
+    fig6_visualization,
+    fig7_burstiness_traces,
+    fig8_cpu_reservation,
+    fig9_combined,
+    table1_burstiness,
+)
+from .report import render_result
+
+__all__ = ["main", "EXPERIMENTS"]
+
+EXPERIMENTS = {
+    "fig1": fig1_tcp_reservation.run,
+    "fig5": fig5_pingpong.run,
+    "fig6": fig6_visualization.run,
+    "fig7": fig7_burstiness_traces.run,
+    "table1": table1_burstiness.run,
+    "fig8": fig8_cpu_reservation.run,
+    "fig9": fig9_combined.run,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="mpichgq-experiments",
+        description="Regenerate the MPICH-GQ paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        choices=[[], *EXPERIMENTS.keys()],
+        help="subset to run (default: all)",
+    )
+    parser.add_argument("--quick", action="store_true",
+                        help="scaled-down parameters")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", type=Path, default=None,
+                        help="directory for JSON result dumps")
+    args = parser.parse_args(argv)
+
+    selected = args.experiments or list(EXPERIMENTS)
+    for name in selected:
+        started = time.time()
+        result = EXPERIMENTS[name](quick=args.quick, seed=args.seed)
+        elapsed = time.time() - started
+        print(render_result(result))
+        print(f"[{name} completed in {elapsed:.1f}s]\n")
+        if args.out is not None:
+            args.out.mkdir(parents=True, exist_ok=True)
+            payload = {
+                "experiment": result.experiment,
+                "description": result.description,
+                "headers": result.headers,
+                "rows": result.rows,
+                "series": {
+                    k: [list(map(float, x)), list(map(float, y))]
+                    for k, (x, y) in result.series.items()
+                },
+                "extra": {
+                    k: (float(v) if isinstance(v, (int, float)) else v)
+                    for k, v in result.extra.items()
+                },
+                "quick": args.quick,
+                "seed": args.seed,
+                "elapsed_seconds": elapsed,
+            }
+            path = args.out / f"{name}.json"
+            path.write_text(json.dumps(payload, indent=2))
+            print(f"[wrote {path}]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,47 @@
+"""GARA: the General-purpose Architecture for Reservation and
+Allocation — slot-table admission, reservation handles with lifecycle
+callbacks, typed resource managers, and a bandwidth broker."""
+
+from .broker import BandwidthBroker, DEFAULT_EF_SHARE
+from .cpu_manager import CpuReservationSpec, DsrtCpuManager
+from .gara import Gara, build_standard_gara
+from .manager import ResourceManager
+from .network_manager import DiffServNetworkManager, NetworkReservationSpec
+from .reservation import (
+    ACTIVE,
+    CANCELLED,
+    EXPIRED,
+    PENDING,
+    Reservation,
+    ReservationError,
+)
+from .slot_table import AdmissionError, SlotEntry, SlotTable
+from .storage_manager import (
+    DpssStorageManager,
+    StorageReservationSpec,
+    StorageServer,
+)
+
+__all__ = [
+    "ACTIVE",
+    "AdmissionError",
+    "BandwidthBroker",
+    "CANCELLED",
+    "CpuReservationSpec",
+    "DEFAULT_EF_SHARE",
+    "DiffServNetworkManager",
+    "DpssStorageManager",
+    "DsrtCpuManager",
+    "EXPIRED",
+    "Gara",
+    "NetworkReservationSpec",
+    "PENDING",
+    "Reservation",
+    "ReservationError",
+    "ResourceManager",
+    "SlotEntry",
+    "SlotTable",
+    "StorageReservationSpec",
+    "StorageServer",
+    "build_standard_gara",
+]

@@ -1,0 +1,136 @@
+"""Bandwidth broker: per-link admission control for premium traffic.
+
+"Normally, admission control is performed not by the router but by an
+external QoS system, usually referred to as a bandwidth broker" (§2).
+GARA adds "policy-driven management of a variety of resource types"
+(§4.2): here, per-owner quotas bounding how much of the EF capacity any
+one principal may hold.
+
+Each directed link egress gets a slot table whose capacity is the EF
+share of the link (premium traffic must be "carefully limited" to avoid
+starving best effort). A path admission claims the same interval/amount
+on every egress along the path, transactionally.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..net.node import Interface, Node
+from ..net.topology import Network
+from .reservation import ReservationError
+from .slot_table import AdmissionError, SlotTable
+
+__all__ = ["BandwidthBroker", "DEFAULT_EF_SHARE"]
+
+#: Fraction of each link's bandwidth admissible as EF traffic.
+DEFAULT_EF_SHARE = 0.7
+
+
+class BandwidthBroker:
+    """Admission control over the paths of a :class:`Network`."""
+
+    def __init__(self, network: Network, ef_share: float = DEFAULT_EF_SHARE) -> None:
+        if not 0 < ef_share <= 1:
+            raise ValueError("ef_share must be in (0, 1]")
+        self.network = network
+        self.ef_share = ef_share
+        self._tables: Dict[Interface, SlotTable] = {}
+        # Policy: owner -> max fraction of any link's EF capacity.
+        self._quotas: Dict[str, float] = {}
+        self._owner_usage: Dict[Tuple[str, Interface], float] = {}
+
+    def table_for(self, iface: Interface) -> SlotTable:
+        table = self._tables.get(iface)
+        if table is None:
+            table = SlotTable(
+                capacity=iface.bandwidth * self.ef_share,
+                name=f"EF:{iface.node.name}.{iface.name}",
+            )
+            self._tables[iface] = table
+        return table
+
+    def path_available(
+        self, src: Node, dst: Node, start: float, end: float
+    ) -> float:
+        """Admissible premium bandwidth over the path for the interval."""
+        return min(
+            self.table_for(iface).available(start, end)
+            for iface in self.network.path_interfaces(src, dst)
+        )
+
+    # -- policy ----------------------------------------------------------
+
+    def set_quota(self, owner: str, fraction: float) -> None:
+        """Cap ``owner`` at ``fraction`` of any link's EF capacity
+        (policy-driven management). Owners without a quota are bounded
+        only by the capacity itself."""
+        if not 0 < fraction <= 1:
+            raise ValueError("quota fraction must be in (0, 1]")
+        self._quotas[owner] = fraction
+
+    def quota_of(self, owner: Optional[str]) -> Optional[float]:
+        return None if owner is None else self._quotas.get(owner)
+
+    def _check_quota(
+        self, owner: Optional[str], iface: Interface, bandwidth: float
+    ) -> None:
+        quota = self.quota_of(owner)
+        if quota is None:
+            return
+        limit = self.table_for(iface).capacity * quota
+        used = self._owner_usage.get((owner, iface), 0.0)
+        if used + bandwidth > limit + 1e-9:
+            raise ReservationError(
+                f"policy: owner {owner!r} would hold "
+                f"{(used + bandwidth) / 1e6:.1f} Mb/s on "
+                f"{iface.node.name}.{iface.name}, quota is "
+                f"{limit / 1e6:.1f} Mb/s"
+            )
+
+    # -- admission ----------------------------------------------------------
+
+    def admit_path(
+        self,
+        src: Node,
+        dst: Node,
+        bandwidth: float,
+        start: float,
+        end: float,
+        owner: Optional[str] = None,
+    ) -> List[Tuple[Interface, int, Optional[str], float]]:
+        """Claim ``bandwidth`` on every egress from ``src`` to ``dst``.
+
+        All-or-nothing: on any failure (capacity or policy quota),
+        already-claimed entries are rolled back and
+        :class:`ReservationError` is raised. Returns the claim records
+        for later release.
+        """
+        claimed: List[Tuple[Interface, int, Optional[str], float]] = []
+        try:
+            for iface in self.network.path_interfaces(src, dst):
+                self._check_quota(owner, iface, bandwidth)
+                entry = self.table_for(iface).add(start, end, bandwidth)
+                if owner is not None:
+                    key = (owner, iface)
+                    self._owner_usage[key] = (
+                        self._owner_usage.get(key, 0.0) + bandwidth
+                    )
+                claimed.append((iface, entry, owner, bandwidth))
+        except (AdmissionError, ReservationError) as exc:
+            self.release(claimed)
+            if isinstance(exc, ReservationError):
+                raise
+            raise ReservationError(str(exc)) from exc
+        return claimed
+
+    def release(self, claimed) -> None:
+        for iface, entry, owner, bandwidth in claimed:
+            self.table_for(iface).remove(entry)
+            if owner is not None:
+                key = (owner, iface)
+                remaining = self._owner_usage.get(key, 0.0) - bandwidth
+                if remaining <= 1e-9:
+                    self._owner_usage.pop(key, None)
+                else:
+                    self._owner_usage[key] = remaining

@@ -1,0 +1,108 @@
+"""The DSRT CPU resource manager.
+
+"In order to create and enforce CPU reservations we are using the
+Dynamic Soft Real-Time CPU Scheduler. DSRT works by overriding the Unix
+scheduler and performing soft real-time scheduling of select processes"
+(§5.5). Here the enforcement target is :class:`repro.cpu.Cpu`; a
+reservation grants a fractional share, bound to one or more CPU tasks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..cpu import Cpu, CpuTask
+from ..kernel import Simulator
+from .manager import ResourceManager
+from .reservation import ACTIVE, ReservationError
+from .slot_table import AdmissionError, SlotTable
+
+__all__ = ["CpuReservationSpec", "DsrtCpuManager"]
+
+#: DSRT never hands out the whole CPU: the OS and best-effort work
+#: keep a minimum share.
+MAX_RESERVABLE_FRACTION = 0.95
+
+
+@dataclass
+class CpuReservationSpec:
+    """Request for a guaranteed CPU fraction on one host's CPU."""
+
+    cpu: Cpu
+    fraction: float
+
+    def __repr__(self) -> str:
+        return f"CpuReservationSpec({self.cpu.name} {self.fraction:.0%})"
+
+
+class DsrtCpuManager(ResourceManager):
+    """Slot-table admission + fractional enforcement per CPU."""
+
+    resource_type = "cpu"
+
+    def __init__(self, sim: Simulator) -> None:
+        super().__init__(sim)
+        self._tables: Dict[Cpu, SlotTable] = {}
+        self._entries: Dict[int, tuple] = {}
+
+    def table_for(self, cpu: Cpu) -> SlotTable:
+        table = self._tables.get(cpu)
+        if table is None:
+            table = SlotTable(MAX_RESERVABLE_FRACTION, name=f"DSRT:{cpu.name}")
+            self._tables[cpu] = table
+        return table
+
+    # -- hooks ---------------------------------------------------------------
+
+    def _do_admit(self, spec, start, end, reservation) -> None:
+        if not isinstance(spec, CpuReservationSpec):
+            raise ReservationError(f"not a CPU spec: {spec!r}")
+        if not 0 < spec.fraction <= MAX_RESERVABLE_FRACTION:
+            raise ReservationError(
+                f"fraction must be in (0, {MAX_RESERVABLE_FRACTION}]"
+            )
+        try:
+            entry = self.table_for(spec.cpu).add(start, end, spec.fraction)
+        except AdmissionError as exc:
+            raise ReservationError(str(exc)) from exc
+        self._entries[reservation.reservation_id] = (spec.cpu, entry)
+
+    def _do_release(self, reservation) -> None:
+        item = self._entries.pop(reservation.reservation_id, None)
+        if item is not None:
+            cpu, entry = item
+            self.table_for(cpu).remove(entry)
+
+    def _do_enable(self, reservation) -> None:
+        spec: CpuReservationSpec = reservation.spec
+        for task in reservation.bindings:
+            spec.cpu.set_reservation(task, spec.fraction)
+
+    def _do_disable(self, reservation) -> None:
+        spec: CpuReservationSpec = reservation.spec
+        for task in reservation.bindings:
+            spec.cpu.clear_reservation(task)
+
+    def _do_bind(self, reservation, binding) -> None:
+        if not isinstance(binding, CpuTask):
+            raise ReservationError(f"CPU bindings are CpuTasks, got {binding!r}")
+        if reservation.state == ACTIVE:
+            reservation.spec.cpu.set_reservation(binding, reservation.spec.fraction)
+
+    def _do_modify(self, reservation, changes) -> None:
+        spec: CpuReservationSpec = reservation.spec
+        new_fraction = changes.pop("fraction", spec.fraction)
+        if changes:
+            raise ReservationError(f"unsupported modifications: {sorted(changes)}")
+        if not 0 < new_fraction <= MAX_RESERVABLE_FRACTION:
+            raise ReservationError("invalid fraction")
+        cpu, entry = self._entries[reservation.reservation_id]
+        new_entry = self.table_for(cpu).modify(
+            entry, self.sim.now, reservation.end, new_fraction
+        )  # raises AdmissionError -> caller sees ReservationError below
+        self._entries[reservation.reservation_id] = (cpu, new_entry)
+        spec.fraction = new_fraction
+        if reservation.state == ACTIVE:
+            for task in reservation.bindings:
+                cpu.set_reservation(task, new_fraction)

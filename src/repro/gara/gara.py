@@ -1,0 +1,110 @@
+"""The GARA facade: uniform reservation calls over typed managers.
+
+"GARA defines APIs that allows users and applications to manipulate
+reservations of different resources in uniform ways. For example,
+essentially the same calls are used to make an immediate or advance
+reservation of a network or CPU resource" (§4.2). Co-reservation is
+all-or-nothing across resource types.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..kernel import Simulator
+from .cpu_manager import CpuReservationSpec, DsrtCpuManager
+from .manager import ResourceManager
+from .network_manager import DiffServNetworkManager, NetworkReservationSpec
+from .reservation import Reservation, ReservationError
+from .storage_manager import DpssStorageManager, StorageReservationSpec
+
+__all__ = ["Gara"]
+
+_SPEC_TYPES = {
+    NetworkReservationSpec: "network",
+    CpuReservationSpec: "cpu",
+    StorageReservationSpec: "storage",
+}
+
+
+class Gara:
+    """Entry point applications (and the MPI QoS agent) talk to."""
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self._managers: Dict[str, ResourceManager] = {}
+
+    def register_manager(self, manager: ResourceManager) -> None:
+        if manager.resource_type in self._managers:
+            raise ValueError(
+                f"manager for {manager.resource_type!r} already registered"
+            )
+        self._managers[manager.resource_type] = manager
+
+    def manager(self, resource_type: str) -> ResourceManager:
+        try:
+            return self._managers[resource_type]
+        except KeyError:
+            raise ReservationError(
+                f"no resource manager for {resource_type!r}"
+            ) from None
+
+    def _manager_for_spec(self, spec: Any) -> ResourceManager:
+        for klass, rtype in _SPEC_TYPES.items():
+            if isinstance(spec, klass):
+                return self.manager(rtype)
+        raise ReservationError(f"unknown reservation spec type: {type(spec)}")
+
+    # -- uniform API -----------------------------------------------------
+
+    def reserve(
+        self,
+        spec: Any,
+        start: Optional[float] = None,
+        duration: Optional[float] = None,
+    ) -> Reservation:
+        """Immediate (``start=None``) or advance reservation of any
+        registered resource type."""
+        return self._manager_for_spec(spec).request(spec, start, duration)
+
+    def reserve_many(
+        self, requests: List[Tuple[Any, Optional[float], Optional[float]]]
+    ) -> List[Reservation]:
+        """Co-reservation: each item is ``(spec, start, duration)``.
+
+        All-or-nothing — on any admission failure, reservations already
+        granted in this call are cancelled and the error propagates.
+        """
+        granted: List[Reservation] = []
+        try:
+            for spec, start, duration in requests:
+                granted.append(self.reserve(spec, start, duration))
+        except ReservationError:
+            for reservation in granted:
+                reservation.cancel()
+            raise
+        return granted
+
+    def cancel(self, reservation: Reservation) -> None:
+        reservation.manager.cancel(reservation)
+
+    def modify(self, reservation: Reservation, **changes: Any) -> None:
+        reservation.manager.modify(reservation, **changes)
+
+    def bind(self, reservation: Reservation, binding: Any) -> None:
+        reservation.manager.bind(reservation, binding)
+
+
+def build_standard_gara(
+    sim: Simulator,
+    domain=None,
+    broker=None,
+) -> Gara:
+    """Convenience: a Gara with CPU + storage managers, plus a network
+    manager when a DiffServ domain and broker are supplied."""
+    gara = Gara(sim)
+    if domain is not None and broker is not None:
+        gara.register_manager(DiffServNetworkManager(sim, domain, broker))
+    gara.register_manager(DsrtCpuManager(sim))
+    gara.register_manager(DpssStorageManager(sim))
+    return gara

@@ -1,0 +1,149 @@
+"""The local resource manager (LRAM) skeleton.
+
+"Requests to this resource manager are made via an internal local
+resource manager API and result in calls to functions that add, modify,
+or delete slot table entries; timer-based callbacks generate call-outs
+to resource-specific routines to enable and cancel reservations. Note
+that only certain elements of this resource manager need to be replaced
+to instantiate a new resource interface" (§4.2).
+
+Concrete managers (DiffServ network, DSRT CPU, DPSS storage) override
+the four ``_do_*`` hooks.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from ..kernel import Simulator
+from .reservation import (
+    ACTIVE,
+    CANCELLED,
+    EXPIRED,
+    PENDING,
+    Reservation,
+    ReservationError,
+)
+
+__all__ = ["ResourceManager"]
+
+
+class ResourceManager:
+    """Base class: admission via slot tables + timer-driven enforcement."""
+
+    #: Resource-type tag used by the Gara facade for dispatch.
+    resource_type = "abstract"
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self._reservations: Dict[int, Reservation] = {}
+        self._timers: Dict[int, list] = {}
+
+    # ------------------------------------------------------------------
+    # Hooks for concrete resource managers
+    # ------------------------------------------------------------------
+
+    def _do_admit(self, spec: Any, start: float, end: float, reservation: Reservation) -> None:
+        """Claim slot-table capacity; raise ReservationError if full."""
+        raise NotImplementedError
+
+    def _do_release(self, reservation: Reservation) -> None:
+        """Release whatever ``_do_admit`` claimed."""
+        raise NotImplementedError
+
+    def _do_enable(self, reservation: Reservation) -> None:
+        """Install enforcement (router rules, scheduler settings...)."""
+        raise NotImplementedError
+
+    def _do_disable(self, reservation: Reservation) -> None:
+        """Remove enforcement."""
+        raise NotImplementedError
+
+    def _do_bind(self, reservation: Reservation, binding: Any) -> None:
+        """Attach a flow/process binding (may be called while active)."""
+        raise NotImplementedError
+
+    def _do_modify(self, reservation: Reservation, changes: Dict[str, Any]) -> None:
+        """Apply a parameter change to an admitted reservation."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def request(
+        self,
+        spec: Any,
+        start: Optional[float] = None,
+        duration: Optional[float] = None,
+    ) -> Reservation:
+        """Make an immediate (``start=None``) or advance reservation.
+
+        ``duration=None`` holds the reservation until cancelled.
+        """
+        now = self.sim.now
+        start_t = now if start is None else float(start)
+        if start_t < now:
+            raise ReservationError(f"start {start_t} is in the past (now={now})")
+        end_t = float("inf") if duration is None else start_t + float(duration)
+        if end_t <= start_t:
+            raise ReservationError("duration must be positive")
+        reservation = Reservation(self, spec, start_t, end_t)
+        self._do_admit(spec, start_t, end_t, reservation)  # may raise
+        self._reservations[reservation.reservation_id] = reservation
+        timers = []
+        if start_t <= now:
+            self._enable(reservation)
+        else:
+            timers.append(self.sim.call_at(start_t, self._enable, reservation))
+        if end_t != float("inf"):
+            timers.append(self.sim.call_at(end_t, self._expire, reservation))
+        self._timers[reservation.reservation_id] = timers
+        return reservation
+
+    def cancel(self, reservation: Reservation) -> None:
+        if reservation.state in (CANCELLED, EXPIRED):
+            return
+        if reservation.state == ACTIVE:
+            self._do_disable(reservation)
+        self._do_release(reservation)
+        self._drop(reservation)
+        reservation._transition(CANCELLED)
+
+    def modify(self, reservation: Reservation, **changes: Any) -> None:
+        if reservation.state in (CANCELLED, EXPIRED):
+            raise ReservationError(f"cannot modify {reservation.state} reservation")
+        self._do_modify(reservation, changes)
+
+    def bind(self, reservation: Reservation, binding: Any) -> None:
+        """Bind a flow/process to the reservation (claim step)."""
+        if reservation.state in (CANCELLED, EXPIRED):
+            raise ReservationError(f"cannot bind to {reservation.state} reservation")
+        reservation.bindings.append(binding)
+        self._do_bind(reservation, binding)
+
+    def reservations(self) -> list:
+        return list(self._reservations.values())
+
+    # ------------------------------------------------------------------
+    # Timer callbacks
+    # ------------------------------------------------------------------
+
+    def _enable(self, reservation: Reservation) -> None:
+        if reservation.state != PENDING:
+            return
+        self._do_enable(reservation)
+        reservation._transition(ACTIVE)
+
+    def _expire(self, reservation: Reservation) -> None:
+        if reservation.state != ACTIVE:
+            return
+        self._do_disable(reservation)
+        self._do_release(reservation)
+        self._drop(reservation)
+        reservation._transition(EXPIRED)
+
+    def _drop(self, reservation: Reservation) -> None:
+        self._reservations.pop(reservation.reservation_id, None)
+        for timer in self._timers.pop(reservation.reservation_id, ()):
+            timer.cancel()

@@ -1,0 +1,166 @@
+"""The DiffServ network resource manager.
+
+Translates GARA network reservations into edge-router configuration:
+"The GARA DS module incorporates configuration rules that allow it to
+set these values correctly. In brief, we configure the token bucket
+depth to be depth = bandwidth * delay ... However, to allow for larger
+bursts in traffic, we currently use bandwidth/40" (§4.3).
+
+A reservation is made for a ``(src, dst, bandwidth)`` triple; actual
+5-tuples are *bound* to it afterwards ("MPICH-GQ can use GARA
+mechanisms to reserve shared resources ... and then bind specific flows
+(sockets) and processes to those reservations", §4.2). All bound flows
+of one reservation share the same token bucket per edge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from ..diffserv import DiffServDomain, FlowSpec, paper_bucket_depth
+from ..diffserv.token_bucket import NORMAL_DEPTH_DIVISOR
+from ..kernel import Simulator
+from ..net.node import Host
+from .broker import BandwidthBroker
+from .manager import ResourceManager
+from .reservation import ACTIVE, Reservation, ReservationError
+
+__all__ = ["NetworkReservationSpec", "DiffServNetworkManager"]
+
+
+@dataclass
+class NetworkReservationSpec:
+    """What an application asks the network manager for.
+
+    ``bucket_divisor`` selects the paper's depth rule variants:
+    40 = "normal", 4 = "large" (Table 1).
+    """
+
+    src: Host
+    dst: Host
+    bandwidth: float  # bits/second of premium service
+    bucket_divisor: float = NORMAL_DEPTH_DIVISOR
+    #: Explicit bucket depth in bytes (overrides the divisor rule).
+    bucket_depth_bytes: Optional[float] = None
+    #: Principal charged against broker policy quotas (None = unbound).
+    owner: Optional[str] = None
+
+    @property
+    def depth_bytes(self) -> float:
+        if self.bucket_depth_bytes is not None:
+            return self.bucket_depth_bytes
+        return paper_bucket_depth(self.bandwidth, self.bucket_divisor)
+
+    def __repr__(self) -> str:
+        return (
+            f"NetworkReservationSpec({self.src.name}->{self.dst.name} "
+            f"{self.bandwidth / 1e3:.0f}Kb/s depth={self.depth_bytes:.0f}B)"
+        )
+
+
+class DiffServNetworkManager(ResourceManager):
+    """Admission via the bandwidth broker; enforcement via DiffServ."""
+
+    resource_type = "network"
+
+    def __init__(
+        self,
+        sim: Simulator,
+        domain: DiffServDomain,
+        broker: BandwidthBroker,
+    ) -> None:
+        super().__init__(sim)
+        self.domain = domain
+        self.broker = broker
+        self._claims: Dict[int, list] = {}
+        self._handles: Dict[int, Any] = {}
+
+    # -- ResourceManager hooks ---------------------------------------------
+
+    def _do_admit(self, spec, start, end, reservation) -> None:
+        if not isinstance(spec, NetworkReservationSpec):
+            raise ReservationError(f"not a network spec: {spec!r}")
+        claims = self.broker.admit_path(
+            spec.src, spec.dst, spec.bandwidth, start, end, owner=spec.owner
+        )
+        self._claims[reservation.reservation_id] = claims
+
+    def _do_release(self, reservation) -> None:
+        claims = self._claims.pop(reservation.reservation_id, None)
+        if claims:
+            self.broker.release(claims)
+
+    def _do_enable(self, reservation) -> None:
+        spec: NetworkReservationSpec = reservation.spec
+        flows = [b for b in reservation.bindings if isinstance(b, FlowSpec)]
+        if not flows:
+            # Enforcement waits for the first flow binding; nothing to
+            # mark yet, but the capacity is held.
+            return
+        handle = self.domain.install_premium_flow(
+            flows, rate=spec.bandwidth, depth=spec.depth_bytes
+        )
+        self._handles[reservation.reservation_id] = handle
+
+    def _do_disable(self, reservation) -> None:
+        handle = self._handles.pop(reservation.reservation_id, None)
+        if handle is not None:
+            self.domain.remove_premium_flow(handle)
+
+    def _do_bind(self, reservation, binding) -> None:
+        if not isinstance(binding, FlowSpec):
+            raise ReservationError(f"network bindings are FlowSpecs, got {binding!r}")
+        if reservation.state != ACTIVE:
+            return  # installed lazily at enable time
+        handle = self._handles.get(reservation.reservation_id)
+        if handle is None:
+            handle = self.domain.install_premium_flow(
+                [binding],
+                rate=reservation.spec.bandwidth,
+                depth=reservation.spec.depth_bytes,
+            )
+            self._handles[reservation.reservation_id] = handle
+        else:
+            self.domain.add_flow_to_aggregate(handle, binding)
+
+    def _do_modify(self, reservation, changes) -> None:
+        """Supported changes: ``bandwidth``, ``bucket_divisor``, and/or
+        an explicit ``bucket_depth_bytes`` (None reverts to the divisor
+        rule) — the latter is what the dynamic bucket sizer adjusts."""
+        spec: NetworkReservationSpec = reservation.spec
+        new_bw = changes.pop("bandwidth", spec.bandwidth)
+        new_div = changes.pop("bucket_divisor", spec.bucket_divisor)
+        if "bucket_depth_bytes" in changes:
+            spec.bucket_depth_bytes = changes.pop("bucket_depth_bytes")
+        if changes:
+            raise ReservationError(f"unsupported modifications: {sorted(changes)}")
+        # Re-admit at the new bandwidth (old claim released on success).
+        old_claims = self._claims[reservation.reservation_id]
+        self.broker.release(old_claims)
+        try:
+            new_claims = self.broker.admit_path(
+                spec.src, spec.dst, new_bw, self.sim.now, reservation.end,
+                owner=spec.owner,
+            )
+        except ReservationError:
+            # Roll back to the old bandwidth.
+            self._claims[reservation.reservation_id] = self.broker.admit_path(
+                spec.src, spec.dst, spec.bandwidth, self.sim.now,
+                reservation.end, owner=spec.owner,
+            )
+            raise
+        self._claims[reservation.reservation_id] = new_claims
+        spec.bandwidth = new_bw
+        spec.bucket_divisor = new_div
+        handle = self._handles.get(reservation.reservation_id)
+        if handle is not None:
+            self.domain.modify_premium_flow(
+                handle, rate=new_bw, depth=spec.depth_bytes
+            )
+
+    # -- convenience ----------------------------------------------------------
+
+    def handle_of(self, reservation: Reservation):
+        """The installed :class:`PremiumFlowHandle`, if enforcement is live."""
+        return self._handles.get(reservation.reservation_id)

@@ -1,0 +1,86 @@
+"""Reservation handles and lifecycle.
+
+"Once a reservation is made, an opaque object called a reservation
+handle is returned that allows the calling program to modify, cancel,
+and monitor the reservation. Other functions allow reservations to be
+monitored by polling or through a callback mechanism in which a user's
+function is called every time the state of the reservation changes"
+(§4.2).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, List, Optional
+
+__all__ = [
+    "Reservation",
+    "ReservationError",
+    "PENDING",
+    "ACTIVE",
+    "EXPIRED",
+    "CANCELLED",
+]
+
+PENDING = "PENDING"  # admitted; start time not yet reached
+ACTIVE = "ACTIVE"  # enforcement in effect
+EXPIRED = "EXPIRED"  # end time passed
+CANCELLED = "CANCELLED"
+
+_ids = itertools.count(1)
+
+
+class ReservationError(Exception):
+    """Request could not be satisfied (admission or misuse)."""
+
+
+class Reservation:
+    """An opaque handle for one granted reservation."""
+
+    def __init__(self, manager, spec: Any, start: float, end: float) -> None:
+        self.reservation_id = next(_ids)
+        self.manager = manager
+        self.spec = spec
+        self.start = start
+        self.end = end
+        self.state = PENDING
+        self._callbacks: List[Callable[["Reservation", str, str], None]] = []
+        #: Resource-specific bindings (flow specs, CPU tasks, ...).
+        self.bindings: List[Any] = []
+        #: Slot-table entry ids held on behalf of this reservation.
+        self.slot_entries: List[tuple] = []
+
+    # -- monitoring -------------------------------------------------------
+
+    def register_callback(
+        self, fn: Callable[["Reservation", str, str], None]
+    ) -> None:
+        """``fn(reservation, old_state, new_state)`` on every transition."""
+        self._callbacks.append(fn)
+
+    def _transition(self, new_state: str) -> None:
+        old, self.state = self.state, new_state
+        for fn in list(self._callbacks):
+            fn(self, old, new_state)
+
+    @property
+    def active(self) -> bool:
+        return self.state == ACTIVE
+
+    # -- control (delegates to the owning manager) --------------------------
+
+    def cancel(self) -> None:
+        self.manager.cancel(self)
+
+    def modify(self, **changes: Any) -> None:
+        self.manager.modify(self, **changes)
+
+    def bind(self, binding: Any) -> None:
+        self.manager.bind(self, binding)
+
+    def __repr__(self) -> str:
+        return (
+            f"<Reservation #{self.reservation_id} {self.state} "
+            f"[{self.start:.3f}, {self.end if self.end != float('inf') else 'inf'}) "
+            f"{self.spec!r}>"
+        )

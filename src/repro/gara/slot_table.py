@@ -1,0 +1,114 @@
+"""Slot-table admission control for advance reservations.
+
+GARA's resource manager "uses a slot table to keep track of
+reservations" (§4.2, citing Degermark et al.). A :class:`SlotTable`
+tracks capacity commitments over time intervals; a new reservation is
+admitted iff, at every instant of its interval, the sum of overlapping
+commitments plus the new amount stays within capacity.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+__all__ = ["SlotTable", "SlotEntry", "AdmissionError"]
+
+_ids = itertools.count(1)
+
+
+class AdmissionError(Exception):
+    """The requested interval/amount does not fit within capacity."""
+
+
+@dataclass(frozen=True)
+class SlotEntry:
+    """One committed reservation interval."""
+
+    entry_id: int
+    start: float
+    end: float  # may be inf for indefinite reservations
+    amount: float
+
+
+class SlotTable:
+    """Capacity commitments over time for one resource."""
+
+    def __init__(self, capacity: float, name: str = "") -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self.name = name
+        self._entries: Dict[int, SlotEntry] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def entries(self) -> List[SlotEntry]:
+        return list(self._entries.values())
+
+    def usage_at(self, time: float) -> float:
+        """Total committed amount at instant ``time``."""
+        return sum(
+            e.amount for e in self._entries.values() if e.start <= time < e.end
+        )
+
+    def max_usage(self, start: float, end: float) -> float:
+        """Peak committed amount over ``[start, end)``."""
+        if end <= start:
+            raise ValueError("empty interval")
+        overlapping = [
+            e
+            for e in self._entries.values()
+            if e.start < end and e.end > start
+        ]
+        if not overlapping:
+            return 0.0
+        # Sweep over interval boundaries inside the window.
+        points = {start}
+        for e in overlapping:
+            if start < e.start < end:
+                points.add(e.start)
+        return max(
+            sum(e.amount for e in overlapping if e.start <= t < e.end)
+            for t in points
+        )
+
+    def available(self, start: float, end: float) -> float:
+        """Headroom over ``[start, end)``."""
+        return self.capacity - self.max_usage(start, end)
+
+    def add(self, start: float, end: float, amount: float) -> int:
+        """Admit a commitment or raise :class:`AdmissionError`."""
+        if amount <= 0:
+            raise ValueError("amount must be positive")
+        if end <= start:
+            raise ValueError("empty interval")
+        if self.max_usage(start, end) + amount > self.capacity + 1e-9:
+            raise AdmissionError(
+                f"{self.name or 'slot table'}: {amount} over [{start}, {end}) "
+                f"exceeds capacity {self.capacity} "
+                f"(peak usage {self.max_usage(start, end)})"
+            )
+        entry_id = next(_ids)
+        self._entries[entry_id] = SlotEntry(entry_id, start, end, amount)
+        return entry_id
+
+    def remove(self, entry_id: int) -> None:
+        if entry_id not in self._entries:
+            raise KeyError(f"no slot entry {entry_id}")
+        del self._entries[entry_id]
+
+    def modify(self, entry_id: int, start: float, end: float, amount: float) -> int:
+        """Atomically replace an entry (old capacity doesn't count
+        against the new request). Returns the new entry id."""
+        old = self._entries.pop(entry_id, None)
+        if old is None:
+            raise KeyError(f"no slot entry {entry_id}")
+        try:
+            return self.add(start, end, amount)
+        except (AdmissionError, ValueError):
+            self._entries[entry_id] = old
+            raise

@@ -1,0 +1,192 @@
+"""The DPSS storage resource manager.
+
+The paper lists the Distributed Parallel Storage System among the
+resource managers GARA drives (§4.2). We model the relevant property —
+a storage server whose aggregate read bandwidth can be partially
+reserved for specific clients — with a :class:`StorageServer` fluid
+rate allocator (same discipline as the CPU model: reserved clients get
+their rate, best-effort clients share the remainder).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Set
+
+from ..kernel import Event, Simulator, TimerHandle
+from .manager import ResourceManager
+from .reservation import ACTIVE, ReservationError
+from .slot_table import AdmissionError, SlotTable
+
+__all__ = ["StorageServer", "StorageReservationSpec", "DpssStorageManager"]
+
+_EPS = 1e-12
+
+
+class StorageServer:
+    """A storage system serving reads at a bounded aggregate rate."""
+
+    def __init__(self, sim: Simulator, name: str, bandwidth: float) -> None:
+        if bandwidth <= 0:
+            raise ValueError("bandwidth must be positive")
+        self.sim = sim
+        self.name = name
+        self.bandwidth = bandwidth  # bits/second aggregate
+        self._reserved: Dict[str, float] = {}  # client -> bits/second
+        self._jobs: list = []  # [client, remaining_bits, event, rate]
+        self._last = 0.0
+        self._timer: TimerHandle | None = None
+
+    def set_client_reservation(self, client: str, rate: float) -> None:
+        self._advance()
+        if rate <= 0:
+            self._reserved.pop(client, None)
+        else:
+            self._reserved[client] = rate
+        self._reallocate()
+
+    def read(self, client: str, nbytes: int) -> Event:
+        """Stream ``nbytes`` off storage; event triggers when done."""
+        if nbytes <= 0:
+            raise ValueError("read size must be positive")
+        event = Event(self.sim)
+        self._advance()
+        self._jobs.append([client, nbytes * 8.0, event, 0.0])
+        self._reallocate()
+        return event
+
+    # -- fluid allocation (mirrors repro.cpu) -----------------------------
+
+    def _advance(self) -> None:
+        dt = self.sim.now - self._last
+        if dt > 0:
+            for job in self._jobs:
+                job[1] -= dt * job[3]
+        self._last = self.sim.now
+
+    def _reallocate(self) -> None:
+        done = [j for j in self._jobs if j[1] <= _EPS]
+        self._jobs = [j for j in self._jobs if j[1] > _EPS]
+        for job in done:
+            job[2].succeed()
+        jobs = self._jobs
+        if jobs:
+            total_reserved = sum(
+                self._reserved.get(j[0], 0.0) for j in jobs
+            )
+            scale = min(1.0, self.bandwidth / total_reserved) if total_reserved else 1.0
+            best_effort = [j for j in jobs if self._reserved.get(j[0], 0.0) == 0.0]
+            used = min(total_reserved * scale, self.bandwidth)
+            leftover = self.bandwidth - used
+            for job in jobs:
+                job[3] = self._reserved.get(job[0], 0.0) * scale
+            if best_effort:
+                share = leftover / len(best_effort)
+                for job in best_effort:
+                    job[3] = share
+            elif leftover > 0 and total_reserved > 0:
+                for job in jobs:
+                    job[3] += leftover * self._reserved.get(job[0], 0.0) / total_reserved
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        horizon = min(
+            (j[1] / j[3] for j in jobs if j[3] > 0), default=float("inf")
+        )
+        if horizon != float("inf"):
+            # Floor the horizon: a float-residue remaining would
+            # otherwise schedule a tick at now + ~1e-17, which does not
+            # advance float time and spins the simulator forever.
+            self._timer = self.sim.call_in(max(horizon, 1e-9), self._tick)
+
+    def _tick(self) -> None:
+        self._timer = None
+        self._advance()
+        self._reallocate()
+
+
+@dataclass
+class StorageReservationSpec:
+    """Request for guaranteed read bandwidth from a storage server."""
+
+    server: StorageServer
+    bandwidth: float  # bits/second
+
+    def __repr__(self) -> str:
+        return (
+            f"StorageReservationSpec({self.server.name} "
+            f"{self.bandwidth / 1e6:.1f}Mb/s)"
+        )
+
+
+class DpssStorageManager(ResourceManager):
+    """Slot-table admission + per-client rate enforcement."""
+
+    resource_type = "storage"
+
+    def __init__(self, sim: Simulator, reservable_share: float = 0.9) -> None:
+        super().__init__(sim)
+        self.reservable_share = reservable_share
+        self._tables: Dict[StorageServer, SlotTable] = {}
+        self._entries: Dict[int, tuple] = {}
+
+    def table_for(self, server: StorageServer) -> SlotTable:
+        table = self._tables.get(server)
+        if table is None:
+            table = SlotTable(
+                server.bandwidth * self.reservable_share,
+                name=f"DPSS:{server.name}",
+            )
+            self._tables[server] = table
+        return table
+
+    def _do_admit(self, spec, start, end, reservation) -> None:
+        if not isinstance(spec, StorageReservationSpec):
+            raise ReservationError(f"not a storage spec: {spec!r}")
+        try:
+            entry = self.table_for(spec.server).add(start, end, spec.bandwidth)
+        except AdmissionError as exc:
+            raise ReservationError(str(exc)) from exc
+        self._entries[reservation.reservation_id] = (spec.server, entry)
+
+    def _do_release(self, reservation) -> None:
+        item = self._entries.pop(reservation.reservation_id, None)
+        if item is not None:
+            server, entry = item
+            self.table_for(server).remove(entry)
+
+    def _do_enable(self, reservation) -> None:
+        spec: StorageReservationSpec = reservation.spec
+        for client in reservation.bindings:
+            spec.server.set_client_reservation(client, spec.bandwidth)
+
+    def _do_disable(self, reservation) -> None:
+        spec: StorageReservationSpec = reservation.spec
+        for client in reservation.bindings:
+            spec.server.set_client_reservation(client, 0.0)
+
+    def _do_bind(self, reservation, binding) -> None:
+        if not isinstance(binding, str):
+            raise ReservationError("storage bindings are client-id strings")
+        if reservation.state == ACTIVE:
+            reservation.spec.server.set_client_reservation(
+                binding, reservation.spec.bandwidth
+            )
+
+    def _do_modify(self, reservation, changes) -> None:
+        spec: StorageReservationSpec = reservation.spec
+        new_bw = changes.pop("bandwidth", spec.bandwidth)
+        if changes:
+            raise ReservationError(f"unsupported modifications: {sorted(changes)}")
+        server, entry = self._entries[reservation.reservation_id]
+        try:
+            new_entry = self.table_for(server).modify(
+                entry, self.sim.now, reservation.end, new_bw
+            )
+        except AdmissionError as exc:
+            raise ReservationError(str(exc)) from exc
+        self._entries[reservation.reservation_id] = (server, new_entry)
+        spec.bandwidth = new_bw
+        if reservation.state == ACTIVE:
+            for client in reservation.bindings:
+                server.set_client_reservation(client, new_bw)

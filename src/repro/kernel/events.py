@@ -1,0 +1,214 @@
+"""Core event primitives for the discrete-event kernel.
+
+The design follows the classic generator-based discrete-event pattern:
+an :class:`Event` is a one-shot container for a value (or an exception)
+plus a list of callbacks; a :class:`~repro.kernel.process.Process`
+yields events to suspend itself until they trigger.
+
+Events move through three states:
+
+``pending``
+    created but not yet given a value;
+``triggered``
+    a value (or failure) has been set and the event is scheduled on the
+    simulator queue;
+``processed``
+    the simulator has popped the event and run its callbacks.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional
+
+__all__ = [
+    "Event",
+    "Timeout",
+    "AnyOf",
+    "AllOf",
+    "Interrupt",
+    "PENDING",
+    "URGENT",
+    "NORMAL",
+    "LOW",
+]
+
+#: Sentinel marking an event that has not yet been triggered.
+PENDING = object()
+
+# Scheduling priorities: lower sorts earlier among same-time entries.
+URGENT = 0
+NORMAL = 1
+LOW = 2
+
+
+class Interrupt(Exception):
+    """Raised inside a process that another process interrupted.
+
+    The interrupt ``cause`` is available both as ``exc.cause`` and as
+    ``exc.args[0]``.
+    """
+
+    @property
+    def cause(self) -> Any:
+        return self.args[0] if self.args else None
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    Parameters
+    ----------
+    sim:
+        The owning :class:`~repro.kernel.simulator.Simulator`.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_defused")
+
+    def __init__(self, sim) -> None:
+        self.sim = sim
+        #: Callbacks invoked (in order) when the event is processed.
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = PENDING
+        self._ok: bool = True
+        # A failed event whose exception was delivered to at least one
+        # waiter is "defused"; undefused failures crash the simulation
+        # rather than passing silently.
+        self._defused: bool = False
+
+    # -- state ---------------------------------------------------------
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value and is scheduled."""
+        return self._value is not PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have been run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (only meaningful once triggered)."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value; raises if the event is still pending."""
+        if self._value is PENDING:
+            raise RuntimeError(f"{self!r} has not been triggered")
+        return self._value
+
+    # -- triggering ----------------------------------------------------
+
+    def succeed(self, value: Any = None, priority: int = NORMAL) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._value is not PENDING:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.sim._schedule(self, 0.0, priority)
+        return self
+
+    def fail(self, exception: BaseException, priority: int = NORMAL) -> "Event":
+        """Trigger the event with an exception."""
+        if self._value is not PENDING:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"{exception!r} is not an exception")
+        self._ok = False
+        self._value = exception
+        self.sim._schedule(self, 0.0, priority)
+        return self
+
+    def trigger(self, event: "Event") -> None:
+        """Trigger this event with the state of another (for chaining)."""
+        if event._ok:
+            self.succeed(event._value)
+        else:
+            event._defused = True
+            self.fail(event._value)
+
+    def __repr__(self) -> str:
+        state = (
+            "processed"
+            if self.processed
+            else ("triggered" if self.triggered else "pending")
+        )
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that triggers ``delay`` seconds after its creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim, delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise ValueError(f"negative timeout delay {delay!r}")
+        super().__init__(sim)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        sim._schedule(self, delay, NORMAL)
+
+
+class _Condition(Event):
+    """Base for AnyOf / AllOf composite events."""
+
+    __slots__ = ("events", "_n_done")
+
+    def __init__(self, sim, events) -> None:
+        super().__init__(sim)
+        self.events = tuple(events)
+        self._n_done = 0
+        for ev in self.events:
+            if ev.sim is not sim:
+                raise ValueError("cannot mix events from different simulators")
+        # Check already-processed events immediately, subscribe to others.
+        for ev in self.events:
+            if ev.callbacks is None:
+                self._check(ev)
+            else:
+                ev.callbacks.append(self._check)
+        if not self.events and not self.triggered:
+            # Vacuous conditions trigger immediately.
+            self.succeed(self._collect())
+
+    def _collect(self) -> list:
+        # Only events whose callbacks have run count as "happened";
+        # a Timeout holds its value from construction, so checking
+        # `triggered` would wrongly include still-future timeouts.
+        return [ev._value for ev in self.events if ev.callbacks is None]
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+            return
+        self._n_done += 1
+        if self._satisfied():
+            self.succeed(self._collect())
+
+    def _satisfied(self) -> bool:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class AnyOf(_Condition):
+    """Triggers as soon as any of the given events triggers."""
+
+    __slots__ = ()
+
+    def _satisfied(self) -> bool:
+        return self._n_done >= 1
+
+
+class AllOf(_Condition):
+    """Triggers once all of the given events have triggered."""
+
+    __slots__ = ()
+
+    def _satisfied(self) -> bool:
+        return self._n_done >= len(self.events)

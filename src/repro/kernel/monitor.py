@@ -1,0 +1,124 @@
+"""Measurement helpers: time-series recording and rate estimation.
+
+Every experiment in the paper reports either a bandwidth-versus-time
+trace (Figs 1, 8, 9), a throughput scalar (Figs 5, 6, Table 1), or a
+sequence-number trace (Fig 7). These come from two primitives:
+
+* :class:`Monitor` — records ``(t, value)`` samples;
+* :class:`Counter` — records timestamped increments of a cumulative
+  quantity (bytes delivered) and bins them into rates.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["Monitor", "Counter"]
+
+
+class Monitor:
+    """Records ``(time, value)`` samples for later analysis."""
+
+    def __init__(self, sim, name: str = "") -> None:
+        self.sim = sim
+        self.name = name
+        self.times: List[float] = []
+        self.values: List[float] = []
+
+    def record(self, value: float) -> None:
+        """Append a sample at the current simulation time."""
+        self.times.append(self.sim.now)
+        self.values.append(value)
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def as_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Samples as ``(times, values)`` NumPy arrays."""
+        return np.asarray(self.times), np.asarray(self.values)
+
+    def mean(self) -> float:
+        """Arithmetic mean of the recorded values (nan when empty)."""
+        return float(np.mean(self.values)) if self.values else float("nan")
+
+    def time_average(self) -> float:
+        """Time-weighted average, treating samples as a step function."""
+        if len(self.times) < 2:
+            return self.mean()
+        t = np.asarray(self.times)
+        v = np.asarray(self.values)
+        dt = np.diff(t)
+        total = dt.sum()
+        if total <= 0:
+            return self.mean()
+        return float(np.dot(v[:-1], dt) / total)
+
+
+class Counter:
+    """A cumulative counter whose increments are timestamped.
+
+    Used to turn "bytes delivered at time t" into bandwidth series and
+    aggregate throughput. Increments are stored compactly as parallel
+    lists and binned with :func:`numpy.histogram` — the hot path is a
+    plain append.
+    """
+
+    def __init__(self, sim, name: str = "") -> None:
+        self.sim = sim
+        self.name = name
+        self.times: List[float] = []
+        self.amounts: List[float] = []
+        self.total: float = 0.0
+
+    def add(self, amount: float) -> None:
+        """Record ``amount`` units at the current time."""
+        self.times.append(self.sim.now)
+        self.amounts.append(amount)
+        self.total += amount
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def rate_series(
+        self,
+        binsize: float,
+        t_start: float = 0.0,
+        t_end: Optional[float] = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Bin increments into per-``binsize`` rates.
+
+        Returns ``(bin_centers, rates)`` where ``rates`` is in units
+        per second.
+        """
+        if binsize <= 0:
+            raise ValueError("binsize must be positive")
+        if t_end is None:
+            t_end = self.sim.now
+        if t_end <= t_start:
+            return np.array([]), np.array([])
+        n_bins = max(1, int(np.ceil((t_end - t_start) / binsize)))
+        edges = t_start + np.arange(n_bins + 1) * binsize
+        if not self.times:
+            return (edges[:-1] + edges[1:]) / 2.0, np.zeros(n_bins)
+        sums, _ = np.histogram(
+            np.asarray(self.times), bins=edges, weights=np.asarray(self.amounts)
+        )
+        return (edges[:-1] + edges[1:]) / 2.0, sums / binsize
+
+    def rate_over(self, t_start: float, t_end: float) -> float:
+        """Average rate (units/second) over ``[t_start, t_end)``."""
+        if t_end <= t_start:
+            raise ValueError("empty interval")
+        t = np.asarray(self.times)
+        a = np.asarray(self.amounts)
+        if t.size == 0:
+            return 0.0
+        mask = (t >= t_start) & (t < t_end)
+        return float(a[mask].sum() / (t_end - t_start))
+
+    def cumulative_series(self) -> Tuple[np.ndarray, np.ndarray]:
+        """``(times, running totals)`` — the Fig 7 sequence-number view."""
+        t = np.asarray(self.times)
+        return t, np.cumsum(np.asarray(self.amounts))

@@ -1,0 +1,123 @@
+"""Generator-based simulation processes.
+
+A :class:`Process` drives a Python generator: each ``yield``\\ ed
+:class:`~repro.kernel.events.Event` suspends the generator until the
+event triggers, at which point the generator is resumed with the
+event's value (or the event's exception is thrown into it).
+
+A ``Process`` is itself an event that triggers when the generator
+returns, so processes can wait on each other (``yield other_process``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from .events import Event, Interrupt, NORMAL, PENDING, URGENT
+
+__all__ = ["Process"]
+
+
+class Process(Event):
+    """Wraps a generator as a concurrently-running simulation process."""
+
+    __slots__ = ("_generator", "_target", "name")
+
+    def __init__(self, sim, generator: Generator, name: Optional[str] = None) -> None:
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise TypeError(f"{generator!r} is not a generator")
+        super().__init__(sim)
+        self._generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        #: The event this process is currently waiting on (None while
+        #: running or once finished).
+        self._target: Optional[Event] = None
+        # Kick off the first step via an immediately-triggered event so
+        # that process start is itself an ordinary queue entry.
+        start = Event(sim)
+        start._ok = True
+        start._value = None
+        start.callbacks.append(self._resume)
+        sim._schedule(start, 0.0, URGENT)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return self._value is PENDING
+
+    @property
+    def target(self) -> Optional[Event]:
+        """The event this process is currently suspended on."""
+        return self._target
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        The process stops waiting on its current target; the target
+        event itself is unaffected and may still trigger later.
+        """
+        if not self.is_alive:
+            raise RuntimeError(f"{self!r} has terminated and cannot be interrupted")
+        if self.sim._active_proc is self:
+            raise RuntimeError("a process cannot interrupt itself")
+        # Detach from the current target so its later trigger does not
+        # resume us a second time.
+        if self._target is not None and self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._target = None
+        failure = Event(self.sim)
+        failure._ok = False
+        failure._value = Interrupt(cause)
+        failure._defused = True
+        failure.callbacks.append(self._resume)
+        self.sim._schedule(failure, 0.0, URGENT)
+
+    # -- internal ------------------------------------------------------
+
+    def _resume(self, event: Event) -> None:
+        self._target = None
+        self.sim._active_proc = self
+        try:
+            if event._ok:
+                next_target = self._generator.send(event._value)
+            else:
+                event._defused = True
+                next_target = self._generator.throw(event._value)
+        except StopIteration as stop:
+            self.sim._active_proc = None
+            self._ok = True
+            self._value = stop.value
+            self.sim._schedule(self, 0.0, NORMAL)
+            return
+        except BaseException as exc:
+            self.sim._active_proc = None
+            self._ok = False
+            self._value = exc
+            self.sim._schedule(self, 0.0, NORMAL)
+            return
+        self.sim._active_proc = None
+        if not isinstance(next_target, Event):
+            raise TypeError(
+                f"process {self.name!r} yielded {next_target!r}, expected an Event"
+            )
+        if next_target.callbacks is None:
+            # Already processed: resume on the next queue step via a
+            # fresh relay event carrying the same outcome.
+            relay = Event(self.sim)
+            relay._ok = next_target._ok
+            relay._value = next_target._value
+            if not relay._ok:
+                relay._defused = True
+                next_target._defused = True
+            self._target = relay
+            relay.callbacks.append(self._resume)
+            self.sim._schedule(relay, 0.0, URGENT)
+        else:
+            self._target = next_target
+            next_target.callbacks.append(self._resume)
+
+    def __repr__(self) -> str:
+        return f"<Process {self.name!r} {'alive' if self.is_alive else 'done'}>"

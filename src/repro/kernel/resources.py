@@ -1,0 +1,116 @@
+"""Waitable resources built on the event kernel.
+
+:class:`Store` is the workhorse: an unbounded (or capacity-bounded)
+FIFO channel used for inter-process message queues (e.g. the MPI
+unexpected-message queue, listener accept queues).
+
+:class:`Resource` is a counted lock (semaphore) used where mutual
+exclusion between simulation processes is required.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Optional
+
+from .events import Event
+
+__all__ = ["Store", "Resource"]
+
+
+class Store:
+    """A FIFO channel of Python objects.
+
+    ``put(item)`` never blocks unless a ``capacity`` was given, in which
+    case it returns an event that triggers when space is available.
+    ``get()`` returns an event that triggers with the next item.
+    """
+
+    def __init__(self, sim, capacity: Optional[int] = None) -> None:
+        if capacity is not None and capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.sim = sim
+        self.capacity = capacity
+        self.items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+        self._putters: Deque[tuple] = deque()  # (event, item)
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def put(self, item: Any) -> Event:
+        """Insert ``item``; returns an event (already triggered unless full)."""
+        event = Event(self.sim)
+        if self._getters:
+            # Hand straight to the oldest waiting getter.
+            getter = self._getters.popleft()
+            getter.succeed(item)
+            event.succeed()
+        elif self.capacity is None or len(self.items) < self.capacity:
+            self.items.append(item)
+            event.succeed()
+        else:
+            self._putters.append((event, item))
+        return event
+
+    def get(self) -> Event:
+        """Remove and return the next item (event-valued)."""
+        event = Event(self.sim)
+        if self.items:
+            event.succeed(self.items.popleft())
+            self._admit_putter()
+        else:
+            self._getters.append(event)
+        return event
+
+    def try_get(self) -> tuple[bool, Any]:
+        """Non-blocking get: ``(True, item)`` or ``(False, None)``."""
+        if self.items:
+            item = self.items.popleft()
+            self._admit_putter()
+            return True, item
+        return False, None
+
+    def _admit_putter(self) -> None:
+        if self._putters and (
+            self.capacity is None or len(self.items) < self.capacity
+        ):
+            event, item = self._putters.popleft()
+            self.items.append(item)
+            event.succeed()
+
+
+class Resource:
+    """A counted resource (semaphore) with FIFO granting."""
+
+    def __init__(self, sim, capacity: int = 1) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.sim = sim
+        self.capacity = capacity
+        self.in_use = 0
+        self._waiters: Deque[Event] = deque()
+
+    def request(self) -> Event:
+        """Acquire one unit; the returned event triggers when granted."""
+        event = Event(self.sim)
+        if self.in_use < self.capacity:
+            self.in_use += 1
+            event.succeed()
+        else:
+            self._waiters.append(event)
+        return event
+
+    def release(self) -> None:
+        """Release one unit, granting the oldest waiter if any."""
+        if self.in_use <= 0:
+            raise RuntimeError("release() without a matching request()")
+        if self._waiters:
+            self._waiters.popleft().succeed()
+        else:
+            self.in_use -= 1
+
+    @property
+    def queued(self) -> int:
+        """Number of waiting requests."""
+        return len(self._waiters)

@@ -1,0 +1,192 @@
+"""The discrete-event simulator core.
+
+:class:`Simulator` owns the event heap and the simulation clock. Two
+styles of concurrency are supported and freely mixed:
+
+* **generator processes** (:meth:`Simulator.process`) for application
+  logic that reads naturally as sequential code, and
+* **raw timer callbacks** (:meth:`Simulator.call_in` /
+  :meth:`Simulator.call_at`) for hot data-path code (packet
+  transmission, TCP timers) where per-event generator overhead would
+  dominate.
+
+Determinism: ties in time are broken by an explicit priority and then
+by insertion order, so a simulation with a fixed RNG seed is exactly
+reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+import numpy as np
+
+from .events import AllOf, AnyOf, Event, NORMAL, Timeout
+from .process import Process
+
+__all__ = ["Simulator", "TimerHandle", "SimulationError"]
+
+
+class SimulationError(RuntimeError):
+    """Raised when the simulation itself is misused or crashes."""
+
+
+class TimerHandle:
+    """A cancellable handle for a scheduled callback."""
+
+    __slots__ = ("fn", "args", "time", "cancelled")
+
+    def __init__(self, fn: Callable, args: tuple, time: float) -> None:
+        self.fn = fn
+        self.args = args
+        self.time = time
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from running (no-op if already run)."""
+        self.cancelled = True
+
+    def __repr__(self) -> str:
+        state = "cancelled" if self.cancelled else f"at t={self.time:.6f}"
+        return f"<TimerHandle {getattr(self.fn, '__qualname__', self.fn)} {state}>"
+
+
+class Simulator:
+    """Event heap, clock, and factory for events and processes.
+
+    Parameters
+    ----------
+    seed:
+        Seed for :attr:`rng`, the simulation-wide NumPy random
+        generator. All stochastic components draw from this generator
+        so runs are reproducible.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self._now: float = 0.0
+        self._queue: list = []
+        self._seq: int = 0
+        self._active_proc: Optional[Process] = None
+        self.rng: np.random.Generator = np.random.default_rng(seed)
+        #: Number of queue entries processed so far (for profiling).
+        self.events_processed: int = 0
+
+    # -- clock ----------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being stepped, if any."""
+        return self._active_proc
+
+    # -- scheduling -----------------------------------------------------
+
+    def _schedule(self, item: Any, delay: float, priority: int) -> None:
+        self._seq += 1
+        heapq.heappush(self._queue, (self._now + delay, priority, self._seq, item))
+
+    def call_in(self, delay: float, fn: Callable, *args: Any) -> TimerHandle:
+        """Run ``fn(*args)`` after ``delay`` seconds; returns a cancellable handle."""
+        if delay < 0:
+            raise ValueError(f"negative delay {delay!r}")
+        handle = TimerHandle(fn, args, self._now + delay)
+        self._schedule(handle, delay, NORMAL)
+        return handle
+
+    def call_at(self, time: float, fn: Callable, *args: Any) -> TimerHandle:
+        """Run ``fn(*args)`` at absolute simulation time ``time``."""
+        return self.call_in(max(0.0, time - self._now), fn, *args)
+
+    # -- factories ------------------------------------------------------
+
+    def event(self) -> Event:
+        """A fresh untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event that triggers after ``delay`` seconds."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: Optional[str] = None) -> Process:
+        """Start a generator as a simulation process."""
+        return Process(self, generator, name=name)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    # -- execution ------------------------------------------------------
+
+    def peek(self) -> float:
+        """Time of the next queue entry, or ``inf`` if the queue is empty."""
+        while self._queue:
+            time, _prio, _seq, item = self._queue[0]
+            if isinstance(item, TimerHandle) and item.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            return time
+        return float("inf")
+
+    def step(self) -> None:
+        """Process exactly one queue entry."""
+        time, _prio, _seq, item = heapq.heappop(self._queue)
+        if isinstance(item, TimerHandle):
+            if item.cancelled:
+                return
+            self._now = time
+            self.events_processed += 1
+            item.fn(*item.args)
+            return
+        # Event: run its callbacks.
+        self._now = time
+        self.events_processed += 1
+        callbacks, item.callbacks = item.callbacks, None
+        for callback in callbacks:
+            callback(item)
+        if not item._ok and not item._defused:
+            exc = item._value
+            raise SimulationError(
+                f"unhandled failure in {item!r}: {exc!r}"
+            ) from exc
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the queue drains or the clock reaches ``until``.
+
+        When ``until`` is given the clock is advanced to exactly
+        ``until`` even if the last processed entry was earlier.
+        """
+        if until is not None:
+            if until < self._now:
+                raise ValueError(f"until={until} is in the past (now={self._now})")
+            while self._queue:
+                if self.peek() > until:
+                    break
+                self.step()
+            self._now = max(self._now, until) if until != float("inf") else self._now
+        else:
+            while self._queue:
+                self.step()
+
+    def run_until_event(self, event: Event, limit: float = float("inf")) -> Any:
+        """Run until ``event`` is processed; returns its value.
+
+        Raises :class:`SimulationError` if the queue drains or the time
+        ``limit`` passes first.
+        """
+        while not event.processed:
+            next_time = self.peek()
+            if next_time == float("inf"):
+                raise SimulationError(f"queue drained before {event!r} triggered")
+            if next_time > limit:
+                raise SimulationError(f"time limit {limit} passed before {event!r}")
+            self.step()
+        if not event.ok:
+            raise event.value
+        return event.value

@@ -1,0 +1,61 @@
+"""A simulated-process MPI implementation over the simulated TCP
+transport: communicators, point-to-point with eager/rendezvous
+protocols, collectives, and the attribute (keyval) mechanism that
+MPICH-GQ extends for QoS."""
+
+from .attributes import Keyval, KeyvalRegistry
+from .communicator import (
+    ANY_SOURCE,
+    ANY_TAG,
+    Communicator,
+    Intercommunicator,
+    MAX,
+    MIN,
+    PROD,
+    SUM,
+)
+from .datatypes import BYTE, CHAR, Datatype, DOUBLE, FLOAT, INT, LONG
+from .engine import MpiProcess
+from .errors import MpiError, TruncationError
+from .group import Group
+from .message import Envelope
+from .status import Request, Status, wait_all, wait_any
+from .topology_collectives import (
+    hierarchical_bcast,
+    hierarchical_reduce,
+    site_map,
+)
+from .world import MpiWorld
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "BYTE",
+    "CHAR",
+    "Communicator",
+    "Datatype",
+    "DOUBLE",
+    "Envelope",
+    "FLOAT",
+    "Group",
+    "INT",
+    "Intercommunicator",
+    "Keyval",
+    "KeyvalRegistry",
+    "LONG",
+    "MAX",
+    "MIN",
+    "MpiError",
+    "MpiProcess",
+    "MpiWorld",
+    "PROD",
+    "Request",
+    "SUM",
+    "Status",
+    "TruncationError",
+    "hierarchical_bcast",
+    "wait_all",
+    "wait_any",
+    "hierarchical_reduce",
+    "site_map",
+]

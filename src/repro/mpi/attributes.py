@@ -1,0 +1,117 @@
+"""The MPI attribute (keyval) mechanism.
+
+"The MPI standard provides an elegant solution to the problem of
+enabling application-level tuning without compromising portability,
+namely, its attribute mechanism. ... The application programmer can
+create, set, or get attributes that are maintained on a communicator-
+by-communicator basis" (§4.1).
+
+MPICH-GQ's extension point is the *put hook*: a keyval may carry an
+implementation-side callback fired on ``attr_put`` — "the action of
+putting the attribute actually triggers the request for QoS, which is
+slightly different than the normal usage of attributes".
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Dict, Optional, Tuple
+
+__all__ = ["Keyval", "KeyvalRegistry"]
+
+_keyval_ids = itertools.count(100)
+
+
+class Keyval:
+    """One attribute key (MPI keyval).
+
+    ``copy_fn(comm, keyval, value) -> (flag, new_value)`` controls
+    propagation on ``dup`` (no copy when absent, per MPI_NULL_COPY_FN);
+    ``delete_fn(comm, keyval, value)`` runs on attribute deletion and
+    communicator free; ``put_hook(comm, keyval, value)`` is the
+    MPICH-GQ action trigger.
+    """
+
+    def __init__(
+        self,
+        copy_fn: Optional[Callable] = None,
+        delete_fn: Optional[Callable] = None,
+        put_hook: Optional[Callable] = None,
+        extra_state: Any = None,
+    ) -> None:
+        self.keyval_id = next(_keyval_ids)
+        self.copy_fn = copy_fn
+        self.delete_fn = delete_fn
+        self.put_hook = put_hook
+        self.extra_state = extra_state
+
+    def __hash__(self) -> int:
+        return self.keyval_id
+
+    def __repr__(self) -> str:
+        return f"<Keyval {self.keyval_id}>"
+
+
+class KeyvalRegistry:
+    """World-level keyval allocation (MPI_Keyval_create)."""
+
+    def __init__(self) -> None:
+        self._keyvals: Dict[int, Keyval] = {}
+
+    def create(
+        self,
+        copy_fn: Optional[Callable] = None,
+        delete_fn: Optional[Callable] = None,
+        put_hook: Optional[Callable] = None,
+        extra_state: Any = None,
+    ) -> Keyval:
+        keyval = Keyval(copy_fn, delete_fn, put_hook, extra_state)
+        self._keyvals[keyval.keyval_id] = keyval
+        return keyval
+
+    def free(self, keyval: Keyval) -> None:
+        self._keyvals.pop(keyval.keyval_id, None)
+
+    def lookup(self, keyval_id: int) -> Keyval:
+        return self._keyvals[keyval_id]
+
+
+class AttributeSet:
+    """Per-communicator attribute storage."""
+
+    def __init__(self) -> None:
+        self._attrs: Dict[int, Tuple[Keyval, Any]] = {}
+
+    def put(self, comm, keyval: Keyval, value: Any) -> None:
+        old = self._attrs.get(keyval.keyval_id)
+        if old is not None and keyval.delete_fn is not None:
+            keyval.delete_fn(comm, keyval, old[1])
+        self._attrs[keyval.keyval_id] = (keyval, value)
+        if keyval.put_hook is not None:
+            keyval.put_hook(comm, keyval, value)
+
+    def get(self, keyval: Keyval) -> Tuple[Any, bool]:
+        item = self._attrs.get(keyval.keyval_id)
+        if item is None:
+            return None, False
+        return item[1], True
+
+    def delete(self, comm, keyval: Keyval) -> None:
+        item = self._attrs.pop(keyval.keyval_id, None)
+        if item is not None and keyval.delete_fn is not None:
+            keyval.delete_fn(comm, keyval, item[1])
+
+    def copy_for_dup(self, old_comm, new_set: "AttributeSet") -> None:
+        """Apply copy callbacks when duplicating a communicator."""
+        for keyval, value in list(self._attrs.values()):
+            if keyval.copy_fn is None:
+                continue  # MPI_NULL_COPY_FN: attribute not propagated
+            flag, new_value = keyval.copy_fn(old_comm, keyval, value)
+            if flag:
+                new_set._attrs[keyval.keyval_id] = (keyval, new_value)
+
+    def delete_all(self, comm) -> None:
+        for keyval, value in list(self._attrs.values()):
+            if keyval.delete_fn is not None:
+                keyval.delete_fn(comm, keyval, value)
+        self._attrs.clear()

@@ -1,0 +1,510 @@
+"""Communicators: point-to-point, collectives, and attributes.
+
+"In the MPI programming model, all communication takes place within a
+communicator. A communicator is simply a group of processes, with an
+additional, unique communication context that ensures that messages
+sent in one communicator cannot be received in another" (§4.1).
+
+Every rank holds its own :class:`Communicator` instance; instances of
+the same logical communicator share the group and context ids. Two
+context ids are allocated per communicator: one for point-to-point and
+one for collective traffic (the MPICH convention).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Tuple
+
+from ..kernel import Event
+from .attributes import AttributeSet, Keyval
+from .errors import MpiError
+from .group import Group
+from .message import ANY_SOURCE, ANY_TAG
+from .status import Request, Status
+
+__all__ = ["Communicator", "Intercommunicator", "ANY_SOURCE", "ANY_TAG"]
+
+
+def _op_sum(a, b):
+    return a + b
+
+
+def _op_max(a, b):
+    return a if a >= b else b
+
+
+def _op_min(a, b):
+    return a if a <= b else b
+
+
+def _op_prod(a, b):
+    return a * b
+
+
+#: Predefined reduction operations.
+SUM = _op_sum
+MAX = _op_max
+MIN = _op_min
+PROD = _op_prod
+
+
+class Communicator:
+    """One rank's view of an intracommunicator."""
+
+    def __init__(
+        self,
+        world,
+        proc,
+        group: Group,
+        ctx_pt2pt: int,
+        ctx_coll: int,
+        name: str = "comm",
+    ) -> None:
+        self.world = world
+        self.proc = proc
+        self.group = group
+        self.ctx_pt2pt = ctx_pt2pt
+        self.ctx_coll = ctx_coll
+        self.name = name
+        self.attributes = AttributeSet()
+        self._coll_seq = 0
+        self._freed = False
+        rank = group.local_rank(proc.rank)
+        if rank is None:
+            raise MpiError(
+                f"world rank {proc.rank} is not a member of {group!r}"
+            )
+        self.rank = rank
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        return self.group.size
+
+    @property
+    def sim(self):
+        return self.world.sim
+
+    def _check(self) -> None:
+        if self._freed:
+            raise MpiError(f"communicator {self.name!r} has been freed")
+
+    def _dest_world(self, rank: int) -> int:
+        """Translate an addressable peer rank to a world rank."""
+        return self.group.world_rank(rank)
+
+    def _source_local(self, world_rank: int) -> int:
+        local = self.group.local_rank(world_rank)
+        if local is None:  # pragma: no cover - context ids prevent this
+            raise MpiError(f"message from non-member world rank {world_rank}")
+        return local
+
+    def endpoints(self) -> List[Tuple[str, int, int]]:
+        """(host name, address, port) per addressable rank — the
+        "extract the necessary information (basically port and machine
+        names) from a communicator" hook for external QoS agents (§4.1).
+        """
+        out = []
+        for world_rank in self._addressable_world_ranks():
+            proc = self.world.procs[world_rank]
+            out.append((proc.host.name, proc.host.addr, proc.port))
+        return out
+
+    def _addressable_world_ranks(self) -> Tuple[int, ...]:
+        return self.group.world_ranks
+
+    # ------------------------------------------------------------------
+    # Point-to-point
+    # ------------------------------------------------------------------
+
+    def isend(
+        self, dest: int, nbytes: int, tag: int = 0, data: Any = None
+    ) -> Request:
+        """Non-blocking send of ``nbytes`` (MPI_Isend)."""
+        self._check()
+        if nbytes <= 0:
+            raise MpiError("message size must be positive")
+        event = self.proc.isend(
+            self._dest_world(dest), tag, self.ctx_pt2pt, nbytes, data
+        )
+        return Request(event)
+
+    def send(self, dest: int, nbytes: int, tag: int = 0, data: Any = None) -> Event:
+        """Blocking-style send: yield the returned event (MPI_Send)."""
+        return self.isend(dest, nbytes, tag, data).wait()
+
+    def irecv(
+        self, source: int = ANY_SOURCE, tag: int = ANY_TAG
+    ) -> Request:
+        """Non-blocking receive (MPI_Irecv); resolves to (data, Status)."""
+        self._check()
+        world_src = (
+            ANY_SOURCE if source == ANY_SOURCE else self._dest_world(source)
+        )
+        inner = self.proc.irecv(world_src, tag, self.ctx_pt2pt)
+        return Request(self._wrap_recv(inner))
+
+    def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Event:
+        """Blocking-style receive: yield the returned event (MPI_Recv)."""
+        return self.irecv(source, tag).wait()
+
+    def _wrap_recv(self, inner: Event) -> Event:
+        outer = Event(self.sim)
+
+        def complete(ev):
+            envelope = ev.value
+            status = Status(
+                source=self._source_local(envelope.src),
+                tag=envelope.tag,
+                nbytes=envelope.nbytes,
+            )
+            outer.succeed((envelope.data, status))
+
+        inner.callbacks.append(complete)
+        return outer
+
+    def probe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Event:
+        """Blocking probe; resolves to a Status without receiving."""
+        self._check()
+        world_src = (
+            ANY_SOURCE if source == ANY_SOURCE else self._dest_world(source)
+        )
+        inner = self.proc.probe(world_src, tag, self.ctx_pt2pt)
+        outer = Event(self.sim)
+        inner.callbacks.append(
+            lambda ev: outer.succeed(
+                Status(
+                    self._source_local(ev.value.src),
+                    ev.value.tag,
+                    ev.value.nbytes,
+                )
+            )
+        )
+        return outer
+
+    def iprobe(
+        self, source: int = ANY_SOURCE, tag: int = ANY_TAG
+    ) -> Optional[Status]:
+        """Non-blocking probe (MPI_Iprobe)."""
+        self._check()
+        world_src = (
+            ANY_SOURCE if source == ANY_SOURCE else self._dest_world(source)
+        )
+        envelope = self.proc.iprobe(world_src, tag, self.ctx_pt2pt)
+        if envelope is None:
+            return None
+        return Status(
+            self._source_local(envelope.src), envelope.tag, envelope.nbytes
+        )
+
+    def sendrecv(
+        self,
+        dest: int,
+        send_nbytes: int,
+        source: int = ANY_SOURCE,
+        sendtag: int = 0,
+        recvtag: int = ANY_TAG,
+        data: Any = None,
+    ):
+        """Generator: concurrent send+recv (MPI_Sendrecv)."""
+        recv_req = self.irecv(source, recvtag)
+        send_req = self.isend(dest, send_nbytes, sendtag, data)
+        result = yield recv_req.wait()
+        yield send_req.wait()
+        return result
+
+    # ------------------------------------------------------------------
+    # Collectives (generators; call via ``yield from``)
+    # ------------------------------------------------------------------
+
+    def _coll_tag(self) -> int:
+        self._coll_seq += 1
+        return self._coll_seq
+
+    def _coll_isend(self, dest_local: int, tag: int, nbytes: int, data: Any) -> Event:
+        return self.proc.isend(
+            self.group.world_rank(dest_local), tag, self.ctx_coll, nbytes, data
+        )
+
+    def _coll_recv(self, src_local: int, tag: int) -> Event:
+        world_src = (
+            ANY_SOURCE if src_local == ANY_SOURCE
+            else self.group.world_rank(src_local)
+        )
+        return self.proc.irecv(world_src, tag, self.ctx_coll)
+
+    def barrier(self):
+        """Dissemination barrier (MPI_Barrier)."""
+        self._check()
+        tag = self._coll_tag()
+        size, rank = self.size, self.rank
+        k = 1
+        while k < size:
+            dst = (rank + k) % size
+            src = (rank - k) % size
+            send_ev = self._coll_isend(dst, tag, 1, None)
+            yield self._coll_recv(src, tag)
+            yield send_ev
+            k <<= 1
+
+    def bcast(self, data: Any, nbytes: int, root: int = 0):
+        """Binomial-tree broadcast (MPI_Bcast); returns the data."""
+        self._check()
+        tag = self._coll_tag()
+        size, rank = self.size, self.rank
+        relative = (rank - root) % size
+        mask = 1
+        while mask < size:
+            if relative < mask:
+                dst_rel = relative + mask
+                if dst_rel < size:
+                    yield self._coll_isend(
+                        (dst_rel + root) % size, tag, nbytes, data
+                    )
+            elif relative < 2 * mask:
+                envelope = yield self._coll_recv(
+                    (relative - mask + root) % size, tag
+                )
+                data = envelope.data
+            mask <<= 1
+        return data
+
+    def reduce(self, data: Any, nbytes: int, op: Callable = SUM, root: int = 0):
+        """Binomial-tree reduction (MPI_Reduce); result only at root."""
+        self._check()
+        tag = self._coll_tag()
+        size, rank = self.size, self.rank
+        relative = (rank - root) % size
+        value = data
+        mask = 1
+        while mask < size:
+            if relative & mask:
+                parent = (relative - mask + root) % size
+                yield self._coll_isend(parent, tag, nbytes, value)
+                return None
+            child_rel = relative + mask
+            if child_rel < size:
+                envelope = yield self._coll_recv((child_rel + root) % size, tag)
+                value = op(value, envelope.data)
+            mask <<= 1
+        return value if rank == root else None
+
+    def allreduce(self, data: Any, nbytes: int, op: Callable = SUM):
+        """Reduce-to-0 then broadcast (MPI_Allreduce)."""
+        reduced = yield from self.reduce(data, nbytes, op, root=0)
+        result = yield from self.bcast(reduced, nbytes, root=0)
+        return result
+
+    def gather(self, data: Any, nbytes: int, root: int = 0):
+        """Gather to root (MPI_Gather); list indexed by rank at root."""
+        self._check()
+        tag = self._coll_tag()
+        if self.rank != root:
+            yield self._coll_isend(root, tag, nbytes, data)
+            return None
+        out: List[Any] = [None] * self.size
+        out[root] = data
+        for _ in range(self.size - 1):
+            envelope = yield self._coll_recv(ANY_SOURCE, tag)
+            out[self._source_local(envelope.src)] = envelope.data
+        return out
+
+    def scatter(self, values: Optional[List[Any]], nbytes: int, root: int = 0):
+        """Scatter from root (MPI_Scatter); returns this rank's piece."""
+        self._check()
+        tag = self._coll_tag()
+        if self.rank == root:
+            if values is None or len(values) != self.size:
+                raise MpiError("root must supply one value per rank")
+            sends = []
+            for dst in range(self.size):
+                if dst != root:
+                    sends.append(self._coll_isend(dst, tag, nbytes, values[dst]))
+            for ev in sends:
+                yield ev
+            return values[root]
+        envelope = yield self._coll_recv(root, tag)
+        return envelope.data
+
+    def allgather(self, data: Any, nbytes: int):
+        """Gather + broadcast (MPI_Allgather)."""
+        gathered = yield from self.gather(data, nbytes, root=0)
+        result = yield from self.bcast(gathered, nbytes * self.size, root=0)
+        return result
+
+    def alltoall(self, values: List[Any], nbytes: int):
+        """Pairwise-exchange all-to-all (MPI_Alltoall)."""
+        self._check()
+        if len(values) != self.size:
+            raise MpiError("alltoall needs one value per rank")
+        tag = self._coll_tag()
+        out: List[Any] = [None] * self.size
+        out[self.rank] = values[self.rank]
+        size, rank = self.size, self.rank
+        for shift in range(1, size):
+            dst = (rank + shift) % size
+            src = (rank - shift) % size
+            send_ev = self._coll_isend(dst, tag, nbytes, values[dst])
+            envelope = yield self._coll_recv(src, tag)
+            out[src] = envelope.data
+            yield send_ev
+        return out
+
+    # ------------------------------------------------------------------
+    # Attributes (MPI_Attr_put / MPI_Attr_get / MPI_Attr_delete)
+    # ------------------------------------------------------------------
+
+    def attr_put(self, keyval: Keyval, value: Any) -> None:
+        self._check()
+        self.attributes.put(self, keyval, value)
+
+    def attr_get(self, keyval: Keyval) -> Tuple[Any, bool]:
+        self._check()
+        return self.attributes.get(keyval)
+
+    def attr_delete(self, keyval: Keyval) -> None:
+        self._check()
+        self.attributes.delete(self, keyval)
+
+    # ------------------------------------------------------------------
+    # Communicator management
+    # ------------------------------------------------------------------
+
+    def dup(self, name: Optional[str] = None) -> "Communicator":
+        """Duplicate with fresh contexts (MPI_Comm_dup); collective."""
+        self._check()
+        gen = self._coll_tag()  # advances identically on every rank
+        ctx_p, ctx_c = self.world.shared_contexts(
+            (self.ctx_pt2pt, "dup", gen)
+        )
+        dup = Communicator(
+            self.world,
+            self.proc,
+            self.group,
+            ctx_p,
+            ctx_c,
+            name=name or f"{self.name}-dup",
+        )
+        self.attributes.copy_for_dup(self, dup.attributes)
+        return dup
+
+    def split(self, color: Optional[int], key: int = 0):
+        """Generator: MPI_Comm_split (color None = MPI_UNDEFINED)."""
+        self._check()
+        triple = (color, key, self.rank)
+        everyone = yield from self.allgather(triple, 16)
+        if color is None:
+            return None
+        members = sorted(
+            (k, r) for (c, k, r) in everyone if c == color
+        )
+        group = Group([self.group.world_rank(r) for _k, r in members])
+        gen = self._coll_seq  # the allgather above advanced it uniformly
+        ctx_p, ctx_c = self.world.shared_contexts(
+            (self.ctx_pt2pt, "split", gen, color)
+        )
+        return Communicator(
+            self.world,
+            self.proc,
+            group,
+            ctx_p,
+            ctx_c,
+            name=f"{self.name}-split{color}",
+        )
+
+    def create_intercomm(
+        self, local_world_ranks: List[int], remote_world_ranks: List[int]
+    ) -> "Intercommunicator":
+        """Build a two-group intercommunicator (simplified
+        MPI_Intercomm_create: both sides name the groups explicitly)."""
+        self._check()
+        gen = self._coll_tag()
+        key_groups = (tuple(sorted(local_world_ranks)), tuple(sorted(remote_world_ranks)))
+        ctx_p, ctx_c = self.world.shared_contexts(
+            (self.ctx_pt2pt, "inter", gen, tuple(sorted(key_groups)))
+        )
+        return Intercommunicator(
+            self.world,
+            self.proc,
+            Group(local_world_ranks),
+            Group(remote_world_ranks),
+            ctx_p,
+            ctx_c,
+            name=f"{self.name}-inter",
+        )
+
+    def free(self) -> None:
+        """Run attribute delete callbacks and invalidate (MPI_Comm_free)."""
+        if self._freed:
+            return
+        self.attributes.delete_all(self)
+        self._freed = True
+
+    def __repr__(self) -> str:
+        return (
+            f"<Communicator {self.name!r} rank={self.rank}/{self.size} "
+            f"ctx={self.ctx_pt2pt}>"
+        )
+
+
+class Intercommunicator(Communicator):
+    """A communicator joining two disjoint groups (§4.1: QoS attributes
+    are applied to two-party intercommunicators).
+
+    Point-to-point ``dest``/``source`` ranks address the *remote* group,
+    per the MPI intercommunicator semantics.
+    """
+
+    def __init__(
+        self,
+        world,
+        proc,
+        local_group: Group,
+        remote_group: Group,
+        ctx_pt2pt: int,
+        ctx_coll: int,
+        name: str = "intercomm",
+    ) -> None:
+        self.remote_group = remote_group
+        super().__init__(world, proc, local_group, ctx_pt2pt, ctx_coll, name)
+
+    @property
+    def remote_size(self) -> int:
+        return self.remote_group.size
+
+    def _dest_world(self, rank: int) -> int:
+        return self.remote_group.world_rank(rank)
+
+    def _source_local(self, world_rank: int) -> int:
+        local = self.remote_group.local_rank(world_rank)
+        if local is None:
+            raise MpiError(
+                f"intercommunicator message from non-remote rank {world_rank}"
+            )
+        return local
+
+    def _addressable_world_ranks(self) -> Tuple[int, ...]:
+        return self.remote_group.world_ranks
+
+    def flow_pairs(self) -> List[Tuple[int, int]]:
+        """(local world rank, remote world rank) pairs — what the QoS
+        agent turns into network flow reservations."""
+        return [
+            (lw, rw)
+            for lw in self.group.world_ranks
+            for rw in self.remote_group.world_ranks
+        ]
+
+    def barrier(self):  # pragma: no cover - guard
+        raise MpiError("collectives on intercommunicators are not supported")
+
+    bcast = reduce = allreduce = gather = scatter = allgather = alltoall = barrier
+
+    def __repr__(self) -> str:
+        return (
+            f"<Intercommunicator {self.name!r} local={self.group.world_ranks} "
+            f"remote={self.remote_group.world_ranks}>"
+        )

@@ -1,0 +1,38 @@
+"""MPI datatypes (for wire-size accounting).
+
+Payload bytes are never materialised in the simulation, so a datatype
+is just a named element size: ``count * datatype.size`` bytes cross the
+network. An optional Python object can ride along as the logical
+message content (like mpi4py's pickle-based lowercase API).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Datatype", "BYTE", "CHAR", "INT", "FLOAT", "DOUBLE", "LONG"]
+
+
+@dataclass(frozen=True)
+class Datatype:
+    """A named fixed-size element type."""
+
+    name: str
+    size: int  # bytes per element
+
+    def extent(self, count: int) -> int:
+        """Total bytes for ``count`` elements."""
+        if count < 0:
+            raise ValueError("count cannot be negative")
+        return count * self.size
+
+    def __repr__(self) -> str:
+        return f"MPI_{self.name}"
+
+
+BYTE = Datatype("BYTE", 1)
+CHAR = Datatype("CHAR", 1)
+INT = Datatype("INT", 4)
+LONG = Datatype("LONG", 8)
+FLOAT = Datatype("FLOAT", 4)
+DOUBLE = Datatype("DOUBLE", 8)

@@ -1,0 +1,299 @@
+"""The per-rank point-to-point engine.
+
+Each MPI process owns a TCP listener and lazily-established channels to
+its peers (MPICH-G2 style). Small messages go eagerly; messages above
+the eager threshold use rendezvous (RTS/CTS) so that the payload only
+moves once the matching receive is posted.
+
+The engine works entirely in *world ranks*; communicators translate to
+and from their local numbering.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..kernel import Event, Resource
+from ..net.node import Host
+from ..net.packet import PROTO_TCP
+from ..transport.tcp import ConnectionClosed, TcpConnection, TcpLayer
+from .message import (
+    ANY_SOURCE,
+    ANY_TAG,
+    CTS,
+    EAGER,
+    Envelope,
+    RNDV_DATA,
+    RTS,
+    matches,
+    next_send_id,
+)
+
+__all__ = ["MpiProcess", "PostedRecv"]
+
+
+class PostedRecv:
+    """One posted (pending) receive."""
+
+    __slots__ = ("source", "tag", "context_id", "event")
+
+    def __init__(self, source: int, tag: int, context_id: int, event: Event) -> None:
+        self.source = source
+        self.tag = tag
+        self.context_id = context_id
+        self.event = event
+
+
+class MpiProcess:
+    """Engine state for one rank."""
+
+    def __init__(self, world, rank: int, host: Host) -> None:
+        self.world = world
+        self.rank = rank
+        self.host = host
+        self.sim = world.sim
+        existing = host.protocols.get(PROTO_TCP)
+        self.tcp: TcpLayer = existing if existing is not None else TcpLayer(host)
+        self.port = world.base_port + rank
+        self.listener = self.tcp.listen(self.port, config=world.tcp_config)
+        self.channels: Dict[int, TcpConnection] = {}
+        self._connecting: Dict[int, Event] = {}
+        # One writer at a time per peer: concurrent isends must not
+        # interleave their chunk writes (MPI non-overtaking).
+        self._channel_locks: Dict[int, Resource] = {}
+        #: Optional per-destination end-system shapers (rank -> Shaper),
+        #: installed by MPICH-GQ's traffic-shaping support (§5.4).
+        self.shapers: Dict[int, object] = {}
+        self.posted: List[PostedRecv] = []
+        self.unexpected: List[Envelope] = []
+        self._probes: List[PostedRecv] = []
+        self._awaiting_cts: Dict[int, Event] = {}
+        self._granted_recvs: Dict[int, PostedRecv] = {}
+        # Statistics.
+        self.messages_sent = 0
+        self.messages_received = 0
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self.sim.process(self._accept_loop(), name=f"mpi-accept-{rank}")
+
+    # ------------------------------------------------------------------
+    # Channel management
+    # ------------------------------------------------------------------
+
+    def _accept_loop(self):
+        while True:
+            conn = yield self.listener.accept()
+            self.sim.process(self._reader(conn), name=f"mpi-read-{self.rank}")
+
+    def _reader(self, conn: TcpConnection):
+        while True:
+            try:
+                _nbytes, envelope = yield conn.recv_object()
+            except ConnectionClosed:
+                return
+            # Learn the reverse channel if we have none yet.
+            self.channels.setdefault(envelope.src, conn)
+            self._dispatch(envelope)
+
+    def _get_channel(self, peer: int):
+        """Generator: yields until a channel to ``peer`` exists."""
+        conn = self.channels.get(peer)
+        if conn is not None:
+            return conn
+        pending = self._connecting.get(peer)
+        if pending is not None:
+            yield pending
+            return self.channels[peer]
+        ready = Event(self.sim)
+        self._connecting[peer] = ready
+        peer_proc = self.world.procs[peer]
+        conn = self.tcp.connect(
+            peer_proc.host.addr, peer_proc.port, config=self.world.tcp_config
+        )
+        yield conn.established_event
+        # Another path (simultaneous accept) may have registered first;
+        # keep the existing registration so each direction stays FIFO.
+        self.channels.setdefault(peer, conn)
+        self.sim.process(self._reader(conn), name=f"mpi-read-{self.rank}")
+        del self._connecting[peer]
+        ready.succeed()
+        return self.channels[peer]
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+
+    def isend(
+        self, dst: int, tag: int, context_id: int, nbytes: int, data: Any
+    ) -> Event:
+        """Start a send; the returned event triggers at local completion
+        (buffered for eager, payload written for rendezvous)."""
+        return self.sim.process(
+            self._send_op(dst, tag, context_id, nbytes, data),
+            name=f"mpi-send-{self.rank}->{dst}",
+        )
+
+    def _lock_for(self, peer: int) -> Resource:
+        lock = self._channel_locks.get(peer)
+        if lock is None:
+            lock = Resource(self.sim, capacity=1)
+            self._channel_locks[peer] = lock
+        return lock
+
+    def _write_message(self, conn: TcpConnection, dst: int, envelope: Envelope):
+        """Write one envelope's wire bytes, optionally paced by the
+        destination's end-system shaper; the envelope rides as the
+        stream marker on the final chunk."""
+        shaper = self.shapers.get(dst)
+        total = envelope.wire_bytes
+        if shaper is None:
+            yield from conn.send_message(total, marker=envelope)
+            return
+        chunk = max(256, min(int(shaper.bucket.depth), conn.config.sndbuf))
+        remaining = total
+        while remaining > chunk:
+            yield from shaper.acquire(chunk)
+            yield conn.send(chunk)
+            remaining -= chunk
+        yield from shaper.acquire(remaining)
+        yield conn.send(remaining, marker=envelope)
+
+    def _send_op(self, dst: int, tag: int, context_id: int, nbytes: int, data: Any):
+        conn = yield from self._get_channel(dst)
+        lock = self._lock_for(dst)
+        self.messages_sent += 1
+        self.bytes_sent += nbytes
+        if nbytes <= self.world.eager_threshold:
+            envelope = Envelope(
+                EAGER, self.rank, dst, tag, context_id, nbytes, data
+            )
+            yield lock.request()
+            yield from self._write_message(conn, dst, envelope)
+            lock.release()
+            return
+        send_id = next_send_id()
+        granted = Event(self.sim)
+        self._awaiting_cts[send_id] = granted
+        rts = Envelope(
+            RTS, self.rank, dst, tag, context_id, nbytes, send_id=send_id
+        )
+        yield lock.request()
+        yield conn.send(rts.wire_bytes, marker=rts)
+        lock.release()
+        # The lock is NOT held across the grant wait: later eager sends
+        # may proceed (their envelopes arrive after the RTS, preserving
+        # matching order) while this payload waits for its receiver.
+        yield granted
+        payload = Envelope(
+            RNDV_DATA,
+            self.rank,
+            dst,
+            tag,
+            context_id,
+            nbytes,
+            data,
+            send_id=send_id,
+        )
+        yield lock.request()
+        yield from self._write_message(conn, dst, payload)
+        lock.release()
+
+    def _send_control(self, dst: int, envelope: Envelope):
+        conn = yield from self._get_channel(dst)
+        yield conn.send(envelope.wire_bytes, marker=envelope)
+
+    # ------------------------------------------------------------------
+    # Receiving
+    # ------------------------------------------------------------------
+
+    def irecv(self, source: int, tag: int, context_id: int) -> Event:
+        """Post a receive; the event resolves to the matched Envelope."""
+        event = Event(self.sim)
+        posted = PostedRecv(source, tag, context_id, event)
+        for i, envelope in enumerate(self.unexpected):
+            if matches(source, tag, context_id, envelope):
+                del self.unexpected[i]
+                self._consume(posted, envelope)
+                return event
+        self.posted.append(posted)
+        return event
+
+    def probe(self, source: int, tag: int, context_id: int) -> Event:
+        """Event resolving to a matching Envelope without consuming it."""
+        event = Event(self.sim)
+        for envelope in self.unexpected:
+            if matches(source, tag, context_id, envelope):
+                event.succeed(envelope)
+                return event
+        self._probes.append(PostedRecv(source, tag, context_id, event))
+        return event
+
+    def iprobe(
+        self, source: int, tag: int, context_id: int
+    ) -> Optional[Envelope]:
+        """Non-blocking probe: a matching Envelope or None."""
+        for envelope in self.unexpected:
+            if matches(source, tag, context_id, envelope):
+                return envelope
+        return None
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+
+    def _dispatch(self, envelope: Envelope) -> None:
+        if envelope.kind == CTS:
+            granted = self._awaiting_cts.pop(envelope.send_id, None)
+            if granted is not None:
+                granted.succeed()
+            return
+        if envelope.kind == RNDV_DATA:
+            posted = self._granted_recvs.pop(envelope.send_id, None)
+            if posted is None:
+                raise RuntimeError(f"rendezvous data without grant: {envelope}")
+            self._complete(posted, envelope)
+            return
+        # EAGER or RTS: satisfy probes (non-consuming), then receives.
+        if self._probes:
+            remaining = []
+            for probe in self._probes:
+                if matches(probe.source, probe.tag, probe.context_id, envelope):
+                    probe.event.succeed(envelope)
+                else:
+                    remaining.append(probe)
+            self._probes = remaining
+        for i, posted in enumerate(self.posted):
+            if matches(posted.source, posted.tag, posted.context_id, envelope):
+                del self.posted[i]
+                self._consume(posted, envelope)
+                return
+        self.unexpected.append(envelope)
+
+    def _consume(self, posted: PostedRecv, envelope: Envelope) -> None:
+        if envelope.kind == EAGER:
+            self._complete(posted, envelope)
+        elif envelope.kind == RTS:
+            self._granted_recvs[envelope.send_id] = posted
+            cts = Envelope(
+                CTS,
+                self.rank,
+                envelope.src,
+                envelope.tag,
+                envelope.context_id,
+                0,
+                send_id=envelope.send_id,
+            )
+            self.sim.process(
+                self._send_control(envelope.src, cts),
+                name=f"mpi-cts-{self.rank}",
+            )
+        else:  # pragma: no cover - defensive
+            raise RuntimeError(f"cannot consume {envelope}")
+
+    def _complete(self, posted: PostedRecv, envelope: Envelope) -> None:
+        self.messages_received += 1
+        self.bytes_received += envelope.nbytes
+        posted.event.succeed(envelope)
+
+    def __repr__(self) -> str:
+        return f"<MpiProcess rank={self.rank} on {self.host.name}>"

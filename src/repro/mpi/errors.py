@@ -1,0 +1,13 @@
+"""MPI error types."""
+
+from __future__ import annotations
+
+__all__ = ["MpiError", "TruncationError"]
+
+
+class MpiError(Exception):
+    """Misuse of the MPI layer (bad rank, freed communicator, ...)."""
+
+
+class TruncationError(MpiError):
+    """A received message was longer than the posted receive allowed."""

@@ -1,0 +1,64 @@
+"""Process groups (MPI_Group)."""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Tuple
+
+from .errors import MpiError
+
+__all__ = ["Group"]
+
+
+class Group:
+    """An ordered set of world ranks."""
+
+    def __init__(self, world_ranks: Sequence[int]) -> None:
+        ranks = tuple(world_ranks)
+        if len(set(ranks)) != len(ranks):
+            raise MpiError(f"duplicate ranks in group: {ranks}")
+        self._ranks = ranks
+        self._index = {wr: i for i, wr in enumerate(ranks)}
+
+    @property
+    def size(self) -> int:
+        return len(self._ranks)
+
+    @property
+    def world_ranks(self) -> Tuple[int, ...]:
+        return self._ranks
+
+    def world_rank(self, local_rank: int) -> int:
+        """Local rank -> world rank."""
+        try:
+            return self._ranks[local_rank]
+        except IndexError:
+            raise MpiError(
+                f"rank {local_rank} out of range for group of size {self.size}"
+            ) from None
+
+    def local_rank(self, world_rank: int) -> Optional[int]:
+        """World rank -> local rank, or None if not a member."""
+        return self._index.get(world_rank)
+
+    def __contains__(self, world_rank: int) -> bool:
+        return world_rank in self._index
+
+    def incl(self, local_ranks: Iterable[int]) -> "Group":
+        """Subgroup by local-rank selection (MPI_Group_incl)."""
+        return Group([self.world_rank(r) for r in local_ranks])
+
+    def excl(self, local_ranks: Iterable[int]) -> "Group":
+        """Subgroup excluding the given local ranks (MPI_Group_excl)."""
+        drop = set(local_ranks)
+        return Group(
+            [wr for i, wr in enumerate(self._ranks) if i not in drop]
+        )
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Group) and self._ranks == other._ranks
+
+    def __hash__(self) -> int:
+        return hash(self._ranks)
+
+    def __repr__(self) -> str:
+        return f"<Group {self._ranks}>"

@@ -1,0 +1,83 @@
+"""Message envelopes and matching.
+
+The point-to-point engine speaks four envelope kinds:
+
+``EAGER``
+    Small message: envelope + payload in one transfer.
+``RTS`` / ``CTS`` / ``RNDV_DATA``
+    Rendezvous for large messages: the sender announces (RTS), the
+    receiver grants when a matching receive is posted (CTS), then the
+    payload moves (RNDV_DATA). This is why a large ``MPI_Send`` blocks
+    until the receiver arrives — exactly the bursty, synchronised
+    traffic pattern the paper's §3 discusses.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+__all__ = [
+    "Envelope",
+    "EAGER",
+    "RTS",
+    "CTS",
+    "RNDV_DATA",
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "ENVELOPE_WIRE_BYTES",
+    "matches",
+]
+
+EAGER = "eager"
+RTS = "rts"
+CTS = "cts"
+RNDV_DATA = "rndv-data"
+
+ANY_SOURCE = -1
+ANY_TAG = -1
+
+#: Wire cost of an envelope/control message (header bytes).
+ENVELOPE_WIRE_BYTES = 32
+
+_send_ids = itertools.count(1)
+
+
+def next_send_id() -> int:
+    return next(_send_ids)
+
+
+@dataclass
+class Envelope:
+    """One unit of MPI wire traffic."""
+
+    kind: str
+    src: int  # world rank of the sender
+    dst: int  # world rank of the receiver
+    tag: int
+    context_id: int
+    nbytes: int  # payload size (0 for control)
+    data: Any = None  # logical message content
+    send_id: int = 0  # rendezvous correlation
+
+    @property
+    def wire_bytes(self) -> int:
+        return ENVELOPE_WIRE_BYTES + (
+            self.nbytes if self.kind in (EAGER, RNDV_DATA) else 0
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"<Envelope {self.kind} {self.src}->{self.dst} tag={self.tag} "
+            f"ctx={self.context_id} {self.nbytes}B>"
+        )
+
+
+def matches(source: int, tag: int, context_id: int, envelope: Envelope) -> bool:
+    """Does a posted receive ``(source, tag, context_id)`` match?"""
+    return (
+        context_id == envelope.context_id
+        and (source == ANY_SOURCE or source == envelope.src)
+        and (tag == ANY_TAG or tag == envelope.tag)
+    )

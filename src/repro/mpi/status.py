@@ -1,0 +1,81 @@
+"""MPI_Status and Request objects."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from ..kernel import Event
+
+__all__ = ["Status", "Request"]
+
+
+@dataclass
+class Status:
+    """Completion information for a receive (MPI_Status)."""
+
+    source: int
+    tag: int
+    nbytes: int
+
+    def get_count(self, datatype) -> int:
+        """Element count of the received message (MPI_Get_count)."""
+        if self.nbytes % datatype.size:
+            raise ValueError(
+                f"{self.nbytes} bytes is not a whole number of {datatype!r}"
+            )
+        return self.nbytes // datatype.size
+
+
+class Request:
+    """Handle for a non-blocking operation (MPI_Request).
+
+    ``yield request.wait()`` suspends until completion; receives
+    resolve to ``(data, Status)``, sends to ``None``.
+    """
+
+    def __init__(self, event: Event) -> None:
+        self._event = event
+
+    def wait(self) -> Event:
+        """The completion event (suitable for ``yield``)."""
+        return self._event
+
+    def test(self):
+        """Non-blocking completion check: ``(done, value_or_None)``."""
+        if self._event.triggered:
+            return True, self._event.value
+        return False, None
+
+    @property
+    def completed(self) -> bool:
+        return self._event.triggered
+
+
+def wait_all(sim, requests) -> Event:
+    """MPI_Waitall: one event that resolves to the list of all
+    completion values, in request order."""
+    requests = list(requests)
+    inner = sim.all_of([r.wait() for r in requests])
+    outer = Event(sim)
+    inner.callbacks.append(
+        lambda _ev: outer.succeed([r.wait().value for r in requests])
+    )
+    return outer
+
+
+def wait_any(sim, requests) -> Event:
+    """MPI_Waitany: resolves to ``(index, value)`` of the first request
+    to complete (ties broken by request order)."""
+    requests = list(requests)
+    inner = sim.any_of([r.wait() for r in requests])
+    outer = Event(sim)
+
+    def finish(_ev):
+        for i, r in enumerate(requests):
+            if r.completed:
+                outer.succeed((i, r.wait().value))
+                return
+
+    inner.callbacks.append(finish)
+    return outer

@@ -1,0 +1,141 @@
+"""Topology-aware collective operations.
+
+The paper's project produced "new techniques for constructing
+topology-aware collective operations" (§1, citing Karonis et al.,
+IPDPS 2000): in a wide-area MPI run, a naive binomial tree sends the
+same payload across the expensive wide-area links many times, while a
+hierarchy-aware tree crosses each wide-area boundary once and fans out
+locally.
+
+These functions implement the two-level scheme over any communicator:
+ranks are grouped into "sites" (by default, the host they run on —
+callers with multi-host sites pass their own ``site_of``), the root
+sends to one leader per remote site, and leaders relay within their
+site.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from .communicator import Communicator
+
+__all__ = ["hierarchical_bcast", "hierarchical_reduce", "site_map"]
+
+
+def site_map(
+    comm: Communicator, site_of: Optional[Callable[[int], Any]] = None
+) -> Dict[Any, List[int]]:
+    """Group the communicator's ranks by site; values are rank lists
+    sorted ascending (the first member acts as site leader)."""
+    if site_of is None:
+        def site_of(rank: int):
+            return comm.world.procs[comm.group.world_rank(rank)].host
+
+    sites: Dict[Any, List[int]] = {}
+    for rank in range(comm.size):
+        sites.setdefault(site_of(rank), []).append(rank)
+    for members in sites.values():
+        members.sort()
+    return sites
+
+
+def hierarchical_bcast(
+    comm: Communicator,
+    data: Any,
+    nbytes: int,
+    root: int = 0,
+    site_of: Optional[Callable[[int], Any]] = None,
+):
+    """Generator: two-level broadcast (wide-area hops minimised).
+
+    Phase 1: the root sends to the leader of every *other* site (one
+    wide-area message per site). Phase 2: each leader (and the root)
+    relays to the other ranks of its own site (local messages).
+    """
+    tag = comm._coll_tag()
+    sites = site_map(comm, site_of)
+    my_site = None
+    for key, members in sites.items():
+        if comm.rank in members:
+            my_site = key
+            break
+    members = sites[my_site]
+    root_site = next(k for k, m in sites.items() if root in m)
+    leader = root if my_site == root_site else members[0]
+
+    if comm.rank == root:
+        sends = []
+        for key, site_members in sites.items():
+            if key == root_site:
+                continue
+            sends.append(comm._coll_isend(site_members[0], tag, nbytes, data))
+        for ev in sends:
+            yield ev
+    elif comm.rank == leader:
+        envelope = yield comm._coll_recv(root, tag)
+        data = envelope.data
+
+    # Intra-site fan-out.
+    if comm.rank == leader:
+        sends = []
+        for member in members:
+            if member != leader and member != root:
+                sends.append(comm._coll_isend(member, tag, nbytes, data))
+        for ev in sends:
+            yield ev
+    elif comm.rank != root:
+        envelope = yield comm._coll_recv(leader, tag)
+        data = envelope.data
+    return data
+
+
+def hierarchical_reduce(
+    comm: Communicator,
+    data: Any,
+    nbytes: int,
+    op: Callable,
+    root: int = 0,
+    site_of: Optional[Callable[[int], Any]] = None,
+):
+    """Generator: two-level reduction (combine locally, then one
+    wide-area message per site). Result only at ``root``.
+
+    ``op`` must be associative and commutative (local partial sums are
+    combined in site order, not rank order).
+    """
+    tag = comm._coll_tag()
+    sites = site_map(comm, site_of)
+    my_site = None
+    for key, members in sites.items():
+        if comm.rank in members:
+            my_site = key
+            break
+    members = sites[my_site]
+    root_site = next(k for k, m in sites.items() if root in m)
+    leader = root if my_site == root_site else members[0]
+
+    if comm.rank != leader:
+        # Send the local contribution to the site leader.
+        yield comm._coll_isend(leader, tag, nbytes, data)
+        return None
+
+    # Leader: combine the site's contributions. ANY_SOURCE is safe —
+    # at the root, local and remote partials may interleave, and op is
+    # commutative.
+    value = data
+    for _ in range(len(members) - 1):
+        envelope = yield comm._coll_recv(-1, tag)
+        value = op(value, envelope.data)
+    if comm.rank != root:
+        # ...and forward one wide-area message.
+        yield comm._coll_isend(root, tag, nbytes, value)
+        return None
+
+    # Root: fold in the other sites' partials.
+    for key, site_members in sites.items():
+        if key == root_site:
+            continue
+        envelope = yield comm._coll_recv(site_members[0], tag)
+        value = op(value, envelope.data)
+    return value

@@ -1,0 +1,130 @@
+"""MPI world setup: rank placement, startup, and context allocation.
+
+:class:`MpiWorld` plays the role of ``mpirun`` + the MPICH device
+layer: it pins one rank to each given host (hosts may repeat for
+multi-rank nodes), owns the keyval registry, and hands each rank its
+``COMM_WORLD`` view.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..kernel import Process, Simulator
+from ..net.node import Host
+from ..transport.tcp import TcpConfig
+from .attributes import KeyvalRegistry
+from .communicator import Communicator
+from .engine import MpiProcess
+from .errors import MpiError
+from .group import Group
+
+__all__ = ["MpiWorld"]
+
+#: Default eager/rendezvous switch-over (MPICH-era 64 KB).
+DEFAULT_EAGER_THRESHOLD = 64 * 1024
+
+
+class MpiWorld:
+    """The set of MPI processes of one application run."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        hosts: List[Host],
+        eager_threshold: int = DEFAULT_EAGER_THRESHOLD,
+        base_port: int = 6000,
+        tcp_config: Optional[TcpConfig] = None,
+    ) -> None:
+        if not hosts:
+            raise MpiError("an MPI world needs at least one host")
+        self.sim = sim
+        self.eager_threshold = eager_threshold
+        self.base_port = base_port
+        self.tcp_config = tcp_config
+        self.keyvals = KeyvalRegistry()
+        self._next_ctx = 2  # 0/1 reserved for COMM_WORLD
+        self._ctx_alloc: Dict[Any, Tuple[int, int]] = {}
+        self.procs: List[MpiProcess] = [
+            MpiProcess(self, rank, host) for rank, host in enumerate(hosts)
+        ]
+        self._world_group = Group(range(self.size))
+        self._comm_world: Dict[int, Communicator] = {}
+
+    @property
+    def size(self) -> int:
+        return len(self.procs)
+
+    # -- context ids --------------------------------------------------------
+
+    def shared_contexts(self, key: Any) -> Tuple[int, int]:
+        """Deterministic context-id pair shared by all ranks making the
+        same collective communicator-creation call."""
+        pair = self._ctx_alloc.get(key)
+        if pair is None:
+            pair = (self._next_ctx, self._next_ctx + 1)
+            self._next_ctx += 2
+            self._ctx_alloc[key] = pair
+        return pair
+
+    # -- keyvals --------------------------------------------------------------
+
+    def create_keyval(
+        self,
+        copy_fn: Optional[Callable] = None,
+        delete_fn: Optional[Callable] = None,
+        put_hook: Optional[Callable] = None,
+        extra_state: Any = None,
+    ):
+        """MPI_Keyval_create (plus the MPICH-GQ put hook)."""
+        return self.keyvals.create(copy_fn, delete_fn, put_hook, extra_state)
+
+    # -- communicators -----------------------------------------------------------
+
+    def comm_world(self, rank: int) -> Communicator:
+        """Rank ``rank``'s COMM_WORLD instance."""
+        comm = self._comm_world.get(rank)
+        if comm is None:
+            comm = Communicator(
+                self,
+                self.procs[rank],
+                self._world_group,
+                ctx_pt2pt=0,
+                ctx_coll=1,
+                name="MPI_COMM_WORLD",
+            )
+            self._comm_world[rank] = comm
+        return comm
+
+    # -- end-system traffic shaping (§5.4) -----------------------------------
+
+    def set_flow_shaper(self, src_rank: int, dst_rank: int, shaper) -> None:
+        """Pace all ``src_rank -> dst_rank`` MPI traffic through
+        ``shaper`` (None removes it). This is the paper's proposed
+        "traffic-shaping support ... on the end-system"."""
+        proc = self.procs[src_rank]
+        if shaper is None:
+            proc.shapers.pop(dst_rank, None)
+        else:
+            proc.shapers[dst_rank] = shaper
+
+    # -- program startup ------------------------------------------------------------
+
+    def launch(
+        self, main: Callable, *args: Any, ranks: Optional[List[int]] = None
+    ) -> List[Process]:
+        """Start ``main(comm, *args)`` as a process on each rank.
+
+        ``main`` must be a generator function taking the rank's
+        COMM_WORLD as its first argument (the SPMD entry point).
+        """
+        selected = range(self.size) if ranks is None else ranks
+        return [
+            self.sim.process(
+                main(self.comm_world(rank), *args), name=f"mpi-main-{rank}"
+            )
+            for rank in selected
+        ]
+
+    def __repr__(self) -> str:
+        return f"<MpiWorld size={self.size}>"

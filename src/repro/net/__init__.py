@@ -1,0 +1,56 @@
+"""Network substrate: packets, queues, links, nodes, topologies."""
+
+from .packet import (
+    DEFAULT_TTL,
+    FlowKey,
+    IP_HEADER_BYTES,
+    Packet,
+    PROTO_TCP,
+    PROTO_UDP,
+    TCP_HEADER_BYTES,
+    UDP_HEADER_BYTES,
+)
+from .node import Host, Interface, Node, Router
+from .queues import DropTailQueue, Qdisc
+from .topology import (
+    GarnetTestbed,
+    LinkRecord,
+    Network,
+    WideAreaTestbed,
+    garnet,
+    garnet_wide,
+)
+from .trace import PacketTracer, TraceRecord
+from .units import KB, MB, kbps, mbps, to_kbps, to_mbps, transmission_time
+
+__all__ = [
+    "DEFAULT_TTL",
+    "DropTailQueue",
+    "FlowKey",
+    "GarnetTestbed",
+    "Host",
+    "IP_HEADER_BYTES",
+    "Interface",
+    "KB",
+    "LinkRecord",
+    "MB",
+    "Network",
+    "Node",
+    "PROTO_TCP",
+    "PROTO_UDP",
+    "Packet",
+    "PacketTracer",
+    "Qdisc",
+    "Router",
+    "TCP_HEADER_BYTES",
+    "TraceRecord",
+    "UDP_HEADER_BYTES",
+    "WideAreaTestbed",
+    "garnet",
+    "garnet_wide",
+    "kbps",
+    "mbps",
+    "to_kbps",
+    "to_mbps",
+    "transmission_time",
+]

@@ -1,0 +1,211 @@
+"""Nodes (hosts and routers) and their interfaces.
+
+The data path is callback-scheduled, not process-based, because packet
+forwarding is the simulation's hot loop: an interface transmits by
+scheduling a completion timer and the link delivers by scheduling an
+arrival at the peer node.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from ..kernel import Simulator
+from .packet import Packet
+from .queues import DropTailQueue, Qdisc
+from .units import transmission_time
+
+__all__ = ["Interface", "Node", "Host", "Router"]
+
+
+class Interface:
+    """One attachment point of a node to a point-to-point link.
+
+    Egress packets pass through the interface's :class:`Qdisc`; the
+    interface serialises them at the link bandwidth and hands them to
+    the peer interface's node after the propagation delay.
+    """
+
+    def __init__(
+        self,
+        node: "Node",
+        name: str,
+        bandwidth: float,
+        delay: float,
+        qdisc: Optional[Qdisc] = None,
+    ) -> None:
+        if bandwidth <= 0:
+            raise ValueError("bandwidth must be positive")
+        if delay < 0:
+            raise ValueError("delay cannot be negative")
+        self.node = node
+        self.name = name
+        self.bandwidth = bandwidth
+        self.delay = delay
+        self.qdisc: Qdisc = qdisc if qdisc is not None else DropTailQueue()
+        #: The interface at the other end of the link (set when linked).
+        self.peer: Optional["Interface"] = None
+        #: Ingress traffic conditioners (classify/police/mark), applied
+        #: to every packet arriving *into* the node via this interface.
+        #: Each is a callable ``(packet) -> bool``; False drops.
+        self.ingress: List[Callable[[Packet], bool]] = []
+        self._busy = False
+        # Counters.
+        self.tx_packets = 0
+        self.tx_bytes = 0
+        self.rx_packets = 0
+        self.rx_bytes = 0
+        self.ingress_drops = 0
+
+    @property
+    def sim(self) -> Simulator:
+        return self.node.sim
+
+    def send(self, packet: Packet) -> bool:
+        """Queue ``packet`` for transmission; False if the qdisc dropped it."""
+        if self.peer is None:
+            raise RuntimeError(f"{self!r} is not connected to a link")
+        if not self.qdisc.enqueue(packet):
+            return False
+        if not self._busy:
+            self._transmit_next()
+        return True
+
+    def _transmit_next(self) -> None:
+        packet = self.qdisc.dequeue()
+        if packet is None:
+            self._busy = False
+            return
+        self._busy = True
+        self.sim.call_in(
+            transmission_time(packet.size, self.bandwidth), self._tx_done, packet
+        )
+
+    def _tx_done(self, packet: Packet) -> None:
+        self.tx_packets += 1
+        self.tx_bytes += packet.size
+        peer = self.peer
+        self.sim.call_in(self.delay, peer._deliver_arrival, packet)
+        self._transmit_next()
+
+    def _deliver_arrival(self, packet: Packet) -> None:
+        self.rx_packets += 1
+        self.rx_bytes += packet.size
+        for conditioner in self.ingress:
+            if not conditioner(packet):
+                self.ingress_drops += 1
+                return
+        self.node.receive(packet, self)
+
+    def __repr__(self) -> str:
+        return f"<Interface {self.node.name}.{self.name}>"
+
+
+class Node:
+    """Base class for hosts and routers."""
+
+    def __init__(self, sim: Simulator, name: str, addr: int) -> None:
+        self.sim = sim
+        self.name = name
+        self.addr = addr
+        self.interfaces: List[Interface] = []
+        #: Static routing: destination address -> egress interface.
+        self.routes: Dict[int, Interface] = {}
+        self.ttl_drops = 0
+        self.no_route_drops = 0
+
+    def add_interface(
+        self,
+        bandwidth: float,
+        delay: float,
+        qdisc: Optional[Qdisc] = None,
+    ) -> Interface:
+        iface = Interface(
+            self, f"eth{len(self.interfaces)}", bandwidth, delay, qdisc
+        )
+        self.interfaces.append(iface)
+        return iface
+
+    def receive(self, packet: Packet, iface: Interface) -> None:
+        """Handle a packet arriving at this node."""
+        if packet.dst == self.addr:
+            self.deliver(packet)
+        else:
+            self.forward(packet)
+
+    def forward(self, packet: Packet) -> None:
+        """Route a transit packet out the next-hop interface."""
+        packet.ttl -= 1
+        if packet.ttl <= 0:
+            self.ttl_drops += 1
+            return
+        egress = self.routes.get(packet.dst)
+        if egress is None:
+            self.no_route_drops += 1
+            return
+        egress.send(packet)
+
+    def deliver(self, packet: Packet) -> None:
+        """Pass a locally-addressed packet up the stack."""
+        raise NotImplementedError(f"{self.name} cannot terminate packets")
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name} addr={self.addr}>"
+
+
+class Host(Node):
+    """An end system: terminates transport protocols, owns a CPU.
+
+    Protocol layers (TCP, UDP) register themselves in
+    :attr:`protocols`, keyed by IP protocol number. The CPU model is
+    attached lazily by :class:`repro.cpu.scheduler.Cpu`.
+    """
+
+    def __init__(self, sim: Simulator, name: str, addr: int) -> None:
+        super().__init__(sim, name, addr)
+        self.protocols: Dict[int, "object"] = {}
+        self.unknown_proto_drops = 0
+        #: Set by repro.cpu.Cpu when a CPU model is attached.
+        self.cpu = None
+
+    def register_protocol(self, proto: int, layer: "object") -> None:
+        if proto in self.protocols:
+            raise ValueError(f"protocol {proto} already registered on {self.name}")
+        self.protocols[proto] = layer
+
+    def deliver(self, packet: Packet) -> None:
+        layer = self.protocols.get(packet.proto)
+        if layer is None:
+            self.unknown_proto_drops += 1
+            return
+        layer.receive(packet)
+
+    def default_interface(self) -> Interface:
+        """The host's (single) attachment; hosts are single-homed here."""
+        if not self.interfaces:
+            raise RuntimeError(f"{self.name} has no interfaces")
+        return self.interfaces[0]
+
+    #: Loopback latency for self-addressed packets.
+    LOOPBACK_DELAY = 5e-6
+
+    def send_packet(self, packet: Packet) -> bool:
+        """Transport-layer egress: loopback for self-addressed packets,
+        the default interface otherwise."""
+        if packet.dst == self.addr:
+            self.sim.call_in(self.LOOPBACK_DELAY, self.deliver, packet)
+            return True
+        return self.default_interface().send(packet)
+
+
+class Router(Node):
+    """A store-and-forward router.
+
+    QoS behaviour comes from what is installed on it: ingress
+    conditioners on its interfaces and (priority) qdiscs on its egress
+    ports — see :mod:`repro.diffserv`.
+    """
+
+    def deliver(self, packet: Packet) -> None:
+        # Routers do not terminate transport flows in this model.
+        self.no_route_drops += 1

@@ -1,0 +1,121 @@
+"""Packets and flow identification.
+
+A :class:`Packet` models one IP datagram on the wire. Payload bytes are
+never materialised — ``size`` carries the wire length (headers
+included) and ``payload`` carries the protocol control object (a TCP
+segment or UDP datagram descriptor).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, NamedTuple, Optional
+
+__all__ = [
+    "Packet",
+    "FlowKey",
+    "PROTO_TCP",
+    "PROTO_UDP",
+    "IP_HEADER_BYTES",
+    "TCP_HEADER_BYTES",
+    "UDP_HEADER_BYTES",
+    "DEFAULT_TTL",
+]
+
+PROTO_TCP = 6
+PROTO_UDP = 17
+
+#: Header sizes used for wire-length accounting (no options).
+IP_HEADER_BYTES = 20
+TCP_HEADER_BYTES = 20
+UDP_HEADER_BYTES = 8
+
+DEFAULT_TTL = 64
+
+_uid_counter = itertools.count(1)
+
+
+class FlowKey(NamedTuple):
+    """The classic 5-tuple identifying a transport flow."""
+
+    src: int
+    dst: int
+    sport: int
+    dport: int
+    proto: int
+
+    def reversed(self) -> "FlowKey":
+        """The key of the reverse-direction flow."""
+        return FlowKey(self.dst, self.src, self.dport, self.sport, self.proto)
+
+
+class Packet:
+    """One simulated IP packet.
+
+    Attributes
+    ----------
+    src, dst:
+        Integer node addresses.
+    sport, dport:
+        Transport ports.
+    proto:
+        ``PROTO_TCP`` or ``PROTO_UDP``.
+    dscp:
+        DiffServ codepoint (see :mod:`repro.diffserv.dscp`).
+    size:
+        Total wire length in bytes, headers included.
+    payload:
+        Protocol control object (opaque to the network layer).
+    """
+
+    __slots__ = (
+        "src",
+        "dst",
+        "sport",
+        "dport",
+        "proto",
+        "dscp",
+        "size",
+        "payload",
+        "ttl",
+        "uid",
+        "created_at",
+    )
+
+    def __init__(
+        self,
+        src: int,
+        dst: int,
+        sport: int,
+        dport: int,
+        proto: int,
+        size: int,
+        payload: Any = None,
+        dscp: int = 0,
+        ttl: int = DEFAULT_TTL,
+        created_at: float = 0.0,
+    ) -> None:
+        if size <= 0:
+            raise ValueError(f"packet size must be positive, got {size}")
+        self.src = src
+        self.dst = dst
+        self.sport = sport
+        self.dport = dport
+        self.proto = proto
+        self.dscp = dscp
+        self.size = size
+        self.payload = payload
+        self.ttl = ttl
+        self.uid = next(_uid_counter)
+        self.created_at = created_at
+
+    @property
+    def flow_key(self) -> FlowKey:
+        return FlowKey(self.src, self.dst, self.sport, self.dport, self.proto)
+
+    def __repr__(self) -> str:
+        proto = {PROTO_TCP: "tcp", PROTO_UDP: "udp"}.get(self.proto, self.proto)
+        return (
+            f"<Packet #{self.uid} {proto} {self.src}:{self.sport}->"
+            f"{self.dst}:{self.dport} {self.size}B dscp={self.dscp}>"
+        )

@@ -1,0 +1,92 @@
+"""Output-queue disciplines (qdiscs).
+
+A qdisc sits on the egress side of an interface. The base discipline
+here is drop-tail FIFO; the DiffServ priority-queuing discipline lives
+in :mod:`repro.diffserv.phb` and implements the same interface.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+from .packet import Packet
+
+__all__ = ["Qdisc", "DropTailQueue"]
+
+
+class Qdisc:
+    """Interface all queue disciplines implement."""
+
+    def enqueue(self, packet: Packet) -> bool:
+        """Queue ``packet``; return False if it was dropped instead."""
+        raise NotImplementedError
+
+    def dequeue(self) -> Optional[Packet]:
+        """Remove and return the next packet to transmit, or None."""
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    @property
+    def backlog_bytes(self) -> int:
+        """Bytes currently queued."""
+        raise NotImplementedError
+
+
+class DropTailQueue(Qdisc):
+    """Bounded FIFO that drops arrivals when full.
+
+    The bound may be expressed in packets, bytes, or both; a packet is
+    dropped if admitting it would exceed either bound.
+    """
+
+    def __init__(
+        self,
+        limit_packets: Optional[int] = 1000,
+        limit_bytes: Optional[int] = None,
+    ) -> None:
+        if limit_packets is None and limit_bytes is None:
+            raise ValueError("at least one of the limits must be set")
+        if limit_packets is not None and limit_packets <= 0:
+            raise ValueError("limit_packets must be positive")
+        if limit_bytes is not None and limit_bytes <= 0:
+            raise ValueError("limit_bytes must be positive")
+        self.limit_packets = limit_packets
+        self.limit_bytes = limit_bytes
+        self._queue: Deque[Packet] = deque()
+        self._bytes = 0
+        #: Total packets dropped at this queue.
+        self.drops = 0
+        self.drop_bytes = 0
+
+    def enqueue(self, packet: Packet) -> bool:
+        if self.limit_packets is not None and len(self._queue) >= self.limit_packets:
+            self.drops += 1
+            self.drop_bytes += packet.size
+            return False
+        if (
+            self.limit_bytes is not None
+            and self._bytes + packet.size > self.limit_bytes
+        ):
+            self.drops += 1
+            self.drop_bytes += packet.size
+            return False
+        self._queue.append(packet)
+        self._bytes += packet.size
+        return True
+
+    def dequeue(self) -> Optional[Packet]:
+        if not self._queue:
+            return None
+        packet = self._queue.popleft()
+        self._bytes -= packet.size
+        return packet
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    @property
+    def backlog_bytes(self) -> int:
+        return self._bytes

@@ -1,0 +1,313 @@
+"""Network container, link wiring, and static routing.
+
+A :class:`Network` owns the nodes and the link graph; after wiring,
+:meth:`Network.build_routes` computes delay-weighted shortest paths
+(via networkx) and installs next-hop tables on every node.
+
+:func:`garnet` builds the paper's GARNET testbed (Fig 4): premium and
+competitive source hosts behind an edge router, a core router, and a
+second edge router in front of the destination hosts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+import networkx as nx
+
+from ..kernel import Simulator
+from .node import Host, Interface, Node, Router
+from .queues import DropTailQueue, Qdisc
+from .units import mbps
+
+__all__ = ["Network", "LinkRecord", "GarnetTestbed", "garnet"]
+
+
+@dataclass
+class LinkRecord:
+    """Bookkeeping for one full-duplex point-to-point link."""
+
+    node_a: Node
+    node_b: Node
+    iface_ab: Interface  # egress of node_a towards node_b
+    iface_ba: Interface  # egress of node_b towards node_a
+    bandwidth: float
+    delay: float
+
+    def egress_towards(self, node: Node) -> Interface:
+        """The interface transmitting *towards* ``node``."""
+        if node is self.node_b:
+            return self.iface_ab
+        if node is self.node_a:
+            return self.iface_ba
+        raise ValueError(f"{node!r} is not an endpoint of this link")
+
+
+class Network:
+    """Container wiring hosts, routers, and links into one topology."""
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self.nodes: Dict[str, Node] = {}
+        self.by_addr: Dict[int, Node] = {}
+        self.links: List[LinkRecord] = []
+        self.graph = nx.Graph()
+        self._next_addr = 1
+        self._routes_built = False
+
+    # -- construction ---------------------------------------------------
+
+    def _register(self, node: Node) -> None:
+        if node.name in self.nodes:
+            raise ValueError(f"duplicate node name {node.name!r}")
+        self.nodes[node.name] = node
+        self.by_addr[node.addr] = node
+        self.graph.add_node(node.name)
+
+    def add_host(self, name: str) -> Host:
+        host = Host(self.sim, name, self._next_addr)
+        self._next_addr += 1
+        self._register(host)
+        return host
+
+    def add_router(self, name: str) -> Router:
+        router = Router(self.sim, name, self._next_addr)
+        self._next_addr += 1
+        self._register(router)
+        return router
+
+    def connect(
+        self,
+        a: Node,
+        b: Node,
+        bandwidth: float,
+        delay: float,
+        qdisc_factory: Optional[Callable[[], Qdisc]] = None,
+    ) -> LinkRecord:
+        """Create a full-duplex link between ``a`` and ``b``.
+
+        ``qdisc_factory`` builds the egress queue for each direction
+        (default: 100-packet drop-tail, roughly a late-90s router port).
+        """
+        factory = qdisc_factory or (lambda: DropTailQueue(limit_packets=100))
+        iface_ab = a.add_interface(bandwidth, delay, factory())
+        iface_ba = b.add_interface(bandwidth, delay, factory())
+        iface_ab.peer = iface_ba
+        iface_ba.peer = iface_ab
+        record = LinkRecord(a, b, iface_ab, iface_ba, bandwidth, delay)
+        self.links.append(record)
+        self.graph.add_edge(a.name, b.name, delay=delay, record=record)
+        self._routes_built = False
+        return record
+
+    # -- routing ----------------------------------------------------------
+
+    def build_routes(self) -> None:
+        """Compute delay-weighted shortest paths and install next hops."""
+        paths = dict(nx.all_pairs_dijkstra_path(self.graph, weight="delay"))
+        for src_name, dsts in paths.items():
+            src = self.nodes[src_name]
+            src.routes.clear()
+            for dst_name, path in dsts.items():
+                if dst_name == src_name or len(path) < 2:
+                    continue
+                next_hop = self.nodes[path[1]]
+                record: LinkRecord = self.graph.edges[src_name, path[1]]["record"]
+                src.routes[self.nodes[dst_name].addr] = record.egress_towards(next_hop)
+        self._routes_built = True
+
+    def path(self, src: Node, dst: Node) -> List[Node]:
+        """The node sequence from ``src`` to ``dst``."""
+        names = nx.dijkstra_path(self.graph, src.name, dst.name, weight="delay")
+        return [self.nodes[n] for n in names]
+
+    def path_interfaces(self, src: Node, dst: Node) -> List[Interface]:
+        """Egress interfaces traversed from ``src`` to ``dst``, in order.
+
+        This is what a network reservation must be installed on: the
+        first entry is the source's own egress; subsequent entries are
+        the routers' egress ports along the path.
+        """
+        nodes = self.path(src, dst)
+        ifaces = []
+        for here, there in zip(nodes, nodes[1:]):
+            record: LinkRecord = self.graph.edges[here.name, there.name]["record"]
+            ifaces.append(record.egress_towards(there))
+        return ifaces
+
+    def round_trip_delay(self, src: Node, dst: Node) -> float:
+        """Sum of propagation delays along the path, both directions."""
+        length = nx.dijkstra_path_length(self.graph, src.name, dst.name, weight="delay")
+        return 2.0 * length
+
+    def node(self, name: str) -> Node:
+        return self.nodes[name]
+
+
+@dataclass
+class GarnetTestbed:
+    """The GARNET laboratory testbed of the paper (Fig 4).
+
+    Two edge routers around a core router; premium and competitive
+    (contention-generating) hosts on each side. The edge-to-core and
+    core-to-edge links form the congestible backbone.
+    """
+
+    network: Network
+    premium_src: Host
+    premium_dst: Host
+    competitive_src: Host
+    competitive_dst: Host
+    edge1: Router
+    core: Router
+    edge2: Router
+    backbone_bandwidth: float
+    #: Egress interfaces on the forward (src->dst) backbone path.
+    forward_backbone: List[Interface] = field(default_factory=list)
+
+    @property
+    def sim(self) -> Simulator:
+        return self.network.sim
+
+    def hosts(self) -> List[Host]:
+        return [
+            self.premium_src,
+            self.premium_dst,
+            self.competitive_src,
+            self.competitive_dst,
+        ]
+
+
+def garnet(
+    sim: Simulator,
+    access_bandwidth: float = mbps(100.0),
+    access_delay: float = 0.05e-3,
+    backbone_bandwidth: float = mbps(155.0),
+    backbone_delay: float = 0.5e-3,
+    queue_packets: int = 100,
+) -> GarnetTestbed:
+    """Build the GARNET topology.
+
+    Defaults mirror the paper's hardware: switched Fast Ethernet access
+    links (100 Mb/s) and OC3 (155 Mb/s) backbone with millisecond-scale
+    round-trip delay ("on the order of a millisecond or two", §4.3).
+    Experiments that need a tighter bottleneck pass a smaller
+    ``backbone_bandwidth``.
+    """
+    net = Network(sim)
+    psrc = net.add_host("premium_src")
+    pdst = net.add_host("premium_dst")
+    csrc = net.add_host("competitive_src")
+    cdst = net.add_host("competitive_dst")
+    edge1 = net.add_router("edge1")
+    core = net.add_router("core")
+    edge2 = net.add_router("edge2")
+
+    qf = lambda: DropTailQueue(limit_packets=queue_packets)  # noqa: E731
+    a1 = net.connect(psrc, edge1, access_bandwidth, access_delay, qf)
+    a2 = net.connect(csrc, edge1, access_bandwidth, access_delay, qf)
+    l1 = net.connect(edge1, core, backbone_bandwidth, backbone_delay, qf)
+    l2 = net.connect(core, edge2, backbone_bandwidth, backbone_delay, qf)
+    a3 = net.connect(edge2, pdst, access_bandwidth, access_delay, qf)
+    a4 = net.connect(edge2, cdst, access_bandwidth, access_delay, qf)
+    # Hosts get deep egress buffers: end-system kernels backpressure
+    # TCP rather than dropping on the local queue.
+    for link, host in ((a1, psrc), (a2, csrc), (a3, pdst), (a4, cdst)):
+        link.egress_towards(
+            link.node_b if host is link.node_a else link.node_a
+        ).qdisc = DropTailQueue(limit_packets=2000)
+    net.build_routes()
+
+    return GarnetTestbed(
+        network=net,
+        premium_src=psrc,
+        premium_dst=pdst,
+        competitive_src=csrc,
+        competitive_dst=cdst,
+        edge1=edge1,
+        core=core,
+        edge2=edge2,
+        backbone_bandwidth=backbone_bandwidth,
+        forward_backbone=[l1.egress_towards(core), l2.egress_towards(edge2)],
+    )
+
+
+@dataclass
+class WideAreaTestbed:
+    """GARNET with its wide-area extensions (Fig 4, upper half).
+
+    The laboratory testbed "is connected to a number of remote sites"
+    through the ESnet and MREN/EMERGE clouds; "the wide area extensions
+    allow for more realistic operation, albeit with a small number of
+    sites". Sites here: ANL (the GARNET lab), plus LBNL and SNL behind
+    an ESnet cloud router and UChicago and UIUC behind an MREN cloud
+    router, each site with one host and one edge router.
+    """
+
+    network: Network
+    #: Site name -> the site's single end host.
+    hosts: Dict[str, Host]
+    #: Site name -> the site's edge router.
+    edges: Dict[str, Router]
+    #: The two wide-area cloud routers.
+    esnet: Router
+    mren: Router
+    #: All routers, in a stable order (for DiffServ deployment).
+    routers: List[Router] = field(default_factory=list)
+
+    @property
+    def sim(self) -> Simulator:
+        return self.network.sim
+
+    @property
+    def site_names(self) -> List[str]:
+        return sorted(self.hosts)
+
+
+def garnet_wide(
+    sim: Simulator,
+    access_bandwidth: float = mbps(100.0),
+    access_delay: float = 0.05e-3,
+    lab_bandwidth: float = mbps(155.0),
+    lab_delay: float = 0.5e-3,
+    esnet_bandwidth: float = mbps(45.0),  # "VCs of varying capacity"
+    esnet_delay: float = 12e-3,
+    mren_bandwidth: float = mbps(34.0),
+    mren_delay: float = 4e-3,
+) -> WideAreaTestbed:
+    """Build the wide-area GARNET (Fig 4): the ANL lab plus four remote
+    sites reached through ESnet and MREN cloud routers, with WAN links
+    slower and much longer-delay than the lab backbone."""
+    net = Network(sim)
+    esnet = net.add_router("esnet")
+    mren = net.add_router("mren")
+    sites = {
+        "anl": (esnet, lab_bandwidth, lab_delay),
+        "lbnl": (esnet, esnet_bandwidth, esnet_delay),
+        "snl": (esnet, esnet_bandwidth, esnet_delay * 1.5),
+        "uchicago": (mren, mren_bandwidth, mren_delay),
+        "uiuc": (mren, mren_bandwidth, mren_delay * 2),
+    }
+    hosts: Dict[str, Host] = {}
+    edges: Dict[str, Router] = {}
+    for name, (cloud, wan_bw, wan_delay) in sites.items():
+        host = net.add_host(f"{name}_host")
+        edge = net.add_router(f"{name}_edge")
+        access = net.connect(host, edge, access_bandwidth, access_delay)
+        access.egress_towards(edge).qdisc = DropTailQueue(limit_packets=2000)
+        net.connect(edge, cloud, wan_bw, wan_delay)
+        hosts[name] = host
+        edges[name] = edge
+    # The two clouds peer (ANL sits on both in reality; one peering
+    # link keeps the graph simple and the paths deterministic).
+    net.connect(esnet, mren, mbps(155.0), 2e-3)
+    net.build_routes()
+    return WideAreaTestbed(
+        network=net,
+        hosts=hosts,
+        edges=edges,
+        esnet=esnet,
+        mren=mren,
+        routers=[*edges.values(), esnet, mren],
+    )

@@ -1,0 +1,41 @@
+"""Unit helpers and conventions.
+
+Throughout :mod:`repro`: time is in seconds, bandwidth in bits per
+second, sizes in bytes. The paper quotes bandwidths in Kb/s (kilobits
+per second); :func:`kbps` converts those literals.
+"""
+
+from __future__ import annotations
+
+__all__ = ["kbps", "mbps", "to_kbps", "to_mbps", "KB", "MB", "transmission_time"]
+
+#: Bytes per kilobyte / megabyte (powers of two, as the paper's "KB").
+KB = 1024
+MB = 1024 * 1024
+
+
+def kbps(value: float) -> float:
+    """Kilobits/second -> bits/second."""
+    return value * 1e3
+
+
+def mbps(value: float) -> float:
+    """Megabits/second -> bits/second."""
+    return value * 1e6
+
+
+def to_kbps(bits_per_second: float) -> float:
+    """Bits/second -> kilobits/second."""
+    return bits_per_second / 1e3
+
+
+def to_mbps(bits_per_second: float) -> float:
+    """Bits/second -> megabits/second."""
+    return bits_per_second / 1e6
+
+
+def transmission_time(size_bytes: float, bandwidth_bps: float) -> float:
+    """Seconds to serialise ``size_bytes`` onto a ``bandwidth_bps`` link."""
+    if bandwidth_bps <= 0:
+        raise ValueError("bandwidth must be positive")
+    return size_bytes * 8.0 / bandwidth_bps

@@ -1,0 +1,26 @@
+"""Transport protocols over the simulated network: TCP and UDP."""
+
+from .tcp import (
+    ConnectionClosed,
+    ConnectionRefused,
+    MSS_BYTES,
+    TcpConfig,
+    TcpConnection,
+    TcpLayer,
+    TcpListener,
+)
+from .udp import MTU_BYTES, UDP_MAX_PAYLOAD, UdpLayer, UdpSocket
+
+__all__ = [
+    "ConnectionClosed",
+    "ConnectionRefused",
+    "MSS_BYTES",
+    "MTU_BYTES",
+    "TcpConfig",
+    "TcpConnection",
+    "TcpLayer",
+    "TcpListener",
+    "UDP_MAX_PAYLOAD",
+    "UdpLayer",
+    "UdpSocket",
+]

@@ -1,0 +1,30 @@
+"""A byte-counting TCP Reno/NewReno implementation over the simulated
+network — the reliable transport whose congestion behaviour under
+token-bucket policing drives the paper's results."""
+
+from .buffers import ReceiveBuffer, SendBuffer
+from .config import MSS_BYTES, SEGMENT_OVERHEAD_BYTES, TcpConfig
+from .connection import ConnectionClosed, ConnectionRefused, TcpConnection
+from .layer import TcpLayer, TcpListener
+from .rtt import RttEstimator
+from .segment import ACK, FIN, FINACK, PROBE, SYN, TcpSegment
+
+__all__ = [
+    "ACK",
+    "ConnectionClosed",
+    "ConnectionRefused",
+    "FIN",
+    "FINACK",
+    "MSS_BYTES",
+    "PROBE",
+    "ReceiveBuffer",
+    "RttEstimator",
+    "SEGMENT_OVERHEAD_BYTES",
+    "SYN",
+    "SendBuffer",
+    "TcpConfig",
+    "TcpConnection",
+    "TcpLayer",
+    "TcpListener",
+    "TcpSegment",
+]

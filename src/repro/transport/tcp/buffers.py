@@ -1,0 +1,208 @@
+"""Send/receive buffer bookkeeping for the byte-counting TCP model.
+
+No payload bytes exist; both buffers track absolute byte *offsets*
+within the connection's stream. Application-level message boundaries
+("markers") ride with the stream: the sender records the offset at
+which each written message ends, segments carry the markers falling in
+their range, and the receiver surfaces a marker's object once the
+stream is in-order past its end offset. This is how the MPI layer gets
+message framing over the simulated byte stream.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = ["SendBuffer", "ReceiveBuffer"]
+
+
+class SendBuffer:
+    """Sender-side stream bookkeeping.
+
+    ``written`` is the absolute end of application data; ``una`` (set
+    by the connection as ACKs arrive) is the lowest unacknowledged
+    offset. Occupancy is ``written - una``.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self.written = 0
+        self.una = 0
+        # Marker end-offsets (sorted) and their payloads.
+        self._marker_ends: List[int] = []
+        self._marker_objs: List[Any] = []
+
+    @property
+    def occupancy(self) -> int:
+        return self.written - self.una
+
+    def space_for(self, nbytes: int) -> bool:
+        return self.occupancy + nbytes <= self.capacity
+
+    def write(self, nbytes: int, marker: Any = None) -> None:
+        """Append ``nbytes`` to the stream, optionally ending a message."""
+        if nbytes <= 0:
+            raise ValueError("write size must be positive")
+        self.written += nbytes
+        if marker is not None:
+            self._marker_ends.append(self.written)
+            self._marker_objs.append(marker)
+
+    def markers_in(self, start: int, end: int) -> List[Tuple[int, Any]]:
+        """Markers with end offset in ``(start, end]`` (segment range)."""
+        lo = bisect.bisect_right(self._marker_ends, start)
+        hi = bisect.bisect_right(self._marker_ends, end)
+        return [
+            (self._marker_ends[i], self._marker_objs[i]) for i in range(lo, hi)
+        ]
+
+    def ack_to(self, offset: int) -> int:
+        """Advance ``una``; returns newly-acknowledged byte count.
+
+        Markers wholly below ``una`` can no longer be retransmitted and
+        are pruned.
+        """
+        if offset <= self.una:
+            return 0
+        if offset > self.written:
+            raise ValueError(f"ack {offset} beyond written {self.written}")
+        delta = offset - self.una
+        self.una = offset
+        keep = bisect.bisect_right(self._marker_ends, offset)
+        if keep:
+            del self._marker_ends[:keep]
+            del self._marker_objs[:keep]
+        return delta
+
+
+class ReceiveBuffer:
+    """Receiver-side reassembly and flow-control bookkeeping.
+
+    Out-of-order segments are held as merged ``(start, end)`` intervals;
+    ``rcv_nxt`` advances when arrivals close the head gap. The
+    advertised window is ``capacity`` minus unread in-order data.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self.rcv_nxt = 0  # next expected in-order offset
+        self.read_offset = 0  # consumed by the application
+        self._ooo: List[Tuple[int, int]] = []  # disjoint, sorted
+        self._markers: Dict[int, Any] = {}  # end offset -> object
+        self._marker_order: List[int] = []  # sorted pending marker ends
+        self._object_start = 0  # stream offset where the next message began
+        self.duplicate_segments = 0
+
+    # -- flow control ----------------------------------------------------
+
+    @property
+    def available(self) -> int:
+        """In-order bytes not yet consumed by the application."""
+        return self.rcv_nxt - self.read_offset
+
+    @property
+    def window(self) -> int:
+        """Advertised receive window in bytes."""
+        return max(0, self.capacity - self.available)
+
+    # -- reassembly --------------------------------------------------------
+
+    def on_segment(
+        self, seq: int, length: int, markers: Optional[List[Tuple[int, Any]]] = None
+    ) -> int:
+        """Account an arriving data segment ``[seq, seq+length)``.
+
+        Returns the number of bytes by which ``rcv_nxt`` advanced.
+        """
+        if length <= 0:
+            return 0
+        end = seq + length
+        for m_end, obj in markers or ():
+            if m_end not in self._markers and m_end > self.read_offset:
+                self._markers[m_end] = obj
+                bisect.insort(self._marker_order, m_end)
+        if end <= self.rcv_nxt:
+            self.duplicate_segments += 1
+            return 0
+        seq = max(seq, self.rcv_nxt)
+        self._insert_interval(seq, end)
+        old = self.rcv_nxt
+        # Pull contiguous intervals off the head.
+        while self._ooo and self._ooo[0][0] <= self.rcv_nxt:
+            s, e = self._ooo.pop(0)
+            if e > self.rcv_nxt:
+                self.rcv_nxt = e
+        return self.rcv_nxt - old
+
+    def _insert_interval(self, start: int, end: int) -> None:
+        intervals = self._ooo
+        i = bisect.bisect_left(intervals, (start, start))
+        # Merge with predecessor if overlapping/adjacent.
+        if i > 0 and intervals[i - 1][1] >= start:
+            i -= 1
+            start = intervals[i][0]
+            end = max(end, intervals[i][1])
+            del intervals[i]
+        # Merge successors.
+        while i < len(intervals) and intervals[i][0] <= end:
+            end = max(end, intervals[i][1])
+            del intervals[i]
+        intervals.insert(i, (start, end))
+
+    @property
+    def sack_intervals(self) -> List[Tuple[int, int]]:
+        """Out-of-order intervals currently held (diagnostic)."""
+        return list(self._ooo)
+
+    # -- application reads -------------------------------------------------
+
+    def read_bytes(self, max_bytes: int) -> int:
+        """Consume up to ``max_bytes`` of in-order data; returns count.
+
+        Byte-mode reads discard any markers they pass.
+        """
+        n = min(max_bytes, self.available)
+        if n <= 0:
+            return 0
+        self.read_offset += n
+        self._object_start = self.read_offset
+        while self._marker_order and self._marker_order[0] <= self.read_offset:
+            end = self._marker_order.pop(0)
+            del self._markers[end]
+        return n
+
+    def drain_for_object(self) -> int:
+        """Move in-order bytes of a partially-arrived message out of the
+        flow-control window (into "application memory").
+
+        A waiting whole-message read must not leave bytes in the TCP
+        receive window — a message larger than ``capacity`` would
+        deadlock behind a zero window otherwise (real MPI drains the
+        socket into its own buffers the same way). Returns the byte
+        count drained.
+        """
+        if self.next_marker_ready():
+            return 0  # read_object() will consume these bytes instead
+        drained = self.rcv_nxt - self.read_offset
+        self.read_offset = self.rcv_nxt
+        return drained
+
+    def next_marker_ready(self) -> bool:
+        """True if a whole message is in order and unconsumed."""
+        return bool(self._marker_order) and self._marker_order[0] <= self.rcv_nxt
+
+    def read_object(self) -> Tuple[int, Any]:
+        """Consume bytes through the next marker; returns ``(nbytes, obj)``."""
+        if not self.next_marker_ready():
+            raise RuntimeError("no complete message available")
+        end = self._marker_order.pop(0)
+        obj = self._markers.pop(end)
+        nbytes = end - self._object_start
+        self.read_offset = max(self.read_offset, end)
+        self._object_start = end
+        return nbytes, obj

@@ -1,0 +1,61 @@
+"""TCP tuning knobs.
+
+Defaults reflect a well-tuned circa-2000 stack; §5.5 of the paper shows
+how badly mis-sized socket buffers hurt, so both buffer sizes are
+first-class parameters (and exercised by the socket-buffer ablation
+benchmark).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...net.packet import IP_HEADER_BYTES, TCP_HEADER_BYTES
+
+__all__ = ["TcpConfig", "MSS_BYTES", "SEGMENT_OVERHEAD_BYTES"]
+
+#: Maximum segment size (payload bytes) for an Ethernet-style 1500B MTU.
+MSS_BYTES = 1500 - IP_HEADER_BYTES - TCP_HEADER_BYTES
+#: Per-segment wire overhead.
+SEGMENT_OVERHEAD_BYTES = IP_HEADER_BYTES + TCP_HEADER_BYTES
+
+
+@dataclass
+class TcpConfig:
+    """Per-connection TCP parameters."""
+
+    #: Maximum segment size in payload bytes.
+    mss: int = MSS_BYTES
+    #: Send-buffer capacity in bytes (blocking writes above this).
+    sndbuf: int = 256 * 1024
+    #: Receive-buffer capacity in bytes (bounds the advertised window).
+    rcvbuf: int = 256 * 1024
+    #: Initial congestion window, in segments (RFC 2581 allows 2).
+    initial_cwnd_segments: int = 2
+    #: Initial slow-start threshold in bytes ("infinite" per RFC 5681).
+    initial_ssthresh: int = 1 << 30
+    #: Delayed ACKs: ack every 2nd segment or after ``delack_timeout``.
+    delayed_ack: bool = True
+    delack_timeout: float = 0.040
+    #: Retransmission-timer bounds (seconds).
+    min_rto: float = 0.2
+    max_rto: float = 60.0
+    #: Nagle's algorithm (off by default: message-passing traffic).
+    nagle: bool = False
+    #: DiffServ codepoint stamped on transmitted packets.
+    dscp: int = 0
+    #: Loss recovery: "newreno" (partial ACKs retransmit the next hole)
+    #: or "reno" (any new ACK ends recovery; multiple drops per window
+    #: usually end in a retransmission timeout — the 2000-era behaviour
+    #: behind the paper's Figure 1 oscillations).
+    recovery: str = "newreno"
+
+    def __post_init__(self) -> None:
+        if self.mss <= 0:
+            raise ValueError("mss must be positive")
+        if self.sndbuf < self.mss or self.rcvbuf < self.mss:
+            raise ValueError("socket buffers must hold at least one segment")
+        if self.min_rto <= 0 or self.max_rto < self.min_rto:
+            raise ValueError("invalid RTO bounds")
+        if self.recovery not in ("newreno", "reno"):
+            raise ValueError(f"unknown recovery style {self.recovery!r}")

@@ -1,0 +1,689 @@
+"""The TCP connection state machine: Reno congestion control with
+NewReno partial-ACK recovery.
+
+This is the component the paper's headline results hinge on: token-
+bucket policing drops packets of a too-fast premium flow, and TCP's
+congestion response ("TCP kicks into slow start mode and starts sending
+more slowly, gradually building up its send rate until packets are
+dropped again", §3) turns a slightly-too-small reservation into a badly
+underutilised one (Figs 1, 5, 6).
+
+Implemented behaviour:
+
+* 3-way handshake with SYN retransmission;
+* sliding window: ``min(cwnd, peer advertised window)``;
+* slow start / congestion avoidance (byte-counted);
+* fast retransmit on 3 dup ACKs; NewReno fast recovery with partial
+  ACKs and window inflation/deflation;
+* retransmission timeout with Jacobson RTT estimation, Karn's rule and
+  exponential backoff; go-back-N resend after RTO;
+* delayed ACKs (2 segments / 40 ms);
+* zero-window persist probing;
+* blocking ``send`` with a finite send buffer and blocking ``recv`` /
+  ``recv_object`` with a finite receive buffer (advertised window);
+* application message boundaries via stream markers (used by MPI).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Optional, Tuple
+
+from ...kernel import Counter, Event, Monitor
+from ...net.packet import PROTO_TCP, Packet
+from .buffers import ReceiveBuffer, SendBuffer
+from .config import SEGMENT_OVERHEAD_BYTES, TcpConfig
+from .rtt import RttEstimator
+from .segment import ACK, FIN, FINACK, PROBE, SYN, TcpSegment
+
+__all__ = ["TcpConnection", "ConnectionClosed", "ConnectionRefused"]
+
+# Connection states.
+CLOSED = "CLOSED"
+SYN_SENT = "SYN_SENT"
+SYN_RCVD = "SYN_RCVD"
+ESTABLISHED = "ESTABLISHED"
+
+_MAX_SYN_RETRIES = 6
+
+
+class ConnectionClosed(Exception):
+    """The peer closed the connection (delivered to blocked readers)."""
+
+
+class ConnectionRefused(Exception):
+    """No listener at the destination port."""
+
+
+class TcpConnection:
+    """One end of a TCP connection over the simulated network."""
+
+    def __init__(
+        self,
+        layer,
+        local_port: int,
+        remote_addr: int,
+        remote_port: int,
+        config: Optional[TcpConfig] = None,
+        passive: bool = False,
+    ) -> None:
+        self.layer = layer
+        self.sim = layer.sim
+        self.config = config or TcpConfig()
+        self.local_port = local_port
+        self.remote_addr = remote_addr
+        self.remote_port = remote_port
+
+        self.state = CLOSED
+        self._passive = passive
+        self.established_event: Event = Event(self.sim)
+
+        cfg = self.config
+        self.send_buffer = SendBuffer(cfg.sndbuf)
+        self.recv_buffer = ReceiveBuffer(cfg.rcvbuf)
+        self.rtt = RttEstimator(cfg.min_rto, cfg.max_rto)
+
+        # Congestion control (all byte-denominated).
+        self.cwnd = cfg.initial_cwnd_segments * cfg.mss
+        self.ssthresh = cfg.initial_ssthresh
+        self._ca_acc = 0  # congestion-avoidance byte accumulator
+        self.dupacks = 0
+        self.in_recovery = False
+        self.recover = 0  # NewReno recovery point
+
+        self.snd_nxt = 0  # next new byte offset to transmit
+        self.peer_wnd = cfg.rcvbuf  # until first real advertisement
+        self._timed: Optional[Tuple[int, float]] = None  # (end offset, tx time)
+
+        # Timers.
+        self._rto_timer = None
+        self._delack_timer = None
+        self._persist_timer = None
+        self._persist_interval = 0.0
+        self._syn_retries = 0
+        self._syn_time: Optional[float] = None
+
+        # Delayed-ACK state.
+        self._segs_unacked = 0
+
+        # Blocking-call plumbing.
+        self._send_waiters: Deque[Tuple[Event, int, Any]] = deque()
+        self._recv_waiters: Deque[Tuple[Event, str, int]] = deque()
+        self._advertised_small = False
+
+        # Close handshake flags.
+        self._close_requested = False
+        self._fin_sent = False
+        self._fin_acked = False
+        self.peer_closed = False
+
+        # Measurement.
+        self.acked_counter = Counter(self.sim, "acked-bytes")
+        self.delivered_counter = Counter(self.sim, "delivered-bytes")
+        #: (time, stream offset) samples at each data transmission —
+        #: the Fig 7 sequence-number trace.
+        self.seq_monitor = Monitor(self.sim, "seq-trace")
+        self.segments_sent = 0
+        self.segments_received = 0
+        self.retransmissions = 0
+        self.fast_retransmits = 0
+        self.timeouts = 0
+        self.cwnd_monitor: Optional[Monitor] = None  # opt-in
+
+    # ------------------------------------------------------------------
+    # Application API
+    # ------------------------------------------------------------------
+
+    def connect(self) -> Event:
+        """Start the active-open handshake; event triggers on ESTABLISHED."""
+        if self.state != CLOSED or self._passive:
+            raise RuntimeError(f"connect() in state {self.state}")
+        self.state = SYN_SENT
+        self._send_syn()
+        return self.established_event
+
+    def send(self, nbytes: int, marker: Any = None) -> Event:
+        """Write ``nbytes`` into the stream (blocking on buffer space).
+
+        The returned event triggers once the bytes are accepted into
+        the send buffer — like a kernel ``write`` returning, *not* like
+        delivery. ``marker`` optionally ends an application message at
+        this write's final byte.
+        """
+        if nbytes <= 0:
+            raise ValueError("send size must be positive")
+        if self._close_requested:
+            raise RuntimeError("send() after close()")
+        event = Event(self.sim)
+        if not self._send_waiters and self.send_buffer.space_for(nbytes):
+            self.send_buffer.write(nbytes, marker)
+            event.succeed(nbytes)
+            self._transmit()
+        else:
+            if nbytes > self.config.sndbuf:
+                # Oversized writes are accepted in buffer-sized slices;
+                # model by waiting for the whole buffer repeatedly is
+                # unnecessary — just reject clearly.
+                raise ValueError(
+                    f"single write of {nbytes}B exceeds sndbuf "
+                    f"{self.config.sndbuf}B; split the write"
+                )
+            self._send_waiters.append((event, nbytes, marker))
+        return event
+
+    def send_message(self, nbytes: int, marker: Any):
+        """Generator: write an arbitrarily large message, blocking as
+        needed, marking the final byte with ``marker``.
+
+        Splits writes at send-buffer granularity so messages larger
+        than the socket buffer behave like repeated blocking writes
+        (exactly the pattern §5.5 discusses).
+        """
+        chunk = self.config.sndbuf
+        remaining = nbytes
+        while remaining > chunk:
+            yield self.send(chunk)
+            remaining -= chunk
+        yield self.send(remaining, marker)
+
+    def recv(self, max_bytes: int) -> Event:
+        """Read up to ``max_bytes`` (blocking); value is the byte count.
+
+        Returns 0 once the peer has closed and all data was consumed.
+        """
+        if max_bytes <= 0:
+            raise ValueError("recv size must be positive")
+        event = Event(self.sim)
+        self._recv_waiters.append((event, "bytes", max_bytes))
+        self._satisfy_recv_waiters()
+        return event
+
+    def recv_object(self) -> Event:
+        """Read the next whole application message (blocking).
+
+        Value is ``(nbytes, marker_object)``. Fails with
+        :class:`ConnectionClosed` if the peer closes first.
+        """
+        event = Event(self.sim)
+        self._recv_waiters.append((event, "object", 0))
+        self._satisfy_recv_waiters()
+        return event
+
+    def close(self) -> None:
+        """Half-close: no more sends; FIN goes out once data is acked."""
+        if self._close_requested:
+            return
+        self._close_requested = True
+        self._maybe_send_fin()
+
+    @property
+    def flight_size(self) -> int:
+        """Bytes sent but not yet acknowledged."""
+        return self.snd_nxt - self.send_buffer.una
+
+    @property
+    def closed(self) -> bool:
+        return self._fin_acked and self.peer_closed
+
+    # ------------------------------------------------------------------
+    # Packet output
+    # ------------------------------------------------------------------
+
+    def _emit(self, segment: TcpSegment) -> None:
+        packet = Packet(
+            src=self.layer.host.addr,
+            dst=self.remote_addr,
+            sport=self.local_port,
+            dport=self.remote_port,
+            proto=PROTO_TCP,
+            size=segment.length + SEGMENT_OVERHEAD_BYTES,
+            payload=segment,
+            dscp=self.config.dscp,
+            created_at=self.sim.now,
+        )
+        self.segments_sent += 1
+        self.layer.host.send_packet(packet)
+
+    def _send_syn(self) -> None:
+        flags = SYN if self.state == SYN_SENT else SYN | ACK
+        # Karn's rule applies to the handshake too: only an
+        # unretransmitted SYN exchange yields an RTT sample.
+        self._syn_time = self.sim.now if self._syn_retries == 0 else None
+        self._emit(TcpSegment(seq=0, ack=0, flags=flags, wnd=self.recv_buffer.window))
+        self._reset_rto_timer()
+
+    def _send_pure_ack(self, extra_flags: int = 0) -> None:
+        self._cancel_delack()
+        self._segs_unacked = 0
+        wnd = self.recv_buffer.window
+        self._advertised_small = wnd < self.config.mss
+        self._emit(
+            TcpSegment(
+                seq=self.snd_nxt,
+                ack=self.recv_buffer.rcv_nxt,
+                flags=ACK | extra_flags,
+                wnd=wnd,
+            )
+        )
+
+    def _send_data_segment(self, seq: int, length: int, retx: bool) -> None:
+        markers = self.send_buffer.markers_in(seq, seq + length)
+        if retx:
+            self.retransmissions += 1
+            # Karn's rule: never time a retransmitted range.
+            if self._timed is not None and self._timed[0] > seq:
+                self._timed = None
+        elif self._timed is None:
+            self._timed = (seq + length, self.sim.now)
+        self._cancel_delack()
+        self._segs_unacked = 0
+        wnd = self.recv_buffer.window
+        self._advertised_small = wnd < self.config.mss
+        self.seq_monitor.record(seq + length)
+        self._emit(
+            TcpSegment(
+                seq=seq,
+                ack=self.recv_buffer.rcv_nxt,
+                flags=ACK,
+                wnd=wnd,
+                length=length,
+                markers=markers or None,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Transmission engine
+    # ------------------------------------------------------------------
+
+    def _usable_window_end(self) -> int:
+        wnd = min(self.cwnd, self.peer_wnd)
+        return self.send_buffer.una + wnd
+
+    def _transmit(self) -> None:
+        if self.state != ESTABLISHED:
+            return
+        cfg = self.config
+        limit = self._usable_window_end()
+        sent_any = False
+        while True:
+            avail = self.send_buffer.written - self.snd_nxt
+            if avail <= 0:
+                break
+            room = limit - self.snd_nxt
+            if room <= 0:
+                if self.peer_wnd == 0:
+                    self._start_persist()
+                break
+            length = min(cfg.mss, avail, room)
+            if (
+                cfg.nagle
+                and length < cfg.mss
+                and self.snd_nxt > self.send_buffer.una
+            ):
+                break  # Nagle: hold sub-MSS data while unacked data exists
+            self._send_data_segment(self.snd_nxt, length, retx=False)
+            self.snd_nxt += length
+            sent_any = True
+        if sent_any or self.flight_size > 0:
+            self._ensure_rto_timer()
+        self._maybe_send_fin()
+
+    def _retransmit_head(self) -> None:
+        """Resend one MSS starting at the lowest unacked offset."""
+        start = self.send_buffer.una
+        length = min(self.config.mss, self.snd_nxt - start)
+        if length <= 0:
+            return
+        self._send_data_segment(start, length, retx=True)
+
+    # ------------------------------------------------------------------
+    # Timers
+    # ------------------------------------------------------------------
+
+    def _ensure_rto_timer(self) -> None:
+        if self._rto_timer is None:
+            self._rto_timer = self.sim.call_in(self.rtt.rto, self._on_rto)
+
+    def _reset_rto_timer(self) -> None:
+        if self._rto_timer is not None:
+            self._rto_timer.cancel()
+        self._rto_timer = self.sim.call_in(self.rtt.rto, self._on_rto)
+
+    def _cancel_rto_timer(self) -> None:
+        if self._rto_timer is not None:
+            self._rto_timer.cancel()
+            self._rto_timer = None
+
+    def _on_rto(self) -> None:
+        self._rto_timer = None
+        if self.state == SYN_SENT or self.state == SYN_RCVD:
+            self._syn_retries += 1
+            if self._syn_retries > _MAX_SYN_RETRIES:
+                self.state = CLOSED
+                self.layer._forget(self)
+                if not self.established_event.triggered:
+                    self.established_event.fail(
+                        ConnectionRefused(
+                            f"no answer from {self.remote_addr}:{self.remote_port}"
+                        )
+                    )
+                return
+            self.rtt.backoff()
+            self._send_syn()
+            return
+        if self.flight_size <= 0 and not (self._fin_sent and not self._fin_acked):
+            return  # everything acked in the meantime
+        self.timeouts += 1
+        self.ssthresh = max(self.flight_size // 2, 2 * self.config.mss)
+        self.cwnd = self.config.mss
+        self._ca_acc = 0
+        self.in_recovery = False
+        self.dupacks = 0
+        self.rtt.backoff()
+        self._timed = None
+        if self._fin_sent and not self._fin_acked and self.flight_size <= 0:
+            self._emit_fin()
+        else:
+            # Go-back-N: rewind and let slow start re-clock the stream.
+            self.snd_nxt = self.send_buffer.una
+            self._record_cwnd()
+            self._transmit()
+        self._ensure_rto_timer()
+
+    def _start_persist(self) -> None:
+        if self._persist_timer is not None:
+            return
+        self._persist_interval = max(self.rtt.rto, 0.5)
+        self._persist_timer = self.sim.call_in(
+            self._persist_interval, self._persist_probe
+        )
+
+    def _persist_probe(self) -> None:
+        self._persist_timer = None
+        if self.peer_wnd > 0 or self.state != ESTABLISHED:
+            return
+        self._send_pure_ack(extra_flags=PROBE)
+        self._persist_interval = min(self._persist_interval * 2, self.config.max_rto)
+        self._persist_timer = self.sim.call_in(
+            self._persist_interval, self._persist_probe
+        )
+
+    def _cancel_persist(self) -> None:
+        if self._persist_timer is not None:
+            self._persist_timer.cancel()
+            self._persist_timer = None
+
+    def _schedule_delack(self) -> None:
+        if self._delack_timer is None:
+            self._delack_timer = self.sim.call_in(
+                self.config.delack_timeout, self._on_delack
+            )
+
+    def _cancel_delack(self) -> None:
+        if self._delack_timer is not None:
+            self._delack_timer.cancel()
+            self._delack_timer = None
+
+    def _on_delack(self) -> None:
+        self._delack_timer = None
+        if self._segs_unacked > 0:
+            self._send_pure_ack()
+
+    # ------------------------------------------------------------------
+    # Packet input
+    # ------------------------------------------------------------------
+
+    def _on_packet(self, packet: Packet) -> None:
+        segment: TcpSegment = packet.payload
+        self.segments_received += 1
+
+        if segment.flags & SYN:
+            self._on_syn_segment(segment)
+            return
+        if self.state == SYN_RCVD and segment.flags & ACK:
+            self._become_established()
+        if self.state != ESTABLISHED:
+            return
+
+        if segment.flags & FINACK:
+            self._on_finack()
+        if segment.flags & ACK:
+            self._process_ack(segment)
+        if segment.length > 0:
+            self._process_data(segment)
+        elif segment.flags & PROBE:
+            self._send_pure_ack()
+        if segment.flags & FIN:
+            self._process_fin(segment)
+
+    def _on_syn_segment(self, segment: TcpSegment) -> None:
+        if self.state == SYN_SENT and segment.flags & ACK:
+            # SYN+ACK: connection established on the active side.
+            self.peer_wnd = segment.wnd
+            if self._syn_time is not None:
+                self.rtt.sample(self.sim.now - self._syn_time)
+            self._become_established()
+            self._send_pure_ack()
+        elif self.state == SYN_RCVD:
+            # Duplicate SYN: our SYN+ACK was lost; resend.
+            self._send_syn()
+        elif self.state == ESTABLISHED and segment.flags & ACK:
+            # Peer kept retransmitting SYN+ACK (our handshake ACK was
+            # lost): re-acknowledge.
+            self._send_pure_ack()
+
+    def _become_established(self) -> None:
+        self._cancel_rto_timer()
+        self._syn_retries = 0
+        if self.state == ESTABLISHED:
+            return
+        self.state = ESTABLISHED
+        if not self.established_event.triggered:
+            self.established_event.succeed(self)
+        self.layer._on_established(self)
+        self._transmit()
+
+    # -- ACK processing ----------------------------------------------------
+
+    def _process_ack(self, segment: TcpSegment) -> None:
+        cfg = self.config
+        old_peer_wnd = self.peer_wnd
+        self.peer_wnd = segment.wnd
+        if self.peer_wnd > 0:
+            self._cancel_persist()
+        ack = segment.ack
+        una = self.send_buffer.una
+
+        if ack > una:
+            newly = self.send_buffer.ack_to(min(ack, self.snd_nxt))
+            self.acked_counter.add(newly)
+            self.dupacks = 0
+            if self._timed is not None and ack >= self._timed[0]:
+                self.rtt.sample(self.sim.now - self._timed[1])
+                self._timed = None
+            if self.in_recovery:
+                if ack >= self.recover or cfg.recovery == "reno":
+                    # Full ACK (or classic Reno, which leaves recovery
+                    # on any new ACK): deflate to ssthresh. Under Reno,
+                    # remaining holes must earn their own fast
+                    # retransmit or wait out the RTO.
+                    self.cwnd = max(self.ssthresh, cfg.mss)
+                    self._ca_acc = 0
+                    self.in_recovery = False
+                else:
+                    # NewReno partial ACK: retransmit the next hole.
+                    self._retransmit_head()
+                    self.cwnd = max(self.cwnd - newly + cfg.mss, cfg.mss)
+            else:
+                if self.cwnd < self.ssthresh:
+                    self.cwnd += min(newly, cfg.mss)  # slow start
+                else:
+                    self._ca_acc += newly
+                    while self._ca_acc >= self.cwnd:
+                        self._ca_acc -= self.cwnd
+                        self.cwnd += cfg.mss
+            self._record_cwnd()
+            if self.flight_size > 0:
+                self._reset_rto_timer()
+            else:
+                self._cancel_rto_timer()
+            self._admit_send_waiters()
+            self._maybe_send_fin()
+        elif (
+            ack == una
+            and self.flight_size > 0
+            and segment.length == 0
+            and not segment.flags & (FIN | FINACK | PROBE)
+        ):
+            if segment.wnd != old_peer_wnd:
+                pass  # pure window update, not a dup ACK
+            else:
+                self.dupacks += 1
+                if self.in_recovery:
+                    self.cwnd += cfg.mss  # inflation
+                elif self.dupacks == 3:
+                    self._enter_fast_recovery()
+        self._transmit()
+
+    def _enter_fast_recovery(self) -> None:
+        cfg = self.config
+        self.fast_retransmits += 1
+        self.ssthresh = max(self.flight_size // 2, 2 * cfg.mss)
+        self.recover = self.snd_nxt
+        self._retransmit_head()
+        self.cwnd = self.ssthresh + 3 * cfg.mss
+        self._ca_acc = 0
+        self.in_recovery = True
+        self._record_cwnd()
+        self._reset_rto_timer()
+
+    def _record_cwnd(self) -> None:
+        if self.cwnd_monitor is not None:
+            self.cwnd_monitor.record(self.cwnd)
+
+    # -- data processing -----------------------------------------------------
+
+    def _process_data(self, segment: TcpSegment) -> None:
+        rb = self.recv_buffer
+        advanced = rb.on_segment(segment.seq, segment.length, segment.markers)
+        if advanced > 0:
+            self.delivered_counter.add(advanced)
+            self._satisfy_recv_waiters()
+        if rb.sack_intervals or advanced == 0:
+            # Out-of-order or duplicate: immediate (dup) ACK.
+            self._send_pure_ack()
+            return
+        if self.config.delayed_ack:
+            self._segs_unacked += 1
+            if self._segs_unacked >= 2:
+                self._send_pure_ack()
+            else:
+                self._schedule_delack()
+        else:
+            self._send_pure_ack()
+
+    # -- close handshake -----------------------------------------------------
+
+    def _maybe_send_fin(self) -> None:
+        if (
+            self._close_requested
+            and not self._fin_sent
+            and self.state == ESTABLISHED
+            and not self._send_waiters
+            and self.snd_nxt >= self.send_buffer.written
+            and self.flight_size == 0
+        ):
+            self._emit_fin()
+
+    def _emit_fin(self) -> None:
+        self._fin_sent = True
+        self._emit(
+            TcpSegment(
+                seq=self.snd_nxt,
+                ack=self.recv_buffer.rcv_nxt,
+                flags=ACK | FIN,
+                wnd=self.recv_buffer.window,
+            )
+        )
+        self._ensure_rto_timer()
+
+    def _process_fin(self, segment: TcpSegment) -> None:
+        if segment.seq > self.recv_buffer.rcv_nxt:
+            # Data still missing; the peer will retransmit the FIN.
+            return
+        first_fin = not self.peer_closed
+        self.peer_closed = True
+        self._send_pure_ack(extra_flags=FINACK)
+        if first_fin:
+            self._satisfy_recv_waiters()
+        self._maybe_finish_close()
+
+    def _on_finack(self) -> None:
+        if self._fin_sent:
+            self._fin_acked = True
+            self._cancel_rto_timer()
+            self._maybe_finish_close()
+
+    def _maybe_finish_close(self) -> None:
+        if self.closed:
+            self.state = CLOSED
+            self._cancel_rto_timer()
+            self._cancel_delack()
+            self._cancel_persist()
+            self.layer._forget(self)
+
+    # ------------------------------------------------------------------
+    # Blocking-call plumbing
+    # ------------------------------------------------------------------
+
+    def _admit_send_waiters(self) -> None:
+        wrote = False
+        while self._send_waiters:
+            event, nbytes, marker = self._send_waiters[0]
+            if not self.send_buffer.space_for(nbytes):
+                break
+            self._send_waiters.popleft()
+            self.send_buffer.write(nbytes, marker)
+            event.succeed(nbytes)
+            wrote = True
+        if wrote:
+            self._transmit()
+
+    def _satisfy_recv_waiters(self) -> None:
+        rb = self.recv_buffer
+        window_was_small = self._advertised_small
+        while self._recv_waiters:
+            event, mode, arg = self._recv_waiters[0]
+            if mode == "bytes":
+                if rb.available > 0:
+                    self._recv_waiters.popleft()
+                    event.succeed(rb.read_bytes(arg))
+                elif self.peer_closed:
+                    self._recv_waiters.popleft()
+                    event.succeed(0)
+                else:
+                    break
+            else:  # object mode
+                if rb.next_marker_ready():
+                    self._recv_waiters.popleft()
+                    event.succeed(rb.read_object())
+                elif self.peer_closed:
+                    self._recv_waiters.popleft()
+                    event.fail(ConnectionClosed("peer closed the connection"))
+                else:
+                    # Drain partial-message bytes out of the advertised
+                    # window so messages larger than rcvbuf cannot
+                    # deadlock flow control.
+                    rb.drain_for_object()
+                    break
+        # Reads freed buffer space: reopen the advertised window if it
+        # had shrunk below one segment.
+        if window_was_small and rb.window >= self.config.mss:
+            self._send_pure_ack()
+
+    def __repr__(self) -> str:
+        return (
+            f"<TcpConnection {self.layer.host.name}:{self.local_port}->"
+            f"{self.remote_addr}:{self.remote_port} {self.state} "
+            f"cwnd={self.cwnd}>"
+        )

@@ -1,0 +1,133 @@
+"""Per-host TCP layer: connection demultiplexing and listeners."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ...kernel import Event, Store
+from ...net.node import Host
+from ...net.packet import PROTO_TCP, Packet
+from .config import TcpConfig
+from .connection import SYN_RCVD, TcpConnection
+from .segment import SYN
+
+__all__ = ["TcpLayer", "TcpListener"]
+
+_EPHEMERAL_BASE = 40000
+
+
+class TcpListener:
+    """A passive-open endpoint; accepted connections queue up FIFO."""
+
+    def __init__(self, layer: "TcpLayer", port: int, config: Optional[TcpConfig]) -> None:
+        self.layer = layer
+        self.port = port
+        self.config = config
+        self._accept_queue: Store = Store(layer.sim)
+        self.closed = False
+
+    def accept(self) -> Event:
+        """Event yielding the next ESTABLISHED :class:`TcpConnection`."""
+        if self.closed:
+            raise RuntimeError("listener is closed")
+        return self._accept_queue.get()
+
+    def close(self) -> None:
+        self.closed = True
+        self.layer._listeners.pop(self.port, None)
+
+    def _on_syn(self, packet: Packet) -> None:
+        key = (self.port, packet.src, packet.sport)
+        conn = self.layer._connections.get(key)
+        if conn is None:
+            conn = TcpConnection(
+                self.layer,
+                local_port=self.port,
+                remote_addr=packet.src,
+                remote_port=packet.sport,
+                config=self.config,
+                passive=True,
+            )
+            conn.state = SYN_RCVD
+            conn.peer_wnd = packet.payload.wnd
+            conn._pending_listener = self
+            self.layer._connections[key] = conn
+        conn._send_syn()
+
+
+class TcpLayer:
+    """Registers protocol 6 on a host; owns its connections/listeners."""
+
+    def __init__(self, host: Host) -> None:
+        self.host = host
+        self.sim = host.sim
+        self._connections: Dict[Tuple[int, int, int], TcpConnection] = {}
+        self._listeners: Dict[int, TcpListener] = {}
+        self._next_ephemeral = _EPHEMERAL_BASE
+        self.rx_segments = 0
+        self.refused = 0
+        host.register_protocol(PROTO_TCP, self)
+
+    # -- public API -------------------------------------------------------
+
+    def connect(
+        self,
+        remote_addr: int,
+        remote_port: int,
+        local_port: Optional[int] = None,
+        config: Optional[TcpConfig] = None,
+    ) -> TcpConnection:
+        """Active-open a connection; wait on ``conn.established_event``."""
+        if local_port is None:
+            local_port = self._alloc_port()
+        key = (local_port, remote_addr, remote_port)
+        if key in self._connections:
+            raise ValueError(f"connection {key} already exists on {self.host.name}")
+        conn = TcpConnection(
+            self, local_port, remote_addr, remote_port, config=config
+        )
+        self._connections[key] = conn
+        conn.connect()
+        return conn
+
+    def listen(self, port: int, config: Optional[TcpConfig] = None) -> TcpListener:
+        if port in self._listeners:
+            raise ValueError(f"TCP port {port} already listening on {self.host.name}")
+        listener = TcpListener(self, port, config)
+        self._listeners[port] = listener
+        return listener
+
+    # -- demux ---------------------------------------------------------------
+
+    def receive(self, packet: Packet) -> None:
+        self.rx_segments += 1
+        key = (packet.dport, packet.src, packet.sport)
+        conn = self._connections.get(key)
+        if conn is not None:
+            conn._on_packet(packet)
+            return
+        if packet.payload.flags & SYN:
+            listener = self._listeners.get(packet.dport)
+            if listener is not None and not listener.closed:
+                listener._on_syn(packet)
+                return
+        self.refused += 1  # RST equivalent: silently count
+
+    # -- internal hooks --------------------------------------------------------
+
+    def _alloc_port(self) -> int:
+        port = self._next_ephemeral
+        self._next_ephemeral += 1
+        return port
+
+    def _on_established(self, conn: TcpConnection) -> None:
+        listener = getattr(conn, "_pending_listener", None)
+        if listener is not None:
+            conn._pending_listener = None
+            if not listener.closed:
+                listener._accept_queue.put(conn)
+
+    def _forget(self, conn: TcpConnection) -> None:
+        key = (conn.local_port, conn.remote_addr, conn.remote_port)
+        if self._connections.get(key) is conn:
+            del self._connections[key]

@@ -1,0 +1,53 @@
+"""RTT estimation and retransmission-timeout computation.
+
+Implements the Jacobson/Karels estimator with Karn's algorithm
+(retransmitted segments are never sampled), per RFC 6298.
+"""
+
+from __future__ import annotations
+
+__all__ = ["RttEstimator"]
+
+
+class RttEstimator:
+    """Smoothed RTT / RTT variance tracker."""
+
+    ALPHA = 0.125  # gain for srtt
+    BETA = 0.25  # gain for rttvar
+
+    def __init__(self, min_rto: float, max_rto: float, initial_rto: float = 1.0) -> None:
+        self.min_rto = min_rto
+        self.max_rto = max_rto
+        self.srtt: float | None = None
+        self.rttvar: float | None = None
+        self._rto = max(min_rto, min(initial_rto, max_rto))
+        self.samples = 0
+
+    @property
+    def rto(self) -> float:
+        """Current retransmission timeout in seconds."""
+        return self._rto
+
+    def sample(self, rtt: float) -> None:
+        """Feed one (non-retransmitted) round-trip measurement."""
+        if rtt < 0:
+            raise ValueError("negative RTT sample")
+        if self.srtt is None:
+            self.srtt = rtt
+            self.rttvar = rtt / 2.0
+        else:
+            err = rtt - self.srtt
+            self.srtt += self.ALPHA * err
+            self.rttvar += self.BETA * (abs(err) - self.rttvar)
+        self.samples += 1
+        self._rto = min(
+            self.max_rto, max(self.min_rto, self.srtt + 4.0 * self.rttvar)
+        )
+
+    def backoff(self) -> None:
+        """Exponential backoff after a retransmission timeout."""
+        self._rto = min(self.max_rto, self._rto * 2.0)
+
+    def __repr__(self) -> str:
+        srtt = f"{self.srtt * 1e3:.2f}ms" if self.srtt is not None else "?"
+        return f"<RttEstimator srtt={srtt} rto={self._rto * 1e3:.1f}ms>"

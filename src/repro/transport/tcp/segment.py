@@ -1,0 +1,55 @@
+"""TCP segment descriptors (carried as packet payloads)."""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Tuple
+
+__all__ = ["TcpSegment", "SYN", "ACK", "FIN", "FINACK", "PROBE", "flag_names"]
+
+SYN = 1
+ACK = 2
+FIN = 4
+#: Acknowledges a FIN specifically (stands in for sequence-space FIN handling).
+FINACK = 8
+#: Zero-window persist probe.
+PROBE = 16
+
+_FLAG_NAMES = [(SYN, "SYN"), (ACK, "ACK"), (FIN, "FIN"), (FINACK, "FINACK"), (PROBE, "PROBE")]
+
+
+def flag_names(flags: int) -> str:
+    return "|".join(name for bit, name in _FLAG_NAMES if flags & bit) or "none"
+
+
+class TcpSegment:
+    """One TCP segment.
+
+    ``seq`` is the absolute stream offset of the first payload byte;
+    ``length`` the payload byte count (0 for pure ACKs/control).
+    ``markers`` carries application message boundaries that fall inside
+    this segment's range (see :mod:`repro.transport.tcp.buffers`).
+    """
+
+    __slots__ = ("seq", "ack", "flags", "wnd", "length", "markers")
+
+    def __init__(
+        self,
+        seq: int,
+        ack: int,
+        flags: int,
+        wnd: int,
+        length: int = 0,
+        markers: Optional[List[Tuple[int, Any]]] = None,
+    ) -> None:
+        self.seq = seq
+        self.ack = ack
+        self.flags = flags
+        self.wnd = wnd
+        self.length = length
+        self.markers = markers
+
+    def __repr__(self) -> str:
+        return (
+            f"<TcpSegment {flag_names(self.flags)} seq={self.seq} "
+            f"ack={self.ack} len={self.length} wnd={self.wnd}>"
+        )

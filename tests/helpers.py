@@ -1,0 +1,56 @@
+"""Shared test fixtures: small topologies with TCP/UDP stacks attached."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.kernel import Simulator
+from repro.net import DropTailQueue, Host, Network, mbps
+from repro.transport import TcpLayer, UdpLayer
+
+
+@dataclass
+class Duo:
+    """Two hosts joined by a router (a->r->b), with transport stacks."""
+
+    sim: Simulator
+    net: Network
+    a: Host
+    b: Host
+    tcp_a: TcpLayer
+    tcp_b: TcpLayer
+    udp_a: UdpLayer
+    udp_b: UdpLayer
+
+
+def make_duo(
+    seed: int = 0,
+    bandwidth: float = mbps(10),
+    delay: float = 1e-3,
+    bottleneck: float | None = None,
+    queue_packets: int = 100,
+) -> Duo:
+    """Build ``a -- r -- b``; ``bottleneck`` (if set) is the r->b rate."""
+    sim = Simulator(seed=seed)
+    net = Network(sim)
+    a = net.add_host("a")
+    b = net.add_host("b")
+    r = net.add_router("r")
+    qf = lambda: DropTailQueue(limit_packets=queue_packets)  # noqa: E731
+    l1 = net.connect(a, r, bandwidth, delay, qf)
+    l2 = net.connect(r, b, bottleneck or bandwidth, delay, qf)
+    # Hosts get deep egress buffers: a real kernel backpressures TCP
+    # rather than dropping on the local qdisc.
+    l1.iface_ab.qdisc = DropTailQueue(limit_packets=2000)
+    l2.iface_ba.qdisc = DropTailQueue(limit_packets=2000)
+    net.build_routes()
+    return Duo(
+        sim=sim,
+        net=net,
+        a=a,
+        b=b,
+        tcp_a=TcpLayer(a),
+        tcp_b=TcpLayer(b),
+        udp_a=UdpLayer(a),
+        udp_b=UdpLayer(b),
+    )

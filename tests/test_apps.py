@@ -1,0 +1,213 @@
+"""Tests for the workload applications."""
+
+import numpy as np
+import pytest
+
+from repro import MpichGQ, QOS_PREMIUM, QosAttribute, Simulator, garnet, kbps, mbps
+from repro.apps import (
+    CpuHog,
+    FiniteDifference,
+    PingPong,
+    UdpTrafficGenerator,
+    VisualizationPipeline,
+)
+from repro.cpu import Cpu
+from repro.mpi import MpiWorld
+
+from test_mpi_p2p import make_world, run_ranks
+
+
+class TestTrafficGenerator:
+    def test_cbr_rate(self):
+        sim, world = make_world(2, bandwidth=mbps(100))
+        hosts = [p.host for p in world.procs]
+        gen = UdpTrafficGenerator(hosts[0], hosts[1], rate=mbps(10))
+        gen.start()
+        sim.run(until=2.0)
+        gen.stop()
+        measured = gen.sent.rate_over(0.0, 2.0) * 8
+        assert measured == pytest.approx(mbps(10), rel=0.05)
+
+    def test_on_off_duty_cycle(self):
+        sim, world = make_world(2, bandwidth=mbps(100))
+        hosts = [p.host for p in world.procs]
+        gen = UdpTrafficGenerator(
+            hosts[0], hosts[1], rate=mbps(10), on_time=0.5, off_time=0.5
+        )
+        gen.start()
+        sim.run(until=4.0)
+        gen.stop()
+        measured = gen.sent.rate_over(0.0, 4.0) * 8
+        assert measured == pytest.approx(mbps(5), rel=0.15)
+
+    def test_overwhelms_bottleneck(self):
+        # The §5.2 property: an unreserved blast congests the path.
+        sim, world = make_world(2, bandwidth=mbps(10))
+        hosts = [p.host for p in world.procs]
+        gen = UdpTrafficGenerator(hosts[0], hosts[1], rate=mbps(20))
+        gen.start()
+        sim.run(until=1.0)
+        iface = hosts[0].default_interface()
+        assert iface.qdisc.drops > 0
+
+    def test_invalid_params(self):
+        sim, world = make_world(2)
+        hosts = [p.host for p in world.procs]
+        with pytest.raises(ValueError):
+            UdpTrafficGenerator(hosts[0], hosts[1], rate=0)
+        with pytest.raises(ValueError):
+            UdpTrafficGenerator(hosts[0], hosts[1], rate=1e6, on_time=1.0)
+
+
+class TestPingPong:
+    def test_round_counting(self):
+        sim, world = make_world(2)
+        app = PingPong(message_bytes=8 * 1024, rounds=10)
+        run_ranks(sim, world, app.main)
+        assert app.result.rounds_completed == 10
+        assert app.result.one_way_throughput_bps() > 0
+
+    def test_duration_mode(self):
+        sim, world = make_world(2)
+        app = PingPong(message_bytes=4 * 1024, duration=0.5)
+        run_ranks(sim, world, app.main)
+        assert app.result.rounds_completed > 5
+        assert 0.4 < app.result.elapsed < 0.7
+
+    def test_throughput_scales_with_message_size(self):
+        # Latency-bound regime: bigger messages -> more bytes per RTT.
+        results = {}
+        for size in (1024, 16 * 1024):
+            sim, world = make_world(2, bandwidth=mbps(100), delay=1e-3)
+            app = PingPong(message_bytes=size, duration=0.5)
+            run_ranks(sim, world, app.main)
+            results[size] = app.result.one_way_throughput_bps()
+        assert results[16 * 1024] > 4 * results[1024]
+
+    def test_param_validation(self):
+        with pytest.raises(ValueError):
+            PingPong(message_bytes=100)
+        with pytest.raises(ValueError):
+            PingPong(message_bytes=100, rounds=1, duration=1.0)
+
+
+class TestVisualization:
+    def test_target_rate_achieved_uncontended(self):
+        sim, world = make_world(2, bandwidth=mbps(100))
+        app = VisualizationPipeline(frame_bytes=5 * 1024, fps=10, duration=3.0)
+        run_ranks(sim, world, app.main)
+        assert app.stats.frames_sent == 30
+        assert app.stats.frames_received == 30
+        measured = app.achieved_bandwidth_bps(0.5, 3.0)
+        assert measured == pytest.approx(app.target_bandwidth_bps, rel=0.1)
+
+    def test_cpu_work_throttles_under_contention(self):
+        sim, world = make_world(2, bandwidth=mbps(100))
+        sender_host = world.procs[0].host
+        Cpu(sim, host=sender_host)
+        app = VisualizationPipeline(
+            frame_bytes=5 * 1024, fps=10, duration=4.0, work_fraction=0.8
+        )
+        hog = CpuHog(sender_host)
+        hog.start()
+        run_ranks(sim, world, app.main, limit=30.0)
+        # With a hog, the 0.8/fps work takes 1.6x the frame interval.
+        measured = app.achieved_bandwidth_bps(0.0, sim.now)
+        assert measured < 0.8 * app.target_bandwidth_bps
+        assert app.stats.late_frames > 0
+
+    def test_reservation_restores_rate(self):
+        sim, world = make_world(2, bandwidth=mbps(100))
+        sender_host = world.procs[0].host
+        cpu = Cpu(sim, host=sender_host)
+        app = VisualizationPipeline(
+            frame_bytes=5 * 1024, fps=10, duration=4.0, work_fraction=0.8
+        )
+        hog = CpuHog(sender_host)
+        hog.start()
+
+        procs = world.launch(app.main)
+
+        def reserve_later():
+            yield sim.timeout(0.5)
+            cpu.set_reservation(app._cpu_task, 0.9)
+
+        sim.process(reserve_later())
+        sim.run_until_event(sim.all_of(procs), limit=30.0)
+        measured = app.achieved_bandwidth_bps(1.0, sim.now)
+        assert measured == pytest.approx(app.target_bandwidth_bps, rel=0.15)
+
+    def test_shaped_sender_smooths_bursts(self):
+        from repro.core import Shaper
+
+        sim, world = make_world(2, bandwidth=mbps(100))
+        shaper = Shaper(sim, rate=kbps(500), depth_bytes=6 * 1024)
+        app = VisualizationPipeline(
+            frame_bytes=50 * 1024, fps=1, duration=3.0, shaper=shaper
+        )
+        run_ranks(sim, world, app.main, limit=30.0)
+        assert shaper.delayed_sends > 0
+
+    def test_param_validation(self):
+        with pytest.raises(ValueError):
+            VisualizationPipeline(frame_bytes=0, fps=10, duration=1)
+        with pytest.raises(ValueError):
+            VisualizationPipeline(frame_bytes=10, fps=10, duration=1,
+                                  work_fraction=1.5)
+
+
+class TestCpuHog:
+    def test_start_stop_idempotent(self):
+        sim = Simulator()
+        from repro.net import Network
+
+        net = Network(sim)
+        host = net.add_host("h")
+        hog = CpuHog(host)
+        hog.start()
+        hog.start()
+        assert hog.running
+        sim.run(until=2.0)
+        hog.stop()
+        hog.stop()
+        assert not hog.running
+        assert hog.cpu_time() == pytest.approx(2.0)
+
+
+class TestFiniteDifference:
+    def test_converges_toward_serial_reference(self):
+        n, iters = 32, 30
+        sim, world = make_world(4, bandwidth=mbps(100))
+        app = FiniteDifference(n=n, iterations=iters, residual_every=10)
+        run_ranks(sim, world, app.main, limit=300.0)
+        # Assemble the distributed solution.
+        parallel = np.vstack([app.solutions[r] for r in range(4)])
+
+        # Serial reference with identical sweeps.
+        u = np.zeros((n + 2, n))
+        u[0, :] = 1.0
+        for _ in range(iters):
+            new = u.copy()
+            new[1 : n + 1, 1:-1] = 0.25 * (
+                u[0:n, 1:-1] + u[2 : n + 2, 1:-1]
+                + u[1 : n + 1, 0:-2] + u[1 : n + 1, 2:]
+            )
+            u = new
+            u[0, :] = 1.0
+        serial = u[1 : n + 1]
+        assert np.allclose(parallel, serial, atol=1e-12)
+
+    def test_residuals_decrease(self):
+        sim, world = make_world(2)
+        app = FiniteDifference(n=16, iterations=20, residual_every=5)
+        run_ranks(sim, world, app.main, limit=300.0)
+        rs = app.stats.residuals
+        assert len(rs) == 4
+        assert rs[-1] < rs[0]
+
+    def test_bursty_traffic_profile(self):
+        # §3's point: tiny average bandwidth, but per-iteration bursts.
+        sim, world = make_world(2, bandwidth=mbps(100))
+        app = FiniteDifference(n=64, iterations=10, residual_every=100)
+        run_ranks(sim, world, app.main, limit=300.0)
+        assert app.stats.halo_bytes > 0

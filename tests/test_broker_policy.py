@@ -1,0 +1,128 @@
+"""Tests for the bandwidth broker's policy quotas (§4.2's
+"policy-driven management")."""
+
+import pytest
+
+from repro.gara import (
+    BandwidthBroker,
+    NetworkReservationSpec,
+    ReservationError,
+)
+from repro.kernel import Simulator
+from repro.net import garnet, mbps
+
+
+@pytest.fixture
+def setup():
+    sim = Simulator(seed=37)
+    tb = garnet(sim, backbone_bandwidth=mbps(10))  # EF capacity 7 Mb/s
+    broker = BandwidthBroker(tb.network, ef_share=0.7)
+    return sim, tb, broker
+
+
+class TestQuotas:
+    def test_quota_enforced_per_owner(self, setup):
+        sim, tb, broker = setup
+        broker.set_quota("alice", 0.5)  # at most 3.5 Mb/s per link
+        broker.admit_path(
+            tb.premium_src, tb.premium_dst, mbps(3), 0, 10, owner="alice"
+        )
+        with pytest.raises(ReservationError, match="policy"):
+            broker.admit_path(
+                tb.premium_src, tb.premium_dst, mbps(1), 0, 10, owner="alice"
+            )
+
+    def test_other_owners_unaffected(self, setup):
+        sim, tb, broker = setup
+        broker.set_quota("alice", 0.3)
+        broker.admit_path(
+            tb.premium_src, tb.premium_dst, mbps(2), 0, 10, owner="alice"
+        )
+        # bob has no quota: bounded only by capacity.
+        broker.admit_path(
+            tb.premium_src, tb.premium_dst, mbps(5), 0, 10, owner="bob"
+        )
+
+    def test_release_returns_quota(self, setup):
+        sim, tb, broker = setup
+        broker.set_quota("alice", 0.5)
+        claims = broker.admit_path(
+            tb.premium_src, tb.premium_dst, mbps(3), 0, 10, owner="alice"
+        )
+        broker.release(claims)
+        broker.admit_path(
+            tb.premium_src, tb.premium_dst, mbps(3), 0, 10, owner="alice"
+        )
+
+    def test_quota_failure_rolls_back_partial_claims(self, setup):
+        sim, tb, broker = setup
+        broker.set_quota("alice", 0.5)
+        # Pre-load alice on the SECOND backbone hop only.
+        second_hop = tb.forward_backbone[1]
+        broker._owner_usage[("alice", second_hop)] = mbps(3.4)
+        broker.table_for(second_hop).add(0, 100, mbps(3.4))
+        with pytest.raises(ReservationError):
+            broker.admit_path(
+                tb.premium_src, tb.premium_dst, mbps(1), 0, 10, owner="alice"
+            )
+        # The first hop's tentative claim must be rolled back.
+        assert broker.table_for(tb.forward_backbone[0]).max_usage(0, 10) == 0
+
+    def test_invalid_quota(self, setup):
+        _sim, _tb, broker = setup
+        with pytest.raises(ValueError):
+            broker.set_quota("alice", 0)
+        with pytest.raises(ValueError):
+            broker.set_quota("alice", 1.5)
+
+    def test_quota_of(self, setup):
+        _sim, _tb, broker = setup
+        broker.set_quota("alice", 0.4)
+        assert broker.quota_of("alice") == 0.4
+        assert broker.quota_of("bob") is None
+        assert broker.quota_of(None) is None
+
+
+class TestOwnerThroughSpec:
+    def test_owner_flows_through_gara(self, setup):
+        sim, tb, broker = setup
+        from repro.diffserv import DiffServDomain
+        from repro.gara import DiffServNetworkManager
+
+        domain = DiffServDomain(sim, [tb.edge1, tb.core, tb.edge2])
+        manager = DiffServNetworkManager(sim, domain, broker)
+        broker.set_quota("proj-x", 0.4)  # 2.8 Mb/s
+        spec = NetworkReservationSpec(
+            tb.premium_src, tb.premium_dst, mbps(2), owner="proj-x"
+        )
+        reservation = manager.request(spec)
+        with pytest.raises(ReservationError, match="policy"):
+            manager.request(
+                NetworkReservationSpec(
+                    tb.premium_src, tb.premium_dst, mbps(1), owner="proj-x"
+                )
+            )
+        reservation.cancel()
+        manager.request(
+            NetworkReservationSpec(
+                tb.premium_src, tb.premium_dst, mbps(1), owner="proj-x"
+            )
+        )
+
+    def test_modify_respects_quota(self, setup):
+        sim, tb, broker = setup
+        from repro.diffserv import DiffServDomain
+        from repro.gara import DiffServNetworkManager
+
+        domain = DiffServDomain(sim, [tb.edge1, tb.core, tb.edge2])
+        manager = DiffServNetworkManager(sim, domain, broker)
+        broker.set_quota("proj-x", 0.4)
+        spec = NetworkReservationSpec(
+            tb.premium_src, tb.premium_dst, mbps(2), owner="proj-x"
+        )
+        reservation = manager.request(spec)
+        with pytest.raises(ReservationError):
+            manager.modify(reservation, bandwidth=mbps(3))
+        # Rolled back: original bandwidth still held and enforceable.
+        assert reservation.spec.bandwidth == mbps(2)
+        manager.modify(reservation, bandwidth=mbps(2.5))

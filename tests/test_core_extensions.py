@@ -1,0 +1,279 @@
+"""Tests for the paper's proposed-but-unbuilt extensions we implemented:
+dynamic bucket sizing (§5.4), adaptive reservation negotiation (§4.2),
+and topology-aware collectives (§1)."""
+
+import pytest
+
+from repro import MpichGQ, Simulator, garnet, kbps, mbps
+from repro.core import AdaptiveQosSession, DynamicBucketSizer
+from repro.diffserv.token_bucket import paper_bucket_depth
+from repro.gara import NetworkReservationSpec
+from repro.mpi import SUM, hierarchical_bcast, hierarchical_reduce, site_map
+
+from test_mpi_p2p import make_world, run_ranks
+
+
+@pytest.fixture
+def deployment():
+    sim = Simulator(seed=13)
+    testbed = garnet(sim, backbone_bandwidth=mbps(10))
+    gq = MpichGQ.on_garnet(testbed)
+    return sim, testbed, gq
+
+
+class TestDynamicBucketSizer:
+    def _reservation(self, gq):
+        return gq.agent.reserve_flows(0, 1, kbps(400))
+
+    def test_grows_to_cover_bursts(self, deployment):
+        sim, testbed, gq = deployment
+        reservation = self._reservation(gq)
+        sizer = DynamicBucketSizer(sim, reservation, margin=1.2, interval=0.5)
+        floor = sizer.floor_depth
+        # A 50 KB application burst, far above the bw/40 floor (10 KB).
+        sizer.observe_send(50_000)
+        sim.run(until=1.0)
+        assert sizer.last_depth == pytest.approx(60_000)
+        assert reservation.spec.bucket_depth_bytes == pytest.approx(60_000)
+        assert sizer.last_depth > floor
+        # Enforcement actually follows: the installed rule's bucket.
+        handle = gq.network_manager.handle_of(reservation)
+        assert handle.rules[0].bucket.depth == pytest.approx(60_000)
+
+    def test_consecutive_writes_count_as_one_burst(self, deployment):
+        sim, testbed, gq = deployment
+        sizer = DynamicBucketSizer(sim, self._reservation(gq))
+        sizer.observe_send(10_000)
+        sizer.observe_send(10_000)  # same instant: same burst
+        assert sizer._interval_peaks[-1] == 20_000
+
+    def test_separated_writes_are_distinct_bursts(self, deployment):
+        sim, testbed, gq = deployment
+        sizer = DynamicBucketSizer(sim, self._reservation(gq), interval=10.0)
+        sizer.observe_send(10_000)
+        sim.run(until=1.0)
+        sizer.observe_send(8_000)
+        assert sizer._interval_peaks[-1] == 10_000  # peak, not sum
+
+    def test_shrinks_after_bursts_subside(self, deployment):
+        sim, testbed, gq = deployment
+        reservation = self._reservation(gq)
+        sizer = DynamicBucketSizer(
+            sim, reservation, margin=1.2, interval=0.5, window=2
+        )
+        sizer.observe_send(50_000)
+        sim.run(until=1.0)
+        assert sizer.last_depth > sizer.floor_depth
+        sim.run(until=4.0)  # several quiet windows
+        assert sizer.last_depth == pytest.approx(sizer.floor_depth)
+
+    def test_never_below_static_rule(self, deployment):
+        sim, testbed, gq = deployment
+        reservation = self._reservation(gq)
+        sizer = DynamicBucketSizer(sim, reservation)
+        assert sizer.recommended_depth() == pytest.approx(
+            paper_bucket_depth(reservation.spec.bandwidth)
+        )
+
+    def test_stop_halts_adjustments(self, deployment):
+        sim, testbed, gq = deployment
+        sizer = DynamicBucketSizer(sim, self._reservation(gq), interval=0.5)
+        sizer.stop()
+        sizer.observe_send(50_000)
+        sim.run(until=3.0)
+        assert sizer.adjustments == 0
+
+    def test_invalid_params(self, deployment):
+        sim, testbed, gq = deployment
+        reservation = self._reservation(gq)
+        with pytest.raises(ValueError):
+            DynamicBucketSizer(sim, reservation, margin=0.5)
+        with pytest.raises(ValueError):
+            DynamicBucketSizer(sim, reservation, interval=0)
+
+
+class TestAdaptiveQosSession:
+    def test_full_grant_when_capacity_free(self, deployment):
+        sim, testbed, gq = deployment
+        session = AdaptiveQosSession(gq.agent, 0, 1, desired_bps=mbps(2))
+        assert session.granted_bps == mbps(2)
+        assert session.reservation.state == "ACTIVE"
+
+    def test_falls_back_to_available(self, deployment):
+        sim, testbed, gq = deployment
+        # Occupy most of the EF capacity (7 Mb/s total).
+        gq.gara.reserve(
+            NetworkReservationSpec(
+                testbed.premium_src, testbed.premium_dst, mbps(5)
+            )
+        )
+        session = AdaptiveQosSession(
+            gq.agent, 0, 1, desired_bps=mbps(4), minimum_bps=mbps(1)
+        )
+        assert 0 < session.granted_bps < mbps(4)
+        assert session.granted_bps <= mbps(2)
+
+    def test_below_minimum_runs_best_effort(self, deployment):
+        sim, testbed, gq = deployment
+        gq.gara.reserve(
+            NetworkReservationSpec(
+                testbed.premium_src, testbed.premium_dst, mbps(6.9)
+            )
+        )
+        session = AdaptiveQosSession(
+            gq.agent, 0, 1, desired_bps=mbps(4), minimum_bps=mbps(1)
+        )
+        assert session.granted_bps == 0.0
+        assert session.reservation is None
+
+    def test_renegotiates_after_expiry(self, deployment):
+        sim, testbed, gq = deployment
+        blocker = gq.gara.reserve(
+            NetworkReservationSpec(
+                testbed.premium_src, testbed.premium_dst, mbps(6)
+            ),
+            duration=5.0,
+        )
+        session = AdaptiveQosSession(
+            gq.agent, 0, 1, desired_bps=mbps(4), minimum_bps=mbps(0.5)
+        )
+        first = session.granted_bps
+        assert first < mbps(4)  # squeezed by the blocker
+        # Force its own short reservation to expire after the blocker.
+        session.reservation.end = 6.0  # (test shortcut: expire via cancel)
+        sim.call_at(6.0, session.reservation.cancel)
+        sim.run(until=8.0)
+        assert session.granted_bps == mbps(4)  # renegotiated to full
+        assert session.negotiations >= 2
+
+    def test_background_upgrade_when_capacity_frees(self, deployment):
+        sim, testbed, gq = deployment
+        # A 5 Mb/s blocker holds capacity for 8 s, then expires.
+        gq.gara.reserve(
+            NetworkReservationSpec(
+                testbed.premium_src, testbed.premium_dst, mbps(5)
+            ),
+            duration=8.0,
+        )
+        session = AdaptiveQosSession(
+            gq.agent, 0, 1, desired_bps=mbps(4), minimum_bps=mbps(0.5),
+            upgrade_interval=2.0,
+        )
+        squeezed = session.granted_bps
+        assert squeezed < mbps(4)
+        sim.run(until=12.0)
+        assert session.granted_bps == mbps(4)
+        assert session.upgrades >= 1
+
+    def test_upgrade_can_be_disabled(self, deployment):
+        sim, testbed, gq = deployment
+        gq.gara.reserve(
+            NetworkReservationSpec(
+                testbed.premium_src, testbed.premium_dst, mbps(5)
+            ),
+            duration=2.0,
+        )
+        session = AdaptiveQosSession(
+            gq.agent, 0, 1, desired_bps=mbps(4), minimum_bps=mbps(0.5),
+            upgrade_interval=None,
+        )
+        squeezed = session.granted_bps
+        sim.run(until=10.0)
+        assert session.granted_bps == squeezed  # no background upgrade
+
+    def test_listeners_notified(self, deployment):
+        sim, testbed, gq = deployment
+        events = []
+        session = AdaptiveQosSession(gq.agent, 0, 1, desired_bps=mbps(1))
+        session.listeners.append(lambda s: events.append(s.granted_bps))
+        session.reservation.cancel()
+        sim.run(until=1.0)
+        assert mbps(1) in events  # renegotiated grant notification
+
+    def test_close_cancels(self, deployment):
+        sim, testbed, gq = deployment
+        session = AdaptiveQosSession(gq.agent, 0, 1, desired_bps=mbps(1))
+        reservation = session.reservation
+        session.close()
+        assert reservation.state == "CANCELLED"
+        assert session.granted_bps == 0.0
+        sim.run(until=1.0)
+        assert session.reservation is None  # no renegotiation after close
+
+    def test_invalid_params(self, deployment):
+        sim, testbed, gq = deployment
+        with pytest.raises(ValueError):
+            AdaptiveQosSession(gq.agent, 0, 1, desired_bps=0)
+        with pytest.raises(ValueError):
+            AdaptiveQosSession(
+                gq.agent, 0, 1, desired_bps=100, minimum_bps=200
+            )
+
+
+class TestTopologyCollectives:
+    def test_site_map_groups_by_host(self):
+        sim, world = make_world(4, ranks_per_host=2)
+        comm = world.comm_world(0)
+        sites = site_map(comm)
+        assert sorted(len(m) for m in sites.values()) == [2, 2]
+
+    def test_hierarchical_bcast_delivers_everywhere(self):
+        sim, world = make_world(6, ranks_per_host=3)
+        got = []
+
+        def main(comm):
+            data = "payload" if comm.rank == 0 else None
+            result = yield from hierarchical_bcast(comm, data, 1000, root=0)
+            got.append(result)
+
+        run_ranks(sim, world, main)
+        assert got == ["payload"] * 6
+
+    def test_hierarchical_bcast_nonzero_root(self):
+        sim, world = make_world(4, ranks_per_host=2)
+        got = []
+
+        def main(comm):
+            data = comm.rank if comm.rank == 3 else None
+            result = yield from hierarchical_bcast(comm, data, 100, root=3)
+            got.append(result)
+
+        run_ranks(sim, world, main)
+        assert got == [3, 3, 3, 3]
+
+    def test_hierarchical_reduce_sums(self):
+        sim, world = make_world(6, ranks_per_host=2)
+        got = []
+
+        def main(comm):
+            result = yield from hierarchical_reduce(
+                comm, comm.rank + 1, 100, SUM, root=0
+            )
+            got.append((comm.rank, result))
+
+        run_ranks(sim, world, main)
+        results = dict(got)
+        assert results[0] == 21
+        assert all(results[r] is None for r in range(1, 6))
+
+    def test_fewer_wide_area_crossings_than_binomial(self):
+        # 8 ranks on 2 hosts: a binomial bcast crosses the host-router
+        # links many times; the hierarchical one crosses once per side.
+        def wan_bytes(use_hierarchical):
+            sim, world = make_world(8, ranks_per_host=4, bandwidth=mbps(100))
+            payload = 100_000
+
+            def main(comm):
+                data = "x" if comm.rank == 0 else None
+                if use_hierarchical:
+                    yield from hierarchical_bcast(comm, data, payload, root=0)
+                else:
+                    yield from comm.bcast(data, payload, root=0)
+
+            run_ranks(sim, world, main)
+            host0 = world.procs[0].host
+            return host0.default_interface().tx_bytes
+
+        naive = wan_bytes(False)
+        aware = wan_bytes(True)
+        assert aware < 0.5 * naive

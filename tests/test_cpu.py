@@ -1,0 +1,219 @@
+"""Unit and property tests for the processor-sharing CPU model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cpu import Cpu
+from repro.kernel import Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator(seed=4)
+
+
+@pytest.fixture
+def cpu(sim):
+    return Cpu(sim)
+
+
+def finish_time(sim, event):
+    done = {}
+    event.callbacks.append(lambda e: done.update(t=sim.now))
+    return done
+
+
+class TestSingleTask:
+    def test_alone_runs_at_full_speed(self, sim, cpu):
+        t = cpu.create_task("app")
+        done = finish_time(sim, cpu.run(t, 2.0))
+        sim.run()
+        assert done["t"] == pytest.approx(2.0)
+        assert t.cpu_time == pytest.approx(2.0)
+
+    def test_sequential_jobs(self, sim, cpu):
+        t = cpu.create_task("app")
+
+        def proc():
+            yield cpu.run(t, 1.0)
+            yield cpu.run(t, 1.0)
+
+        p = sim.process(proc())
+        sim.run()
+        assert sim.now == pytest.approx(2.0)
+
+    def test_invalid_work(self, cpu):
+        t = cpu.create_task("app")
+        with pytest.raises(ValueError):
+            cpu.run(t, 0)
+
+    def test_duplicate_task_name(self, cpu):
+        cpu.create_task("x")
+        with pytest.raises(ValueError):
+            cpu.create_task("x")
+
+    def test_foreign_task_rejected(self, sim, cpu):
+        other = Cpu(sim, name="other")
+        t = other.create_task("app")
+        with pytest.raises(ValueError):
+            cpu.run(t, 1.0)
+
+
+class TestFairSharing:
+    def test_two_tasks_halve(self, sim, cpu):
+        a = cpu.create_task("a")
+        b = cpu.create_task("b")
+        done_a = finish_time(sim, cpu.run(a, 1.0))
+        done_b = finish_time(sim, cpu.run(b, 1.0))
+        sim.run()
+        assert done_a["t"] == pytest.approx(2.0)
+        assert done_b["t"] == pytest.approx(2.0)
+
+    def test_short_job_finishes_then_long_speeds_up(self, sim, cpu):
+        a = cpu.create_task("a")
+        b = cpu.create_task("b")
+        done_a = finish_time(sim, cpu.run(a, 0.5))
+        done_b = finish_time(sim, cpu.run(b, 2.0))
+        sim.run()
+        # a: 0.5 work at 1/2 speed -> done at 1.0.
+        assert done_a["t"] == pytest.approx(1.0)
+        # b: 0.5 done by t=1, then full speed for remaining 1.5.
+        assert done_b["t"] == pytest.approx(2.5)
+
+    def test_late_arrival_slows_running_job(self, sim, cpu):
+        a = cpu.create_task("a")
+        b = cpu.create_task("b")
+        done_a = finish_time(sim, cpu.run(a, 2.0))
+        sim.call_in(1.0, lambda: finish_time(sim, cpu.run(b, 10.0)))
+        sim.run(until=10.0)
+        # a: 1.0 done alone, remaining 1.0 at half speed -> t=3.
+        assert done_a["t"] == pytest.approx(3.0)
+
+
+class TestReservations:
+    def test_reserved_task_guaranteed_fraction(self, sim, cpu):
+        app = cpu.create_task("app")
+        hog = cpu.create_task("hog")
+        cpu.set_reservation(app, 0.9)
+        done = finish_time(sim, cpu.run(app, 0.9))
+        cpu.run(hog, float("inf"))
+        sim.run(until=20.0)
+        # 0.9 work at guaranteed 90% -> t = 1.0.
+        assert done["t"] == pytest.approx(1.0)
+
+    def test_hog_halves_unreserved_app(self, sim, cpu):
+        app = cpu.create_task("app")
+        hog = cpu.create_task("hog")
+        done = finish_time(sim, cpu.run(app, 1.0))
+        cpu.run(hog, float("inf"))
+        sim.run(until=20.0)
+        assert done["t"] == pytest.approx(2.0)
+
+    def test_reservation_mid_run(self, sim, cpu):
+        # Fig 8 in miniature: app contended, then reserved at t=2.
+        app = cpu.create_task("app")
+        hog = cpu.create_task("hog")
+        done = finish_time(sim, cpu.run(app, 1.9))
+        cpu.run(hog, float("inf"))
+        sim.call_in(2.0, cpu.set_reservation, app, 0.9)
+        sim.run(until=20.0)
+        # t<2: rate 1/2 -> 1.0 done; then 0.9 remaining at 0.9 -> +1.0.
+        assert done["t"] == pytest.approx(3.0)
+
+    def test_reserved_alone_gets_full_cpu(self, sim, cpu):
+        app = cpu.create_task("app")
+        cpu.set_reservation(app, 0.5)
+        done = finish_time(sim, cpu.run(app, 1.0))
+        sim.run()
+        # Leftover flows back: full speed when alone.
+        assert done["t"] == pytest.approx(1.0)
+
+    def test_over_commitment_scales(self, sim, cpu):
+        a = cpu.create_task("a")
+        b = cpu.create_task("b")
+        cpu.set_reservation(a, 0.8)
+        cpu.set_reservation(b, 0.8)
+        done_a = finish_time(sim, cpu.run(a, 1.0))
+        cpu.run(b, float("inf"))
+        sim.run(until=20.0)
+        # Scaled to 0.5 each.
+        assert done_a["t"] == pytest.approx(2.0)
+
+    def test_best_effort_starved_by_full_reservation(self, sim, cpu):
+        res = cpu.create_task("res")
+        be = cpu.create_task("be")
+        cpu.set_reservation(res, 0.99)
+        done_be = finish_time(sim, cpu.run(be, 1.0))
+        cpu.run(res, float("inf"))
+        sim.run(until=50.0)
+        # Best effort gets 1% -> needs 100s; not done by 50.
+        assert "t" not in done_be
+
+    def test_invalid_fraction(self, cpu):
+        t = cpu.create_task("t")
+        with pytest.raises(ValueError):
+            cpu.set_reservation(t, 1.0)
+        with pytest.raises(ValueError):
+            cpu.set_reservation(t, -0.1)
+
+    def test_clear_reservation(self, sim, cpu):
+        app = cpu.create_task("app")
+        hog = cpu.create_task("hog")
+        cpu.set_reservation(app, 0.9)
+        cpu.run(hog, float("inf"))
+        done = finish_time(sim, cpu.run(app, 1.8))
+        sim.call_in(1.0, cpu.clear_reservation, app)
+        sim.run(until=20.0)
+        # 0.9 done in first second, then 0.9 at 1/2 speed -> t=2.8.
+        assert done["t"] == pytest.approx(2.8)
+
+
+class TestHogCancel:
+    def test_cancelled_hog_releases_cpu(self, sim, cpu):
+        app = cpu.create_task("app")
+        hog = cpu.create_task("hog")
+        done = finish_time(sim, cpu.run(app, 1.5))
+        job = cpu.run_job(hog, float("inf"))
+        sim.call_in(1.0, job.cancel)
+        sim.run(until=20.0)
+        # 0.5 done in first second (half speed), 1.0 more at full speed.
+        assert done["t"] == pytest.approx(2.0)
+        assert cpu.runnable == 0
+
+
+class TestRateQueries:
+    def test_rate_of(self, sim, cpu):
+        a = cpu.create_task("a")
+        b = cpu.create_task("b")
+        cpu.run(a, 100.0)
+        cpu.run(b, 100.0)
+        assert cpu.rate_of(a) == pytest.approx(0.5)
+        cpu.set_reservation(a, 0.75)
+        assert cpu.rate_of(a) == pytest.approx(0.75)
+        assert cpu.rate_of(b) == pytest.approx(0.25)
+
+
+class TestConservationProperty:
+    @given(
+        works=st.lists(st.floats(min_value=0.1, max_value=5.0), min_size=1, max_size=6),
+        reservations=st.lists(st.floats(min_value=0.0, max_value=0.9), min_size=1, max_size=6),
+        starts=st.lists(st.floats(min_value=0.0, max_value=3.0), min_size=1, max_size=6),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_total_cpu_time_equals_busy_time(self, works, reservations, starts):
+        """Work conservation: total cpu-seconds consumed can never
+        exceed elapsed wall time, and all finite jobs complete."""
+        n = min(len(works), len(reservations), len(starts))
+        sim = Simulator(seed=0)
+        cpu = Cpu(sim)
+        tasks = []
+        for i in range(n):
+            t = cpu.create_task(f"t{i}")
+            cpu.set_reservation(t, reservations[i])
+            tasks.append(t)
+            sim.call_at(starts[i], cpu.run, t, works[i])
+        sim.run(until=1000.0)
+        total = sum(t.cpu_time for t in tasks)
+        assert total == pytest.approx(sum(works[:n]), rel=1e-6)
+        assert total <= sim.now + 1e-6
+        assert cpu.runnable == 0

@@ -1,0 +1,333 @@
+"""Unit and property-based tests for the DiffServ mechanisms."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.kernel import Simulator
+from repro.diffserv import (
+    AF_LOW_LATENCY,
+    BEST_EFFORT,
+    Classifier,
+    DiffServDomain,
+    EF,
+    EXCEED_REMARK,
+    FlowSpec,
+    PriorityQdisc,
+    TokenBucket,
+    TrafficConditioner,
+    paper_bucket_depth,
+    service_class_of,
+    CLASS_EF,
+    CLASS_AF,
+    CLASS_BE,
+)
+from repro.net import Network, PROTO_TCP, PROTO_UDP, Packet, garnet, kbps, mbps
+
+
+def make_packet(src=1, dst=2, sport=100, dport=200, size=1000, proto=PROTO_UDP, dscp=0):
+    return Packet(src, dst, sport, dport, proto, size, dscp=dscp)
+
+
+class TestDscp:
+    def test_service_classes(self):
+        assert service_class_of(EF) == CLASS_EF
+        assert service_class_of(AF_LOW_LATENCY) == CLASS_AF
+        assert service_class_of(BEST_EFFORT) == CLASS_BE
+        assert service_class_of(99) == CLASS_BE
+
+
+class TestTokenBucket:
+    def test_starts_full(self):
+        tb = TokenBucket(rate=kbps(8), depth=1000)
+        assert tb.consume(1000, now=0.0)
+        assert not tb.consume(1, now=0.0)
+
+    def test_refill_rate(self):
+        tb = TokenBucket(rate=kbps(8), depth=1000)  # 1000 bytes/s
+        tb.consume(1000, now=0.0)
+        assert not tb.consume(500, now=0.4)
+        assert tb.consume(500, now=0.5)
+
+    def test_capped_at_depth(self):
+        tb = TokenBucket(rate=mbps(1), depth=100)
+        assert tb.peek(now=100.0) == 100
+
+    def test_time_until_conforming(self):
+        tb = TokenBucket(rate=kbps(8), depth=1000)
+        tb.consume(1000, now=0.0)
+        assert tb.time_until_conforming(250, now=0.0) == pytest.approx(0.25)
+        assert tb.time_until_conforming(0, now=0.0) == 0.0
+
+    def test_oversize_packet_never_conforms(self):
+        tb = TokenBucket(rate=kbps(8), depth=100)
+        with pytest.raises(ValueError):
+            tb.time_until_conforming(200, now=0.0)
+
+    def test_reconfigure(self):
+        tb = TokenBucket(rate=kbps(8), depth=1000)
+        tb.reconfigure(rate=kbps(16), depth=500, now=0.0)
+        assert tb.rate == kbps(16)
+        assert tb.tokens == 500  # clamped to the new depth
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0, depth=10)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=10, depth=0)
+
+    @given(
+        rate=st.floats(min_value=1e3, max_value=1e8),
+        depth=st.floats(min_value=100, max_value=1e6),
+        sizes=st.lists(st.integers(min_value=1, max_value=1500), max_size=60),
+        gaps=st.lists(st.floats(min_value=0, max_value=0.5), max_size=60),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_conformance_invariant(self, rate, depth, sizes, gaps):
+        """Over any window, conforming bytes <= depth + rate*elapsed/8,
+        and the token level never exceeds depth or goes negative."""
+        tb = TokenBucket(rate=rate, depth=depth)
+        now = 0.0
+        conforming = 0
+        for size, gap in zip(sizes, gaps):
+            now += gap
+            if tb.consume(size, now):
+                conforming += size
+            assert -1e-9 <= tb.tokens <= depth + 1e-9
+        assert conforming <= depth + rate * now / 8.0 + 1e-6
+
+    def test_paper_depth_rule(self):
+        # bandwidth/40 expressed in bits -> bytes.
+        assert paper_bucket_depth(mbps(10)) == pytest.approx(10e6 / 40)
+        assert paper_bucket_depth(kbps(400), divisor=4) == pytest.approx(
+            400e3 / 4
+        )
+
+
+class TestClassifier:
+    def test_wildcard_match(self):
+        c = Classifier()
+        c.add(FlowSpec(src=1), "by-src")
+        assert c.lookup(make_packet(src=1, dst=9)) == "by-src"
+        assert c.lookup(make_packet(src=2)) is None
+
+    def test_first_match_wins(self):
+        c = Classifier()
+        c.add(FlowSpec(src=1), "first")
+        c.add(FlowSpec(src=1, dst=2), "second")
+        assert c.lookup(make_packet(src=1, dst=2)) == "first"
+
+    def test_exact_five_tuple(self):
+        spec = FlowSpec(src=1, dst=2, sport=100, dport=200, proto=PROTO_UDP)
+        assert spec.matches(make_packet())
+        assert not spec.matches(make_packet(sport=101))
+
+    def test_reversed(self):
+        spec = FlowSpec(src=1, dst=2, sport=10, dport=20, proto=PROTO_TCP)
+        rev = spec.reversed()
+        assert rev == FlowSpec(src=2, dst=1, sport=20, dport=10, proto=PROTO_TCP)
+
+    def test_remove(self):
+        c = Classifier()
+        spec = FlowSpec(src=1)
+        c.add(spec, "x")
+        assert c.remove(spec)
+        assert not c.remove(spec)
+        assert len(c) == 0
+
+
+class TestTrafficConditioner:
+    def test_unmatched_remarked_best_effort(self):
+        sim = Simulator()
+        cond = TrafficConditioner(sim)
+        pkt = make_packet(dscp=EF)  # self-promoted by a cheating host
+        assert cond(pkt)
+        assert pkt.dscp == BEST_EFFORT
+
+    def test_conforming_marked_ef(self):
+        sim = Simulator()
+        cond = TrafficConditioner(sim)
+        cond.add_rule(FlowSpec(src=1), EF, rate=kbps(800), depth=10_000)
+        pkt = make_packet(src=1, size=1000)
+        assert cond(pkt)
+        assert pkt.dscp == EF
+
+    def test_exceeding_dropped(self):
+        sim = Simulator()
+        cond = TrafficConditioner(sim)
+        rule = cond.add_rule(FlowSpec(src=1), EF, rate=kbps(8), depth=1000)
+        assert cond(make_packet(src=1, size=1000))
+        assert not cond(make_packet(src=1, size=1000))
+        assert rule.exceeding_packets == 1
+        assert cond.policed_drops == 1
+
+    def test_exceeding_remarked(self):
+        sim = Simulator()
+        cond = TrafficConditioner(sim)
+        cond.add_rule(
+            FlowSpec(src=1), EF, rate=kbps(8), depth=1000,
+            exceed_action=EXCEED_REMARK,
+        )
+        cond(make_packet(src=1, size=1000))
+        pkt = make_packet(src=1, size=1000)
+        assert cond(pkt)
+        assert pkt.dscp == BEST_EFFORT
+
+    def test_mark_only_rule(self):
+        sim = Simulator()
+        cond = TrafficConditioner(sim)
+        cond.add_rule(FlowSpec(src=1), AF_LOW_LATENCY)
+        pkt = make_packet(src=1)
+        assert cond(pkt)
+        assert pkt.dscp == AF_LOW_LATENCY
+
+    def test_rate_without_depth_rejected(self):
+        cond = TrafficConditioner(Simulator())
+        with pytest.raises(ValueError):
+            cond.add_rule(FlowSpec(src=1), EF, rate=kbps(8))
+
+
+class TestPriorityQdisc:
+    def test_ef_before_be(self):
+        q = PriorityQdisc()
+        be = make_packet(dscp=BEST_EFFORT)
+        ef = make_packet(dscp=EF)
+        af = make_packet(dscp=AF_LOW_LATENCY)
+        q.enqueue(be)
+        q.enqueue(af)
+        q.enqueue(ef)
+        assert q.dequeue() is ef
+        assert q.dequeue() is af
+        assert q.dequeue() is be
+        assert q.dequeue() is None
+
+    def test_per_class_limits(self):
+        q = PriorityQdisc(be_limit_packets=1)
+        assert q.enqueue(make_packet(dscp=BEST_EFFORT))
+        assert not q.enqueue(make_packet(dscp=BEST_EFFORT))
+        assert q.enqueue(make_packet(dscp=EF))
+        assert q.drops == 1
+
+    def test_aggregate_ef_policer(self):
+        sim = Simulator()
+        q = PriorityQdisc(
+            ef_aggregate_policer=TokenBucket(rate=kbps(8), depth=1000), sim=sim
+        )
+        assert q.enqueue(make_packet(dscp=EF, size=1000))
+        assert not q.enqueue(make_packet(dscp=EF, size=1000))
+        assert q.ef_policer_drops == 1
+        # BE is unaffected by the EF policer.
+        assert q.enqueue(make_packet(dscp=BEST_EFFORT, size=1000))
+
+    def test_policer_requires_sim(self):
+        with pytest.raises(ValueError):
+            PriorityQdisc(ef_aggregate_policer=TokenBucket(rate=1, depth=1))
+
+    def test_len_and_backlog(self):
+        q = PriorityQdisc()
+        q.enqueue(make_packet(dscp=EF, size=100))
+        q.enqueue(make_packet(dscp=BEST_EFFORT, size=200))
+        assert len(q) == 2
+        assert q.backlog_bytes == 300
+
+    @given(
+        dscps=st.lists(
+            st.sampled_from([BEST_EFFORT, AF_LOW_LATENCY, EF]), max_size=50
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_dequeue_order_is_priority_then_fifo(self, dscps):
+        q = PriorityQdisc(
+            ef_limit_packets=100, af_limit_packets=100, be_limit_packets=100
+        )
+        pkts = [make_packet(dscp=d) for d in dscps]
+        for p in pkts:
+            q.enqueue(p)
+        out = []
+        while True:
+            p = q.dequeue()
+            if p is None:
+                break
+            out.append(p)
+        expected = (
+            [p for p in pkts if p.dscp == EF]
+            + [p for p in pkts if p.dscp == AF_LOW_LATENCY]
+            + [p for p in pkts if p.dscp == BEST_EFFORT]
+        )
+        assert out == expected
+
+
+class TestDiffServDomain:
+    def _domain(self, sim):
+        tb = garnet(sim, backbone_bandwidth=mbps(10))
+        domain = DiffServDomain(sim, [tb.edge1, tb.core, tb.edge2])
+        return tb, domain
+
+    def test_conditioners_on_edge_only(self):
+        sim = Simulator()
+        tb, domain = self._domain(sim)
+        # 4 host-facing router interfaces in GARNET.
+        assert len(domain.conditioners) == 4
+        # Priority qdiscs on every router interface.
+        n_router_ifaces = sum(
+            len(r.interfaces) for r in (tb.edge1, tb.core, tb.edge2)
+        )
+        assert len(domain.priority_qdiscs) == n_router_ifaces
+
+    def test_premium_flow_marks_at_entering_edge(self):
+        sim = Simulator()
+        tb, domain = self._domain(sim)
+
+        received = []
+
+        class Sink:
+            def receive(self, pkt):
+                received.append(pkt)
+
+        tb.premium_dst.register_protocol(PROTO_UDP, Sink())
+        spec = FlowSpec(
+            src=tb.premium_src.addr, dst=tb.premium_dst.addr, proto=PROTO_UDP
+        )
+        handle = domain.install_premium_flow(spec, rate=mbps(1), depth=10_000)
+        src = tb.premium_src
+        src.default_interface().send(
+            Packet(src.addr, tb.premium_dst.addr, 1, 2, PROTO_UDP, 1000)
+        )
+        sim.run()
+        assert len(received) == 1
+        assert received[0].dscp == EF
+        assert handle.conforming_bytes == 1000
+
+    def test_remove_premium_flow_reverts_to_be(self):
+        sim = Simulator()
+        tb, domain = self._domain(sim)
+        received = []
+
+        class Sink:
+            def receive(self, pkt):
+                received.append(pkt)
+
+        tb.premium_dst.register_protocol(PROTO_UDP, Sink())
+        spec = FlowSpec(src=tb.premium_src.addr, proto=PROTO_UDP)
+        handle = domain.install_premium_flow(spec, rate=mbps(1), depth=10_000)
+        domain.remove_premium_flow(handle)
+        src = tb.premium_src
+        src.default_interface().send(
+            Packet(src.addr, tb.premium_dst.addr, 1, 2, PROTO_UDP, 1000)
+        )
+        sim.run()
+        assert received[0].dscp == BEST_EFFORT
+        # Idempotent removal.
+        domain.remove_premium_flow(handle)
+
+    def test_modify_premium_flow(self):
+        sim = Simulator()
+        tb, domain = self._domain(sim)
+        spec = FlowSpec(src=tb.premium_src.addr)
+        handle = domain.install_premium_flow(spec, rate=mbps(1), depth=10_000)
+        domain.modify_premium_flow(handle, rate=mbps(2), depth=20_000)
+        assert handle.rate == mbps(2)
+        for rule in handle.rules:
+            assert rule.bucket.rate == mbps(2)
+        domain.remove_premium_flow(handle)
+        with pytest.raises(ValueError):
+            domain.modify_premium_flow(handle, rate=mbps(1), depth=1)

@@ -1,0 +1,105 @@
+"""Unit and property tests for slot-table admission control."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.gara import AdmissionError, SlotTable
+
+
+class TestSlotTable:
+    def test_simple_admit(self):
+        t = SlotTable(capacity=10)
+        t.add(0, 10, 6)
+        assert t.usage_at(5) == 6
+        assert t.available(0, 10) == 4
+
+    def test_overlap_rejected(self):
+        t = SlotTable(capacity=10)
+        t.add(0, 10, 6)
+        with pytest.raises(AdmissionError):
+            t.add(5, 15, 5)
+
+    def test_disjoint_accepted(self):
+        t = SlotTable(capacity=10)
+        t.add(0, 10, 8)
+        t.add(10, 20, 8)  # back-to-back is fine
+        assert t.usage_at(9.99) == 8
+        assert t.usage_at(10) == 8
+
+    def test_advance_window_fits_between(self):
+        t = SlotTable(capacity=10)
+        t.add(0, 5, 9)
+        t.add(10, 15, 9)
+        t.add(5, 10, 9)
+        assert len(t) == 3
+
+    def test_indefinite_reservation(self):
+        t = SlotTable(capacity=10)
+        t.add(0, float("inf"), 7)
+        with pytest.raises(AdmissionError):
+            t.add(1000, 2000, 5)
+        t.add(1000, 2000, 3)
+
+    def test_remove_frees_capacity(self):
+        t = SlotTable(capacity=10)
+        entry = t.add(0, 10, 10)
+        t.remove(entry)
+        t.add(0, 10, 10)
+
+    def test_remove_unknown(self):
+        t = SlotTable(capacity=10)
+        with pytest.raises(KeyError):
+            t.remove(99999)
+
+    def test_modify_success(self):
+        t = SlotTable(capacity=10)
+        entry = t.add(0, 10, 8)
+        new = t.modify(entry, 0, 10, 10)  # own capacity released first
+        assert t.usage_at(5) == 10
+        assert new != entry
+
+    def test_modify_failure_rolls_back(self):
+        t = SlotTable(capacity=10)
+        t.add(0, 10, 5)
+        entry = t.add(0, 10, 5)
+        with pytest.raises(AdmissionError):
+            t.modify(entry, 0, 10, 6)
+        assert t.usage_at(5) == 10  # unchanged
+
+    def test_invalid_inputs(self):
+        t = SlotTable(capacity=10)
+        with pytest.raises(ValueError):
+            t.add(5, 5, 1)
+        with pytest.raises(ValueError):
+            t.add(0, 10, 0)
+        with pytest.raises(ValueError):
+            SlotTable(capacity=0)
+
+    @given(
+        requests=st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=100),  # start
+                st.floats(min_value=0.1, max_value=50),  # length
+                st.floats(min_value=0.1, max_value=8),  # amount
+            ),
+            max_size=30,
+        )
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_admitted_load_never_exceeds_capacity(self, requests):
+        """Whatever mix is admitted/rejected, instantaneous usage stays
+        within capacity at every interval boundary."""
+        capacity = 10.0
+        t = SlotTable(capacity=capacity)
+        admitted = []
+        for start, length, amount in requests:
+            try:
+                t.add(start, start + length, amount)
+                admitted.append((start, start + length, amount))
+            except AdmissionError:
+                pass
+        probe_points = {s for s, _e, _a in admitted} | {
+            e - 1e-9 for _s, e, _a in admitted
+        }
+        for p in probe_points:
+            assert t.usage_at(p) <= capacity + 1e-6

@@ -1,0 +1,164 @@
+"""Tests for the globus_io socket wrapper and engine-level details."""
+
+import pytest
+
+from repro.core import GlobusIoSocket, Shaper
+from repro.net import kbps, mbps
+from repro.mpi import MpiError, MpiWorld
+
+from helpers import make_duo
+from test_mpi_p2p import make_world, run_ranks
+
+
+class TestGlobusIoSocket:
+    def _pair(self, duo, shaper=None):
+        listener = duo.tcp_b.listen(90)
+        out = {}
+
+        def server():
+            conn = yield listener.accept()
+            out["server"] = GlobusIoSocket(conn)
+
+        def client():
+            conn = duo.tcp_a.connect(duo.b.addr, 90)
+            yield conn.established_event
+            out["client"] = GlobusIoSocket(conn, shaper=shaper)
+
+        duo.sim.process(server())
+        duo.sim.process(client())
+        duo.sim.run(until=1.0)
+        return out["client"], out["server"]
+
+    def test_unshaped_send_recv_object(self):
+        duo = make_duo()
+        client, server = self._pair(duo)
+        got = []
+
+        def reader():
+            nbytes, obj = yield server.recv_object()
+            got.append((nbytes, obj))
+
+        def writer():
+            yield from client.send(12_345, marker="msg")
+
+        duo.sim.process(reader())
+        duo.sim.process(writer())
+        duo.sim.run(until=5.0)
+        assert got == [(12_345, "msg")]
+
+    def test_shaped_send_is_paced(self):
+        duo = make_duo(bandwidth=mbps(100))
+        shaper = Shaper(duo.sim, rate=kbps(800), depth_bytes=10_000)
+        client, server = self._pair(duo, shaper=shaper)
+        done = {}
+
+        def writer():
+            # 60 KB through a 100 KB/s shaper with a 10 KB burst
+            # allowance: ~0.5 s of pacing.
+            yield from client.send(60_000, marker="m")
+            done["t"] = duo.sim.now
+
+        def reader():
+            yield server.recv_object()
+
+        duo.sim.process(writer())
+        duo.sim.process(reader())
+        duo.sim.run(until=10.0)
+        assert done["t"] >= 0.5
+        assert shaper.delayed_sends > 0
+
+    def test_recv_bytes_mode(self):
+        duo = make_duo()
+        client, server = self._pair(duo)
+        got = []
+
+        def reader():
+            n = yield server.recv(1 << 20)
+            got.append(n)
+
+        def writer():
+            yield from client.send(5_000)
+
+        duo.sim.process(reader())
+        duo.sim.process(writer())
+        duo.sim.run(until=5.0)
+        assert sum(got) > 0
+
+    def test_set_shaper_and_close(self):
+        duo = make_duo()
+        client, server = self._pair(duo)
+        shaper = Shaper(duo.sim, rate=kbps(100), depth_bytes=5000)
+        client.set_shaper(shaper)
+        assert client.shaper is shaper
+        client.set_shaper(None)
+        client.close()
+        duo.sim.run(until=2.0)
+        assert client.connection._close_requested
+
+
+class TestEngineInternals:
+    def test_message_statistics(self):
+        sim, world = make_world(2)
+
+        def main(comm):
+            if comm.rank == 0:
+                yield comm.send(1, nbytes=1000)
+                yield comm.send(1, nbytes=2000)
+            else:
+                yield comm.recv()
+                yield comm.recv()
+
+        run_ranks(sim, world, main)
+        assert world.procs[0].messages_sent == 2
+        assert world.procs[0].bytes_sent == 3000
+        assert world.procs[1].messages_received == 2
+        assert world.procs[1].bytes_received == 3000
+
+    def test_channel_reuse_single_connection(self):
+        sim, world = make_world(2)
+
+        def main(comm):
+            if comm.rank == 0:
+                for _ in range(10):
+                    yield comm.send(1, nbytes=100)
+            else:
+                for _ in range(10):
+                    yield comm.recv()
+
+        run_ranks(sim, world, main)
+        # Ten messages, one TCP connection.
+        assert len(world.procs[0].channels) == 1
+
+    def test_simultaneous_connect_keeps_fifo_per_direction(self):
+        sim, world = make_world(2)
+        got = {0: [], 1: []}
+
+        def main(comm):
+            other = 1 - comm.rank
+            # Both ranks send first -> simultaneous channel creation.
+            sends = [comm.isend(other, nbytes=100, tag=i, data=i)
+                     for i in range(5)]
+            for i in range(5):
+                data, _ = yield comm.recv(source=other, tag=i)
+                got[comm.rank].append(data)
+            for req in sends:
+                yield req.wait()
+
+        run_ranks(sim, world, main)
+        assert got[0] == list(range(5))
+        assert got[1] == list(range(5))
+
+    def test_world_requires_hosts(self):
+        from repro.kernel import Simulator
+
+        with pytest.raises(MpiError):
+            MpiWorld(Simulator(), [])
+
+    def test_rendezvous_data_without_grant_is_error(self):
+        from repro.mpi.message import Envelope, RNDV_DATA
+
+        sim, world = make_world(2)
+        with pytest.raises(RuntimeError):
+            world.procs[0]._dispatch(
+                Envelope(RNDV_DATA, 1, 0, 0, 0, 100, send_id=999)
+            )

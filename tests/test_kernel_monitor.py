@@ -1,0 +1,120 @@
+"""Unit tests for measurement primitives (Monitor, Counter)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.kernel import Counter, Monitor, Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator(seed=8)
+
+
+class TestMonitor:
+    def test_record_timestamps(self, sim):
+        mon = Monitor(sim, "m")
+        mon.record(1.0)
+        sim.run(until=2.0)
+        mon.record(3.0)
+        t, v = mon.as_arrays()
+        assert list(t) == [0.0, 2.0]
+        assert list(v) == [1.0, 3.0]
+        assert len(mon) == 2
+
+    def test_mean(self, sim):
+        mon = Monitor(sim)
+        for x in (1.0, 2.0, 3.0):
+            mon.record(x)
+        assert mon.mean() == 2.0
+
+    def test_mean_empty_is_nan(self, sim):
+        assert np.isnan(Monitor(sim).mean())
+
+    def test_time_average_step_function(self, sim):
+        mon = Monitor(sim)
+        mon.record(10.0)  # t=0
+        sim.run(until=1.0)
+        mon.record(20.0)  # t=1
+        sim.run(until=4.0)
+        mon.record(0.0)  # t=4: value 20 held for 3s, 10 for 1s
+        assert mon.time_average() == pytest.approx((10 * 1 + 20 * 3) / 4)
+
+    def test_time_average_single_sample(self, sim):
+        mon = Monitor(sim)
+        mon.record(5.0)
+        assert mon.time_average() == 5.0
+
+
+class TestCounter:
+    def test_total(self, sim):
+        counter = Counter(sim)
+        counter.add(10)
+        counter.add(5)
+        assert counter.total == 15
+        assert len(counter) == 2
+
+    def test_rate_series_binning(self, sim):
+        counter = Counter(sim)
+        counter.add(100)  # t=0 -> bin 0
+        sim.run(until=1.5)
+        counter.add(300)  # t=1.5 -> bin 1
+        sim.run(until=2.0)
+        centers, rates = counter.rate_series(1.0, 0.0, 2.0)
+        assert list(centers) == [0.5, 1.5]
+        assert list(rates) == [100.0, 300.0]
+
+    def test_rate_series_empty(self, sim):
+        counter = Counter(sim)
+        sim.run(until=2.0)
+        centers, rates = counter.rate_series(1.0)
+        assert list(rates) == [0.0, 0.0]
+
+    def test_rate_series_zero_span(self, sim):
+        counter = Counter(sim)
+        centers, rates = counter.rate_series(1.0, 5.0, 5.0)
+        assert len(centers) == 0
+
+    def test_rate_series_invalid_bin(self, sim):
+        with pytest.raises(ValueError):
+            Counter(sim).rate_series(0)
+
+    def test_rate_over(self, sim):
+        counter = Counter(sim)
+        counter.add(100)
+        sim.run(until=4.0)
+        counter.add(300)  # at t=4, outside [0,4)
+        assert counter.rate_over(0.0, 4.0) == pytest.approx(25.0)
+        assert counter.rate_over(0.0, 5.0) == pytest.approx(80.0)
+
+    def test_rate_over_empty_interval(self, sim):
+        with pytest.raises(ValueError):
+            Counter(sim).rate_over(1.0, 1.0)
+
+    def test_cumulative_series(self, sim):
+        counter = Counter(sim)
+        counter.add(10)
+        sim.run(until=1.0)
+        counter.add(20)
+        t, c = counter.cumulative_series()
+        assert list(c) == [10, 30]
+
+    @given(
+        amounts=st.lists(
+            st.floats(min_value=0.1, max_value=100), min_size=1, max_size=50
+        ),
+        binsize=st.floats(min_value=0.1, max_value=5.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_binned_mass_conservation(self, amounts, binsize):
+        """The rate series integrates back to the total, regardless of
+        bin size and arrival pattern."""
+        sim = Simulator(seed=0)
+        counter = Counter(sim)
+        for i, amount in enumerate(amounts):
+            sim.call_at(i * 0.3, counter.add, amount)
+        sim.run()
+        t_end = max(sim.now, binsize)
+        _centers, rates = counter.rate_series(binsize, 0.0, t_end + binsize)
+        assert rates.sum() * binsize == pytest.approx(sum(amounts), rel=1e-9)

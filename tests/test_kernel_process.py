@@ -1,0 +1,320 @@
+"""Unit tests for generator processes, stores, and resources."""
+
+import pytest
+
+from repro.kernel import Interrupt, Resource, Simulator, Store
+
+
+@pytest.fixture
+def sim():
+    return Simulator(seed=2)
+
+
+class TestProcess:
+    def test_sequential_timeouts(self, sim):
+        trace = []
+
+        def proc():
+            trace.append(sim.now)
+            yield sim.timeout(1.0)
+            trace.append(sim.now)
+            yield sim.timeout(2.0)
+            trace.append(sim.now)
+
+        sim.process(proc())
+        sim.run()
+        assert trace == [0.0, 1.0, 3.0]
+
+    def test_return_value_propagates(self, sim):
+        def child():
+            yield sim.timeout(1.0)
+            return 99
+
+        def parent(out):
+            result = yield sim.process(child())
+            out.append(result)
+
+        out = []
+        sim.process(parent(out))
+        sim.run()
+        assert out == [99]
+
+    def test_timeout_value_received(self, sim):
+        got = []
+
+        def proc():
+            v = yield sim.timeout(1.0, "payload")
+            got.append(v)
+
+        sim.process(proc())
+        sim.run()
+        assert got == ["payload"]
+
+    def test_yield_non_event_raises(self, sim):
+        def proc():
+            yield 42
+
+        sim.process(proc())
+        with pytest.raises(TypeError):
+            sim.run()
+
+    def test_exception_in_process_surfaces(self, sim):
+        def proc():
+            yield sim.timeout(1.0)
+            raise ValueError("inner")
+
+        sim.process(proc())
+        with pytest.raises(Exception):
+            sim.run()
+
+    def test_exception_caught_by_waiter(self, sim):
+        caught = []
+
+        def child():
+            yield sim.timeout(1.0)
+            raise ValueError("inner")
+
+        def parent():
+            try:
+                yield sim.process(child())
+            except ValueError as exc:
+                caught.append(str(exc))
+
+        sim.process(parent())
+        sim.run()
+        assert caught == ["inner"]
+
+    def test_wait_on_already_processed_event(self, sim):
+        t = sim.timeout(1.0, "early")
+        got = []
+
+        def proc():
+            yield sim.timeout(5.0)
+            v = yield t  # t was processed at t=1
+            got.append((sim.now, v))
+
+        sim.process(proc())
+        sim.run()
+        assert got == [(5.0, "early")]
+
+    def test_is_alive(self, sim):
+        def proc():
+            yield sim.timeout(1.0)
+
+        p = sim.process(proc())
+        assert p.is_alive
+        sim.run()
+        assert not p.is_alive
+
+    def test_process_name(self, sim):
+        def my_proc():
+            yield sim.timeout(0)
+
+        p = sim.process(my_proc(), name="worker")
+        assert p.name == "worker"
+        assert "worker" in repr(p)
+
+    def test_non_generator_rejected(self, sim):
+        with pytest.raises(TypeError):
+            sim.process(lambda: None)
+
+
+class TestInterrupt:
+    def test_interrupt_delivers_cause(self, sim):
+        log = []
+
+        def victim():
+            try:
+                yield sim.timeout(10.0)
+            except Interrupt as intr:
+                log.append((sim.now, intr.cause))
+
+        p = sim.process(victim())
+        sim.call_in(2.0, p.interrupt, "stop now")
+        sim.run()
+        assert log == [(2.0, "stop now")]
+
+    def test_interrupt_detaches_from_target(self, sim):
+        log = []
+
+        def victim():
+            try:
+                yield sim.timeout(5.0)
+            except Interrupt:
+                log.append("interrupted")
+            yield sim.timeout(100.0)
+            log.append("resumed")
+
+        p = sim.process(victim())
+        sim.call_in(1.0, p.interrupt)
+        sim.run()
+        # Must not be double-resumed when the original 5s timeout fires.
+        assert log == ["interrupted", "resumed"]
+
+    def test_interrupt_dead_process_raises(self, sim):
+        def victim():
+            yield sim.timeout(1.0)
+
+        p = sim.process(victim())
+        sim.run()
+        with pytest.raises(RuntimeError):
+            p.interrupt()
+
+    def test_self_interrupt_raises(self, sim):
+        errors = []
+
+        def proc():
+            me = sim.active_process
+            try:
+                me.interrupt()
+            except RuntimeError:
+                errors.append(True)
+            yield sim.timeout(0)
+
+        sim.process(proc())
+        sim.run()
+        assert errors == [True]
+
+
+class TestStore:
+    def test_put_then_get(self, sim):
+        store = Store(sim)
+        got = []
+
+        def consumer():
+            item = yield store.get()
+            got.append(item)
+
+        store.put("x")
+        sim.process(consumer())
+        sim.run()
+        assert got == ["x"]
+
+    def test_get_blocks_until_put(self, sim):
+        store = Store(sim)
+        got = []
+
+        def consumer():
+            item = yield store.get()
+            got.append((sim.now, item))
+
+        def producer():
+            yield sim.timeout(3.0)
+            store.put("late")
+
+        sim.process(consumer())
+        sim.process(producer())
+        sim.run()
+        assert got == [(3.0, "late")]
+
+    def test_fifo_order(self, sim):
+        store = Store(sim)
+        for i in range(5):
+            store.put(i)
+        got = []
+
+        def consumer():
+            for _ in range(5):
+                got.append((yield store.get()))
+
+        sim.process(consumer())
+        sim.run()
+        assert got == [0, 1, 2, 3, 4]
+
+    def test_capacity_blocks_put(self, sim):
+        store = Store(sim, capacity=1)
+        log = []
+
+        def producer():
+            yield store.put("a")
+            log.append(("a", sim.now))
+            yield store.put("b")
+            log.append(("b", sim.now))
+
+        def consumer():
+            yield sim.timeout(5.0)
+            yield store.get()
+
+        sim.process(producer())
+        sim.process(consumer())
+        sim.run()
+        assert log[0] == ("a", 0.0)
+        assert log[1] == ("b", 5.0)
+
+    def test_try_get(self, sim):
+        store = Store(sim)
+        assert store.try_get() == (False, None)
+        store.put(7)
+        assert store.try_get() == (True, 7)
+
+    def test_len(self, sim):
+        store = Store(sim)
+        store.put(1)
+        store.put(2)
+        assert len(store) == 2
+
+    def test_invalid_capacity(self, sim):
+        with pytest.raises(ValueError):
+            Store(sim, capacity=0)
+
+
+class TestResource:
+    def test_mutual_exclusion(self, sim):
+        res = Resource(sim, capacity=1)
+        log = []
+
+        def worker(name, hold):
+            yield res.request()
+            log.append((name, "in", sim.now))
+            yield sim.timeout(hold)
+            log.append((name, "out", sim.now))
+            res.release()
+
+        sim.process(worker("a", 2.0))
+        sim.process(worker("b", 1.0))
+        sim.run()
+        assert log == [
+            ("a", "in", 0.0),
+            ("a", "out", 2.0),
+            ("b", "in", 2.0),
+            ("b", "out", 3.0),
+        ]
+
+    def test_capacity_two(self, sim):
+        res = Resource(sim, capacity=2)
+        entered = []
+
+        def worker(name):
+            yield res.request()
+            entered.append((name, sim.now))
+            yield sim.timeout(1.0)
+            res.release()
+
+        for n in "abc":
+            sim.process(worker(n))
+        sim.run()
+        assert entered == [("a", 0.0), ("b", 0.0), ("c", 1.0)]
+
+    def test_release_without_request_raises(self, sim):
+        res = Resource(sim)
+        with pytest.raises(RuntimeError):
+            res.release()
+
+    def test_queued_count(self, sim):
+        res = Resource(sim, capacity=1)
+
+        def holder():
+            yield res.request()
+            yield sim.timeout(10.0)
+            res.release()
+
+        def waiter():
+            yield res.request()
+            res.release()
+
+        sim.process(holder())
+        sim.process(waiter())
+        sim.run(until=5.0)
+        assert res.queued == 1
+        sim.run()
+        assert res.queued == 0

@@ -1,0 +1,102 @@
+"""Small-surface coverage: reprs, string helpers, and validation paths
+not exercised elsewhere (cheap, but they catch real API drift)."""
+
+import importlib
+
+import pytest
+
+from repro.diffserv import DSCP_NAMES, EF, FlowSpec
+from repro.gara import Reservation, StorageServer
+from repro.kernel import Simulator
+from repro.mpi import BYTE, DOUBLE, Envelope, Status
+from repro.mpi.message import EAGER
+from repro.net import PROTO_TCP, Packet
+from repro.transport.tcp.segment import ACK, FIN, SYN, TcpSegment, flag_names
+
+
+class TestReprsAndStrings:
+    def test_packet_repr(self):
+        p = Packet(1, 2, 30, 40, PROTO_TCP, 100, dscp=EF)
+        text = repr(p)
+        assert "tcp" in text and "1:30->2:40" in text and "dscp=46" in text
+
+    def test_flow_spec_str(self):
+        assert str(FlowSpec(src=1, dport=80)) == "1:*->*:80/*"
+
+    def test_tcp_flag_names(self):
+        assert flag_names(SYN | ACK) == "SYN|ACK"
+        assert flag_names(0) == "none"
+        assert "FIN" in repr(TcpSegment(0, 0, FIN, 100))
+
+    def test_envelope_repr(self):
+        env = Envelope(EAGER, 0, 1, 5, 2, 1000)
+        assert "eager" in repr(env) and "tag=5" in repr(env)
+
+    def test_dscp_names(self):
+        assert DSCP_NAMES[EF] == "EF"
+
+    def test_timer_handle_repr(self):
+        sim = Simulator()
+        handle = sim.call_in(1.0, lambda: None)
+        assert "at t=" in repr(handle)
+        handle.cancel()
+        assert "cancelled" in repr(handle)
+
+
+class TestValidationPaths:
+    def test_datatype_extent(self):
+        assert DOUBLE.extent(10) == 80
+        assert BYTE.extent(0) == 0
+        with pytest.raises(ValueError):
+            DOUBLE.extent(-1)
+
+    def test_status_get_count(self):
+        status = Status(source=0, tag=0, nbytes=80)
+        assert status.get_count(DOUBLE) == 10
+        with pytest.raises(ValueError):
+            Status(source=0, tag=0, nbytes=81).get_count(DOUBLE)
+
+    def test_storage_server_validation(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            StorageServer(sim, "d", bandwidth=0)
+        server = StorageServer(sim, "d", bandwidth=1e6)
+        with pytest.raises(ValueError):
+            server.read("c", 0)
+
+    def test_reservation_repr_shows_state(self):
+        sim = Simulator()
+        from repro.gara import DsrtCpuManager, CpuReservationSpec
+        from repro.cpu import Cpu
+
+        manager = DsrtCpuManager(sim)
+        reservation = manager.request(CpuReservationSpec(Cpu(sim), 0.5))
+        assert "ACTIVE" in repr(reservation)
+
+
+class TestExampleModulesImport:
+    """Every example must at least import (catches API drift)."""
+
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "quickstart",
+            "distance_visualization",
+            "coreservation",
+            "finite_difference",
+            "advance_reservation",
+            "adaptive_streaming",
+            "end_to_end_pipeline",
+            "wide_area_grid",
+        ],
+    )
+    def test_import(self, name, monkeypatch):
+        import sys
+        from pathlib import Path
+
+        examples = Path(__file__).resolve().parent.parent / "examples"
+        monkeypatch.syspath_prepend(str(examples))
+        module = importlib.import_module(name)
+        assert callable(module.main)
+        # Re-import cleanliness for the next parametrised case.
+        sys.modules.pop(name, None)

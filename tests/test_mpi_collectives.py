@@ -1,0 +1,373 @@
+"""Tests for MPI collectives, attributes, and communicator management."""
+
+import pytest
+
+from repro.mpi import Group, MAX, MpiError, SUM
+
+from test_mpi_p2p import make_world, run_ranks
+
+
+class TestBarrier:
+    @pytest.mark.parametrize("n", [2, 3, 5, 8])
+    def test_no_rank_leaves_before_last_enters(self, n):
+        sim, world = make_world(n)
+        entered, left = [], []
+
+        def main(comm):
+            yield sim.timeout(0.1 * comm.rank)  # staggered arrival
+            entered.append((sim.now, comm.rank))
+            yield from comm.barrier()
+            left.append((sim.now, comm.rank))
+
+        run_ranks(sim, world, main)
+        last_entry = max(t for t, _ in entered)
+        assert all(t >= last_entry for t, _ in left)
+        assert len(left) == n
+
+
+class TestBcast:
+    @pytest.mark.parametrize("n,root", [(2, 0), (4, 0), (5, 2), (7, 6)])
+    def test_all_ranks_get_root_data(self, n, root):
+        sim, world = make_world(n)
+        got = []
+
+        def main(comm):
+            data = f"payload-{comm.rank}" if comm.rank == root else None
+            result = yield from comm.bcast(data, nbytes=1000, root=root)
+            got.append((comm.rank, result))
+
+        run_ranks(sim, world, main)
+        assert got and all(v == f"payload-{root}" for _, v in got)
+
+
+class TestReduce:
+    @pytest.mark.parametrize("n", [2, 4, 6])
+    def test_sum_at_root(self, n):
+        sim, world = make_world(n)
+        got = []
+
+        def main(comm):
+            result = yield from comm.reduce(comm.rank + 1, nbytes=8, op=SUM, root=0)
+            got.append((comm.rank, result))
+
+        run_ranks(sim, world, main)
+        results = dict(got)
+        assert results[0] == n * (n + 1) // 2
+        assert all(results[r] is None for r in range(1, n))
+
+    def test_max(self):
+        sim, world = make_world(5)
+        got = []
+
+        def main(comm):
+            result = yield from comm.reduce(comm.rank * 10, nbytes=8, op=MAX, root=0)
+            if comm.rank == 0:
+                got.append(result)
+
+        run_ranks(sim, world, main)
+        assert got == [40]
+
+    def test_allreduce(self):
+        sim, world = make_world(4)
+        got = []
+
+        def main(comm):
+            result = yield from comm.allreduce(comm.rank, nbytes=8, op=SUM)
+            got.append(result)
+
+        run_ranks(sim, world, main)
+        assert got == [6, 6, 6, 6]
+
+
+class TestGatherScatter:
+    def test_gather(self):
+        sim, world = make_world(4)
+        got = []
+
+        def main(comm):
+            result = yield from comm.gather(comm.rank ** 2, nbytes=8, root=1)
+            got.append((comm.rank, result))
+
+        run_ranks(sim, world, main)
+        results = dict(got)
+        assert results[1] == [0, 1, 4, 9]
+        assert results[0] is None
+
+    def test_scatter(self):
+        sim, world = make_world(4)
+        got = []
+
+        def main(comm):
+            values = [i * 100 for i in range(4)] if comm.rank == 0 else None
+            result = yield from comm.scatter(values, nbytes=8, root=0)
+            got.append((comm.rank, result))
+
+        run_ranks(sim, world, main)
+        assert sorted(got) == [(0, 0), (1, 100), (2, 200), (3, 300)]
+
+    def test_scatter_requires_values_at_root(self):
+        sim, world = make_world(2)
+        failures = []
+
+        def main(comm):
+            if comm.rank == 0:
+                try:
+                    yield from comm.scatter(None, nbytes=8, root=0)
+                except MpiError:
+                    failures.append(True)
+            else:
+                yield sim.timeout(0)
+
+        run_ranks(sim, world, main)
+        assert failures == [True]
+
+    def test_allgather(self):
+        sim, world = make_world(3)
+        got = []
+
+        def main(comm):
+            result = yield from comm.allgather(comm.rank + 1, nbytes=8)
+            got.append(result)
+
+        run_ranks(sim, world, main)
+        assert got == [[1, 2, 3]] * 3
+
+    def test_alltoall(self):
+        sim, world = make_world(3)
+        got = []
+
+        def main(comm):
+            values = [f"{comm.rank}->{d}" for d in range(3)]
+            result = yield from comm.alltoall(values, nbytes=16)
+            got.append((comm.rank, result))
+
+        run_ranks(sim, world, main)
+        results = dict(got)
+        for r in range(3):
+            assert results[r] == [f"{s}->{r}" for s in range(3)]
+
+
+class TestContextIsolation:
+    def test_messages_do_not_cross_communicators(self):
+        sim, world = make_world(2)
+        got = []
+
+        def main(comm):
+            dup = comm.dup()
+            if comm.rank == 0:
+                yield comm.send(1, nbytes=10, tag=0, data="on-world")
+                yield dup.send(1, nbytes=10, tag=0, data="on-dup")
+            else:
+                data_dup, _ = yield dup.recv(source=0, tag=0)
+                data_world, _ = yield comm.recv(source=0, tag=0)
+                got.append((data_dup, data_world))
+
+        run_ranks(sim, world, main)
+        assert got == [("on-dup", "on-world")]
+
+
+class TestSplit:
+    def test_split_into_two_groups(self):
+        sim, world = make_world(4)
+        got = []
+
+        def main(comm):
+            color = comm.rank % 2
+            sub = yield from comm.split(color, key=comm.rank)
+            total = yield from sub.allreduce(comm.rank, nbytes=8, op=SUM)
+            got.append((comm.rank, sub.size, total))
+
+        run_ranks(sim, world, main)
+        results = {r: (s, t) for r, s, t in got}
+        assert results[0] == (2, 2)  # ranks 0+2
+        assert results[1] == (2, 4)  # ranks 1+3
+
+    def test_split_undefined_color(self):
+        sim, world = make_world(3)
+        got = []
+
+        def main(comm):
+            color = None if comm.rank == 2 else 0
+            sub = yield from comm.split(color, key=comm.rank)
+            got.append((comm.rank, None if sub is None else sub.size))
+
+        run_ranks(sim, world, main)
+        assert sorted(got) == [(0, 2), (1, 2), (2, None)]
+
+    def test_split_key_reorders(self):
+        sim, world = make_world(3)
+        got = []
+
+        def main(comm):
+            sub = yield from comm.split(0, key=-comm.rank)
+            got.append((comm.rank, sub.rank))
+
+        run_ranks(sim, world, main)
+        # Highest world rank gets lowest key -> new rank 0.
+        assert sorted(got) == [(0, 2), (1, 1), (2, 0)]
+
+
+class TestAttributes:
+    def test_put_get_delete(self):
+        sim, world = make_world(1)
+        log = []
+
+        def main(comm):
+            kv = world.create_keyval()
+            assert comm.attr_get(kv) == (None, False)
+            comm.attr_put(kv, {"bw": 10})
+            value, flag = comm.attr_get(kv)
+            log.append((value, flag))
+            comm.attr_delete(kv)
+            log.append(comm.attr_get(kv))
+            yield sim.timeout(0)
+
+        run_ranks(sim, world, main)
+        assert log == [({"bw": 10}, True), ((None, False))]
+
+    def test_put_hook_fires(self):
+        sim, world = make_world(1)
+        fired = []
+
+        def main(comm):
+            kv = world.create_keyval(
+                put_hook=lambda c, k, v: fired.append((c.name, v))
+            )
+            comm.attr_put(kv, "qos-request")
+            yield sim.timeout(0)
+
+        run_ranks(sim, world, main)
+        assert fired == [("MPI_COMM_WORLD", "qos-request")]
+
+    def test_copy_fn_on_dup(self):
+        sim, world = make_world(1)
+        log = []
+
+        def main(comm):
+            kv_copy = world.create_keyval(
+                copy_fn=lambda c, k, v: (True, v + 1)
+            )
+            kv_nocopy = world.create_keyval()
+            comm.attr_put(kv_copy, 10)
+            comm.attr_put(kv_nocopy, 99)
+            dup = comm.dup()
+            log.append(dup.attr_get(kv_copy))
+            log.append(dup.attr_get(kv_nocopy))
+            yield sim.timeout(0)
+
+        run_ranks(sim, world, main)
+        assert log == [(11, True), (None, False)]
+
+    def test_delete_fn_on_free(self):
+        sim, world = make_world(1)
+        deleted = []
+
+        def main(comm):
+            kv = world.create_keyval(
+                delete_fn=lambda c, k, v: deleted.append(v)
+            )
+            dup = comm.dup()
+            dup.attr_put(kv, "bye")
+            dup.free()
+            yield sim.timeout(0)
+
+        run_ranks(sim, world, main)
+        assert deleted == ["bye"]
+
+    def test_freed_comm_unusable(self):
+        sim, world = make_world(1)
+
+        def main(comm):
+            dup = comm.dup()
+            dup.free()
+            with pytest.raises(MpiError):
+                dup.isend(0, nbytes=1)
+            yield sim.timeout(0)
+
+        run_ranks(sim, world, main)
+
+
+class TestIntercommunicator:
+    def test_two_party_exchange(self):
+        sim, world = make_world(4)
+        got = []
+
+        def main(comm):
+            inter = comm.create_intercomm([0, 1], [2, 3]) if comm.rank < 2 else (
+                comm.create_intercomm([2, 3], [0, 1])
+            )
+            # local rank 0 of each side exchanges with remote rank 0.
+            if inter.rank == 0:
+                if comm.rank == 0:
+                    yield inter.send(0, nbytes=100, data="left->right")
+                    data, _ = yield inter.recv(source=0)
+                else:
+                    data, _ = yield inter.recv(source=0)
+                    yield inter.send(0, nbytes=100, data="right->left")
+                got.append((comm.rank, data))
+            else:
+                yield sim.timeout(0)
+
+        run_ranks(sim, world, main)
+        assert sorted(got) == [(0, "right->left"), (2, "left->right")]
+
+    def test_remote_size_and_flow_pairs(self):
+        sim, world = make_world(4)
+        got = []
+
+        def main(comm):
+            if comm.rank < 2:
+                inter = comm.create_intercomm([0, 1], [2, 3])
+                got.append((inter.remote_size, inter.flow_pairs()))
+            yield sim.timeout(0)
+
+        run_ranks(sim, world, main)
+        assert got[0][0] == 2
+        assert got[0][1] == [(0, 2), (0, 3), (1, 2), (1, 3)]
+
+    def test_collectives_rejected(self):
+        sim, world = make_world(2)
+
+        def main(comm):
+            if comm.rank == 0:
+                inter = comm.create_intercomm([0], [1])
+            else:
+                inter = comm.create_intercomm([1], [0])
+            with pytest.raises(MpiError):
+                next(inter.barrier())
+            yield sim.timeout(0)
+
+        run_ranks(sim, world, main)
+
+    def test_endpoints(self):
+        sim, world = make_world(2)
+        got = []
+
+        def main(comm):
+            if comm.rank == 0:
+                got.append(comm.endpoints())
+            yield sim.timeout(0)
+
+        run_ranks(sim, world, main)
+        assert len(got[0]) == 2
+        assert got[0][0][0] == "h0"
+        assert got[0][1][2] == 6001
+
+
+class TestGroup:
+    def test_incl_excl(self):
+        g = Group([10, 20, 30, 40])
+        assert g.incl([0, 2]).world_ranks == (10, 30)
+        assert g.excl([1]).world_ranks == (10, 30, 40)
+        assert g.local_rank(30) == 2
+        assert g.local_rank(99) is None
+        assert 20 in g
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(MpiError):
+            Group([1, 1])
+
+    def test_out_of_range(self):
+        g = Group([1, 2])
+        with pytest.raises(MpiError):
+            g.world_rank(5)

@@ -1,0 +1,293 @@
+"""Tests for MPI point-to-point semantics over the simulated network."""
+
+import pytest
+
+from repro.kernel import Simulator
+from repro.mpi import ANY_SOURCE, ANY_TAG, BYTE, DOUBLE, MpiError, MpiWorld
+from repro.net import Network, mbps
+
+
+def make_world(n_ranks=2, seed=0, bandwidth=mbps(100), delay=0.1e-3,
+               ranks_per_host=1, **world_kwargs):
+    """Star topology: each host behind one router."""
+    sim = Simulator(seed=seed)
+    net = Network(sim)
+    router = net.add_router("r")
+    hosts = []
+    n_hosts = (n_ranks + ranks_per_host - 1) // ranks_per_host
+    for i in range(n_hosts):
+        h = net.add_host(f"h{i}")
+        net.connect(h, router, bandwidth, delay)
+        hosts.append(h)
+    net.build_routes()
+    world = MpiWorld(
+        sim, [hosts[i // ranks_per_host] for i in range(n_ranks)], **world_kwargs
+    )
+    return sim, world
+
+
+def run_ranks(sim, world, main, limit=120.0, **kwargs):
+    procs = world.launch(main, **kwargs)
+    done = sim.all_of(procs)
+    sim.run_until_event(done, limit=limit)
+    return [p.value for p in procs]
+
+
+class TestBasicSendRecv:
+    def test_two_rank_exchange(self):
+        sim, world = make_world(2)
+        log = []
+
+        def main(comm):
+            if comm.rank == 0:
+                yield comm.send(1, nbytes=1000, tag=7, data={"x": 42})
+            else:
+                data, status = yield comm.recv(source=0, tag=7)
+                log.append((data, status.source, status.tag, status.nbytes))
+
+        run_ranks(sim, world, main)
+        assert log == [({"x": 42}, 0, 7, 1000)]
+
+    def test_typed_count(self):
+        sim, world = make_world(2)
+        log = []
+
+        def main(comm):
+            if comm.rank == 0:
+                yield comm.send(1, nbytes=DOUBLE.extent(100))
+            else:
+                _data, status = yield comm.recv()
+                log.append(status.get_count(DOUBLE))
+
+        run_ranks(sim, world, main)
+        assert log == [100]
+
+    def test_any_source_any_tag(self):
+        sim, world = make_world(3)
+        log = []
+
+        def main(comm):
+            if comm.rank == 0:
+                for _ in range(2):
+                    data, status = yield comm.recv(source=ANY_SOURCE, tag=ANY_TAG)
+                    log.append((status.source, data))
+            else:
+                yield sim.timeout(0.01 * comm.rank)
+                yield comm.send(0, nbytes=10, tag=comm.rank, data=comm.rank)
+
+        run_ranks(sim, world, main)
+        assert sorted(log) == [(1, 1), (2, 2)]
+
+    def test_tag_selectivity(self):
+        sim, world = make_world(2)
+        log = []
+
+        def main(comm):
+            if comm.rank == 0:
+                yield comm.send(1, nbytes=10, tag=5, data="five")
+                yield comm.send(1, nbytes=10, tag=6, data="six")
+            else:
+                data6, _ = yield comm.recv(source=0, tag=6)
+                data5, _ = yield comm.recv(source=0, tag=5)
+                log.append((data6, data5))
+
+        run_ranks(sim, world, main)
+        assert log == [("six", "five")]
+
+    def test_message_ordering_same_tag(self):
+        sim, world = make_world(2)
+        got = []
+
+        def main(comm):
+            if comm.rank == 0:
+                for i in range(20):
+                    yield comm.send(1, nbytes=100, tag=0, data=i)
+            else:
+                for _ in range(20):
+                    data, _ = yield comm.recv(source=0, tag=0)
+                    got.append(data)
+
+        run_ranks(sim, world, main)
+        assert got == list(range(20))
+
+    def test_self_send(self):
+        sim, world = make_world(1)
+        got = []
+
+        def main(comm):
+            req = comm.isend(0, nbytes=100, data="loop")
+            data, status = yield comm.recv(source=0)
+            got.append((data, status.source))
+            yield req.wait()
+
+        run_ranks(sim, world, main)
+        assert got == [("loop", 0)]
+
+    def test_ranks_share_host(self):
+        sim, world = make_world(4, ranks_per_host=2)
+        got = []
+
+        def main(comm):
+            if comm.rank == 0:
+                for _ in range(3):
+                    data, _ = yield comm.recv()
+                    got.append(data)
+            else:
+                yield comm.send(0, nbytes=50, data=comm.rank)
+
+        run_ranks(sim, world, main)
+        assert sorted(got) == [1, 2, 3]
+
+    def test_invalid_sizes_and_ranks(self):
+        sim, world = make_world(2)
+
+        def main(comm):
+            if comm.rank == 0:
+                with pytest.raises(MpiError):
+                    comm.isend(1, nbytes=0)
+                with pytest.raises(MpiError):
+                    comm.isend(5, nbytes=10)
+            yield sim.timeout(0)
+
+        run_ranks(sim, world, main)
+
+
+class TestEagerVsRendezvous:
+    def test_large_message_uses_rendezvous(self):
+        sim, world = make_world(2, eager_threshold=1024)
+        times = {}
+
+        def main(comm):
+            if comm.rank == 0:
+                yield comm.send(1, nbytes=100_000)
+                times["send_done"] = sim.now
+            else:
+                yield sim.timeout(1.0)  # receiver arrives late
+                yield comm.recv(source=0)
+
+        run_ranks(sim, world, main)
+        # Rendezvous: the send cannot complete before the recv is posted.
+        assert times["send_done"] > 1.0
+
+    def test_eager_send_completes_before_recv_posted(self):
+        sim, world = make_world(2, eager_threshold=64 * 1024)
+        times = {}
+
+        def main(comm):
+            if comm.rank == 0:
+                yield comm.send(1, nbytes=1_000)
+                times["send_done"] = sim.now
+            else:
+                yield sim.timeout(1.0)
+                yield comm.recv(source=0)
+
+        run_ranks(sim, world, main)
+        assert times["send_done"] < 0.5
+
+    def test_rendezvous_preserves_order_with_eager(self):
+        sim, world = make_world(2, eager_threshold=1024)
+        got = []
+
+        def main(comm):
+            if comm.rank == 0:
+                big = comm.isend(1, nbytes=50_000, tag=0, data="big")
+                yield comm.send(1, nbytes=10, tag=0, data="small")
+                yield big.wait()
+            else:
+                yield sim.timeout(0.05)
+                d1, _ = yield comm.recv(source=0, tag=0)
+                d2, _ = yield comm.recv(source=0, tag=0)
+                got.extend([d1, d2])
+
+        run_ranks(sim, world, main)
+        # Non-overtaking: the first-posted send matches first.
+        assert got == ["big", "small"]
+
+
+class TestNonBlocking:
+    def test_isend_irecv_overlap(self):
+        sim, world = make_world(2)
+        got = []
+
+        def main(comm):
+            if comm.rank == 0:
+                reqs = [comm.isend(1, nbytes=1000, tag=i, data=i) for i in range(5)]
+                for r in reqs:
+                    yield r.wait()
+            else:
+                reqs = [comm.irecv(source=0, tag=i) for i in range(5)]
+                for r in reqs:
+                    data, _ = yield r.wait()
+                    got.append(data)
+
+        run_ranks(sim, world, main)
+        assert got == [0, 1, 2, 3, 4]
+
+    def test_request_test(self):
+        sim, world = make_world(2)
+        observed = []
+
+        def main(comm):
+            if comm.rank == 0:
+                yield sim.timeout(1.0)
+                yield comm.send(1, nbytes=10)
+            else:
+                req = comm.irecv(source=0)
+                done, _ = req.test()
+                observed.append(done)
+                yield req.wait()
+                done, value = req.test()
+                observed.append(done)
+
+        run_ranks(sim, world, main)
+        assert observed == [False, True]
+
+
+class TestProbe:
+    def test_probe_reports_size_without_consuming(self):
+        sim, world = make_world(2)
+        log = []
+
+        def main(comm):
+            if comm.rank == 0:
+                yield comm.send(1, nbytes=4321, tag=3, data="payload")
+            else:
+                status = yield comm.probe(source=0, tag=3)
+                log.append(("probe", status.nbytes))
+                data, _ = yield comm.recv(source=0, tag=3)
+                log.append(("recv", data))
+
+        run_ranks(sim, world, main)
+        assert log == [("probe", 4321), ("recv", "payload")]
+
+    def test_iprobe(self):
+        sim, world = make_world(2)
+        log = []
+
+        def main(comm):
+            if comm.rank == 0:
+                yield comm.send(1, nbytes=10, tag=1)
+            else:
+                log.append(comm.iprobe(source=0, tag=1))
+                yield sim.timeout(1.0)
+                status = comm.iprobe(source=0, tag=1)
+                log.append(status.nbytes if status else None)
+
+        run_ranks(sim, world, main)
+        assert log == [None, 10]
+
+
+class TestSendrecv:
+    def test_pingpong_exchange(self):
+        sim, world = make_world(2)
+        got = []
+
+        def main(comm):
+            other = 1 - comm.rank
+            data, status = yield from comm.sendrecv(
+                dest=other, send_nbytes=100, source=other, data=f"from{comm.rank}"
+            )
+            got.append((comm.rank, data))
+
+        run_ranks(sim, world, main)
+        assert sorted(got) == [(0, "from1"), (1, "from0")]

@@ -1,0 +1,94 @@
+"""Property-based MPI semantics tests: random message mixes must
+always match in order, regardless of sizes (eager vs rendezvous),
+posting order, and network conditions."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.kernel import Simulator
+from repro.mpi import MpiWorld
+from repro.net import DropTailQueue, Network, mbps
+
+
+def tiny_world(n_ranks, seed, eager_threshold, bandwidth=mbps(50),
+               queue_packets=50):
+    sim = Simulator(seed=seed)
+    net = Network(sim)
+    r = net.add_router("r")
+    hosts = []
+    for i in range(n_ranks):
+        h = net.add_host(f"h{i}")
+        net.connect(h, r, bandwidth, 0.2e-3,
+                    lambda: DropTailQueue(limit_packets=queue_packets))
+        hosts.append(h)
+    net.build_routes()
+    return sim, MpiWorld(sim, hosts, eager_threshold=eager_threshold)
+
+
+class TestMessageMatchingProperty:
+    @given(
+        sizes=st.lists(
+            st.integers(min_value=1, max_value=150_000),
+            min_size=1,
+            max_size=10,
+        ),
+        eager_threshold=st.sampled_from([1_000, 16_000, 64_000]),
+        post_recvs_first=st.booleans(),
+        seed=st.integers(min_value=0, max_value=5),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_same_tag_messages_match_in_send_order(
+        self, sizes, eager_threshold, post_recvs_first, seed
+    ):
+        sim, world = tiny_world(2, seed, eager_threshold)
+        got = []
+
+        def main(comm):
+            if comm.rank == 0:
+                reqs = [
+                    comm.isend(1, nbytes=size, tag=0, data=i)
+                    for i, size in enumerate(sizes)
+                ]
+                for req in reqs:
+                    yield req.wait()
+            else:
+                if post_recvs_first:
+                    reqs = [comm.irecv(source=0, tag=0) for _ in sizes]
+                else:
+                    yield sim.timeout(0.05)  # let messages queue up
+                    reqs = [comm.irecv(source=0, tag=0) for _ in sizes]
+                for req in reqs:
+                    data, status = yield req.wait()
+                    got.append((data, status.nbytes))
+
+        procs = world.launch(main)
+        sim.run_until_event(sim.all_of(procs), limit=600.0)
+        assert got == [(i, size) for i, size in enumerate(sizes)]
+
+    @given(
+        n_ranks=st.integers(min_value=2, max_value=5),
+        payload=st.integers(min_value=1, max_value=100_000),
+        seed=st.integers(min_value=0, max_value=3),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_collectives_agree_across_ranks(self, n_ranks, payload, seed):
+        sim, world = tiny_world(n_ranks, seed, eager_threshold=32_000)
+        results = []
+
+        def main(comm):
+            total = yield from comm.allreduce(comm.rank, nbytes=8)
+            gathered = yield from comm.allgather(comm.rank * 2, nbytes=8)
+            data = yield from comm.bcast(
+                "blob" if comm.rank == 0 else None, payload, root=0
+            )
+            results.append((comm.rank, total, tuple(gathered), data))
+
+        procs = world.launch(main)
+        sim.run_until_event(sim.all_of(procs), limit=600.0)
+        expected_total = n_ranks * (n_ranks - 1) // 2
+        expected_gather = tuple(r * 2 for r in range(n_ranks))
+        assert len(results) == n_ranks
+        for _rank, total, gathered, data in results:
+            assert total == expected_total
+            assert gathered == expected_gather
+            assert data == "blob"

@@ -1,0 +1,253 @@
+"""Unit tests for packets, queues, interfaces, and routing."""
+
+import pytest
+
+from repro.kernel import Simulator
+from repro.net import (
+    DropTailQueue,
+    FlowKey,
+    Network,
+    PROTO_TCP,
+    PROTO_UDP,
+    Packet,
+    garnet,
+    kbps,
+    mbps,
+    transmission_time,
+)
+
+
+@pytest.fixture
+def sim():
+    return Simulator(seed=3)
+
+
+def make_packet(src=1, dst=2, sport=100, dport=200, size=1000, proto=PROTO_UDP):
+    return Packet(src, dst, sport, dport, proto, size)
+
+
+class TestUnits:
+    def test_kbps(self):
+        assert kbps(64) == 64_000
+
+    def test_mbps(self):
+        assert mbps(100) == 100_000_000
+
+    def test_transmission_time(self):
+        # 1500 bytes on a 10 Mb/s link: 1.2 ms.
+        assert transmission_time(1500, mbps(10)) == pytest.approx(1.2e-3)
+
+    def test_zero_bandwidth_rejected(self):
+        with pytest.raises(ValueError):
+            transmission_time(100, 0)
+
+
+class TestPacket:
+    def test_flow_key(self):
+        p = make_packet()
+        assert p.flow_key == FlowKey(1, 2, 100, 200, PROTO_UDP)
+
+    def test_flow_key_reversed(self):
+        k = FlowKey(1, 2, 100, 200, PROTO_TCP)
+        assert k.reversed() == FlowKey(2, 1, 200, 100, PROTO_TCP)
+
+    def test_unique_uids(self):
+        assert make_packet().uid != make_packet().uid
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            make_packet(size=0)
+
+
+class TestDropTailQueue:
+    def test_fifo(self):
+        q = DropTailQueue(limit_packets=10)
+        a, b = make_packet(), make_packet()
+        assert q.enqueue(a) and q.enqueue(b)
+        assert q.dequeue() is a
+        assert q.dequeue() is b
+        assert q.dequeue() is None
+
+    def test_packet_limit_drops(self):
+        q = DropTailQueue(limit_packets=2)
+        assert q.enqueue(make_packet())
+        assert q.enqueue(make_packet())
+        assert not q.enqueue(make_packet())
+        assert q.drops == 1
+
+    def test_byte_limit_drops(self):
+        q = DropTailQueue(limit_packets=None, limit_bytes=1500)
+        assert q.enqueue(make_packet(size=1000))
+        assert not q.enqueue(make_packet(size=1000))
+        assert q.enqueue(make_packet(size=500))
+        assert q.backlog_bytes == 1500
+
+    def test_no_limits_rejected(self):
+        with pytest.raises(ValueError):
+            DropTailQueue(limit_packets=None, limit_bytes=None)
+
+
+class SinkHost:
+    """Protocol layer recording delivered packets."""
+
+    def __init__(self):
+        self.received = []
+
+    def receive(self, packet):
+        self.received.append(packet)
+
+
+class TestEndToEndDelivery:
+    def _two_hosts(self, sim, bandwidth=mbps(10), delay=1e-3):
+        net = Network(sim)
+        a = net.add_host("a")
+        b = net.add_host("b")
+        net.connect(a, b, bandwidth, delay)
+        net.build_routes()
+        return net, a, b
+
+    def test_delivery_time(self, sim):
+        net, a, b = self._two_hosts(sim)
+        sink = SinkHost()
+        b.register_protocol(PROTO_UDP, sink)
+        pkt = Packet(a.addr, b.addr, 1, 2, PROTO_UDP, 1250)
+        a.default_interface().send(pkt)
+        sim.run()
+        # 1250B at 10Mb/s = 1 ms tx + 1 ms propagation.
+        assert sink.received == [pkt]
+        assert sim.now == pytest.approx(2e-3)
+
+    def test_serialisation_queuing(self, sim):
+        net, a, b = self._two_hosts(sim)
+        sink = SinkHost()
+        b.register_protocol(PROTO_UDP, sink)
+        for _ in range(3):
+            a.default_interface().send(
+                Packet(a.addr, b.addr, 1, 2, PROTO_UDP, 1250)
+            )
+        sim.run()
+        assert len(sink.received) == 3
+        # Third packet: 3 tx times + propagation.
+        assert sim.now == pytest.approx(3e-3 + 1e-3)
+
+    def test_unknown_protocol_dropped(self, sim):
+        net, a, b = self._two_hosts(sim)
+        a.default_interface().send(Packet(a.addr, b.addr, 1, 2, PROTO_TCP, 100))
+        sim.run()
+        assert b.unknown_proto_drops == 1
+
+    def test_counters(self, sim):
+        net, a, b = self._two_hosts(sim)
+        sink = SinkHost()
+        b.register_protocol(PROTO_UDP, sink)
+        a.default_interface().send(Packet(a.addr, b.addr, 1, 2, PROTO_UDP, 500))
+        sim.run()
+        assert a.default_interface().tx_packets == 1
+        assert a.default_interface().tx_bytes == 500
+        assert b.default_interface().rx_bytes == 500
+
+
+class TestRouting:
+    def test_multi_hop_forwarding(self, sim):
+        net = Network(sim)
+        a = net.add_host("a")
+        b = net.add_host("b")
+        r1 = net.add_router("r1")
+        r2 = net.add_router("r2")
+        net.connect(a, r1, mbps(10), 1e-3)
+        net.connect(r1, r2, mbps(10), 1e-3)
+        net.connect(r2, b, mbps(10), 1e-3)
+        net.build_routes()
+        sink = SinkHost()
+        b.register_protocol(PROTO_UDP, sink)
+        a.default_interface().send(Packet(a.addr, b.addr, 1, 2, PROTO_UDP, 1250))
+        sim.run()
+        assert len(sink.received) == 1
+        # 3 hops x (1ms tx + 1ms prop)
+        assert sim.now == pytest.approx(6e-3)
+
+    def test_shortest_path_chosen(self, sim):
+        net = Network(sim)
+        a = net.add_host("a")
+        b = net.add_host("b")
+        fast = net.add_router("fast")
+        slow = net.add_router("slow")
+        net.connect(a, fast, mbps(10), 1e-3)
+        net.connect(fast, b, mbps(10), 1e-3)
+        net.connect(a, slow, mbps(10), 50e-3)
+        net.connect(slow, b, mbps(10), 50e-3)
+        net.build_routes()
+        path = net.path(a, b)
+        assert [n.name for n in path] == ["a", "fast", "b"]
+
+    def test_path_interfaces(self, sim):
+        net = Network(sim)
+        a = net.add_host("a")
+        b = net.add_host("b")
+        r = net.add_router("r")
+        net.connect(a, r, mbps(10), 1e-3)
+        net.connect(r, b, mbps(10), 1e-3)
+        net.build_routes()
+        ifaces = net.path_interfaces(a, b)
+        assert len(ifaces) == 2
+        assert ifaces[0].node is a
+        assert ifaces[1].node is r
+
+    def test_ttl_expiry(self, sim):
+        net = Network(sim)
+        a = net.add_host("a")
+        b = net.add_host("b")
+        r = net.add_router("r")
+        net.connect(a, r, mbps(10), 1e-3)
+        net.connect(r, b, mbps(10), 1e-3)
+        net.build_routes()
+        pkt = Packet(a.addr, b.addr, 1, 2, PROTO_UDP, 100, ttl=1)
+        a.default_interface().send(pkt)
+        sim.run()
+        assert r.ttl_drops == 1
+
+    def test_duplicate_name_rejected(self, sim):
+        net = Network(sim)
+        net.add_host("x")
+        with pytest.raises(ValueError):
+            net.add_host("x")
+
+    def test_round_trip_delay(self, sim):
+        net = Network(sim)
+        a = net.add_host("a")
+        b = net.add_host("b")
+        r = net.add_router("r")
+        net.connect(a, r, mbps(10), 1e-3)
+        net.connect(r, b, mbps(10), 2e-3)
+        net.build_routes()
+        assert net.round_trip_delay(a, b) == pytest.approx(6e-3)
+
+
+class TestGarnet:
+    def test_topology_shape(self, sim):
+        tb = garnet(sim)
+        assert len(tb.network.nodes) == 7
+        assert len(tb.network.links) == 6
+        path = tb.network.path(tb.premium_src, tb.premium_dst)
+        assert [n.name for n in path] == [
+            "premium_src", "edge1", "core", "edge2", "premium_dst",
+        ]
+
+    def test_premium_and_competitive_share_backbone(self, sim):
+        tb = garnet(sim)
+        p = tb.network.path_interfaces(tb.premium_src, tb.premium_dst)
+        c = tb.network.path_interfaces(tb.competitive_src, tb.competitive_dst)
+        # Backbone egress ports are shared between the two paths.
+        assert set(p[1:3]) == set(c[1:3])
+        assert tb.forward_backbone == p[1:3]
+
+    def test_end_to_end(self, sim):
+        tb = garnet(sim)
+        sink = SinkHost()
+        tb.premium_dst.register_protocol(PROTO_UDP, sink)
+        src = tb.premium_src
+        src.default_interface().send(
+            Packet(src.addr, tb.premium_dst.addr, 5, 6, PROTO_UDP, 1500)
+        )
+        sim.run()
+        assert len(sink.received) == 1

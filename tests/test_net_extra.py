@@ -1,0 +1,155 @@
+"""Additional network-layer coverage: loopback, interface errors,
+topology queries, and router behaviour."""
+
+import pytest
+
+from repro.kernel import Simulator
+from repro.net import (
+    DropTailQueue,
+    Network,
+    PROTO_UDP,
+    Packet,
+    garnet,
+    mbps,
+)
+
+
+class Sink:
+    def __init__(self):
+        self.received = []
+
+    def receive(self, packet):
+        self.received.append(packet)
+
+
+@pytest.fixture
+def sim():
+    return Simulator(seed=23)
+
+
+class TestLoopback:
+    def test_self_addressed_packet_delivered_locally(self, sim):
+        net = Network(sim)
+        a = net.add_host("a")
+        b = net.add_host("b")
+        net.connect(a, b, mbps(10), 1e-3)
+        net.build_routes()
+        sink = Sink()
+        a.register_protocol(PROTO_UDP, sink)
+        pkt = Packet(a.addr, a.addr, 1, 2, PROTO_UDP, 100)
+        assert a.send_packet(pkt)
+        sim.run()
+        assert sink.received == [pkt]
+        # Loopback never touches the wire.
+        assert a.default_interface().tx_packets == 0
+
+    def test_loopback_latency_small(self, sim):
+        net = Network(sim)
+        a = net.add_host("a")
+        b = net.add_host("b")
+        net.connect(a, b, mbps(10), 1e-3)
+        net.build_routes()
+        sink = Sink()
+        a.register_protocol(PROTO_UDP, sink)
+        a.send_packet(Packet(a.addr, a.addr, 1, 2, PROTO_UDP, 100))
+        sim.run()
+        assert sim.now < 1e-4
+
+
+class TestInterfaceErrors:
+    def test_send_without_peer_raises(self, sim):
+        net = Network(sim)
+        a = net.add_host("a")
+        iface = a.add_interface(mbps(10), 1e-3)
+        with pytest.raises(RuntimeError):
+            iface.send(Packet(1, 2, 3, 4, PROTO_UDP, 100))
+
+    def test_host_without_interfaces(self, sim):
+        net = Network(sim)
+        a = net.add_host("a")
+        with pytest.raises(RuntimeError):
+            a.default_interface()
+
+    def test_invalid_interface_params(self, sim):
+        net = Network(sim)
+        a = net.add_host("a")
+        with pytest.raises(ValueError):
+            a.add_interface(0, 1e-3)
+        with pytest.raises(ValueError):
+            a.add_interface(mbps(1), -1)
+
+
+class TestRouterBehaviour:
+    def test_no_route_counted(self, sim):
+        net = Network(sim)
+        a = net.add_host("a")
+        r = net.add_router("r")
+        net.connect(a, r, mbps(10), 1e-3)
+        net.build_routes()
+        # Address 999 does not exist.
+        a.default_interface().send(Packet(a.addr, 999, 1, 2, PROTO_UDP, 100))
+        sim.run()
+        assert r.no_route_drops == 1
+
+    def test_router_terminating_packet_counted(self, sim):
+        net = Network(sim)
+        a = net.add_host("a")
+        r = net.add_router("r")
+        net.connect(a, r, mbps(10), 1e-3)
+        net.build_routes()
+        a.default_interface().send(
+            Packet(a.addr, r.addr, 1, 2, PROTO_UDP, 100)
+        )
+        sim.run()
+        assert r.no_route_drops == 1  # routers don't terminate flows
+
+    def test_duplicate_protocol_registration(self, sim):
+        net = Network(sim)
+        a = net.add_host("a")
+        a.register_protocol(PROTO_UDP, Sink())
+        with pytest.raises(ValueError):
+            a.register_protocol(PROTO_UDP, Sink())
+
+
+class TestIngressConditioning:
+    def test_ingress_drop_counted_on_interface(self, sim):
+        net = Network(sim)
+        a = net.add_host("a")
+        b = net.add_host("b")
+        record = net.connect(a, b, mbps(10), 1e-3)
+        net.build_routes()
+        b.register_protocol(PROTO_UDP, Sink())
+        record.iface_ba.ingress.append(lambda pkt: False)  # drop all
+        a.default_interface().send(Packet(a.addr, b.addr, 1, 2, PROTO_UDP, 100))
+        sim.run()
+        assert record.iface_ba.ingress_drops == 1
+
+
+class TestGarnetParameters:
+    def test_custom_bandwidths(self, sim):
+        tb = garnet(
+            sim,
+            access_bandwidth=mbps(10),
+            backbone_bandwidth=mbps(5),
+            backbone_delay=3e-3,
+        )
+        assert tb.backbone_bandwidth == mbps(5)
+        assert tb.forward_backbone[0].bandwidth == mbps(5)
+        assert tb.forward_backbone[0].delay == 3e-3
+        rtt = tb.network.round_trip_delay(tb.premium_src, tb.premium_dst)
+        assert rtt == pytest.approx(2 * (0.05e-3 * 2 + 3e-3 * 2))
+
+    def test_hosts_helper(self, sim):
+        tb = garnet(sim)
+        assert len(tb.hosts()) == 4
+
+    def test_link_record_egress_towards(self, sim):
+        net = Network(sim)
+        a = net.add_host("a")
+        b = net.add_host("b")
+        record = net.connect(a, b, mbps(1), 1e-3)
+        assert record.egress_towards(b) is record.iface_ab
+        assert record.egress_towards(a) is record.iface_ba
+        c = net.add_host("c")
+        with pytest.raises(ValueError):
+            record.egress_towards(c)

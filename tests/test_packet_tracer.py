@@ -1,0 +1,138 @@
+"""Tests for the packet tracer."""
+
+import pytest
+
+from repro.diffserv import EF, FlowSpec
+from repro.kernel import Simulator
+from repro.net import (
+    FlowKey,
+    Network,
+    PROTO_TCP,
+    PROTO_UDP,
+    Packet,
+    PacketTracer,
+    garnet,
+    kbps,
+    mbps,
+)
+from repro.transport import UdpLayer
+
+
+def small_net(seed=41):
+    sim = Simulator(seed=seed)
+    net = Network(sim)
+    a = net.add_host("a")
+    b = net.add_host("b")
+    link = net.connect(a, b, mbps(10), 1e-3)
+    net.build_routes()
+    return sim, net, a, b, link
+
+
+class TestPacketTracer:
+    def test_records_wire_packets(self):
+        sim, net, a, b, link = small_net()
+        tracer = PacketTracer(link.iface_ab)
+        udp_a, udp_b = UdpLayer(a), UdpLayer(b)
+        sink = udp_b.create_socket(port=5)
+        sock = udp_a.create_socket()
+        for _ in range(3):
+            sock.sendto(500, b.addr, 5)
+        sim.run()
+        assert len(tracer) == 3
+        assert tracer.total_bytes() == 3 * (500 + 28)
+        record = tracer.records[0]
+        assert record.dport == 5
+        assert record.proto == PROTO_UDP
+
+    def test_predicate_filters(self):
+        sim, net, a, b, link = small_net()
+        tracer = PacketTracer(
+            link.iface_ab, predicate=lambda p: p.dport == 5
+        )
+        udp_a, udp_b = UdpLayer(a), UdpLayer(b)
+        udp_b.create_socket(port=5)
+        udp_b.create_socket(port=6)
+        sock = udp_a.create_socket()
+        sock.sendto(100, b.addr, 5)
+        sock.sendto(100, b.addr, 6)
+        sim.run()
+        assert len(tracer) == 1
+
+    def test_dropped_packets_not_recorded(self):
+        sim, net, a, b, link = small_net()
+        link.iface_ab.qdisc.enqueue = lambda pkt: False  # drop everything
+        tracer = PacketTracer(link.iface_ab)
+        udp_a = UdpLayer(a)
+        udp_a.create_socket().sendto(100, b.addr, 5)
+        sim.run()
+        assert len(tracer) == 0
+
+    def test_uninstall(self):
+        sim, net, a, b, link = small_net()
+        tracer = PacketTracer(link.iface_ab)
+        tracer.uninstall()
+        udp_a, udp_b = UdpLayer(a), UdpLayer(b)
+        udp_b.create_socket(port=5)
+        udp_a.create_socket().sendto(100, b.addr, 5)
+        sim.run()
+        assert len(tracer) == 0  # tap removed; traffic still flows
+        assert link.iface_ab.tx_packets == 1
+
+    def test_flows_and_dscp_accounting(self):
+        sim = Simulator(seed=3)
+        tb = garnet(sim, backbone_bandwidth=mbps(10))
+        from repro.core.mpichgq import MpichGQ
+
+        gq = MpichGQ.on_garnet(tb)
+        tracer = PacketTracer(tb.forward_backbone[0])
+        gq.agent.reserve_flows(0, 1, kbps(500))
+
+        def main(comm):
+            if comm.rank == 0:
+                yield comm.send(1, nbytes=10_000)
+            else:
+                yield comm.recv(source=0)
+
+        procs = gq.world.launch(main)
+        sim.run_until_event(sim.all_of(procs), limit=30.0)
+        by_dscp = tracer.bytes_by_dscp()
+        assert EF in by_dscp
+        assert by_dscp[EF] > 10_000
+        assert len(tracer.flows()) >= 1
+        assert tracer.total_bytes(dscp=EF) == by_dscp[EF]
+
+    def test_cumulative_and_rate_series(self):
+        sim, net, a, b, link = small_net()
+        tracer = PacketTracer(link.iface_ab)
+        udp_a, udp_b = UdpLayer(a), UdpLayer(b)
+        udp_b.create_socket(port=5)
+        sock = udp_a.create_socket()
+
+        def sender():
+            for _ in range(10):
+                sock.sendto(1000, b.addr, 5)
+                yield sim.timeout(0.1)
+
+        sim.process(sender())
+        sim.run()
+        times, cumulative = tracer.cumulative_bytes()
+        assert cumulative[-1] == 10 * 1028
+        centers, rates = tracer.rate_series(0.5, 0.0, 1.0)
+        assert rates.sum() * 0.5 == pytest.approx(
+            tracer.total_bytes(), rel=0.3
+        )
+
+    def test_cumulative_for_one_flow(self):
+        sim, net, a, b, link = small_net()
+        tracer = PacketTracer(link.iface_ab)
+        udp_a, udp_b = UdpLayer(a), UdpLayer(b)
+        udp_b.create_socket(port=5)
+        udp_b.create_socket(port=6)
+        s1 = udp_a.create_socket()
+        s2 = udp_a.create_socket()
+        s1.sendto(100, b.addr, 5)
+        s2.sendto(100, b.addr, 6)
+        sim.run()
+        flow = FlowKey(a.addr, b.addr, s1.port, 5, PROTO_UDP)
+        _t, totals = tracer.cumulative_bytes(flow=flow)
+        assert list(totals) == [128]

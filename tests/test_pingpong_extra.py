@@ -1,0 +1,71 @@
+"""Additional app coverage: ping-pong internals and visualization
+edge cases not exercised by the experiment-level tests."""
+
+import pytest
+
+from repro.apps import PingPong, VisualizationPipeline
+from repro.net import mbps
+
+from test_mpi_p2p import make_world, run_ranks
+
+
+class TestPingPongInternals:
+    def test_warmup_rounds_excluded_from_result(self):
+        sim, world = make_world(2)
+        app = PingPong(message_bytes=1024, rounds=5, warmup_rounds=3)
+        run_ranks(sim, world, app.main)
+        assert app.result.rounds_completed == 5
+        # The delivered counter only holds measured rounds.
+        assert len(app.result.delivered) == 5
+        assert app.result.started_at > 0.0
+
+    def test_zero_warmup(self):
+        sim, world = make_world(2)
+        app = PingPong(message_bytes=1024, rounds=3, warmup_rounds=0)
+        run_ranks(sim, world, app.main)
+        assert app.result.rounds_completed == 3
+
+    def test_result_throughput_zero_before_run(self):
+        app = PingPong(message_bytes=1024, rounds=1)
+        assert app.result.one_way_throughput_bps() == 0.0
+
+    def test_three_rank_world_only_two_play(self):
+        sim, world = make_world(3)
+        app = PingPong(message_bytes=1024, rounds=3)
+        run_ranks(sim, world, app.main)
+        assert app.result.rounds_completed == 3
+
+
+class TestVisualizationExtra:
+    def test_late_frames_counted_when_link_too_slow(self):
+        # 5 Mb/s target over a 2 Mb/s path: the sender must fall behind.
+        sim, world = make_world(2, bandwidth=mbps(2))
+        app = VisualizationPipeline(
+            frame_bytes=62_500, fps=10, duration=2.0
+        )
+        run_ranks(sim, world, app.main, limit=120.0)
+        assert app.stats.late_frames > 0
+        achieved = app.achieved_bandwidth_bps(0.0, sim.now)
+        assert achieved < 0.6 * app.target_bandwidth_bps
+
+    def test_all_frames_eventually_delivered(self):
+        sim, world = make_world(2, bandwidth=mbps(2))
+        app = VisualizationPipeline(frame_bytes=62_500, fps=10, duration=2.0)
+        run_ranks(sim, world, app.main, limit=120.0)
+        assert app.stats.frames_received == app.stats.frames_sent
+
+    def test_achieved_bandwidth_before_receiver_starts(self):
+        app = VisualizationPipeline(frame_bytes=1000, fps=1, duration=1.0)
+        assert app.achieved_bandwidth_bps(0, 1) == 0.0
+
+    def test_app_level_shaper_still_supported(self):
+        from repro.core import Shaper
+        from repro.net import kbps
+
+        sim, world = make_world(2, bandwidth=mbps(100))
+        shaper = Shaper(sim, rate=kbps(400), depth_bytes=10_000)
+        app = VisualizationPipeline(
+            frame_bytes=50_000, fps=1, duration=2.0, shaper=shaper
+        )
+        run_ranks(sim, world, app.main, limit=60.0)
+        assert shaper.delayed_sends > 0

@@ -1,0 +1,109 @@
+"""Tests for EF starvation protection.
+
+"Clearly, to prevent starvation of nonexpedited flows, the number of
+expedited packets must be carefully limited" (§2). Two mechanisms
+guard this: the bandwidth broker's EF share cap at admission, and the
+optional aggregate EF policer at core egress ports (§5.1 "police the
+premium aggregate").
+"""
+
+import pytest
+
+from repro import MpichGQ, Simulator, garnet, mbps
+from repro.apps import UdpTrafficGenerator
+from repro.diffserv import DiffServDomain, EF, FlowSpec
+from repro.gara import NetworkReservationSpec, ReservationError
+from repro.net import PROTO_UDP, Packet
+
+
+class TestBrokerShareCap:
+    def test_cannot_reserve_more_than_ef_share(self):
+        sim = Simulator(seed=43)
+        tb = garnet(sim, backbone_bandwidth=mbps(10))
+        gq = MpichGQ.on_garnet(tb, ef_share=0.7)
+        gq.gara.reserve(
+            NetworkReservationSpec(tb.premium_src, tb.premium_dst, mbps(7))
+        )
+        with pytest.raises(ReservationError):
+            gq.gara.reserve(
+                NetworkReservationSpec(
+                    tb.premium_src, tb.premium_dst, mbps(0.1)
+                )
+            )
+
+    def test_best_effort_retains_bandwidth_under_max_ef(self):
+        # Saturating EF load at the full admissible share must still
+        # leave the best-effort UDP stream the remaining capacity.
+        sim = Simulator(seed=44)
+        tb = garnet(sim, backbone_bandwidth=mbps(10))
+        gq = MpichGQ.on_garnet(tb, ef_share=0.5)
+        # EF: premium UDP blast at well over its 5 Mb/s reservation
+        # (policed down to 5 Mb/s at the edge).
+        res = gq.gara.reserve(
+            NetworkReservationSpec(tb.premium_src, tb.premium_dst, mbps(5))
+        )
+        gq.gara.bind(
+            res, FlowSpec(src=tb.premium_src.addr, proto=PROTO_UDP)
+        )
+        premium_blast = UdpTrafficGenerator(
+            tb.premium_src, tb.premium_dst, rate=mbps(20), port=9100
+        )
+        premium_blast.start()
+        be_stream = UdpTrafficGenerator(
+            tb.competitive_src, tb.competitive_dst, rate=mbps(4), port=9200
+        )
+        be_stream.start()
+        sim.run(until=5.0)
+        # Measure at the BE sink: datagrams that made it through.
+        sink_bytes = be_stream.sink.layer.rx_datagrams
+        # 4 Mb/s for 5 s at 1472 B -> ~1700 datagrams if unharmed.
+        assert sink_bytes > 1300
+
+
+class TestAggregatePolicer:
+    def test_unadmitted_ef_dropped_at_core(self):
+        # Mark traffic EF at the edge WITHOUT limiting it (a broken or
+        # malicious edge); the core aggregate policer must clamp it.
+        sim = Simulator(seed=45)
+        tb = garnet(sim, backbone_bandwidth=mbps(10))
+        domain = DiffServDomain(
+            sim,
+            [tb.edge1, tb.core, tb.edge2],
+            ef_aggregate_share=0.5,
+        )
+        # Mark-only rule: everything from the premium host becomes EF.
+        for conditioner in domain.conditioners.values():
+            conditioner.add_rule(
+                FlowSpec(src=tb.premium_src.addr), EF
+            )
+        blast = UdpTrafficGenerator(
+            tb.premium_src, tb.premium_dst, rate=mbps(9)
+        )
+        blast.start()
+        sim.run(until=3.0)
+        drops = sum(q.ef_policer_drops for q in domain.priority_qdiscs)
+        assert drops > 0
+        # Delivery clamped to roughly the aggregate share.
+        delivered = blast.sink.layer.rx_datagrams * 1500 * 8 / 3.0
+        assert delivered < mbps(6.5)
+
+    def test_conforming_ef_unaffected(self):
+        sim = Simulator(seed=46)
+        tb = garnet(sim, backbone_bandwidth=mbps(10))
+        domain = DiffServDomain(
+            sim, [tb.edge1, tb.core, tb.edge2], ef_aggregate_share=0.5
+        )
+        for conditioner in domain.conditioners.values():
+            conditioner.add_rule(FlowSpec(src=tb.premium_src.addr), EF)
+        stream = UdpTrafficGenerator(
+            tb.premium_src, tb.premium_dst, rate=mbps(2)
+        )
+        stream.start()
+        sim.run(until=3.0)
+        assert sum(q.ef_policer_drops for q in domain.priority_qdiscs) == 0
+
+    def test_invalid_share(self):
+        sim = Simulator()
+        tb = garnet(sim)
+        with pytest.raises(ValueError):
+            DiffServDomain(sim, [tb.core], ef_aggregate_share=1.5)

@@ -1,0 +1,204 @@
+"""Unit and property tests for TCP buffer bookkeeping and RTT estimation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.transport.tcp import ReceiveBuffer, RttEstimator, SendBuffer
+
+
+class TestSendBuffer:
+    def test_write_and_occupancy(self):
+        sb = SendBuffer(capacity=100)
+        sb.write(40)
+        assert sb.occupancy == 40
+        assert sb.space_for(60)
+        assert not sb.space_for(61)
+
+    def test_ack_advances_una(self):
+        sb = SendBuffer(capacity=100)
+        sb.write(80)
+        assert sb.ack_to(30) == 30
+        assert sb.una == 30
+        assert sb.occupancy == 50
+
+    def test_stale_ack_ignored(self):
+        sb = SendBuffer(capacity=100)
+        sb.write(50)
+        sb.ack_to(30)
+        assert sb.ack_to(20) == 0
+        assert sb.una == 30
+
+    def test_ack_beyond_written_rejected(self):
+        sb = SendBuffer(capacity=100)
+        sb.write(10)
+        with pytest.raises(ValueError):
+            sb.ack_to(11)
+
+    def test_markers_in_range(self):
+        sb = SendBuffer(capacity=1000)
+        sb.write(100, marker="m1")  # ends at 100
+        sb.write(200, marker="m2")  # ends at 300
+        assert sb.markers_in(0, 100) == [(100, "m1")]
+        assert sb.markers_in(100, 300) == [(300, "m2")]
+        assert sb.markers_in(0, 300) == [(100, "m1"), (300, "m2")]
+        assert sb.markers_in(100, 299) == []
+
+    def test_markers_pruned_after_ack(self):
+        sb = SendBuffer(capacity=1000)
+        sb.write(100, marker="m1")
+        sb.write(100, marker="m2")
+        sb.ack_to(150)
+        assert sb.markers_in(0, 200) == [(200, "m2")]
+
+    def test_invalid_write(self):
+        sb = SendBuffer(capacity=10)
+        with pytest.raises(ValueError):
+            sb.write(0)
+
+
+class TestReceiveBuffer:
+    def test_in_order_advance(self):
+        rb = ReceiveBuffer(capacity=1000)
+        assert rb.on_segment(0, 100) == 100
+        assert rb.rcv_nxt == 100
+        assert rb.available == 100
+
+    def test_out_of_order_held(self):
+        rb = ReceiveBuffer(capacity=1000)
+        assert rb.on_segment(100, 100) == 0
+        assert rb.rcv_nxt == 0
+        assert rb.sack_intervals == [(100, 200)]
+        assert rb.on_segment(0, 100) == 200
+        assert rb.rcv_nxt == 200
+        assert rb.sack_intervals == []
+
+    def test_duplicate_counted(self):
+        rb = ReceiveBuffer(capacity=1000)
+        rb.on_segment(0, 100)
+        assert rb.on_segment(0, 100) == 0
+        assert rb.duplicate_segments == 1
+
+    def test_partial_overlap(self):
+        rb = ReceiveBuffer(capacity=1000)
+        rb.on_segment(0, 100)
+        assert rb.on_segment(50, 100) == 50
+        assert rb.rcv_nxt == 150
+
+    def test_window_shrinks_with_unread(self):
+        rb = ReceiveBuffer(capacity=300)
+        rb.on_segment(0, 200)
+        assert rb.window == 100
+        rb.read_bytes(150)
+        assert rb.window == 250
+
+    def test_read_bytes_bounded(self):
+        rb = ReceiveBuffer(capacity=1000)
+        rb.on_segment(0, 50)
+        assert rb.read_bytes(100) == 50
+        assert rb.read_bytes(100) == 0
+
+    def test_markers_delivered_in_order(self):
+        rb = ReceiveBuffer(capacity=1000)
+        rb.on_segment(0, 100, markers=[(100, "a")])
+        rb.on_segment(100, 50, markers=[(150, "b")])
+        assert rb.next_marker_ready()
+        assert rb.read_object() == (100, "a")
+        assert rb.read_object() == (50, "b")
+        assert not rb.next_marker_ready()
+
+    def test_marker_not_ready_until_in_order(self):
+        rb = ReceiveBuffer(capacity=1000)
+        rb.on_segment(100, 100, markers=[(200, "late")])
+        assert not rb.next_marker_ready()
+        rb.on_segment(0, 100)
+        assert rb.next_marker_ready()
+        assert rb.read_object() == (200, "late")
+
+    def test_duplicate_marker_ignored(self):
+        rb = ReceiveBuffer(capacity=1000)
+        rb.on_segment(0, 100, markers=[(100, "a")])
+        rb.on_segment(0, 100, markers=[(100, "a")])  # retransmission
+        assert rb.read_object() == (100, "a")
+        assert not rb.next_marker_ready()
+
+    def test_byte_read_discards_passed_markers(self):
+        rb = ReceiveBuffer(capacity=1000)
+        rb.on_segment(0, 100, markers=[(50, "x")])
+        rb.read_bytes(60)
+        assert not rb.next_marker_ready()
+
+    def test_read_object_without_marker_raises(self):
+        rb = ReceiveBuffer(capacity=1000)
+        with pytest.raises(RuntimeError):
+            rb.read_object()
+
+    @given(
+        chunks=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=40),  # segment index
+                st.integers(min_value=1, max_value=5),  # run length
+            ),
+            min_size=1,
+            max_size=80,
+        )
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_reassembly_invariant(self, chunks):
+        """Whatever the arrival order/overlap, rcv_nxt equals the length
+        of the contiguous prefix of segments delivered so far."""
+        seg = 100  # segment size
+        rb = ReceiveBuffer(capacity=10**9)
+        covered = set()
+        for idx, run in chunks:
+            rb.on_segment(idx * seg, run * seg)
+            covered.update(range(idx, idx + run))
+        expected = 0
+        while expected in covered:
+            expected += 1
+        assert rb.rcv_nxt == expected * seg
+        # Intervals are disjoint, sorted, and beyond rcv_nxt.
+        prev_end = rb.rcv_nxt
+        for start, end in rb.sack_intervals:
+            assert start > prev_end
+            assert end > start
+            prev_end = end
+
+
+class TestRttEstimator:
+    def test_first_sample_initialises(self):
+        est = RttEstimator(min_rto=0.2, max_rto=60.0)
+        est.sample(0.1)
+        assert est.srtt == pytest.approx(0.1)
+        assert est.rto == pytest.approx(max(0.2, 0.1 + 4 * 0.05))
+
+    def test_smoothing(self):
+        est = RttEstimator(min_rto=0.01, max_rto=60.0)
+        est.sample(0.1)
+        est.sample(0.2)
+        assert est.srtt == pytest.approx(0.1 + 0.125 * 0.1)
+
+    def test_min_rto_enforced(self):
+        est = RttEstimator(min_rto=0.2, max_rto=60.0)
+        for _ in range(20):
+            est.sample(0.001)
+        assert est.rto == 0.2
+
+    def test_backoff_doubles_and_caps(self):
+        est = RttEstimator(min_rto=0.2, max_rto=1.0, initial_rto=0.4)
+        est.backoff()
+        assert est.rto == pytest.approx(0.8)
+        est.backoff()
+        assert est.rto == 1.0
+
+    def test_negative_sample_rejected(self):
+        est = RttEstimator(min_rto=0.2, max_rto=60.0)
+        with pytest.raises(ValueError):
+            est.sample(-0.1)
+
+    @given(samples=st.lists(st.floats(min_value=0.0, max_value=5.0), min_size=1, max_size=50))
+    @settings(max_examples=100, deadline=None)
+    def test_rto_always_within_bounds(self, samples):
+        est = RttEstimator(min_rto=0.2, max_rto=60.0)
+        for s in samples:
+            est.sample(s)
+            assert 0.2 <= est.rto <= 60.0

@@ -1,0 +1,471 @@
+"""Integration tests for the TCP implementation over simulated links."""
+
+import pytest
+
+from repro.kernel import Monitor
+from repro.net import mbps
+from repro.transport import ConnectionClosed, ConnectionRefused, TcpConfig
+
+from helpers import make_duo
+
+
+def run_transfer(duo, total_bytes, config=None, port=5001, sim_limit=300.0):
+    """Bulk-transfer helper: a sends total_bytes to b; returns (client, server)."""
+    listener = duo.tcp_b.listen(port, config=config)
+    result = {}
+
+    def server():
+        conn = yield listener.accept()
+        result["server"] = conn
+        received = 0
+        while received < total_bytes:
+            n = yield conn.recv(1 << 20)
+            if n == 0:
+                break
+            received += n
+        result["received"] = received
+
+    def client():
+        conn = duo.tcp_a.connect(duo.b.addr, port, config=config)
+        result["client"] = conn
+        yield conn.established_event
+        sent = 0
+        chunk = 32 * 1024
+        while sent < total_bytes:
+            n = min(chunk, total_bytes - sent)
+            yield conn.send(n)
+            sent += n
+
+    sproc = duo.sim.process(server())
+    duo.sim.process(client())
+    duo.sim.run_until_event(sproc, limit=sim_limit)
+    return result
+
+
+class TestHandshake:
+    def test_establishes_both_sides(self):
+        duo = make_duo()
+        listener = duo.tcp_b.listen(80)
+        states = {}
+
+        def server():
+            conn = yield listener.accept()
+            states["server"] = conn.state
+
+        def client():
+            conn = duo.tcp_a.connect(duo.b.addr, 80)
+            yield conn.established_event
+            states["client"] = conn.state
+
+        duo.sim.process(server())
+        duo.sim.process(client())
+        duo.sim.run(until=1.0)
+        assert states == {"server": "ESTABLISHED", "client": "ESTABLISHED"}
+
+    def test_rtt_sampled_from_handshake(self):
+        duo = make_duo(delay=2e-3)
+
+        def client():
+            conn = duo.tcp_a.connect(duo.b.addr, 80)
+            yield conn.established_event
+            # Path RTT = 4 hops of 2ms propagation + tiny tx times.
+            assert conn.rtt.srtt == pytest.approx(8e-3, rel=0.3)
+
+        duo.tcp_b.listen(80)
+        p = duo.sim.process(client())
+        duo.sim.run_until_event(p, limit=5.0)
+
+    def test_connection_refused(self):
+        duo = make_duo()
+        errors = []
+
+        def client():
+            conn = duo.tcp_a.connect(duo.b.addr, 4444)  # nobody listens
+            try:
+                yield conn.established_event
+            except ConnectionRefused:
+                errors.append(True)
+
+        p = duo.sim.process(client())
+        duo.sim.run_until_event(p, limit=500.0)
+        assert errors == [True]
+
+    def test_duplicate_listen_rejected(self):
+        duo = make_duo()
+        duo.tcp_b.listen(80)
+        with pytest.raises(ValueError):
+            duo.tcp_b.listen(80)
+
+
+class TestBulkTransfer:
+    def test_small_transfer(self):
+        duo = make_duo()
+        result = run_transfer(duo, 10_000)
+        assert result["received"] == 10_000
+
+    def test_megabyte_clean_path(self):
+        duo = make_duo(bandwidth=mbps(10))
+        result = run_transfer(duo, 1_000_000)
+        assert result["received"] == 1_000_000
+        # No loss on a clean path.
+        assert result["client"].retransmissions == 0
+
+    def test_megabyte_through_tight_bottleneck(self):
+        # 10 -> 2 Mb/s step-down with a tiny queue: heavy loss, but TCP
+        # must still deliver every byte exactly once, in order.
+        duo = make_duo(bandwidth=mbps(10), bottleneck=mbps(2), queue_packets=5)
+        result = run_transfer(duo, 500_000)
+        assert result["received"] == 500_000
+        assert result["client"].retransmissions > 0
+        server = result["server"]
+        assert server.recv_buffer.rcv_nxt == 500_000
+
+    def test_throughput_near_link_rate(self):
+        duo = make_duo(bandwidth=mbps(10))
+        result = run_transfer(duo, 2_000_000)
+        client = result["client"]
+        duration = duo.sim.now
+        goodput_bps = 2_000_000 * 8 / duration
+        # Payload efficiency 1460/1500 ~ 0.97; allow slack for slow start.
+        assert goodput_bps > mbps(7.5)
+        assert goodput_bps < mbps(10)
+
+    def test_fast_retransmit_used_on_mild_loss(self):
+        duo = make_duo(bandwidth=mbps(10), bottleneck=mbps(5), queue_packets=10)
+        result = run_transfer(duo, 1_000_000)
+        client = result["client"]
+        assert client.fast_retransmits > 0
+        # Fast recovery should mostly avoid timeouts on mild loss.
+        assert client.timeouts <= client.fast_retransmits
+
+    def test_determinism(self):
+        def one_run(seed):
+            duo = make_duo(seed=seed, bandwidth=mbps(10), bottleneck=mbps(2), queue_packets=5)
+            result = run_transfer(duo, 200_000)
+            return (duo.sim.now, result["client"].retransmissions,
+                    result["client"].segments_sent)
+
+        assert one_run(1) == one_run(1)
+
+
+class TestMessageFraming:
+    def test_objects_arrive_in_order(self):
+        duo = make_duo()
+        listener = duo.tcp_b.listen(90)
+        got = []
+
+        def server():
+            conn = yield listener.accept()
+            for _ in range(3):
+                nbytes, obj = yield conn.recv_object()
+                got.append((nbytes, obj))
+
+        def client():
+            conn = duo.tcp_a.connect(duo.b.addr, 90)
+            yield conn.established_event
+            yield conn.send(100, marker="first")
+            yield conn.send(50_000, marker="second")
+            yield conn.send(7, marker="third")
+
+        sproc = duo.sim.process(server())
+        duo.sim.process(client())
+        duo.sim.run_until_event(sproc, limit=60.0)
+        assert got == [(100, "first"), (50_000, "second"), (7, "third")]
+
+    def test_large_message_via_send_message(self):
+        # A message bigger than the send buffer must still frame correctly.
+        duo = make_duo()
+        cfg = TcpConfig(sndbuf=64 * 1024, rcvbuf=64 * 1024)
+        listener = duo.tcp_b.listen(90, config=cfg)
+        got = []
+
+        def server():
+            conn = yield listener.accept()
+            nbytes, obj = yield conn.recv_object()
+            got.append((nbytes, obj))
+
+        def client():
+            conn = duo.tcp_a.connect(duo.b.addr, 90, config=cfg)
+            yield conn.established_event
+            yield from conn.send_message(300_000, marker="big")
+
+        sproc = duo.sim.process(server())
+        duo.sim.process(client())
+        duo.sim.run_until_event(sproc, limit=60.0)
+        assert got == [(300_000, "big")]
+
+    def test_framing_survives_loss(self):
+        duo = make_duo(bandwidth=mbps(10), bottleneck=mbps(2), queue_packets=5)
+        listener = duo.tcp_b.listen(90)
+        got = []
+
+        def server():
+            conn = yield listener.accept()
+            for _ in range(10):
+                nbytes, obj = yield conn.recv_object()
+                got.append(obj)
+
+        def client():
+            conn = duo.tcp_a.connect(duo.b.addr, 90)
+            yield conn.established_event
+            for i in range(10):
+                yield from conn.send_message(40_000, marker=i)
+
+        sproc = duo.sim.process(server())
+        duo.sim.process(client())
+        duo.sim.run_until_event(sproc, limit=120.0)
+        assert got == list(range(10))
+
+
+class TestBlockingSemantics:
+    def test_send_blocks_on_full_buffer(self):
+        duo = make_duo()
+        cfg = TcpConfig(sndbuf=16 * 1024, rcvbuf=16 * 1024)
+        listener = duo.tcp_b.listen(90, config=cfg)
+        times = {}
+
+        def server():
+            conn = yield listener.accept()
+            yield duo.sim.timeout(1.0)  # don't read for a second
+            total = 0
+            while total < 64 * 1024:
+                total += yield conn.recv(1 << 20)
+
+        def client():
+            conn = duo.tcp_a.connect(duo.b.addr, 90, config=cfg)
+            yield conn.established_event
+            for i in range(4):
+                yield conn.send(16 * 1024)
+            times["writes_done"] = duo.sim.now
+
+        sproc = duo.sim.process(server())
+        duo.sim.process(client())
+        duo.sim.run_until_event(sproc, limit=60.0)
+        # The 4th write cannot complete until the reader starts at t=1.
+        assert times["writes_done"] > 1.0
+
+    def test_recv_blocks_until_data(self):
+        duo = make_duo()
+        listener = duo.tcp_b.listen(90)
+        times = {}
+
+        def server():
+            conn = yield listener.accept()
+            n = yield conn.recv(1024)
+            times["recv_done"] = (duo.sim.now, n)
+
+        def client():
+            conn = duo.tcp_a.connect(duo.b.addr, 90)
+            yield conn.established_event
+            yield duo.sim.timeout(2.0)
+            yield conn.send(500)
+
+        sproc = duo.sim.process(server())
+        duo.sim.process(client())
+        duo.sim.run_until_event(sproc, limit=10.0)
+        t, n = times["recv_done"]
+        assert t > 2.0
+        assert n == 500
+
+    def test_flow_control_slow_reader_no_loss(self):
+        duo = make_duo(bandwidth=mbps(10))
+        cfg = TcpConfig(rcvbuf=8 * 1024, sndbuf=64 * 1024, delayed_ack=False)
+        listener = duo.tcp_b.listen(90, config=cfg)
+        done = {}
+
+        def server():
+            conn = yield listener.accept()
+            done["server_conn"] = conn
+            total = 0
+            while total < 200_000:
+                n = yield conn.recv(2 * 1024)
+                total += n
+                yield duo.sim.timeout(0.001)  # slow consumer
+
+        def client():
+            conn = duo.tcp_a.connect(duo.b.addr, 90, config=cfg)
+            done["client_conn"] = conn
+            yield conn.established_event
+            sent = 0
+            while sent < 200_000:
+                yield conn.send(10_000)
+                sent += 10_000
+
+        sproc = duo.sim.process(server())
+        duo.sim.process(client())
+        duo.sim.run_until_event(sproc, limit=120.0)
+        # Receiver window must have prevented all loss.
+        assert done["client_conn"].retransmissions == 0
+
+    def test_oversize_single_write_rejected(self):
+        duo = make_duo()
+        cfg = TcpConfig(sndbuf=8 * 1024, rcvbuf=8 * 1024)
+        duo.tcp_b.listen(90, config=cfg)
+        errors = []
+
+        def client():
+            conn = duo.tcp_a.connect(duo.b.addr, 90, config=cfg)
+            yield conn.established_event
+            yield conn.send(8 * 1024)  # fills the buffer exactly
+            try:
+                conn.send(9 * 1024)
+            except ValueError:
+                errors.append(True)
+
+        p = duo.sim.process(client())
+        duo.sim.run_until_event(p, limit=10.0)
+        assert errors == [True]
+
+
+class TestClose:
+    def test_recv_returns_zero_after_fin(self):
+        duo = make_duo()
+        listener = duo.tcp_b.listen(90)
+        got = []
+
+        def server():
+            conn = yield listener.accept()
+            got.append((yield conn.recv(1024)))
+            got.append((yield conn.recv(1024)))
+
+        def client():
+            conn = duo.tcp_a.connect(duo.b.addr, 90)
+            yield conn.established_event
+            yield conn.send(300)
+            conn.close()
+
+        sproc = duo.sim.process(server())
+        duo.sim.process(client())
+        duo.sim.run_until_event(sproc, limit=10.0)
+        assert got == [300, 0]
+
+    def test_recv_object_fails_after_fin(self):
+        duo = make_duo()
+        listener = duo.tcp_b.listen(90)
+        outcome = []
+
+        def server():
+            conn = yield listener.accept()
+            try:
+                yield conn.recv_object()
+            except ConnectionClosed:
+                outcome.append("closed")
+
+        def client():
+            conn = duo.tcp_a.connect(duo.b.addr, 90)
+            yield conn.established_event
+            conn.close()
+
+        sproc = duo.sim.process(server())
+        duo.sim.process(client())
+        duo.sim.run_until_event(sproc, limit=10.0)
+        assert outcome == ["closed"]
+
+    def test_fin_waits_for_queued_data(self):
+        duo = make_duo()
+        listener = duo.tcp_b.listen(90)
+        got = []
+
+        def server():
+            conn = yield listener.accept()
+            total = 0
+            while True:
+                n = yield conn.recv(1 << 20)
+                if n == 0:
+                    break
+                total += n
+            got.append(total)
+
+        def client():
+            conn = duo.tcp_a.connect(duo.b.addr, 90)
+            yield conn.established_event
+            yield conn.send(120_000)
+            conn.close()  # all 120kB must still arrive
+
+        sproc = duo.sim.process(server())
+        duo.sim.process(client())
+        duo.sim.run_until_event(sproc, limit=30.0)
+        assert got == [120_000]
+
+    def test_both_sides_close_unregisters(self):
+        duo = make_duo()
+        listener = duo.tcp_b.listen(90)
+
+        def server():
+            conn = yield listener.accept()
+            while (yield conn.recv(1024)) != 0:
+                pass
+            conn.close()
+
+        def client():
+            conn = duo.tcp_a.connect(duo.b.addr, 90)
+            yield conn.established_event
+            yield conn.send(10)
+            conn.close()
+
+        duo.sim.process(server())
+        duo.sim.process(client())
+        duo.sim.run(until=30.0)
+        assert not duo.tcp_a._connections
+        assert not duo.tcp_b._connections
+
+    def test_send_after_close_rejected(self):
+        duo = make_duo()
+        duo.tcp_b.listen(90)
+        errors = []
+
+        def client():
+            conn = duo.tcp_a.connect(duo.b.addr, 90)
+            yield conn.established_event
+            conn.close()
+            try:
+                conn.send(10)
+            except RuntimeError:
+                errors.append(True)
+
+        p = duo.sim.process(client())
+        duo.sim.run_until_event(p, limit=10.0)
+        assert errors == [True]
+
+
+class TestCongestionControl:
+    def test_cwnd_grows_during_slow_start(self):
+        duo = make_duo(bandwidth=mbps(100))
+        listener = duo.tcp_b.listen(90)
+
+        def server():
+            conn = yield listener.accept()
+            while (yield conn.recv(1 << 20)) != 0:
+                pass
+
+        def client():
+            conn = duo.tcp_a.connect(duo.b.addr, 90)
+            conn.cwnd_monitor = Monitor(duo.sim, "cwnd")
+            yield conn.established_event
+            start_cwnd = conn.cwnd
+            for _ in range(10):
+                yield conn.send(50_000)
+            duo.sim.call_in(0.5, lambda: None)
+            yield duo.sim.timeout(0.5)
+            assert conn.cwnd > 4 * start_cwnd
+            conn.close()
+
+        duo.sim.process(server())
+        p = duo.sim.process(client())
+        duo.sim.run_until_event(p, limit=30.0)
+
+    def test_loss_halves_effective_window(self):
+        duo = make_duo(bandwidth=mbps(10), bottleneck=mbps(2), queue_packets=8)
+        result = run_transfer(duo, 400_000)
+        client = result["client"]
+        # ssthresh ends far below the initial (essentially infinite) value.
+        assert client.ssthresh < 100 * client.config.mss
+
+    def test_delayed_ack_reduces_ack_count(self):
+        counts = {}
+        for delack in (False, True):
+            duo = make_duo(bandwidth=mbps(10))
+            cfg = TcpConfig(delayed_ack=delack)
+            result = run_transfer(duo, 500_000, config=cfg)
+            counts[delack] = result["server"].segments_sent
+        assert counts[True] < counts[False]

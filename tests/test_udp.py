@@ -1,0 +1,88 @@
+"""Unit tests for the UDP layer."""
+
+import pytest
+
+from repro.transport.udp import UDP_MAX_PAYLOAD
+
+from helpers import make_duo
+
+
+class TestUdpSockets:
+    def test_sendto_recvfrom(self):
+        duo = make_duo()
+        server = duo.udp_b.create_socket(port=5000)
+        client = duo.udp_a.create_socket()
+        got = []
+
+        def receiver():
+            data = yield server.recvfrom()
+            got.append(data)
+
+        duo.sim.process(receiver())
+        client.sendto(1000, duo.b.addr, 5000, payload={"k": 1})
+        duo.sim.run()
+        nbytes, src, sport, payload = got[0]
+        assert nbytes == 1000
+        assert src == duo.a.addr
+        assert sport == client.port
+        assert payload == {"k": 1}
+
+    def test_datagrams_keep_boundaries(self):
+        duo = make_duo()
+        server = duo.udp_b.create_socket(port=5000)
+        client = duo.udp_a.create_socket()
+        got = []
+
+        def receiver():
+            for _ in range(3):
+                nbytes, *_ = yield server.recvfrom()
+                got.append(nbytes)
+
+        duo.sim.process(receiver())
+        for n in (100, 200, 300):
+            client.sendto(n, duo.b.addr, 5000)
+        duo.sim.run()
+        assert got == [100, 200, 300]
+
+    def test_payload_size_limits(self):
+        duo = make_duo()
+        sock = duo.udp_a.create_socket()
+        with pytest.raises(ValueError):
+            sock.sendto(0, duo.b.addr, 1)
+        with pytest.raises(ValueError):
+            sock.sendto(UDP_MAX_PAYLOAD + 1, duo.b.addr, 1)
+        assert sock.sendto(UDP_MAX_PAYLOAD, duo.b.addr, 1) in (True, False)
+
+    def test_unbound_port_drops(self):
+        duo = make_duo()
+        client = duo.udp_a.create_socket()
+        client.sendto(100, duo.b.addr, 9999)
+        duo.sim.run()
+        assert duo.udp_b.no_port_drops == 1
+
+    def test_duplicate_bind_rejected(self):
+        duo = make_duo()
+        duo.udp_a.create_socket(port=7)
+        with pytest.raises(ValueError):
+            duo.udp_a.create_socket(port=7)
+
+    def test_ephemeral_ports_unique(self):
+        duo = make_duo()
+        s1 = duo.udp_a.create_socket()
+        s2 = duo.udp_a.create_socket()
+        assert s1.port != s2.port
+
+    def test_close_releases_port(self):
+        duo = make_duo()
+        sock = duo.udp_a.create_socket(port=7)
+        sock.close()
+        duo.udp_a.create_socket(port=7)  # no error
+        with pytest.raises(RuntimeError):
+            sock.sendto(10, duo.b.addr, 1)
+
+    def test_tx_counters(self):
+        duo = make_duo()
+        sock = duo.udp_a.create_socket()
+        sock.sendto(500, duo.b.addr, 1)
+        assert sock.tx_datagrams == 1
+        assert sock.tx_bytes == 500

@@ -1,0 +1,111 @@
+"""Tests for the network weather monitor (NWS-style prober)."""
+
+import pytest
+
+from repro.core import NetworkWeatherMonitor
+from repro.core.dynamic_bucket import DynamicBucketSizer
+from repro.kernel import Simulator
+from repro.net import DropTailQueue, Network, garnet, mbps
+from repro.apps import UdpTrafficGenerator
+
+
+def two_hosts(delay=2e-3, bandwidth=mbps(10), seed=0):
+    sim = Simulator(seed=seed)
+    net = Network(sim)
+    a = net.add_host("a")
+    b = net.add_host("b")
+    r = net.add_router("r")
+    net.connect(a, r, bandwidth, delay)
+    net.connect(r, b, bandwidth, delay)
+    net.build_routes()
+    return sim, a, b
+
+
+class TestWeatherMonitor:
+    def test_measures_path_rtt(self):
+        sim, a, b = two_hosts(delay=2e-3)
+        nws = NetworkWeatherMonitor(a, b, interval=0.2)
+        nws.start()
+        sim.run(until=5.0)
+        fc = nws.forecast()
+        # 4 propagation legs of 2 ms each, plus tiny serialisation.
+        assert fc.rtt == pytest.approx(8e-3, rel=0.3)
+        assert fc.samples > 15
+        assert fc.loss_rate == 0.0
+        assert fc.rtt_min <= fc.rtt <= fc.rtt_max + 1e-12
+
+    def test_detects_loss_under_congestion(self):
+        sim = Simulator(seed=1)
+        tb = garnet(sim, backbone_bandwidth=mbps(10))
+        gen = UdpTrafficGenerator(
+            tb.competitive_src, tb.competitive_dst, rate=mbps(20)
+        )
+        gen.start()
+        nws = NetworkWeatherMonitor(
+            tb.premium_src, tb.premium_dst, interval=0.1
+        )
+        nws.start()
+        sim.run(until=10.0)
+        assert nws.forecast().loss_rate > 0.1
+
+    def test_no_data_forecast(self):
+        sim, a, b = two_hosts()
+        nws = NetworkWeatherMonitor(a, b)
+        fc = nws.forecast()
+        assert fc.rtt is None
+        assert fc.loss_rate == 0.0
+        assert nws.bucket_depth_for(mbps(10), fallback=1234.0) == 1234.0
+
+    def test_bucket_depth_uses_measured_delay(self):
+        sim, a, b = two_hosts(delay=5e-3)  # RTT ~20 ms
+        nws = NetworkWeatherMonitor(a, b, interval=0.2)
+        nws.start()
+        sim.run(until=5.0)
+        depth = nws.bucket_depth_for(mbps(40), fallback=0.0)
+        # depth = bw * rtt / 8 ~ 40e6 * 0.02 / 8 = 100 KB.
+        assert depth == pytest.approx(100_000, rel=0.3)
+
+    def test_stop_halts_probing(self):
+        sim, a, b = two_hosts()
+        nws = NetworkWeatherMonitor(a, b, interval=0.2)
+        nws.start()
+        sim.run(until=1.0)
+        nws.stop()
+        sent_at_stop = nws.probes_sent
+        sim.run(until=5.0)
+        assert nws.probes_sent <= sent_at_stop + 1
+
+    def test_start_idempotent(self):
+        sim, a, b = two_hosts()
+        nws = NetworkWeatherMonitor(a, b, interval=0.5)
+        nws.start()
+        nws.start()
+        sim.run(until=2.1)
+        # One prober, not two: ~4-5 probes, not ~9.
+        assert nws.probes_sent <= 6
+
+    def test_invalid_params(self):
+        sim, a, b = two_hosts()
+        with pytest.raises(ValueError):
+            NetworkWeatherMonitor(a, b, interval=0)
+
+
+class TestWeatherDrivenBucketSizer:
+    def test_floor_uses_measured_delay(self):
+        sim = Simulator(seed=2)
+        tb = garnet(sim, backbone_bandwidth=mbps(50), backbone_delay=10e-3)
+        from repro.core.mpichgq import MpichGQ
+
+        gq = MpichGQ.on_garnet(tb)
+        reservation = gq.agent.reserve_flows(0, 1, mbps(20))
+        nws = NetworkWeatherMonitor(
+            tb.premium_src, tb.premium_dst, interval=0.2
+        )
+        nws.start()
+        sizer = DynamicBucketSizer(sim, reservation, weather=nws)
+        static_floor = DynamicBucketSizer(sim, reservation).floor_depth
+        sim.run(until=5.0)
+        # RTT ~41 ms: weather floor = 20e6 * 0.041 / 8 ~ 102 KB, well
+        # above the static bw/40 rule (500 KB? no: 20e6/40 = 500 KB).
+        assert sizer.floor_depth >= static_floor
+        assert nws.forecast().rtt is not None

@@ -1,0 +1,170 @@
+"""Tests for the wide-area GARNET testbed, multi-flow interactions,
+and the MPI wait helpers."""
+
+import pytest
+
+from repro.core.mpichgq import MpichGQ
+from repro.diffserv import FlowSpec
+from repro.gara import NetworkReservationSpec
+from repro.kernel import Simulator
+from repro.mpi import wait_all, wait_any
+from repro.net import PROTO_UDP, garnet_wide, mbps
+from repro.apps import UdpTrafficGenerator
+
+from test_mpi_p2p import make_world, run_ranks
+
+
+class TestWideAreaTopology:
+    def test_five_sites(self):
+        sim = Simulator(seed=51)
+        tb = garnet_wide(sim)
+        assert tb.site_names == ["anl", "lbnl", "snl", "uchicago", "uiuc"]
+        assert len(tb.routers) == 7
+
+    def test_cross_cloud_path(self):
+        sim = Simulator(seed=51)
+        tb = garnet_wide(sim)
+        path = tb.network.path(tb.hosts["lbnl"], tb.hosts["uiuc"])
+        names = [n.name for n in path]
+        assert "esnet" in names and "mren" in names
+
+    def test_wan_delays_dominate(self):
+        sim = Simulator(seed=51)
+        tb = garnet_wide(sim)
+        lab_rtt = tb.network.round_trip_delay(
+            tb.hosts["anl"], tb.hosts["uchicago"]
+        )
+        wan_rtt = tb.network.round_trip_delay(
+            tb.hosts["lbnl"], tb.hosts["snl"]
+        )
+        assert wan_rtt > 2 * lab_rtt
+
+    def test_mpi_across_sites_with_qos(self):
+        sim = Simulator(seed=52)
+        tb = garnet_wide(sim, esnet_bandwidth=mbps(20))
+        gq = MpichGQ(
+            tb.network,
+            [tb.hosts["anl"], tb.hosts["lbnl"]],
+            routers=tb.routers,
+        )
+        # Congest the ESnet VC from a third site.
+        UdpTrafficGenerator(
+            tb.hosts["snl"], tb.hosts["lbnl"], rate=mbps(30)
+        ).start()
+        gq.agent.reserve_flows(0, 1, mbps(4))
+        got = []
+
+        def main(comm):
+            if comm.rank == 0:
+                for i in range(10):
+                    yield comm.send(1, nbytes=40_000, tag=0, data=i)
+            else:
+                for _ in range(10):
+                    data, _ = yield comm.recv(source=0)
+                    got.append(data)
+
+        procs = gq.world.launch(main)
+        sim.run_until_event(sim.all_of(procs), limit=60.0)
+        assert got == list(range(10))
+
+
+class TestMultiFlowInteractions:
+    """§3: "multiple concurrent TCP flows can lead to some interesting
+    interactions" — flows sharing one reservation aggregate split it;
+    flows with separate reservations do not interfere."""
+
+    def _run_two_streams(self, share_reservation: bool):
+        sim = Simulator(seed=53)
+        from repro.net import garnet
+
+        tb = garnet(sim, backbone_bandwidth=mbps(30))
+        # Four ranks: 0,1 send from premium_src; 2,3 receive at dst.
+        gq = MpichGQ.on_garnet(
+            tb,
+            ranks_hosts=[
+                tb.premium_src, tb.premium_src,
+                tb.premium_dst, tb.premium_dst,
+            ],
+        )
+        UdpTrafficGenerator(
+            tb.competitive_src, tb.competitive_dst, rate=mbps(40)
+        ).start()
+        per_flow = mbps(2)
+        if share_reservation:
+            spec = NetworkReservationSpec(
+                tb.premium_src, tb.premium_dst, per_flow
+            )
+            reservation = gq.gara.reserve(spec)
+            for src, dst in ((0, 2), (1, 3)):
+                for flow in gq.agent._flow_specs(src, dst):
+                    gq.gara.bind(reservation, flow)
+        else:
+            gq.agent.reserve_flows(0, 2, per_flow)
+            gq.agent.reserve_flows(1, 3, per_flow)
+
+        from repro.kernel import Counter
+
+        counters = {0: Counter(sim, "s0"), 1: Counter(sim, "s1")}
+
+        def main(comm):
+            if comm.rank in (0, 1):
+                dst = comm.rank + 2
+                while sim.now < 6.0:
+                    yield comm.send(dst, nbytes=20_000, tag=0)
+                    counters[comm.rank].add(20_000)
+                    yield sim.timeout(0.08)  # offered ~2 Mb/s each
+            else:
+                src = comm.rank - 2
+                while True:
+                    yield comm.recv(source=src)
+
+        gq.world.launch(main, ranks=[0, 1, 2, 3])
+        sim.run(until=8.0)
+        return [
+            counters[i].rate_over(1.0, 6.0) * 8 / 1e6 for i in (0, 1)
+        ]
+
+    def test_shared_aggregate_splits_the_profile(self):
+        rates = self._run_two_streams(share_reservation=True)
+        # Two ~2 Mb/s offered streams through ONE 2 Mb/s bucket: their
+        # combined goodput cannot reach the combined offer.
+        assert sum(rates) < 3.5
+
+    def test_separate_reservations_do_not_interfere(self):
+        rates = self._run_two_streams(share_reservation=False)
+        assert all(r > 1.7 for r in rates)
+
+
+class TestWaitHelpers:
+    def test_wait_all_order(self):
+        sim, world = make_world(2)
+        got = []
+
+        def main(comm):
+            if comm.rank == 0:
+                for i in range(3):
+                    yield comm.send(1, nbytes=100, tag=i, data=f"m{i}")
+            else:
+                reqs = [comm.irecv(source=0, tag=i) for i in (2, 0, 1)]
+                values = yield wait_all(sim, reqs)
+                got.extend(data for data, _status in values)
+
+        run_ranks(sim, world, main)
+        assert got == ["m2", "m0", "m1"]  # request order, not arrival
+
+    def test_wait_any_returns_first(self):
+        sim, world = make_world(2)
+        got = []
+
+        def main(comm):
+            if comm.rank == 0:
+                yield sim.timeout(1.0)
+                yield comm.send(1, nbytes=100, tag=7, data="late")
+            else:
+                fast = comm.irecv(source=0, tag=7)
+                never = comm.irecv(source=0, tag=99)
+                index, value = yield wait_any(sim, [never, fast])
+                got.append((index, value[0]))
+
+        run_ranks(sim, world, main)
+        assert got == [(1, "late")]
