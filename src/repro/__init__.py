@@ -20,6 +20,9 @@ Layering (bottom-up):
     Communicators, point-to-point, collectives, attributes.
 ``repro.core``
     MPICH-GQ itself: QoS attributes, the MPI QoS agent, shaping.
+``repro.faults``
+    Fault injection (link failure, loss/corruption, chaos schedules)
+    and renewable reservation leases.
 ``repro.apps`` / ``repro.experiments``
     The paper's workloads and every table/figure regenerator.
 
@@ -50,14 +53,18 @@ from .core import (
     QosAttribute,
     Shaper,
 )
+from .faults import ChaosSchedule, LeaseManager, ReservationLost
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "ChaosSchedule",
     "Counter",
+    "LeaseManager",
     "Monitor",
     "MpichGQ",
     "Network",
+    "ReservationLost",
     "QOS_BEST_EFFORT",
     "QOS_LOW_LATENCY",
     "QOS_PREMIUM",

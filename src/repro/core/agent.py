@@ -16,11 +16,17 @@ required to implement QoS" (§4). Concretely:
 
 The outcome is written back into the :class:`QosAttribute`, so
 ``attr_get`` tells the application whether the QoS is in place.
+
+With a :class:`~repro.faults.LeaseManager` attached the agent becomes
+fault-tolerant: premium grants are held as renewable leases, and a path
+failure degrades the communicator to best-effort (``granted`` flips to
+False with an explanatory ``error``) instead of raising, then restores
+premium marking once re-admission succeeds.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import Any, List, Optional, Tuple
 
 from ..diffserv import DiffServDomain, FlowSpec
 from ..gara import Gara, NetworkReservationSpec, ReservationError
@@ -40,11 +46,15 @@ class MpiQosAgent:
         gara: Gara,
         domain: DiffServDomain,
         bucket_divisor: Optional[float] = None,
+        lease_manager: Optional[Any] = None,
     ) -> None:
         self.world = world
         self.gara = gara
         self.domain = domain
         self.bucket_divisor = bucket_divisor
+        #: When set, premium grants are supervised leases that survive
+        #: revocation and path failure (see :mod:`repro.faults`).
+        self.lease_manager = lease_manager
         #: The keyval applications use (the paper's ``MPICH_ATM_QOS``).
         self.keyval = world.create_keyval(
             put_hook=self._on_put,
@@ -123,6 +133,37 @@ class MpiQosAgent:
             self.gara.bind(reservation, flow)
         return reservation
 
+    def lease_flows(
+        self,
+        src_rank: int,
+        dst_rank: int,
+        bandwidth_bps: float,
+        duration: Optional[float] = None,
+        bucket_divisor: Optional[float] = None,
+        on_degraded=None,
+        on_restored=None,
+        on_lost=None,
+    ):
+        """Like :meth:`reserve_flows` but as a renewable lease that
+        survives revocation and path failure. Requires a
+        ``lease_manager``; returns the :class:`~repro.faults.Lease`."""
+        if self.lease_manager is None:
+            raise ReservationError("agent has no lease manager attached")
+        src_host = self.world.procs[src_rank].host
+        dst_host = self.world.procs[dst_rank].host
+        spec = NetworkReservationSpec(src_host, dst_host, bandwidth_bps)
+        divisor = bucket_divisor or self.bucket_divisor
+        if divisor is not None:
+            spec.bucket_divisor = divisor
+        return self.lease_manager.lease(
+            spec,
+            duration=duration,
+            bindings=self._flow_specs(src_rank, dst_rank),
+            on_degraded=on_degraded,
+            on_restored=on_restored,
+            on_lost=on_lost,
+        )
+
     # ------------------------------------------------------------------
     # Keyval hooks
     # ------------------------------------------------------------------
@@ -148,6 +189,9 @@ class MpiQosAgent:
         for reservation in attr.reservations:
             reservation.cancel()
         attr.reservations.clear()
+        for lease in attr.leases:
+            lease.close()
+        attr.leases.clear()
         handle = self._af_handles.pop(id(attr), None)
         if handle is not None:
             self.domain.remove_premium_flow(handle)
@@ -175,6 +219,9 @@ class MpiQosAgent:
                 spec.bucket_divisor = self.bucket_divisor
             requests.append((spec, None, None))
             bindings.append(self._flow_specs(src_rank, dst_rank))
+        if self.lease_manager is not None:
+            self._grant_premium_leased(attr, requests, bindings)
+            return
         try:
             reservations = self.gara.reserve_many(requests)
         except ReservationError as exc:
@@ -187,6 +234,45 @@ class MpiQosAgent:
         attr.reservations = reservations
         attr.granted = True
         attr.error = None
+
+    def _grant_premium_leased(
+        self, attr: QosAttribute, requests, bindings
+    ) -> None:
+        """Premium via renewable leases: a fault degrades the attribute
+        to best-effort (``granted`` False) instead of raising, and
+        re-admission flips it back."""
+
+        def degraded(lease, reason: str) -> None:
+            attr.granted = False
+            attr.error = f"premium degraded to best-effort: {reason}"
+
+        def restored(lease) -> None:
+            if all(l.held for l in attr.leases):
+                attr.granted = True
+                attr.error = None
+
+        def lost(lease, exc) -> None:
+            attr.granted = False
+            attr.error = str(exc)
+
+        attr.leases = [
+            self.lease_manager.lease(
+                spec,
+                duration=duration,
+                bindings=flow_specs,
+                on_degraded=degraded,
+                on_restored=restored,
+                on_lost=lost,
+            )
+            for (spec, _start, duration), flow_specs in zip(requests, bindings)
+        ]
+        stuck = next((l for l in attr.leases if not l.held), None)
+        if stuck is None:  # vacuously granted when no flow crosses the net
+            attr.granted = True
+            attr.error = None
+        else:
+            attr.granted = False
+            attr.error = stuck.last_error
 
     def _grant_low_latency(self, comm: Communicator, attr: QosAttribute) -> None:
         specs: List[FlowSpec] = []

@@ -40,6 +40,7 @@ class MpichGQ:
         eager_threshold: int = 64 * 1024,
         tcp_config: Optional[TcpConfig] = None,
         bucket_divisor: Optional[float] = None,
+        resilient: bool = False,
     ) -> None:
         self.network = network
         self.sim: Simulator = network.sim
@@ -62,8 +63,18 @@ class MpichGQ:
             eager_threshold=eager_threshold,
             tcp_config=tcp_config,
         )
+        #: Lease supervisor, present only in resilient deployments.
+        self.lease_manager = None
+        if resilient:
+            from ..faults import LeaseManager
+
+            self.lease_manager = LeaseManager(self.gara, network=network)
         self.agent = MpiQosAgent(
-            self.world, self.gara, self.domain, bucket_divisor=bucket_divisor
+            self.world,
+            self.gara,
+            self.domain,
+            bucket_divisor=bucket_divisor,
+            lease_manager=self.lease_manager,
         )
 
     @property
@@ -102,6 +113,6 @@ class MpichGQ:
         return cls(
             testbed.network,
             hosts,
-            routers=[testbed.edge1, testbed.core, testbed.edge2],
+            routers=testbed.routers(),
             **kwargs,
         )

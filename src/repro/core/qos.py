@@ -86,6 +86,10 @@ class QosAttribute:
     error: Optional[str] = None
     #: GARA reservation handles backing this attribute.
     reservations: List[Any] = field(default_factory=list)
+    #: Renewable leases backing this attribute (resilient mode only);
+    #: while a lease is degraded the flows run best-effort and
+    #: ``granted`` is False, flipping back once re-admission succeeds.
+    leases: List[Any] = field(default_factory=list)
 
     @property
     def bandwidth_bps(self) -> float:

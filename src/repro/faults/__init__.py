@@ -1,0 +1,45 @@
+"""Fault injection and resilience: link/router failures, probabilistic
+packet impairments, chaos schedules, and renewable reservation leases.
+
+The paper's premise is that QoS guarantees matter most under hostile
+network conditions. This package supplies the hostile conditions — and
+the recovery machinery that keeps MPICH-GQ's guarantees meaningful
+through them:
+
+``repro.faults.injectors``
+    Seeded probabilistic loss/corruption injectors for interfaces.
+``repro.faults.chaos``
+    :class:`ChaosSchedule`, a deterministic scripted fault timeline
+    (``at(t).fail_link(...)``, ``between(a, b).loss(p, ...)``).
+``repro.faults.lease``
+    :class:`LeaseManager`/:class:`Lease`: reservations as renewable
+    leases with heartbeat revocation detection and exponential-backoff
+    re-admission.
+"""
+
+from .chaos import ChaosSchedule
+from .injectors import CorruptionInjector, LossInjector
+from .lease import (
+    Lease,
+    LeaseManager,
+    ReservationLost,
+    LEASE_ACQUIRING,
+    LEASE_HELD,
+    LEASE_DEGRADED,
+    LEASE_LOST,
+    LEASE_CLOSED,
+)
+
+__all__ = [
+    "ChaosSchedule",
+    "CorruptionInjector",
+    "LEASE_ACQUIRING",
+    "LEASE_CLOSED",
+    "LEASE_DEGRADED",
+    "LEASE_HELD",
+    "LEASE_LOST",
+    "Lease",
+    "LeaseManager",
+    "LossInjector",
+    "ReservationLost",
+]

@@ -1,0 +1,126 @@
+"""Scripted, deterministic fault timelines.
+
+A :class:`ChaosSchedule` turns a test's failure scenario into a fluent
+script over simulation time::
+
+    chaos = ChaosSchedule(sim, network)
+    chaos.at(5.0).fail_link("edge1", "core")
+    chaos.at(9.0).restore_link("edge1", "core")
+    chaos.between(2.0, 4.0).loss(0.05, "core", "edge2")
+
+Everything is scheduled on the simulator heap at construction time and
+all stochastic injectors draw from the simulator's seeded RNG, so the
+same seed replays the identical fault trace.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+from ..kernel import Simulator
+from ..net.topology import Network
+from .injectors import CorruptionInjector, LossInjector, _Injector
+
+__all__ = ["ChaosSchedule"]
+
+
+class _Moment:
+    """Actions bound to one instant of the schedule."""
+
+    def __init__(self, schedule: "ChaosSchedule", time: float) -> None:
+        self._schedule = schedule
+        self._time = time
+
+    def fail_link(self, a, b) -> "ChaosSchedule":
+        """Take the a--b link down (and reroute) at this instant."""
+        return self.call(self._schedule.network.fail_link, a, b)
+
+    def restore_link(self, a, b) -> "ChaosSchedule":
+        """Bring the a--b link back (and reroute) at this instant."""
+        return self.call(self._schedule.network.restore_link, a, b)
+
+    def fail_router(self, name) -> "ChaosSchedule":
+        """Take every link of a router down at this instant."""
+        return self.call(self._schedule._fail_router, name)
+
+    def restore_router(self, name) -> "ChaosSchedule":
+        return self.call(self._schedule._restore_router, name)
+
+    def call(self, fn: Callable, *args) -> "ChaosSchedule":
+        """Schedule an arbitrary callback at this instant."""
+        self._schedule.sim.call_at(self._time, fn, *args)
+        return self._schedule
+
+
+class _Window:
+    """Impairments active over one [start, end) interval."""
+
+    def __init__(self, schedule: "ChaosSchedule", start: float, end: float) -> None:
+        if end <= start:
+            raise ValueError("empty chaos window")
+        self._schedule = schedule
+        self._start = start
+        self._end = end
+
+    def _impair(self, injector: _Injector, a, b) -> "ChaosSchedule":
+        schedule = self._schedule
+        record = schedule.network.find_link(a, b)
+        schedule.injectors.append(injector)
+        schedule.sim.call_at(
+            self._start, injector.install, record.iface_ab, record.iface_ba
+        )
+        schedule.sim.call_at(self._end, injector.remove)
+        return schedule
+
+    def loss(self, probability: float, a, b) -> "ChaosSchedule":
+        """Drop packets on the a--b link (both directions) with the
+        given probability during the window."""
+        return self._impair(
+            LossInjector(self._schedule.sim, probability), a, b
+        )
+
+    def corruption(self, probability: float, a, b) -> "ChaosSchedule":
+        """Corrupt (and thereby lose) packets on the a--b link during
+        the window."""
+        return self._impair(
+            CorruptionInjector(self._schedule.sim, probability), a, b
+        )
+
+
+class ChaosSchedule:
+    """A deterministic fault timeline over one network."""
+
+    def __init__(self, sim: Simulator, network: Network) -> None:
+        self.sim = sim
+        self.network = network
+        #: Injectors created by ``between(...)`` clauses, for inspection.
+        self.injectors: List[_Injector] = []
+
+    def at(self, time: float) -> _Moment:
+        """Bind instantaneous actions to absolute time ``time``."""
+        return _Moment(self, time)
+
+    def between(self, start: float, end: float) -> _Window:
+        """Bind impairments to the interval ``[start, end)``."""
+        return _Window(self, start, end)
+
+    # -- router-level faults ----------------------------------------------
+
+    def _router_links(self, name):
+        router = self.network._resolve(name)
+        return [
+            record
+            for record in self.network.links
+            if router in (record.node_a, record.node_b)
+        ]
+
+    def _fail_router(self, name) -> None:
+        for record in self._router_links(name):
+            self.network.fail_link(record.node_a, record.node_b)
+
+    def _restore_router(self, name) -> None:
+        for record in self._router_links(name):
+            self.network.restore_link(record.node_a, record.node_b)
+
+    def __repr__(self) -> str:
+        return f"<ChaosSchedule {len(self.injectors)} injectors>"

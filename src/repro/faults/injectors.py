@@ -1,0 +1,82 @@
+"""Probabilistic packet impairments.
+
+Injectors are egress-side fault models attached to an
+:class:`~repro.net.node.Interface` via ``iface.impairments``. Each is a
+callable ``(packet) -> bool`` returning True when the packet is
+destroyed. All randomness is drawn from the owning simulator's seeded
+generator, so chaos runs replay bit-identically for a given
+``Simulator(seed=...)``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..kernel import Simulator
+from ..net.node import Interface
+from ..net.packet import Packet
+
+__all__ = ["LossInjector", "CorruptionInjector"]
+
+
+class _Injector:
+    """Base: Bernoulli per-packet fault drawn from the simulator RNG."""
+
+    #: Counter attribute name on the injector (subclass cosmetic).
+    kind = "faulted"
+
+    def __init__(self, sim: Simulator, probability: float) -> None:
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError(f"probability must be in [0, 1], got {probability}")
+        self.sim = sim
+        self.probability = probability
+        #: Packets destroyed by this injector.
+        self.count = 0
+        self._installed_on: List[Interface] = []
+
+    def __call__(self, packet: Packet) -> bool:
+        if self.sim.rng.random() < self.probability:
+            self.count += 1
+            return True
+        return False
+
+    # -- installation -----------------------------------------------------
+
+    def install(self, *ifaces: Interface) -> "_Injector":
+        """Attach to the given interfaces' egress paths."""
+        for iface in ifaces:
+            iface.impairments.append(self)
+            self._installed_on.append(iface)
+        return self
+
+    def remove(self) -> None:
+        """Detach from every interface it was installed on."""
+        for iface in self._installed_on:
+            if self in iface.impairments:
+                iface.impairments.remove(self)
+        self._installed_on.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"<{type(self).__name__} p={self.probability:.3f} "
+            f"{self.kind}={self.count}>"
+        )
+
+
+class LossInjector(_Injector):
+    """Drops each egress packet with the given probability (a flaky
+    link losing frames independently of congestion)."""
+
+    kind = "lost"
+
+
+class CorruptionInjector(_Injector):
+    """Corrupts each egress packet with the given probability.
+
+    A corrupted frame fails the receiver's checksum and is discarded,
+    so at this abstraction level corruption is loss with a separate
+    cause — kept distinct because real QoS post-mortems care which one
+    it was.
+    """
+
+    kind = "corrupted"

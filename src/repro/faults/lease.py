@@ -1,0 +1,362 @@
+"""Reservations as renewable leases.
+
+A GARA reservation is a one-shot grant: revoke it (or break its path)
+and the application is simply without QoS. A :class:`Lease` turns the
+grant into a supervised obligation: a heartbeat watches the underlying
+reservation, external revocation or a path failure degrades the lease,
+and a retry loop re-admits with exponential backoff plus jitter. After
+``max_retries`` consecutive failed re-admissions the lease is lost and
+the terminal ``on_lost`` callback fires with a :class:`ReservationLost`.
+
+For network reservations the heartbeat additionally validates the
+broker claims: a claim whose egress interface sits on a downed link
+reserves capacity on a path that no longer exists, so the lease cancels
+(releasing the stale slot-table entries) and re-admits — landing on
+whatever path routing now uses.
+
+All backoff jitter is drawn from the simulator RNG, so recovery
+timelines are reproducible for a fixed seed.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Sequence
+
+from ..gara import CANCELLED, EXPIRED, Gara, Reservation, ReservationError
+
+__all__ = [
+    "Lease",
+    "LeaseManager",
+    "ReservationLost",
+    "LEASE_ACQUIRING",
+    "LEASE_HELD",
+    "LEASE_DEGRADED",
+    "LEASE_LOST",
+    "LEASE_CLOSED",
+]
+
+LEASE_ACQUIRING = "ACQUIRING"  # first admission not yet granted
+LEASE_HELD = "HELD"  # reservation in place, heartbeat running
+LEASE_DEGRADED = "DEGRADED"  # reservation lost; retrying admission
+LEASE_LOST = "LOST"  # retries exhausted (terminal)
+LEASE_CLOSED = "CLOSED"  # closed by the holder (terminal)
+
+
+class ReservationLost(ReservationError):
+    """A lease exhausted its re-admission budget (terminal)."""
+
+
+class Lease:
+    """One supervised reservation. Create via :meth:`LeaseManager.lease`."""
+
+    def __init__(
+        self,
+        manager: "LeaseManager",
+        spec: Any,
+        duration: Optional[float],
+        bindings: Sequence[Any],
+        on_degraded: Optional[Callable[["Lease", str], None]] = None,
+        on_restored: Optional[Callable[["Lease"], None]] = None,
+        on_lost: Optional[Callable[["Lease", ReservationLost], None]] = None,
+    ) -> None:
+        self.manager = manager
+        self.sim = manager.sim
+        self.spec = spec
+        self.bindings = list(bindings)
+        self.on_degraded = on_degraded
+        self.on_restored = on_restored
+        self.on_lost = on_lost
+        #: Absolute lease deadline (inf = until closed).
+        self.deadline = (
+            float("inf") if duration is None else self.sim.now + float(duration)
+        )
+        self.state = LEASE_ACQUIRING
+        #: The current underlying reservation (None while degraded).
+        self.reservation: Optional[Reservation] = None
+        self.last_error: Optional[str] = None
+        # Statistics.
+        self.degradations = 0
+        self.readmissions = 0
+        self.retries = 0  # within the current degradation episode
+        self._heartbeat_timer = None
+        self._retry_timer = None
+        self._expected_cancel = False
+        self._attempt_acquire(initial=True)
+
+    # -- state ------------------------------------------------------------
+
+    @property
+    def held(self) -> bool:
+        return self.state == LEASE_HELD
+
+    @property
+    def finished(self) -> bool:
+        return self.state in (LEASE_LOST, LEASE_CLOSED)
+
+    # -- public control ----------------------------------------------------
+
+    def close(self) -> None:
+        """Release the lease (cancels the reservation; idempotent)."""
+        if self.finished:
+            return
+        self._stop_timers()
+        self._cancel_reservation()
+        self.state = LEASE_CLOSED
+        self.manager._forget(self)
+
+    def check(self) -> None:
+        """Run one health check now (normally heartbeat-driven)."""
+        if self.state != LEASE_HELD:
+            return
+        if self.sim.now >= self.deadline:
+            self.close()
+            return
+        stale = self._staleness()
+        if stale is not None:
+            self._degrade(stale)
+
+    # -- internals ---------------------------------------------------------
+
+    def _stop_timers(self) -> None:
+        for timer in (self._heartbeat_timer, self._retry_timer):
+            if timer is not None:
+                timer.cancel()
+        self._heartbeat_timer = None
+        self._retry_timer = None
+
+    def _cancel_reservation(self) -> None:
+        reservation = self.reservation
+        self.reservation = None
+        if reservation is not None and not reservation.finished:
+            self._expected_cancel = True
+            try:
+                reservation.cancel()
+            finally:
+                self._expected_cancel = False
+
+    def _remaining_duration(self) -> Optional[float]:
+        if self.deadline == float("inf"):
+            return None
+        return self.deadline - self.sim.now
+
+    def _attempt_acquire(self, initial: bool = False) -> None:
+        if self.finished:
+            return
+        if self.sim.now >= self.deadline:
+            self.close()
+            return
+        try:
+            reservation = self.manager.gara.reserve(
+                self.spec, duration=self._remaining_duration()
+            )
+            for binding in self.bindings:
+                self.manager.gara.bind(reservation, binding)
+        except ReservationError as exc:
+            self.last_error = str(exc)
+            if initial:
+                self.state = LEASE_DEGRADED
+            self._schedule_retry()
+            return
+        reservation.register_callback(self._on_reservation_transition)
+        self.reservation = reservation
+        was_degraded = self.state == LEASE_DEGRADED
+        self.state = LEASE_HELD
+        self.retries = 0
+        self.last_error = None
+        if was_degraded:
+            self.readmissions += 1
+            if self.on_restored is not None:
+                self.on_restored(self)
+        self._arm_heartbeat()
+
+    def _arm_heartbeat(self) -> None:
+        if self._heartbeat_timer is not None:
+            self._heartbeat_timer.cancel()
+        self._heartbeat_timer = self.sim.call_in(
+            self.manager.heartbeat, self._on_heartbeat
+        )
+
+    def _on_heartbeat(self) -> None:
+        self._heartbeat_timer = None
+        self.check()
+        if self.state == LEASE_HELD:
+            self._arm_heartbeat()
+
+    def _staleness(self) -> Optional[str]:
+        """Why the held reservation is no longer sound, or None."""
+        reservation = self.reservation
+        if reservation is None or reservation.finished:
+            return "reservation gone"
+        return self.manager._check_claims(reservation)
+
+    def _on_reservation_transition(self, reservation, old, new) -> None:
+        if self.finished or self._expected_cancel:
+            return
+        if reservation is not self.reservation:
+            return  # a superseded reservation's late transition
+        if new == EXPIRED and self.sim.now >= self.deadline:
+            # Natural end of a bounded lease, not a fault.
+            self.reservation = None
+            self.close()
+            return
+        if new in (CANCELLED, EXPIRED):
+            self._degrade(f"reservation revoked ({new.lower()})")
+
+    def _degrade(self, reason: str) -> None:
+        if self.state != LEASE_HELD:
+            return
+        self.state = LEASE_DEGRADED
+        self.degradations += 1
+        self.retries = 0
+        self.last_error = reason
+        if self._heartbeat_timer is not None:
+            self._heartbeat_timer.cancel()
+            self._heartbeat_timer = None
+        self._cancel_reservation()  # releases claims on the dead path
+        if self.on_degraded is not None:
+            self.on_degraded(self, reason)
+        self._schedule_retry()
+
+    def _schedule_retry(self) -> None:
+        if self.retries >= self.manager.max_retries:
+            self._lose()
+            return
+        delay = self.manager._backoff_delay(self.retries)
+        self.retries += 1
+        self._retry_timer = self.sim.call_in(delay, self._on_retry)
+
+    def _on_retry(self) -> None:
+        self._retry_timer = None
+        self._attempt_acquire()
+
+    def _lose(self) -> None:
+        self._stop_timers()
+        self.state = LEASE_LOST
+        self.manager._forget(self)
+        if self.on_lost is not None:
+            self.on_lost(
+                self,
+                ReservationLost(
+                    f"lease gave up after {self.manager.max_retries} "
+                    f"re-admission attempts: {self.last_error}"
+                ),
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"<Lease {self.state} retries={self.retries} "
+            f"degradations={self.degradations} {self.spec!r}>"
+        )
+
+
+class LeaseManager:
+    """Factory and supervisor for :class:`Lease` objects.
+
+    Parameters
+    ----------
+    gara:
+        The reservation facade leases go through.
+    network:
+        When given, the manager subscribes to topology changes so path
+        failures are detected at reroute time rather than waiting for
+        the next heartbeat.
+    heartbeat:
+        Seconds between health checks of a held lease.
+    backoff_base, backoff_cap, jitter:
+        Re-admission delay: ``min(cap, base * 2**attempt)`` scaled by a
+        uniform ±``jitter`` fraction drawn from the simulator RNG.
+    max_retries:
+        Consecutive failed re-admissions before the lease is lost.
+    """
+
+    def __init__(
+        self,
+        gara: Gara,
+        network=None,
+        heartbeat: float = 0.25,
+        backoff_base: float = 0.2,
+        backoff_cap: float = 5.0,
+        jitter: float = 0.25,
+        max_retries: int = 12,
+    ) -> None:
+        if heartbeat <= 0:
+            raise ValueError("heartbeat must be positive")
+        if backoff_base <= 0 or backoff_cap < backoff_base:
+            raise ValueError("invalid backoff bounds")
+        if not 0 <= jitter < 1:
+            raise ValueError("jitter must be in [0, 1)")
+        if max_retries < 1:
+            raise ValueError("max_retries must be at least 1")
+        self.gara = gara
+        self.sim = gara.sim
+        self.network = network
+        self.heartbeat = heartbeat
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.jitter = jitter
+        self.max_retries = max_retries
+        self.leases: List[Lease] = []
+        if network is not None:
+            network.topology_listeners.append(self._on_topology_change)
+
+    def lease(
+        self,
+        spec: Any,
+        duration: Optional[float] = None,
+        bindings: Sequence[Any] = (),
+        on_degraded: Optional[Callable[[Lease, str], None]] = None,
+        on_restored: Optional[Callable[[Lease], None]] = None,
+        on_lost: Optional[Callable[[Lease, ReservationLost], None]] = None,
+    ) -> Lease:
+        """Acquire a supervised reservation for ``spec``.
+
+        ``bindings`` are re-bound to every re-admitted reservation, so
+        enforcement (flow marking, CPU shares) follows the lease across
+        failures.
+        """
+        lease = Lease(
+            self, spec, duration, bindings, on_degraded, on_restored, on_lost
+        )
+        if not lease.finished:
+            self.leases.append(lease)
+        return lease
+
+    # -- plumbing -----------------------------------------------------------
+
+    def _forget(self, lease: Lease) -> None:
+        if lease in self.leases:
+            self.leases.remove(lease)
+
+    def _backoff_delay(self, attempt: int) -> float:
+        delay = min(self.backoff_cap, self.backoff_base * (2.0**attempt))
+        if self.jitter:
+            delay *= 1.0 + self.jitter * (2.0 * self.sim.rng.random() - 1.0)
+        return delay
+
+    def _check_claims(self, reservation: Reservation) -> Optional[str]:
+        """Staleness reason for a reservation's broker claims, or None.
+
+        Only network reservations have path claims; other resource
+        types have nothing to invalidate here.
+        """
+        manager = reservation.manager
+        claims_of = getattr(manager, "claims_of", None)
+        broker = getattr(manager, "broker", None)
+        if claims_of is None or broker is None:
+            return None
+        claims = claims_of(reservation)
+        if claims and not broker.claims_valid(claims):
+            return "path failed under the reservation"
+        return None
+
+    def _on_topology_change(self) -> None:
+        # Defer one tick: build_routes may be running inside another
+        # component's callback; a zero-delay timer keeps ordering clean.
+        self.sim.call_in(0.0, self._check_all)
+
+    def _check_all(self) -> None:
+        for lease in list(self.leases):
+            lease.check()
+
+    def __repr__(self) -> str:
+        return f"<LeaseManager {len(self.leases)} leases hb={self.heartbeat}s>"

@@ -17,7 +17,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from ..net.node import Interface, Node
-from ..net.topology import Network
+from ..net.topology import Network, RouteError
 from .reservation import ReservationError
 from .slot_table import AdmissionError, SlotTable
 
@@ -53,11 +53,24 @@ class BandwidthBroker:
     def path_available(
         self, src: Node, dst: Node, start: float, end: float
     ) -> float:
-        """Admissible premium bandwidth over the path for the interval."""
+        """Admissible premium bandwidth over the path for the interval
+        (0.0 if no working path currently exists)."""
+        try:
+            ifaces = self.network.path_interfaces(src, dst)
+        except RouteError:
+            return 0.0
         return min(
-            self.table_for(iface).available(start, end)
-            for iface in self.network.path_interfaces(src, dst)
+            self.table_for(iface).available(start, end) for iface in ifaces
         )
+
+    def claims_valid(self, claimed) -> bool:
+        """True while every claimed egress still sits on a working link.
+
+        A claim on a downed interface reserves capacity on a path that
+        no longer exists — the holder must release it and re-admit on
+        the rerouted path.
+        """
+        return all(iface.up for iface, _entry, _owner, _bw in claimed)
 
     # -- policy ----------------------------------------------------------
 
@@ -108,7 +121,11 @@ class BandwidthBroker:
         """
         claimed: List[Tuple[Interface, int, Optional[str], float]] = []
         try:
-            for iface in self.network.path_interfaces(src, dst):
+            ifaces = self.network.path_interfaces(src, dst)
+        except RouteError as exc:
+            raise ReservationError(str(exc)) from exc
+        try:
+            for iface in ifaces:
                 self._check_quota(owner, iface, bandwidth)
                 entry = self.table_for(iface).add(start, end, bandwidth)
                 if owner is not None:

@@ -164,3 +164,9 @@ class DiffServNetworkManager(ResourceManager):
     def handle_of(self, reservation: Reservation):
         """The installed :class:`PremiumFlowHandle`, if enforcement is live."""
         return self._handles.get(reservation.reservation_id)
+
+    def claims_of(self, reservation: Reservation) -> list:
+        """The broker claim records currently held for ``reservation``
+        (empty once released). The lease layer uses this to detect
+        claims stranded on a failed path."""
+        return self._claims.get(reservation.reservation_id, [])

@@ -67,9 +67,19 @@ class Reservation:
     def active(self) -> bool:
         return self.state == ACTIVE
 
+    @property
+    def finished(self) -> bool:
+        """True once the reservation reached a terminal state."""
+        return self.state in (CANCELLED, EXPIRED)
+
     # -- control (delegates to the owning manager) --------------------------
 
     def cancel(self) -> None:
+        """Cancel the reservation; idempotent — cancelling an already
+        cancelled or expired reservation is a no-op (the slot-table
+        claims were released exactly once at the first transition)."""
+        if self.finished:
+            return
         self.manager.cancel(self)
 
     def modify(self, **changes: Any) -> None:

@@ -16,7 +16,7 @@ from .communicator import (
 )
 from .datatypes import BYTE, CHAR, Datatype, DOUBLE, FLOAT, INT, LONG
 from .engine import MpiProcess
-from .errors import MpiError, TruncationError
+from .errors import MpiError, MpiTimeoutError, TruncationError
 from .group import Group
 from .message import Envelope
 from .status import Request, Status, wait_all, wait_any
@@ -47,6 +47,7 @@ __all__ = [
     "MIN",
     "MpiError",
     "MpiProcess",
+    "MpiTimeoutError",
     "MpiWorld",
     "PROD",
     "Request",

@@ -17,7 +17,7 @@ from typing import Any, Callable, List, Optional, Tuple
 
 from ..kernel import Event
 from .attributes import AttributeSet, Keyval
-from .errors import MpiError
+from .errors import MpiError, MpiTimeoutError
 from .group import Group
 from .message import ANY_SOURCE, ANY_TAG
 from .status import Request, Status
@@ -120,8 +120,42 @@ class Communicator:
     # Point-to-point
     # ------------------------------------------------------------------
 
+    def _with_timeout(self, inner: Event, timeout: Optional[float], op: str) -> Event:
+        """Fail with :class:`MpiTimeoutError` if ``timeout`` elapses
+        before ``inner`` triggers (a partitioned peer surfaces an error
+        instead of hanging the simulation). The underlying operation is
+        not torn down — its late completion is discarded."""
+        if timeout is None:
+            return inner
+        if timeout <= 0:
+            raise MpiError("timeout must be positive")
+        outer = Event(self.sim)
+
+        def expire():
+            if not outer.triggered:
+                outer.fail(
+                    MpiTimeoutError(f"{op} timed out after {timeout}s")
+                )
+
+        timer = self.sim.call_in(timeout, expire)
+
+        def done(ev):
+            if not outer.triggered:
+                timer.cancel()
+                outer.trigger(ev)
+            elif not ev.ok:
+                ev._defused = True  # nobody is listening any more
+
+        inner.callbacks.append(done)
+        return outer
+
     def isend(
-        self, dest: int, nbytes: int, tag: int = 0, data: Any = None
+        self,
+        dest: int,
+        nbytes: int,
+        tag: int = 0,
+        data: Any = None,
+        timeout: Optional[float] = None,
     ) -> Request:
         """Non-blocking send of ``nbytes`` (MPI_Isend)."""
         self._check()
@@ -130,14 +164,24 @@ class Communicator:
         event = self.proc.isend(
             self._dest_world(dest), tag, self.ctx_pt2pt, nbytes, data
         )
-        return Request(event)
+        return Request(self._with_timeout(event, timeout, f"send to {dest}"))
 
-    def send(self, dest: int, nbytes: int, tag: int = 0, data: Any = None) -> Event:
+    def send(
+        self,
+        dest: int,
+        nbytes: int,
+        tag: int = 0,
+        data: Any = None,
+        timeout: Optional[float] = None,
+    ) -> Event:
         """Blocking-style send: yield the returned event (MPI_Send)."""
-        return self.isend(dest, nbytes, tag, data).wait()
+        return self.isend(dest, nbytes, tag, data, timeout=timeout).wait()
 
     def irecv(
-        self, source: int = ANY_SOURCE, tag: int = ANY_TAG
+        self,
+        source: int = ANY_SOURCE,
+        tag: int = ANY_TAG,
+        timeout: Optional[float] = None,
     ) -> Request:
         """Non-blocking receive (MPI_Irecv); resolves to (data, Status)."""
         self._check()
@@ -145,11 +189,20 @@ class Communicator:
             ANY_SOURCE if source == ANY_SOURCE else self._dest_world(source)
         )
         inner = self.proc.irecv(world_src, tag, self.ctx_pt2pt)
-        return Request(self._wrap_recv(inner))
+        return Request(
+            self._with_timeout(
+                self._wrap_recv(inner), timeout, f"recv from {source}"
+            )
+        )
 
-    def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Event:
+    def recv(
+        self,
+        source: int = ANY_SOURCE,
+        tag: int = ANY_TAG,
+        timeout: Optional[float] = None,
+    ) -> Event:
         """Blocking-style receive: yield the returned event (MPI_Recv)."""
-        return self.irecv(source, tag).wait()
+        return self.irecv(source, tag, timeout=timeout).wait()
 
     def _wrap_recv(self, inner: Event) -> Event:
         outer = Event(self.sim)

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-__all__ = ["MpiError", "TruncationError"]
+__all__ = ["MpiError", "MpiTimeoutError", "TruncationError"]
 
 
 class MpiError(Exception):
@@ -11,3 +11,8 @@ class MpiError(Exception):
 
 class TruncationError(MpiError):
     """A received message was longer than the posted receive allowed."""
+
+
+class MpiTimeoutError(MpiError):
+    """A point-to-point operation's optional timeout elapsed (e.g. the
+    peer is partitioned away) before the operation completed."""

@@ -16,6 +16,7 @@ from .topology import (
     GarnetTestbed,
     LinkRecord,
     Network,
+    RouteError,
     WideAreaTestbed,
     garnet,
     garnet_wide,
@@ -41,6 +42,7 @@ __all__ = [
     "Packet",
     "PacketTracer",
     "Qdisc",
+    "RouteError",
     "Router",
     "TCP_HEADER_BYTES",
     "TraceRecord",

@@ -49,6 +49,13 @@ class Interface:
         #: to every packet arriving *into* the node via this interface.
         #: Each is a callable ``(packet) -> bool``; False drops.
         self.ingress: List[Callable[[Packet], bool]] = []
+        #: Link state: a down interface silently blackholes egress
+        #: traffic and discards deliveries (in-flight packets are lost).
+        self.up = True
+        #: Egress fault injectors (loss/corruption), applied after
+        #: serialisation. Each is a callable ``(packet) -> bool``; True
+        #: means the injector destroyed the packet.
+        self.impairments: List[Callable[[Packet], bool]] = []
         self._busy = False
         # Counters.
         self.tx_packets = 0
@@ -56,6 +63,8 @@ class Interface:
         self.rx_packets = 0
         self.rx_bytes = 0
         self.ingress_drops = 0
+        self.link_down_drops = 0
+        self.impairment_drops = 0
 
     @property
     def sim(self) -> Simulator:
@@ -65,6 +74,11 @@ class Interface:
         """Queue ``packet`` for transmission; False if the qdisc dropped it."""
         if self.peer is None:
             raise RuntimeError(f"{self!r} is not connected to a link")
+        if not self.up:
+            # A dead link blackholes silently: the sender learns nothing
+            # (exactly like a cable pull — only timeouts reveal it).
+            self.link_down_drops += 1
+            return False
         if not self.qdisc.enqueue(packet):
             return False
         if not self._busy:
@@ -82,6 +96,16 @@ class Interface:
         )
 
     def _tx_done(self, packet: Packet) -> None:
+        if not self.up:
+            # The link died while this packet was on the wire.
+            self.link_down_drops += 1
+            self._transmit_next()
+            return
+        for impair in self.impairments:
+            if impair(packet):
+                self.impairment_drops += 1
+                self._transmit_next()
+                return
         self.tx_packets += 1
         self.tx_bytes += packet.size
         peer = self.peer
@@ -89,6 +113,10 @@ class Interface:
         self._transmit_next()
 
     def _deliver_arrival(self, packet: Packet) -> None:
+        if not self.up:
+            # In flight when the link went down: lost in propagation.
+            self.link_down_drops += 1
+            return
         self.rx_packets += 1
         self.rx_bytes += packet.size
         for conditioner in self.ingress:

@@ -21,7 +21,7 @@ from .node import Host, Interface, Node, Router
 from .queues import DropTailQueue, Qdisc
 from .units import mbps
 
-__all__ = ["Network", "LinkRecord", "GarnetTestbed", "garnet"]
+__all__ = ["Network", "LinkRecord", "RouteError", "GarnetTestbed", "garnet"]
 
 
 @dataclass
@@ -43,6 +43,27 @@ class LinkRecord:
             return self.iface_ba
         raise ValueError(f"{node!r} is not an endpoint of this link")
 
+    @property
+    def up(self) -> bool:
+        return self.iface_ab.up and self.iface_ba.up
+
+    def fail(self) -> None:
+        """Take both directions down; in-flight packets are lost."""
+        self.iface_ab.up = False
+        self.iface_ba.up = False
+
+    def restore(self) -> None:
+        self.iface_ab.up = True
+        self.iface_ba.up = True
+
+    @property
+    def interfaces(self) -> Tuple[Interface, Interface]:
+        return (self.iface_ab, self.iface_ba)
+
+
+class RouteError(RuntimeError):
+    """No working path exists between two nodes."""
+
 
 class Network:
     """Container wiring hosts, routers, and links into one topology."""
@@ -55,6 +76,11 @@ class Network:
         self.graph = nx.Graph()
         self._next_addr = 1
         self._routes_built = False
+        #: Failed edges as frozenset({name_a, name_b}) pairs.
+        self._failed: set = set()
+        #: Observers called after every route recomputation caused by a
+        #: link failure/restore (the lease layer subscribes here).
+        self.topology_listeners: List[Callable[[], None]] = []
 
     # -- construction ---------------------------------------------------
 
@@ -101,25 +127,95 @@ class Network:
         self._routes_built = False
         return record
 
+    # -- link failure ----------------------------------------------------
+
+    def _resolve(self, node) -> Node:
+        if not isinstance(node, str):
+            return node
+        resolved = self.nodes.get(node)
+        if resolved is None:
+            raise ValueError(f"no node named {node!r} in this network")
+        return resolved
+
+    def find_link(self, a, b) -> LinkRecord:
+        """The link between ``a`` and ``b`` (nodes or names)."""
+        a, b = self._resolve(a), self._resolve(b)
+        data = self.graph.get_edge_data(a.name, b.name)
+        if data is None:
+            raise ValueError(f"no link between {a.name!r} and {b.name!r}")
+        return data["record"]
+
+    def fail_link(self, a, b) -> LinkRecord:
+        """Take the a--b link down and reroute around it.
+
+        In-flight and queued packets on the link are lost; traffic with
+        an alternate path is rerouted, the rest is blackholed until
+        :meth:`restore_link`.
+        """
+        record = self.find_link(a, b)
+        record.fail()
+        self._failed.add(frozenset((record.node_a.name, record.node_b.name)))
+        self.build_routes()
+        return record
+
+    def restore_link(self, a, b) -> LinkRecord:
+        """Bring the a--b link back and reroute onto it."""
+        record = self.find_link(a, b)
+        record.restore()
+        self._failed.discard(frozenset((record.node_a.name, record.node_b.name)))
+        self.build_routes()
+        return record
+
+    def link_failed(self, a, b) -> bool:
+        a, b = self._resolve(a), self._resolve(b)
+        return frozenset((a.name, b.name)) in self._failed
+
+    def _working_graph(self):
+        """A read-only view of the graph without failed edges."""
+        if not self._failed:
+            return self.graph
+        failed = self._failed
+
+        def edge_ok(u, v):
+            return frozenset((u, v)) not in failed
+
+        return nx.subgraph_view(self.graph, filter_edge=edge_ok)
+
     # -- routing ----------------------------------------------------------
 
     def build_routes(self) -> None:
-        """Compute delay-weighted shortest paths and install next hops."""
-        paths = dict(nx.all_pairs_dijkstra_path(self.graph, weight="delay"))
-        for src_name, dsts in paths.items():
+        """Compute delay-weighted shortest paths over the *working*
+        links and install next hops. Destinations with no surviving
+        path get no route (traffic to them counts as no_route_drops)."""
+        graph = self._working_graph()
+        paths = dict(nx.all_pairs_dijkstra_path(graph, weight="delay"))
+        for src_name in self.graph.nodes:
             src = self.nodes[src_name]
             src.routes.clear()
-            for dst_name, path in dsts.items():
+            for dst_name, path in paths.get(src_name, {}).items():
                 if dst_name == src_name or len(path) < 2:
                     continue
                 next_hop = self.nodes[path[1]]
                 record: LinkRecord = self.graph.edges[src_name, path[1]]["record"]
                 src.routes[self.nodes[dst_name].addr] = record.egress_towards(next_hop)
         self._routes_built = True
+        for listener in list(self.topology_listeners):
+            listener()
+
+    def has_path(self, src: Node, dst: Node) -> bool:
+        """True if a working path currently exists."""
+        return nx.has_path(self._working_graph(), src.name, dst.name)
 
     def path(self, src: Node, dst: Node) -> List[Node]:
-        """The node sequence from ``src`` to ``dst``."""
-        names = nx.dijkstra_path(self.graph, src.name, dst.name, weight="delay")
+        """The node sequence from ``src`` to ``dst`` over working links."""
+        try:
+            names = nx.dijkstra_path(
+                self._working_graph(), src.name, dst.name, weight="delay"
+            )
+        except nx.NetworkXNoPath:
+            raise RouteError(
+                f"no working path from {src.name} to {dst.name}"
+            ) from None
         return [self.nodes[n] for n in names]
 
     def path_interfaces(self, src: Node, dst: Node) -> List[Interface]:
@@ -138,7 +234,14 @@ class Network:
 
     def round_trip_delay(self, src: Node, dst: Node) -> float:
         """Sum of propagation delays along the path, both directions."""
-        length = nx.dijkstra_path_length(self.graph, src.name, dst.name, weight="delay")
+        try:
+            length = nx.dijkstra_path_length(
+                self._working_graph(), src.name, dst.name, weight="delay"
+            )
+        except nx.NetworkXNoPath:
+            raise RouteError(
+                f"no working path from {src.name} to {dst.name}"
+            ) from None
         return 2.0 * length
 
     def node(self, name: str) -> Node:
@@ -165,6 +268,14 @@ class GarnetTestbed:
     backbone_bandwidth: float
     #: Egress interfaces on the forward (src->dst) backbone path.
     forward_backbone: List[Interface] = field(default_factory=list)
+    #: Standby core router of the redundant backbone, if built.
+    core_b: Optional[Router] = None
+
+    def routers(self) -> List[Router]:
+        out = [self.edge1, self.core, self.edge2]
+        if self.core_b is not None:
+            out.append(self.core_b)
+        return out
 
     @property
     def sim(self) -> Simulator:
@@ -186,6 +297,7 @@ def garnet(
     backbone_bandwidth: float = mbps(155.0),
     backbone_delay: float = 0.5e-3,
     queue_packets: int = 100,
+    redundant_backbone: bool = False,
 ) -> GarnetTestbed:
     """Build the GARNET topology.
 
@@ -194,6 +306,10 @@ def garnet(
     round-trip delay ("on the order of a millisecond or two", §4.3).
     Experiments that need a tighter bottleneck pass a smaller
     ``backbone_bandwidth``.
+
+    ``redundant_backbone`` adds a standby core router (``core_b``) on a
+    slightly longer edge1--core_b--edge2 path, so backbone link failures
+    have an alternate route (the fault-injection scenarios).
     """
     net = Network(sim)
     psrc = net.add_host("premium_src")
@@ -211,6 +327,12 @@ def garnet(
     l2 = net.connect(core, edge2, backbone_bandwidth, backbone_delay, qf)
     a3 = net.connect(edge2, pdst, access_bandwidth, access_delay, qf)
     a4 = net.connect(edge2, cdst, access_bandwidth, access_delay, qf)
+    core_b = None
+    if redundant_backbone:
+        # Longer delay keeps the primary path preferred until it fails.
+        core_b = net.add_router("core_b")
+        net.connect(edge1, core_b, backbone_bandwidth, backbone_delay * 2, qf)
+        net.connect(core_b, edge2, backbone_bandwidth, backbone_delay * 2, qf)
     # Hosts get deep egress buffers: end-system kernels backpressure
     # TCP rather than dropping on the local queue.
     for link, host in ((a1, psrc), (a2, csrc), (a3, pdst), (a4, cdst)):
@@ -230,6 +352,7 @@ def garnet(
         edge2=edge2,
         backbone_bandwidth=backbone_bandwidth,
         forward_backbone=[l1.egress_towards(core), l2.egress_towards(edge2)],
+        core_b=core_b,
     )
 
 

@@ -1,0 +1,480 @@
+"""Fault-injection tests: link state, stochastic injectors, chaos
+schedules, and end-to-end resilience of the QoS stack."""
+
+import pytest
+
+from repro import (
+    ChaosSchedule,
+    MpichGQ,
+    QOS_PREMIUM,
+    QosAttribute,
+    Simulator,
+    mbps,
+)
+from repro.faults import (
+    CorruptionInjector,
+    LEASE_DEGRADED,
+    LEASE_HELD,
+    LossInjector,
+)
+from repro.diffserv import EF
+from repro.mpi import MpiTimeoutError
+from repro.net import DropTailQueue, Network, PROTO_UDP, Packet, RouteError
+from repro.net.topology import garnet
+
+
+class Sink:
+    def __init__(self):
+        self.received = []
+
+    def receive(self, packet):
+        self.received.append(packet)
+
+
+def udp_blast(src, dst, n, size=1000):
+    for i in range(n):
+        src.default_interface().send(
+            Packet(src.addr, dst.addr, 1, 2, PROTO_UDP, size)
+        )
+
+
+# ---------------------------------------------------------------------------
+# Net layer: link up/down state
+# ---------------------------------------------------------------------------
+
+
+class TestLinkState:
+    def test_down_link_blackholes_silently(self):
+        sim = Simulator(seed=1)
+        net = Network(sim)
+        a = net.add_host("a")
+        b = net.add_host("b")
+        record = net.connect(a, b, mbps(10), 1e-3)
+        net.build_routes()
+        sink = Sink()
+        b.register_protocol(PROTO_UDP, sink)
+        net.fail_link("a", "b")
+        assert not record.up
+        udp_blast(a, b, 3)
+        sim.run()
+        assert sink.received == []
+        # The sender's egress swallowed them without error.
+        drops = (
+            record.iface_ab.link_down_drops + a.no_route_drops
+        )
+        assert drops == 3
+
+    def test_in_flight_packets_dropped(self):
+        # A packet already serialised onto the wire dies with the link.
+        sim = Simulator(seed=1)
+        net = Network(sim)
+        a = net.add_host("a")
+        b = net.add_host("b")
+        record = net.connect(a, b, mbps(10), delay=50e-3)
+        net.build_routes()
+        sink = Sink()
+        b.register_protocol(PROTO_UDP, sink)
+        udp_blast(a, b, 1)
+        # Fail mid-flight: tx takes ~0.8ms, propagation 50ms.
+        sim.call_at(0.02, net.fail_link, "a", "b")
+        sim.run()
+        assert sink.received == []
+
+    def test_restore_brings_traffic_back(self):
+        sim = Simulator(seed=1)
+        net = Network(sim)
+        a = net.add_host("a")
+        b = net.add_host("b")
+        net.connect(a, b, mbps(10), 1e-3)
+        net.build_routes()
+        sink = Sink()
+        b.register_protocol(PROTO_UDP, sink)
+        net.fail_link(a, b)
+        assert net.link_failed(a, b)
+        net.restore_link(a, b)
+        assert not net.link_failed(a, b)
+        udp_blast(a, b, 2)
+        sim.run()
+        assert len(sink.received) == 2
+
+    def test_reroute_around_dead_link(self):
+        sim = Simulator(seed=1)
+        net = Network(sim)
+        a = net.add_host("a")
+        b = net.add_host("b")
+        fast = net.add_router("fast")
+        slow = net.add_router("slow")
+        net.connect(a, fast, mbps(10), 1e-3)
+        net.connect(fast, b, mbps(10), 1e-3)
+        net.connect(a, slow, mbps(10), 50e-3)
+        net.connect(slow, b, mbps(10), 50e-3)
+        net.build_routes()
+        assert [n.name for n in net.path(a, b)] == ["a", "fast", "b"]
+        net.fail_link("fast", "b")
+        assert [n.name for n in net.path(a, b)] == ["a", "slow", "b"]
+        sink = Sink()
+        b.register_protocol(PROTO_UDP, sink)
+        udp_blast(a, b, 1)
+        sim.run()
+        assert len(sink.received) == 1
+
+    def test_no_path_raises_route_error(self):
+        sim = Simulator(seed=1)
+        net = Network(sim)
+        a = net.add_host("a")
+        b = net.add_host("b")
+        net.connect(a, b, mbps(10), 1e-3)
+        net.build_routes()
+        net.fail_link(a, b)
+        assert not net.has_path(a, b)
+        with pytest.raises(RouteError):
+            net.path(a, b)
+
+    def test_unknown_link_rejected(self):
+        sim = Simulator(seed=1)
+        net = Network(sim)
+        net.add_host("a")
+        net.add_host("b")
+        with pytest.raises(ValueError):
+            net.fail_link("a", "b")
+
+    def test_topology_listeners_fire_on_change(self):
+        sim = Simulator(seed=1)
+        net = Network(sim)
+        a = net.add_host("a")
+        b = net.add_host("b")
+        net.connect(a, b, mbps(10), 1e-3)
+        net.build_routes()
+        calls = []
+        net.topology_listeners.append(lambda: calls.append(sim.now))
+        net.fail_link(a, b)
+        net.restore_link(a, b)
+        assert len(calls) == 2
+
+
+# ---------------------------------------------------------------------------
+# Stochastic injectors
+# ---------------------------------------------------------------------------
+
+
+class TestInjectors:
+    def _one_link(self, seed=5):
+        sim = Simulator(seed=seed)
+        net = Network(sim)
+        a = net.add_host("a")
+        b = net.add_host("b")
+        record = net.connect(
+            a, b, mbps(100), 1e-4,
+            lambda: DropTailQueue(limit_packets=2000),
+        )
+        net.build_routes()
+        sink = Sink()
+        b.register_protocol(PROTO_UDP, sink)
+        return sim, net, a, b, record, sink
+
+    def test_loss_rate_roughly_honoured(self):
+        sim, net, a, b, record, sink = self._one_link()
+        injector = LossInjector(sim, probability=0.3)
+        injector.install(record.iface_ab)
+        udp_blast(a, b, 1000)
+        sim.run()
+        assert injector.count == 1000 - len(sink.received)
+        assert 0.2 < injector.count / 1000 < 0.4
+        assert record.iface_ab.impairment_drops == injector.count
+
+    def test_zero_probability_drops_nothing(self):
+        sim, net, a, b, record, sink = self._one_link()
+        LossInjector(sim, probability=0.0).install(record.iface_ab)
+        udp_blast(a, b, 50)
+        sim.run()
+        assert len(sink.received) == 50
+
+    def test_remove_stops_impairment(self):
+        sim, net, a, b, record, sink = self._one_link()
+        injector = CorruptionInjector(sim, probability=1.0)
+        injector.install(record.iface_ab)
+        udp_blast(a, b, 5)
+        sim.run()
+        assert sink.received == []
+        injector.remove()
+        udp_blast(a, b, 5)
+        sim.run()
+        assert len(sink.received) == 5
+
+    def test_invalid_probability_rejected(self):
+        sim = Simulator(seed=1)
+        for bad in (-0.1, 1.5):
+            with pytest.raises(ValueError):
+                LossInjector(sim, probability=bad)
+
+    def test_same_seed_same_drop_pattern(self):
+        outcomes = []
+        for _ in range(2):
+            sim, net, a, b, record, sink = self._one_link(seed=42)
+            injector = LossInjector(sim, probability=0.25)
+            injector.install(record.iface_ab)
+            udp_blast(a, b, 200)
+            sim.run()
+            outcomes.append((injector.count, len(sink.received)))
+        assert outcomes[0] == outcomes[1]
+
+
+# ---------------------------------------------------------------------------
+# Chaos schedules
+# ---------------------------------------------------------------------------
+
+
+class TestChaosSchedule:
+    def test_scripted_flap(self):
+        sim = Simulator(seed=2)
+        tb = garnet(sim)
+        chaos = ChaosSchedule(sim, tb.network)
+        chaos.at(1.0).fail_link("edge1", "core").at(2.0).restore_link(
+            "edge1", "core"
+        )
+        sim.run(until=0.5)
+        assert not tb.network.link_failed("edge1", "core")
+        sim.run(until=1.5)
+        assert tb.network.link_failed("edge1", "core")
+        sim.run(until=2.5)
+        assert not tb.network.link_failed("edge1", "core")
+
+    def test_loss_window_installs_and_removes(self):
+        sim = Simulator(seed=2)
+        tb = garnet(sim)
+        chaos = ChaosSchedule(sim, tb.network)
+        chaos.between(1.0, 2.0).loss(0.5, "edge1", "core")
+        record = tb.network.find_link("edge1", "core")
+        sim.run(until=0.5)
+        assert record.iface_ab.impairments == []
+        sim.run(until=1.5)
+        assert len(record.iface_ab.impairments) == 1
+        assert len(record.iface_ba.impairments) == 1
+        sim.run(until=2.5)
+        assert record.iface_ab.impairments == []
+        assert len(chaos.injectors) == 1
+
+    def test_router_failure_downs_all_links(self):
+        sim = Simulator(seed=2)
+        tb = garnet(sim)
+        chaos = ChaosSchedule(sim, tb.network)
+        chaos.at(1.0).fail_router("core").at(2.0).restore_router("core")
+        sim.run(until=1.5)
+        assert tb.network.link_failed("edge1", "core")
+        assert tb.network.link_failed("core", "edge2")
+        sim.run(until=2.5)
+        assert not tb.network.link_failed("edge1", "core")
+
+    def test_empty_window_rejected(self):
+        sim = Simulator(seed=2)
+        tb = garnet(sim)
+        with pytest.raises(ValueError):
+            ChaosSchedule(sim, tb.network).between(2.0, 2.0)
+
+
+# ---------------------------------------------------------------------------
+# End-to-end resilience
+# ---------------------------------------------------------------------------
+
+
+def deploy(seed, redundant, **kwargs):
+    sim = Simulator(seed=seed)
+    tb = garnet(
+        sim, backbone_bandwidth=mbps(10), redundant_backbone=redundant
+    )
+    gq = MpichGQ.on_garnet(tb, resilient=True, **kwargs)
+    return sim, tb, gq
+
+
+def run_main(sim, gq, main, limit=60.0):
+    procs = gq.world.launch(main)
+    sim.run_until_event(sim.all_of(procs), limit=limit)
+
+
+class TestResilientPremium:
+    def test_reroute_and_readmit_with_redundant_backbone(self):
+        sim, tb, gq = deploy(seed=7, redundant=True)
+        trace = {}
+
+        def main(comm):
+            if comm.rank == 0:
+                attr = QosAttribute(QOS_PREMIUM, bandwidth_kbps=800,
+                                    max_message_size=10 * 1024)
+                comm.attr_put(gq.qos_keyval, attr)
+                trace["attr"] = attr
+                for _ in range(20):
+                    yield comm.send(1, nbytes=20_000)
+            else:
+                for _ in range(20):
+                    yield comm.recv(source=0)
+                trace["done_at"] = sim.now
+
+        chaos = ChaosSchedule(sim, tb.network)
+        chaos.at(1.0).fail_link("edge1", "core")
+        run_main(sim, gq, main)
+        attr = trace["attr"]
+        # The transfer survived the backbone failure end to end.
+        assert "done_at" in trace
+        # Each direction's lease degraded exactly once and re-admitted
+        # on the standby core within its backoff budget.
+        assert [l.state for l in attr.leases] == [LEASE_HELD, LEASE_HELD]
+        assert [l.degradations for l in attr.leases] == [1, 1]
+        assert [l.readmissions for l in attr.leases] == [1, 1]
+        assert attr.granted is True
+        # Traffic now runs via the standby core router.
+        path = tb.network.path(tb.premium_src, tb.premium_dst)
+        assert tb.core_b in path
+
+    def test_rerouted_traffic_keeps_ef_marking(self):
+        sim, tb, gq = deploy(seed=7, redundant=True)
+        seen = []
+
+        def main(comm):
+            if comm.rank == 0:
+                comm.attr_put(
+                    gq.qos_keyval,
+                    QosAttribute(QOS_PREMIUM, bandwidth_kbps=2000),
+                )
+                yield sim.timeout(2.0)  # past the flap + re-admission
+                yield comm.send(1, nbytes=40_000)
+            else:
+                yield comm.recv(source=0)
+
+        # Snoop the standby core's egress toward edge2.
+        backup = tb.network.find_link("core_b", "edge2")
+        original = backup.iface_ab.qdisc.enqueue
+
+        def snoop(packet):
+            seen.append(packet.dscp)
+            return original(packet)
+
+        backup.iface_ab.qdisc.enqueue = snoop
+        ChaosSchedule(sim, tb.network).at(0.5).fail_link("edge1", "core")
+        run_main(sim, gq, main)
+        assert EF in seen
+        assert all(d == EF for d in seen)
+
+    def test_degrade_to_best_effort_without_redundancy(self):
+        sim, tb, gq = deploy(seed=11, redundant=False)
+        trace = {}
+
+        def main(comm):
+            if comm.rank == 0:
+                attr = QosAttribute(QOS_PREMIUM, bandwidth_kbps=800,
+                                    max_message_size=10 * 1024)
+                comm.attr_put(gq.qos_keyval, attr)
+                trace["attr"] = attr
+
+                def sample():
+                    trace["during"] = (
+                        attr.granted,
+                        attr.error,
+                        [l.state for l in attr.leases],
+                    )
+
+                sim.call_at(2.0, sample)
+                yield sim.timeout(8.0)
+                trace["after"] = (attr.granted, [l.state for l in attr.leases])
+                # The network works again: an actual send succeeds.
+                yield comm.send(1, nbytes=10_000)
+            else:
+                yield comm.recv(source=0)
+
+        chaos = ChaosSchedule(sim, tb.network)
+        chaos.at(0.5).fail_link("edge1", "core")
+        chaos.at(4.0).restore_link("edge1", "core")
+        run_main(sim, gq, main)
+        granted, error, states = trace["during"]
+        # During the outage: degraded to best effort, not an exception.
+        assert granted is False
+        assert "degraded to best-effort" in error
+        assert states == [LEASE_DEGRADED, LEASE_DEGRADED]
+        # After restoration the lease re-admitted and premium returned.
+        granted_after, states_after = trace["after"]
+        assert granted_after is True
+        assert states_after == [LEASE_HELD, LEASE_HELD]
+        attr = trace["attr"]
+        assert all(l.readmissions == 1 for l in attr.leases)
+
+    def test_partitioned_send_times_out(self):
+        sim, tb, gq = deploy(seed=13, redundant=False)
+        trace = {}
+
+        def main(comm):
+            if comm.rank == 0:
+                yield sim.timeout(1.0)  # partition is in place
+                try:
+                    # Rendezvous-sized: needs the peer's clearance.
+                    yield comm.send(1, nbytes=200_000, timeout=2.0)
+                    trace["send"] = "completed"
+                except MpiTimeoutError:
+                    trace["send"] = "timeout"
+                trace["t"] = sim.now
+            else:
+                try:
+                    yield comm.recv(source=0, timeout=5.0)
+                except MpiTimeoutError:
+                    trace["recv"] = "timeout"
+
+        ChaosSchedule(sim, tb.network).at(0.5).fail_link("edge1", "core")
+        run_main(sim, gq, main, limit=30.0)
+        assert trace["send"] == "timeout"
+        assert trace["t"] == pytest.approx(3.0, abs=1e-6)
+        assert trace["recv"] == "timeout"
+
+
+# ---------------------------------------------------------------------------
+# Determinism (same seed => identical run)
+# ---------------------------------------------------------------------------
+
+
+class TestDeterminism:
+    def _chaotic_run(self, seed):
+        sim, tb, gq = deploy(seed=seed, redundant=True)
+        trace = []
+
+        def main(comm):
+            if comm.rank == 0:
+                attr = QosAttribute(QOS_PREMIUM, bandwidth_kbps=800,
+                                    max_message_size=10 * 1024)
+                comm.attr_put(gq.qos_keyval, attr)
+                trace.append(("granted", attr.granted))
+                for _ in range(15):
+                    yield comm.send(1, nbytes=15_000)
+                    trace.append(("sent", round(sim.now, 9)))
+            else:
+                for _ in range(15):
+                    yield comm.recv(source=0)
+                trace.append(("recvd", round(sim.now, 9)))
+
+        chaos = ChaosSchedule(sim, tb.network)
+        chaos.at(0.8).fail_link("edge1", "core")
+        chaos.at(3.0).restore_link("edge1", "core")
+        chaos.between(0.2, 0.6).loss(0.05, "edge1", "core")
+        run_main(sim, gq, main)
+        for lease in gq.lease_manager.leases:
+            trace.append(
+                ("lease", lease.state, lease.degradations, lease.retries)
+            )
+        trace.append(("injector", chaos.injectors[0].count))
+        trace.append(("end", round(sim.now, 9)))
+        return trace
+
+    def test_same_seed_identical_trace(self):
+        assert self._chaotic_run(21) == self._chaotic_run(21)
+
+    def test_backoff_jitter_is_seeded(self):
+        def delays(seed):
+            from repro.faults import LeaseManager
+            from repro.gara import Gara
+
+            sim = Simulator(seed=seed)
+            manager = LeaseManager(Gara(sim))
+            return [manager._backoff_delay(i) for i in range(6)]
+
+        assert delays(3) == delays(3)
+        assert delays(3) != delays(4)
+        # Exponential shape survives the jitter: capped and monotone-ish.
+        for d, attempt in zip(delays(3), range(6)):
+            base = min(5.0, 0.2 * 2**attempt)
+            assert base * 0.75 <= d <= base * 1.25

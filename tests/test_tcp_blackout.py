@@ -1,0 +1,114 @@
+"""TCP under a link blackout: RTO backoff caps at ``max_rto``, the
+connection survives outages shorter than the backoff budget, resumes
+via slow start, and never delivers duplicate bytes."""
+
+import pytest
+
+from repro.kernel import Monitor
+from repro.net import mbps
+from repro.transport import TcpConfig
+
+from helpers import make_duo
+
+
+def blackout_transfer(
+    total_bytes=300_000,
+    fail_at=0.2,
+    restore_at=4.2,
+    max_rto=2.0,
+    sample_every=0.1,
+):
+    """Run a bulk transfer while the a--r link blacks out, sampling the
+    client's RTO and cwnd over time."""
+    duo = make_duo(bandwidth=mbps(10))
+    config = TcpConfig(max_rto=max_rto)
+    listener = duo.tcp_b.listen(5001, config=config)
+    result = {"received": 0, "chunks": []}
+    samples = []
+
+    def server():
+        conn = yield listener.accept()
+        result["server"] = conn
+        while result["received"] < total_bytes:
+            n = yield conn.recv(1 << 20)
+            if n == 0:
+                break
+            result["received"] += n
+            result["chunks"].append((duo.sim.now, n))
+
+    def client():
+        conn = duo.tcp_a.connect(duo.b.addr, 5001, config=config)
+        conn.cwnd_monitor = Monitor(duo.sim, "cwnd")
+        result["client"] = conn
+
+        def sample():
+            samples.append((duo.sim.now, conn.rtt.rto, conn.cwnd))
+            if not result.get("done"):
+                duo.sim.call_in(sample_every, sample)
+
+        sample()
+        yield conn.established_event
+        sent = 0
+        while sent < total_bytes:
+            n = min(32 * 1024, total_bytes - sent)
+            yield conn.send(n)
+            sent += n
+
+    sproc = duo.sim.process(server())
+    duo.sim.process(client())
+    duo.sim.call_at(fail_at, duo.net.fail_link, "a", "r")
+    duo.sim.call_at(restore_at, duo.net.restore_link, "a", "r")
+    duo.sim.run_until_event(sproc, limit=300.0)
+    result["done"] = True
+    result["samples"] = samples
+    result["duo"] = duo
+    return result
+
+
+class TestTcpBlackout:
+    def test_survives_blackout_and_delivers_exactly_once(self):
+        result = blackout_transfer()
+        # Every byte arrives exactly once: no loss, no duplicates.
+        assert result["received"] == 300_000
+        assert sum(n for _t, n in result["chunks"]) == 300_000
+        # The outage really did force RTO-driven go-back-N resends.
+        client = result["client"]
+        assert client.timeouts > 0
+        assert client.segments_sent > 300_000 // client.config.mss
+
+    def test_rto_backoff_caps_at_max_rto(self):
+        result = blackout_transfer(max_rto=2.0, restore_at=6.2)
+        during = [
+            rto for t, rto, _c in result["samples"] if 0.2 <= t < 6.2
+        ]
+        # Exponential backoff ran into the configured ceiling...
+        assert max(during) == pytest.approx(2.0)
+        # ...and never exceeded it at any instant of the outage.
+        assert all(rto <= 2.0 + 1e-9 for rto in during)
+
+    def test_resumes_via_slow_start(self):
+        result = blackout_transfer(restore_at=4.2)
+        client = result["client"]
+        mss = client.config.mss
+        # The repeated timeouts collapsed the window to one segment...
+        in_blackout = [c for t, _r, c in result["samples"] if 1.0 <= t < 4.2]
+        assert min(in_blackout) == mss
+        # ...and ssthresh was cut, so post-recovery growth is slow
+        # start up to ssthresh, not a jump back to the old window.
+        assert client.ssthresh < 1 << 30
+        times, values = client.cwnd_monitor.as_arrays()
+        after = values[times >= 4.2]
+        # Recovery reopens the window from one MSS, one MSS per ACK:
+        # exponential slow-start growth, never an instant restoration.
+        assert after[0] == mss
+        assert max(after) > 4 * mss
+        steps = [b - a for a, b in zip(after, after[1:]) if b > a]
+        assert steps and max(steps) <= mss + 1e-9
+
+    def test_no_progress_while_dark(self):
+        result = blackout_transfer(fail_at=0.2, restore_at=4.2)
+        dark = [n for t, n in result["chunks"] if 0.3 < t < 4.2]
+        assert dark == []
+        # Delivery resumed within a couple of RTO firings of restore.
+        resumed = [t for t, _n in result["chunks"] if t >= 4.2]
+        assert resumed and resumed[0] < 4.2 + 2 * 2.0 + 0.1
