@@ -4,9 +4,63 @@ Each benchmark runs a scaled-down ("quick") variant of one paper
 experiment exactly once under pytest-benchmark's pedantic mode (these
 are whole-simulation runs, not microbenchmarks — except the substrate
 suite) and then asserts the *shape* properties the paper reports.
+
+Passing ``--metrics-out DIR`` activates the :mod:`repro.telemetry`
+session for every benchmark and dumps one ``<test>.metrics.json`` per
+test into DIR. Without the flag telemetry stays off, so benchmark
+timings measure the uninstrumented (guard-only) hot path.
 """
 
+import re
+
 import pytest
+
+from repro import telemetry
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--metrics-out",
+        action="store",
+        default=None,
+        help="directory for per-benchmark telemetry metric dumps "
+             "(enables telemetry collection)",
+    )
+
+
+@pytest.fixture(autouse=True)
+def _telemetry_session(request):
+    """Install an active telemetry session when --metrics-out is given."""
+    out = request.config.getoption("--metrics-out")
+    if out is None:
+        yield None
+        return
+    # Same per-packet exclusions as the experiment runner: the
+    # registry already summarises tx/segment/mark volumes, and an
+    # unfiltered trace of one benchmark run is hundreds of MB.
+    tel = telemetry.Telemetry(
+        trace=telemetry.FlowTrace(
+            exclude=(
+                ("net", "tx"),
+                ("tcp", "segment"),
+                ("diffserv", "mark"),
+            ),
+            limit=200_000,
+        )
+    )
+    telemetry.install(tel)
+    try:
+        yield tel
+    finally:
+        telemetry.uninstall()
+        from pathlib import Path
+
+        slug = re.sub(r"[^A-Za-z0-9_.-]+", "_", request.node.name)
+        telemetry.export_json(
+            tel,
+            Path(out) / f"{slug}.metrics.json",
+            meta={"test": request.node.nodeid},
+        )
 
 
 def run_once(benchmark, fn, *args, **kwargs):

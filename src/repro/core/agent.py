@@ -201,10 +201,17 @@ class MpiQosAgent:
     # Grant paths
     # ------------------------------------------------------------------
 
+    def _emit_grant(self, name: str, comm: Communicator, **fields) -> None:
+        sim = self.world.sim
+        tel = sim.telemetry
+        if tel is not None and tel.trace is not None:
+            tel.trace.emit(sim.now, "qos", name, comm=comm.name, **fields)
+
     def _grant_premium(self, comm: Communicator, attr: QosAttribute) -> None:
         if attr.bandwidth_kbps <= 0:
             attr.granted = False
             attr.error = "premium QoS needs a positive bandwidth"
+            self._emit_grant("premium_rejected", comm, error=attr.error)
             return
         net_bw = attr.network_bandwidth_bps()
         requests = []
@@ -227,6 +234,7 @@ class MpiQosAgent:
         except ReservationError as exc:
             attr.granted = False
             attr.error = str(exc)
+            self._emit_grant("premium_rejected", comm, error=attr.error)
             return
         for reservation, flow_specs in zip(reservations, bindings):
             for flow in flow_specs:
@@ -234,6 +242,10 @@ class MpiQosAgent:
         attr.reservations = reservations
         attr.granted = True
         attr.error = None
+        self._emit_grant(
+            "premium_granted", comm,
+            bandwidth_bps=net_bw, flows=len(reservations),
+        )
 
     def _grant_premium_leased(
         self, attr: QosAttribute, requests, bindings
@@ -285,3 +297,4 @@ class MpiQosAgent:
             self._af_handles[id(attr)] = handle
         attr.granted = True
         attr.error = None
+        self._emit_grant("low_latency_granted", comm, flows=len(specs))

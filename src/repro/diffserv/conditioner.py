@@ -73,10 +73,18 @@ class TrafficConditioner:
     :attr:`repro.net.node.Interface.ingress` expects.
     """
 
-    def __init__(self, sim: Simulator, default_dscp: int = BEST_EFFORT) -> None:
+    def __init__(
+        self,
+        sim: Simulator,
+        default_dscp: int = BEST_EFFORT,
+        name: str = "edge",
+    ) -> None:
         self.sim = sim
         self.classifier = Classifier()
         self.default_dscp = default_dscp
+        #: Where this conditioner sits (``<router>.<iface>``), used as
+        #: the telemetry name component.
+        self.name = name
         self.policed_drops = 0
 
     def add_rule(
@@ -109,4 +117,15 @@ class TrafficConditioner:
         ok = rule.apply(packet)
         if not ok:
             self.policed_drops += 1
+        tel = self.sim.telemetry
+        if tel is not None and tel.trace is not None:
+            event = "mark" if ok else "police_drop"
+            if tel.trace.wants("diffserv", event):
+                tel.trace.emit(
+                    self.sim.now, "diffserv", event,
+                    conditioner=self.name, dscp=packet.dscp,
+                    src=packet.src, dst=packet.dst,
+                    sport=packet.sport, dport=packet.dport,
+                    size=packet.size,
+                )
         return ok

@@ -101,7 +101,11 @@ class DiffServDomain:
                 iface.qdisc = qdisc
                 self.priority_qdiscs.append(qdisc)
                 if isinstance(iface.peer.node, Host):
-                    conditioner = TrafficConditioner(sim, default_dscp=BEST_EFFORT)
+                    conditioner = TrafficConditioner(
+                        sim,
+                        default_dscp=BEST_EFFORT,
+                        name=f"{router.name}.{iface.name}",
+                    )
                     iface.ingress.append(conditioner)
                     self.conditioners[iface] = conditioner
 

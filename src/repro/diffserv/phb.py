@@ -84,6 +84,14 @@ class PriorityQdisc(Qdisc):
         if klass == CLASS_EF and self.ef_aggregate_policer is not None:
             if not self.ef_aggregate_policer.consume(packet.size, self.sim.now):
                 self.ef_policer_drops += 1
+                tel = self.sim.telemetry
+                if tel is not None and tel.trace is not None:
+                    tel.trace.emit(
+                        self.sim.now, "diffserv", "ef_policer_drop",
+                        src=packet.src, dst=packet.dst,
+                        sport=packet.sport, dport=packet.dport,
+                        size=packet.size,
+                    )
                 return False
         return self._queues[klass].enqueue(packet)
 

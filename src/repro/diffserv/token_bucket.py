@@ -106,8 +106,17 @@ class TokenBucket:
             return 0.0
         return deficit * 8.0 / self.rate
 
-    def reconfigure(self, rate: float = None, depth: float = None, now: float = 0.0) -> None:
-        """Change rate and/or depth in place (reservation modify)."""
+    def reconfigure(
+        self, rate: float = None, depth: float = None, *, now: float
+    ) -> None:
+        """Change rate and/or depth in place (reservation modify).
+
+        ``now`` is keyword-only and required: the bucket must be
+        refilled *at the true current time* before the rate changes,
+        otherwise tokens accrued since ``_last`` would later be
+        credited at the new rate — a reservation upgrade would
+        retroactively inflate (or deflate) the burst allowance.
+        """
         self._refill(now)
         if rate is not None:
             if rate <= 0:

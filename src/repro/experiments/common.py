@@ -17,6 +17,7 @@ from ..core import MpichGQ
 from ..kernel import Simulator
 from ..net import GarnetTestbed, garnet, mbps
 from ..transport.tcp import TcpConfig
+from .. import telemetry as _telemetry
 
 __all__ = [
     "GarnetDeployment",
@@ -72,7 +73,15 @@ def build_deployment(
         )
         if start_contention:
             contention.start()
-    return GarnetDeployment(sim, testbed, gq, contention)
+    deployment = GarnetDeployment(sim, testbed, gq, contention)
+    # If a telemetry session is active (runner --out, benchmarks with
+    # --metrics-out), attach it so the registry scrapes this deployment
+    # at snapshot time. No-op — and zero per-event cost — otherwise.
+    tel = _telemetry.active()
+    if tel is not None:
+        tel.attach(sim)
+        tel.observe(deployment)
+    return deployment
 
 
 @dataclass

@@ -17,6 +17,7 @@ import sys
 import time
 from pathlib import Path
 
+from .. import telemetry
 from . import (
     fig1_tcp_reservation,
     fig5_pingpong,
@@ -49,23 +50,79 @@ def main(argv=None) -> int:
     parser.add_argument(
         "experiments",
         nargs="*",
-        choices=[[], *EXPERIMENTS.keys()],
-        help="subset to run (default: all)",
+        metavar="exp",
+        help=f"subset to run (default: all); any of: "
+             f"{' '.join(EXPERIMENTS)}",
     )
     parser.add_argument("--quick", action="store_true",
                         help="scaled-down parameters")
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--out", type=Path, default=None,
                         help="directory for JSON result dumps")
+    telemetry_group = parser.add_mutually_exclusive_group()
+    telemetry_group.add_argument(
+        "--telemetry", dest="telemetry", action="store_true", default=None,
+        help="collect metrics/spans even without --out",
+    )
+    telemetry_group.add_argument(
+        "--no-telemetry", dest="telemetry", action="store_false",
+        help="skip metrics collection even with --out",
+    )
     args = parser.parse_args(argv)
+
+    # Validate experiment names explicitly. (The old
+    # ``choices=[[], *EXPERIMENTS.keys()]`` hack — needed to let the
+    # empty nargs="*" default pass validation — produced the baffling
+    # error ``invalid choice: 'fig2' (choose from [], 'fig1', ...)``.)
+    unknown = [name for name in args.experiments if name not in EXPERIMENTS]
+    if unknown:
+        parser.error(
+            f"unknown experiment(s): {', '.join(unknown)} "
+            f"(valid names: {', '.join(EXPERIMENTS)})"
+        )
+
+    # Telemetry is on whenever results are being written out, unless
+    # explicitly disabled; --telemetry forces it on for console runs.
+    collect_metrics = (
+        args.telemetry if args.telemetry is not None else args.out is not None
+    )
 
     selected = args.experiments or list(EXPERIMENTS)
     for name in selected:
+        tel = None
+        if collect_metrics:
+            # Exclude the per-packet event types: a full fig run emits
+            # hundreds of thousands of them, swamping the dump with
+            # data the registry already summarises as byte and
+            # conformance counters. Drops, retransmits, grants, and
+            # MPI-message events all stay.
+            tel = telemetry.Telemetry(
+                trace=telemetry.FlowTrace(
+                    exclude=(
+                        ("net", "tx"),
+                        ("tcp", "segment"),
+                        ("diffserv", "mark"),
+                    ),
+                    limit=200_000,
+                )
+            )
+            telemetry.install(tel)
         started = time.time()
-        result = EXPERIMENTS[name](quick=args.quick, seed=args.seed)
+        try:
+            result = EXPERIMENTS[name](quick=args.quick, seed=args.seed)
+        finally:
+            if tel is not None:
+                telemetry.uninstall()
         elapsed = time.time() - started
         print(render_result(result))
         print(f"[{name} completed in {elapsed:.1f}s]\n")
+        if tel is not None:
+            tel.collect()
+            snap = tel.snapshot()
+            print(
+                f"[telemetry: {len(snap['metrics'])} metrics, "
+                f"{snap['span_count']} span events]\n"
+            )
         if args.out is not None:
             args.out.mkdir(parents=True, exist_ok=True)
             payload = {
@@ -88,6 +145,14 @@ def main(argv=None) -> int:
             path = args.out / f"{name}.json"
             path.write_text(json.dumps(payload, indent=2))
             print(f"[wrote {path}]\n")
+            if tel is not None:
+                meta = {"experiment": name, "quick": args.quick,
+                        "seed": args.seed}
+                mpath = args.out / f"{name}.metrics.json"
+                telemetry.export_json(tel, mpath, meta=meta)
+                cpath = args.out / f"{name}.metrics.csv"
+                telemetry.export_csv(tel, cpath)
+                print(f"[wrote {mpath} and {cpath}]\n")
     return 0
 
 

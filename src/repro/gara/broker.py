@@ -35,6 +35,10 @@ class BandwidthBroker:
             raise ValueError("ef_share must be in (0, 1]")
         self.network = network
         self.ef_share = ef_share
+        # Admission statistics (scraped by repro.telemetry).
+        self.admissions = 0
+        self.rejections = 0
+        self.releases = 0
         self._tables: Dict[Interface, SlotTable] = {}
         # Policy: owner -> max fraction of any link's EF capacity.
         self._quotas: Dict[str, float] = {}
@@ -135,13 +139,32 @@ class BandwidthBroker:
                     )
                 claimed.append((iface, entry, owner, bandwidth))
         except (AdmissionError, ReservationError) as exc:
-            self.release(claimed)
+            self.release(claimed, count=False)
+            self.rejections += 1
+            self._emit_admission("reject", src, dst, bandwidth, error=str(exc))
             if isinstance(exc, ReservationError):
                 raise
             raise ReservationError(str(exc)) from exc
+        self.admissions += 1
+        self._emit_admission(
+            "admit", src, dst, bandwidth, hops=len(claimed)
+        )
         return claimed
 
-    def release(self, claimed) -> None:
+    def _emit_admission(
+        self, name: str, src: Node, dst: Node, bandwidth: float, **fields
+    ) -> None:
+        sim = self.network.sim
+        tel = sim.telemetry
+        if tel is not None and tel.trace is not None:
+            tel.trace.emit(
+                sim.now, "gara", name,
+                src=src.name, dst=dst.name, bandwidth=bandwidth, **fields,
+            )
+
+    def release(self, claimed, count: bool = True) -> None:
+        if count and claimed:
+            self.releases += 1
         for iface, entry, owner, bandwidth in claimed:
             self.table_for(iface).remove(entry)
             if owner is not None:

@@ -41,6 +41,9 @@ class SlotTable:
         self.capacity = capacity
         self.name = name
         self._entries: Dict[int, SlotEntry] = {}
+        # Admission statistics (scraped by repro.telemetry).
+        self.admitted_total = 0
+        self.rejected_total = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -87,6 +90,7 @@ class SlotTable:
         if end <= start:
             raise ValueError("empty interval")
         if self.max_usage(start, end) + amount > self.capacity + 1e-9:
+            self.rejected_total += 1
             raise AdmissionError(
                 f"{self.name or 'slot table'}: {amount} over [{start}, {end}) "
                 f"exceeds capacity {self.capacity} "
@@ -94,6 +98,7 @@ class SlotTable:
             )
         entry_id = next(_ids)
         self._entries[entry_id] = SlotEntry(entry_id, start, end, amount)
+        self.admitted_total += 1
         return entry_id
 
     def remove(self, entry_id: int) -> None:

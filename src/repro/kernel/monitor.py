@@ -43,17 +43,27 @@ class Monitor:
         """Arithmetic mean of the recorded values (nan when empty)."""
         return float(np.mean(self.values)) if self.values else float("nan")
 
-    def time_average(self) -> float:
-        """Time-weighted average, treating samples as a step function."""
-        if len(self.times) < 2:
+    def time_average(self, t_end: Optional[float] = None) -> float:
+        """Time-weighted average, treating samples as a step function.
+
+        Each sample holds from its timestamp until the next sample; the
+        last sample holds until ``t_end`` (current simulation time by
+        default). Earlier versions dropped that final interval, so the
+        last recorded value never contributed — a sampler that records
+        0 for nine seconds and 10 for the tenth averaged to exactly 0.
+        """
+        if not self.times:
             return self.mean()
+        if t_end is None:
+            t_end = self.sim.now
         t = np.asarray(self.times)
         v = np.asarray(self.values)
-        dt = np.diff(t)
+        end = max(float(t_end), float(t[-1]))
+        dt = np.diff(np.append(t, end))
         total = dt.sum()
         if total <= 0:
             return self.mean()
-        return float(np.dot(v[:-1], dt) / total)
+        return float(np.dot(v, dt) / total)
 
 
 class Counter:

@@ -18,6 +18,7 @@ reproducible.
 from __future__ import annotations
 
 import heapq
+from time import perf_counter
 from typing import Any, Callable, Generator, Iterable, Optional
 
 import numpy as np
@@ -71,6 +72,13 @@ class Simulator:
         self.rng: np.random.Generator = np.random.default_rng(seed)
         #: Number of queue entries processed so far (for profiling).
         self.events_processed: int = 0
+        #: Active :class:`repro.telemetry.Telemetry` session, or None.
+        #: Instrumented layers throughout the stack read this; the
+        #: disabled case is one attribute load and a None check.
+        self.telemetry = None
+        #: Event-loop profiler (:class:`repro.telemetry.SimProfiler`),
+        #: installed by ``Telemetry.attach`` when profiling is on.
+        self._profiler = None
 
     # -- clock ----------------------------------------------------------
 
@@ -137,19 +145,35 @@ class Simulator:
     def step(self) -> None:
         """Process exactly one queue entry."""
         time, _prio, _seq, item = heapq.heappop(self._queue)
+        profiler = self._profiler
         if isinstance(item, TimerHandle):
             if item.cancelled:
                 return
             self._now = time
             self.events_processed += 1
-            item.fn(*item.args)
+            if profiler is None:
+                item.fn(*item.args)
+            else:
+                started = perf_counter()
+                item.fn(*item.args)
+                profiler.record(
+                    item.fn, perf_counter() - started, len(self._queue)
+                )
             return
         # Event: run its callbacks.
         self._now = time
         self.events_processed += 1
         callbacks, item.callbacks = item.callbacks, None
-        for callback in callbacks:
-            callback(item)
+        if profiler is None:
+            for callback in callbacks:
+                callback(item)
+        else:
+            for callback in callbacks:
+                started = perf_counter()
+                callback(item)
+                profiler.record(
+                    callback, perf_counter() - started, len(self._queue)
+                )
         if not item._ok and not item._defused:
             exc = item._value
             raise SimulationError(

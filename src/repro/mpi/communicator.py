@@ -161,6 +161,13 @@ class Communicator:
         self._check()
         if nbytes <= 0:
             raise MpiError("message size must be positive")
+        tel = self.sim.telemetry
+        if tel is not None and tel.trace is not None:
+            tel.trace.emit(
+                self.sim.now, "mpi", "api_isend",
+                comm=self.name, rank=self.rank, dest=dest,
+                tag=tag, nbytes=nbytes,
+            )
         event = self.proc.isend(
             self._dest_world(dest), tag, self.ctx_pt2pt, nbytes, data
         )
@@ -185,6 +192,12 @@ class Communicator:
     ) -> Request:
         """Non-blocking receive (MPI_Irecv); resolves to (data, Status)."""
         self._check()
+        tel = self.sim.telemetry
+        if tel is not None and tel.trace is not None:
+            tel.trace.emit(
+                self.sim.now, "mpi", "api_irecv",
+                comm=self.name, rank=self.rank, source=source, tag=tag,
+            )
         world_src = (
             ANY_SOURCE if source == ANY_SOURCE else self._dest_world(source)
         )

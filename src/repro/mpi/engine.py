@@ -163,9 +163,21 @@ class MpiProcess:
         lock = self._lock_for(dst)
         self.messages_sent += 1
         self.bytes_sent += nbytes
-        if nbytes <= self.world.eager_threshold:
+        eager = nbytes <= self.world.eager_threshold
+        span = None
+        tel = self.sim.telemetry
+        if tel is not None and tel.trace is not None:
+            span = f"mpi.{self.rank}->{dst}.m{self.messages_sent}"
+            tel.trace.emit(
+                self.sim.now, "mpi", "send", span=span,
+                src_rank=self.rank, dst_rank=dst, tag=tag,
+                context_id=context_id, nbytes=nbytes,
+                kind="eager" if eager else "rendezvous",
+            )
+        if eager:
             envelope = Envelope(
-                EAGER, self.rank, dst, tag, context_id, nbytes, data
+                EAGER, self.rank, dst, tag, context_id, nbytes, data,
+                span=span,
             )
             yield lock.request()
             yield from self._write_message(conn, dst, envelope)
@@ -175,7 +187,8 @@ class MpiProcess:
         granted = Event(self.sim)
         self._awaiting_cts[send_id] = granted
         rts = Envelope(
-            RTS, self.rank, dst, tag, context_id, nbytes, send_id=send_id
+            RTS, self.rank, dst, tag, context_id, nbytes, send_id=send_id,
+            span=span,
         )
         yield lock.request()
         yield conn.send(rts.wire_bytes, marker=rts)
@@ -184,6 +197,11 @@ class MpiProcess:
         # may proceed (their envelopes arrive after the RTS, preserving
         # matching order) while this payload waits for its receiver.
         yield granted
+        if span is not None and tel is not None and tel.trace is not None:
+            tel.trace.emit(
+                self.sim.now, "mpi", "cts_granted", span=span,
+                src_rank=self.rank, dst_rank=dst, tag=tag,
+            )
         payload = Envelope(
             RNDV_DATA,
             self.rank,
@@ -193,6 +211,7 @@ class MpiProcess:
             nbytes,
             data,
             send_id=send_id,
+            span=span,
         )
         yield lock.request()
         yield from self._write_message(conn, dst, payload)
@@ -293,6 +312,13 @@ class MpiProcess:
     def _complete(self, posted: PostedRecv, envelope: Envelope) -> None:
         self.messages_received += 1
         self.bytes_received += envelope.nbytes
+        tel = self.sim.telemetry
+        if tel is not None and tel.trace is not None:
+            tel.trace.emit(
+                self.sim.now, "mpi", "delivered", span=envelope.span,
+                src_rank=envelope.src, dst_rank=self.rank,
+                tag=envelope.tag, nbytes=envelope.nbytes,
+            )
         posted.event.succeed(envelope)
 
     def __repr__(self) -> str:

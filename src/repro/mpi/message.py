@@ -60,6 +60,10 @@ class Envelope:
     nbytes: int  # payload size (0 for control)
     data: Any = None  # logical message content
     send_id: int = 0  # rendezvous correlation
+    #: Telemetry span id stamped by the sending engine when flow
+    #: tracing is enabled (None otherwise); lets the receiving side
+    #: close the same message span.
+    span: Optional[str] = None
 
     @property
     def wire_bytes(self) -> int:

@@ -80,6 +80,15 @@ class Interface:
             self.link_down_drops += 1
             return False
         if not self.qdisc.enqueue(packet):
+            tel = self.sim.telemetry
+            if tel is not None and tel.trace is not None:
+                tel.trace.emit(
+                    self.sim.now, "net", "qdisc_drop",
+                    node=self.node.name, iface=self.name,
+                    src=packet.src, dst=packet.dst,
+                    sport=packet.sport, dport=packet.dport,
+                    dscp=packet.dscp, size=packet.size,
+                )
             return False
         if not self._busy:
             self._transmit_next()
@@ -108,6 +117,20 @@ class Interface:
                 return
         self.tx_packets += 1
         self.tx_bytes += packet.size
+        tel = self.sim.telemetry
+        if (
+            tel is not None
+            and tel.trace is not None
+            and tel.trace.wants("net", "tx")
+        ):
+            tel.trace.emit(
+                self.sim.now, "net", "tx",
+                node=self.node.name, iface=self.name,
+                src=packet.src, dst=packet.dst,
+                sport=packet.sport, dport=packet.dport,
+                dscp=packet.dscp, size=packet.size,
+                backlog=len(self.qdisc),
+            )
         peer = self.peer
         self.sim.call_in(self.delay, peer._deliver_arrival, packet)
         self._transmit_next()

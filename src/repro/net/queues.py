@@ -8,7 +8,7 @@ in :mod:`repro.diffserv.phb` and implements the same interface.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Optional
+from typing import Callable, Deque, Optional
 
 from .packet import Packet
 
@@ -60,19 +60,25 @@ class DropTailQueue(Qdisc):
         #: Total packets dropped at this queue.
         self.drops = 0
         self.drop_bytes = 0
+        #: Optional drop observer ``(packet) -> None`` — telemetry and
+        #: tests hook here instead of subclassing the queue.
+        self.on_drop: Optional[Callable[[Packet], None]] = None
+
+    def _dropped(self, packet: Packet) -> bool:
+        self.drops += 1
+        self.drop_bytes += packet.size
+        if self.on_drop is not None:
+            self.on_drop(packet)
+        return False
 
     def enqueue(self, packet: Packet) -> bool:
         if self.limit_packets is not None and len(self._queue) >= self.limit_packets:
-            self.drops += 1
-            self.drop_bytes += packet.size
-            return False
+            return self._dropped(packet)
         if (
             self.limit_bytes is not None
             and self._bytes + packet.size > self.limit_bytes
         ):
-            self.drops += 1
-            self.drop_bytes += packet.size
-            return False
+            return self._dropped(packet)
         self._queue.append(packet)
         self._bytes += packet.size
         return True

@@ -55,7 +55,8 @@ class PacketTracer:
         self.iface = iface
         self.predicate = predicate
         self.records: List[TraceRecord] = []
-        self._original_tx_done = iface._tx_done
+        self._original_tx_done = None
+        self._tap = None
         self._installed = False
         self.install()
 
@@ -64,6 +65,9 @@ class PacketTracer:
     def install(self) -> None:
         if self._installed:
             return
+        # Capture the downstream callable at install time (it may itself
+        # be another tracer's tap — taps stack like nested decorators).
+        self._original_tx_done = self.iface._tx_done
 
         def tap(packet: Packet) -> None:
             if self.predicate is None or self.predicate(packet):
@@ -81,13 +85,40 @@ class PacketTracer:
                 )
             self._original_tx_done(packet)
 
+        tap._tracer = self
+        self._tap = tap
         self.iface._tx_done = tap
         self._installed = True
 
     def uninstall(self) -> None:
-        if self._installed:
+        """Remove this tracer's tap, in any order relative to other
+        stacked tracers.
+
+        Naively restoring the ``_tx_done`` captured at install time
+        breaks when a tracer installed *later* is still active: that
+        tracer's tap (which chains through ours) would be clobbered by
+        our stale snapshot, silently disconnecting it. Instead we splice
+        ourselves out of the tap chain wherever we sit.
+        """
+        if not self._installed:
+            return
+        if self.iface._tx_done is self._tap:
+            # We are the top of the chain: restore our downstream.
             self.iface._tx_done = self._original_tx_done
-            self._installed = False
+        else:
+            # Walk the chain of stacked taps to find whoever chains
+            # through us, and point them at our downstream instead.
+            current = self.iface._tx_done
+            while current is not None:
+                owner = getattr(current, "_tracer", None)
+                if owner is None:
+                    break  # chain broken by a foreign wrapper; give up
+                if owner._original_tx_done is self._tap:
+                    owner._original_tx_done = self._original_tx_done
+                    break
+                current = owner._original_tx_done
+        self._installed = False
+        self._tap = None
 
     # -- analysis ----------------------------------------------------------
 

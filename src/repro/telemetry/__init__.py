@@ -1,0 +1,74 @@
+"""Cross-layer telemetry: metrics registry, flow tracing, profiling.
+
+Three complementary views of one simulation:
+
+* **metrics** — a registry of counters/gauges/histograms under
+  hierarchical names (``tcp.<host>.<flow>.retransmits``,
+  ``diffserv.<edge>.policer.drops``, ``gara.broker.admissions``),
+  populated by scraping the stack's authoritative per-object statistics
+  at snapshot time plus live histograms (e.g. TCP RTT samples);
+* **spans** — an event log following MPI messages across layers (MPI
+  send → GARA claim → DSCP marking → TCP segments → per-hop egress →
+  delivery), emitted by instrumentation sites guarded so a disabled
+  session costs one ``None`` check;
+* **profiles** — simulator event-loop cost: events/sec, heap depth,
+  per-callback-site counts and wall time.
+
+Usage::
+
+    from repro import telemetry
+
+    tel = telemetry.install(telemetry.Telemetry(trace=True, profile=True))
+    dep = build_deployment(...)   # auto-attaches to the active session
+    ...run...
+    telemetry.export_json(tel, "results/run.metrics.json")
+    telemetry.uninstall()
+"""
+
+from .collect import (
+    collect_any,
+    collect_broker,
+    collect_deployment,
+    collect_domain,
+    collect_mpi_world,
+    collect_mpichgq,
+    collect_network,
+    collect_tcp_host,
+)
+from .export import export_csv, export_json, metrics_csv_text, metrics_payload
+from .hub import Telemetry, active, install, uninstall
+from .profiler import CallSite, SimProfiler
+from .registry import (
+    CounterMetric,
+    GaugeMetric,
+    HistogramMetric,
+    MetricsRegistry,
+)
+from .spans import FlowTrace, SpanEvent
+
+__all__ = [
+    "CallSite",
+    "CounterMetric",
+    "FlowTrace",
+    "GaugeMetric",
+    "HistogramMetric",
+    "MetricsRegistry",
+    "SimProfiler",
+    "SpanEvent",
+    "Telemetry",
+    "active",
+    "collect_any",
+    "collect_broker",
+    "collect_deployment",
+    "collect_domain",
+    "collect_mpi_world",
+    "collect_mpichgq",
+    "collect_network",
+    "collect_tcp_host",
+    "export_csv",
+    "export_json",
+    "install",
+    "metrics_csv_text",
+    "metrics_payload",
+    "uninstall",
+]

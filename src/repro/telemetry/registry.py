@@ -1,0 +1,195 @@
+"""The metrics registry: counters, gauges, and histograms.
+
+Metrics live in one flat namespace with hierarchical dotted names
+(``tcp.conn3.retransmits``, ``diffserv.edge1.policer.drops``,
+``gara.broker.admissions``). A name maps to exactly one metric of one
+type for the registry's lifetime: re-requesting the same name with the
+same type returns the existing instrument, while re-requesting it with
+a different type raises — a silent type change would corrupt whatever
+the first writer recorded.
+
+The instruments are deliberately tiny (plain attribute updates, no
+locks, no label machinery) because the hot paths that touch them are
+the simulator's packet loops.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["MetricsRegistry", "CounterMetric", "GaugeMetric", "HistogramMetric"]
+
+
+class Metric:
+    """Base class: a named instrument owned by one registry."""
+
+    kind = "metric"
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def snapshot(self) -> dict:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class CounterMetric(Metric):
+    """A monotonically increasing count (events, bytes, drops)."""
+
+    kind = "counter"
+    __slots__ = ("value",)
+
+    def __init__(self, name: str) -> None:
+        super().__init__(name)
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a gauge")
+        self.value += amount
+
+    def snapshot(self) -> dict:
+        return {"type": self.kind, "value": self.value}
+
+
+class GaugeMetric(Metric):
+    """A point-in-time value that may move either way (queue depth,
+    slot-table utilisation, scraped interface byte totals)."""
+
+    kind = "gauge"
+    __slots__ = ("value",)
+
+    def __init__(self, name: str) -> None:
+        super().__init__(name)
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def add(self, delta: float) -> None:
+        self.value += delta
+
+    def snapshot(self) -> dict:
+        return {"type": self.kind, "value": self.value}
+
+
+class HistogramMetric(Metric):
+    """A distribution of observed values (latencies, message sizes).
+
+    Observations are kept verbatim up to ``max_samples`` and then
+    reservoir-free truncation stops recording raw samples (count/sum/
+    min/max stay exact) — simulations are finite, so in practice the
+    cap is a memory guard, not a statistics compromise.
+    """
+
+    kind = "histogram"
+    __slots__ = ("samples", "count", "total", "min", "max", "max_samples")
+
+    def __init__(self, name: str, max_samples: int = 100_000) -> None:
+        super().__init__(name)
+        self.samples: List[float] = []
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+        self.max_samples = max_samples
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        if len(self.samples) < self.max_samples:
+            self.samples.append(value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else float("nan")
+
+    def percentile(self, p: float) -> float:
+        """The ``p``-th percentile (0-100) of the recorded samples."""
+        if not 0 <= p <= 100:
+            raise ValueError("percentile must be in [0, 100]")
+        if not self.samples:
+            return float("nan")
+        return float(np.percentile(np.asarray(self.samples), p))
+
+    def snapshot(self) -> dict:
+        out = {
+            "type": self.kind,
+            "count": self.count,
+            "sum": self.total,
+            "mean": self.mean if self.count else None,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+        }
+        if self.samples:
+            qs = np.percentile(np.asarray(self.samples), [50, 90, 99])
+            out["p50"], out["p90"], out["p99"] = (float(q) for q in qs)
+        return out
+
+
+class MetricsRegistry:
+    """All instruments of one telemetry session, by dotted name."""
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Metric] = {}
+
+    def _get(self, name: str, klass, **kwargs) -> Metric:
+        if not name:
+            raise ValueError("metric name must be non-empty")
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = klass(name, **kwargs)
+            self._metrics[name] = metric
+            return metric
+        if not isinstance(metric, klass):
+            raise TypeError(
+                f"metric {name!r} already registered as {metric.kind}, "
+                f"requested {klass.kind}"
+            )
+        return metric
+
+    def counter(self, name: str) -> CounterMetric:
+        return self._get(name, CounterMetric)
+
+    def gauge(self, name: str) -> GaugeMetric:
+        return self._get(name, GaugeMetric)
+
+    def histogram(self, name: str, max_samples: int = 100_000) -> HistogramMetric:
+        return self._get(name, HistogramMetric, max_samples=max_samples)
+
+    def get(self, name: str) -> Optional[Metric]:
+        return self._metrics.get(name)
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __iter__(self) -> Iterator[Metric]:
+        return iter(self._metrics.values())
+
+    def names(self, prefix: str = "") -> List[str]:
+        """Sorted metric names, optionally limited to a dotted prefix."""
+        if not prefix:
+            return sorted(self._metrics)
+        dotted = prefix if prefix.endswith(".") else prefix + "."
+        return sorted(
+            n for n in self._metrics if n == prefix or n.startswith(dotted)
+        )
+
+    def snapshot(self) -> Dict[str, dict]:
+        """``{name: metric snapshot}`` for every instrument, sorted."""
+        return {name: self._metrics[name].snapshot() for name in sorted(self._metrics)}
+
+    def items(self) -> List[Tuple[str, Metric]]:
+        return sorted(self._metrics.items())

@@ -280,6 +280,17 @@ class TcpConnection:
         wnd = self.recv_buffer.window
         self._advertised_small = wnd < self.config.mss
         self.seq_monitor.record(seq + length)
+        tel = self.sim.telemetry
+        if tel is not None and tel.trace is not None:
+            event = "retransmit" if retx else "segment"
+            if tel.trace.wants("tcp", event):
+                tel.trace.emit(
+                    self.sim.now, "tcp", event,
+                    host=self.layer.host.name,
+                    sport=self.local_port, dport=self.remote_port,
+                    dst=self.remote_addr, seq=seq, length=length,
+                    cwnd=self.cwnd,
+                )
         self._emit(
             TcpSegment(
                 seq=seq,
@@ -499,8 +510,14 @@ class TcpConnection:
             self.acked_counter.add(newly)
             self.dupacks = 0
             if self._timed is not None and ack >= self._timed[0]:
-                self.rtt.sample(self.sim.now - self._timed[1])
+                rtt_sample = self.sim.now - self._timed[1]
+                self.rtt.sample(rtt_sample)
                 self._timed = None
+                tel = self.sim.telemetry
+                if tel is not None:
+                    tel.registry.histogram(
+                        f"tcp.{self.layer.host.name}.rtt_seconds"
+                    ).observe(rtt_sample)
             if self.in_recovery:
                 if ack >= self.recover or cfg.recovery == "reno":
                     # Full ACK (or classic Reno, which leaves recovery

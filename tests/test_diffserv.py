@@ -69,6 +69,25 @@ class TestTokenBucket:
         assert tb.rate == kbps(16)
         assert tb.tokens == 500  # clamped to the new depth
 
+    def test_reconfigure_refills_at_old_rate_first(self):
+        """Regression: reconfigure must settle accrual at the *old*
+        rate up to the true current time. The old signature defaulted
+        ``now=0.0``, so tokens earned since ``_last`` were later
+        credited at the new rate — a rate upgrade retroactively
+        inflated the burst allowance."""
+        tb = TokenBucket(rate=kbps(8), depth=10_000)  # 1000 bytes/s
+        tb.consume(10_000, now=0.0)  # drain
+        # 2s at the old rate = 2000 bytes accrued, then upgrade 5x.
+        tb.reconfigure(rate=kbps(40), depth=10_000, now=2.0)
+        assert tb.peek(now=2.0) == pytest.approx(2000)
+        # One further second accrues at the new rate only.
+        assert tb.peek(now=3.0) == pytest.approx(2000 + 5000)
+
+    def test_reconfigure_requires_keyword_now(self):
+        tb = TokenBucket(rate=kbps(8), depth=1000)
+        with pytest.raises(TypeError):
+            tb.reconfigure(kbps(16), 500, 1.0)  # now must be keyword
+
     def test_invalid_params(self):
         with pytest.raises(ValueError):
             TokenBucket(rate=0, depth=10)

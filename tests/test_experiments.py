@@ -121,3 +121,37 @@ class TestRunnerCli:
 
         with pytest.raises(SystemExit):
             main(["nonsense"])
+
+    def test_runner_unknown_error_lists_real_names(self, capsys):
+        """Regression: the old ``choices=[[], ...]`` argparse hack
+        printed ``(choose from [], 'fig1', ...)`` — the error must name
+        the offending argument and the actual experiments."""
+        from repro.experiments.runner import main
+
+        with pytest.raises(SystemExit):
+            main(["fig2", "fig5"])
+        err = capsys.readouterr().err
+        assert "fig2" in err
+        assert "fig1" in err and "table1" in err
+        assert "[]" not in err
+
+    def test_runner_writes_metrics_with_out(self, tmp_path):
+        import json
+
+        from repro.experiments.runner import main
+
+        rc = main(["fig8", "--quick", "--out", str(tmp_path)])
+        assert rc == 0
+        metrics = json.loads((tmp_path / "fig8.metrics.json").read_text())
+        assert metrics["meta"]["experiment"] == "fig8"
+        assert metrics["metrics"]  # registry scraped something
+        assert (tmp_path / "fig8.metrics.csv").read_text().startswith("name,")
+
+    def test_runner_no_telemetry_skips_metrics(self, tmp_path):
+        from repro.experiments.runner import main
+
+        rc = main(["fig8", "--quick", "--no-telemetry",
+                   "--out", str(tmp_path)])
+        assert rc == 0
+        assert (tmp_path / "fig8.json").exists()
+        assert not (tmp_path / "fig8.metrics.json").exists()

@@ -46,6 +46,34 @@ class TestMonitor:
         mon.record(5.0)
         assert mon.time_average() == 5.0
 
+    def test_time_average_includes_final_interval(self, sim):
+        """Regression: the last sample must hold until sim.now. The old
+        implementation integrated only between samples, so a value that
+        changed late never contributed — 0 for 9s then 10 for the last
+        second averaged to exactly 0 instead of 1."""
+        mon = Monitor(sim)
+        mon.record(0.0)  # t=0
+        sim.run(until=9.0)
+        mon.record(10.0)  # t=9, holds for the final second
+        sim.run(until=10.0)
+        assert mon.time_average() == pytest.approx(1.0)
+
+    def test_time_average_t_end_override(self, sim):
+        mon = Monitor(sim)
+        mon.record(4.0)  # t=0
+        sim.run(until=1.0)
+        mon.record(8.0)  # t=1
+        # Integrate over [0, 4): 4 for 1s, 8 for 3s.
+        assert mon.time_average(t_end=4.0) == pytest.approx((4 + 8 * 3) / 4)
+        # t_end before the last sample clamps to the sample time.
+        assert mon.time_average(t_end=0.5) == pytest.approx(4.0)
+
+    def test_time_average_single_sample_extends_to_now(self, sim):
+        mon = Monitor(sim)
+        mon.record(5.0)
+        sim.run(until=3.0)
+        assert mon.time_average() == pytest.approx(5.0)
+
 
 class TestCounter:
     def test_total(self, sim):

@@ -78,6 +78,49 @@ class TestPacketTracer:
         assert len(tracer) == 0  # tap removed; traffic still flows
         assert link.iface_ab.tx_packets == 1
 
+    def test_stacked_tracers_uninstalled_in_install_order(self):
+        """Regression: removing the *older* tracer first used to
+        restore its stale ``_tx_done`` snapshot, silently disconnecting
+        the tracer installed on top of it."""
+        sim, net, a, b, link = small_net()
+        first = PacketTracer(link.iface_ab)
+        second = PacketTracer(link.iface_ab)
+        first.uninstall()  # out of order: second is still stacked on us
+        udp_a, udp_b = UdpLayer(a), UdpLayer(b)
+        udp_b.create_socket(port=5)
+        udp_a.create_socket().sendto(100, b.addr, 5)
+        sim.run()
+        assert len(first) == 0
+        assert len(second) == 1  # still connected
+        assert link.iface_ab.tx_packets == 1
+        second.uninstall()
+        assert link.iface_ab._tx_done.__name__ != "tap"
+
+    def test_stacked_tracers_uninstalled_in_reverse_order(self):
+        sim, net, a, b, link = small_net()
+        first = PacketTracer(link.iface_ab)
+        second = PacketTracer(link.iface_ab)
+        second.uninstall()  # top of the chain: plain restore
+        udp_a, udp_b = UdpLayer(a), UdpLayer(b)
+        udp_b.create_socket(port=5)
+        udp_a.create_socket().sendto(100, b.addr, 5)
+        sim.run()
+        assert len(second) == 0
+        assert len(first) == 1
+        first.uninstall()
+        assert link.iface_ab._tx_done.__name__ != "tap"
+
+    def test_reinstall_after_uninstall(self):
+        sim, net, a, b, link = small_net()
+        tracer = PacketTracer(link.iface_ab)
+        tracer.uninstall()
+        tracer.install()
+        udp_a, udp_b = UdpLayer(a), UdpLayer(b)
+        udp_b.create_socket(port=5)
+        udp_a.create_socket().sendto(100, b.addr, 5)
+        sim.run()
+        assert len(tracer) == 1
+
     def test_flows_and_dscp_accounting(self):
         sim = Simulator(seed=3)
         tb = garnet(sim, backbone_bandwidth=mbps(10))

@@ -1,0 +1,207 @@
+"""Tests for the cross-layer telemetry subsystem (repro.telemetry)."""
+
+import pytest
+
+from repro import telemetry
+from repro.core.mpichgq import MpichGQ
+from repro.diffserv import EF
+from repro.kernel import Simulator
+from repro.net import garnet, kbps, mbps
+from repro.telemetry import (
+    FlowTrace,
+    MetricsRegistry,
+    SimProfiler,
+    Telemetry,
+)
+
+
+def pingpong_deployment(seed=7):
+    sim = Simulator(seed=seed)
+    tb = garnet(sim, backbone_bandwidth=mbps(10))
+    gq = MpichGQ.on_garnet(tb)
+    return sim, tb, gq
+
+
+def run_one_message(sim, gq, nbytes=10_000):
+    def main(comm):
+        if comm.rank == 0:
+            yield comm.send(1, nbytes=nbytes)
+        else:
+            yield comm.recv(source=0)
+
+    procs = gq.world.launch(main)
+    sim.run_until_event(sim.all_of(procs), limit=30.0)
+
+
+class TestRegistry:
+    def test_counter_accumulates(self):
+        reg = MetricsRegistry()
+        c = reg.counter("tcp.conn3.retransmits")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+        assert reg.counter("tcp.conn3.retransmits") is c  # same instrument
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("c").inc(-1)
+
+    def test_name_collision_across_types_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("diffserv.edge1.policer.drops")
+        with pytest.raises(TypeError):
+            reg.gauge("diffserv.edge1.policer.drops")
+        with pytest.raises(TypeError):
+            reg.histogram("diffserv.edge1.policer.drops")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("")
+
+    def test_histogram_percentiles(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("tcp.rtt_seconds")
+        for v in range(1, 101):
+            h.observe(float(v))
+        assert h.count == 100
+        assert h.percentile(50) == pytest.approx(50.5)
+        assert h.percentile(99) == pytest.approx(99.01)
+        assert h.min == 1.0 and h.max == 100.0
+        snap = h.snapshot()
+        assert snap["p50"] == pytest.approx(50.5)
+        assert snap["p90"] == pytest.approx(90.1)
+        assert snap["mean"] == pytest.approx(50.5)
+
+    def test_histogram_sample_cap_keeps_exact_aggregates(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h", max_samples=10)
+        for v in range(100):
+            h.observe(float(v))
+        assert len(h.samples) == 10
+        assert h.count == 100
+        assert h.max == 99.0
+
+    def test_names_prefix_query(self):
+        reg = MetricsRegistry()
+        reg.counter("tcp.a.retransmits")
+        reg.counter("tcp.b.retransmits")
+        reg.counter("net.r1.tx_bytes")
+        assert reg.names("tcp") == ["tcp.a.retransmits", "tcp.b.retransmits"]
+        assert len(reg.names()) == 3
+
+
+class TestDisabledMode:
+    def test_unattached_simulation_records_nothing(self):
+        """With no telemetry attached, the guarded emit sites must all
+        stay silent: a full MPI message exchange leaves a fresh
+        Telemetry completely empty."""
+        sim, tb, gq = pingpong_deployment()
+        gq.agent.reserve_flows(0, 1, kbps(500))
+        tel = Telemetry(trace=True)  # never attached
+        run_one_message(sim, gq)
+        assert sim.telemetry is None
+        assert len(tel.trace) == 0
+        assert len(tel.registry) == 0
+        snap = tel.snapshot()
+        assert snap["metrics"] == {}
+        assert snap["span_count"] == 0
+
+    def test_no_active_session_by_default(self):
+        assert telemetry.active() is None
+
+    def test_install_uninstall_roundtrip(self):
+        tel = Telemetry()
+        assert telemetry.install(tel) is tel
+        assert telemetry.active() is tel
+        telemetry.uninstall()
+        assert telemetry.active() is None
+
+
+class TestSpanTrace:
+    def test_pingpong_message_crosses_all_layers(self):
+        """One premium pingpong message is visible at every layer of
+        the stack: MPI send/delivery, the GARA admission, DiffServ
+        marking at the edge, TCP segments, and wire transmissions."""
+        sim, tb, gq = pingpong_deployment()
+        tel = Telemetry(trace=True)
+        tel.attach(sim)
+        gq.agent.reserve_flows(0, 1, kbps(500))
+        run_one_message(sim, gq)
+
+        trace = tel.trace
+        assert {"mpi", "gara", "diffserv", "tcp", "net"} <= set(trace.layers())
+
+        # The GARA admission for the reservation was recorded.
+        admits = [e for e in trace.for_layer("gara") if e.name == "admit"]
+        assert len(admits) >= 1
+
+        # The MPI message opened a span closed by the receiver.
+        spans = trace.spans()
+        assert len(spans) == 1
+        events = trace.events_for(spans[0])
+        names = [e.name for e in events]
+        assert names[0] == "send"
+        assert names[-1] == "delivered"
+        send, delivered = events[0], events[-1]
+        assert send.fields["src_rank"] == 0
+        assert delivered.fields["dst_rank"] == 1
+        assert delivered.time > send.time
+
+        # Wire-level events carry flow identity for joining: the EF
+        # marking and the segments share the reserved flow's DSCP.
+        marks = [e for e in trace.for_layer("diffserv") if e.name == "mark"]
+        assert any(e.fields.get("dscp") == EF for e in marks)
+        assert len(trace.for_layer("tcp")) > 0
+        assert any(
+            e.fields.get("dscp") == EF for e in trace.for_layer("net")
+        )
+
+    def test_trace_predicate_and_limit(self):
+        trace = FlowTrace(predicate=lambda e: e.layer == "mpi", limit=2)
+        trace.emit(0.0, "net", "tx")
+        trace.emit(0.1, "mpi", "send")
+        trace.emit(0.2, "mpi", "send")
+        trace.emit(0.3, "mpi", "send")
+        assert len(trace) == 2
+        assert trace.dropped == 1  # third mpi event over the cap
+        assert trace.layers() == ["mpi"]
+
+
+class TestCollectAndSnapshot:
+    def test_scraped_metrics_cover_the_stack(self):
+        sim, tb, gq = pingpong_deployment()
+        tel = Telemetry()
+        tel.attach(sim)
+        tel.observe(gq)
+        gq.agent.reserve_flows(0, 1, kbps(500))
+        run_one_message(sim, gq)
+        tel.collect()
+        reg = tel.registry
+        assert reg.counter("mpi.rank0.bytes_sent").value == 10_000
+        assert reg.counter("gara.broker.admissions").value == 1
+        assert len(reg.names("tcp")) > 0  # per-connection counters
+        retrans = [n for n in reg.names("tcp") if n.endswith(".retransmits")]
+        assert retrans  # instruments exist even when the count is 0
+
+    def test_profiler_attaches_to_event_loop(self):
+        sim = Simulator(seed=1)
+        tel = Telemetry(profile=True)
+        tel.attach(sim)
+        fired = []
+        sim.call_at(1.0, lambda: fired.append(1))
+        sim.call_at(2.0, lambda: fired.append(2))
+        sim.run()
+        assert fired == [1, 2]
+        assert isinstance(sim._profiler, SimProfiler)
+        snap = tel.snapshot()
+        assert snap["profile"]["events"] >= 2
+        assert snap["profile"]["call_sites"]
+        assert snap["profile"]["heap_depth_max"] >= 1
+
+    def test_detach_restores_plain_simulator(self):
+        sim = Simulator(seed=1)
+        tel = Telemetry(trace=True, profile=True)
+        tel.attach(sim)
+        tel.detach(sim)
+        assert sim.telemetry is None
+        assert sim._profiler is None
