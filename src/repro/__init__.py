@@ -23,6 +23,9 @@ Layering (bottom-up):
 ``repro.faults``
     Fault injection (link failure, loss/corruption, chaos schedules)
     and renewable reservation leases.
+``repro.resilience``
+    Crash-tolerant control plane: write-ahead journal + replay,
+    heartbeat failure detection, two-phase co-reservation.
 ``repro.apps`` / ``repro.experiments``
     The paper's workloads and every table/figure regenerator.
 
@@ -54,12 +57,15 @@ from .core import (
     Shaper,
 )
 from .faults import ChaosSchedule, LeaseManager, ReservationLost
+from .resilience import FailureDetector, Journal, TwoPhaseCoordinator
 
 __version__ = "1.0.0"
 
 __all__ = [
     "ChaosSchedule",
     "Counter",
+    "FailureDetector",
+    "Journal",
     "LeaseManager",
     "Monitor",
     "MpichGQ",
@@ -71,6 +77,7 @@ __all__ = [
     "QosAttribute",
     "Shaper",
     "Simulator",
+    "TwoPhaseCoordinator",
     "garnet",
     "kbps",
     "mbps",

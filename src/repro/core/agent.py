@@ -55,6 +55,11 @@ class MpiQosAgent:
         #: When set, premium grants are supervised leases that survive
         #: revocation and path failure (see :mod:`repro.faults`).
         self.lease_manager = lease_manager
+        #: False while the agent's control session is crashed.
+        self.alive = True
+        # Recovery statistics (scraped by repro.telemetry).
+        self.crashes = 0
+        self.restarts = 0
         #: The keyval applications use (the paper's ``MPICH_ATM_QOS``).
         self.keyval = world.create_keyval(
             put_hook=self._on_put,
@@ -122,6 +127,7 @@ class MpiQosAgent:
         rank-to-rank direction, with the MPI flows bound. This is the
         network-level reservation (no protocol-overhead inflation) —
         what the paper's figures put on their x axes."""
+        self._require_alive()
         src_host = self.world.procs[src_rank].host
         dst_host = self.world.procs[dst_rank].host
         spec = NetworkReservationSpec(src_host, dst_host, bandwidth_bps)
@@ -147,6 +153,7 @@ class MpiQosAgent:
         """Like :meth:`reserve_flows` but as a renewable lease that
         survives revocation and path failure. Requires a
         ``lease_manager``; returns the :class:`~repro.faults.Lease`."""
+        self._require_alive()
         if self.lease_manager is None:
             raise ReservationError("agent has no lease manager attached")
         src_host = self.world.procs[src_rank].host
@@ -173,6 +180,12 @@ class MpiQosAgent:
             raise TypeError(
                 f"the MPICH_QOS attribute takes a QosAttribute, got {attr!r}"
             )
+        if not self.alive:
+            # attr_put never fails MPI-side; the attribute just records
+            # that no QoS could be arranged.
+            attr.granted = False
+            attr.error = "QoS agent control session is down"
+            return
         if attr.qosclass == QOS_BEST_EFFORT:
             attr.granted = True  # vacuously: no QoS requested
             return
@@ -298,3 +311,33 @@ class MpiQosAgent:
         attr.granted = True
         attr.error = None
         self._emit_grant("low_latency_granted", comm, flows=len(specs))
+
+    # ------------------------------------------------------------------
+    # Crash model
+    # ------------------------------------------------------------------
+
+    def _require_alive(self) -> None:
+        if not self.alive:
+            raise ReservationError("QoS agent control session is down")
+
+    def crash(self) -> None:
+        """Kill the agent's control session: QoS requests are refused
+        and lease supervision freezes (no heartbeats, no retries) until
+        :meth:`restart`. Installed enforcement keeps running."""
+        if not self.alive:
+            return
+        self.alive = False
+        self.crashes += 1
+        if self.lease_manager is not None:
+            self.lease_manager.suspend()
+
+    def restart(self) -> None:
+        """Bring the control session back and thaw lease supervision —
+        held leases resume heartbeating, degraded leases immediately
+        re-attempt admission."""
+        if self.alive:
+            return
+        self.alive = True
+        self.restarts += 1
+        if self.lease_manager is not None:
+            self.lease_manager.resume()

@@ -47,7 +47,17 @@ class MpichGQ:
         if routers is None:
             routers = [n for n in network.nodes.values() if isinstance(n, Router)]
         self.domain = DiffServDomain(self.sim, routers)
-        self.broker = BandwidthBroker(network, ef_share=ef_share)
+        #: Write-ahead journal for broker mutations (resilient only).
+        self.journal = None
+        #: Heartbeat failure detector over the broker (resilient only).
+        self.detector = None
+        if resilient:
+            from ..resilience import Journal
+
+            self.journal = Journal(name="broker-wal")
+        self.broker = BandwidthBroker(
+            network, ef_share=ef_share, journal=self.journal
+        )
         self.gara = Gara(self.sim)
         self.network_manager = DiffServNetworkManager(
             self.sim, self.domain, self.broker
@@ -67,8 +77,19 @@ class MpichGQ:
         self.lease_manager = None
         if resilient:
             from ..faults import LeaseManager
+            from ..resilience import FailureDetector
 
             self.lease_manager = LeaseManager(self.gara, network=network)
+            # Heartbeat monitoring of the broker: suspicion degrades
+            # held leases immediately; observed recovery collapses
+            # their backoff so re-admission is event-driven.
+            self.detector = FailureDetector(self.sim)
+            self.detector.watch(
+                "broker",
+                self.broker,
+                on_down=lambda watch: self.lease_manager.recheck(),
+                on_up=lambda watch: self.lease_manager.poke_degraded(),
+            )
         self.agent = MpiQosAgent(
             self.world,
             self.gara,

@@ -46,6 +46,27 @@ class _Moment:
     def restore_router(self, name) -> "ChaosSchedule":
         return self.call(self._schedule._restore_router, name)
 
+    def crash(self, component) -> "ChaosSchedule":
+        """Crash a control-plane component (broker, resource manager,
+        QoS agent...) at this instant. The component must expose
+        ``crash()``/``restart()`` methods."""
+        return self.call(self._crashable(component).crash)
+
+    def restart(self, component) -> "ChaosSchedule":
+        """Restart a previously crashed component at this instant."""
+        return self.call(self._crashable(component).restart)
+
+    @staticmethod
+    def _crashable(component):
+        if not callable(getattr(component, "crash", None)) or not callable(
+            getattr(component, "restart", None)
+        ):
+            raise TypeError(
+                f"{component!r} is not crash/restart capable "
+                "(needs crash() and restart() methods)"
+            )
+        return component
+
     def call(self, fn: Callable, *args) -> "ChaosSchedule":
         """Schedule an arbitrary callback at this instant."""
         self._schedule.sim.call_at(self._time, fn, *args)

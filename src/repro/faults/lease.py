@@ -81,6 +81,7 @@ class Lease:
         self._heartbeat_timer = None
         self._retry_timer = None
         self._expected_cancel = False
+        self._suspended = False
         self._attempt_acquire(initial=True)
 
     # -- state ------------------------------------------------------------
@@ -106,7 +107,7 @@ class Lease:
 
     def check(self) -> None:
         """Run one health check now (normally heartbeat-driven)."""
-        if self.state != LEASE_HELD:
+        if self.state != LEASE_HELD or self._suspended:
             return
         if self.sim.now >= self.deadline:
             self.close()
@@ -114,6 +115,18 @@ class Lease:
         stale = self._staleness()
         if stale is not None:
             self._degrade(stale)
+
+    def retry_now(self) -> None:
+        """Collapse a degraded lease's backoff wait and re-admit
+        immediately — used when a failure detector observes the broker
+        coming back, so recovery is event-driven instead of waiting out
+        the exponential delay."""
+        if self.state != LEASE_DEGRADED or self._suspended:
+            return
+        if self._retry_timer is not None:
+            self._retry_timer.cancel()
+            self._retry_timer = None
+        self._attempt_acquire()
 
     # -- internals ---------------------------------------------------------
 
@@ -131,6 +144,11 @@ class Lease:
             self._expected_cancel = True
             try:
                 reservation.cancel()
+            except ReservationError:
+                # A dead manager/broker cannot take the release; the
+                # claim will be reclaimed by write-behind flush or
+                # orphan GC after recovery. The lease moves on.
+                pass
             finally:
                 self._expected_cancel = False
 
@@ -139,8 +157,27 @@ class Lease:
             return None
         return self.deadline - self.sim.now
 
+    def _pause(self) -> None:
+        """Freeze supervision (agent control session crashed): stop the
+        heartbeat and any pending retry without changing lease state."""
+        if self._suspended or self.finished:
+            return
+        self._suspended = True
+        self._stop_timers()
+
+    def _resume(self) -> None:
+        """Thaw supervision after :meth:`_pause`: re-arm the heartbeat
+        (held) or retry immediately (degraded)."""
+        if not self._suspended or self.finished:
+            return
+        self._suspended = False
+        if self.state == LEASE_HELD:
+            self._arm_heartbeat()
+        elif self.state == LEASE_DEGRADED:
+            self._attempt_acquire()
+
     def _attempt_acquire(self, initial: bool = False) -> None:
-        if self.finished:
+        if self.finished or self._suspended:
             return
         if self.sim.now >= self.deadline:
             self.close()
@@ -218,6 +255,8 @@ class Lease:
         self._schedule_retry()
 
     def _schedule_retry(self) -> None:
+        if self._suspended:
+            return  # _resume() will re-attempt
         if self.retries >= self.manager.max_retries:
             self._lose()
             return
@@ -344,6 +383,12 @@ class LeaseManager:
         broker = getattr(manager, "broker", None)
         if claims_of is None or broker is None:
             return None
+        if not getattr(broker, "alive", True):
+            # Crashed broker: the claims cannot be validated (and the
+            # slot-table state backing them is gone until replay), so
+            # the lease degrades to best-effort rather than trusting a
+            # grant nobody is accounting for.
+            return "bandwidth broker down"
         claims = claims_of(reservation)
         if claims and not broker.claims_valid(claims):
             return "path failed under the reservation"
@@ -357,6 +402,32 @@ class LeaseManager:
     def _check_all(self) -> None:
         for lease in list(self.leases):
             lease.check()
+
+    # -- failure-detector / crash hooks -------------------------------------
+
+    def recheck(self) -> None:
+        """Health-check every lease now — wired to a failure detector's
+        ``on_down`` so held leases degrade as soon as the broker is
+        suspected dead instead of at the next heartbeat."""
+        self._check_all()
+
+    def poke_degraded(self) -> None:
+        """Collapse backoff on every degraded lease — wired to a
+        failure detector's ``on_up`` so re-admission happens as soon as
+        the broker is observed back."""
+        for lease in list(self.leases):
+            lease.retry_now()
+
+    def suspend(self) -> None:
+        """Freeze supervision of every lease (the owning agent's
+        control session crashed)."""
+        for lease in list(self.leases):
+            lease._pause()
+
+    def resume(self) -> None:
+        """Thaw supervision after :meth:`suspend`."""
+        for lease in list(self.leases):
+            lease._resume()
 
     def __repr__(self) -> str:
         return f"<LeaseManager {len(self.leases)} leases hb={self.heartbeat}s>"

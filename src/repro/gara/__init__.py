@@ -2,10 +2,10 @@
 Allocation — slot-table admission, reservation handles with lifecycle
 callbacks, typed resource managers, and a bandwidth broker."""
 
-from .broker import BandwidthBroker, DEFAULT_EF_SHARE
+from .broker import BandwidthBroker, BrokerUnavailable, DEFAULT_EF_SHARE
 from .cpu_manager import CpuReservationSpec, DsrtCpuManager
 from .gara import Gara, build_standard_gara
-from .manager import ResourceManager
+from .manager import ManagerUnavailable, PreparedReservation, ResourceManager
 from .network_manager import DiffServNetworkManager, NetworkReservationSpec
 from .reservation import (
     ACTIVE,
@@ -26,6 +26,7 @@ __all__ = [
     "ACTIVE",
     "AdmissionError",
     "BandwidthBroker",
+    "BrokerUnavailable",
     "CANCELLED",
     "CpuReservationSpec",
     "DEFAULT_EF_SHARE",
@@ -34,8 +35,10 @@ __all__ = [
     "DsrtCpuManager",
     "EXPIRED",
     "Gara",
+    "ManagerUnavailable",
     "NetworkReservationSpec",
     "PENDING",
+    "PreparedReservation",
     "Reservation",
     "ReservationError",
     "ResourceManager",

@@ -10,39 +10,119 @@ Each directed link egress gets a slot table whose capacity is the EF
 share of the link (premium traffic must be "carefully limited" to avoid
 starving best effort). A path admission claims the same interval/amount
 on every egress along the path, transactionally.
+
+Crash tolerance
+---------------
+The broker is a process, and processes die. With a
+:class:`~repro.resilience.Journal` attached, every committed mutation
+(path admission, release, quota change, orphan collection) is logged
+before the caller sees the result; :meth:`crash` wipes all in-memory
+state and makes every control call fail with :class:`BrokerUnavailable`,
+and :meth:`restart` replays the journal to reconstruct the exact
+pre-crash slot tables, owner usage, and quotas — entry ids included, so
+claim records held by resource managers stay valid across the restart.
+
+Entries resurrected by replay are *orphan candidates* until their
+holder re-registers them (:meth:`reregister`, normally from a
+``restart_listeners`` callback): a claim whose owner never comes back
+within ``gc_grace`` seconds is expunged by the orphan GC so a dead
+client cannot strand premium capacity forever. Releasing a claim the GC
+already expunged is a counted no-op (``stale_releases``), never an
+error — the capacity is simply already free.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..net.node import Interface, Node
 from ..net.topology import Network, RouteError
 from .reservation import ReservationError
-from .slot_table import AdmissionError, SlotTable
+from .slot_table import AdmissionError, SlotEntry, SlotTable
 
-__all__ = ["BandwidthBroker", "DEFAULT_EF_SHARE"]
+__all__ = ["BandwidthBroker", "BrokerUnavailable", "DEFAULT_EF_SHARE"]
 
 #: Fraction of each link's bandwidth admissible as EF traffic.
 DEFAULT_EF_SHARE = 0.7
 
 
-class BandwidthBroker:
-    """Admission control over the paths of a :class:`Network`."""
+class BrokerUnavailable(ReservationError):
+    """The broker is down; the control call was never processed."""
 
-    def __init__(self, network: Network, ef_share: float = DEFAULT_EF_SHARE) -> None:
+
+class BandwidthBroker:
+    """Admission control over the paths of a :class:`Network`.
+
+    Parameters
+    ----------
+    network:
+        The topology whose link egresses are brokered.
+    ef_share:
+        Fraction of each link's bandwidth admissible as premium.
+    journal:
+        Optional :class:`~repro.resilience.Journal`; when given, every
+        committed mutation is logged and :meth:`restart` replays it.
+    gc_grace:
+        Seconds after a restart before unre-registered (orphaned)
+        claims are expunged.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        ef_share: float = DEFAULT_EF_SHARE,
+        journal=None,
+        gc_grace: float = 2.0,
+    ) -> None:
         if not 0 < ef_share <= 1:
             raise ValueError("ef_share must be in (0, 1]")
+        if gc_grace < 0:
+            raise ValueError("gc_grace must be non-negative")
         self.network = network
+        self.sim = network.sim
         self.ef_share = ef_share
-        # Admission statistics (scraped by repro.telemetry).
+        self.journal = journal
+        self.gc_grace = gc_grace
+        #: False while crashed; every control call then raises
+        #: :class:`BrokerUnavailable` (releases become deaf no-ops).
+        self.alive = True
+        #: Called with the broker after every restart's journal replay;
+        #: claim holders use this to flush write-behind releases and
+        #: re-register live claims before the orphan GC grace expires.
+        self.restart_listeners: List[Callable[["BandwidthBroker"], None]] = []
+        # Admission statistics (scraped by repro.telemetry). The
+        # journal-derivable ones (admissions/releases/orphans) are
+        # volatile process state: a crash zeroes them and replay
+        # restores them; rejections are not journaled and reset to 0.
         self.admissions = 0
         self.rejections = 0
         self.releases = 0
+        # Recovery statistics (observer-side; survive crashes).
+        self.crashes = 0
+        self.restarts = 0
+        self.journal_replays = 0
+        self.stale_releases = 0
+        self.deaf_releases = 0
+        self.reregistrations = 0
+        self.orphans_collected = 0
+        self.orphan_paths_collected = 0
         self._tables: Dict[Interface, SlotTable] = {}
         # Policy: owner -> max fraction of any link's EF capacity.
         self._quotas: Dict[str, float] = {}
         self._owner_usage: Dict[Tuple[str, Interface], float] = {}
+        # Entries resurrected by replay, keyed (iface, entry_id) ->
+        # (owner, bandwidth, admit_lsn); awaiting re-registration.
+        self._orphan_candidates: Dict[
+            Tuple[Interface, int], Tuple[Optional[str], float, int]
+        ] = {}
+        self._gc_timer = None
+        #: Snapshot taken immediately after the latest replay, before
+        #: restart listeners run (recovery-equivalence checks).
+        self.last_replay_snapshot = None
+
+    def _require_alive(self) -> None:
+        if not self.alive:
+            raise BrokerUnavailable("bandwidth broker is down")
 
     def table_for(self, iface: Interface) -> SlotTable:
         table = self._tables.get(iface)
@@ -58,7 +138,10 @@ class BandwidthBroker:
         self, src: Node, dst: Node, start: float, end: float
     ) -> float:
         """Admissible premium bandwidth over the path for the interval
-        (0.0 if no working path currently exists)."""
+        (0.0 if no working path currently exists or the broker is
+        down)."""
+        if not self.alive:
+            return 0.0
         try:
             ifaces = self.network.path_interfaces(src, dst)
         except RouteError:
@@ -72,8 +155,10 @@ class BandwidthBroker:
 
         A claim on a downed interface reserves capacity on a path that
         no longer exists — the holder must release it and re-admit on
-        the rerouted path.
+        the rerouted path. A dead broker validates nothing.
         """
+        if not self.alive:
+            return False
         return all(iface.up for iface, _entry, _owner, _bw in claimed)
 
     # -- policy ----------------------------------------------------------
@@ -82,9 +167,12 @@ class BandwidthBroker:
         """Cap ``owner`` at ``fraction`` of any link's EF capacity
         (policy-driven management). Owners without a quota are bounded
         only by the capacity itself."""
+        self._require_alive()
         if not 0 < fraction <= 1:
             raise ValueError("quota fraction must be in (0, 1]")
         self._quotas[owner] = fraction
+        if self.journal is not None:
+            self.journal.append("quota", owner=owner, fraction=fraction)
 
     def quota_of(self, owner: Optional[str]) -> Optional[float]:
         return None if owner is None else self._quotas.get(owner)
@@ -119,11 +207,18 @@ class BandwidthBroker:
         """Claim ``bandwidth`` on every egress from ``src`` to ``dst``.
 
         All-or-nothing: on any failure (capacity or policy quota),
-        already-claimed entries are rolled back and
+        already-claimed entries are rolled back — per-owner usage is
+        restored to its *exact* prior value, not arithmetically
+        decremented, so repeated-link paths and adversarial float
+        magnitudes cannot leave residue — and
         :class:`ReservationError` is raised. Returns the claim records
         for later release.
         """
+        self._require_alive()
         claimed: List[Tuple[Interface, int, Optional[str], float]] = []
+        # Exact-rollback snapshot of every (owner, iface) usage value
+        # this admission touches (None = key absent before).
+        usage_before: Dict[Tuple[str, Interface], Optional[float]] = {}
         try:
             ifaces = self.network.path_interfaces(src, dst)
         except RouteError as exc:
@@ -134,18 +229,38 @@ class BandwidthBroker:
                 entry = self.table_for(iface).add(start, end, bandwidth)
                 if owner is not None:
                     key = (owner, iface)
+                    if key not in usage_before:
+                        usage_before[key] = self._owner_usage.get(key)
                     self._owner_usage[key] = (
                         self._owner_usage.get(key, 0.0) + bandwidth
                     )
                 claimed.append((iface, entry, owner, bandwidth))
         except (AdmissionError, ReservationError) as exc:
-            self.release(claimed, count=False)
+            for iface, entry, _owner, _bw in claimed:
+                self.table_for(iface).remove(entry)
+            for key, value in usage_before.items():
+                if value is None:
+                    self._owner_usage.pop(key, None)
+                else:
+                    self._owner_usage[key] = value
             self.rejections += 1
             self._emit_admission("reject", src, dst, bandwidth, error=str(exc))
             if isinstance(exc, ReservationError):
                 raise
             raise ReservationError(str(exc)) from exc
         self.admissions += 1
+        if self.journal is not None:
+            self.journal.append(
+                "admit",
+                owner=owner,
+                bandwidth=bandwidth,
+                start=start,
+                end=end,
+                claims=tuple(
+                    (iface.node.name, iface.name, entry)
+                    for iface, entry, _o, _bw in claimed
+                ),
+            )
         self._emit_admission(
             "admit", src, dst, bandwidth, hops=len(claimed)
         )
@@ -162,15 +277,218 @@ class BandwidthBroker:
                 src=src.name, dst=dst.name, bandwidth=bandwidth, **fields,
             )
 
+    def _emit(self, name: str, **fields) -> None:
+        tel = self.sim.telemetry
+        if tel is not None and tel.trace is not None:
+            tel.trace.emit(self.sim.now, "gara", name, **fields)
+
     def release(self, claimed, count: bool = True) -> None:
-        if count and claimed:
-            self.releases += 1
+        """Free the given claim records.
+
+        Crash-safe semantics: claims the orphan GC already expunged are
+        counted no-ops (``stale_releases``), and a release sent to a
+        dead broker is a deaf no-op (``deaf_releases``) — the caller's
+        resource manager queues it and flushes on restart.
+        """
+        if not claimed:
+            return
+        if not self.alive:
+            self.deaf_releases += 1
+            return
+        removed = []
+        stale = 0
         for iface, entry, owner, bandwidth in claimed:
-            self.table_for(iface).remove(entry)
-            if owner is not None:
-                key = (owner, iface)
-                remaining = self._owner_usage.get(key, 0.0) - bandwidth
-                if remaining <= 1e-9:
-                    self._owner_usage.pop(key, None)
-                else:
-                    self._owner_usage[key] = remaining
+            if self._forget_claim(iface, entry, owner, bandwidth):
+                removed.append(
+                    (iface.node.name, iface.name, entry, owner, bandwidth)
+                )
+            else:
+                stale += 1
+        self.stale_releases += stale
+        counted = bool(count and removed)
+        if counted:
+            self.releases += 1
+        if removed and self.journal is not None:
+            self.journal.append(
+                "release", entries=tuple(removed), counted=counted
+            )
+
+    def _forget_claim(
+        self,
+        iface: Interface,
+        entry_id: int,
+        owner: Optional[str],
+        bandwidth: float,
+    ) -> bool:
+        """Remove one claim entry and its usage; False if already gone.
+
+        Shared by live release, journal replay, and the orphan GC so
+        all three produce bit-identical float accounting.
+        """
+        table = self.table_for(iface)
+        if entry_id not in table:
+            return False
+        table.remove(entry_id)
+        if owner is not None:
+            key = (owner, iface)
+            remaining = self._owner_usage.get(key, 0.0) - bandwidth
+            if remaining <= 1e-9:
+                self._owner_usage.pop(key, None)
+            else:
+                self._owner_usage[key] = remaining
+        return True
+
+    # -- crash / recovery ----------------------------------------------------
+
+    def snapshot(self):
+        """Canonical committed state (non-empty slot tables, per-owner
+        usage, quotas) for recovery-equivalence checks."""
+        tables = tuple(
+            sorted(
+                table.snapshot()
+                for table in self._tables.values()
+                if len(table)
+            )
+        )
+        usage = tuple(
+            sorted(
+                (owner, iface.node.name, iface.name, value)
+                for (owner, iface), value in self._owner_usage.items()
+            )
+        )
+        quotas = tuple(sorted(self._quotas.items()))
+        return (tables, usage, quotas)
+
+    def crash(self) -> None:
+        """Kill the broker process: all in-memory state (slot tables,
+        owner usage, quotas, journal-derivable statistics) is lost; the
+        journal, being stable storage, survives. Idempotent."""
+        if not self.alive:
+            return
+        self.alive = False
+        self.crashes += 1
+        self._tables.clear()
+        self._quotas.clear()
+        self._owner_usage.clear()
+        self._orphan_candidates.clear()
+        self.admissions = 0
+        self.rejections = 0
+        self.releases = 0
+        self.orphans_collected = 0
+        self.orphan_paths_collected = 0
+        if self._gc_timer is not None:
+            self._gc_timer.cancel()
+            self._gc_timer = None
+        self._emit("broker_crash")
+
+    def restart(self) -> None:
+        """Bring the broker back: replay the journal to reconstruct the
+        exact pre-crash state, notify ``restart_listeners`` (who flush
+        queued releases and re-register live claims), then start the
+        orphan-GC grace window for whatever nobody re-registered."""
+        if self.alive:
+            return
+        self.alive = True
+        self.restarts += 1
+        origins: Dict[Tuple[Interface, int], Tuple[Optional[str], float, int]] = {}
+        replayed = 0
+        if self.journal is not None:
+            for record in self.journal.records:
+                self._replay(record, origins)
+                replayed += 1
+        self.journal_replays += replayed
+        self._orphan_candidates = origins
+        self.last_replay_snapshot = self.snapshot()
+        self._emit(
+            "broker_restart",
+            replayed=replayed,
+            resurrected=len(origins),
+        )
+        for listener in list(self.restart_listeners):
+            listener(self)
+        if self._orphan_candidates:
+            self._gc_timer = self.sim.call_in(
+                self.gc_grace, self._collect_orphans
+            )
+
+    def reregister(self, claimed) -> int:
+        """A claim holder proves liveness for its claim records after a
+        restart; re-registered entries are no longer orphan candidates.
+        Returns how many candidate entries this call rescued."""
+        self._require_alive()
+        rescued = 0
+        for iface, entry, _owner, _bw in claimed:
+            if self._orphan_candidates.pop((iface, entry), None) is not None:
+                rescued += 1
+        self.reregistrations += rescued
+        return rescued
+
+    def _iface(self, node_name: str, iface_name: str) -> Interface:
+        node = self.network._resolve(node_name)
+        for iface in node.interfaces:
+            if iface.name == iface_name:
+                return iface
+        raise KeyError(f"no interface {iface_name!r} on node {node_name!r}")
+
+    def _replay(self, record, origins) -> None:
+        op, fields = record.op, record.fields
+        if op == "quota":
+            self._quotas[fields["owner"]] = fields["fraction"]
+        elif op == "admit":
+            owner = fields["owner"]
+            bandwidth = fields["bandwidth"]
+            for node_name, iface_name, entry_id in fields["claims"]:
+                iface = self._iface(node_name, iface_name)
+                self.table_for(iface).restore(
+                    SlotEntry(
+                        entry_id, fields["start"], fields["end"], bandwidth
+                    )
+                )
+                if owner is not None:
+                    key = (owner, iface)
+                    self._owner_usage[key] = (
+                        self._owner_usage.get(key, 0.0) + bandwidth
+                    )
+                origins[(iface, entry_id)] = (owner, bandwidth, record.lsn)
+            self.admissions += 1
+        elif op in ("release", "gc"):
+            paths = set()
+            for node_name, iface_name, entry_id, owner, bandwidth in fields[
+                "entries"
+            ]:
+                iface = self._iface(node_name, iface_name)
+                self._forget_claim(iface, entry_id, owner, bandwidth)
+                origin = origins.pop((iface, entry_id), None)
+                if origin is not None:
+                    paths.add(origin[2])
+            if op == "release":
+                if fields["counted"]:
+                    self.releases += 1
+            else:
+                self.orphans_collected += len(fields["entries"])
+                self.orphan_paths_collected += fields["paths"]
+        else:  # pragma: no cover - future-proofing
+            raise ValueError(f"unknown journal record op {op!r}")
+
+    def _collect_orphans(self) -> None:
+        self._gc_timer = None
+        candidates, self._orphan_candidates = self._orphan_candidates, {}
+        if not self.alive or not candidates:
+            return
+        expunged = []
+        paths = set()
+        for (iface, entry_id), (owner, bandwidth, lsn) in candidates.items():
+            if self._forget_claim(iface, entry_id, owner, bandwidth):
+                expunged.append(
+                    (iface.node.name, iface.name, entry_id, owner, bandwidth)
+                )
+                paths.add(lsn)
+        if not expunged:
+            return
+        self.orphans_collected += len(expunged)
+        self.orphan_paths_collected += len(paths)
+        if self.journal is not None:
+            self.journal.append(
+                "gc", entries=tuple(expunged), paths=len(paths)
+            )
+        self._emit("orphan_gc", entries=len(expunged), paths=len(paths))

@@ -4,7 +4,10 @@
 reservations of different resources in uniform ways. For example,
 essentially the same calls are used to make an immediate or advance
 reservation of a network or CPU resource" (§4.2). Co-reservation is
-all-or-nothing across resource types.
+all-or-nothing across resource types, run as a two-phase commit
+(prepare every branch, then commit every branch) so a crashed manager
+mid-transaction cannot strand claims, and idempotency keys make
+retries after a lost acknowledgement safe.
 """
 
 from __future__ import annotations
@@ -12,6 +15,7 @@ from __future__ import annotations
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..kernel import Simulator
+from ..resilience.twophase import TwoPhaseCoordinator
 from .cpu_manager import CpuReservationSpec, DsrtCpuManager
 from .manager import ResourceManager
 from .network_manager import DiffServNetworkManager, NetworkReservationSpec
@@ -33,6 +37,8 @@ class Gara:
     def __init__(self, sim: Simulator) -> None:
         self.sim = sim
         self._managers: Dict[str, ResourceManager] = {}
+        #: Two-phase commit driver for co-reservations.
+        self.coordinator = TwoPhaseCoordinator(self)
 
     def register_manager(self, manager: ResourceManager) -> None:
         if manager.resource_type in self._managers:
@@ -49,11 +55,14 @@ class Gara:
                 f"no resource manager for {resource_type!r}"
             ) from None
 
-    def _manager_for_spec(self, spec: Any) -> ResourceManager:
+    def manager_for_spec(self, spec: Any) -> ResourceManager:
         for klass, rtype in _SPEC_TYPES.items():
             if isinstance(spec, klass):
                 return self.manager(rtype)
         raise ReservationError(f"unknown reservation spec type: {type(spec)}")
+
+    # Backwards-compatible private alias.
+    _manager_for_spec = manager_for_spec
 
     # -- uniform API -----------------------------------------------------
 
@@ -65,25 +74,27 @@ class Gara:
     ) -> Reservation:
         """Immediate (``start=None``) or advance reservation of any
         registered resource type."""
-        return self._manager_for_spec(spec).request(spec, start, duration)
+        return self.manager_for_spec(spec).request(spec, start, duration)
 
     def reserve_many(
-        self, requests: List[Tuple[Any, Optional[float], Optional[float]]]
+        self,
+        requests: List[Tuple[Any, Optional[float], Optional[float]]],
+        idempotency_key: Optional[str] = None,
     ) -> List[Reservation]:
         """Co-reservation: each item is ``(spec, start, duration)``.
 
-        All-or-nothing — on any admission failure, reservations already
-        granted in this call are cancelled and the error propagates.
+        All-or-nothing via two-phase commit: every branch is prepared
+        (capacity claimed, nothing enabled), then every branch is
+        committed. Any veto — admission failure or a manager that does
+        not answer within the coordinator's phase timeout — aborts the
+        transaction with zero residual claims, and the error
+        propagates. With ``idempotency_key``, retrying a transaction
+        whose acknowledgement was lost returns the recorded outcome
+        instead of double-booking the resources.
         """
-        granted: List[Reservation] = []
-        try:
-            for spec, start, duration in requests:
-                granted.append(self.reserve(spec, start, duration))
-        except ReservationError:
-            for reservation in granted:
-                reservation.cancel()
-            raise
-        return granted
+        return self.coordinator.co_reserve(
+            requests, idempotency_key=idempotency_key
+        )
 
     def cancel(self, reservation: Reservation) -> None:
         reservation.manager.cancel(reservation)

@@ -9,6 +9,19 @@ to instantiate a new resource interface" (§4.2).
 
 Concrete managers (DiffServ network, DSRT CPU, DPSS storage) override
 the four ``_do_*`` hooks.
+
+Two-phase participation: a manager is also a branch participant in
+two-phase co-reservations (:class:`~repro.resilience.TwoPhaseCoordinator`).
+:meth:`prepare` admits against the slot table *without* registering or
+enabling anything; :meth:`commit` finalises (registers, arms timers,
+installs enforcement) and :meth:`abort` releases the claim. A plain
+:meth:`request` is simply prepare immediately followed by commit.
+
+Crash model: :meth:`crash` marks the manager's control session dead —
+every control call then raises :class:`ManagerUnavailable` until
+:meth:`restart`. The manager's slot tables are modelled as durable
+(they survive the restart); only its availability is interrupted. The
+broker demonstrates the full lose-state-and-replay recovery path.
 """
 
 from __future__ import annotations
@@ -25,7 +38,32 @@ from .reservation import (
     ReservationError,
 )
 
-__all__ = ["ResourceManager"]
+__all__ = ["ManagerUnavailable", "PreparedReservation", "ResourceManager"]
+
+
+class ManagerUnavailable(ReservationError):
+    """The resource manager is down; the control call never ran."""
+
+
+class PreparedReservation:
+    """Phase-one branch of a two-phase co-reservation.
+
+    Holds the admitted-but-dormant reservation between prepare and
+    commit/abort. States: ``prepared`` -> ``committed`` | ``aborted``.
+    """
+
+    __slots__ = ("manager", "reservation", "state")
+
+    def __init__(self, manager: "ResourceManager", reservation: Reservation) -> None:
+        self.manager = manager
+        self.reservation = reservation
+        self.state = "prepared"
+
+    def __repr__(self) -> str:
+        return (
+            f"<PreparedReservation {self.state} "
+            f"{self.manager.resource_type} #{self.reservation.reservation_id}>"
+        )
 
 
 class ResourceManager:
@@ -36,6 +74,11 @@ class ResourceManager:
 
     def __init__(self, sim: Simulator) -> None:
         self.sim = sim
+        #: False while the control session is crashed.
+        self.alive = True
+        # Recovery statistics (scraped by repro.telemetry).
+        self.crashes = 0
+        self.restarts = 0
         self._reservations: Dict[int, Reservation] = {}
         self._timers: Dict[int, list] = {}
 
@@ -81,6 +124,18 @@ class ResourceManager:
 
         ``duration=None`` holds the reservation until cancelled.
         """
+        return self.commit(self.prepare(spec, start, duration))
+
+    def prepare(
+        self,
+        spec: Any,
+        start: Optional[float] = None,
+        duration: Optional[float] = None,
+    ) -> PreparedReservation:
+        """Phase one: admit against the slot table without registering,
+        arming timers, or enabling enforcement. The claimed capacity is
+        held until :meth:`commit` or :meth:`abort`."""
+        self._require_alive()
         now = self.sim.now
         start_t = now if start is None else float(start)
         if start_t < now:
@@ -90,18 +145,47 @@ class ResourceManager:
             raise ReservationError("duration must be positive")
         reservation = Reservation(self, spec, start_t, end_t)
         self._do_admit(spec, start_t, end_t, reservation)  # may raise
+        return PreparedReservation(self, reservation)
+
+    def commit(self, prepared: PreparedReservation) -> Reservation:
+        """Phase two: finalise a prepared branch — register the
+        reservation, arm its start/expiry timers, and enable
+        enforcement if the start time has arrived."""
+        self._require_alive()
+        if prepared.state != "prepared":
+            raise ReservationError(
+                f"cannot commit a {prepared.state} transaction branch"
+            )
+        prepared.state = "committed"
+        reservation = prepared.reservation
         self._reservations[reservation.reservation_id] = reservation
+        now = self.sim.now
         timers = []
-        if start_t <= now:
+        if reservation.start <= now:
             self._enable(reservation)
         else:
-            timers.append(self.sim.call_at(start_t, self._enable, reservation))
-        if end_t != float("inf"):
-            timers.append(self.sim.call_at(end_t, self._expire, reservation))
+            timers.append(
+                self.sim.call_at(reservation.start, self._enable, reservation)
+            )
+        if reservation.end != float("inf"):
+            timers.append(
+                self.sim.call_at(reservation.end, self._expire, reservation)
+            )
         self._timers[reservation.reservation_id] = timers
         return reservation
 
+    def abort(self, prepared: PreparedReservation) -> None:
+        """Roll a prepared branch back, releasing its claim. Idempotent
+        — aborting a committed or already-aborted branch is a no-op
+        (a committed branch is rolled back via :meth:`cancel`)."""
+        if prepared.state != "prepared":
+            return
+        prepared.state = "aborted"
+        self._do_release(prepared.reservation)
+        prepared.reservation._transition(CANCELLED)
+
     def cancel(self, reservation: Reservation) -> None:
+        self._require_alive()
         if reservation.state in (CANCELLED, EXPIRED):
             return
         if reservation.state == ACTIVE:
@@ -111,16 +195,45 @@ class ResourceManager:
         reservation._transition(CANCELLED)
 
     def modify(self, reservation: Reservation, **changes: Any) -> None:
+        self._require_alive()
         if reservation.state in (CANCELLED, EXPIRED):
             raise ReservationError(f"cannot modify {reservation.state} reservation")
         self._do_modify(reservation, changes)
 
     def bind(self, reservation: Reservation, binding: Any) -> None:
         """Bind a flow/process to the reservation (claim step)."""
+        self._require_alive()
         if reservation.state in (CANCELLED, EXPIRED):
             raise ReservationError(f"cannot bind to {reservation.state} reservation")
         reservation.bindings.append(binding)
         self._do_bind(reservation, binding)
+
+    # ------------------------------------------------------------------
+    # Crash model
+    # ------------------------------------------------------------------
+
+    def _require_alive(self) -> None:
+        if not self.alive:
+            raise ManagerUnavailable(
+                f"{self.resource_type} resource manager is down"
+            )
+
+    def crash(self) -> None:
+        """Kill the control session: every control call raises
+        :class:`ManagerUnavailable` until :meth:`restart`. Enforcement
+        already installed in the data plane keeps running. Idempotent."""
+        if not self.alive:
+            return
+        self.alive = False
+        self.crashes += 1
+
+    def restart(self) -> None:
+        """Bring the control session back (slot-table state is modelled
+        as durable for managers). Idempotent."""
+        if self.alive:
+            return
+        self.alive = True
+        self.restarts += 1
 
     def reservations(self) -> list:
         return list(self._reservations.values())

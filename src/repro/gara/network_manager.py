@@ -75,6 +75,10 @@ class DiffServNetworkManager(ResourceManager):
         self.broker = broker
         self._claims: Dict[int, list] = {}
         self._handles: Dict[int, Any] = {}
+        # Releases that found the broker dead, queued write-behind and
+        # flushed when the broker re-registers us via restart_listeners.
+        self._pending_releases: list = []
+        broker.restart_listeners.append(self._on_broker_restart)
 
     # -- ResourceManager hooks ---------------------------------------------
 
@@ -88,8 +92,29 @@ class DiffServNetworkManager(ResourceManager):
 
     def _do_release(self, reservation) -> None:
         claims = self._claims.pop(reservation.reservation_id, None)
-        if claims:
+        if not claims:
+            return
+        if self.broker.alive:
             self.broker.release(claims)
+        else:
+            # The broker lost these entries with its in-memory state,
+            # but journal replay will resurrect them at restart; queue
+            # the release so the flush (not the orphan GC grace) frees
+            # the capacity.
+            self._pending_releases.append(claims)
+
+    def _on_broker_restart(self, broker) -> None:
+        """Claim-holder half of broker recovery: flush write-behind
+        releases, then prove liveness for every claim still held. A
+        crashed manager cannot answer — its claims stay orphan
+        candidates and the GC expunges them after the grace window."""
+        if not self.alive:
+            return
+        pending, self._pending_releases = self._pending_releases, []
+        for claims in pending:
+            broker.release(claims)
+        for claims in self._claims.values():
+            broker.reregister(claims)
 
     def _do_enable(self, reservation) -> None:
         spec: NetworkReservationSpec = reservation.spec

@@ -48,9 +48,27 @@ class SlotTable:
     def __len__(self) -> int:
         return len(self._entries)
 
+    def __contains__(self, entry_id: int) -> bool:
+        return entry_id in self._entries
+
     @property
     def entries(self) -> List[SlotEntry]:
         return list(self._entries.values())
+
+    def snapshot(self) -> Tuple:
+        """Canonical value of the committed state (capacity plus every
+        entry), used to assert recovery equivalence: a journal replay
+        must reproduce this exactly."""
+        return (
+            self.name,
+            self.capacity,
+            tuple(
+                sorted(
+                    (e.entry_id, e.start, e.end, e.amount)
+                    for e in self._entries.values()
+                )
+            ),
+        )
 
     def usage_at(self, time: float) -> float:
         """Total committed amount at instant ``time``."""
@@ -100,6 +118,22 @@ class SlotTable:
         self._entries[entry_id] = SlotEntry(entry_id, start, end, amount)
         self.admitted_total += 1
         return entry_id
+
+    def restore(self, entry: SlotEntry) -> None:
+        """Re-insert a previously granted entry during journal replay.
+
+        No admission check runs — the entry was admitted when first
+        granted and replay must reconstruct that decision verbatim,
+        preserving the original entry id so claim records held by
+        resource managers stay valid across the restart.
+        """
+        if entry.entry_id in self._entries:
+            raise ValueError(
+                f"{self.name or 'slot table'}: entry {entry.entry_id} "
+                "already present"
+            )
+        self._entries[entry.entry_id] = entry
+        self.admitted_total += 1
 
     def remove(self, entry_id: int) -> None:
         if entry_id not in self._entries:

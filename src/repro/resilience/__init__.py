@@ -1,0 +1,40 @@
+"""Crash-tolerant GARA control plane.
+
+PR 1 (``repro.faults``) made the *data plane* survive faults — link
+flaps, loss, lease-based re-admission. This package does the same for
+the *control plane*, whose components (bandwidth broker, resource
+managers, the MPI QoS agent's control session) were previously immortal
+by assumption:
+
+``repro.resilience.journal``
+    :class:`Journal`: a write-ahead log of committed slot-table
+    mutations; replaying it after a crash reconstructs the exact
+    pre-crash broker state.
+``repro.resilience.detector``
+    :class:`FailureDetector`: timeout-based heartbeat supervision with
+    seeded-deterministic timing; drives the lease machinery's
+    degrade-to-best-effort / re-admit-on-recovery transitions.
+``repro.resilience.twophase``
+    :class:`TwoPhaseCoordinator`: prepare/commit/abort co-reservations
+    across resource managers with per-phase timeouts, rollback on
+    partial failure, and idempotency keys.
+
+Crash/restart of the components themselves lives with the components
+(``BandwidthBroker.crash()``/``restart()``, ``ResourceManager.crash()``,
+``MpiQosAgent.crash()``) and is scripted through
+:class:`repro.faults.ChaosSchedule`'s ``at(t).crash(component)``.
+"""
+
+from .detector import FailureDetector, Watch, WATCH_DOWN, WATCH_UP
+from .journal import Journal, JournalRecord
+from .twophase import TwoPhaseCoordinator
+
+__all__ = [
+    "FailureDetector",
+    "Journal",
+    "JournalRecord",
+    "TwoPhaseCoordinator",
+    "WATCH_DOWN",
+    "WATCH_UP",
+    "Watch",
+]

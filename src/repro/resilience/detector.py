@@ -1,0 +1,184 @@
+"""Timeout-based heartbeat failure detection for control-plane peers.
+
+MPICH-G2's wide-area setting makes component failure the norm, so the
+QoS layer cannot assume the broker answers. A :class:`FailureDetector`
+models the standard heartbeat protocol: every watched component is
+polled on a (seeded-jittered) interval — each poll of a live component
+counts as a received heartbeat — and a component whose last heartbeat
+is older than ``timeout`` is *suspected* (marked DOWN) exactly once
+until it heartbeats again, at which point it is marked UP and the
+recovery callback fires.
+
+All jitter is drawn from the simulator's seeded RNG, so suspicion and
+recovery timestamps are reproducible for a fixed seed. The lease-aware
+MPI QoS agent wires ``on_down``/``on_up`` into the lease machinery:
+suspicion triggers the degrade-to-best-effort path immediately (rather
+than waiting for each lease's own heartbeat) and recovery collapses the
+leases' exponential backoff so re-admission happens promptly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional
+
+from ..kernel import Simulator
+
+__all__ = ["FailureDetector", "Watch", "WATCH_UP", "WATCH_DOWN"]
+
+WATCH_UP = "UP"
+WATCH_DOWN = "DOWN"
+
+
+class Watch:
+    """One monitored component (anything exposing an ``alive`` flag)."""
+
+    def __init__(
+        self,
+        detector: "FailureDetector",
+        name: str,
+        component: Any,
+        on_down: Optional[Callable[["Watch"], None]],
+        on_up: Optional[Callable[["Watch"], None]],
+    ) -> None:
+        self.detector = detector
+        self.name = name
+        self.component = component
+        self.on_down = on_down
+        self.on_up = on_up
+        self.state = WATCH_UP
+        self.last_heartbeat = detector.sim.now
+        #: Simulation time of the most recent suspicion (None = never).
+        self.suspected_at: Optional[float] = None
+        # Statistics (scraped by repro.telemetry).
+        self.suspicions = 0
+        self.recoveries = 0
+        self._timer = None
+        self._closed = False
+        self._arm()
+
+    @property
+    def suspected(self) -> bool:
+        return self.state == WATCH_DOWN
+
+    def close(self) -> None:
+        """Stop monitoring this component."""
+        self._closed = True
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    # -- internals ---------------------------------------------------------
+
+    def _arm(self) -> None:
+        self._timer = self.detector.sim.call_in(
+            self.detector._poll_delay(), self._tick
+        )
+
+    def _tick(self) -> None:
+        self._timer = None
+        if self._closed:
+            return
+        sim = self.detector.sim
+        if bool(getattr(self.component, "alive", True)):
+            self.last_heartbeat = sim.now
+            if self.state == WATCH_DOWN:
+                self.state = WATCH_UP
+                self.recoveries += 1
+                self.detector.recoveries += 1
+                self.detector._emit("peer_up", peer=self.name)
+                if self.on_up is not None:
+                    self.on_up(self)
+        elif (
+            self.state == WATCH_UP
+            and sim.now - self.last_heartbeat >= self.detector.timeout - 1e-12
+        ):
+            self.state = WATCH_DOWN
+            self.suspected_at = sim.now
+            self.suspicions += 1
+            self.detector.suspicions += 1
+            self.detector._emit(
+                "peer_down", peer=self.name,
+                silent_for=sim.now - self.last_heartbeat,
+            )
+            if self.on_down is not None:
+                self.on_down(self)
+        self._arm()
+
+    def __repr__(self) -> str:
+        return f"<Watch {self.name} {self.state} suspicions={self.suspicions}>"
+
+
+class FailureDetector:
+    """Heartbeat supervision over a set of control-plane components.
+
+    Parameters
+    ----------
+    sim:
+        The simulator whose clock and seeded RNG drive polling.
+    interval:
+        Seconds between heartbeat polls of each watch.
+    timeout:
+        A component silent for at least this long is suspected. Must
+        exceed ``interval`` or a single missed poll trips the detector.
+    jitter:
+        Uniform ±fraction applied to each poll delay (decorrelates
+        watches; drawn from the simulator RNG for reproducibility).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        interval: float = 0.25,
+        timeout: float = 0.8,
+        jitter: float = 0.1,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        if timeout < interval:
+            raise ValueError("timeout must be at least the poll interval")
+        if not 0 <= jitter < 1:
+            raise ValueError("jitter must be in [0, 1)")
+        self.sim = sim
+        self.interval = interval
+        self.timeout = timeout
+        self.jitter = jitter
+        self.watches: List[Watch] = []
+        # Statistics (scraped by repro.telemetry).
+        self.suspicions = 0
+        self.recoveries = 0
+
+    def watch(
+        self,
+        name: str,
+        component: Any,
+        on_down: Optional[Callable[[Watch], None]] = None,
+        on_up: Optional[Callable[[Watch], None]] = None,
+    ) -> Watch:
+        """Supervise ``component`` (anything with an ``alive`` flag)."""
+        watch = Watch(self, name, component, on_down, on_up)
+        self.watches.append(watch)
+        return watch
+
+    def close(self) -> None:
+        """Stop all watches."""
+        for watch in self.watches:
+            watch.close()
+
+    # -- internals ---------------------------------------------------------
+
+    def _poll_delay(self) -> float:
+        delay = self.interval
+        if self.jitter:
+            delay *= 1.0 + self.jitter * (2.0 * self.sim.rng.random() - 1.0)
+        return delay
+
+    def _emit(self, name: str, **fields: Any) -> None:
+        tel = self.sim.telemetry
+        if tel is not None and tel.trace is not None:
+            tel.trace.emit(self.sim.now, "gara", name, **fields)
+
+    def __repr__(self) -> str:
+        return (
+            f"<FailureDetector {len(self.watches)} watches "
+            f"interval={self.interval}s timeout={self.timeout}s>"
+        )

@@ -1,0 +1,95 @@
+"""Write-ahead journal for control-plane state.
+
+The GARA control plane (broker, resource managers) is the only place
+where reservation state lives; the paper's architecture assumes it
+never dies. :class:`Journal` models the durable log such a service
+would keep: every committed slot-table mutation (admission, release,
+quota change, orphan collection) is appended as a :class:`JournalRecord`
+before the caller observes the result, and a restarted component
+replays the log to reconstruct the exact pre-crash state.
+
+Design notes
+------------
+* Records are append-only and totally ordered by an LSN (log sequence
+  number). Replay is a pure left fold over ``records``.
+* Only *committed* mutations are journaled. A failed multi-link
+  admission rolls its partial claims back to the exact prior state
+  (see :meth:`repro.gara.BandwidthBroker.admit_path`), so omitting it
+  from the log keeps log replay and live execution convergent.
+* The journal survives a :meth:`crash` of its owner by construction —
+  it is a separate object, the simulation analogue of a write-ahead
+  log on stable storage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, List, Mapping, Tuple
+
+__all__ = ["Journal", "JournalRecord"]
+
+
+@dataclass(frozen=True)
+class JournalRecord:
+    """One committed control-plane mutation.
+
+    ``op`` is the record type (``"admit"``, ``"release"``, ``"quota"``,
+    ``"gc"``); ``fields`` holds the op-specific payload with plain
+    (string/number/tuple) values so a record never pins live simulation
+    objects — interfaces are named ``(node, iface)`` and re-resolved at
+    replay time.
+    """
+
+    lsn: int
+    op: str
+    fields: Mapping[str, Any]
+
+    def __repr__(self) -> str:
+        return f"<JournalRecord #{self.lsn} {self.op} {dict(self.fields)!r}>"
+
+
+class Journal:
+    """An append-only, replayable log of control-plane mutations."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._records: List[JournalRecord] = []
+        self._next_lsn = 1
+        #: Total records ever appended (scraped by repro.telemetry).
+        self.appends_total = 0
+
+    def append(self, op: str, **fields: Any) -> JournalRecord:
+        """Durably log one committed mutation and return its record."""
+        record = JournalRecord(self._next_lsn, op, fields)
+        self._next_lsn += 1
+        self._records.append(record)
+        self.appends_total += 1
+        return record
+
+    @property
+    def records(self) -> Tuple[JournalRecord, ...]:
+        """The log in LSN order."""
+        return tuple(self._records)
+
+    @property
+    def last_lsn(self) -> int:
+        """LSN of the newest record (0 when the log is empty)."""
+        return self._records[-1].lsn if self._records else 0
+
+    def replay(self, apply: Callable[[JournalRecord], None]) -> int:
+        """Left-fold ``apply`` over the log; returns records replayed."""
+        for record in self._records:
+            apply(record)
+        return len(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self):
+        return iter(self._records)
+
+    def __repr__(self) -> str:
+        return (
+            f"<Journal {self.name or 'unnamed'} {len(self._records)} records "
+            f"last_lsn={self.last_lsn}>"
+        )

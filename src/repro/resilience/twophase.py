@@ -1,0 +1,142 @@
+"""Two-phase commit for co-reservations.
+
+GARA's co-reservations span resource managers (network + CPU +
+storage). The original facade granted them sequentially and cancelled
+on failure — safe only while every manager is immortal: a manager that
+dies after granting leaves claims stranded, and a caller that retries
+after a lost acknowledgement double-books capacity.
+
+:class:`TwoPhaseCoordinator` makes co-reservation a transaction:
+
+1. **Prepare** — every branch manager admits the request against its
+   slot table (claiming capacity) but does *not* enable enforcement or
+   register the reservation. A branch that cannot admit, or whose
+   manager does not answer within ``prepare_timeout``, vetoes the
+   transaction.
+2. **Commit** — once every branch is prepared, each branch is
+   committed: the reservation registers, timers arm, enforcement
+   installs.
+3. **Abort** — on any veto, every prepared branch releases its claim;
+   the conservation invariant is that an aborted transaction leaves
+   zero residual claims on any manager.
+
+Control calls are synchronous in the simulation (the control plane
+answers within one event), so an *unresponsive* manager is modelled by
+its ``alive`` flag: a dead manager never answers, the coordinator's
+per-phase timeout budget expires, and the branch counts as a veto
+(``prepare_timeouts``/``commit_timeouts``).
+
+**Idempotency keys** make retries safe: a caller that never saw the
+commit acknowledgement retries with the same key and receives the
+recorded outcome instead of booking the links twice. Aborted keys are
+forgotten (the abort left no claims, so a retry may genuinely try
+again).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..gara.reservation import Reservation, ReservationError
+
+__all__ = ["TwoPhaseCoordinator"]
+
+
+class TwoPhaseCoordinator:
+    """Prepare/commit/abort orchestration over a Gara facade."""
+
+    def __init__(
+        self,
+        gara: Any,
+        prepare_timeout: float = 0.5,
+        commit_timeout: float = 0.5,
+    ) -> None:
+        if prepare_timeout <= 0 or commit_timeout <= 0:
+            raise ValueError("phase timeouts must be positive")
+        self.gara = gara
+        self.sim = gara.sim
+        self.prepare_timeout = prepare_timeout
+        self.commit_timeout = commit_timeout
+        # Statistics (scraped by repro.telemetry).
+        self.transactions = 0
+        self.committed = 0
+        self.aborted = 0
+        self.prepare_timeouts = 0
+        self.commit_timeouts = 0
+        self.idempotent_replays = 0
+        self._outcomes: Dict[str, List[Reservation]] = {}
+
+    def co_reserve(
+        self,
+        requests: List[Tuple[Any, Optional[float], Optional[float]]],
+        idempotency_key: Optional[str] = None,
+    ) -> List[Reservation]:
+        """Atomically reserve every ``(spec, start, duration)`` branch.
+
+        Raises :class:`ReservationError` when any branch vetoes; the
+        abort leaves no residual claims. With ``idempotency_key``, a
+        retry of an already-committed transaction returns the recorded
+        reservations without re-admitting anything.
+        """
+        if idempotency_key is not None and idempotency_key in self._outcomes:
+            self.idempotent_replays += 1
+            self._emit("2pc_replay", key=idempotency_key)
+            return list(self._outcomes[idempotency_key])
+        self.transactions += 1
+        prepared = []
+        try:
+            for spec, start, duration in requests:
+                manager = self.gara.manager_for_spec(spec)
+                if not getattr(manager, "alive", True):
+                    self.prepare_timeouts += 1
+                    raise ReservationError(
+                        f"{manager.resource_type} manager did not answer "
+                        f"prepare within {self.prepare_timeout}s"
+                    )
+                prepared.append(manager.prepare(spec, start, duration))
+        except ReservationError as exc:
+            self._abort(prepared, phase="prepare", error=str(exc))
+            raise
+        committed: List[Reservation] = []
+        for branch in prepared:
+            if not getattr(branch.manager, "alive", True):
+                self.commit_timeouts += 1
+                error = (
+                    f"{branch.manager.resource_type} manager did not answer "
+                    f"commit within {self.commit_timeout}s"
+                )
+                for reservation in committed:
+                    reservation.cancel()
+                self._abort(
+                    [b for b in prepared if b.state == "prepared"],
+                    phase="commit",
+                    error=error,
+                )
+                raise ReservationError(error)
+            committed.append(branch.manager.commit(branch))
+        self.committed += 1
+        if idempotency_key is not None:
+            self._outcomes[idempotency_key] = list(committed)
+        self._emit(
+            "2pc_commit", branches=len(committed), key=idempotency_key
+        )
+        return committed
+
+    # -- internals ---------------------------------------------------------
+
+    def _abort(self, prepared, phase: str, error: str) -> None:
+        for branch in prepared:
+            branch.manager.abort(branch)
+        self.aborted += 1
+        self._emit("2pc_abort", phase=phase, branches=len(prepared), error=error)
+
+    def _emit(self, name: str, **fields: Any) -> None:
+        tel = self.sim.telemetry
+        if tel is not None and tel.trace is not None:
+            tel.trace.emit(self.sim.now, "gara", name, **fields)
+
+    def __repr__(self) -> str:
+        return (
+            f"<TwoPhaseCoordinator committed={self.committed} "
+            f"aborted={self.aborted}>"
+        )

@@ -108,6 +108,17 @@ def collect_broker(reg: MetricsRegistry, broker, prefix: str = "") -> None:
     _set(reg, f"{base}.admissions", broker.admissions)
     _set(reg, f"{base}.rejections", broker.rejections)
     _set(reg, f"{base}.releases", broker.releases)
+    rbase = f"{prefix}gara.recovery"
+    _set(reg, f"{rbase}.broker_crashes", broker.crashes)
+    _set(reg, f"{rbase}.broker_restarts", broker.restarts)
+    _set(reg, f"{rbase}.journal_replays", broker.journal_replays)
+    _set(reg, f"{rbase}.orphans_collected", broker.orphans_collected)
+    _set(reg, f"{rbase}.orphan_paths_collected", broker.orphan_paths_collected)
+    _set(reg, f"{rbase}.stale_releases", broker.stale_releases)
+    _set(reg, f"{rbase}.deaf_releases", broker.deaf_releases)
+    _set(reg, f"{rbase}.reregistrations", broker.reregistrations)
+    if broker.journal is not None:
+        _set(reg, f"{rbase}.journal_records", len(broker.journal))
     for table in broker._tables.values():
         tbase = f"{prefix}gara.slots.{table.name or id(table)}"
         _set(reg, f"{tbase}.admitted", table.admitted_total)
@@ -139,6 +150,20 @@ def collect_mpichgq(reg: MetricsRegistry, gq, prefix: str = "") -> None:
     collect_mpi_world(reg, gq.world, prefix=prefix)
     for proc in gq.world.procs:
         collect_tcp_host(reg, proc.host, prefix=prefix)
+    rbase = f"{prefix}gara.recovery"
+    detector = getattr(gq, "detector", None)
+    if detector is not None:
+        _set(reg, f"{rbase}.suspicions", detector.suspicions)
+        _set(reg, f"{rbase}.recoveries", detector.recoveries)
+    coordinator = getattr(gq.gara, "coordinator", None)
+    if coordinator is not None:
+        cbase = f"{prefix}gara.twophase"
+        _set(reg, f"{cbase}.transactions", coordinator.transactions)
+        _set(reg, f"{cbase}.committed", coordinator.committed)
+        _set(reg, f"{cbase}.aborted", coordinator.aborted)
+        _set(reg, f"{cbase}.prepare_timeouts", coordinator.prepare_timeouts)
+        _set(reg, f"{cbase}.commit_timeouts", coordinator.commit_timeouts)
+        _set(reg, f"{cbase}.idempotent_replays", coordinator.idempotent_replays)
     reg.gauge(f"{prefix}sim.events_processed").set(gq.sim.events_processed)
     reg.gauge(f"{prefix}sim.now").set(gq.sim.now)
 

@@ -1,0 +1,195 @@
+"""Heartbeat failure detection and the lease-aware agent's
+degrade-to-best-effort / re-admit-on-recovery behaviour."""
+
+import pytest
+
+from repro import ChaosSchedule, MpichGQ, Simulator, mbps
+from repro.faults import LEASE_DEGRADED, LEASE_HELD
+from repro.gara import ReservationError
+from repro.net.topology import garnet
+from repro.resilience import FailureDetector, WATCH_DOWN, WATCH_UP
+
+
+class FlakyService:
+    def __init__(self):
+        self.alive = True
+
+    def crash(self):
+        self.alive = False
+
+    def restart(self):
+        self.alive = True
+
+
+class TestFailureDetector:
+    def test_suspicion_and_recovery(self):
+        sim = Simulator(seed=3)
+        detector = FailureDetector(sim, interval=0.25, timeout=0.8)
+        service = FlakyService()
+        events = []
+        watch = detector.watch(
+            "svc",
+            service,
+            on_down=lambda w: events.append(("down", sim.now)),
+            on_up=lambda w: events.append(("up", sim.now)),
+        )
+        sim.call_at(2.0, service.crash)
+        sim.call_at(5.0, service.restart)
+        sim.run(until=8.0)
+        assert watch.state == WATCH_UP
+        assert watch.suspicions == 1 and watch.recoveries == 1
+        assert [kind for kind, _t in events] == ["down", "up"]
+        down_t, up_t = events[0][1], events[1][1]
+        # Suspected only after the timeout's worth of silence, and
+        # recovered at the first poll past the restart.
+        assert down_t >= 2.0 + detector.timeout - detector.interval
+        assert 5.0 <= up_t <= 5.0 + 2 * detector.interval
+
+    def test_detection_is_deterministic_per_seed(self):
+        def timeline(seed):
+            sim = Simulator(seed=seed)
+            detector = FailureDetector(sim)
+            service = FlakyService()
+            marks = []
+            detector.watch(
+                "svc", service, on_down=lambda w: marks.append(sim.now)
+            )
+            sim.call_at(1.0, service.crash)
+            sim.run(until=4.0)
+            return marks
+
+        assert timeline(7) == timeline(7)
+        assert timeline(7) != timeline(8)  # jitter differs across seeds
+
+    def test_no_false_suspicion_while_alive(self):
+        sim = Simulator(seed=3)
+        detector = FailureDetector(sim)
+        watch = detector.watch("svc", FlakyService())
+        sim.run(until=10.0)
+        assert watch.state == WATCH_UP
+        assert detector.suspicions == 0
+
+    def test_close_stops_polling(self):
+        sim = Simulator(seed=3)
+        detector = FailureDetector(sim)
+        service = FlakyService()
+        watch = detector.watch("svc", service)
+        detector.close()
+        service.crash()
+        sim.run(until=5.0)
+        assert watch.suspicions == 0
+
+    def test_parameter_validation(self):
+        sim = Simulator(seed=3)
+        with pytest.raises(ValueError):
+            FailureDetector(sim, interval=0)
+        with pytest.raises(ValueError):
+            FailureDetector(sim, interval=0.5, timeout=0.2)
+        with pytest.raises(ValueError):
+            FailureDetector(sim, jitter=1.0)
+
+
+@pytest.fixture
+def deployment():
+    sim = Simulator(seed=17)
+    tb = garnet(sim, backbone_bandwidth=mbps(10))
+    gq = MpichGQ.on_garnet(tb, resilient=True)
+    return sim, tb, gq
+
+
+class TestAgentBrokerOutage:
+    def test_degrades_while_broker_dead_and_readmits_on_recovery(
+        self, deployment
+    ):
+        sim, tb, gq = deployment
+        lease = gq.agent.lease_flows(0, 1, mbps(1))
+        assert lease.state == LEASE_HELD
+        chaos = ChaosSchedule(sim, tb.network)
+        chaos.at(2.0).crash(gq.broker).at(5.0).restart(gq.broker)
+        sim.run(until=4.0)
+        # The detector's suspicion degraded the lease to best-effort.
+        assert lease.state == LEASE_DEGRADED
+        assert "broker" in lease.last_error
+        assert gq.detector.suspicions == 1
+        sim.run(until=10.0)
+        assert lease.state == LEASE_HELD
+        assert lease.readmissions >= 1
+        assert gq.detector.recoveries == 1
+        # Exactly one live path claim: the write-behind release of the
+        # pre-crash claims flushed at restart, so nothing double-books.
+        usage = sum(
+            t.usage_at(sim.now) for t in gq.broker._tables.values()
+        )
+        hops = len(
+            tb.network.path_interfaces(tb.premium_src, tb.premium_dst)
+        )
+        assert usage == pytest.approx(mbps(1) * hops)
+        sim.run(until=10.0 + gq.broker.gc_grace + 1.0)
+        assert gq.broker.orphans_collected == 0
+
+    def test_premium_attr_flips_with_broker(self, deployment):
+        sim, tb, gq = deployment
+        from repro.core import QOS_PREMIUM, QosAttribute
+
+        attr = QosAttribute(QOS_PREMIUM, bandwidth_kbps=500)
+
+        def main(comm):
+            comm.attr_put(gq.qos_keyval, attr)
+            yield sim.timeout(0.01)
+
+        gq.world.launch(main)
+        chaos = ChaosSchedule(sim, tb.network)
+        chaos.at(2.0).crash(gq.broker).at(5.0).restart(gq.broker)
+        sim.run(until=1.5)
+        assert attr.granted
+        sim.run(until=4.5)
+        assert not attr.granted
+        assert "best-effort" in attr.error
+        sim.run(until=12.0)
+        assert attr.granted
+        assert attr.error is None
+
+
+class TestAgentControlSessionCrash:
+    def test_crashed_agent_refuses_requests(self, deployment):
+        sim, tb, gq = deployment
+        gq.agent.crash()
+        with pytest.raises(ReservationError, match="control session"):
+            gq.agent.reserve_flows(0, 1, mbps(1))
+        with pytest.raises(ReservationError, match="control session"):
+            gq.agent.lease_flows(0, 1, mbps(1))
+        gq.agent.restart()
+        assert gq.agent.reserve_flows(0, 1, mbps(1)) is not None
+
+    def test_attr_put_during_outage_records_error(self, deployment):
+        sim, tb, gq = deployment
+        from repro.core import QOS_PREMIUM, QosAttribute
+
+        attr = QosAttribute(QOS_PREMIUM, bandwidth_kbps=500)
+        gq.agent.crash()
+
+        def main(comm):
+            comm.attr_put(gq.qos_keyval, attr)
+            yield sim.timeout(0.01)
+
+        gq.world.launch(main)
+        sim.run(until=1.0)
+        assert not attr.granted
+        assert "control session" in attr.error
+
+    def test_crash_suspends_lease_supervision(self, deployment):
+        sim, tb, gq = deployment
+        lease = gq.agent.lease_flows(0, 1, mbps(1))
+        chaos = ChaosSchedule(sim, tb.network)
+        chaos.at(1.0).crash(gq.agent)
+        chaos.at(2.0).crash(gq.broker).at(4.0).restart(gq.broker)
+        chaos.at(8.0).restart(gq.agent)
+        sim.run(until=7.0)
+        # Supervision frozen: the lease never noticed the outage (and
+        # burned no retry budget); the broker's replay + the network
+        # manager's re-registration kept its claims alive meanwhile.
+        assert lease.state == LEASE_HELD
+        assert lease.degradations == 0
+        sim.run(until=12.0)
+        assert lease.state == LEASE_HELD
+        assert gq.agent.crashes == 1 and gq.agent.restarts == 1

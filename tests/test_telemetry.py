@@ -183,6 +183,33 @@ class TestCollectAndSnapshot:
         retrans = [n for n in reg.names("tcp") if n.endswith(".retransmits")]
         assert retrans  # instruments exist even when the count is 0
 
+    def test_scraped_metrics_cover_resilience_counters(self):
+        # The resilient control plane publishes its recovery and
+        # two-phase counters through the same collect() pipeline.
+        sim = Simulator(seed=7)
+        tb = garnet(sim, backbone_bandwidth=mbps(10))
+        gq = MpichGQ.on_garnet(tb, resilient=True)
+        tel = Telemetry()
+        tel.attach(sim)
+        tel.observe(gq)
+        gq.agent.reserve_flows(0, 1, kbps(500))
+        sim.call_at(2.0, gq.broker.crash)
+        sim.call_at(4.0, gq.broker.restart)
+        run_one_message(sim, gq)
+        sim.run(until=8.0)
+        tel.collect()
+        reg = tel.registry
+        assert reg.counter("gara.recovery.broker_crashes").value == 1
+        assert reg.counter("gara.recovery.broker_restarts").value == 1
+        replays = reg.counter("gara.recovery.journal_replays").value
+        assert replays == reg.counter("gara.recovery.journal_records").value
+        assert replays >= 1
+        assert reg.counter("gara.recovery.suspicions").value == 1
+        assert reg.counter("gara.recovery.recoveries").value == 1
+        # Two-phase instruments exist even when no co-reservation ran.
+        assert reg.counter("gara.twophase.transactions").value == 0
+        assert reg.counter("gara.twophase.prepare_timeouts").value == 0
+
     def test_profiler_attaches_to_event_loop(self):
         sim = Simulator(seed=1)
         tel = Telemetry(profile=True)
