@@ -136,9 +136,14 @@ def test_broker_crash_recovers_within_5pct(once):
     assert crashed["orphan_paths"] == 0
 
 
-def test_broker_crash_soak_5_seeds(once):
+def _soak_one(seed: int):
+    """Module-level so --bench-parallel can ship it to pool workers."""
+    return crash_run(seed=seed, crash=True)
+
+
+def test_broker_crash_soak_5_seeds(once, fanout):
     def soak():
-        return [crash_run(seed=s, crash=True) for s in SOAK_SEEDS]
+        return fanout(_soak_one, SOAK_SEEDS)
 
     runs = once(soak)
     for seed, stats in zip(SOAK_SEEDS, runs):

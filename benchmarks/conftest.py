@@ -26,6 +26,16 @@ def pytest_addoption(parser):
         help="directory for per-benchmark telemetry metric dumps "
              "(enables telemetry collection)",
     )
+    parser.addoption(
+        "--bench-parallel",
+        action="store",
+        type=int,
+        default=1,
+        metavar="N",
+        help="fan seed-sweep benchmarks out over N worker processes "
+             "(default: serial). Each swept run is an independent "
+             "simulation, so results are identical either way.",
+    )
 
 
 @pytest.fixture(autouse=True)
@@ -75,3 +85,28 @@ def once(benchmark):
         return run_once(benchmark, fn, *args, **kwargs)
 
     return _run
+
+
+@pytest.fixture
+def fanout(request):
+    """Map a function over independent items, optionally in parallel.
+
+    ``fanout(fn, items)`` returns ``[fn(item) for item in items]``,
+    preserving order. With ``--bench-parallel N`` (N > 1) the calls
+    run in a fork-based pool of up to N workers; ``fn`` must then be
+    a module-level (picklable) function. Telemetry sessions do not
+    cross the fork boundary, so seed sweeps under --metrics-out
+    should stay serial.
+    """
+    n = request.config.getoption("--bench-parallel")
+
+    def _map(fn, items):
+        items = list(items)
+        if n <= 1 or len(items) <= 1:
+            return [fn(item) for item in items]
+        import multiprocessing as mp
+
+        with mp.get_context("fork").Pool(min(n, len(items))) as pool:
+            return pool.map(fn, items)
+
+    return _map

@@ -1,0 +1,156 @@
+#!/usr/bin/env python
+"""Kernel-throughput smoke check: events/second on fig1 ``--quick``.
+
+The fig1 experiment is the kernel's reference workload (one shaped TCP
+stream against UDP contention, ~900k events). This script runs it
+``--rounds`` times with GC suspended, takes the best wall time, and
+reports events/second. The event count is gathered by instrumenting
+``Simulator.__init__`` so every simulator built by the experiment is
+tallied — the workload's event count is deterministic, so any change
+in it is itself a red flag (and is checked against the recorded
+baseline).
+
+Usage::
+
+    python benchmarks/perf_smoke.py             # measure and print
+    python benchmarks/perf_smoke.py --check     # exit 1 on regression
+    python benchmarks/perf_smoke.py --update    # append to BENCH_kernel.json
+
+``--check`` compares against the most recent entry in
+``BENCH_kernel.json`` and fails when throughput drops below
+``(1 - tolerance)`` of it. The default tolerance is 0.30 (a >30%
+regression fails); override with ``--tolerance`` or the
+``PERF_SMOKE_TOLERANCE`` environment variable (CI machines of very
+different speed should instead refresh the baseline with --update).
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+BENCH_FILE = REPO / "BENCH_kernel.json"
+
+
+def measure_once():
+    """One fig1 --quick run; returns (total_events, wall_seconds)."""
+    from repro.experiments import fig1_tcp_reservation
+    from repro.kernel import simulator as sim_mod
+
+    sims = []
+    orig_init = sim_mod.Simulator.__init__
+
+    def tracking_init(self, *args, **kwargs):
+        orig_init(self, *args, **kwargs)
+        sims.append(self)
+
+    sim_mod.Simulator.__init__ = tracking_init
+    gc.disable()
+    try:
+        started = time.perf_counter()
+        fig1_tcp_reservation.run(quick=True, seed=0)
+        wall = time.perf_counter() - started
+    finally:
+        gc.enable()
+        gc.collect()
+        sim_mod.Simulator.__init__ = orig_init
+    return sum(s.events_processed for s in sims), wall
+
+
+def measure(rounds: int):
+    """Best-of-``rounds``; returns (events, best_wall, events_per_sec)."""
+    events = None
+    best = float("inf")
+    for i in range(rounds):
+        n, wall = measure_once()
+        if events is None:
+            events = n
+        elif n != events:
+            raise SystemExit(
+                f"nondeterministic event count: round {i} processed {n}, "
+                f"round 0 processed {events}"
+            )
+        best = min(best, wall)
+        print(f"round {i}: {n} events in {wall:.2f}s "
+              f"({n / wall:,.0f} events/s)")
+    return events, best, events / best
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--rounds", type=int, default=5,
+                        help="runs to take the best of (default 5)")
+    parser.add_argument("--check", action="store_true",
+                        help="fail if throughput regresses vs the baseline")
+    parser.add_argument("--update", action="store_true",
+                        help="append this measurement to BENCH_kernel.json")
+    parser.add_argument("--label", default="measurement",
+                        help="history label for --update")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=float(os.environ.get("PERF_SMOKE_TOLERANCE", "0.30")),
+        help="allowed fractional drop vs baseline for --check "
+             "(default 0.30, env PERF_SMOKE_TOLERANCE)",
+    )
+    args = parser.parse_args(argv)
+
+    events, best, eps = measure(args.rounds)
+    print(f"best: {events} events in {best:.2f}s ({eps:,.0f} events/s)")
+
+    bench = json.loads(BENCH_FILE.read_text()) if BENCH_FILE.exists() else {
+        "benchmark": "fig1 --quick --seed 0 wall time, best-of-N, gc off",
+        "history": [],
+    }
+
+    status = 0
+    if args.check:
+        if not bench["history"]:
+            print("no baseline recorded in BENCH_kernel.json; run --update")
+            return 1
+        baseline = bench["history"][-1]
+        if events != baseline["events"]:
+            print(
+                f"FAIL: event count changed: {events} vs baseline "
+                f"{baseline['events']} — the workload itself drifted"
+            )
+            status = 1
+        floor = baseline["events_per_sec"] * (1.0 - args.tolerance)
+        if eps < floor:
+            print(
+                f"FAIL: {eps:,.0f} events/s is below {floor:,.0f} "
+                f"({args.tolerance:.0%} under baseline "
+                f"{baseline['events_per_sec']:,.0f} from "
+                f"{baseline['label']!r})"
+            )
+            status = 1
+        else:
+            print(
+                f"OK: within {args.tolerance:.0%} of baseline "
+                f"{baseline['events_per_sec']:,.0f} events/s"
+            )
+
+    if args.update:
+        bench["history"].append({
+            "label": args.label,
+            "events": events,
+            "best_wall_seconds": round(best, 3),
+            "events_per_sec": round(eps),
+            "rounds": args.rounds,
+        })
+        BENCH_FILE.write_text(json.dumps(bench, indent=2) + "\n")
+        print(f"recorded in {BENCH_FILE}")
+
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -76,6 +76,9 @@ class UdpTrafficGenerator:
 
     def _send_loop(self):
         period_start = self.sim.now
+        # The gap is hoisted out of the loop: rate/payload are fixed
+        # while running (stop()/start() picks up reconfiguration).
+        interval = self.interval
         while self._running:
             if self.on_time is not None:
                 phase = (self.sim.now - period_start) % (
@@ -88,4 +91,4 @@ class UdpTrafficGenerator:
                     continue
             self.socket.sendto(self.payload_bytes, self.dst.addr, self.port)
             self.sent.add(self.payload_bytes)
-            yield self.sim.timeout(self.interval)
+            yield self.sim.timeout(interval)

@@ -47,12 +47,12 @@ class Shaper:
         while remaining > 0:
             chunk = min(remaining, int(self.bucket.depth))
             while True:
-                wait = self.bucket.time_until_conforming(chunk, self.sim.now)
+                wait = self.bucket.time_until_conforming(chunk, self.sim._now)
                 if wait <= 0:
                     break
                 self.delayed_sends += 1
                 self.total_delay += wait
                 yield self.sim.timeout(wait)
-            if not self.bucket.consume(chunk, self.sim.now):
+            if not self.bucket.consume(chunk, self.sim._now):
                 raise RuntimeError("shaper accounting error")  # pragma: no cover
             remaining -= chunk

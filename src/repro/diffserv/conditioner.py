@@ -53,7 +53,7 @@ class PolicedMarking:
 
     def apply(self, packet: Packet) -> bool:
         """Mark/police ``packet``; returns False if it must be dropped."""
-        if self.bucket is None or self.bucket.consume(packet.size, self.sim.now):
+        if self.bucket is None or self.bucket.consume(packet.size, self.sim._now):
             packet.dscp = self.dscp
             self.conforming_packets += 1
             self.conforming_bytes += packet.size
@@ -110,7 +110,13 @@ class TrafficConditioner:
         return self.classifier.remove(spec)
 
     def __call__(self, packet: Packet) -> bool:
-        rule = self.classifier.lookup(packet)
+        # Inlined Classifier.lookup: this runs for every packet
+        # entering a conditioned port.
+        rule = None
+        for spec, action in self.classifier._rules:
+            if spec.matches(packet):
+                rule = action
+                break
         if rule is None:
             packet.dscp = self.default_dscp
             return True

@@ -18,7 +18,13 @@ from typing import List, Optional
 
 from ..net.packet import Packet
 from ..net.queues import DropTailQueue, Qdisc
-from .dscp import CLASS_AF, CLASS_BE, CLASS_EF, service_class_of
+from .dscp import (
+    AF_LOW_LATENCY as _AF_LOW_LATENCY,
+    CLASS_AF,
+    CLASS_BE,
+    CLASS_EF,
+    EF as _EF,
+)
 from .token_bucket import TokenBucket
 
 __all__ = ["PriorityQdisc"]
@@ -80,7 +86,13 @@ class PriorityQdisc(Qdisc):
     # -- qdisc interface --------------------------------------------------
 
     def enqueue(self, packet: Packet) -> bool:
-        klass = service_class_of(packet.dscp)
+        # Inlined service_class_of: this runs once per packet per hop.
+        dscp = packet.dscp
+        klass = (
+            CLASS_EF if dscp == _EF
+            else CLASS_AF if dscp == _AF_LOW_LATENCY
+            else CLASS_BE
+        )
         if klass == CLASS_EF and self.ef_aggregate_policer is not None:
             if not self.ef_aggregate_policer.consume(packet.size, self.sim.now):
                 self.ef_policer_drops += 1
@@ -93,12 +105,27 @@ class PriorityQdisc(Qdisc):
                         size=packet.size,
                     )
                 return False
-        return self._queues[klass].enqueue(packet)
+        # Inlined DropTailQueue.enqueue for the band queue (nothing
+        # patches the inner bands' enqueue; the *qdisc*-level enqueue —
+        # this method — is the supported hook point).
+        queue = self._queues[klass]
+        if (
+            len(queue._queue) >= queue._limit_p
+            or queue._bytes + packet.size > queue._limit_b
+        ):
+            return queue._dropped(packet)
+        queue._queue.append(packet)
+        queue._bytes += packet.size
+        return True
 
     def dequeue(self) -> Optional[Packet]:
         for queue in self._queues:
-            packet = queue.dequeue()
-            if packet is not None:
+            # Peek and pop the band's deque directly: the scan skips
+            # (usually empty) higher-priority bands without a call, and
+            # the hit avoids a second method dispatch.
+            if queue._queue:
+                packet = queue._queue.popleft()
+                queue._bytes -= packet.size
                 return packet
         return None
 

@@ -12,7 +12,7 @@ because of TCP packet overheads" (§5.3).
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -21,7 +21,7 @@ from ..net import KB, kbps, mbps
 from ..transport.tcp import TcpConfig
 from .common import ExperimentResult, build_deployment
 
-__all__ = ["run", "measure_point", "FRAME_SIZES_KB"]
+__all__ = ["run", "measure_point", "plan_points", "FRAME_SIZES_KB"]
 
 #: Paper frame sizes (KB) at 10 fps -> 400/800/1600/2400 Kb/s targets.
 FRAME_SIZES_KB = (5, 10, 20, 30)
@@ -78,19 +78,69 @@ def measure_point(
     return app.achieved_bandwidth_kbps(1.0, duration)
 
 
-def run(
-    quick: bool = False,
-    seed: int = 0,
-    frame_sizes_kb: Optional[Sequence[int]] = None,
-    reservations_kbps: Optional[Sequence[float]] = None,
-    duration: Optional[float] = None,
-) -> ExperimentResult:
+def _resolve_grid(
+    quick: bool,
+    frame_sizes_kb: Optional[Sequence[int]],
+    reservations_kbps: Optional[Sequence[float]],
+    duration: Optional[float],
+) -> Tuple[Sequence[int], Sequence[float], float]:
     if frame_sizes_kb is None:
         frame_sizes_kb = FRAME_SIZES_KB[::3] if quick else FRAME_SIZES_KB
     if reservations_kbps is None:
         reservations_kbps = QUICK_RESERVATIONS if quick else FULL_RESERVATIONS
     if duration is None:
         duration = 4.0 if quick else 10.0
+    return frame_sizes_kb, reservations_kbps, duration
+
+
+def plan_points(
+    quick: bool = False,
+    frame_sizes_kb: Optional[Sequence[int]] = None,
+    reservations_kbps: Optional[Sequence[float]] = None,
+    duration: Optional[float] = None,
+) -> List[Tuple[Tuple[int, float], dict]]:
+    """The measurement grid as independent jobs.
+
+    Returns ``[(key, measure_point_kwargs), ...]`` where ``key`` is
+    ``(frame_kb, reservation_kbps)``. Feeding the measured values back
+    through :func:`run`'s ``point_results`` reproduces the serial
+    result exactly — each grid point builds its own deployment from the
+    seed, so evaluation order (or process) cannot matter.
+    """
+    frame_sizes_kb, reservations_kbps, duration = _resolve_grid(
+        quick, frame_sizes_kb, reservations_kbps, duration
+    )
+    return [
+        (
+            (frame_kb, reservation),
+            dict(
+                frame_kb=frame_kb,
+                reservation_kbps=reservation,
+                duration=duration,
+            ),
+        )
+        for frame_kb in frame_sizes_kb
+        for reservation in reservations_kbps
+    ]
+
+
+def run(
+    quick: bool = False,
+    seed: int = 0,
+    frame_sizes_kb: Optional[Sequence[int]] = None,
+    reservations_kbps: Optional[Sequence[float]] = None,
+    duration: Optional[float] = None,
+    point_results: Optional[Dict[Tuple[int, float], float]] = None,
+) -> ExperimentResult:
+    """Produce the Figure 6 result.
+
+    ``point_results`` optionally supplies precomputed grid values
+    (keyed as in :func:`plan_points`); the parallel runner uses this so
+    merging goes through the exact same assembly code as a serial run.
+    """
+    frame_sizes_kb, reservations_kbps, duration = _resolve_grid(
+        quick, frame_sizes_kb, reservations_kbps, duration
+    )
 
     result = ExperimentResult(
         experiment="fig6",
@@ -101,9 +151,12 @@ def run(
         target = frame_kb * KB * 8 * 10 / 1e3
         xs, ys = [], []
         for reservation in reservations_kbps:
-            throughput = measure_point(
-                frame_kb, reservation, seed=seed, duration=duration
-            )
+            if point_results is not None:
+                throughput = point_results[(frame_kb, reservation)]
+            else:
+                throughput = measure_point(
+                    frame_kb, reservation, seed=seed, duration=duration
+                )
             result.rows.append([target, reservation, throughput])
             xs.append(reservation)
             ys.append(throughput)

@@ -2,16 +2,20 @@
 
 Usage::
 
-    mpichgq-experiments [--quick] [--seed N] [--out DIR] [exp ...]
+    mpichgq-experiments [--quick] [--seed N] [--out DIR] [--parallel N]
+                        [exp ...]
 
 where ``exp`` is any of: fig1 fig5 fig6 fig7 table1 fig8 fig9 (default:
 all, in paper order). ``--quick`` runs the scaled-down variants the
-benchmark suite uses.
+benchmark suite uses. ``--parallel N`` fans the work out over N worker
+processes (see :mod:`repro.experiments.parallel`); results are
+identical to a serial run except for ``elapsed_seconds``.
 """
 
 from __future__ import annotations
 
 import argparse
+import gc
 import json
 import sys
 import time
@@ -29,7 +33,7 @@ from . import (
 )
 from .report import render_result
 
-__all__ = ["main", "EXPERIMENTS"]
+__all__ = ["main", "EXPERIMENTS", "make_telemetry"]
 
 EXPERIMENTS = {
     "fig1": fig1_tcp_reservation.run,
@@ -40,6 +44,62 @@ EXPERIMENTS = {
     "fig8": fig8_cpu_reservation.run,
     "fig9": fig9_combined.run,
 }
+
+
+def make_telemetry() -> "telemetry.Telemetry":
+    """The runner's standard collection session.
+
+    Excludes the per-packet event types: a full fig run emits hundreds
+    of thousands of them, swamping the dump with data the registry
+    already summarises as byte and conformance counters. Drops,
+    retransmits, grants, and MPI-message events all stay.
+    """
+    return telemetry.Telemetry(
+        trace=telemetry.FlowTrace(
+            exclude=(
+                ("net", "tx"),
+                ("tcp", "segment"),
+                ("diffserv", "mark"),
+            ),
+            limit=200_000,
+        )
+    )
+
+
+def _payload(result, quick: bool, seed: int, elapsed: float) -> dict:
+    return {
+        "experiment": result.experiment,
+        "description": result.description,
+        "headers": result.headers,
+        "rows": result.rows,
+        "series": {
+            k: [list(map(float, x)), list(map(float, y))]
+            for k, (x, y) in result.series.items()
+        },
+        "extra": {
+            k: (float(v) if isinstance(v, (int, float)) else v)
+            for k, v in result.extra.items()
+        },
+        "quick": quick,
+        "seed": seed,
+        "elapsed_seconds": elapsed,
+    }
+
+
+def _report(name, result, elapsed, summary, args) -> None:
+    """Print one experiment's result and write its JSON dump."""
+    print(render_result(result))
+    print(f"[{name} completed in {elapsed:.1f}s]\n")
+    if summary is not None:
+        n_metrics, n_spans = summary
+        print(f"[telemetry: {n_metrics} metrics, {n_spans} span events]\n")
+    if args.out is not None:
+        args.out.mkdir(parents=True, exist_ok=True)
+        path = args.out / f"{name}.json"
+        path.write_text(
+            json.dumps(_payload(result, args.quick, args.seed, elapsed), indent=2)
+        )
+        print(f"[wrote {path}]\n")
 
 
 def main(argv=None) -> int:
@@ -59,6 +119,10 @@ def main(argv=None) -> int:
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--out", type=Path, default=None,
                         help="directory for JSON result dumps")
+    parser.add_argument(
+        "--parallel", type=int, default=1, metavar="N",
+        help="run experiments over N worker processes (default: serial)",
+    )
     telemetry_group = parser.add_mutually_exclusive_group()
     telemetry_group.add_argument(
         "--telemetry", dest="telemetry", action="store_true", default=None,
@@ -80,6 +144,8 @@ def main(argv=None) -> int:
             f"unknown experiment(s): {', '.join(unknown)} "
             f"(valid names: {', '.join(EXPERIMENTS)})"
         )
+    if args.parallel < 1:
+        parser.error(f"--parallel must be >= 1, got {args.parallel}")
 
     # Telemetry is on whenever results are being written out, unless
     # explicitly disabled; --telemetry forces it on for console runs.
@@ -88,71 +154,54 @@ def main(argv=None) -> int:
     )
 
     selected = args.experiments or list(EXPERIMENTS)
+
+    if args.parallel > 1:
+        from .parallel import run_parallel
+
+        results = run_parallel(
+            selected,
+            quick=args.quick,
+            seed=args.seed,
+            processes=args.parallel,
+            collect=collect_metrics,
+            out=args.out,
+        )
+        for name, result, elapsed, summary in results:
+            _report(name, result, elapsed, summary, args)
+        return 0
+
     for name in selected:
         tel = None
         if collect_metrics:
-            # Exclude the per-packet event types: a full fig run emits
-            # hundreds of thousands of them, swamping the dump with
-            # data the registry already summarises as byte and
-            # conformance counters. Drops, retransmits, grants, and
-            # MPI-message events all stay.
-            tel = telemetry.Telemetry(
-                trace=telemetry.FlowTrace(
-                    exclude=(
-                        ("net", "tx"),
-                        ("tcp", "segment"),
-                        ("diffserv", "mark"),
-                    ),
-                    limit=200_000,
-                )
-            )
+            tel = make_telemetry()
             telemetry.install(tel)
         started = time.time()
+        # A simulation run allocates at a steady rate and drops whole
+        # object graphs at once; generational GC only adds pauses, so
+        # it is suspended for the duration of the experiment.
+        gc.disable()
         try:
             result = EXPERIMENTS[name](quick=args.quick, seed=args.seed)
         finally:
+            gc.enable()
+            gc.collect()
             if tel is not None:
                 telemetry.uninstall()
         elapsed = time.time() - started
-        print(render_result(result))
-        print(f"[{name} completed in {elapsed:.1f}s]\n")
+        summary = None
         if tel is not None:
             tel.collect()
             snap = tel.snapshot()
-            print(
-                f"[telemetry: {len(snap['metrics'])} metrics, "
-                f"{snap['span_count']} span events]\n"
-            )
-        if args.out is not None:
-            args.out.mkdir(parents=True, exist_ok=True)
-            payload = {
-                "experiment": result.experiment,
-                "description": result.description,
-                "headers": result.headers,
-                "rows": result.rows,
-                "series": {
-                    k: [list(map(float, x)), list(map(float, y))]
-                    for k, (x, y) in result.series.items()
-                },
-                "extra": {
-                    k: (float(v) if isinstance(v, (int, float)) else v)
-                    for k, v in result.extra.items()
-                },
-                "quick": args.quick,
-                "seed": args.seed,
-                "elapsed_seconds": elapsed,
-            }
-            path = args.out / f"{name}.json"
-            path.write_text(json.dumps(payload, indent=2))
-            print(f"[wrote {path}]\n")
-            if tel is not None:
-                meta = {"experiment": name, "quick": args.quick,
-                        "seed": args.seed}
-                mpath = args.out / f"{name}.metrics.json"
-                telemetry.export_json(tel, mpath, meta=meta)
-                cpath = args.out / f"{name}.metrics.csv"
-                telemetry.export_csv(tel, cpath)
-                print(f"[wrote {mpath} and {cpath}]\n")
+            summary = (len(snap["metrics"]), snap["span_count"])
+        _report(name, result, elapsed, summary, args)
+        if tel is not None and args.out is not None:
+            meta = {"experiment": name, "quick": args.quick,
+                    "seed": args.seed}
+            mpath = args.out / f"{name}.metrics.json"
+            telemetry.export_json(tel, mpath, meta=meta)
+            cpath = args.out / f"{name}.metrics.csv"
+            telemetry.export_csv(tel, cpath)
+            print(f"[wrote {mpath} and {cpath}]\n")
     return 0
 
 

@@ -20,14 +20,14 @@ throughput, by bisection over the reservation.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..diffserv.token_bucket import LARGE_DEPTH_DIVISOR, NORMAL_DEPTH_DIVISOR
 from ..net import KB
 from .common import ExperimentResult
 from .fig6_visualization import measure_point
 
-__all__ = ["run", "required_reservation"]
+__all__ = ["run", "required_reservation", "plan_cells"]
 
 FULL_BANDWIDTHS = (400, 800, 1600, 2400)
 QUICK_BANDWIDTHS = (400, 1600)
@@ -79,17 +79,68 @@ def required_reservation(
     return hi
 
 
-def run(
-    quick: bool = False,
-    seed: int = 0,
-    bandwidths_kbps: Optional[Sequence[float]] = None,
-    duration: Optional[float] = None,
-) -> ExperimentResult:
+def _resolve_grid(
+    quick: bool,
+    bandwidths_kbps: Optional[Sequence[float]],
+    duration: Optional[float],
+) -> Tuple[Sequence[float], float, float]:
     if bandwidths_kbps is None:
         bandwidths_kbps = QUICK_BANDWIDTHS if quick else FULL_BANDWIDTHS
     if duration is None:
         duration = 5.0 if quick else 8.0
     resolution = 100.0 if quick else 50.0
+    return bandwidths_kbps, duration, resolution
+
+
+def plan_cells(
+    quick: bool = False,
+    bandwidths_kbps: Optional[Sequence[float]] = None,
+    duration: Optional[float] = None,
+) -> List[Tuple[Tuple[float, str], dict]]:
+    """The table's cells as independent bisection jobs.
+
+    Returns ``[(key, required_reservation_kwargs), ...]`` with ``key``
+    ``(bandwidth_kbps, config_label)``. Each cell's bisection is
+    internally sequential but cells are independent — each probe
+    builds a fresh deployment from the seed — so they parallelise
+    without changing any value; :func:`run`'s ``cell_results`` merges
+    them through the serial assembly path.
+    """
+    bandwidths_kbps, duration, resolution = _resolve_grid(
+        quick, bandwidths_kbps, duration
+    )
+    return [
+        (
+            (bandwidth, label),
+            dict(
+                bandwidth_kbps=bandwidth,
+                fps=fps,
+                bucket_divisor=divisor,
+                duration=duration,
+                resolution_kbps=resolution,
+            ),
+        )
+        for bandwidth in bandwidths_kbps
+        for label, fps, divisor in CONFIGS
+    ]
+
+
+def run(
+    quick: bool = False,
+    seed: int = 0,
+    bandwidths_kbps: Optional[Sequence[float]] = None,
+    duration: Optional[float] = None,
+    cell_results: Optional[Dict[Tuple[float, str], float]] = None,
+) -> ExperimentResult:
+    """Produce the Table 1 result.
+
+    ``cell_results`` optionally supplies precomputed cell values
+    (keyed as in :func:`plan_cells`) so the parallel runner merges
+    through the same assembly code as a serial run.
+    """
+    bandwidths_kbps, duration, resolution = _resolve_grid(
+        quick, bandwidths_kbps, duration
+    )
 
     result = ExperimentResult(
         experiment="table1",
@@ -104,17 +155,20 @@ def run(
     )
     for bandwidth in bandwidths_kbps:
         row = [bandwidth]
-        for _label, fps, divisor in CONFIGS:
-            row.append(
-                required_reservation(
-                    bandwidth,
-                    fps,
-                    divisor,
-                    seed=seed,
-                    duration=duration,
-                    resolution_kbps=resolution,
+        for label, fps, divisor in CONFIGS:
+            if cell_results is not None:
+                row.append(cell_results[(bandwidth, label)])
+            else:
+                row.append(
+                    required_reservation(
+                        bandwidth,
+                        fps,
+                        divisor,
+                        seed=seed,
+                        duration=duration,
+                        resolution_kbps=resolution,
+                    )
                 )
-            )
         result.rows.append(row)
     # Headline ratios the paper calls out.
     ratios = [

@@ -68,8 +68,10 @@ class _Moment:
         return component
 
     def call(self, fn: Callable, *args) -> "ChaosSchedule":
-        """Schedule an arbitrary callback at this instant."""
-        self._schedule.sim.call_at(self._time, fn, *args)
+        """Schedule an arbitrary callback at this instant (clamped to
+        now if the schedule is scripted mid-run with a past time)."""
+        sim = self._schedule.sim
+        sim.call_at(max(sim.now, self._time), fn, *args)
         return self._schedule
 
 
@@ -87,10 +89,11 @@ class _Window:
         schedule = self._schedule
         record = schedule.network.find_link(a, b)
         schedule.injectors.append(injector)
+        now = schedule.sim.now
         schedule.sim.call_at(
-            self._start, injector.install, record.iface_ab, record.iface_ba
+            max(now, self._start), injector.install, record.iface_ab, record.iface_ba
         )
-        schedule.sim.call_at(self._end, injector.remove)
+        schedule.sim.call_at(max(now, self._end), injector.remove)
         return schedule
 
     def loss(self, probability: float, a, b) -> "ChaosSchedule":

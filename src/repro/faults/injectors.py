@@ -35,6 +35,10 @@ class _Injector:
         self._installed_on: List[Interface] = []
 
     def __call__(self, packet: Packet) -> bool:
+        # Zero-probability injectors never fault; skipping the draw
+        # also keeps them out of the seeded RNG stream entirely.
+        if self.probability <= 0.0:
+            return False
         if self.sim.rng.random() < self.probability:
             self.count += 1
             return True

@@ -168,8 +168,12 @@ class ResourceManager:
                 self.sim.call_at(reservation.start, self._enable, reservation)
             )
         if reservation.end != float("inf"):
+            # A branch committed after its window closed (e.g. a slow
+            # two-phase round) expires immediately rather than raising.
             timers.append(
-                self.sim.call_at(reservation.end, self._expire, reservation)
+                self.sim.call_at(
+                    max(now, reservation.end), self._expire, reservation
+                )
             )
         self._timers[reservation.reservation_id] = timers
         return reservation

@@ -29,7 +29,7 @@ class Monitor:
 
     def record(self, value: float) -> None:
         """Append a sample at the current simulation time."""
-        self.times.append(self.sim.now)
+        self.times.append(self.sim._now)
         self.values.append(value)
 
     def __len__(self) -> int:
@@ -84,7 +84,7 @@ class Counter:
 
     def add(self, amount: float) -> None:
         """Record ``amount`` units at the current time."""
-        self.times.append(self.sim.now)
+        self.times.append(self.sim._now)
         self.amounts.append(amount)
         self.total += amount
 

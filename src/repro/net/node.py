@@ -10,10 +10,13 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional
 
+from heapq import heappush as _heappush
+
 from ..kernel import Simulator
+from ..kernel.events import NORMAL as _NORMAL
+from ..kernel.simulator import _FAST
 from .packet import Packet
 from .queues import DropTailQueue, Qdisc
-from .units import transmission_time
 
 __all__ = ["Interface", "Node", "Host", "Router"]
 
@@ -34,11 +37,10 @@ class Interface:
         delay: float,
         qdisc: Optional[Qdisc] = None,
     ) -> None:
-        if bandwidth <= 0:
-            raise ValueError("bandwidth must be positive")
         if delay < 0:
             raise ValueError("delay cannot be negative")
         self.node = node
+        self.sim = node.sim
         self.name = name
         self.bandwidth = bandwidth
         self.delay = delay
@@ -67,8 +69,31 @@ class Interface:
         self.impairment_drops = 0
 
     @property
-    def sim(self) -> Simulator:
-        return self.node.sim
+    def qdisc(self) -> Qdisc:
+        """The egress queue discipline."""
+        return self._qdisc
+
+    @qdisc.setter
+    def qdisc(self, value: Qdisc) -> None:
+        self._qdisc = value
+        # dequeue is resolved once per assignment; the TX path calls it
+        # per packet. enqueue stays a dynamic lookup because tests
+        # patch it on qdisc instances.
+        self._dequeue = value.dequeue
+
+    @property
+    def bandwidth(self) -> float:
+        """Link rate in bits/s."""
+        return self._bandwidth
+
+    @bandwidth.setter
+    def bandwidth(self, value: float) -> None:
+        if value <= 0:
+            raise ValueError("bandwidth must be positive")
+        self._bandwidth = value
+        # Per-byte serialization time, precomputed so the per-packet
+        # transmit path is one multiply instead of a division.
+        self._sec_per_byte = 8.0 / value
 
     def send(self, packet: Packet) -> bool:
         """Queue ``packet`` for transmission; False if the qdisc dropped it."""
@@ -91,17 +116,43 @@ class Interface:
                 )
             return False
         if not self._busy:
-            self._transmit_next()
+            # Inlined _transmit_next — starting an idle transmitter is
+            # the common case on lightly-loaded host NICs.
+            packet = self._dequeue()
+            if packet is not None:
+                self._busy = True
+                sim = self.sim
+                _heappush(
+                    sim._queue,
+                    (
+                        sim._now + packet.size * self._sec_per_byte,
+                        _NORMAL,
+                        next(sim._seq),
+                        _FAST,
+                        self._tx_done,
+                        packet,
+                    ),
+                )
         return True
 
     def _transmit_next(self) -> None:
-        packet = self.qdisc.dequeue()
+        packet = self._dequeue()
         if packet is None:
             self._busy = False
             return
         self._busy = True
-        self.sim.call_in(
-            transmission_time(packet.size, self.bandwidth), self._tx_done, packet
+        # Inlined sim.call_fast — this push runs once per packet per hop.
+        sim = self.sim
+        _heappush(
+            sim._queue,
+            (
+                sim._now + packet.size * self._sec_per_byte,
+                _NORMAL,
+                next(sim._seq),
+                _FAST,
+                self._tx_done,
+                packet,
+            ),
         )
 
     def _tx_done(self, packet: Packet) -> None:
@@ -110,11 +161,12 @@ class Interface:
             self.link_down_drops += 1
             self._transmit_next()
             return
-        for impair in self.impairments:
-            if impair(packet):
-                self.impairment_drops += 1
-                self._transmit_next()
-                return
+        if self.impairments:
+            for impair in self.impairments:
+                if impair(packet):
+                    self.impairment_drops += 1
+                    self._transmit_next()
+                    return
         self.tx_packets += 1
         self.tx_bytes += packet.size
         tel = self.sim.telemetry
@@ -131,9 +183,36 @@ class Interface:
                 dscp=packet.dscp, size=packet.size,
                 backlog=len(self.qdisc),
             )
-        peer = self.peer
-        self.sim.call_in(self.delay, peer._deliver_arrival, packet)
-        self._transmit_next()
+        # Inlined sim.call_fast — propagation arrival at the peer.
+        sim = self.sim
+        _heappush(
+            sim._queue,
+            (
+                sim._now + self.delay,
+                _NORMAL,
+                next(sim._seq),
+                _FAST,
+                self.peer._deliver_arrival,
+                packet,
+            ),
+        )
+        # Inlined _transmit_next: this tail runs once per transmitted
+        # packet, so the extra call is worth eliding.
+        packet = self._dequeue()
+        if packet is None:
+            self._busy = False
+            return
+        _heappush(
+            sim._queue,
+            (
+                sim._now + packet.size * self._sec_per_byte,
+                _NORMAL,
+                next(sim._seq),
+                _FAST,
+                self._tx_done,
+                packet,
+            ),
+        )
 
     def _deliver_arrival(self, packet: Packet) -> None:
         if not self.up:
@@ -142,10 +221,11 @@ class Interface:
             return
         self.rx_packets += 1
         self.rx_bytes += packet.size
-        for conditioner in self.ingress:
-            if not conditioner(packet):
-                self.ingress_drops += 1
-                return
+        if self.ingress:
+            for conditioner in self.ingress:
+                if not conditioner(packet):
+                    self.ingress_drops += 1
+                    return
         self.node.receive(packet, self)
 
     def __repr__(self) -> str:
@@ -244,9 +324,13 @@ class Host(Node):
         """Transport-layer egress: loopback for self-addressed packets,
         the default interface otherwise."""
         if packet.dst == self.addr:
-            self.sim.call_in(self.LOOPBACK_DELAY, self.deliver, packet)
+            self.sim.call_fast(self.LOOPBACK_DELAY, self.deliver, packet)
             return True
-        return self.default_interface().send(packet)
+        try:
+            iface = self.interfaces[0]
+        except IndexError:
+            raise RuntimeError(f"{self.name} has no interfaces") from None
+        return iface.send(packet)
 
 
 class Router(Node):
@@ -256,6 +340,22 @@ class Router(Node):
     conditioners on its interfaces and (priority) qdiscs on its egress
     ports — see :mod:`repro.diffserv`.
     """
+
+    def receive(self, packet: Packet, iface: Interface) -> None:
+        # Specialised copy of Node.receive: a transit packet skips one
+        # level of dispatch on the router hot path.
+        if packet.dst == self.addr:
+            self.deliver(packet)
+            return
+        packet.ttl -= 1
+        if packet.ttl <= 0:
+            self.ttl_drops += 1
+            return
+        egress = self.routes.get(packet.dst)
+        if egress is None:
+            self.no_route_drops += 1
+            return
+        egress.send(packet)
 
     def deliver(self, packet: Packet) -> None:
         # Routers do not terminate transport flows in this model.

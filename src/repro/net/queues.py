@@ -55,6 +55,10 @@ class DropTailQueue(Qdisc):
             raise ValueError("limit_bytes must be positive")
         self.limit_packets = limit_packets
         self.limit_bytes = limit_bytes
+        # Sentinel copies keep the per-packet admission test free of
+        # None checks.
+        self._limit_p = limit_packets if limit_packets is not None else float("inf")
+        self._limit_b = limit_bytes if limit_bytes is not None else float("inf")
         self._queue: Deque[Packet] = deque()
         self._bytes = 0
         #: Total packets dropped at this queue.
@@ -72,11 +76,9 @@ class DropTailQueue(Qdisc):
         return False
 
     def enqueue(self, packet: Packet) -> bool:
-        if self.limit_packets is not None and len(self._queue) >= self.limit_packets:
-            return self._dropped(packet)
         if (
-            self.limit_bytes is not None
-            and self._bytes + packet.size > self.limit_bytes
+            len(self._queue) >= self._limit_p
+            or self._bytes + packet.size > self._limit_b
         ):
             return self._dropped(packet)
         self._queue.append(packet)

@@ -30,7 +30,7 @@ from collections import deque
 from typing import Any, Deque, Optional, Tuple
 
 from ...kernel import Counter, Event, Monitor
-from ...net.packet import PROTO_TCP, Packet
+from ...net.packet import DEFAULT_TTL, PROTO_TCP, Packet
 from .buffers import ReceiveBuffer, SendBuffer
 from .config import SEGMENT_OVERHEAD_BYTES, TcpConfig
 from .rtt import RttEstimator
@@ -230,16 +230,20 @@ class TcpConnection:
     # ------------------------------------------------------------------
 
     def _emit(self, segment: TcpSegment) -> None:
+        # Positional construction (src, dst, sport, dport, proto, size,
+        # payload, dscp, ttl, created_at): one Packet per segment makes
+        # this a hot allocation site.
         packet = Packet(
-            src=self.layer.host.addr,
-            dst=self.remote_addr,
-            sport=self.local_port,
-            dport=self.remote_port,
-            proto=PROTO_TCP,
-            size=segment.length + SEGMENT_OVERHEAD_BYTES,
-            payload=segment,
-            dscp=self.config.dscp,
-            created_at=self.sim.now,
+            self.layer.host.addr,
+            self.remote_addr,
+            self.local_port,
+            self.remote_port,
+            PROTO_TCP,
+            segment.length + SEGMENT_OVERHEAD_BYTES,
+            segment,
+            self.config.dscp,
+            DEFAULT_TTL,
+            self.sim._now,
         )
         self.segments_sent += 1
         self.layer.host.send_packet(packet)
@@ -274,7 +278,7 @@ class TcpConnection:
             if self._timed is not None and self._timed[0] > seq:
                 self._timed = None
         elif self._timed is None:
-            self._timed = (seq + length, self.sim.now)
+            self._timed = (seq + length, self.sim._now)
         self._cancel_delack()
         self._segs_unacked = 0
         wnd = self.recv_buffer.window
@@ -351,19 +355,30 @@ class TcpConnection:
     # Timers
     # ------------------------------------------------------------------
 
+    # The RTO and delayed-ACK timers are re-armed on nearly every ACK,
+    # so each connection keeps one TimerHandle per timer alive and
+    # re-arms it with Simulator.reschedule instead of allocating a new
+    # handle per cancel/arm cycle. A cancelled handle is kept (not
+    # None'd) so the next arm can reuse it; only a *fired* handle is
+    # dropped (in the timer callback).
+
     def _ensure_rto_timer(self) -> None:
-        if self._rto_timer is None:
+        timer = self._rto_timer
+        if timer is None:
             self._rto_timer = self.sim.call_in(self.rtt.rto, self._on_rto)
+        elif timer.cancelled:
+            self.sim.reschedule(timer, self.rtt.rto)
 
     def _reset_rto_timer(self) -> None:
-        if self._rto_timer is not None:
-            self._rto_timer.cancel()
-        self._rto_timer = self.sim.call_in(self.rtt.rto, self._on_rto)
+        timer = self._rto_timer
+        if timer is None:
+            self._rto_timer = self.sim.call_in(self.rtt.rto, self._on_rto)
+        else:
+            self.sim.reschedule(timer, self.rtt.rto)
 
     def _cancel_rto_timer(self) -> None:
         if self._rto_timer is not None:
             self._rto_timer.cancel()
-            self._rto_timer = None
 
     def _on_rto(self) -> None:
         self._rto_timer = None
@@ -425,15 +440,17 @@ class TcpConnection:
             self._persist_timer = None
 
     def _schedule_delack(self) -> None:
-        if self._delack_timer is None:
+        timer = self._delack_timer
+        if timer is None:
             self._delack_timer = self.sim.call_in(
                 self.config.delack_timeout, self._on_delack
             )
+        elif timer.cancelled:
+            self.sim.reschedule(timer, self.config.delack_timeout)
 
     def _cancel_delack(self) -> None:
         if self._delack_timer is not None:
             self._delack_timer.cancel()
-            self._delack_timer = None
 
     def _on_delack(self) -> None:
         self._delack_timer = None
@@ -510,7 +527,7 @@ class TcpConnection:
             self.acked_counter.add(newly)
             self.dupacks = 0
             if self._timed is not None and ack >= self._timed[0]:
-                rtt_sample = self.sim.now - self._timed[1]
+                rtt_sample = self.sim._now - self._timed[1]
                 self.rtt.sample(rtt_sample)
                 self._timed = None
                 tel = self.sim.telemetry
@@ -667,6 +684,8 @@ class TcpConnection:
             self._transmit()
 
     def _satisfy_recv_waiters(self) -> None:
+        if not self._recv_waiters and not self._advertised_small:
+            return
         rb = self.recv_buffer
         window_was_small = self._advertised_small
         while self._recv_waiters:

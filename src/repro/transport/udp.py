@@ -12,7 +12,7 @@ from typing import Any, Dict, Optional, Tuple
 
 from ..kernel import Event, Store
 from ..net.node import Host
-from ..net.packet import IP_HEADER_BYTES, PROTO_UDP, Packet, UDP_HEADER_BYTES
+from ..net.packet import DEFAULT_TTL, IP_HEADER_BYTES, PROTO_UDP, Packet, UDP_HEADER_BYTES
 
 __all__ = ["UdpLayer", "UdpSocket", "UDP_MAX_PAYLOAD", "MTU_BYTES"]
 
@@ -96,16 +96,20 @@ class UdpSocket:
             raise ValueError(
                 f"datagram payload must be in (0, {UDP_MAX_PAYLOAD}], got {nbytes}"
             )
+        # Positional construction (src, dst, sport, dport, proto, size,
+        # payload, dscp, ttl, created_at): the contention generator
+        # builds one of these per datagram.
         packet = Packet(
-            src=self.host.addr,
-            dst=dst,
-            sport=self.port,
-            dport=dport,
-            proto=PROTO_UDP,
-            size=nbytes + IP_HEADER_BYTES + UDP_HEADER_BYTES,
-            payload=payload,
-            dscp=self.dscp,
-            created_at=self.layer.sim.now,
+            self.host.addr,
+            dst,
+            self.port,
+            dport,
+            PROTO_UDP,
+            nbytes + IP_HEADER_BYTES + UDP_HEADER_BYTES,
+            payload,
+            self.dscp,
+            DEFAULT_TTL,
+            self.layer.sim._now,
         )
         self.tx_datagrams += 1
         self.tx_bytes += nbytes

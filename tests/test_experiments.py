@@ -155,3 +155,40 @@ class TestRunnerCli:
         assert rc == 0
         assert (tmp_path / "fig8.json").exists()
         assert not (tmp_path / "fig8.metrics.json").exists()
+
+    def test_runner_rejects_bad_parallel(self):
+        from repro.experiments.runner import main
+
+        with pytest.raises(SystemExit):
+            main(["fig8", "--quick", "--parallel", "0"])
+
+    def test_runner_parallel_output_matches_serial(self, tmp_path):
+        """--parallel 2 writes the same JSON a serial run does
+        (elapsed_seconds aside)."""
+        import json
+
+        from repro.experiments.runner import main
+
+        rc = main(["fig8", "--quick", "--no-telemetry",
+                   "--out", str(tmp_path / "serial")])
+        assert rc == 0
+        rc = main(["fig8", "--quick", "--no-telemetry", "--parallel", "2",
+                   "--out", str(tmp_path / "par")])
+        assert rc == 0
+        serial = json.loads((tmp_path / "serial" / "fig8.json").read_text())
+        par = json.loads((tmp_path / "par" / "fig8.json").read_text())
+        serial.pop("elapsed_seconds"), par.pop("elapsed_seconds")
+        assert serial == par
+
+    def test_runner_parallel_writes_metrics(self, tmp_path):
+        """Whole-experiment parallel jobs export per-worker telemetry."""
+        import json
+
+        from repro.experiments.runner import main
+
+        rc = main(["fig8", "--quick", "--parallel", "2",
+                   "--out", str(tmp_path)])
+        assert rc == 0
+        metrics = json.loads((tmp_path / "fig8.metrics.json").read_text())
+        assert metrics["meta"]["experiment"] == "fig8"
+        assert metrics["metrics"]

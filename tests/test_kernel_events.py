@@ -128,10 +128,15 @@ class TestTimers:
         sim.run()
         assert fired == [4.0]
 
-    def test_call_at_in_past_fires_now(self, sim):
+    def test_call_at_in_past_raises(self, sim):
+        sim.run(until=5.0)
+        with pytest.raises(ValueError):
+            sim.call_at(1.0, lambda: None)
+
+    def test_call_at_now_is_allowed(self, sim):
         sim.run(until=5.0)
         fired = []
-        sim.call_at(1.0, lambda: fired.append(sim.now))
+        sim.call_at(5.0, lambda: fired.append(sim.now))
         sim.run()
         assert fired == [5.0]
 
