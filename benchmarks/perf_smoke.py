@@ -1,27 +1,37 @@
 #!/usr/bin/env python
-"""Kernel-throughput smoke check: events/second on fig1 ``--quick``.
+"""Datapath-throughput smoke checks: events/second on fixed workloads.
 
-The fig1 experiment is the kernel's reference workload (one shaped TCP
-stream against UDP contention, ~900k events). This script runs it
-``--rounds`` times with GC suspended, takes the best wall time, and
-reports events/second. The event count is gathered by instrumenting
-``Simulator.__init__`` so every simulator built by the experiment is
-tallied — the workload's event count is deterministic, so any change
-in it is itself a red flag (and is checked against the recorded
-baseline).
+Each workload runs ``--rounds`` times with GC suspended; the best wall
+time is reported as events/second. The event count is gathered by
+instrumenting ``Simulator.__init__`` so every simulator built by the
+workload is tallied — a workload's event count is deterministic, so
+any change in it is itself a red flag (and is checked against the
+recorded baseline).
+
+Workloads (``--workload``):
+
+* ``kernel`` (default) — fig1 ``--quick``, the kernel's reference
+  workload (one shaped TCP stream against UDP contention, ~900k
+  events); baseline in ``BENCH_kernel.json``.
+* ``aqm`` — one oversubscribed table1_aqm cell in ``wred+ecn`` mode,
+  exercising the three-color markers, the WRED'd DRR band, and the
+  RFC 3168 ECN feedback loop end to end; baseline in
+  ``BENCH_aqm.json``.
 
 Usage::
 
-    python benchmarks/perf_smoke.py             # measure and print
-    python benchmarks/perf_smoke.py --check     # exit 1 on regression
-    python benchmarks/perf_smoke.py --update    # append to BENCH_kernel.json
+    python benchmarks/perf_smoke.py                  # measure and print
+    python benchmarks/perf_smoke.py --check          # exit 1 on regression
+    python benchmarks/perf_smoke.py --update         # append to baseline file
+    python benchmarks/perf_smoke.py --workload aqm --check
 
-``--check`` compares against the most recent entry in
-``BENCH_kernel.json`` and fails when throughput drops below
-``(1 - tolerance)`` of it. The default tolerance is 0.30 (a >30%
-regression fails); override with ``--tolerance`` or the
-``PERF_SMOKE_TOLERANCE`` environment variable (CI machines of very
-different speed should instead refresh the baseline with --update).
+``--check`` compares against the most recent entry in the workload's
+baseline file and fails when throughput drops below ``(1 -
+tolerance)`` of it, or when the event count drifts at all. The default
+tolerance is 0.30 (a >30% regression fails); override with
+``--tolerance`` or the ``PERF_SMOKE_TOLERANCE`` environment variable
+(CI machines of very different speed should instead refresh the
+baseline with --update).
 """
 
 from __future__ import annotations
@@ -37,12 +47,52 @@ from pathlib import Path
 REPO = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO / "src"))
 
-BENCH_FILE = REPO / "BENCH_kernel.json"
 
-
-def measure_once():
-    """One fig1 --quick run; returns (total_events, wall_seconds)."""
+def _run_kernel():
     from repro.experiments import fig1_tcp_reservation
+
+    fig1_tcp_reservation.run(quick=True, seed=0)
+
+
+def _run_aqm():
+    from repro.experiments import table1_aqm
+    from repro.experiments.table1_burstiness import NORMAL_DEPTH_DIVISOR
+
+    cell = table1_aqm.measure_cell(
+        bandwidth_kbps=1600.0,
+        fps=1.0,
+        bucket_divisor=NORMAL_DEPTH_DIVISOR,
+        mode="wred+ecn",
+        seed=0,
+        duration=5.0,
+    )
+    # The cell must actually exercise the marking path — a silent
+    # config drift that stops CE marks would turn this benchmark into
+    # a plain priority-queue measurement.
+    if cell["ecn_marks"] <= 0:
+        raise SystemExit(
+            f"aqm workload produced no ECN marks ({cell!r}); "
+            "the WRED+ECN datapath is not being exercised"
+        )
+
+
+#: name -> (description line for the baseline file, baseline file, fn)
+WORKLOADS = {
+    "kernel": (
+        "fig1 --quick --seed 0 wall time, best-of-N, gc off",
+        REPO / "BENCH_kernel.json",
+        _run_kernel,
+    ),
+    "aqm": (
+        "table1_aqm cell 1600/1fps wred+ecn wall time, best-of-N, gc off",
+        REPO / "BENCH_aqm.json",
+        _run_aqm,
+    ),
+}
+
+
+def measure_once(workload_fn):
+    """One workload run; returns (total_events, wall_seconds)."""
     from repro.kernel import simulator as sim_mod
 
     sims = []
@@ -56,7 +106,7 @@ def measure_once():
     gc.disable()
     try:
         started = time.perf_counter()
-        fig1_tcp_reservation.run(quick=True, seed=0)
+        workload_fn()
         wall = time.perf_counter() - started
     finally:
         gc.enable()
@@ -65,12 +115,12 @@ def measure_once():
     return sum(s.events_processed for s in sims), wall
 
 
-def measure(rounds: int):
+def measure(rounds: int, workload_fn):
     """Best-of-``rounds``; returns (events, best_wall, events_per_sec)."""
     events = None
     best = float("inf")
     for i in range(rounds):
-        n, wall = measure_once()
+        n, wall = measure_once(workload_fn)
         if events is None:
             events = n
         elif n != events:
@@ -86,12 +136,15 @@ def measure(rounds: int):
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workload", choices=sorted(WORKLOADS),
+                        default="kernel",
+                        help="which datapath to measure (default kernel)")
     parser.add_argument("--rounds", type=int, default=5,
                         help="runs to take the best of (default 5)")
     parser.add_argument("--check", action="store_true",
                         help="fail if throughput regresses vs the baseline")
     parser.add_argument("--update", action="store_true",
-                        help="append this measurement to BENCH_kernel.json")
+                        help="append this measurement to the baseline file")
     parser.add_argument("--label", default="measurement",
                         help="history label for --update")
     parser.add_argument(
@@ -103,18 +156,19 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
-    events, best, eps = measure(args.rounds)
+    description, bench_file, workload_fn = WORKLOADS[args.workload]
+    events, best, eps = measure(args.rounds, workload_fn)
     print(f"best: {events} events in {best:.2f}s ({eps:,.0f} events/s)")
 
-    bench = json.loads(BENCH_FILE.read_text()) if BENCH_FILE.exists() else {
-        "benchmark": "fig1 --quick --seed 0 wall time, best-of-N, gc off",
+    bench = json.loads(bench_file.read_text()) if bench_file.exists() else {
+        "benchmark": description,
         "history": [],
     }
 
     status = 0
     if args.check:
         if not bench["history"]:
-            print("no baseline recorded in BENCH_kernel.json; run --update")
+            print(f"no baseline recorded in {bench_file.name}; run --update")
             return 1
         baseline = bench["history"][-1]
         if events != baseline["events"]:
@@ -146,8 +200,8 @@ def main(argv=None) -> int:
             "events_per_sec": round(eps),
             "rounds": args.rounds,
         })
-        BENCH_FILE.write_text(json.dumps(bench, indent=2) + "\n")
-        print(f"recorded in {BENCH_FILE}")
+        bench_file.write_text(json.dumps(bench, indent=2) + "\n")
+        print(f"recorded in {bench_file}")
 
     return status
 

@@ -1,0 +1,47 @@
+"""Active queue management: RED/WRED, three-color markers, DRR, ECN.
+
+This layer replaces drop-tail-only congestion signaling:
+
+* :class:`RedQueue` — Random Early Detection over an EWMA average
+  queue, marking ECN-capable packets instead of dropping them;
+* :class:`WredQueue` — per-drop-precedence RED curves (Cisco-style
+  WRED over the RFC 2597 AF matrix);
+* :class:`SrTcmMarker` / :class:`TrTcmMarker` — RFC 2697/2698
+  three-color meters; :class:`TcmMarking` remarks metered packets to
+  AF drop precedences at the domain edge;
+* :class:`DrrQdisc` — deficit-round-robin scheduling as an
+  alternative to strict priority (bounds each band's share);
+* :class:`AqmPolicy` — the MQC-facing configuration object
+  :class:`repro.diffserv.DiffServDomain` consumes.
+
+Everything implements the :class:`repro.net.queues.Qdisc` interface
+and is deterministic under a fixed simulator seed (RED's coin flips
+draw from ``sim.rng``).
+"""
+
+from .drr import DrrQdisc
+from .marker import (
+    COLOR_GREEN,
+    COLOR_RED,
+    COLOR_YELLOW,
+    SrTcmMarker,
+    TcmMarking,
+    TrTcmMarker,
+)
+from .policy import AQM_MODES, AqmPolicy
+from .red import RedCurve, RedQueue, WredQueue
+
+__all__ = [
+    "AQM_MODES",
+    "AqmPolicy",
+    "COLOR_GREEN",
+    "COLOR_RED",
+    "COLOR_YELLOW",
+    "DrrQdisc",
+    "RedCurve",
+    "RedQueue",
+    "SrTcmMarker",
+    "TcmMarking",
+    "TrTcmMarker",
+    "WredQueue",
+]

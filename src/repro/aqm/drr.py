@@ -1,0 +1,129 @@
+"""Deficit-round-robin scheduling (Shreedhar & Varghese 1996).
+
+:class:`DrrQdisc` composes child qdiscs into bands and serves them by
+byte-accurate deficit rounds, so each band's long-run share of a
+saturated link is proportional to its quantum — the alternative to
+strict priority that bounds how much one class can take. Leading
+bands may optionally stay strict-priority (the EF PHB keeps its
+latency guarantee while AF and BE split the remainder by weight).
+
+Work conservation: an idle band forfeits its round, so spare capacity
+flows to the backlogged bands; quanta only bind under contention.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..net.packet import Packet
+from ..net.queues import Qdisc
+
+__all__ = ["DrrQdisc"]
+
+
+class DrrQdisc(Qdisc):
+    """DRR over child band qdiscs, with optional strict lead bands.
+
+    Parameters
+    ----------
+    bands:
+        ``[(child_qdisc, quantum_bytes), ...]``. Quanta are ignored
+        for strict bands. A quantum smaller than the MTU still works —
+        the deficit accumulates over rounds — it just costs extra
+        scheduler rounds per packet.
+    classify:
+        ``(packet) -> band index``.
+    strict_bands:
+        The first ``strict_bands`` bands are served in strict priority
+        *before* any DRR band (0 = pure DRR).
+    band_filters:
+        Optional per-band admission filters ``{index: (packet) -> bool}``
+        applied before the child enqueue — the hook the DiffServ domain
+        uses for its aggregate EF policer. A False verdict counts in
+        ``filter_drops``.
+    """
+
+    def __init__(
+        self,
+        bands: Sequence[Tuple[Qdisc, float]],
+        classify: Callable[[Packet], int],
+        strict_bands: int = 0,
+        band_filters: Optional[dict] = None,
+    ) -> None:
+        if not bands:
+            raise ValueError("at least one band required")
+        if not 0 <= strict_bands <= len(bands):
+            raise ValueError("strict_bands out of range")
+        for _, quantum in bands[strict_bands:]:
+            if quantum <= 0:
+                raise ValueError("DRR quanta must be positive")
+        self._children: List[Qdisc] = [q for q, _ in bands]
+        self._quanta: List[float] = [quantum for _, quantum in bands]
+        self._classify = classify
+        self._strict = strict_bands
+        self._deficit: List[float] = [0.0] * len(bands)
+        #: DRR bands currently in the active rotation, in service order.
+        self._active: List[int] = []
+        self.filter_drops = 0
+        self.band_filters = dict(band_filters) if band_filters else {}
+
+    @property
+    def bands(self) -> List[Qdisc]:
+        return list(self._children)
+
+    # -- qdisc interface ---------------------------------------------------
+
+    def enqueue(self, packet: Packet) -> bool:
+        band = self._classify(packet)
+        fltr = self.band_filters.get(band)
+        if fltr is not None and not fltr(packet):
+            self.filter_drops += 1
+            return False
+        child = self._children[band]
+        was_empty = len(child) == 0
+        if not child.enqueue(packet):
+            return False
+        if was_empty and band >= self._strict and band not in self._active:
+            self._deficit[band] = 0.0
+            self._active.append(band)
+        return True
+
+    def dequeue(self) -> Optional[Packet]:
+        # Strict lead bands first (EF keeps its latency bound).
+        for band in range(self._strict):
+            packet = self._children[band].dequeue()
+            if packet is not None:
+                return packet
+        active = self._active
+        while active:
+            band = active[0]
+            child = self._children[band]
+            head = child._queue[0] if child._queue else None
+            if head is None:
+                # Drained (possibly by an AQM child dropping its whole
+                # backlog): leave the rotation.
+                active.pop(0)
+                continue
+            if head.size <= self._deficit[band]:
+                packet = child.dequeue()
+                self._deficit[band] -= packet.size
+                if len(child) == 0:
+                    active.pop(0)
+                return packet
+            # Head doesn't fit this round: grant the quantum, rotate to
+            # the next band, and keep looping — deficits accumulate
+            # until some backlogged head fits, so this terminates.
+            self._deficit[band] += self._quanta[band]
+            active.append(active.pop(0))
+        return None
+
+    def __len__(self) -> int:
+        return sum(len(q) for q in self._children)
+
+    @property
+    def backlog_bytes(self) -> int:
+        return sum(q.backlog_bytes for q in self._children)
+
+    @property
+    def drops(self) -> int:
+        return sum(q.total_drops for q in self._children) + self.filter_drops

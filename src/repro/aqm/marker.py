@@ -1,0 +1,215 @@
+"""Three-color meters (RFC 2697 srTCM, RFC 2698 trTCM) and the
+edge-marking rule that remaps colors to AF drop precedences.
+
+A meter assigns each packet green, yellow, or red. :class:`TcmMarking`
+wraps a meter as a classifier action (the same ``apply(packet)``
+protocol as :class:`repro.diffserv.conditioner.PolicedMarking`), so
+three-color marking installs at edge conditioners exactly like the
+paper's single-bucket policer — but instead of dropping excess it
+*remarks* it down the AF drop precedences, leaving the drop decision
+to WRED inside the network.
+
+Units follow the repo conventions: rates in bits/second, bucket
+depths in bytes (the RFCs use bytes/second; the translation is
+confined to the callers' configuration).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..diffserv.token_bucket import TokenBucket
+from ..net.packet import Packet
+
+__all__ = [
+    "COLOR_GREEN",
+    "COLOR_YELLOW",
+    "COLOR_RED",
+    "SrTcmMarker",
+    "TrTcmMarker",
+    "TcmMarking",
+]
+
+COLOR_GREEN = "green"
+COLOR_YELLOW = "yellow"
+COLOR_RED = "red"
+
+
+class SrTcmMarker:
+    """Single-rate three-color meter (RFC 2697, color-blind mode).
+
+    One rate (CIR) feeds two buckets: the committed burst (CBS) and
+    the excess burst (EBS). Green while the committed bucket covers
+    the packet, yellow while the excess bucket does, red otherwise.
+    """
+
+    def __init__(self, cir: float, cbs: float, ebs: float) -> None:
+        if ebs <= 0:
+            raise ValueError("ebs must be positive")
+        self.committed = TokenBucket(cir, cbs)
+        self.excess = TokenBucket(cir, ebs)
+
+    @property
+    def cir(self) -> float:
+        return self.committed.rate
+
+    def color(self, nbytes: int, now: float) -> str:
+        if self.committed.consume(nbytes, now):
+            return COLOR_GREEN
+        if self.excess.consume(nbytes, now):
+            return COLOR_YELLOW
+        return COLOR_RED
+
+    def reconfigure(
+        self,
+        rate: Optional[float] = None,
+        depth: Optional[float] = None,
+        *,
+        now: float,
+    ) -> None:
+        """Reservation-modify hook: ``depth`` resizes the committed
+        burst; the excess burst keeps its CBS ratio."""
+        if depth is not None and self.committed.depth > 0:
+            ratio = self.excess.depth / self.committed.depth
+            self.excess.reconfigure(rate=rate, depth=depth * ratio, now=now)
+        else:
+            self.excess.reconfigure(rate=rate, now=now)
+        self.committed.reconfigure(rate=rate, depth=depth, now=now)
+
+    def __repr__(self) -> str:
+        return (
+            f"<SrTcmMarker cir={self.cir:.0f}b/s cbs={self.committed.depth:.0f}B "
+            f"ebs={self.excess.depth:.0f}B>"
+        )
+
+
+class TrTcmMarker:
+    """Two-rate three-color meter (RFC 2698, color-blind mode).
+
+    Red when the peak bucket (PIR/PBS) cannot cover the packet,
+    yellow when only the peak can, green when the committed bucket
+    (CIR/CBS) can too.
+    """
+
+    def __init__(self, cir: float, cbs: float, pir: float, pbs: float) -> None:
+        if pir < cir:
+            raise ValueError("pir must be >= cir")
+        self.committed = TokenBucket(cir, cbs)
+        self.peak = TokenBucket(pir, pbs)
+
+    @property
+    def cir(self) -> float:
+        return self.committed.rate
+
+    def color(self, nbytes: int, now: float) -> str:
+        if not self.peak.consume(nbytes, now):
+            return COLOR_RED
+        if self.committed.consume(nbytes, now):
+            return COLOR_GREEN
+        return COLOR_YELLOW
+
+    def reconfigure(
+        self,
+        rate: Optional[float] = None,
+        depth: Optional[float] = None,
+        *,
+        now: float,
+    ) -> None:
+        """Reservation-modify hook: the peak keeps its rate/depth
+        ratios to the committed bucket."""
+        if rate is not None:
+            pr_ratio = self.peak.rate / self.committed.rate
+            self.peak.reconfigure(rate=rate * pr_ratio, now=now)
+        if depth is not None and self.committed.depth > 0:
+            pb_ratio = self.peak.depth / self.committed.depth
+            self.peak.reconfigure(depth=depth * pb_ratio, now=now)
+        self.committed.reconfigure(rate=rate, depth=depth, now=now)
+
+    def __repr__(self) -> str:
+        return (
+            f"<TrTcmMarker cir={self.cir:.0f}b/s pir={self.peak.rate:.0f}b/s>"
+        )
+
+
+class TcmMarking:
+    """Classifier action: meter with a TCM, remark by color.
+
+    ``dscp_by_color`` maps each color to the codepoint to stamp —
+    e.g. green→EF, yellow→AF12, red→AF13 for a premium flow whose
+    excess rides the assured class, or green→AF11/yellow→AF12/
+    red→AF13 for a pure AF service. ``red_action`` may instead drop
+    reds outright (``"drop"``), degenerating to a policer with an
+    excess-burst allowance.
+
+    Exposes the same accounting attributes as
+    :class:`repro.diffserv.conditioner.PolicedMarking`
+    (``conforming_*`` = green, ``exceeding_*`` = red) so
+    :class:`repro.diffserv.mqc.PremiumFlowHandle` aggregates either
+    rule kind unchanged.
+    """
+
+    def __init__(
+        self,
+        sim,
+        meter,
+        dscp_by_color: dict,
+        red_action: str = "remark",
+    ) -> None:
+        if red_action not in ("remark", "drop"):
+            raise ValueError(f"unknown red action {red_action!r}")
+        missing = {COLOR_GREEN, COLOR_YELLOW, COLOR_RED} - set(dscp_by_color)
+        if red_action == "remark" and missing:
+            raise ValueError(f"dscp_by_color missing {sorted(missing)}")
+        self.sim = sim
+        self.meter = meter
+        self.dscp_by_color = dict(dscp_by_color)
+        self.red_action = red_action
+        self.green_packets = 0
+        self.green_bytes = 0
+        self.yellow_packets = 0
+        self.yellow_bytes = 0
+        self.red_packets = 0
+        self.red_bytes = 0
+
+    # -- PolicedMarking-compatible accounting --------------------------------
+
+    @property
+    def conforming_packets(self) -> int:
+        return self.green_packets
+
+    @property
+    def conforming_bytes(self) -> int:
+        return self.green_bytes
+
+    @property
+    def exceeding_packets(self) -> int:
+        return self.red_packets
+
+    @property
+    def exceeding_bytes(self) -> int:
+        return self.red_bytes
+
+    def reconfigure(
+        self,
+        rate: Optional[float] = None,
+        depth: Optional[float] = None,
+        *,
+        now: float,
+    ) -> None:
+        self.meter.reconfigure(rate=rate, depth=depth, now=now)
+
+    def apply(self, packet: Packet) -> bool:
+        color = self.meter.color(packet.size, self.sim._now)
+        if color == COLOR_GREEN:
+            self.green_packets += 1
+            self.green_bytes += packet.size
+        elif color == COLOR_YELLOW:
+            self.yellow_packets += 1
+            self.yellow_bytes += packet.size
+        else:
+            self.red_packets += 1
+            self.red_bytes += packet.size
+            if self.red_action == "drop":
+                return False
+        packet.dscp = self.dscp_by_color[color]
+        return True

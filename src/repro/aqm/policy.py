@@ -1,0 +1,168 @@
+"""AQM deployment policy: what the MQC config API consumes.
+
+:class:`AqmPolicy` describes how a DiffServ domain's routers signal
+congestion. ``mode="droptail"`` (the default everywhere) is the
+paper's configuration and leaves every code path byte-identical to a
+domain built without a policy. The AQM modes change two things:
+
+* **egress qdiscs** become EF-strict DRR over an AF WRED band and a
+  BE drop-tail band, so excess premium traffic gets a *bounded* share
+  of each link instead of strict-priority starvation or a hard drop;
+* **edge conditioning** of premium flows becomes three-color marking
+  (srTCM or trTCM): conforming traffic is still EF, bursts are
+  remarked to AF drop precedences and survive unless WRED says
+  otherwise. With ``mode="wred+ecn"`` WRED marks CE instead of
+  dropping when the transport negotiated ECN.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..diffserv.dscp import EF, af_dscp, service_class_of
+from ..net.queues import DropTailQueue, Qdisc
+from .drr import DrrQdisc
+from .marker import SrTcmMarker, TcmMarking, TrTcmMarker
+from .red import RedCurve, WredQueue
+
+__all__ = ["AqmPolicy", "AQM_MODES"]
+
+AQM_MODES = ("droptail", "wred", "wred+ecn")
+
+
+@dataclass
+class AqmPolicy:
+    """Per-domain AQM configuration (Cisco MQC ``policy-map`` analogue).
+
+    Attributes
+    ----------
+    mode:
+        ``"droptail"`` | ``"wred"`` | ``"wred+ecn"``.
+    marker:
+        ``"srtcm"`` (RFC 2697) or ``"trtcm"`` (RFC 2698) for premium
+        edge conditioning in the AQM modes.
+    af_class:
+        AF class (1..4) that carries remarked premium excess.
+    af_share:
+        AF band's DRR weight on router egress ports. Small by design:
+        the assured class is an excess channel, not a second premium.
+    ebs_factor:
+        srTCM excess burst = ``ebs_factor * committed burst``.
+    pir_factor:
+        trTCM peak rate = ``pir_factor * committed rate``.
+    quantum_bytes:
+        DRR base quantum split between AF and BE by ``af_share``.
+    wred_curves:
+        Drop-precedence → :class:`RedCurve`; defaults to
+        :attr:`WredQueue.DEFAULT_CURVES`.
+    wred_limit_packets, wred_wq, idle_pkt_time:
+        WRED queue bound and EWMA tuning.
+    """
+
+    mode: str = "droptail"
+    marker: str = "srtcm"
+    af_class: int = 1
+    af_share: float = 0.05
+    ebs_factor: float = 2.0
+    pir_factor: float = 2.0
+    quantum_bytes: int = 6000
+    wred_curves: Optional[Dict[int, RedCurve]] = None
+    wred_limit_packets: int = 100
+    wred_wq: float = 0.002
+    idle_pkt_time: float = field(default=1e-3)
+
+    def __post_init__(self) -> None:
+        if self.mode not in AQM_MODES:
+            raise ValueError(
+                f"unknown AQM mode {self.mode!r} (one of {AQM_MODES})"
+            )
+        if self.marker not in ("srtcm", "trtcm"):
+            raise ValueError(f"unknown marker {self.marker!r}")
+        if not 0 < self.af_share < 1:
+            raise ValueError("af_share must be in (0, 1)")
+        if not 1 <= self.af_class <= 4:
+            raise ValueError("af_class must be 1..4")
+
+    @property
+    def active(self) -> bool:
+        """True when this policy changes anything at all."""
+        return self.mode != "droptail"
+
+    @property
+    def ecn(self) -> bool:
+        return self.mode == "wred+ecn"
+
+    # -- factories (one per router egress port / edge rule) -----------------
+
+    def build_router_qdisc(
+        self,
+        sim,
+        ef_limit_packets: int = 400,
+        be_limit_packets: int = 100,
+        ef_filter=None,
+    ) -> Qdisc:
+        """One egress discipline: EF strict over DRR{AF: WRED, BE}.
+
+        ``ef_filter`` optionally gates EF admissions (the domain's
+        aggregate policer hook).
+        """
+        af_quantum = max(64.0, self.af_share * self.quantum_bytes)
+        be_quantum = max(64.0, (1.0 - self.af_share) * self.quantum_bytes)
+        wred = WredQueue(
+            sim,
+            curves=self.wred_curves,
+            limit_packets=self.wred_limit_packets,
+            wq=self.wred_wq,
+            ecn=self.ecn,
+            idle_pkt_time=self.idle_pkt_time,
+        )
+        filters = {0: ef_filter} if ef_filter is not None else None
+        return DrrQdisc(
+            bands=[
+                (DropTailQueue(limit_packets=ef_limit_packets), 0.0),
+                (wred, af_quantum),
+                (DropTailQueue(limit_packets=be_limit_packets), be_quantum),
+            ],
+            classify=lambda packet: service_class_of(packet.dscp),
+            strict_bands=1,
+            band_filters=filters,
+        )
+
+    def build_meter(self, rate: float, depth: float):
+        """A three-color meter committed to ``rate``/``depth``."""
+        if self.marker == "srtcm":
+            return SrTcmMarker(
+                cir=rate, cbs=depth, ebs=self.ebs_factor * depth
+            )
+        return TrTcmMarker(
+            cir=rate,
+            cbs=depth,
+            pir=self.pir_factor * rate,
+            pbs=self.pir_factor * depth,
+        )
+
+    def build_premium_rule(self, sim, rate: float, depth: float) -> TcmMarking:
+        """Edge rule for a premium flow: green stays EF, excess rides
+        the AF drop precedences."""
+        return TcmMarking(
+            sim,
+            self.build_meter(rate, depth),
+            dscp_by_color={
+                "green": EF,
+                "yellow": af_dscp(self.af_class, 2),
+                "red": af_dscp(self.af_class, 3),
+            },
+        )
+
+    def build_af_rule(self, sim, rate: float, depth: float) -> TcmMarking:
+        """Edge rule for a pure assured-forwarding flow: AFx1/x2/x3."""
+        return TcmMarking(
+            sim,
+            self.build_meter(rate, depth),
+            dscp_by_color={
+                "green": af_dscp(self.af_class, 1),
+                "yellow": af_dscp(self.af_class, 2),
+                "red": af_dscp(self.af_class, 3),
+            },
+        )

@@ -1,0 +1,261 @@
+"""RED and WRED queues (Floyd & Jacobson 1993, Cisco-style WRED).
+
+Both disciplines keep a FIFO backlog and apply their intelligence at
+enqueue time only, which lets them serve as band queues inside
+:class:`repro.diffserv.PriorityQdisc` (whose dequeue fast path pops
+the band's ``_queue`` deque directly) as well as stand-alone qdiscs.
+
+The average queue is an EWMA in *packets*, updated at every arrival:
+
+    avg <- (1 - wq) * avg + wq * len(queue)
+
+with the idle-period correction from the RED paper: after the queue
+drains, the average decays as if ``m`` small packets had departed
+(``m = idle_time / idle_pkt_time``). Between ``min_th`` and ``max_th``
+the drop/mark probability ramps linearly to ``p_max`` and is inflated
+by the count of packets admitted since the last action (the uniform-
+spacing trick from the paper); at or above ``max_th`` every arrival is
+dropped (not marked — RFC 3168 §7 treats persistent overload as loss).
+
+Determinism: the only randomness is ``sim.rng.random()``, the
+simulator's seeded generator, so runs are bit-reproducible and
+independent of process layout (each deployment owns its simulator).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Dict, Optional
+
+from ..diffserv.dscp import drop_precedence_of
+from ..net.packet import ECN_CE, ECN_ECT0, ECN_ECT1, Packet
+from ..net.queues import Qdisc
+
+__all__ = ["RedCurve", "RedQueue", "WredQueue"]
+
+
+@dataclass(frozen=True)
+class RedCurve:
+    """One RED drop curve: thresholds in average *packets*."""
+
+    min_th: float
+    max_th: float
+    p_max: float
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.min_th < self.max_th:
+            raise ValueError(
+                f"need 0 <= min_th < max_th, got {self.min_th}/{self.max_th}"
+            )
+        if not 0 < self.p_max <= 1:
+            raise ValueError(f"p_max must be in (0, 1], got {self.p_max}")
+
+
+class RedQueue(Qdisc):
+    """Random Early Detection with optional ECN marking.
+
+    Parameters
+    ----------
+    sim:
+        The simulator (timestamps for idle decay, ``sim.rng`` for the
+        early-action coin flips).
+    curve:
+        The RED thresholds/probability (defaults to min 5 / max 15
+        packets at 10% — sized for the testbed's shallow 100-packet
+        ports).
+    limit_packets:
+        Hard tail-drop bound.
+    wq:
+        EWMA weight (RED paper default 0.002).
+    ecn:
+        When True, an early action on an ECN-capable packet (ECT0 or
+        ECT1) sets CE instead of dropping. Tail drops and over-max
+        drops are never converted to marks.
+    idle_pkt_time:
+        Assumed per-packet service time used to decay the average
+        across idle periods.
+    """
+
+    def __init__(
+        self,
+        sim,
+        curve: Optional[RedCurve] = None,
+        limit_packets: int = 100,
+        wq: float = 0.002,
+        ecn: bool = False,
+        idle_pkt_time: float = 1e-3,
+    ) -> None:
+        if limit_packets <= 0:
+            raise ValueError("limit_packets must be positive")
+        if not 0 < wq <= 1:
+            raise ValueError("wq must be in (0, 1]")
+        if idle_pkt_time <= 0:
+            raise ValueError("idle_pkt_time must be positive")
+        self.sim = sim
+        self.curve = curve if curve is not None else RedCurve(5.0, 15.0, 0.1)
+        self.limit_packets = limit_packets
+        self.wq = wq
+        self.ecn = ecn
+        self.idle_pkt_time = idle_pkt_time
+        # Band protocol: PriorityQdisc/DrrQdisc pop these directly.
+        self._queue: Deque[Packet] = deque()
+        self._bytes = 0
+        #: EWMA average queue length in packets.
+        self.avg = 0.0
+        self._idle_since: Optional[float] = 0.0
+        self._count = -1  # packets since last early action
+        # Counters (the Qdisc drop contract: drops == all losses).
+        self.drops = 0
+        self.drop_bytes = 0
+        self.tail_drops = 0
+        self.early_drops = 0
+        self.ecn_marks = 0
+        self.on_drop: Optional[Callable[[Packet], None]] = None
+
+    # -- internals ---------------------------------------------------------
+
+    def _dropped(self, packet: Packet, tail: bool) -> bool:
+        self.drops += 1
+        self.drop_bytes += packet.size
+        if tail:
+            self.tail_drops += 1
+        else:
+            self.early_drops += 1
+        if self.on_drop is not None:
+            self.on_drop(packet)
+        tel = self.sim.telemetry
+        if tel is not None and tel.trace is not None:
+            event = "tail_drop" if tail else "early_drop"
+            if tel.trace.wants("aqm", event):
+                tel.trace.emit(
+                    self.sim.now, "aqm", event,
+                    src=packet.src, dst=packet.dst,
+                    sport=packet.sport, dport=packet.dport,
+                    dscp=packet.dscp, size=packet.size,
+                    avg=round(self.avg, 3),
+                )
+        return False
+
+    def _marked(self, packet: Packet) -> None:
+        packet.ecn = ECN_CE
+        self.ecn_marks += 1
+        tel = self.sim.telemetry
+        if tel is not None and tel.trace is not None:
+            if tel.trace.wants("aqm", "ecn_mark"):
+                tel.trace.emit(
+                    self.sim.now, "aqm", "ecn_mark",
+                    src=packet.src, dst=packet.dst,
+                    sport=packet.sport, dport=packet.dport,
+                    dscp=packet.dscp, size=packet.size,
+                    avg=round(self.avg, 3),
+                )
+
+    def _update_avg(self) -> float:
+        if self._queue:
+            self.avg += self.wq * (len(self._queue) - self.avg)
+        else:
+            # Queue is idle: decay as if m packets had drained.
+            if self._idle_since is not None:
+                m = (self.sim.now - self._idle_since) / self.idle_pkt_time
+                if m > 0:
+                    self.avg *= (1.0 - self.wq) ** m
+                self._idle_since = None
+            self.avg += self.wq * (0.0 - self.avg)
+        return self.avg
+
+    def _early_action(self, curve: RedCurve, avg: float) -> bool:
+        """True if this arrival should be marked/dropped early."""
+        self._count += 1
+        p_b = curve.p_max * (avg - curve.min_th) / (curve.max_th - curve.min_th)
+        denom = 1.0 - self._count * p_b
+        p_a = 1.0 if denom <= 0 else p_b / denom
+        if self.sim.rng.random() < p_a:
+            self._count = 0
+            return True
+        return False
+
+    def _curve_for(self, packet: Packet) -> RedCurve:
+        return self.curve
+
+    # -- qdisc interface ---------------------------------------------------
+
+    def enqueue(self, packet: Packet) -> bool:
+        avg = self._update_avg()
+        curve = self._curve_for(packet)
+        if avg >= curve.max_th or len(self._queue) >= self.limit_packets:
+            self._count = -1
+            return self._dropped(packet, tail=True)
+        if avg > curve.min_th:
+            if self._early_action(curve, avg):
+                if self.ecn and packet.ecn in (ECN_ECT0, ECN_ECT1):
+                    self._marked(packet)
+                else:
+                    return self._dropped(packet, tail=False)
+        else:
+            self._count = -1
+        self._queue.append(packet)
+        self._bytes += packet.size
+        return True
+
+    def dequeue(self) -> Optional[Packet]:
+        if not self._queue:
+            return None
+        packet = self._queue.popleft()
+        self._bytes -= packet.size
+        if not self._queue:
+            self._idle_since = self.sim.now
+        return packet
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    @property
+    def backlog_bytes(self) -> int:
+        return self._bytes
+
+
+class WredQueue(RedQueue):
+    """Weighted RED: one physical queue, per-drop-precedence curves.
+
+    ``curves`` maps RFC 2597 drop precedence (1..3) to its
+    :class:`RedCurve`; precedence 1 (greens) gets the most headroom,
+    precedence 3 (reds) the least. Non-AF packets use the precedence-1
+    curve (:func:`repro.diffserv.dscp.drop_precedence_of`). The EWMA
+    average is shared — what differs per color is only where on the
+    average the curve bites, which is exactly Cisco MQC ``random-detect
+    dscp-based`` behaviour.
+    """
+
+    #: Default curves over a 100-packet queue: greens survive longest.
+    DEFAULT_CURVES: Dict[int, RedCurve] = {
+        1: RedCurve(12.0, 30.0, 0.05),
+        2: RedCurve(6.0, 20.0, 0.20),
+        3: RedCurve(3.0, 12.0, 0.50),
+    }
+
+    def __init__(
+        self,
+        sim,
+        curves: Optional[Dict[int, RedCurve]] = None,
+        limit_packets: int = 100,
+        wq: float = 0.002,
+        ecn: bool = False,
+        idle_pkt_time: float = 1e-3,
+    ) -> None:
+        chosen = dict(curves) if curves is not None else dict(self.DEFAULT_CURVES)
+        for prec in (1, 2, 3):
+            if prec not in chosen:
+                raise ValueError(f"missing WRED curve for drop precedence {prec}")
+        super().__init__(
+            sim,
+            curve=chosen[1],
+            limit_packets=limit_packets,
+            wq=wq,
+            ecn=ecn,
+            idle_pkt_time=idle_pkt_time,
+        )
+        self.curves = chosen
+
+    def _curve_for(self, packet: Packet) -> RedCurve:
+        return self.curves[drop_precedence_of(packet.dscp)]

@@ -41,12 +41,16 @@ class MpichGQ:
         tcp_config: Optional[TcpConfig] = None,
         bucket_divisor: Optional[float] = None,
         resilient: bool = False,
+        aqm=None,
     ) -> None:
+        """``aqm`` (a :class:`repro.aqm.AqmPolicy`, or None) selects the
+        domain's congestion-signalling mode; the default is the paper's
+        drop-tail strict-priority configuration."""
         self.network = network
         self.sim: Simulator = network.sim
         if routers is None:
             routers = [n for n in network.nodes.values() if isinstance(n, Router)]
-        self.domain = DiffServDomain(self.sim, routers)
+        self.domain = DiffServDomain(self.sim, routers, aqm=aqm)
         #: Write-ahead journal for broker mutations (resilient only).
         self.journal = None
         #: Heartbeat failure detector over the broker (resilient only).

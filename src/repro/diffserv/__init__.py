@@ -9,6 +9,7 @@ from .conditioner import (
     TrafficConditioner,
 )
 from .dscp import (
+    AF_CODEPOINTS,
     AF_LOW_LATENCY,
     BEST_EFFORT,
     CLASS_AF,
@@ -16,6 +17,10 @@ from .dscp import (
     CLASS_EF,
     DSCP_NAMES,
     EF,
+    af_class_of,
+    af_dscp,
+    drop_precedence_of,
+    is_af,
     service_class_of,
 )
 from .mqc import DiffServDomain, PremiumFlowHandle
@@ -28,6 +33,7 @@ from .token_bucket import (
 )
 
 __all__ = [
+    "AF_CODEPOINTS",
     "AF_LOW_LATENCY",
     "BEST_EFFORT",
     "CLASS_AF",
@@ -47,6 +53,10 @@ __all__ = [
     "PriorityQdisc",
     "TokenBucket",
     "TrafficConditioner",
+    "af_class_of",
+    "af_dscp",
+    "drop_precedence_of",
+    "is_af",
     "paper_bucket_depth",
     "service_class_of",
 ]

@@ -51,6 +51,19 @@ class PolicedMarking:
         self.exceeding_packets = 0
         self.exceeding_bytes = 0
 
+    def reconfigure(
+        self,
+        rate: Optional[float] = None,
+        depth: Optional[float] = None,
+        *,
+        now: float,
+    ) -> None:
+        """Reservation-modify hook (mark-only rules ignore it); the
+        same interface :class:`repro.aqm.TcmMarking` implements, so
+        the domain can modify either rule kind uniformly."""
+        if self.bucket is not None:
+            self.bucket.reconfigure(rate=rate, depth=depth, now=now)
+
     def apply(self, packet: Packet) -> bool:
         """Mark/police ``packet``; returns False if it must be dropped."""
         if self.bucket is None or self.bucket.consume(packet.size, self.sim._now):

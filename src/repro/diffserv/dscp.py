@@ -4,6 +4,13 @@ The paper uses three application-visible QoS classes (§4.1): premium
 (built on the EF per-hop behaviour), low-latency (for small-message
 traffic such as collectives — we map it to an AF-style class), and
 best-effort.
+
+The full Assured Forwarding matrix (RFC 2597) is spelled out here
+because the AQM layer needs it: an AF codepoint encodes a *class*
+(AF1x–AF4x, which queue) and a *drop precedence* (AFx1–AFx3, which
+WRED curve). Three-color markers remark a flow's packets between the
+precedences of one class; WRED then discriminates among them under
+congestion.
 """
 
 from __future__ import annotations
@@ -12,7 +19,12 @@ __all__ = [
     "BEST_EFFORT",
     "AF_LOW_LATENCY",
     "EF",
+    "AF_CODEPOINTS",
     "DSCP_NAMES",
+    "af_dscp",
+    "af_class_of",
+    "drop_precedence_of",
+    "is_af",
     "service_class_of",
     "CLASS_EF",
     "CLASS_AF",
@@ -21,12 +33,36 @@ __all__ = [
 
 #: Default forwarding — codepoint 0.
 BEST_EFFORT = 0
-#: Assured-forwarding-style class used for the "low-latency" QoS class.
-AF_LOW_LATENCY = 10  # AF11
 #: Expedited Forwarding (RFC 2598): strict-priority service.
 EF = 46
 
-DSCP_NAMES = {BEST_EFFORT: "BE", AF_LOW_LATENCY: "AF11", EF: "EF"}
+
+def af_dscp(af_class: int, precedence: int) -> int:
+    """The RFC 2597 codepoint for AF<class><precedence>.
+
+    ``dscp = 8 * class + 2 * precedence`` with class in 1..4 and drop
+    precedence in 1..3 (1 = lowest, dropped last).
+    """
+    if not 1 <= af_class <= 4:
+        raise ValueError(f"AF class must be 1..4, got {af_class}")
+    if not 1 <= precedence <= 3:
+        raise ValueError(f"drop precedence must be 1..3, got {precedence}")
+    return 8 * af_class + 2 * precedence
+
+
+#: Every RFC 2597 codepoint: AF11..AF43.
+AF_CODEPOINTS = frozenset(
+    af_dscp(klass, prec) for klass in range(1, 5) for prec in range(1, 4)
+)
+
+#: Assured-forwarding-style class used for the "low-latency" QoS class.
+AF_LOW_LATENCY = af_dscp(1, 1)  # AF11
+
+DSCP_NAMES = {BEST_EFFORT: "BE", EF: "EF"}
+for _klass in range(1, 5):
+    for _prec in range(1, 4):
+        DSCP_NAMES[af_dscp(_klass, _prec)] = f"AF{_klass}{_prec}"
+del _klass, _prec
 
 # Internal service-class indices used by the priority qdisc
 # (lower index = higher priority).
@@ -35,10 +71,39 @@ CLASS_AF = 1
 CLASS_BE = 2
 
 
+def is_af(dscp: int) -> bool:
+    """True for any RFC 2597 assured-forwarding codepoint."""
+    return dscp in AF_CODEPOINTS
+
+
+def af_class_of(dscp: int) -> int:
+    """AF class (1..4) of an AF codepoint."""
+    if dscp not in AF_CODEPOINTS:
+        raise ValueError(f"{dscp} is not an AF codepoint")
+    return dscp // 8
+
+
+def drop_precedence_of(dscp: int) -> int:
+    """Drop precedence (1..3) of an AF codepoint; 1 for anything else.
+
+    Non-AF traffic sharing an AF queue is treated as lowest drop
+    precedence (the most protected curve), the conventional WRED
+    default for unmarked packets.
+    """
+    if dscp in AF_CODEPOINTS:
+        return (dscp % 8) // 2
+    return 1
+
+
 def service_class_of(dscp: int) -> int:
-    """Map a codepoint to its scheduling class."""
+    """Map a codepoint to its scheduling class.
+
+    Every AF codepoint (AF11–AF43) lands in the AF band — classes
+    beyond AF1x used to fall through to best effort, silently demoting
+    marked traffic.
+    """
     if dscp == EF:
         return CLASS_EF
-    if dscp == AF_LOW_LATENCY:
+    if dscp in AF_CODEPOINTS:
         return CLASS_AF
     return CLASS_BE

@@ -15,6 +15,7 @@ from typing import Dict, List, Optional
 
 from ..kernel import Simulator
 from ..net.node import Host, Interface, Router
+from ..net.queues import Qdisc
 from .classifier import FlowSpec
 from .conditioner import EXCEED_DROP, PolicedMarking, TrafficConditioner
 from .dscp import AF_LOW_LATENCY, BEST_EFFORT, EF
@@ -53,6 +54,28 @@ class PremiumFlowHandle:
         return sum(r.exceeding_packets for r in self.rules)
 
 
+class _AggregatePolicerFilter:
+    """EF-band admission filter wrapping the aggregate policer, for
+    DRR-based egress ports (PriorityQdisc inlines the same logic)."""
+
+    def __init__(self, sim: Simulator, bucket: TokenBucket) -> None:
+        self.sim = sim
+        self.bucket = bucket
+
+    def __call__(self, packet) -> bool:
+        if self.bucket.consume(packet.size, self.sim.now):
+            return True
+        tel = self.sim.telemetry
+        if tel is not None and tel.trace is not None:
+            tel.trace.emit(
+                self.sim.now, "diffserv", "ef_policer_drop",
+                src=packet.src, dst=packet.dst,
+                sport=packet.sport, dport=packet.dport,
+                size=packet.size,
+            )
+        return False
+
+
 class DiffServDomain:
     """A set of routers operated as one DiffServ domain.
 
@@ -70,18 +93,27 @@ class DiffServDomain:
         ef_limit_packets: int = 400,
         be_limit_packets: int = 100,
         ef_aggregate_share: Optional[float] = None,
+        aqm=None,
     ) -> None:
         """``ef_aggregate_share`` (e.g. 0.7) additionally installs an
         aggregate EF policer on every *core-facing* egress port — the
         §5.1 "police the premium aggregate" mechanism guarding against
-        broken admission control."""
+        broken admission control.
+
+        ``aqm`` is an optional :class:`repro.aqm.AqmPolicy`. In its
+        AQM modes router egress ports get EF-strict DRR with a WRED
+        assured band, and premium flows are conditioned by three-color
+        markers instead of a drop policer. ``None`` (or a droptail
+        policy) leaves every mechanism exactly as the paper configures
+        it."""
         if ef_aggregate_share is not None and not 0 < ef_aggregate_share <= 1:
             raise ValueError("ef_aggregate_share must be in (0, 1]")
         self.sim = sim
         self.routers = list(routers)
         self.ef_aggregate_share = ef_aggregate_share
+        self.aqm = aqm if aqm is not None and aqm.active else None
         self.conditioners: Dict[Interface, TrafficConditioner] = {}
-        self.priority_qdiscs: List[PriorityQdisc] = []
+        self.priority_qdiscs: List[Qdisc] = []
         for router in self.routers:
             for iface in router.interfaces:
                 aggregate = None
@@ -92,14 +124,24 @@ class DiffServDomain:
                     rate = iface.bandwidth * ef_aggregate_share
                     aggregate = TokenBucket(rate, depth=rate / 40.0)
                     aggregate._last = sim.now
-                qdisc = PriorityQdisc(
-                    ef_limit_packets=ef_limit_packets,
-                    be_limit_packets=be_limit_packets,
-                    ef_aggregate_policer=aggregate,
-                    sim=sim,
-                )
-                iface.qdisc = qdisc
-                self.priority_qdiscs.append(qdisc)
+                if self.aqm is not None:
+                    ef_filter = None
+                    if aggregate is not None:
+                        ef_filter = _AggregatePolicerFilter(sim, aggregate)
+                    qdisc = self.aqm.build_router_qdisc(
+                        sim,
+                        ef_limit_packets=ef_limit_packets,
+                        be_limit_packets=be_limit_packets,
+                        ef_filter=ef_filter,
+                    )
+                else:
+                    qdisc = PriorityQdisc(
+                        ef_limit_packets=ef_limit_packets,
+                        be_limit_packets=be_limit_packets,
+                        ef_aggregate_policer=aggregate,
+                        sim=sim,
+                    )
+                self.set_egress_qdisc(iface, qdisc)
                 if isinstance(iface.peer.node, Host):
                     conditioner = TrafficConditioner(
                         sim,
@@ -108,6 +150,30 @@ class DiffServDomain:
                     )
                     iface.ingress.append(conditioner)
                     self.conditioners[iface] = conditioner
+
+    # -- per-interface configuration (MQC service-policy analogues) --------
+
+    def set_egress_qdisc(self, iface: Interface, qdisc: Qdisc) -> None:
+        """Attach ``qdisc`` to one egress port (``service-policy out``).
+
+        Replaces whatever this domain previously installed there and
+        keeps the domain's qdisc inventory (telemetry walks it)
+        consistent."""
+        old = iface.qdisc
+        iface.qdisc = qdisc
+        if old in self.priority_qdiscs:
+            self.priority_qdiscs[self.priority_qdiscs.index(old)] = qdisc
+        else:
+            self.priority_qdiscs.append(qdisc)
+
+    def attach_marker(self, iface: Interface, spec: FlowSpec, rule) -> None:
+        """Bind a marking rule (e.g. :class:`repro.aqm.TcmMarking`) to
+        ``spec`` on one conditioned edge interface (``service-policy
+        in`` with a ``police ... conform/exceed/violate`` clause)."""
+        conditioner = self.conditioners.get(iface)
+        if conditioner is None:
+            raise ValueError(f"{iface!r} has no edge conditioner")
+        conditioner.classifier.add(spec, rule)
 
     # -- premium flows ----------------------------------------------------
 
@@ -126,15 +192,45 @@ class DiffServDomain:
         one edge's rule ever meters it; installing at all edges avoids
         needing topology knowledge here (GARA's bandwidth broker does
         the per-path admission control).
+
+        Under an active AQM policy the edge rule is a three-color
+        marker instead: conforming traffic still becomes EF, but the
+        excess is remarked to AF drop precedences (and the handle's
+        ``policed_drops`` counts *red-metered* packets, which WRED may
+        or may not actually drop downstream).
         """
         specs = [spec] if isinstance(spec, FlowSpec) else list(spec)
         if not specs:
             raise ValueError("at least one flow spec required")
         handle = PremiumFlowHandle(specs=specs, rate=rate, depth=depth)
         for conditioner in self.conditioners.values():
-            bucket = TokenBucket(rate, depth)
-            bucket._last = self.sim.now
-            rule = PolicedMarking(self.sim, EF, bucket, exceed_action)
+            if self.aqm is not None:
+                rule = self.aqm.build_premium_rule(self.sim, rate, depth)
+            else:
+                bucket = TokenBucket(rate, depth)
+                bucket._last = self.sim.now
+                rule = PolicedMarking(self.sim, EF, bucket, exceed_action)
+            for s in specs:
+                conditioner.classifier.add(s, rule)
+            handle.rules.append(rule)
+            handle.conditioners.append(conditioner)
+        return handle
+
+    def install_af_flow(
+        self, spec, rate: float, depth: float
+    ) -> PremiumFlowHandle:
+        """Mark flow(s) into the assured class: three-color metered to
+        AFx1/AFx2/AFx3 at every edge. Requires an active AQM policy
+        (the paper's strict-priority configuration has no assured
+        service to offer)."""
+        if self.aqm is None:
+            raise ValueError("install_af_flow requires an active AQM policy")
+        specs = [spec] if isinstance(spec, FlowSpec) else list(spec)
+        if not specs:
+            raise ValueError("at least one flow spec required")
+        handle = PremiumFlowHandle(specs=specs, rate=rate, depth=depth)
+        for conditioner in self.conditioners.values():
+            rule = self.aqm.build_af_rule(self.sim, rate, depth)
             for s in specs:
                 conditioner.classifier.add(s, rule)
             handle.rules.append(rule)
@@ -160,8 +256,7 @@ class DiffServDomain:
         if handle.removed:
             raise ValueError("flow has been removed")
         for rule in handle.rules:
-            if rule.bucket is not None:
-                rule.bucket.reconfigure(rate=rate, depth=depth, now=self.sim.now)
+            rule.reconfigure(rate=rate, depth=depth, now=self.sim.now)
         handle.rate = rate
         handle.depth = depth
 
@@ -186,4 +281,8 @@ class DiffServDomain:
 
     def ef_backlog_packets(self) -> int:
         """Total packets sitting in EF queues (diagnostic)."""
-        return sum(len(q.ef_queue) for q in self.priority_qdiscs)
+        total = 0
+        for q in self.priority_qdiscs:
+            ef = getattr(q, "ef_queue", None)
+            total += len(ef) if ef is not None else len(q.bands[0])
+        return total

@@ -5,11 +5,16 @@ associated with reservations are sent before any other packets. When
 there are no packets in the priority queue, other packets are allowed
 to use the entire available bandwidth" (§5.1). This realises the EF PHB.
 
-:class:`PriorityQdisc` holds one drop-tail queue per service class
-(EF > AF > BE) and always dequeues from the highest non-empty class.
-An optional aggregate EF policer at a domain-ingress port limits the
-total expedited traffic, "to prevent starvation of nonexpedited flows"
-(§2).
+:class:`PriorityQdisc` holds one queue per service class (EF > AF > BE)
+and always dequeues from the highest non-empty class. An optional
+aggregate EF policer at a domain-ingress port limits the total
+expedited traffic, "to prevent starvation of nonexpedited flows" (§2).
+
+Band queues default to drop-tail but are pluggable: any discipline
+that keeps its backlog in a ``_queue`` deque with a ``_bytes`` byte
+count (the band protocol :class:`repro.aqm.RedQueue` and friends
+follow) can serve as a band, which is how WRED drops into the AF band
+without touching the scheduler.
 """
 
 from __future__ import annotations
@@ -19,7 +24,7 @@ from typing import List, Optional
 from ..net.packet import Packet
 from ..net.queues import DropTailQueue, Qdisc
 from .dscp import (
-    AF_LOW_LATENCY as _AF_LOW_LATENCY,
+    AF_CODEPOINTS as _AF_CODEPOINTS,
     CLASS_AF,
     CLASS_BE,
     CLASS_EF,
@@ -31,7 +36,7 @@ __all__ = ["PriorityQdisc"]
 
 
 class PriorityQdisc(Qdisc):
-    """Strict-priority scheduling over per-class drop-tail queues.
+    """Strict-priority scheduling over per-class queues.
 
     Parameters
     ----------
@@ -42,6 +47,11 @@ class PriorityQdisc(Qdisc):
     ef_aggregate_policer:
         Optional :class:`TokenBucket` policing the *aggregate* EF
         arrivals at this port (used at domain-ingress routers).
+    ef_qdisc, af_qdisc, be_qdisc:
+        Optional band-queue overrides (e.g. a WRED queue on the AF
+        band). An override must follow the band protocol: expose
+        ``_queue``/``_bytes`` for the scheduler's dequeue fast path
+        and do its own drop accounting in ``enqueue``.
     """
 
     N_CLASSES = 3
@@ -53,11 +63,20 @@ class PriorityQdisc(Qdisc):
         be_limit_packets: int = 100,
         ef_aggregate_policer: Optional[TokenBucket] = None,
         sim=None,
+        ef_qdisc: Optional[Qdisc] = None,
+        af_qdisc: Optional[Qdisc] = None,
+        be_qdisc: Optional[Qdisc] = None,
     ) -> None:
-        self._queues: List[DropTailQueue] = [
-            DropTailQueue(limit_packets=ef_limit_packets),
-            DropTailQueue(limit_packets=af_limit_packets),
-            DropTailQueue(limit_packets=be_limit_packets),
+        self._queues: List[Qdisc] = [
+            ef_qdisc or DropTailQueue(limit_packets=ef_limit_packets),
+            af_qdisc or DropTailQueue(limit_packets=af_limit_packets),
+            be_qdisc or DropTailQueue(limit_packets=be_limit_packets),
+        ]
+        # Per-band enqueue override: None selects the inlined drop-tail
+        # fast path; anything else is dispatched dynamically.
+        self._band_enqueue = [
+            None if type(q) is DropTailQueue else q.enqueue
+            for q in self._queues
         ]
         self.ef_aggregate_policer = ef_aggregate_policer
         self.sim = sim
@@ -68,29 +87,35 @@ class PriorityQdisc(Qdisc):
     # -- class accessors (for tests and monitoring) ----------------------
 
     @property
-    def ef_queue(self) -> DropTailQueue:
+    def ef_queue(self) -> Qdisc:
         return self._queues[CLASS_EF]
 
     @property
-    def af_queue(self) -> DropTailQueue:
+    def af_queue(self) -> Qdisc:
         return self._queues[CLASS_AF]
 
     @property
-    def be_queue(self) -> DropTailQueue:
+    def be_queue(self) -> Qdisc:
         return self._queues[CLASS_BE]
 
     @property
     def drops(self) -> int:
-        return sum(q.drops for q in self._queues) + self.ef_policer_drops
+        """All losses at this port: band-queue drops (tail *and* AQM
+        early drops) plus aggregate-policer drops. ``total_drops``
+        (the telemetry figure) mirrors this, so policer losses are
+        never invisible in queue stats."""
+        return sum(q.total_drops for q in self._queues) + self.ef_policer_drops
 
     # -- qdisc interface --------------------------------------------------
 
     def enqueue(self, packet: Packet) -> bool:
         # Inlined service_class_of: this runs once per packet per hop.
+        # Any AF codepoint (AF11..AF43) selects the AF band — only
+        # AF11 used to, silently demoting the other eleven to BE.
         dscp = packet.dscp
         klass = (
             CLASS_EF if dscp == _EF
-            else CLASS_AF if dscp == _AF_LOW_LATENCY
+            else CLASS_AF if dscp in _AF_CODEPOINTS
             else CLASS_BE
         )
         if klass == CLASS_EF and self.ef_aggregate_policer is not None:
@@ -105,6 +130,10 @@ class PriorityQdisc(Qdisc):
                         size=packet.size,
                     )
                 return False
+        band_enqueue = self._band_enqueue[klass]
+        if band_enqueue is not None:
+            # Custom band discipline (e.g. WRED on the AF band).
+            return band_enqueue(packet)
         # Inlined DropTailQueue.enqueue for the band queue (nothing
         # patches the inner bands' enqueue; the *qdisc*-level enqueue —
         # this method — is the supported hook point).
@@ -122,7 +151,9 @@ class PriorityQdisc(Qdisc):
         for queue in self._queues:
             # Peek and pop the band's deque directly: the scan skips
             # (usually empty) higher-priority bands without a call, and
-            # the hit avoids a second method dispatch.
+            # the hit avoids a second method dispatch. Band overrides
+            # keep this valid by exposing _queue/_bytes (all RED-family
+            # work happens at enqueue; dequeue is plain FIFO).
             if queue._queue:
                 packet = queue._queue.popleft()
                 queue._bytes -= packet.size

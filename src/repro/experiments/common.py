@@ -47,9 +47,12 @@ def build_deployment(
     tcp_config: Optional[TcpConfig] = None,
     bucket_divisor: Optional[float] = None,
     start_contention: bool = True,
+    aqm=None,
 ) -> GarnetDeployment:
     """GARNET + MPICH-GQ (ranks 0/1 on the premium hosts) + optional
-    UDP contention between the competitive hosts."""
+    UDP contention between the competitive hosts. ``aqm`` optionally
+    switches the domain from the paper's drop-tail configuration to a
+    WRED / WRED+ECN one (see :class:`repro.aqm.AqmPolicy`)."""
     sim = Simulator(seed=seed)
     testbed = garnet(
         sim,
@@ -63,6 +66,7 @@ def build_deployment(
         eager_threshold=eager_threshold,
         tcp_config=tcp_config,
         bucket_divisor=bucket_divisor,
+        aqm=aqm,
     )
     contention = None
     if contention_rate:

@@ -27,7 +27,7 @@ import time
 from pathlib import Path
 from typing import Any, Dict, List, NamedTuple, Optional, Tuple
 
-from . import fig6_visualization, table1_burstiness
+from . import fig6_visualization, table1_aqm, table1_burstiness
 
 __all__ = ["run_parallel"]
 
@@ -40,6 +40,7 @@ _WHOLE_WEIGHTS = {
     "fig6": 14.0,
     "fig7": 2.0,
     "table1": 60.0,
+    "table1_aqm": 40.0,
     "fig8": 0.5,
     "fig9": 11.0,
 }
@@ -48,6 +49,8 @@ _FIG6_POINT_WEIGHT = 2.0
 #: the cell's target bandwidth, so weight by it (the constant only
 #: has to rank cells above fig6 points and scale with bandwidth).
 _TABLE1_CELL_WEIGHT_PER_KBPS = 0.008
+#: A table1_aqm cell is a single (non-bisected) run of the same probe.
+_TABLE1_AQM_CELL_WEIGHT_PER_KBPS = 0.001
 
 
 class _Job(NamedTuple):
@@ -118,6 +121,16 @@ def _table1_cell_job(kwargs: dict, seed: int):
     return value, time.time() - started
 
 
+def _table1_aqm_cell_job(kwargs: dict, seed: int):
+    started = time.time()
+    gc.disable()
+    try:
+        value = table1_aqm.measure_cell(seed=seed, **kwargs)
+    finally:
+        gc.enable()
+    return value, time.time() - started
+
+
 # ---------------------------------------------------------------------------
 # Planning, execution, merging
 # ---------------------------------------------------------------------------
@@ -151,6 +164,17 @@ def _plan(
                         ("table1", key),
                         bandwidth * _TABLE1_CELL_WEIGHT_PER_KBPS,
                         _table1_cell_job,
+                        (kwargs, seed),
+                    )
+                )
+        elif partition and name == "table1_aqm":
+            for key, kwargs in table1_aqm.plan_cells(quick=quick):
+                bandwidth = key[0]
+                jobs.append(
+                    _Job(
+                        ("table1_aqm", key),
+                        bandwidth * _TABLE1_AQM_CELL_WEIGHT_PER_KBPS,
+                        _table1_aqm_cell_job,
                         (kwargs, seed),
                     )
                 )
@@ -212,6 +236,14 @@ def run_parallel(
             values = {k: raw[("table1", k)][0] for k in keys}
             elapsed = sum(raw[("table1", k)][1] for k in keys)
             result = table1_burstiness.run(
+                quick=quick, seed=seed, cell_results=values
+            )
+            results.append((name, result, elapsed, None))
+        elif partition and name == "table1_aqm":
+            keys = [k for k, _ in table1_aqm.plan_cells(quick=quick)]
+            values = {k: raw[("table1_aqm", k)][0] for k in keys}
+            elapsed = sum(raw[("table1_aqm", k)][1] for k in keys)
+            result = table1_aqm.run(
                 quick=quick, seed=seed, cell_results=values
             )
             results.append((name, result, elapsed, None))

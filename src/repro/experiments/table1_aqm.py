@@ -1,0 +1,227 @@
+"""Table 1 revisited under active queue management.
+
+A beyond-paper ablation: the Table 1 burstiness grid is rerun with the
+reservation deliberately *undersized* (``RES_FACTOR`` of the target
+rate — the oversubscribed regime §5.4 warns about) under three domain
+configurations:
+
+* ``droptail`` — the paper's strict-priority + policer setup, built
+  through exactly the pre-AQM code path;
+* ``wred`` — premium excess is three-color-remarked into a WRED'd
+  assured band with a small bounded DRR share;
+* ``wred+ecn`` — same, but WRED marks CE instead of dropping and the
+  transport negotiates RFC 3168 ECN.
+
+Where the paper's configuration turns an undersized reservation into
+policer drops, RTO timeouts, and go-back-N resends, the AQM modes keep
+the excess flowing: WRED converts bursts into early drops the sender
+repairs cheaply, and WRED+ECN signals congestion with no loss at all.
+The interesting columns are the resent segments and timeouts next to
+the achieved throughput.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..aqm import AQM_MODES, AqmPolicy
+from ..apps import VisualizationPipeline
+from ..net import KB, kbps, mbps
+from ..transport.tcp import TcpConfig
+from .common import ExperimentResult, build_deployment
+from .table1_burstiness import CONFIGS, FULL_BANDWIDTHS, QUICK_BANDWIDTHS
+
+__all__ = ["run", "measure_cell", "plan_cells", "RES_FACTOR"]
+
+#: Reservation as a fraction of the application's target rate. 0.6
+#: leaves enough excess to exceed the AF band's DRR share on bursty
+#: cells, so WRED actually has to arbitrate.
+RES_FACTOR = 0.6
+
+
+def measure_cell(
+    bandwidth_kbps: float,
+    fps: float,
+    bucket_divisor: float,
+    mode: str,
+    seed: int = 0,
+    duration: float = 8.0,
+) -> Dict[str, float]:
+    """One grid cell under one AQM mode.
+
+    Same deployment recipe as :func:`..fig6_visualization.measure_point`
+    (30 Mb/s backbone, 40 Mb/s UDP contention, period-correct Reno with
+    a 300 ms RTO floor), but with the domain's AQM policy switched and
+    the loss-recovery cost captured alongside the throughput.
+    """
+    aqm = None if mode == "droptail" else AqmPolicy(mode=mode)
+    dep = build_deployment(
+        seed=seed,
+        backbone_bandwidth=mbps(30.0),
+        contention_rate=mbps(40.0),
+        tcp_config=TcpConfig(
+            recovery="reno",
+            min_rto=0.3,
+            ecn=aqm is not None and aqm.ecn,
+        ),
+        aqm=aqm,
+    )
+    sim, gq = dep.sim, dep.gq
+    reservation_kbps = bandwidth_kbps * RES_FACTOR
+    gq.agent.reserve_flows(
+        0, 1, kbps(reservation_kbps), bucket_divisor=bucket_divisor
+    )
+    frame_bytes = int(bandwidth_kbps * 1e3 / fps / 8.0)
+    app = VisualizationPipeline(
+        frame_bytes=frame_bytes, fps=fps, duration=duration
+    )
+    gq.world.launch(app.main)
+    sim.run(until=duration * 4 + 5.0)
+    throughput = (
+        app.achieved_bandwidth_kbps(1.0, duration)
+        if app.delivered is not None
+        else 0.0
+    )
+
+    resent = timeouts = ce = 0
+    from ..net.packet import PROTO_TCP
+
+    for proc in gq.world.procs:
+        layer = proc.host.protocols.get(PROTO_TCP)
+        if layer is None:
+            continue
+        for conn in layer._connections.values():
+            resent += conn.resent_segments
+            timeouts += conn.timeouts
+            ce += conn.ecn_ce_received
+    early = tail = marks = 0
+    for qdisc in gq.domain.priority_qdiscs:
+        bands = getattr(qdisc, "bands", None)
+        if bands is None or callable(bands):
+            continue
+        for band in bands:
+            early += getattr(band, "early_drops", 0)
+            tail += getattr(band, "tail_drops", 0)
+            marks += getattr(band, "ecn_marks", 0)
+    return {
+        "reservation_kbps": reservation_kbps,
+        "throughput_kbps": throughput,
+        "resent_segments": resent,
+        "timeouts": timeouts,
+        "early_drops": early,
+        "tail_drops": tail,
+        "ecn_marks": marks,
+        "ce_received": ce,
+    }
+
+
+def _resolve_grid(
+    quick: bool,
+    bandwidths_kbps: Optional[Sequence[float]],
+    duration: Optional[float],
+) -> Tuple[Sequence[float], float]:
+    if bandwidths_kbps is None:
+        bandwidths_kbps = QUICK_BANDWIDTHS if quick else FULL_BANDWIDTHS
+    if duration is None:
+        duration = 5.0 if quick else 8.0
+    return bandwidths_kbps, duration
+
+
+def plan_cells(
+    quick: bool = False,
+    bandwidths_kbps: Optional[Sequence[float]] = None,
+    duration: Optional[float] = None,
+) -> List[Tuple[Tuple[float, str, str], dict]]:
+    """The grid as independent jobs, keyed ``(bandwidth, config, mode)``.
+
+    Each cell builds a fresh deployment from the seed, so cells
+    parallelise without changing any value; :func:`run`'s
+    ``cell_results`` merges them through the serial assembly path.
+    """
+    bandwidths_kbps, duration = _resolve_grid(quick, bandwidths_kbps, duration)
+    return [
+        (
+            (bandwidth, label, mode),
+            dict(
+                bandwidth_kbps=bandwidth,
+                fps=fps,
+                bucket_divisor=divisor,
+                mode=mode,
+                duration=duration,
+            ),
+        )
+        for bandwidth in bandwidths_kbps
+        for label, fps, divisor in CONFIGS
+        for mode in AQM_MODES
+    ]
+
+
+def run(
+    quick: bool = False,
+    seed: int = 0,
+    bandwidths_kbps: Optional[Sequence[float]] = None,
+    duration: Optional[float] = None,
+    cell_results: Optional[Dict[Tuple[float, str, str], Dict[str, float]]] = None,
+) -> ExperimentResult:
+    """Produce the AQM-ablation table.
+
+    ``cell_results`` optionally supplies precomputed cell measurements
+    (keyed as in :func:`plan_cells`) so the parallel runner merges
+    through the same assembly code as a serial run.
+    """
+    bandwidths_kbps, duration = _resolve_grid(quick, bandwidths_kbps, duration)
+
+    result = ExperimentResult(
+        experiment="table1_aqm",
+        description=f"Table 1 grid at {RES_FACTOR:.0%} reservation: "
+        "drop-tail vs WRED vs WRED+ECN",
+        headers=[
+            "bandwidth_kbps",
+            "config",
+            "mode",
+            "reservation_kbps",
+            "throughput_kbps",
+            "resent_segments",
+            "timeouts",
+            "early_drops",
+            "tail_drops",
+            "ecn_marks",
+        ],
+    )
+    totals = {mode: {"resent": 0, "timeouts": 0, "throughput": 0.0}
+              for mode in AQM_MODES}
+    for bandwidth in bandwidths_kbps:
+        for label, fps, divisor in CONFIGS:
+            for mode in AQM_MODES:
+                if cell_results is not None:
+                    cell = cell_results[(bandwidth, label, mode)]
+                else:
+                    cell = measure_cell(
+                        bandwidth,
+                        fps,
+                        divisor,
+                        mode,
+                        seed=seed,
+                        duration=duration,
+                    )
+                result.rows.append([
+                    bandwidth,
+                    label,
+                    mode,
+                    cell["reservation_kbps"],
+                    cell["throughput_kbps"],
+                    cell["resent_segments"],
+                    cell["timeouts"],
+                    cell["early_drops"],
+                    cell["tail_drops"],
+                    cell["ecn_marks"],
+                ])
+                totals[mode]["resent"] += cell["resent_segments"]
+                totals[mode]["timeouts"] += cell["timeouts"]
+                totals[mode]["throughput"] += cell["throughput_kbps"]
+    for mode in AQM_MODES:
+        key = mode.replace("+", "_")
+        result.extra[f"{key}_resent_segments"] = totals[mode]["resent"]
+        result.extra[f"{key}_timeouts"] = totals[mode]["timeouts"]
+        result.extra[f"{key}_total_throughput_kbps"] = totals[mode]["throughput"]
+    return result

@@ -2,6 +2,10 @@
 
 from .packet import (
     DEFAULT_TTL,
+    ECN_CE,
+    ECN_ECT0,
+    ECN_ECT1,
+    ECN_NOT_ECT,
     FlowKey,
     IP_HEADER_BYTES,
     Packet,
@@ -27,6 +31,10 @@ from .units import KB, MB, kbps, mbps, to_kbps, to_mbps, transmission_time
 __all__ = [
     "DEFAULT_TTL",
     "DropTailQueue",
+    "ECN_CE",
+    "ECN_ECT0",
+    "ECN_ECT1",
+    "ECN_NOT_ECT",
     "FlowKey",
     "GarnetTestbed",
     "Host",

@@ -20,6 +20,10 @@ __all__ = [
     "TCP_HEADER_BYTES",
     "UDP_HEADER_BYTES",
     "DEFAULT_TTL",
+    "ECN_NOT_ECT",
+    "ECN_ECT1",
+    "ECN_ECT0",
+    "ECN_CE",
 ]
 
 PROTO_TCP = 6
@@ -31,6 +35,12 @@ TCP_HEADER_BYTES = 20
 UDP_HEADER_BYTES = 8
 
 DEFAULT_TTL = 64
+
+# ECN field codepoints (RFC 3168, the two low bits of the IP TOS byte).
+ECN_NOT_ECT = 0  # transport is not ECN-capable
+ECN_ECT1 = 1  # ECN-capable transport, codepoint 1
+ECN_ECT0 = 2  # ECN-capable transport, codepoint 0 (the common one)
+ECN_CE = 3  # congestion experienced — set by an AQM instead of dropping
 
 _uid_counter = itertools.count(1)
 
@@ -62,6 +72,9 @@ class Packet:
         ``PROTO_TCP`` or ``PROTO_UDP``.
     dscp:
         DiffServ codepoint (see :mod:`repro.diffserv.dscp`).
+    ecn:
+        ECN field (``ECN_NOT_ECT``/``ECN_ECT0``/``ECN_ECT1``/``ECN_CE``).
+        Routers may rewrite ECT to CE in place of an early drop.
     size:
         Total wire length in bytes, headers included.
     payload:
@@ -80,6 +93,7 @@ class Packet:
         "ttl",
         "uid",
         "created_at",
+        "ecn",
     )
 
     def __init__(
@@ -94,6 +108,7 @@ class Packet:
         dscp: int = 0,
         ttl: int = DEFAULT_TTL,
         created_at: float = 0.0,
+        ecn: int = ECN_NOT_ECT,
     ) -> None:
         if size <= 0:
             raise ValueError(f"packet size must be positive, got {size}")
@@ -108,6 +123,7 @@ class Packet:
         self.ttl = ttl
         self.uid = next(_uid_counter)
         self.created_at = created_at
+        self.ecn = ecn
 
     @property
     def flow_key(self) -> FlowKey:

@@ -16,7 +16,20 @@ __all__ = ["Qdisc", "DropTailQueue"]
 
 
 class Qdisc:
-    """Interface all queue disciplines implement."""
+    """Interface all queue disciplines implement.
+
+    Drop accounting contract: every discipline exposes ``drops`` (the
+    packets it refused or discarded, *including* any internal policer
+    or AQM losses) and ``total_drops``, the figure telemetry and
+    experiments consume. The default ``total_drops`` simply mirrors
+    ``drops``; disciplines that keep finer-grained counters (tail vs
+    early vs policer) must make sure the two stay consistent — a
+    packet handed to ``enqueue`` is either queued, or counted in
+    ``drops`` exactly once.
+    """
+
+    #: Packets this discipline dropped (tail, early, or policed).
+    drops: int = 0
 
     def enqueue(self, packet: Packet) -> bool:
         """Queue ``packet``; return False if it was dropped instead."""
@@ -33,6 +46,13 @@ class Qdisc:
     def backlog_bytes(self) -> int:
         """Bytes currently queued."""
         raise NotImplementedError
+
+    @property
+    def total_drops(self) -> int:
+        """All losses at this discipline — the unified figure
+        telemetry and experiments use. Equals ``drops`` unless a
+        subclass documents otherwise."""
+        return self.drops
 
 
 class DropTailQueue(Qdisc):

@@ -36,8 +36,16 @@ def _set(reg: MetricsRegistry, name: str, value: float) -> None:
     metric.value = float(value)
 
 
+def _aqm_metrics(reg: MetricsRegistry, base: str, queue) -> None:
+    """RED/WRED instrumentation: mark/drop split plus the EWMA gauge."""
+    _set(reg, f"{base}.early_drops", queue.early_drops)
+    _set(reg, f"{base}.tail_drops", queue.tail_drops)
+    _set(reg, f"{base}.ecn_marks", queue.ecn_marks)
+    reg.gauge(f"{base}.avg_queue_packets").set(queue.avg)
+
+
 def _qdisc_metrics(reg: MetricsRegistry, base: str, qdisc) -> None:
-    _set(reg, f"{base}.qdisc.drops", getattr(qdisc, "drops", 0))
+    _set(reg, f"{base}.qdisc.drops", getattr(qdisc, "total_drops", 0))
     reg.gauge(f"{base}.qdisc.backlog_bytes").set(qdisc.backlog_bytes)
     reg.gauge(f"{base}.qdisc.backlog_packets").set(len(qdisc))
     # DiffServ priority qdisc: per-class queues and the EF policer.
@@ -48,8 +56,23 @@ def _qdisc_metrics(reg: MetricsRegistry, base: str, qdisc) -> None:
             reg.gauge(f"{base}.qdisc.{klass}.backlog_bytes").set(
                 queue.backlog_bytes
             )
+    # AQM DRR qdisc: per-band children, with RED/WRED detail.
+    band_children = getattr(qdisc, "bands", None)
+    if callable(band_children):
+        band_children = None
+    if band_children:
+        for i, child in enumerate(band_children):
+            cbase = f"{base}.qdisc.band{i}"
+            _set(reg, f"{cbase}.drops", child.total_drops)
+            reg.gauge(f"{cbase}.backlog_bytes").set(child.backlog_bytes)
+            if hasattr(child, "early_drops"):
+                _aqm_metrics(reg, cbase, child)
+        if hasattr(qdisc, "filter_drops"):
+            _set(reg, f"{base}.policer.drops", qdisc.filter_drops)
     if hasattr(qdisc, "ef_policer_drops"):
         _set(reg, f"{base}.policer.drops", qdisc.ef_policer_drops)
+    if hasattr(qdisc, "early_drops"):
+        _aqm_metrics(reg, f"{base}.qdisc", qdisc)
 
 
 def collect_network(
@@ -92,6 +115,9 @@ def collect_tcp_host(reg: MetricsRegistry, host, prefix: str = "") -> None:
         _set(reg, f"{base}.acked_bytes", conn.acked_counter.total)
         _set(reg, f"{base}.delivered_bytes", conn.delivered_counter.total)
         reg.gauge(f"{base}.cwnd_bytes").set(conn.cwnd)
+        if getattr(conn, "ecn_enabled", False):
+            _set(reg, f"{base}.ecn_ce_received", conn.ecn_ce_received)
+            _set(reg, f"{base}.ecn_responses", conn.ecn_responses)
 
 
 def collect_mpi_world(reg: MetricsRegistry, world, prefix: str = "") -> None:
@@ -136,11 +162,17 @@ def collect_domain(reg: MetricsRegistry, domain, prefix: str = "") -> None:
             if not hasattr(rule, "conforming_bytes"):
                 continue
             rbase = f"{base}.rule{i}"
-            reg.gauge(f"{rbase}.dscp").set(rule.dscp)
+            dscp = getattr(rule, "dscp", None)
+            if dscp is None:  # three-color marker: report its green stamp
+                dscp = rule.dscp_by_color["green"]
+            reg.gauge(f"{rbase}.dscp").set(dscp)
             _set(reg, f"{rbase}.conforming_packets", rule.conforming_packets)
             _set(reg, f"{rbase}.conforming_bytes", rule.conforming_bytes)
             _set(reg, f"{rbase}.exceeding_packets", rule.exceeding_packets)
             _set(reg, f"{rbase}.exceeding_bytes", rule.exceeding_bytes)
+            if hasattr(rule, "yellow_packets"):
+                _set(reg, f"{rbase}.yellow_packets", rule.yellow_packets)
+                _set(reg, f"{rbase}.yellow_bytes", rule.yellow_bytes)
 
 
 def collect_mpichgq(reg: MetricsRegistry, gq, prefix: str = "") -> None:

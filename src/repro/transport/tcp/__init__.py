@@ -7,12 +7,14 @@ from .config import MSS_BYTES, SEGMENT_OVERHEAD_BYTES, TcpConfig
 from .connection import ConnectionClosed, ConnectionRefused, TcpConnection
 from .layer import TcpLayer, TcpListener
 from .rtt import RttEstimator
-from .segment import ACK, FIN, FINACK, PROBE, SYN, TcpSegment
+from .segment import ACK, CWR, ECE, FIN, FINACK, PROBE, SYN, TcpSegment
 
 __all__ = [
     "ACK",
+    "CWR",
     "ConnectionClosed",
     "ConnectionRefused",
+    "ECE",
     "FIN",
     "FINACK",
     "MSS_BYTES",

@@ -44,6 +44,10 @@ class TcpConfig:
     nagle: bool = False
     #: DiffServ codepoint stamped on transmitted packets.
     dscp: int = 0
+    #: Offer/accept ECN (RFC 3168). Effective only when both ends set
+    #: it (negotiated at the handshake); data segments then go out
+    #: ECT(0) and AQM marks CE instead of dropping.
+    ecn: bool = False
     #: Loss recovery: "newreno" (partial ACKs retransmit the next hole)
     #: or "reno" (any new ACK ends recovery; multiple drops per window
     #: usually end in a retransmission timeout — the 2000-era behaviour

@@ -30,11 +30,18 @@ from collections import deque
 from typing import Any, Deque, Optional, Tuple
 
 from ...kernel import Counter, Event, Monitor
-from ...net.packet import DEFAULT_TTL, PROTO_TCP, Packet
+from ...net.packet import (
+    DEFAULT_TTL,
+    ECN_CE,
+    ECN_ECT0,
+    ECN_NOT_ECT,
+    PROTO_TCP,
+    Packet,
+)
 from .buffers import ReceiveBuffer, SendBuffer
 from .config import SEGMENT_OVERHEAD_BYTES, TcpConfig
 from .rtt import RttEstimator
-from .segment import ACK, FIN, FINACK, PROBE, SYN, TcpSegment
+from .segment import ACK, CWR, ECE, FIN, FINACK, PROBE, SYN, TcpSegment
 
 __all__ = ["TcpConnection", "ConnectionClosed", "ConnectionRefused"]
 
@@ -106,6 +113,19 @@ class TcpConnection:
         # Delayed-ACK state.
         self._segs_unacked = 0
 
+        # ECN (RFC 3168). ``ecn_enabled`` becomes True only after both
+        # ends offered it at the handshake. The receiver echoes ECE on
+        # every ACK from the first CE mark until a CWR receipt; the
+        # sender reduces once per window (``_ecn_recover`` is the
+        # snd_nxt fence of the last response, as ``recover`` is for
+        # NewReno) and stamps CWR on its next new data segment.
+        self.ecn_enabled = False
+        self._ecn_echo = False
+        self._cwr_pending = False
+        self._ecn_recover = -1
+        self.ecn_ce_received = 0
+        self.ecn_responses = 0
+
         # Blocking-call plumbing.
         self._send_waiters: Deque[Tuple[Event, int, Any]] = deque()
         self._recv_waiters: Deque[Tuple[Event, str, int]] = deque()
@@ -128,6 +148,13 @@ class TcpConnection:
         self.retransmissions = 0
         self.fast_retransmits = 0
         self.timeouts = 0
+        #: Wire-level resends: any data segment starting below the
+        #: transmission high-water mark. Unlike ``retransmissions``
+        #: (explicit retransmit paths only) this also counts the
+        #: go-back-N stream rewind after an RTO, so it measures the
+        #: actual repeated wire work a loss episode cost.
+        self.resent_segments = 0
+        self._snd_high = 0
         self.cwnd_monitor: Optional[Monitor] = None  # opt-in
 
     # ------------------------------------------------------------------
@@ -229,10 +256,10 @@ class TcpConnection:
     # Packet output
     # ------------------------------------------------------------------
 
-    def _emit(self, segment: TcpSegment) -> None:
+    def _emit(self, segment: TcpSegment, ecn: int = ECN_NOT_ECT) -> None:
         # Positional construction (src, dst, sport, dport, proto, size,
-        # payload, dscp, ttl, created_at): one Packet per segment makes
-        # this a hot allocation site.
+        # payload, dscp, ttl, created_at, ecn): one Packet per segment
+        # makes this a hot allocation site.
         packet = Packet(
             self.layer.host.addr,
             self.remote_addr,
@@ -244,12 +271,18 @@ class TcpConnection:
             self.config.dscp,
             DEFAULT_TTL,
             self.sim._now,
+            ecn,
         )
         self.segments_sent += 1
         self.layer.host.send_packet(packet)
 
     def _send_syn(self) -> None:
-        flags = SYN if self.state == SYN_SENT else SYN | ACK
+        if self.state == SYN_SENT:
+            # RFC 3168 §6.1.1: an ECN-capable active opener sets both
+            # ECE and CWR on its SYN. SYNs themselves are never ECT.
+            flags = SYN | (ECE | CWR if self.config.ecn else 0)
+        else:
+            flags = SYN | ACK | (ECE if self.ecn_enabled else 0)
         # Karn's rule applies to the handshake too: only an
         # unretransmitted SYN exchange yields an RTT sample.
         self._syn_time = self.sim.now if self._syn_retries == 0 else None
@@ -259,6 +292,8 @@ class TcpConnection:
     def _send_pure_ack(self, extra_flags: int = 0) -> None:
         self._cancel_delack()
         self._segs_unacked = 0
+        if self._ecn_echo:
+            extra_flags |= ECE
         wnd = self.recv_buffer.window
         self._advertised_small = wnd < self.config.mss
         self._emit(
@@ -272,6 +307,10 @@ class TcpConnection:
 
     def _send_data_segment(self, seq: int, length: int, retx: bool) -> None:
         markers = self.send_buffer.markers_in(seq, seq + length)
+        if seq < self._snd_high:
+            self.resent_segments += 1
+        if seq + length > self._snd_high:
+            self._snd_high = seq + length
         if retx:
             self.retransmissions += 1
             # Karn's rule: never time a retransmitted range.
@@ -281,6 +320,12 @@ class TcpConnection:
             self._timed = (seq + length, self.sim._now)
         self._cancel_delack()
         self._segs_unacked = 0
+        flags = ACK
+        if self._ecn_echo:
+            flags |= ECE
+        if self._cwr_pending and not retx:
+            flags |= CWR
+            self._cwr_pending = False
         wnd = self.recv_buffer.window
         self._advertised_small = wnd < self.config.mss
         self.seq_monitor.record(seq + length)
@@ -295,15 +340,18 @@ class TcpConnection:
                     dst=self.remote_addr, seq=seq, length=length,
                     cwnd=self.cwnd,
                 )
+        # Only data segments are ECT (RFC 3168 §6.1.1 forbids marking
+        # pure ACKs and handshake segments ECN-capable).
         self._emit(
             TcpSegment(
                 seq=seq,
                 ack=self.recv_buffer.rcv_nxt,
-                flags=ACK,
+                flags=flags,
                 wnd=wnd,
                 length=length,
                 markers=markers or None,
-            )
+            ),
+            ecn=ECN_ECT0 if self.ecn_enabled else ECN_NOT_ECT,
         )
 
     # ------------------------------------------------------------------
@@ -473,6 +521,15 @@ class TcpConnection:
         if self.state != ESTABLISHED:
             return
 
+        if self.ecn_enabled:
+            # CWR receipt first: it closes the previous CE episode even
+            # when this very packet carries a fresh CE mark.
+            if segment.flags & CWR:
+                self._ecn_echo = False
+            if packet.ecn == ECN_CE:
+                self.ecn_ce_received += 1
+                self._ecn_echo = True
+
         if segment.flags & FINACK:
             self._on_finack()
         if segment.flags & ACK:
@@ -486,8 +543,16 @@ class TcpConnection:
 
     def _on_syn_segment(self, segment: TcpSegment) -> None:
         if self.state == SYN_SENT and segment.flags & ACK:
-            # SYN+ACK: connection established on the active side.
+            # SYN+ACK: connection established on the active side. ECN
+            # is negotiated iff the passive side echoed ECE alone
+            # (ECE|CWR would be a simultaneous-open offer, not an echo).
             self.peer_wnd = segment.wnd
+            if (
+                self.config.ecn
+                and segment.flags & ECE
+                and not segment.flags & CWR
+            ):
+                self.ecn_enabled = True
             if self._syn_time is not None:
                 self.rtt.sample(self.sim.now - self._syn_time)
             self._become_established()
@@ -521,6 +586,23 @@ class TcpConnection:
             self._cancel_persist()
         ack = segment.ack
         una = self.send_buffer.una
+
+        if (
+            self.ecn_enabled
+            and segment.flags & ECE
+            and not self.in_recovery
+            and ack > self._ecn_recover
+        ):
+            # RFC 3168 §6.1.2: respond to ECE like a fast retransmit —
+            # halve the window, no retransmission — at most once per
+            # window of data; confirm with CWR on the next new segment.
+            self.ecn_responses += 1
+            self.ssthresh = max(self.flight_size // 2, 2 * cfg.mss)
+            self.cwnd = max(self.ssthresh, cfg.mss)
+            self._ca_acc = 0
+            self._cwr_pending = True
+            self._ecn_recover = self.snd_nxt
+            self._record_cwnd()
 
         if ack > una:
             newly = self.send_buffer.ack_to(min(ack, self.snd_nxt))

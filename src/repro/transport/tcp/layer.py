@@ -9,7 +9,7 @@ from ...net.node import Host
 from ...net.packet import PROTO_TCP, Packet
 from .config import TcpConfig
 from .connection import SYN_RCVD, TcpConnection
-from .segment import SYN
+from .segment import CWR, ECE, SYN
 
 __all__ = ["TcpLayer", "TcpListener"]
 
@@ -50,6 +50,14 @@ class TcpListener:
             )
             conn.state = SYN_RCVD
             conn.peer_wnd = packet.payload.wnd
+            # RFC 3168 negotiation: accept ECN iff we are configured
+            # for it and the SYN carried the ECE|CWR offer; our SYN-ACK
+            # then echoes ECE alone.
+            conn.ecn_enabled = bool(
+                conn.config.ecn
+                and packet.payload.flags & ECE
+                and packet.payload.flags & CWR
+            )
             conn._pending_listener = self
             self.layer._connections[key] = conn
         conn._send_syn()

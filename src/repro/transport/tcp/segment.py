@@ -4,7 +4,10 @@ from __future__ import annotations
 
 from typing import Any, List, Optional, Tuple
 
-__all__ = ["TcpSegment", "SYN", "ACK", "FIN", "FINACK", "PROBE", "flag_names"]
+__all__ = [
+    "TcpSegment", "SYN", "ACK", "FIN", "FINACK", "PROBE", "ECE", "CWR",
+    "flag_names",
+]
 
 SYN = 1
 ACK = 2
@@ -13,8 +16,16 @@ FIN = 4
 FINACK = 8
 #: Zero-window persist probe.
 PROBE = 16
+#: ECN-Echo (RFC 3168): on SYN/SYN-ACK it negotiates ECN capability;
+#: afterwards the receiver sets it on ACKs to report a CE mark.
+ECE = 32
+#: Congestion Window Reduced (RFC 3168): the sender's receipt for ECE.
+CWR = 64
 
-_FLAG_NAMES = [(SYN, "SYN"), (ACK, "ACK"), (FIN, "FIN"), (FINACK, "FINACK"), (PROBE, "PROBE")]
+_FLAG_NAMES = [
+    (SYN, "SYN"), (ACK, "ACK"), (FIN, "FIN"), (FINACK, "FINACK"),
+    (PROBE, "PROBE"), (ECE, "ECE"), (CWR, "CWR"),
+]
 
 
 def flag_names(flags: int) -> str:

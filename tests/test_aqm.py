@@ -1,0 +1,380 @@
+"""repro.aqm: RED/WRED, three-color markers, DRR, and the MQC wiring."""
+
+import pytest
+
+from repro.aqm import (
+    AQM_MODES,
+    AqmPolicy,
+    COLOR_GREEN,
+    COLOR_RED,
+    COLOR_YELLOW,
+    DrrQdisc,
+    RedCurve,
+    RedQueue,
+    SrTcmMarker,
+    TcmMarking,
+    TrTcmMarker,
+    WredQueue,
+)
+from repro.diffserv import EF, FlowSpec, af_dscp, drop_precedence_of
+from repro.kernel import Simulator
+from repro.net import (
+    DropTailQueue,
+    ECN_CE,
+    ECN_ECT0,
+    ECN_NOT_ECT,
+    Packet,
+)
+from repro.net.topology import garnet
+
+
+def pkt(size=1000, dscp=0, ecn=ECN_NOT_ECT, sport=1, dport=2):
+    return Packet(1, 2, sport, dport, 17, size, None, dscp, 64, 0.0, ecn)
+
+
+class TestRedCurve:
+    def test_validates_thresholds(self):
+        with pytest.raises(ValueError):
+            RedCurve(10, 5, 0.1)
+        with pytest.raises(ValueError):
+            RedCurve(-1, 5, 0.1)
+        with pytest.raises(ValueError):
+            RedCurve(5, 15, 0.0)
+        with pytest.raises(ValueError):
+            RedCurve(5, 15, 1.5)
+
+
+class TestRedQueue:
+    def test_below_min_th_never_drops(self):
+        sim = Simulator(seed=1)
+        q = RedQueue(sim, curve=RedCurve(5, 15, 0.1), limit_packets=100)
+        for _ in range(4):
+            assert q.enqueue(pkt())
+        assert q.drops == 0 and len(q) == 4
+
+    def test_tail_drop_at_limit(self):
+        sim = Simulator(seed=1)
+        q = RedQueue(sim, curve=RedCurve(500, 1000, 0.1), limit_packets=10)
+        for _ in range(10):
+            assert q.enqueue(pkt())
+        assert not q.enqueue(pkt())
+        assert q.tail_drops == 1 and q.drops == 1
+        assert len(q) == 10
+
+    def test_forced_drop_above_max_th(self):
+        sim = Simulator(seed=1)
+        q = RedQueue(sim, curve=RedCurve(1, 3, 0.5), wq=1.0, limit_packets=100)
+        # wq=1 makes avg track the instantaneous length exactly, so the
+        # 4th arrival sees avg >= max_th and must be dropped, ECN or not.
+        results = [q.enqueue(pkt(ecn=ECN_ECT0)) for _ in range(30)]
+        assert not all(results)
+        assert q.tail_drops >= 1
+        assert len(q) <= 4
+
+    def test_early_drops_engage_between_thresholds(self):
+        sim = Simulator(seed=2)
+        q = RedQueue(sim, curve=RedCurve(2, 50, 0.5), wq=0.5, limit_packets=200)
+        for _ in range(100):
+            q.enqueue(pkt())
+        assert q.early_drops > 0
+        assert q.drops == q.early_drops + q.tail_drops
+
+    def test_deterministic_under_seed(self):
+        def run(seed):
+            sim = Simulator(seed=seed)
+            q = RedQueue(sim, curve=RedCurve(2, 50, 0.5), wq=0.5)
+            pattern = [q.enqueue(pkt()) for _ in range(200)]
+            return pattern, q.drops
+
+        assert run(7) == run(7)
+        assert run(7) != run(8)  # the coin flips come from sim.rng
+
+    def test_ecn_marks_instead_of_dropping(self):
+        sim = Simulator(seed=2)
+        q = RedQueue(
+            sim, curve=RedCurve(2, 200, 0.5), wq=0.5, ecn=True,
+            limit_packets=300,
+        )
+        packets = [pkt(ecn=ECN_ECT0) for _ in range(100)]
+        for p in packets:
+            assert q.enqueue(p)  # never dropped early: marked instead
+        assert q.ecn_marks > 0
+        assert q.early_drops == 0
+        assert sum(1 for p in packets if p.ecn == ECN_CE) == q.ecn_marks
+
+    def test_ecn_does_not_protect_not_ect(self):
+        sim = Simulator(seed=2)
+        q = RedQueue(sim, curve=RedCurve(2, 50, 0.5), wq=0.5, ecn=True)
+        for _ in range(100):
+            q.enqueue(pkt(ecn=ECN_NOT_ECT))
+        assert q.ecn_marks == 0
+        assert q.early_drops > 0
+
+    def test_idle_decay_reduces_avg(self):
+        sim = Simulator(seed=1)
+        q = RedQueue(sim, curve=RedCurve(2, 10, 0.1), wq=0.5, idle_pkt_time=1e-3)
+        for _ in range(8):
+            q.enqueue(pkt())
+        while q.dequeue() is not None:
+            pass
+        high = q.avg
+        sim.run(until=1.0)  # a long idle period
+        q.enqueue(pkt())
+        assert q.avg < high * 0.01
+
+    def test_backlog_accounting(self):
+        sim = Simulator(seed=1)
+        q = RedQueue(sim)
+        q.enqueue(pkt(size=100))
+        q.enqueue(pkt(size=300))
+        assert q.backlog_bytes == 400
+        q.dequeue()
+        assert q.backlog_bytes == 300
+
+
+class TestWredQueue:
+    def test_default_curves_cover_all_precedences(self):
+        sim = Simulator(seed=1)
+        q = WredQueue(sim)
+        for prec in (1, 2, 3):
+            assert q._curve_for(pkt(dscp=af_dscp(1, prec))) is not None
+
+    def test_rejects_incomplete_curves(self):
+        sim = Simulator(seed=1)
+        with pytest.raises(ValueError):
+            WredQueue(sim, curves={1: RedCurve(5, 15, 0.1)})
+
+    def test_higher_precedence_dropped_first(self):
+        def losses(prec, seed=3):
+            sim = Simulator(seed=seed)
+            q = WredQueue(sim, wq=0.5, limit_packets=300)
+            dscp = af_dscp(1, prec)
+            return sum(
+                0 if q.enqueue(pkt(dscp=dscp)) else 1 for _ in range(150)
+            )
+
+        assert losses(3) > losses(1)
+
+    def test_non_af_uses_green_curve(self):
+        sim = Simulator(seed=1)
+        q = WredQueue(sim)
+        assert q._curve_for(pkt(dscp=0)) == q.curves[1]
+        assert drop_precedence_of(0) == 1
+
+
+class TestSrTcm:
+    def test_color_ladder(self):
+        m = SrTcmMarker(cir=8000.0, cbs=1000.0, ebs=2000.0)  # 1 KB/s
+        assert m.color(1000, 0.0) == COLOR_GREEN  # drains CBS
+        assert m.color(1500, 0.0) == COLOR_YELLOW  # fits EBS only
+        assert m.color(600, 0.0) == COLOR_RED  # both empty
+        # Tokens refill at CIR in both buckets.
+        assert m.color(900, 1.0) == COLOR_GREEN
+
+    def test_reconfigure_keeps_ebs_ratio(self):
+        m = SrTcmMarker(cir=8000.0, cbs=1000.0, ebs=2000.0)
+        m.reconfigure(rate=16000.0, depth=500.0, now=0.0)
+        assert m.cir == 16000.0
+        assert m.committed.depth == 500.0
+        assert m.excess.depth == 1000.0
+
+
+class TestTrTcm:
+    def test_color_ladder(self):
+        m = TrTcmMarker(cir=8000.0, cbs=1000.0, pir=16000.0, pbs=2000.0)
+        assert m.color(1000, 0.0) == COLOR_GREEN
+        assert m.color(800, 0.0) == COLOR_YELLOW  # peak covers, committed empty
+        assert m.color(1500, 0.0) == COLOR_RED  # peak exhausted
+        assert m.color(1500, 1.0) == COLOR_YELLOW  # peak refills 2x faster
+
+    def test_requires_pir_at_least_cir(self):
+        with pytest.raises(ValueError):
+            TrTcmMarker(cir=8000.0, cbs=100.0, pir=4000.0, pbs=100.0)
+
+
+class TestTcmMarking:
+    def _rule(self, sim, red_action="remark"):
+        return TcmMarking(
+            sim,
+            SrTcmMarker(cir=8000.0, cbs=1000.0, ebs=2000.0),
+            dscp_by_color={
+                COLOR_GREEN: EF,
+                COLOR_YELLOW: af_dscp(1, 2),
+                COLOR_RED: af_dscp(1, 3),
+            },
+            red_action=red_action,
+        )
+
+    def test_remark_by_color(self):
+        sim = Simulator(seed=1)
+        rule = self._rule(sim)
+        p1, p2, p3 = pkt(1000), pkt(1500), pkt(600)
+        assert rule.apply(p1) and p1.dscp == EF
+        assert rule.apply(p2) and p2.dscp == af_dscp(1, 2)
+        assert rule.apply(p3) and p3.dscp == af_dscp(1, 3)
+        assert (rule.green_packets, rule.yellow_packets, rule.red_packets) == (1, 1, 1)
+        # PolicedMarking-compatible accounting.
+        assert rule.conforming_packets == 1
+        assert rule.exceeding_packets == 1
+        assert rule.conforming_bytes == 1000
+
+    def test_red_drop_mode(self):
+        sim = Simulator(seed=1)
+        rule = self._rule(sim, red_action="drop")
+        rule.apply(pkt(1000))
+        rule.apply(pkt(1500))
+        assert not rule.apply(pkt(600))
+
+    def test_reconfigure_delegates_to_meter(self):
+        sim = Simulator(seed=1)
+        rule = self._rule(sim)
+        rule.reconfigure(rate=16000.0, depth=2000.0, now=0.0)
+        assert rule.meter.cir == 16000.0
+
+
+class TestDrrQdisc:
+    def _drr(self, quanta=(1500.0, 1500.0), strict=0, filters=None):
+        return DrrQdisc(
+            bands=[
+                (DropTailQueue(limit_packets=1000), q) for q in quanta
+            ],
+            classify=lambda p: p.dscp,
+            strict_bands=strict,
+            band_filters=filters,
+        )
+
+    def test_rejects_nonpositive_quanta(self):
+        with pytest.raises(ValueError):
+            self._drr(quanta=(1500.0, 0.0))
+
+    def test_strict_band_served_first(self):
+        q = DrrQdisc(
+            bands=[
+                (DropTailQueue(limit_packets=10), 0.0),
+                (DropTailQueue(limit_packets=10), 1500.0),
+            ],
+            classify=lambda p: p.dscp,
+            strict_bands=1,
+        )
+        q.enqueue(pkt(dscp=1))
+        q.enqueue(pkt(dscp=0))
+        assert q.dequeue().dscp == 0
+
+    def test_shares_proportional_to_quanta(self):
+        q = self._drr(quanta=(3000.0, 1000.0))
+        for _ in range(100):
+            q.enqueue(pkt(size=1000, dscp=0))
+            q.enqueue(pkt(size=1000, dscp=1))
+        first_40 = [q.dequeue().dscp for _ in range(40)]
+        share0 = first_40.count(0) / 40.0
+        assert 0.65 <= share0 <= 0.85  # ~3:1 quanta -> ~75%
+
+    def test_sub_mtu_quantum_accumulates(self):
+        q = self._drr(quanta=(100.0, 100.0))
+        q.enqueue(pkt(size=1000, dscp=0))
+        assert q.dequeue() is not None  # deficits accumulate until it fits
+
+    def test_work_conserving(self):
+        q = self._drr(quanta=(3000.0, 1000.0))
+        for _ in range(5):
+            q.enqueue(pkt(dscp=1))  # band 0 idle
+        assert sum(1 for _ in range(5) if q.dequeue()) == 5
+        assert q.dequeue() is None
+
+    def test_band_filter_drops(self):
+        q = self._drr(filters={0: lambda p: False})
+        assert not q.enqueue(pkt(dscp=0))
+        assert q.enqueue(pkt(dscp=1))
+        assert q.filter_drops == 1
+        assert q.drops == 1  # filter drops included in the drop contract
+
+    def test_drops_aggregate_children(self):
+        q = DrrQdisc(
+            bands=[(DropTailQueue(limit_packets=1), 1500.0)],
+            classify=lambda p: 0,
+        )
+        q.enqueue(pkt())
+        q.enqueue(pkt())
+        assert q.drops == 1
+        assert q.total_drops == 1
+
+
+class TestAqmPolicy:
+    def test_mode_validation(self):
+        with pytest.raises(ValueError):
+            AqmPolicy(mode="blue")
+        with pytest.raises(ValueError):
+            AqmPolicy(marker="1tcm")
+        with pytest.raises(ValueError):
+            AqmPolicy(af_share=1.5)
+        assert set(AQM_MODES) == {"droptail", "wred", "wred+ecn"}
+
+    def test_droptail_is_inactive(self):
+        p = AqmPolicy()
+        assert not p.active and not p.ecn
+
+    def test_router_qdisc_shape(self):
+        sim = Simulator(seed=1)
+        policy = AqmPolicy(mode="wred+ecn")
+        qdisc = policy.build_router_qdisc(sim)
+        bands = qdisc.bands
+        assert isinstance(bands[1], WredQueue)
+        assert bands[1].ecn
+        # EF goes to the strict band, AF to WRED, BE to droptail.
+        qdisc.enqueue(pkt(dscp=EF))
+        qdisc.enqueue(pkt(dscp=af_dscp(1, 2)))
+        qdisc.enqueue(pkt(dscp=0))
+        assert len(bands[0]) == len(bands[1]) == len(bands[2]) == 1
+
+    def test_meter_choice(self):
+        assert isinstance(
+            AqmPolicy(mode="wred").build_meter(8000.0, 1000.0), SrTcmMarker
+        )
+        assert isinstance(
+            AqmPolicy(mode="wred", marker="trtcm").build_meter(8000.0, 1000.0),
+            TrTcmMarker,
+        )
+
+
+class TestDomainAqmWiring:
+    def _domain(self, mode):
+        from repro.diffserv import DiffServDomain
+
+        sim = Simulator(seed=1)
+        tb = garnet(sim)
+        aqm = None if mode == "droptail" else AqmPolicy(mode=mode)
+        domain = DiffServDomain(sim, tb.routers(), aqm=aqm)
+        return sim, tb, domain
+
+    def test_droptail_policy_means_paper_path(self):
+        from repro.diffserv import DiffServDomain, PriorityQdisc
+
+        sim = Simulator(seed=1)
+        tb = garnet(sim)
+        domain = DiffServDomain(sim, tb.routers(), aqm=AqmPolicy())
+        assert domain.aqm is None
+        assert all(
+            isinstance(q, PriorityQdisc) for q in domain.priority_qdiscs
+        )
+
+    def test_aqm_mode_installs_drr(self):
+        _, _, domain = self._domain("wred")
+        assert all(isinstance(q, DrrQdisc) for q in domain.priority_qdiscs)
+        assert domain.ef_backlog_packets() == 0
+
+    def test_premium_flow_rules_are_markers(self):
+        sim, _, domain = self._domain("wred")
+        handle = domain.install_premium_flow(
+            FlowSpec(src=1, dst=2), rate=8000.0, depth=1000.0
+        )
+        assert all(isinstance(r, TcmMarking) for r in handle.rules)
+        domain.modify_premium_flow(handle, rate=16000.0, depth=2000.0)
+        assert all(r.meter.cir == 16000.0 for r in handle.rules)
+
+    def test_af_flow_requires_aqm(self):
+        _, _, droptail = self._domain("droptail")
+        with pytest.raises(ValueError):
+            droptail.install_af_flow(FlowSpec(src=1, dst=2), 8000.0, 1000.0)
+        _, _, domain = self._domain("wred")
+        handle = domain.install_af_flow(FlowSpec(src=1, dst=2), 8000.0, 1000.0)
+        assert handle.rules[0].dscp_by_color[COLOR_GREEN] == af_dscp(1, 1)

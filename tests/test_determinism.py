@@ -13,6 +13,7 @@ import pytest
 from repro.experiments import (
     fig1_tcp_reservation,
     fig6_visualization,
+    table1_aqm,
     table1_burstiness,
 )
 from repro.kernel import Simulator
@@ -187,6 +188,37 @@ class TestPartitionedMerge:
     def test_table1_plan_covers_quick_grid(self):
         keys = [k for k, _ in table1_burstiness.plan_cells(quick=True)]
         assert len(keys) == len(set(keys)) == 6  # 2 bandwidths x 3 configs
+
+    def test_table1_aqm_cell_results_assembly(self):
+        """Injected cell dicts land in the right row — validates the
+        parallel merge without running any simulation."""
+        fields = ("reservation_kbps", "throughput_kbps", "resent_segments",
+                  "timeouts", "early_drops", "tail_drops", "ecn_marks",
+                  "ce_received")
+        cells = {
+            key: {f: float(100 * i + j) for j, f in enumerate(fields)}
+            for i, (key, _) in enumerate(table1_aqm.plan_cells(quick=True))
+        }
+        result = table1_aqm.run(quick=True, cell_results=cells)
+        for row in result.rows:
+            bandwidth, label, mode = row[0], row[1], row[2]
+            cell = cells[(bandwidth, label, mode)]
+            assert row[3:] == [cell[f] for f in fields[:-1]]
+        # The per-mode totals must be sums over that mode's cells.
+        for mode in ("droptail", "wred", "wred+ecn"):
+            expected = sum(
+                c["resent_segments"]
+                for (_, _, m), c in cells.items() if m == mode
+            )
+            key = mode.replace("+", "_")
+            assert result.extra[f"{key}_resent_segments"] == expected
+
+    def test_table1_aqm_plan_covers_quick_grid(self):
+        keys = [k for k, _ in table1_aqm.plan_cells(quick=True)]
+        # 2 bandwidths x 3 configs x 3 modes
+        assert len(keys) == len(set(keys)) == 18
+        modes = {mode for _, _, mode in keys}
+        assert modes == {"droptail", "wred", "wred+ecn"}
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,140 @@
+"""Property-based qdisc invariants: across any interleaving of
+enqueues and dequeues, every discipline must (a) never report a
+negative byte backlog, and (b) conserve packets and bytes —
+everything handed to ``enqueue`` is either still queued, already
+dequeued, or counted in ``total_drops``, exactly once."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.kernel import Simulator
+from repro.net import DropTailQueue, ECN_ECT0, ECN_NOT_ECT, Packet
+from repro.aqm import DrrQdisc, RedCurve, RedQueue, WredQueue
+from repro.diffserv import EF, af_dscp
+from repro.diffserv.phb import PriorityQdisc
+
+DSCPS = [0, EF] + [af_dscp(c, p) for c in (1, 4) for p in (1, 2, 3)]
+
+op_strategy = st.one_of(
+    st.tuples(
+        st.just("enq"),
+        st.integers(min_value=40, max_value=1500),  # size
+        st.sampled_from(DSCPS),
+        st.sampled_from([ECN_NOT_ECT, ECN_ECT0]),
+    ),
+    st.tuples(st.just("deq")),
+)
+
+ops_lists = st.lists(op_strategy, min_size=1, max_size=200)
+
+
+def drive(qdisc, ops):
+    """Apply ops; return (enqueued, dequeued, accepted) tallies as
+    (packets, bytes) pairs."""
+    n_in = b_in = n_out = b_out = n_ok = b_ok = 0
+    for i, op in enumerate(ops):
+        if op[0] == "enq":
+            _, size, dscp, ecn = op
+            pkt = Packet(1, 2, 1000 + i, 2000, 17, size, None, dscp,
+                         64, 0.0, ecn)
+            n_in += 1
+            b_in += pkt.size
+            if qdisc.enqueue(pkt):
+                n_ok += 1
+                b_ok += pkt.size
+            assert qdisc.backlog_bytes >= 0
+            assert len(qdisc) >= 0
+        else:
+            pkt = qdisc.dequeue()
+            if pkt is not None:
+                n_out += 1
+                b_out += pkt.size
+            assert qdisc.backlog_bytes >= 0
+    return (n_in, b_in), (n_out, b_out), (n_ok, b_ok)
+
+
+def check_conservation(qdisc, ops):
+    (n_in, b_in), (n_out, b_out), (n_ok, b_ok) = drive(qdisc, ops)
+    # Accepted = still queued + dequeued; refused = total_drops.
+    assert n_ok == n_out + len(qdisc)
+    assert b_ok == b_out + qdisc.backlog_bytes
+    assert n_in == n_ok + qdisc.total_drops
+    # Drain completely: the backlog must come back out intact.
+    while True:
+        pkt = qdisc.dequeue()
+        if pkt is None:
+            break
+        n_out += 1
+        b_out += pkt.size
+    assert len(qdisc) == 0
+    assert qdisc.backlog_bytes == 0
+    assert n_out == n_ok
+    assert b_out == b_ok
+
+
+class TestDropTailQueue:
+    @given(ops=ops_lists)
+    @settings(max_examples=80, deadline=None)
+    def test_conservation(self, ops):
+        check_conservation(
+            DropTailQueue(limit_packets=32, limit_bytes=24_000), ops
+        )
+
+
+class TestPriorityQdisc:
+    @given(ops=ops_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_conservation(self, ops):
+        check_conservation(
+            PriorityQdisc(ef_limit_packets=8, af_limit_packets=8,
+                          be_limit_packets=8),
+            ops,
+        )
+
+
+class TestRedQueue:
+    @given(ops=ops_lists, seed=st.integers(min_value=0, max_value=7))
+    @settings(max_examples=60, deadline=None)
+    def test_conservation(self, ops, seed):
+        sim = Simulator(seed=seed)
+        check_conservation(
+            RedQueue(sim, curve=RedCurve(2, 10, 0.3), wq=0.3,
+                     limit_packets=16),
+            ops,
+        )
+
+    @given(ops=ops_lists, seed=st.integers(min_value=0, max_value=7))
+    @settings(max_examples=60, deadline=None)
+    def test_conservation_with_ecn(self, ops, seed):
+        sim = Simulator(seed=seed)
+        check_conservation(
+            RedQueue(sim, curve=RedCurve(2, 10, 0.3), wq=0.3, ecn=True,
+                     limit_packets=16),
+            ops,
+        )
+
+
+class TestWredQueue:
+    @given(ops=ops_lists, seed=st.integers(min_value=0, max_value=7))
+    @settings(max_examples=60, deadline=None)
+    def test_conservation(self, ops, seed):
+        sim = Simulator(seed=seed)
+        check_conservation(
+            WredQueue(sim, wq=0.3, ecn=True, limit_packets=16), ops
+        )
+
+
+class TestDrrQdisc:
+    @given(ops=ops_lists, seed=st.integers(min_value=0, max_value=7))
+    @settings(max_examples=40, deadline=None)
+    def test_conservation(self, ops, seed):
+        sim = Simulator(seed=seed)
+        qdisc = DrrQdisc(
+            bands=[
+                (DropTailQueue(limit_packets=6), 0.0),
+                (WredQueue(sim, wq=0.3, limit_packets=12), 3000.0),
+                (DropTailQueue(limit_packets=6), 1500.0),
+            ],
+            classify=lambda p: 0 if p.dscp == EF else (1 if p.dscp else 2),
+            strict_bands=1,
+        )
+        check_conservation(qdisc, ops)

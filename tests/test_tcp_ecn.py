@@ -1,0 +1,171 @@
+"""RFC 3168 ECN: handshake negotiation, CE echo, and the one-window
+congestion response."""
+
+from repro.net import ECN_CE, ECN_ECT0, ECN_NOT_ECT, PROTO_TCP
+from repro.transport.tcp import CWR, ECE, TcpConfig
+
+from helpers import make_duo
+
+
+def _pair(duo, server_cfg, client_cfg, port=5000):
+    listener = duo.tcp_b.listen(port, config=server_cfg)
+    accepted = listener.accept()
+    client = duo.tcp_a.connect(duo.b.addr, port, config=client_cfg)
+    duo.sim.run_until_event(client.established_event, limit=5.0)
+    duo.sim.run_until_event(accepted, limit=5.0)
+    return client, accepted.value
+
+
+class _EcnTap:
+    """Router ingress hook: record data-packet codepoints, optionally
+    rewriting ECT to CE (a stand-in for an AQM mark on the path)."""
+
+    def __init__(self, mark_data=False):
+        self.mark_data = mark_data
+        self.seen = []
+
+    def __call__(self, packet):
+        if packet.proto == PROTO_TCP:
+            self.seen.append((packet.payload.length, packet.ecn))
+            if (
+                self.mark_data
+                and packet.payload.length > 0
+                and packet.ecn == ECN_ECT0
+            ):
+                packet.ecn = ECN_CE
+        return True
+
+
+class TestNegotiation:
+    def test_both_sides_capable(self):
+        duo = make_duo()
+        cfg = TcpConfig(ecn=True)
+        client, server = _pair(duo, cfg, cfg)
+        assert client.ecn_enabled and server.ecn_enabled
+
+    def test_client_only_falls_back(self):
+        duo = make_duo()
+        client, server = _pair(duo, TcpConfig(), TcpConfig(ecn=True))
+        assert not client.ecn_enabled and not server.ecn_enabled
+
+    def test_server_only_falls_back(self):
+        duo = make_duo()
+        client, server = _pair(duo, TcpConfig(ecn=True), TcpConfig())
+        assert not client.ecn_enabled and not server.ecn_enabled
+
+    def test_default_is_off(self):
+        duo = make_duo()
+        client, server = _pair(duo, None, None)
+        assert not client.ecn_enabled and not server.ecn_enabled
+
+
+class TestCodepoints:
+    def _run_transfer(self, duo, tap, ecn=True, nbytes=64 * 1024):
+        cfg = TcpConfig(ecn=ecn)
+        client, server = _pair(duo, cfg, cfg)
+
+        def sender():
+            yield client.send(nbytes)
+            client.close()
+
+        def receiver():
+            while True:
+                got = yield server.recv(1 << 20)
+                if got == 0:
+                    return
+
+        duo.sim.process(sender())
+        duo.sim.process(receiver())
+        duo.sim.run(until=20.0)
+        return client, server
+
+    def _tap_router(self, duo, tap):
+        # The a->r access port sees every client->server packet.
+        router = duo.net.nodes["r"]
+        for iface in router.interfaces:
+            if iface.peer.node is duo.a:
+                iface.ingress.append(tap)
+                return
+        raise AssertionError("no router interface facing host a")
+
+    def test_data_ect0_acks_not_ect(self):
+        duo = make_duo()
+        tap = _EcnTap()
+        self._tap_router(duo, tap)
+        self._run_transfer(duo, tap)
+        data = [e for length, e in tap.seen if length > 0]
+        control = [e for length, e in tap.seen if length == 0]
+        assert data and all(e == ECN_ECT0 for e in data)
+        assert control and all(e == ECN_NOT_ECT for e in control)
+
+    def test_not_ect_when_disabled(self):
+        duo = make_duo()
+        tap = _EcnTap()
+        self._tap_router(duo, tap)
+        self._run_transfer(duo, tap, ecn=False)
+        assert all(e == ECN_NOT_ECT for _, e in tap.seen)
+
+    def test_ce_triggers_response_without_retransmit(self):
+        duo = make_duo()
+        tap = _EcnTap(mark_data=True)
+        self._tap_router(duo, tap)
+        client, server = self._run_transfer(duo, tap, nbytes=256 * 1024)
+        # Every data packet was CE-marked in transit: the receiver saw
+        # them, echoed ECE, and the sender backed off — without losing
+        # a byte or retransmitting anything.
+        assert server.ecn_ce_received > 0
+        assert client.ecn_responses > 0
+        assert client.retransmissions == 0
+        assert client.timeouts == 0
+        assert client.resent_segments == 0
+        assert server.delivered_counter.total == 256 * 1024
+
+    def test_response_at_most_once_per_window(self):
+        duo = make_duo()
+        tap = _EcnTap(mark_data=True)
+        self._tap_router(duo, tap)
+        client, server = self._run_transfer(duo, tap, nbytes=256 * 1024)
+        # Persistent marking across the whole transfer must still
+        # produce far fewer responses than CE receipts (one per RTT
+        # window, not one per ACK).
+        assert client.ecn_responses < server.ecn_ce_received
+
+    def test_cwr_stops_the_ece_echo(self):
+        duo = make_duo()
+        # Mark only the first data packets, then stop: ECE must stop
+        # once a CWR-carrying segment arrives.
+        class OneShotTap(_EcnTap):
+            def __call__(self, packet):
+                ok = super().__call__(packet)
+                if len([1 for length, _ in self.seen if length > 0]) >= 2:
+                    self.mark_data = False
+                return ok
+
+        tap = OneShotTap(mark_data=True)
+        self._tap_router(duo, tap)
+        client, server = self._run_transfer(duo, tap, nbytes=128 * 1024)
+        assert server.ecn_ce_received >= 1
+        assert not server._ecn_echo  # CWR receipt cleared the echo
+        assert client.ecn_responses >= 1
+
+
+class TestResentSegmentsCounter:
+    def test_counts_goback_n_after_timeout(self):
+        # A tight bottleneck queue forces drops and RTOs; the wire-level
+        # resend counter must catch the go-back-N stream rewind even
+        # though the `retransmissions` counter's explicit paths may not.
+        from repro.net import mbps
+
+        duo = make_duo(bandwidth=mbps(10), bottleneck=mbps(1),
+                       queue_packets=5)
+        cfg = TcpConfig(recovery="reno", min_rto=0.2)
+        client, server = _pair(duo, cfg, cfg)
+
+        def sender():
+            yield client.send(200 * 1024)
+
+        duo.sim.process(sender())
+        duo.sim.run(until=30.0)
+        assert client.timeouts + client.fast_retransmits > 0
+        assert client.resent_segments >= client.retransmissions
+        assert client.resent_segments > 0
