@@ -1,0 +1,82 @@
+"""Always-on GARA broker service: the paper's external bandwidth
+broker as a long-lived network daemon.
+
+The embedded :class:`~repro.gara.BandwidthBroker` assumes callers live
+in the same process. This package lifts it behind a small
+length-prefixed JSON wire protocol and adds the machinery an
+always-on control plane needs:
+
+``repro.broker_service.protocol``
+    Framing and message forms (reserve/modify/cancel/claim/heartbeat/
+    status/batch), status codes, retry-after semantics.
+``repro.broker_service.server``
+    :class:`BrokerService`: asyncio TCP front-end with double
+    journaling (broker + service logs, both compactable), crash/
+    restart with replay and claim re-registration, bounded queues with
+    explicit BUSY load shedding, and heartbeat-based client eviction.
+``repro.broker_service.client``
+    :class:`BrokerClient`: per-request timeouts, capped exponential
+    backoff with seeded jitter, idempotency keys, and graceful
+    degradation to best-effort with background premium upgrade.
+``repro.broker_service.chaos``
+    Seeded crash/restart soak harness asserting conservation: no
+    reservation lost, duplicated, or double-booked across crashes.
+``repro.broker_service.cli``
+    The ``mpichgq-broker`` entry point.
+"""
+
+from .client import (
+    AdmissionRejected,
+    BrokerClient,
+    BrokerClientError,
+    BrokerReservation,
+    BrokerUnreachable,
+    RequestFailed,
+    RES_BEST_EFFORT,
+    RES_CANCELLED,
+    RES_HELD,
+)
+from .protocol import (
+    MAX_FRAME,
+    FrameTooLarge,
+    ProtocolError,
+    RETRYABLE_STATUSES,
+    STATUS_BAD,
+    STATUS_BUSY,
+    STATUS_NAMES,
+    STATUS_OK,
+    STATUS_REJECTED,
+    STATUS_RETRY,
+    STATUS_UNKNOWN,
+    encode_frame,
+    normalize,
+    read_frame,
+)
+from .server import BrokerService
+
+__all__ = [
+    "AdmissionRejected",
+    "BrokerClient",
+    "BrokerClientError",
+    "BrokerReservation",
+    "BrokerService",
+    "BrokerUnreachable",
+    "FrameTooLarge",
+    "MAX_FRAME",
+    "ProtocolError",
+    "RETRYABLE_STATUSES",
+    "RES_BEST_EFFORT",
+    "RES_CANCELLED",
+    "RES_HELD",
+    "RequestFailed",
+    "STATUS_BAD",
+    "STATUS_BUSY",
+    "STATUS_NAMES",
+    "STATUS_OK",
+    "STATUS_REJECTED",
+    "STATUS_RETRY",
+    "STATUS_UNKNOWN",
+    "encode_frame",
+    "normalize",
+    "read_frame",
+]

@@ -1,0 +1,109 @@
+"""``mpichgq-broker``: run the GARA broker service as a daemon.
+
+Builds a simulated topology (GARNET by default, or a single
+host--host pair for benchmarking), wires a journaled bandwidth broker
+to it, and serves the wire protocol until interrupted. On shutdown
+the final status counters are printed as JSON.
+
+Examples::
+
+    mpichgq-broker                         # GARNET, random free port
+    mpichgq-broker --port 7001 --topology pair --ef-share 0.9
+    mpichgq-broker --evict-after 2.0 --compact-every 5000
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+from typing import List, Optional
+
+from ..gara import BandwidthBroker, DEFAULT_EF_SHARE
+from ..kernel import Simulator
+from ..net import Network, garnet, mbps
+from ..resilience import Journal
+from .server import BrokerService
+
+__all__ = ["build", "main"]
+
+
+def build(args: argparse.Namespace) -> BrokerService:
+    sim = Simulator(seed=args.seed)
+    if args.topology == "pair":
+        network = Network(sim)
+        a = network.add_host("a")
+        b = network.add_host("b")
+        network.connect(a, b, bandwidth=mbps(args.pair_mbps), delay=0.1e-3)
+        network.build_routes()
+    else:
+        testbed = garnet(sim)
+        network = testbed.network
+        network.build_routes()
+    broker = BandwidthBroker(
+        network,
+        ef_share=args.ef_share,
+        journal=Journal("broker"),
+        gc_grace=args.gc_grace,
+    )
+    return BrokerService(
+        broker,
+        Journal("broker-service"),
+        host=args.host,
+        port=args.port,
+        max_connections=args.max_connections,
+        max_pending=args.max_pending,
+        evict_after=args.evict_after,
+        compact_every=args.compact_every,
+    )
+
+
+async def _serve(service: BrokerService) -> None:
+    await service.start()
+    print(
+        f"mpichgq-broker listening on {service.host}:{service.port}",
+        file=sys.stderr,
+        flush=True,
+    )
+    try:
+        await service.serve_forever()
+    except asyncio.CancelledError:
+        pass
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="mpichgq-broker", description=__doc__.splitlines()[0]
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=0)
+    parser.add_argument(
+        "--topology", choices=("garnet", "pair"), default="garnet"
+    )
+    parser.add_argument("--pair-mbps", type=float, default=1000.0)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--ef-share", type=float, default=DEFAULT_EF_SHARE)
+    parser.add_argument("--gc-grace", type=float, default=2.0)
+    parser.add_argument("--max-connections", type=int, default=64)
+    parser.add_argument("--max-pending", type=int, default=256)
+    parser.add_argument(
+        "--evict-after",
+        type=float,
+        default=None,
+        help="evict clients silent for this many seconds (default: off)",
+    )
+    parser.add_argument("--compact-every", type=int, default=10000)
+    args = parser.parse_args(argv)
+
+    service = build(args)
+    try:
+        asyncio.run(_serve(service))
+    except KeyboardInterrupt:
+        pass
+    print(json.dumps(service.status_counters(), indent=2, default=str))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

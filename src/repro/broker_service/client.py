@@ -1,0 +1,498 @@
+"""Fault-aware client for the GARA broker service.
+
+:class:`BrokerClient` wraps the wire protocol in the retry discipline a
+wide-area control plane needs:
+
+* **per-request timeouts** — a hung broker looks identical to a dead
+  one; every request is bounded by ``timeout`` seconds;
+* **capped exponential backoff with seeded jitter** — the shared
+  :func:`repro.faults.backoff_delay` helper (same curve as PR 1's
+  reservation leases), respecting any server-supplied retry-after hint
+  from BUSY/RETRY replies so overload backpressure is server-paced;
+* **idempotency keys** — every reserve/modify/cancel carries a unique
+  key; the service journals the committed outcome per key, so a retry
+  that races a crash (reply lost after commit) replays the original
+  result instead of double-booking capacity;
+* **graceful degradation** — when the broker stays unreachable past
+  ``degrade_after`` seconds, :meth:`reserve` returns a *best-effort*
+  reservation (mirroring the lease manager's premium→best-effort
+  downgrade) and keeps retrying the premium admission in the
+  background with the *same* idempotency key; when the broker returns,
+  the reservation upgrades in place and ``on_upgrade`` fires.
+
+The client serializes requests on its single connection (one
+outstanding request at a time); throughput-oriented callers batch with
+:meth:`request_batch` or pipeline raw frames themselves.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from typing import Any, Callable, List, Optional
+
+from ..faults.lease import backoff_delay
+from .protocol import (
+    MAX_FRAME,
+    ProtocolError,
+    RETRYABLE_STATUSES,
+    STATUS_NAMES,
+    STATUS_OK,
+    STATUS_REJECTED,
+    STATUS_RETRY,
+    encode_frame,
+    read_frame,
+)
+
+__all__ = [
+    "BrokerClient",
+    "BrokerClientError",
+    "AdmissionRejected",
+    "RequestFailed",
+    "BrokerUnreachable",
+    "BrokerReservation",
+    "RES_HELD",
+    "RES_BEST_EFFORT",
+    "RES_CANCELLED",
+]
+
+RES_HELD = "HELD"
+RES_BEST_EFFORT = "BEST_EFFORT"
+RES_CANCELLED = "CANCELLED"
+
+
+class BrokerClientError(Exception):
+    """Base class for client-visible failures."""
+
+
+class AdmissionRejected(BrokerClientError):
+    """The broker answered REJECTED (capacity or policy) — final."""
+
+
+class RequestFailed(BrokerClientError):
+    """The broker answered BAD or UNKNOWN — final."""
+
+
+class BrokerUnreachable(BrokerClientError):
+    """Retries/deadline exhausted without a final answer."""
+
+
+class BrokerReservation:
+    """Client-side handle for one reservation.
+
+    ``state`` is HELD (premium capacity committed, ``rid`` set),
+    BEST_EFFORT (broker unreachable; traffic runs unprotected while a
+    background task keeps retrying the premium admission), or
+    CANCELLED.
+    """
+
+    __slots__ = (
+        "key", "owner", "src", "dst", "bandwidth", "start", "end",
+        "rid", "state", "_upgrade_task",
+    )
+
+    def __init__(self, key, owner, src, dst, bandwidth, start, end) -> None:
+        self.key = key
+        self.owner = owner
+        self.src = src
+        self.dst = dst
+        self.bandwidth = bandwidth
+        self.start = start
+        self.end = end
+        self.rid: Optional[int] = None
+        self.state = RES_BEST_EFFORT
+        self._upgrade_task: Optional[asyncio.Task] = None
+
+    @property
+    def held(self) -> bool:
+        return self.state == RES_HELD
+
+    @property
+    def best_effort(self) -> bool:
+        return self.state == RES_BEST_EFFORT
+
+    def __repr__(self) -> str:
+        return (
+            f"<BrokerReservation {self.key} {self.state} rid={self.rid} "
+            f"{self.src}->{self.dst} {self.bandwidth / 1e6:.1f} Mb/s>"
+        )
+
+
+class BrokerClient:
+    """One client endpoint of the broker service."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        name: str = "client",
+        seed: int = 0,
+        rng: Optional[random.Random] = None,
+        timeout: float = 1.0,
+        max_retries: int = 10,
+        backoff_base: float = 0.02,
+        backoff_cap: float = 0.5,
+        jitter: float = 0.25,
+        degrade_after: Optional[float] = None,
+        max_frame: int = MAX_FRAME,
+        on_upgrade: Optional[Callable[[BrokerReservation], None]] = None,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.name = name
+        self.rng = rng if rng is not None else random.Random(seed)
+        self.timeout = timeout
+        self.max_retries = max_retries
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.jitter = jitter
+        self.degrade_after = degrade_after
+        self.max_frame = max_frame
+        self.on_upgrade = on_upgrade
+
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._lock = asyncio.Lock()
+        self._seq = 0
+        self._epoch: Optional[int] = None
+        self._hb_task: Optional[asyncio.Task] = None
+        self._upgrade_tasks: set = set()
+
+        # Client statistics (scraped by repro.telemetry).
+        self.requests_total = 0
+        self.replies_total = 0
+        self.retries = 0
+        self.timeouts = 0
+        self.conn_failures = 0
+        self.busy_seen = 0
+        self.retry_seen = 0
+        self.degradations = 0
+        self.upgrades = 0
+        self.idempotent_acks = 0
+        self.heartbeats_sent = 0
+        self.stale_epochs = 0
+
+    # -- plumbing ------------------------------------------------------------
+
+    def _next_id(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    def new_key(self) -> str:
+        """A fresh idempotency key, unique per (client name, sequence)."""
+        return f"{self.name}:{self._next_id()}"
+
+    async def _ensure_conn(self) -> None:
+        if self._writer is None or self._writer.is_closing():
+            self._reader, self._writer = await asyncio.open_connection(
+                self.host, self.port
+            )
+
+    def _drop_conn(self) -> None:
+        if self._writer is not None:
+            try:
+                self._writer.close()
+            except Exception:
+                pass
+        self._reader = None
+        self._writer = None
+
+    async def close(self) -> None:
+        if self._hb_task is not None:
+            self._hb_task.cancel()
+            try:
+                await self._hb_task
+            except (asyncio.CancelledError, Exception):
+                pass
+            self._hb_task = None
+        for task in list(self._upgrade_tasks):
+            task.cancel()
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass
+        self._upgrade_tasks.clear()
+        self._drop_conn()
+
+    async def request(
+        self,
+        msg: List[Any],
+        *,
+        deadline: Optional[float] = None,
+        max_retries: Optional[int] = None,
+    ) -> List[Any]:
+        """Send one request, retrying transient failures with capped
+        exponential backoff (seeded jitter) until a final reply, the
+        retry budget, or the ``loop.time()`` deadline runs out.
+
+        Transient = connection failure, per-request timeout, or a
+        BUSY/RETRY reply (whose retry-after hint, when larger than the
+        backoff, paces the retry). Returns the raw reply array;
+        raises :class:`BrokerUnreachable` when the budget is spent.
+        """
+        budget = self.max_retries if max_retries is None else max_retries
+        loop = asyncio.get_running_loop()
+        attempt = 0
+        last_error: Any = None
+        while True:
+            hint = 0.0
+            try:
+                async with self._lock:
+                    await self._ensure_conn()
+                    self._writer.write(encode_frame(msg))
+                    await self._writer.drain()
+                    self.requests_total += 1
+                    reply = await asyncio.wait_for(
+                        read_frame(self._reader, self.max_frame), self.timeout
+                    )
+            except asyncio.TimeoutError:
+                self.timeouts += 1
+                last_error = "timeout"
+                self._drop_conn()
+            except (ConnectionError, OSError, asyncio.IncompleteReadError):
+                self.conn_failures += 1
+                last_error = "connection failure"
+                self._drop_conn()
+            except ProtocolError:
+                self._drop_conn()
+                raise
+            else:
+                self.replies_total += 1
+                status = reply[1]
+                if status not in RETRYABLE_STATUSES:
+                    return reply
+                if status == STATUS_RETRY:
+                    self.retry_seen += 1
+                else:
+                    self.busy_seen += 1
+                hint = float(reply[2]) if len(reply) > 2 else 0.0
+                last_error = STATUS_NAMES[status]
+            if attempt >= budget or (
+                deadline is not None and loop.time() >= deadline
+            ):
+                raise BrokerUnreachable(
+                    f"{msg[0]} gave up after {attempt} retries "
+                    f"(last: {last_error})"
+                )
+            delay = max(
+                hint,
+                backoff_delay(
+                    attempt, self.backoff_base, self.backoff_cap,
+                    self.jitter, self.rng,
+                ),
+            )
+            if deadline is not None:
+                delay = min(delay, max(0.0, deadline - loop.time()))
+            self.retries += 1
+            attempt += 1
+            await asyncio.sleep(delay)
+
+    @staticmethod
+    def _final(reply: List[Any]) -> List[Any]:
+        status = reply[1]
+        if status == STATUS_OK:
+            return reply
+        if status == STATUS_REJECTED:
+            raise AdmissionRejected(str(reply[2]))
+        raise RequestFailed(f"{STATUS_NAMES.get(status, status)}: {reply[2]!r}")
+
+    # -- operations ----------------------------------------------------------
+
+    async def reserve(
+        self,
+        src: str,
+        dst: str,
+        bandwidth: float,
+        start: float,
+        end: float,
+        *,
+        owner: Optional[str] = None,
+        key: Optional[str] = None,
+        degrade: Optional[bool] = None,
+    ) -> BrokerReservation:
+        """Admit ``bandwidth`` from ``src`` to ``dst`` over
+        ``[start, end)``.
+
+        Returns a HELD reservation on success and raises
+        :class:`AdmissionRejected` on a capacity/policy denial. When
+        the broker is unreachable past ``degrade_after`` (and
+        degradation is enabled), returns a BEST_EFFORT reservation
+        whose premium admission keeps retrying in the background with
+        the same idempotency key — an upgrade can never double-book.
+        """
+        if degrade is None:
+            degrade = self.degrade_after is not None
+        key = key if key is not None else self.new_key()
+        res = BrokerReservation(key, owner, src, dst, bandwidth, start, end)
+        msg = [
+            "rsv", self._next_id(), key, owner, src, dst,
+            bandwidth, start, end,
+        ]
+        deadline = None
+        if degrade and self.degrade_after is not None:
+            deadline = asyncio.get_running_loop().time() + self.degrade_after
+        try:
+            reply = self._final(await self.request(msg, deadline=deadline))
+        except BrokerUnreachable:
+            if not degrade:
+                raise
+            self.degradations += 1
+            task = asyncio.create_task(self._upgrade_loop(res, msg))
+            res._upgrade_task = task
+            self._upgrade_tasks.add(task)
+            task.add_done_callback(self._upgrade_tasks.discard)
+            return res
+        res.rid = reply[2]
+        res.state = RES_HELD
+        if reply[3]:
+            self.idempotent_acks += 1
+        return res
+
+    async def _upgrade_loop(
+        self, res: BrokerReservation, msg: List[Any]
+    ) -> None:
+        """Keep retrying a degraded reservation's premium admission.
+
+        Reuses the original request verbatim — same idempotency key —
+        so if the pre-degradation attempt actually committed
+        server-side (reply lost to a crash), the upgrade adopts that
+        committed reservation instead of booking a second one.
+        """
+        attempt = 0
+        while res.state == RES_BEST_EFFORT:
+            await asyncio.sleep(
+                backoff_delay(
+                    min(attempt, 16), self.backoff_base, self.backoff_cap,
+                    self.jitter, self.rng,
+                )
+            )
+            attempt += 1
+            if res.state != RES_BEST_EFFORT:
+                return
+            try:
+                reply = await self.request(msg, max_retries=0)
+            except BrokerUnreachable:
+                continue
+            if res.state != RES_BEST_EFFORT:
+                return
+            if reply[1] == STATUS_OK:
+                res.rid = reply[2]
+                res.state = RES_HELD
+                if reply[3]:
+                    self.idempotent_acks += 1
+                self.upgrades += 1
+                if self.on_upgrade is not None:
+                    self.on_upgrade(res)
+                return
+            # REJECTED: capacity may free up later — keep trying while
+            # the reservation stays wanted. Final errors (BAD) abort.
+            if reply[1] != STATUS_REJECTED:
+                return
+
+    async def cancel(self, res: BrokerReservation) -> int:
+        """Release a reservation (idempotent; safe for BEST_EFFORT
+        handles — a cancel-by-key tombstone guarantees a still
+        in-flight admission for the same key can never commit after
+        this). Returns 1 if capacity was freed now, 0 for a no-op."""
+        if res.state == RES_CANCELLED:
+            return 0
+        task = res._upgrade_task
+        if task is not None:
+            task.cancel()
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass
+            res._upgrade_task = None
+        msg = ["can", self._next_id(), self.new_key(), res.rid, res.key]
+        reply = self._final(await self.request(msg))
+        res.state = RES_CANCELLED
+        return reply[2]
+
+    async def modify(
+        self,
+        res: BrokerReservation,
+        *,
+        bandwidth: Optional[float] = None,
+        start: Optional[float] = None,
+        end: Optional[float] = None,
+    ) -> BrokerReservation:
+        """Re-negotiate a HELD reservation (make-before-break on the
+        server). Updates and returns ``res`` on success."""
+        if res.rid is None:
+            raise RequestFailed("cannot modify a best-effort reservation")
+        bandwidth = res.bandwidth if bandwidth is None else bandwidth
+        start = res.start if start is None else start
+        end = res.end if end is None else end
+        msg = [
+            "mod", self._next_id(), self.new_key(), res.rid,
+            bandwidth, start, end,
+        ]
+        reply = self._final(await self.request(msg))
+        if reply[3]:
+            self.idempotent_acks += 1
+        res.bandwidth = bandwidth
+        res.start = start
+        res.end = end
+        return res
+
+    async def claim(self, res: BrokerReservation) -> dict:
+        """Fetch the committed claim records for a HELD reservation."""
+        if res.rid is None:
+            raise RequestFailed("best-effort reservation has no claims")
+        reply = self._final(
+            await self.request(["clm", self._next_id(), res.rid])
+        )
+        return reply[2]
+
+    async def status(self) -> dict:
+        reply = self._final(await self.request(["st", self._next_id()]))
+        return reply[2]
+
+    async def request_batch(self, subs: List[List[Any]]) -> List[List[Any]]:
+        """Execute several requests in one frame; returns sub-replies."""
+        reply = self._final(
+            await self.request(["batch", self._next_id(), subs])
+        )
+        return reply[2]
+
+    # -- liveness ------------------------------------------------------------
+
+    async def heartbeat(self) -> bool:
+        """Send one liveness report; registers on first contact and
+        re-registers after an eviction (stale epoch). Returns True iff
+        the service accepted this heartbeat as fresh."""
+        self.heartbeats_sent += 1
+        reply = self._final(
+            await self.request(["hb", self._next_id(), self.name, self._epoch])
+        )
+        epoch, fresh = reply[2], reply[3]
+        if fresh:
+            self._epoch = epoch or None
+            return True
+        # Evicted (or a dead incarnation's epoch): start over.
+        self.stale_epochs += 1
+        self._epoch = None
+        return False
+
+    def start_heartbeats(self, every: float) -> None:
+        """Spawn a background task heartbeating every ``every`` s."""
+        if self._hb_task is not None:
+            return
+
+        async def _loop() -> None:
+            while True:
+                try:
+                    await self.heartbeat()
+                except BrokerClientError:
+                    pass
+                await asyncio.sleep(every)
+
+        self._hb_task = asyncio.create_task(_loop())
+
+    def __repr__(self) -> str:
+        return (
+            f"<BrokerClient {self.name} -> {self.host}:{self.port} "
+            f"retries={self.retries}>"
+        )

@@ -1,0 +1,231 @@
+"""Wire protocol for the always-on GARA broker service.
+
+Framing
+-------
+Every message — request or reply — travels as one *frame*::
+
+    +----------------+----------------------------+
+    | length (4B BE) | UTF-8 JSON payload         |
+    +----------------+----------------------------+
+
+``length`` is the byte length of the JSON payload (unsigned big-endian,
+bounded by ``max_frame`` — oversized frames kill the connection before
+a byte of payload is read, so a hostile client cannot balloon server
+memory).
+
+Requests
+--------
+A request is a JSON array whose first element is the operation tag::
+
+    ["rsv",   id, key, owner, src, dst, bandwidth, start, end]
+    ["mod",   id, key, rid, bandwidth, start, end]
+    ["can",   id, key, rid, reserve_key]
+    ["clm",   id, rid]
+    ["hb",    id, client, epoch]
+    ["st",    id]
+    ["batch", id, [sub_request, ...], summary?]
+
+``id`` is a caller-chosen correlation value echoed verbatim in the
+reply. ``key`` is an optional idempotency key (``null`` to opt out):
+the service remembers the committed outcome per key — in its journal,
+so across crashes — and a retried request replays the recorded reply
+instead of re-executing. ``batch`` carries sub-requests (any op except
+``batch``) executed in order with one reply frame for the lot; with
+the optional trailing ``summary`` flag set to 1 the reply aggregates
+to ``[ok_count, error_count]`` instead of per-sub replies (bulk
+pipelines that do not need individual rids — e.g. cancel-by-key
+streams — use this to halve reply bandwidth and decode cost; every
+sub-request is still executed and journaled individually).
+
+For human-operated clients every op also accepts an object form
+(``{"op": "reserve", "id": 1, "src": "a", ...}``); :func:`normalize`
+lowers it to the array form above. The array form is canonical and is
+what the performance path speaks.
+
+Replies
+-------
+A reply is ``[id, status, ...payload]`` with integer status:
+
+    ========  ==========  ==============================================
+    status    name        payload
+    ========  ==========  ==============================================
+    0         OK          op-specific (see below)
+    1         REJECTED    reason string (admission/quota denial — final)
+    2         BUSY        retry-after seconds (load shed — transient)
+    3         RETRY       retry-after seconds (broker down/restarting)
+    4         BAD         reason string (malformed request — final)
+    5         UNKNOWN     reason string (no such reservation — final)
+    ========  ==========  ==============================================
+
+OK payloads::
+
+    rsv   -> rid, idempotent          (idempotent=1: replayed, not re-run)
+    mod   -> rid, idempotent
+    can   -> counted, idempotent      (counted=0: already gone; a no-op)
+    clm   -> {"rid", "owner", "bandwidth", "start", "end", "claims"}
+    hb    -> epoch, fresh             (fresh=0: stale epoch, re-register)
+    st    -> {counter: value, ...}
+    batch -> [sub_reply, ...]         (summary=1: [ok_count, error_count])
+
+BUSY and RETRY are the only retryable statuses; both carry an explicit
+retry-after hint so backoff is server-paced under overload.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+from typing import Any, List, Optional
+
+__all__ = [
+    "MAX_FRAME",
+    "STATUS_OK",
+    "STATUS_REJECTED",
+    "STATUS_BUSY",
+    "STATUS_RETRY",
+    "STATUS_BAD",
+    "STATUS_UNKNOWN",
+    "STATUS_NAMES",
+    "RETRYABLE_STATUSES",
+    "ProtocolError",
+    "FrameTooLarge",
+    "encode_frame",
+    "decode_payload",
+    "read_frame",
+    "normalize",
+]
+
+#: Default upper bound on a frame's JSON payload, in bytes.
+MAX_FRAME = 1 << 20
+
+STATUS_OK = 0
+STATUS_REJECTED = 1
+STATUS_BUSY = 2
+STATUS_RETRY = 3
+STATUS_BAD = 4
+STATUS_UNKNOWN = 5
+
+STATUS_NAMES = {
+    STATUS_OK: "OK",
+    STATUS_REJECTED: "REJECTED",
+    STATUS_BUSY: "BUSY",
+    STATUS_RETRY: "RETRY",
+    STATUS_BAD: "BAD",
+    STATUS_UNKNOWN: "UNKNOWN",
+}
+
+#: Statuses a client may transparently retry (with backoff).
+RETRYABLE_STATUSES = frozenset({STATUS_BUSY, STATUS_RETRY})
+
+_LEN = struct.Struct(">I")
+
+
+class ProtocolError(Exception):
+    """The peer sent bytes that do not decode to a valid message."""
+
+
+class FrameTooLarge(ProtocolError):
+    """Frame length header exceeds the negotiated maximum."""
+
+
+def encode_frame(payload: Any) -> bytes:
+    """Serialize ``payload`` to one length-prefixed JSON frame."""
+    body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    return _LEN.pack(len(body)) + body
+
+
+def decode_payload(body: bytes) -> Any:
+    try:
+        return json.loads(body)
+    except ValueError as exc:
+        raise ProtocolError(f"undecodable frame payload: {exc}") from exc
+
+
+async def read_frame(
+    reader: asyncio.StreamReader, max_frame: int = MAX_FRAME
+) -> Any:
+    """Read one frame; raises ``IncompleteReadError`` on clean EOF,
+    :class:`FrameTooLarge` before reading an oversized payload."""
+    header = await reader.readexactly(4)
+    (length,) = _LEN.unpack(header)
+    if length > max_frame:
+        raise FrameTooLarge(f"frame of {length} bytes exceeds {max_frame}")
+    return decode_payload(await reader.readexactly(length))
+
+
+# -- object-form lowering ----------------------------------------------------
+
+# op name -> (tag, ordered field names, number of *required* fields).
+# Optional trailing fields default to None when absent from the object.
+_OBJECT_FORMS = {
+    "reserve": (
+        "rsv",
+        ("key", "owner", "src", "dst", "bandwidth", "start", "end"),
+        7,
+    ),
+    "modify": ("mod", ("key", "rid", "bandwidth", "start", "end"), 5),
+    "cancel": ("can", ("key", "rid", "reserve_key"), 0),
+    "claim": ("clm", ("rid",), 1),
+    "heartbeat": ("hb", ("client", "epoch"), 1),
+    "status": ("st", (), 0),
+    "batch": ("batch", ("requests", "summary"), 1),
+}
+
+_TAGS = frozenset(tag for tag, _f, _n in _OBJECT_FORMS.values())
+
+
+def normalize(message: Any) -> List[Any]:
+    """Lower a request to canonical array form.
+
+    Array-form requests pass through after a shape check; object-form
+    requests are rewritten per the table above. Raises
+    :class:`ProtocolError` for anything else.
+    """
+    if isinstance(message, list):
+        if not message or message[0] not in _TAGS:
+            raise ProtocolError(f"unknown request tag in {message!r}")
+        if message[0] == "batch":
+            if len(message) not in (3, 4) or not isinstance(message[2], list):
+                raise ProtocolError("batch requests must be a list")
+            # Array-form subs pass through untouched (the dispatcher
+            # replies per-sub BAD for anything malformed); only
+            # object-form subs need lowering.
+            lowered = [
+                "batch",
+                message[1],
+                [
+                    sub if type(sub) is list else normalize(sub)
+                    for sub in message[2]
+                ],
+            ]
+            if len(message) == 4 and message[3]:
+                lowered.append(1)
+            return lowered
+        return message
+    if not isinstance(message, dict):
+        raise ProtocolError(f"request must be array or object, got {message!r}")
+    op = message.get("op")
+    form = _OBJECT_FORMS.get(op)
+    if form is None:
+        raise ProtocolError(f"unknown op {op!r}")
+    tag, fields, required = form
+    lowered: List[Any] = [tag, message.get("id")]
+    for index, field in enumerate(fields):
+        if index < required and field not in message:
+            raise ProtocolError(f"op {op!r} missing field {field!r}")
+        lowered.append(message.get(field))
+    if tag == "batch":
+        summary = lowered.pop()
+        subs = lowered.pop()
+        if not isinstance(subs, list):
+            raise ProtocolError("batch requests must be a list")
+        lowered.append([normalize(sub) for sub in subs])
+        if summary:
+            lowered.append(1)
+    return lowered
+
+
+def reply_status(reply: List[Any]) -> int:
+    """Status code of a decoded reply array."""
+    return reply[1]

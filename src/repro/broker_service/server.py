@@ -1,0 +1,897 @@
+"""Always-on GARA broker service.
+
+:class:`BrokerService` wraps a :class:`~repro.gara.BandwidthBroker` in
+an asyncio TCP server speaking the length-prefixed JSON protocol of
+:mod:`repro.broker_service.protocol`, turning the in-process broker
+into the long-lived reservation daemon the paper's GARA architecture
+assumes (the broker "normally" being "an external QoS system").
+
+Durability
+----------
+Two write-ahead journals cooperate:
+
+* the **broker journal** (required) logs every slot-table mutation
+  before ``admit_path``/``release`` return — exactly as in the embedded
+  broker;
+* the **service journal** logs the service-level outcome (reservation
+  id, idempotency key, claim names) *after* the broker commit, so every
+  reply the service sends is backed by stable storage.
+
+A crash wipes all volatile state. :meth:`restart` replays broker
+journal then service journal (each restoring its compaction checkpoint
+first, then folding the suffix), re-registers every live reservation's
+claims with the broker — rescuing them from the orphan GC — and
+reopens the listener. The recovery window where the broker journal has
+an admission but the service journal has no matching reservation (a
+crash between the two appends) resolves conservatively: nobody
+re-registers those entries, the orphan GC expunges them after its
+grace window, and the client's retried reserve (same idempotency key,
+which the service never recorded) re-admits cleanly. No capacity is
+ever leaked or double-booked.
+
+Overload
+--------
+Admission to the *service* is itself admission-controlled: at most
+``max_connections`` sockets and ``max_pending`` queued requests (batch
+frames count per sub-request). Excess load is shed with an explicit
+``BUSY`` reply carrying a retry-after hint rather than buffered into
+unbounded memory; a crashed/restarting service answers ``RETRY``. Both
+are client-retryable; everything else is final.
+
+Liveness
+--------
+Clients may register with ``hb`` frames; a
+:class:`~repro.resilience.FailureDetector` in push mode supervises
+them, and a client silent past ``evict_after`` seconds is evicted:
+watch closed (fresh epoch on return), its connections dropped. Its
+reservations survive until cancelled — eviction is about connection
+hygiene, not capacity reclamation (the orphan GC handles capacity, and
+only across restarts).
+
+Time
+----
+The broker's simulator clock drives detector timers and the orphan GC.
+With ``tick`` set (the default), a background task advances the
+simulator to track the asyncio wall clock. Tests pass ``tick=None``
+and call :meth:`advance` to drive time deterministically.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import deque
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..gara.broker import BandwidthBroker, BrokerUnavailable
+from ..gara.reservation import ReservationError
+from ..resilience import FailureDetector, Journal
+from .protocol import (
+    MAX_FRAME,
+    ProtocolError,
+    STATUS_BAD,
+    STATUS_BUSY,
+    STATUS_OK,
+    STATUS_REJECTED,
+    STATUS_RETRY,
+    STATUS_UNKNOWN,
+    encode_frame,
+    normalize,
+    read_frame,
+)
+
+__all__ = ["BrokerService"]
+
+_NUMBER = (int, float)
+
+#: Ops that mutate or read broker state and must bounce with RETRY
+#: while the underlying broker is down.
+_NEEDS_BROKER = frozenset({"rsv", "mod", "can", "clm"})
+
+
+class _Conn:
+    """One accepted client connection."""
+
+    __slots__ = ("reader", "writer", "client")
+
+    def __init__(self, reader, writer) -> None:
+        self.reader = reader
+        self.writer = writer
+        #: Client name, learned from the first heartbeat on this socket.
+        self.client: Optional[str] = None
+
+
+def _valid_interval(bandwidth: Any, start: Any, end: Any) -> bool:
+    return (
+        type(bandwidth) in _NUMBER
+        and bandwidth > 0
+        and type(start) in _NUMBER
+        and type(end) in _NUMBER
+        and end > start
+    )
+
+
+class BrokerService:
+    """Network front-end for a journaled :class:`BandwidthBroker`.
+
+    Parameters
+    ----------
+    broker:
+        The underlying broker. Must have a journal attached — the
+        service's recovery guarantees build on it.
+    journal:
+        Service-level write-ahead journal (one is created if omitted).
+    host, port:
+        Listen address; ``port=0`` picks a free port (read it back
+        from ``service.port`` after :meth:`start`).
+    max_connections, max_pending:
+        Overload limits: connections beyond the first are refused with
+        BUSY; queued requests beyond the second are shed with BUSY.
+    busy_retry_after, down_retry_after:
+        Retry-after hints (seconds) carried by BUSY and RETRY replies.
+    evict_after:
+        Seconds of heartbeat silence after which a registered client
+        is evicted (None disables eviction; a detector can also be
+        passed explicitly via ``detector``).
+    compact_every:
+        Compact both journals whenever the service journal reaches
+        this many records (0 disables automatic compaction).
+    tick:
+        Wall-clock tick driving the simulator (None = manual time via
+        :meth:`advance`).
+    """
+
+    def __init__(
+        self,
+        broker: BandwidthBroker,
+        journal: Optional[Journal] = None,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_connections: int = 64,
+        max_pending: int = 256,
+        max_frame: int = MAX_FRAME,
+        busy_retry_after: float = 0.05,
+        down_retry_after: float = 0.25,
+        evict_after: Optional[float] = None,
+        detector: Optional[FailureDetector] = None,
+        compact_every: int = 0,
+        tick: Optional[float] = 0.02,
+    ) -> None:
+        if broker.journal is None:
+            raise ValueError(
+                "BrokerService requires a journaled broker "
+                "(pass journal= to BandwidthBroker)"
+            )
+        if max_connections < 1 or max_pending < 1:
+            raise ValueError("max_connections and max_pending must be >= 1")
+        self.broker = broker
+        self.sim = broker.sim
+        self.journal = journal if journal is not None else Journal("broker-service")
+        self.host = host
+        self.port = port
+        self.max_connections = max_connections
+        self.max_pending = max_pending
+        self.max_frame = max_frame
+        self.busy_retry_after = busy_retry_after
+        self.down_retry_after = down_retry_after
+        self.compact_every = compact_every
+        self.tick = tick
+        self.evict_after = evict_after
+        if detector is None and evict_after is not None:
+            detector = FailureDetector(
+                self.sim,
+                interval=evict_after / 4.0,
+                timeout=evict_after,
+            )
+        self.detector = detector
+
+        self.alive = False
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._conns: set = set()
+        self._queue: deque = deque()
+        self._queue_event = asyncio.Event()
+        self._pending = 0
+        self._tasks: List[asyncio.Task] = []
+
+        # Reservation state (volatile; rebuilt from the journals).
+        self._next_rid = 1
+        #: rid -> broker claim records [(iface, entry_id, owner, bw)].
+        self._claims: Dict[int, list] = {}
+        #: rid -> (owner, bandwidth, start, end, src, dst).
+        self._meta: Dict[int, Tuple] = {}
+        #: idempotency key -> (op, reply payload list) | ("tomb", []).
+        self._key_replies: Dict[str, Tuple[str, list]] = {}
+        self._node_cache: Dict[str, Any] = {}
+
+        # Service statistics (scraped by repro.telemetry). Counters are
+        # per-incarnation (a crash zeroes them); the crash/restart/
+        # recovery ones below survive, observer-side.
+        self.frames_total = 0
+        self.requests_total = 0
+        self.admissions = 0
+        self.rejections = 0
+        self.cancels = 0
+        self.modifies = 0
+        self.claims_served = 0
+        self.heartbeats = 0
+        self.idempotent_replays = 0
+        self.sheds = 0
+        self.conn_sheds = 0
+        self.busy_replies = 0
+        self.retry_replies = 0
+        self.bad_requests = 0
+        self.unknown_rids = 0
+        self.tombstones = 0
+        self.queue_high_water = 0
+        self.evictions = 0
+        self.crashes = 0
+        self.restarts = 0
+        self.recovery_seconds_last = 0.0
+        self.recovery_seconds_total = 0.0
+        self.replayed_reservations = 0
+
+        self._handlers = {
+            "rsv": self._do_reserve,
+            "mod": self._do_modify,
+            "can": self._do_cancel,
+            "clm": self._do_claim,
+            "hb": self._do_heartbeat,
+            "st": self._do_status,
+        }
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the listener and start serving."""
+        if self.alive:
+            raise RuntimeError("service already started")
+        self._server = await asyncio.start_server(
+            self._handle_conn, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self.alive = True
+        self._start_tasks()
+
+    def _start_tasks(self) -> None:
+        self._queue_event = asyncio.Event()
+        self._tasks = [asyncio.create_task(self._dispatch_loop())]
+        if self.tick is not None:
+            self._tasks.append(asyncio.create_task(self._tick_loop()))
+
+    async def close(self) -> None:
+        """Orderly shutdown (not a crash: state stays journaled and
+        volatile maps are left intact for inspection)."""
+        self.alive = False
+        await self._stop_io(graceful=True)
+
+    async def crash(self, graceful: bool = False) -> None:
+        """Kill the service process.
+
+        All volatile state (reservation maps, idempotency cache, queued
+        requests, client watches) is lost; both journals survive.
+        ``graceful=True`` models a crash that gets to flush its socket
+        buffers: queued requests are answered with a deterministic
+        RETRY + retry-after and connections are closed cleanly. A hard
+        crash (default) aborts every connection mid-stream, so clients
+        see resets/timeouts and must rely on retry + idempotency keys.
+        """
+        if not self.alive:
+            return
+        self.alive = False
+        self.crashes += 1
+        await self._stop_io(graceful=graceful)
+        # Volatile state dies with the process.
+        self._claims.clear()
+        self._meta.clear()
+        self._key_replies.clear()
+        self._next_rid = 1
+        self.frames_total = 0
+        self.requests_total = 0
+        self.admissions = 0
+        self.rejections = 0
+        self.cancels = 0
+        self.modifies = 0
+        self.claims_served = 0
+        self.heartbeats = 0
+        self.idempotent_replays = 0
+        self.tombstones = 0
+        if self.detector is not None:
+            # Client watches are process state; epochs persist, so a
+            # re-registration after restart gets a fresh epoch and old
+            # in-flight heartbeats read as stale.
+            self.detector.close()
+            self.detector.watches.clear()
+        if self.broker.alive:
+            self.broker.crash()
+
+    async def _stop_io(self, graceful: bool) -> None:
+        for task in self._tasks:
+            task.cancel()
+        for task in self._tasks:
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass
+        self._tasks = []
+        if self._server is not None:
+            self._server.close()
+            try:
+                await self._server.wait_closed()
+            except Exception:
+                pass
+            self._server = None
+        if graceful:
+            # In-flight requests get a deterministic RETRY-AFTER.
+            while self._queue:
+                conn, msg, cost = self._queue.popleft()
+                self.retry_replies += 1
+                try:
+                    conn.writer.write(
+                        encode_frame([msg[1], STATUS_RETRY, self.down_retry_after])
+                    )
+                except Exception:
+                    pass
+        self._queue.clear()
+        self._pending = 0
+        for conn in list(self._conns):
+            try:
+                if graceful:
+                    conn.writer.close()
+                else:
+                    transport = conn.writer.transport
+                    if transport is not None:
+                        transport.abort()
+            except Exception:
+                pass
+        self._conns.clear()
+
+    async def restart(self) -> None:
+        """Recover from a crash: replay both journals, re-register the
+        surviving reservations' claims, reopen the listener."""
+        if self.alive:
+            return
+        t0 = time.perf_counter()
+        if not self.broker.alive:
+            self.broker.restart()
+        replayed = 0
+        if self.journal.snapshot_payload is not None:
+            self._restore_checkpoint(self.journal.snapshot_payload)
+        for record in self.journal.records:
+            self._replay(record)
+            replayed += 1
+        max_rid = max(self._meta, default=0)
+        if max_rid >= self._next_rid:
+            self._next_rid = max_rid + 1
+        # Prove liveness for every reservation the service journal says
+        # is still held, before the orphan-GC grace expires.
+        for claims in self._claims.values():
+            self.broker.reregister(claims)
+        self.replayed_reservations = len(self._claims)
+        self._server = await asyncio.start_server(
+            self._handle_conn, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self.alive = True
+        self._start_tasks()
+        self.restarts += 1
+        self.recovery_seconds_last = time.perf_counter() - t0
+        self.recovery_seconds_total += self.recovery_seconds_last
+        self._emit(
+            "service_restart",
+            replayed=replayed,
+            reservations=len(self._claims),
+            recovery_seconds=self.recovery_seconds_last,
+        )
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            raise RuntimeError("service not started")
+        await self._server.serve_forever()
+
+    def advance(self, seconds: float) -> None:
+        """Advance the simulator clock manually (``tick=None`` mode) —
+        fires detector polls, orphan GC, and any other timers due."""
+        if seconds > 0:
+            self.sim.run(until=self.sim.now + seconds)
+
+    async def _tick_loop(self) -> None:
+        loop = asyncio.get_running_loop()
+        base_wall = loop.time()
+        base_sim = self.sim.now
+        while True:
+            await asyncio.sleep(self.tick)
+            target = base_sim + (loop.time() - base_wall)
+            if target > self.sim.now:
+                self.sim.run(until=target)
+
+    # -- connection handling -------------------------------------------------
+
+    async def _handle_conn(self, reader, writer) -> None:
+        if not self.alive:
+            writer.close()
+            return
+        if len(self._conns) >= self.max_connections:
+            self.conn_sheds += 1
+            self.sheds += 1
+            try:
+                writer.write(
+                    encode_frame([None, STATUS_BUSY, self.busy_retry_after])
+                )
+                await writer.drain()
+            except (ConnectionError, OSError):
+                pass
+            writer.close()
+            return
+        conn = _Conn(reader, writer)
+        self._conns.add(conn)
+        try:
+            while True:
+                try:
+                    raw = await read_frame(reader, self.max_frame)
+                except asyncio.IncompleteReadError:
+                    break
+                except ProtocolError as exc:
+                    # Framing is gone; a reply then hang up is all we
+                    # can do for this socket.
+                    self.bad_requests += 1
+                    writer.write(encode_frame([None, STATUS_BAD, str(exc)]))
+                    await writer.drain()
+                    break
+                self.frames_total += 1
+                try:
+                    msg = normalize(raw)
+                except ProtocolError as exc:
+                    self.bad_requests += 1
+                    writer.write(encode_frame([None, STATUS_BAD, str(exc)]))
+                    continue
+                cost = (
+                    len(msg[2])
+                    if msg[0] == "batch" and isinstance(msg[2], list)
+                    else 1
+                )
+                if self._pending + cost > self.max_pending:
+                    # Bounded queue: shed instead of buffer.
+                    self.sheds += cost
+                    self.busy_replies += 1
+                    writer.write(
+                        encode_frame([msg[1], STATUS_BUSY, self.busy_retry_after])
+                    )
+                    continue
+                self._pending += cost
+                if self._pending > self.queue_high_water:
+                    self.queue_high_water = self._pending
+                self._queue.append((conn, msg, cost))
+                self._queue_event.set()
+        except (ConnectionError, OSError):
+            pass
+        except asyncio.CancelledError:
+            # Event-loop teardown: the connection is done either way;
+            # returning (rather than re-raising) keeps asyncio's stream
+            # machinery from logging a spurious "Exception in callback".
+            pass
+        finally:
+            self._conns.discard(conn)
+            try:
+                writer.close()
+            except Exception:
+                pass
+
+    async def _dispatch_loop(self) -> None:
+        queue = self._queue
+        while True:
+            if not queue:
+                self._queue_event.clear()
+                await self._queue_event.wait()
+                continue
+            conn, msg, cost = queue.popleft()
+            self.requests_total += cost
+            try:
+                reply = self._execute(conn, msg)
+            except (IndexError, TypeError, ValueError, KeyError) as exc:
+                # Belt and braces: a malformed frame must never take
+                # the dispatcher down with it.
+                self.bad_requests += 1
+                mid = msg[1] if isinstance(msg, list) and len(msg) > 1 else None
+                reply = [mid, STATUS_BAD, f"malformed request: {exc!r}"]
+            self._pending -= cost
+            writer = conn.writer
+            if not writer.is_closing():
+                writer.write(encode_frame(reply))
+                try:
+                    await writer.drain()
+                except (ConnectionError, OSError):
+                    pass
+
+    # -- request execution ---------------------------------------------------
+
+    def _execute(self, conn: _Conn, msg: list) -> list:
+        if msg[0] == "batch":
+            subs = msg[2]
+            if len(msg) > 3 and msg[3]:
+                # Summary mode: every sub still executes (and journals)
+                # individually; only the reply aggregates, sparing bulk
+                # pipelines N sub-reply encodes they would discard.
+                n_ok = n_err = 0
+                for sub in subs:
+                    if sub[0] == "batch":
+                        self.bad_requests += 1
+                        n_err += 1
+                    elif self._dispatch(conn, sub)[1] == STATUS_OK:
+                        n_ok += 1
+                    else:
+                        n_err += 1
+                return [msg[1], STATUS_OK, [n_ok, n_err]]
+            replies = []
+            for sub in subs:
+                if sub[0] == "batch":
+                    self.bad_requests += 1
+                    replies.append([sub[1], STATUS_BAD, "nested batch"])
+                else:
+                    replies.append(self._dispatch(conn, sub))
+            return [msg[1], STATUS_OK, replies]
+        return self._dispatch(conn, msg)
+
+    def _dispatch(self, conn: _Conn, msg: list) -> list:
+        tag = msg[0]
+        if not self.broker.alive and tag in _NEEDS_BROKER:
+            self.retry_replies += 1
+            return [msg[1], STATUS_RETRY, self.down_retry_after]
+        try:
+            return self._handlers[tag](conn, msg)
+        except (IndexError, TypeError, ValueError, KeyError) as exc:
+            self.bad_requests += 1
+            mid = msg[1] if len(msg) > 1 else None
+            return [mid, STATUS_BAD, f"malformed {tag!r} request: {exc!r}"]
+
+    def _cached(self, key: Any, op: str, mid: Any) -> Optional[list]:
+        """Replay the recorded outcome for an idempotency key, if any."""
+        if key is None:
+            return None
+        cached = self._key_replies.get(key)
+        if cached is None:
+            return None
+        cop, payload = cached
+        if cop == "tomb":
+            return [mid, STATUS_REJECTED, "reservation already cancelled"]
+        if cop != op:
+            self.bad_requests += 1
+            return [mid, STATUS_BAD, "idempotency key reused across ops"]
+        self.idempotent_replays += 1
+        return [mid, STATUS_OK] + payload + [1]
+
+    def _node(self, name: Any):
+        node = self._node_cache.get(name)
+        if node is None:
+            node = self.broker.network._resolve(name)
+            self._node_cache[name] = node
+        return node
+
+    def _do_reserve(self, conn: _Conn, msg: list) -> list:
+        mid, key, owner = msg[1], msg[2], msg[3]
+        hit = self._cached(key, "rsv", mid)
+        if hit is not None:
+            return hit
+        src, dst, bandwidth, start, end = msg[4], msg[5], msg[6], msg[7], msg[8]
+        if not _valid_interval(bandwidth, start, end):
+            self.bad_requests += 1
+            return [mid, STATUS_BAD, "bandwidth/start/end invalid"]
+        try:
+            src_node = self._node(src)
+            dst_node = self._node(dst)
+        except KeyError:
+            self.bad_requests += 1
+            return [mid, STATUS_BAD, f"unknown node in {src!r}->{dst!r}"]
+        try:
+            claims = self.broker.admit_path(
+                src_node, dst_node, bandwidth, start, end, owner=owner
+            )
+        except BrokerUnavailable:
+            self.retry_replies += 1
+            return [mid, STATUS_RETRY, self.down_retry_after]
+        except ReservationError as exc:
+            self.rejections += 1
+            return [mid, STATUS_REJECTED, str(exc)]
+        rid = self._next_rid
+        self._next_rid = rid + 1
+        self._claims[rid] = claims
+        self._meta[rid] = (owner, bandwidth, start, end, src, dst)
+        self.journal.append(
+            "rsv",
+            rid=rid,
+            key=key,
+            owner=owner,
+            src=src,
+            dst=dst,
+            bandwidth=bandwidth,
+            start=start,
+            end=end,
+            claims=tuple(
+                [(c[0].node.name, c[0].name, c[1]) for c in claims]
+            ),
+        )
+        if key is not None:
+            self._key_replies[key] = ("rsv", [rid])
+        self.admissions += 1
+        self._maybe_compact()
+        return [mid, STATUS_OK, rid, 0]
+
+    def _do_modify(self, conn: _Conn, msg: list) -> list:
+        mid, key, rid = msg[1], msg[2], msg[3]
+        hit = self._cached(key, "mod", mid)
+        if hit is not None:
+            return hit
+        bandwidth, start, end = msg[4], msg[5], msg[6]
+        old = self._claims.get(rid)
+        if old is None:
+            self.unknown_rids += 1
+            return [mid, STATUS_UNKNOWN, f"no reservation {rid!r}"]
+        if not _valid_interval(bandwidth, start, end):
+            self.bad_requests += 1
+            return [mid, STATUS_BAD, "bandwidth/start/end invalid"]
+        owner, _bw, _s, _e, src, dst = self._meta[rid]
+        # Make-before-break: the new interval is admitted while the old
+        # one still counts (no service interruption, no transient
+        # overcommit window), then the old claims are released. A
+        # modify that cannot fit alongside the old one is REJECTED and
+        # the old reservation is untouched.
+        try:
+            claims = self.broker.admit_path(
+                self._node(src), self._node(dst), bandwidth, start, end,
+                owner=owner,
+            )
+        except BrokerUnavailable:
+            self.retry_replies += 1
+            return [mid, STATUS_RETRY, self.down_retry_after]
+        except ReservationError as exc:
+            self.rejections += 1
+            return [mid, STATUS_REJECTED, str(exc)]
+        self.broker.release(old, count=False)
+        self._claims[rid] = claims
+        self._meta[rid] = (owner, bandwidth, start, end, src, dst)
+        self.journal.append(
+            "mod",
+            rid=rid,
+            key=key,
+            owner=owner,
+            src=src,
+            dst=dst,
+            bandwidth=bandwidth,
+            start=start,
+            end=end,
+            claims=tuple(
+                [(c[0].node.name, c[0].name, c[1]) for c in claims]
+            ),
+        )
+        if key is not None:
+            self._key_replies[key] = ("mod", [rid])
+        self.modifies += 1
+        self._maybe_compact()
+        return [mid, STATUS_OK, rid, 0]
+
+    def _do_cancel(self, conn: _Conn, msg: list) -> list:
+        mid, key, rid, rkey = msg[1], msg[2], msg[3], msg[4]
+        hit = self._cached(key, "can", mid)
+        if hit is not None:
+            return hit
+        if rid is None:
+            if rkey is None:
+                self.bad_requests += 1
+                return [mid, STATUS_BAD, "cancel needs rid or reserve_key"]
+            entry = self._key_replies.get(rkey)
+            if entry is not None and entry[0] == "rsv":
+                rid = entry[1][0]
+            elif entry is None:
+                # The reserve this key names never committed. Tombstone
+                # the key so a still-in-flight duplicate of that
+                # reserve cannot commit *after* this cancel — the
+                # capacity-conservation guarantee for the crash window.
+                self._key_replies[rkey] = ("tomb", [])
+                self.journal.append("tomb", key=rkey)
+                self.tombstones += 1
+        counted = 0
+        if rid is not None:
+            claims = self._claims.pop(rid, None)
+            if claims is not None:
+                self.broker.release(claims)
+                self._meta.pop(rid, None)
+                counted = 1
+                self.cancels += 1
+        self.journal.append("can", rid=rid, key=key, counted=counted)
+        if key is not None:
+            self._key_replies[key] = ("can", [counted])
+        self._maybe_compact()
+        return [mid, STATUS_OK, counted, 0]
+
+    def _do_claim(self, conn: _Conn, msg: list) -> list:
+        mid, rid = msg[1], msg[2]
+        claims = self._claims.get(rid)
+        if claims is None:
+            self.unknown_rids += 1
+            return [mid, STATUS_UNKNOWN, f"no reservation {rid!r}"]
+        owner, bandwidth, start, end, src, dst = self._meta[rid]
+        self.claims_served += 1
+        return [
+            mid,
+            STATUS_OK,
+            {
+                "rid": rid,
+                "owner": owner,
+                "bandwidth": bandwidth,
+                "start": start,
+                "end": end,
+                "src": src,
+                "dst": dst,
+                "claims": [
+                    [c[0].node.name, c[0].name, c[1]] for c in claims
+                ],
+            },
+        ]
+
+    def _do_heartbeat(self, conn: _Conn, msg: list) -> list:
+        mid, client, epoch = msg[1], msg[2], msg[3]
+        self.heartbeats += 1
+        if self.detector is None:
+            return [mid, STATUS_OK, 0, 1]
+        watch = self.detector.lookup(client)
+        if watch is None:
+            if epoch is not None:
+                # A dead incarnation knocking; it must re-register
+                # (heartbeat without an epoch) to come back.
+                self.detector.stale_heartbeats += 1
+                return [mid, STATUS_OK, 0, 0]
+            watch = self.detector.watch(
+                client, None, on_down=self._evict_client
+            )
+            conn.client = client
+            return [mid, STATUS_OK, watch.epoch, 1]
+        fresh = watch.heartbeat(epoch)
+        if fresh:
+            conn.client = client
+        return [mid, STATUS_OK, watch.epoch, 1 if fresh else 0]
+
+    def _do_status(self, conn: _Conn, msg: list) -> list:
+        return [msg[1], STATUS_OK, self.status_counters()]
+
+    def _evict_client(self, watch) -> None:
+        """Detector ``on_down``: a silent client is expelled — watch
+        retired (fresh epoch on return) and its sockets dropped."""
+        self.detector.evict(watch)
+        self.evictions += 1
+        for conn in list(self._conns):
+            if conn.client == watch.name:
+                try:
+                    conn.writer.close()
+                except Exception:
+                    pass
+                self._conns.discard(conn)
+        self._emit("client_evicted", client=watch.name, epoch=watch.epoch)
+
+    # -- durability ----------------------------------------------------------
+
+    def _maybe_compact(self) -> None:
+        if self.compact_every and len(self.journal) >= self.compact_every:
+            self.compact()
+
+    def compact(self) -> int:
+        """Checkpoint service + broker journals and truncate the
+        records the checkpoints subsume; returns service records
+        truncated."""
+        self.broker.compact_journal()
+        return self.journal.compact(self._checkpoint())
+
+    def _checkpoint(self):
+        claims = tuple(
+            (
+                rid,
+                tuple(
+                    (c[0].node.name, c[0].name, c[1], c[2], c[3])
+                    for c in claim_list
+                ),
+            )
+            for rid, claim_list in self._claims.items()
+        )
+        return (
+            "svc-v1",
+            self._next_rid,
+            claims,
+            tuple(self._meta.items()),
+            tuple(self._key_replies.items()),
+        )
+
+    def _restore_checkpoint(self, payload) -> None:
+        version, next_rid, claims, meta, keys = payload
+        if version != "svc-v1":  # pragma: no cover - future-proofing
+            raise ValueError(f"unknown service checkpoint version {version!r}")
+        self._next_rid = next_rid
+        for rid, claim_names in claims:
+            self._claims[rid] = [
+                (self.broker._iface(n, i), eid, owner, bw)
+                for n, i, eid, owner, bw in claim_names
+            ]
+        for rid, fields in meta:
+            self._meta[rid] = tuple(fields)
+        for key, (op, reply_payload) in keys:
+            self._key_replies[key] = (op, list(reply_payload))
+
+    def _replay(self, record) -> None:
+        op, fields = record.op, record.fields
+        if op in ("rsv", "mod"):
+            owner = fields["owner"]
+            bandwidth = fields["bandwidth"]
+            rid = fields["rid"]
+            self._claims[rid] = [
+                (self.broker._iface(n, i), eid, owner, bandwidth)
+                for n, i, eid in fields["claims"]
+            ]
+            self._meta[rid] = (
+                owner, bandwidth, fields["start"], fields["end"],
+                fields["src"], fields["dst"],
+            )
+            if fields["key"] is not None:
+                self._key_replies[fields["key"]] = (op, [rid])
+        elif op == "can":
+            rid = fields["rid"]
+            if rid is not None:
+                self._claims.pop(rid, None)
+                self._meta.pop(rid, None)
+            if fields["key"] is not None:
+                self._key_replies[fields["key"]] = ("can", [fields["counted"]])
+        elif op == "tomb":
+            self._key_replies[fields["key"]] = ("tomb", [])
+        else:  # pragma: no cover - future-proofing
+            raise ValueError(f"unknown service journal op {op!r}")
+
+    # -- observability -------------------------------------------------------
+
+    def status_counters(self) -> Dict[str, Any]:
+        broker = self.broker
+        return {
+            "alive": 1 if self.alive else 0,
+            "frames": self.frames_total,
+            "requests": self.requests_total,
+            "admissions": self.admissions,
+            "rejections": self.rejections,
+            "cancels": self.cancels,
+            "modifies": self.modifies,
+            "claims_served": self.claims_served,
+            "heartbeats": self.heartbeats,
+            "idempotent_replays": self.idempotent_replays,
+            "tombstones": self.tombstones,
+            "sheds": self.sheds,
+            "conn_sheds": self.conn_sheds,
+            "busy_replies": self.busy_replies,
+            "retry_replies": self.retry_replies,
+            "bad_requests": self.bad_requests,
+            "unknown_rids": self.unknown_rids,
+            "queue_depth": self._pending,
+            "queue_high_water": self.queue_high_water,
+            "connections": len(self._conns),
+            "live_reservations": len(self._claims),
+            "evictions": self.evictions,
+            "crashes": self.crashes,
+            "restarts": self.restarts,
+            "recovery_seconds_last": self.recovery_seconds_last,
+            "recovery_seconds_total": self.recovery_seconds_total,
+            "replayed_reservations": self.replayed_reservations,
+            "journal_records": len(self.journal),
+            "journal_snapshots": self.journal.snapshots_total,
+            "journal_truncated": self.journal.records_truncated,
+            "broker_admissions": broker.admissions,
+            "broker_rejections": broker.rejections,
+            "broker_releases": broker.releases,
+            "broker_orphans_collected": broker.orphans_collected,
+            "sim_now": self.sim.now,
+        }
+
+    def _emit(self, name: str, **fields: Any) -> None:
+        tel = self.sim.telemetry
+        if tel is not None and tel.trace is not None:
+            tel.trace.emit(self.sim.now, "broker_service", name, **fields)
+
+    def __repr__(self) -> str:
+        state = "up" if self.alive else "down"
+        return (
+            f"<BrokerService {self.host}:{self.port} {state} "
+            f"{len(self._claims)} live reservations>"
+        )

@@ -20,6 +20,7 @@ through them:
 from .chaos import ChaosSchedule
 from .injectors import CorruptionInjector, LossInjector
 from .lease import (
+    backoff_delay,
     Lease,
     LeaseManager,
     ReservationLost,
@@ -31,6 +32,7 @@ from .lease import (
 )
 
 __all__ = [
+    "backoff_delay",
     "ChaosSchedule",
     "CorruptionInjector",
     "LEASE_ACQUIRING",

@@ -25,6 +25,7 @@ from typing import Any, Callable, List, Optional, Sequence
 from ..gara import CANCELLED, EXPIRED, Gara, Reservation, ReservationError
 
 __all__ = [
+    "backoff_delay",
     "Lease",
     "LeaseManager",
     "ReservationLost",
@@ -34,6 +35,20 @@ __all__ = [
     "LEASE_LOST",
     "LEASE_CLOSED",
 ]
+
+def backoff_delay(attempt: int, base: float, cap: float, jitter: float, rng) -> float:
+    """Capped exponential backoff: ``min(cap, base * 2**attempt)``
+    scaled by a uniform ±``jitter`` fraction drawn from ``rng`` (any
+    object with a ``random()`` method — the simulator RNG here, a
+    seeded ``random.Random`` in the broker client). The single shared
+    formula keeps lease re-admission and wire-client retry timelines
+    directly comparable; no draw is consumed when ``jitter`` is 0.
+    """
+    delay = min(cap, base * (2.0 ** attempt))
+    if jitter:
+        delay *= 1.0 + jitter * (2.0 * rng.random() - 1.0)
+    return delay
+
 
 LEASE_ACQUIRING = "ACQUIRING"  # first admission not yet granted
 LEASE_HELD = "HELD"  # reservation in place, heartbeat running
@@ -367,10 +382,10 @@ class LeaseManager:
             self.leases.remove(lease)
 
     def _backoff_delay(self, attempt: int) -> float:
-        delay = min(self.backoff_cap, self.backoff_base * (2.0**attempt))
-        if self.jitter:
-            delay *= 1.0 + self.jitter * (2.0 * self.sim.rng.random() - 1.0)
-        return delay
+        return backoff_delay(
+            attempt, self.backoff_base, self.backoff_cap, self.jitter,
+            self.sim.rng,
+        )
 
     def _check_claims(self, reservation: Reservation) -> Optional[str]:
         """Staleness reason for a reservation's broker claims, or None.

@@ -110,6 +110,12 @@ class BandwidthBroker:
         # Policy: owner -> max fraction of any link's EF capacity.
         self._quotas: Dict[str, float] = {}
         self._owner_usage: Dict[Tuple[str, Interface], float] = {}
+        # Provenance of every live entry, keyed (iface, entry_id) ->
+        # (owner, bandwidth, admit_lsn). Feeds checkpoints (journal
+        # compaction) and the post-replay orphan-candidate set.
+        self._entry_meta: Dict[
+            Tuple[Interface, int], Tuple[Optional[str], float, int]
+        ] = {}
         # Entries resurrected by replay, keyed (iface, entry_id) ->
         # (owner, bandwidth, admit_lsn); awaiting re-registration.
         self._orphan_candidates: Dict[
@@ -225,7 +231,8 @@ class BandwidthBroker:
             raise ReservationError(str(exc)) from exc
         try:
             for iface in ifaces:
-                self._check_quota(owner, iface, bandwidth)
+                if owner is not None:
+                    self._check_quota(owner, iface, bandwidth)
                 entry = self.table_for(iface).add(start, end, bandwidth)
                 if owner is not None:
                     key = (owner, iface)
@@ -249,21 +256,27 @@ class BandwidthBroker:
                 raise
             raise ReservationError(str(exc)) from exc
         self.admissions += 1
+        lsn = 0
         if self.journal is not None:
-            self.journal.append(
+            lsn = self.journal.append(
                 "admit",
                 owner=owner,
                 bandwidth=bandwidth,
                 start=start,
                 end=end,
                 claims=tuple(
-                    (iface.node.name, iface.name, entry)
-                    for iface, entry, _o, _bw in claimed
+                    [
+                        (iface.node.name, iface.name, entry)
+                        for iface, entry, _o, _bw in claimed
+                    ]
                 ),
+            ).lsn
+        for iface, entry, _o, _bw in claimed:
+            self._entry_meta[(iface, entry)] = (owner, bandwidth, lsn)
+        if self.sim.telemetry is not None:
+            self._emit_admission(
+                "admit", src, dst, bandwidth, hops=len(claimed)
             )
-        self._emit_admission(
-            "admit", src, dst, bandwidth, hops=len(claimed)
-        )
         return claimed
 
     def _emit_admission(
@@ -329,6 +342,7 @@ class BandwidthBroker:
         if entry_id not in table:
             return False
         table.remove(entry_id)
+        self._entry_meta.pop((iface, entry_id), None)
         if owner is not None:
             key = (owner, iface)
             remaining = self._owner_usage.get(key, 0.0) - bandwidth
@@ -359,6 +373,78 @@ class BandwidthBroker:
         quotas = tuple(sorted(self._quotas.items()))
         return (tables, usage, quotas)
 
+    def checkpoint(self):
+        """Serialize the full committed state for journal compaction.
+
+        Unlike :meth:`snapshot` (a canonical value for equality
+        checks), a checkpoint preserves *exact process state* — entry
+        insertion order, float accounting values, provenance LSNs, and
+        the journal-derivable counters — so restoring it and folding
+        the post-checkpoint journal suffix is byte-identical to
+        replaying the full log.
+        """
+        self._require_alive()
+        entries = []
+        for iface, table in self._tables.items():
+            for e in table.entries:
+                owner, bandwidth, lsn = self._entry_meta[
+                    (iface, e.entry_id)
+                ]
+                entries.append((
+                    iface.node.name, iface.name,
+                    e.entry_id, e.start, e.end, e.amount,
+                    owner, bandwidth, lsn,
+                ))
+        usage = tuple(
+            (owner, iface.node.name, iface.name, value)
+            for (owner, iface), value in self._owner_usage.items()
+        )
+        return (
+            "broker-v1",
+            tuple(entries),
+            usage,
+            tuple(self._quotas.items()),
+            (
+                self.admissions,
+                self.releases,
+                self.orphans_collected,
+                self.orphan_paths_collected,
+            ),
+        )
+
+    def _restore_checkpoint(self, payload) -> None:
+        """Install a :meth:`checkpoint` payload (start of replay)."""
+        version, entries, usage, quotas, counters = payload
+        if version != "broker-v1":  # pragma: no cover - future-proofing
+            raise ValueError(f"unknown checkpoint version {version!r}")
+        for node_name, iface_name, entry_id, start, end, amount, owner, \
+                bandwidth, lsn in entries:
+            iface = self._iface(node_name, iface_name)
+            self.table_for(iface).restore(
+                SlotEntry(entry_id, start, end, amount)
+            )
+            self._entry_meta[(iface, entry_id)] = (owner, bandwidth, lsn)
+        for owner, node_name, iface_name, value in usage:
+            self._owner_usage[
+                (owner, self._iface(node_name, iface_name))
+            ] = value
+        self._quotas.update(quotas)
+        (
+            self.admissions,
+            self.releases,
+            self.orphans_collected,
+            self.orphan_paths_collected,
+        ) = counters
+
+    def compact_journal(self) -> int:
+        """Checkpoint the live state into the journal and truncate the
+        records it subsumes, bounding future replay work; returns the
+        number of records truncated. No-op without a journal."""
+        self._require_alive()
+        if self.journal is None:
+            return 0
+        return self.journal.compact(self.checkpoint())
+
     def crash(self) -> None:
         """Kill the broker process: all in-memory state (slot tables,
         owner usage, quotas, journal-derivable statistics) is lost; the
@@ -370,6 +456,7 @@ class BandwidthBroker:
         self._tables.clear()
         self._quotas.clear()
         self._owner_usage.clear()
+        self._entry_meta.clear()
         self._orphan_candidates.clear()
         self.admissions = 0
         self.rejections = 0
@@ -382,27 +469,32 @@ class BandwidthBroker:
         self._emit("broker_crash")
 
     def restart(self) -> None:
-        """Bring the broker back: replay the journal to reconstruct the
-        exact pre-crash state, notify ``restart_listeners`` (who flush
-        queued releases and re-register live claims), then start the
-        orphan-GC grace window for whatever nobody re-registered."""
+        """Bring the broker back: restore the journal's checkpoint (if
+        one was taken by :meth:`compact_journal`), fold the remaining
+        records to reconstruct the exact pre-crash state, notify
+        ``restart_listeners`` (who flush queued releases and
+        re-register live claims), then start the orphan-GC grace window
+        for whatever nobody re-registered."""
         if self.alive:
             return
         self.alive = True
         self.restarts += 1
-        origins: Dict[Tuple[Interface, int], Tuple[Optional[str], float, int]] = {}
         replayed = 0
         if self.journal is not None:
+            if self.journal.snapshot_payload is not None:
+                self._restore_checkpoint(self.journal.snapshot_payload)
             for record in self.journal.records:
-                self._replay(record, origins)
+                self._replay(record)
                 replayed += 1
         self.journal_replays += replayed
-        self._orphan_candidates = origins
+        # Every entry live after replay was resurrected from stable
+        # storage; each is an orphan until its holder re-registers.
+        self._orphan_candidates = dict(self._entry_meta)
         self.last_replay_snapshot = self.snapshot()
         self._emit(
             "broker_restart",
             replayed=replayed,
-            resurrected=len(origins),
+            resurrected=len(self._orphan_candidates),
         )
         for listener in list(self.restart_listeners):
             listener(self)
@@ -430,7 +522,7 @@ class BandwidthBroker:
                 return iface
         raise KeyError(f"no interface {iface_name!r} on node {node_name!r}")
 
-    def _replay(self, record, origins) -> None:
+    def _replay(self, record) -> None:
         op, fields = record.op, record.fields
         if op == "quota":
             self._quotas[fields["owner"]] = fields["fraction"]
@@ -449,18 +541,16 @@ class BandwidthBroker:
                     self._owner_usage[key] = (
                         self._owner_usage.get(key, 0.0) + bandwidth
                     )
-                origins[(iface, entry_id)] = (owner, bandwidth, record.lsn)
+                self._entry_meta[(iface, entry_id)] = (
+                    owner, bandwidth, record.lsn
+                )
             self.admissions += 1
         elif op in ("release", "gc"):
-            paths = set()
             for node_name, iface_name, entry_id, owner, bandwidth in fields[
                 "entries"
             ]:
                 iface = self._iface(node_name, iface_name)
                 self._forget_claim(iface, entry_id, owner, bandwidth)
-                origin = origins.pop((iface, entry_id), None)
-                if origin is not None:
-                    paths.add(origin[2])
             if op == "release":
                 if fields["counted"]:
                     self.releases += 1

@@ -10,7 +10,6 @@ commitments plus the new amount stays within capacity.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
 __all__ = ["SlotTable", "SlotEntry", "AdmissionError"]
@@ -22,14 +21,30 @@ class AdmissionError(Exception):
     """The requested interval/amount does not fit within capacity."""
 
 
-@dataclass(frozen=True)
 class SlotEntry:
-    """One committed reservation interval."""
+    """One committed reservation interval.
 
-    entry_id: int
-    start: float
-    end: float  # may be inf for indefinite reservations
-    amount: float
+    A ``__slots__`` class (not a dataclass): one is allocated per
+    admission on the broker's fast path, where frozen-dataclass field
+    assignment costs more than the admission check itself. Treat
+    instances as immutable.
+    """
+
+    __slots__ = ("entry_id", "start", "end", "amount")
+
+    def __init__(
+        self, entry_id: int, start: float, end: float, amount: float
+    ) -> None:
+        self.entry_id = entry_id
+        self.start = start
+        self.end = end  # may be inf for indefinite reservations
+        self.amount = amount
+
+    def __repr__(self) -> str:
+        return (
+            f"SlotEntry(entry_id={self.entry_id}, start={self.start}, "
+            f"end={self.end}, amount={self.amount})"
+        )
 
 
 class SlotTable:
@@ -80,6 +95,8 @@ class SlotTable:
         """Peak committed amount over ``[start, end)``."""
         if end <= start:
             raise ValueError("empty interval")
+        if not self._entries:
+            return 0.0
         overlapping = [
             e
             for e in self._entries.values()

@@ -81,6 +81,11 @@ class Network:
         #: Observers called after every route recomputation caused by a
         #: link failure/restore (the lease layer subscribes here).
         self.topology_listeners: List[Callable[[], None]] = []
+        # Memoized path_interfaces results keyed (src, dst) name pair.
+        # The admission control plane resolves the same few paths per
+        # reservation; without this every admission pays a Dijkstra.
+        # Invalidated whenever the working topology changes.
+        self._path_cache: Dict[Tuple[str, str], List[Interface]] = {}
 
     # -- construction ---------------------------------------------------
 
@@ -125,6 +130,7 @@ class Network:
         self.links.append(record)
         self.graph.add_edge(a.name, b.name, delay=delay, record=record)
         self._routes_built = False
+        self._path_cache.clear()
         return record
 
     # -- link failure ----------------------------------------------------
@@ -187,6 +193,7 @@ class Network:
         """Compute delay-weighted shortest paths over the *working*
         links and install next hops. Destinations with no surviving
         path get no route (traffic to them counts as no_route_drops)."""
+        self._path_cache.clear()
         graph = self._working_graph()
         paths = dict(nx.all_pairs_dijkstra_path(graph, weight="delay"))
         for src_name in self.graph.nodes:
@@ -224,13 +231,23 @@ class Network:
         This is what a network reservation must be installed on: the
         first entry is the source's own egress; subsequent entries are
         the routers' egress ports along the path.
+
+        Results are memoized until the working topology changes (a
+        link is added, fails, or is restored), so sustained admission
+        load pays one Dijkstra per (src, dst) pair, not per call.
         """
-        nodes = self.path(src, dst)
-        ifaces = []
-        for here, there in zip(nodes, nodes[1:]):
-            record: LinkRecord = self.graph.edges[here.name, there.name]["record"]
-            ifaces.append(record.egress_towards(there))
-        return ifaces
+        key = (src.name, dst.name)
+        cached = self._path_cache.get(key)
+        if cached is None:
+            nodes = self.path(src, dst)
+            cached = []
+            for here, there in zip(nodes, nodes[1:]):
+                record: LinkRecord = self.graph.edges[
+                    here.name, there.name
+                ]["record"]
+                cached.append(record.egress_towards(there))
+            self._path_cache[key] = cached
+        return list(cached)
 
     def round_trip_delay(self, src: Node, dst: Node) -> float:
         """Sum of propagation delays along the path, both directions."""

@@ -2,12 +2,26 @@
 
 MPICH-G2's wide-area setting makes component failure the norm, so the
 QoS layer cannot assume the broker answers. A :class:`FailureDetector`
-models the standard heartbeat protocol: every watched component is
-polled on a (seeded-jittered) interval — each poll of a live component
-counts as a received heartbeat — and a component whose last heartbeat
-is older than ``timeout`` is *suspected* (marked DOWN) exactly once
-until it heartbeats again, at which point it is marked UP and the
-recovery callback fires.
+models the standard heartbeat protocol in two flavours:
+
+* **poll mode** (a ``component`` with an ``alive`` flag): every watched
+  component is polled on a (seeded-jittered) interval — each poll of a
+  live component counts as a received heartbeat;
+* **push mode** (``component=None``): the peer itself reports liveness
+  via :meth:`Watch.heartbeat` (the broker service's clients do this
+  over the wire); the detector only checks staleness on its poll tick.
+
+Either way, a peer whose last heartbeat is older than ``timeout`` is
+*suspected* (marked DOWN) exactly once until it heartbeats again, at
+which point it is marked UP and the recovery callback fires.
+
+``last_heartbeat`` is monotonic: a heartbeat carrying an older
+observation than one already recorded can never move it backwards.
+Each registration of a peer name opens a fresh *epoch*; after a watch
+is evicted (:meth:`FailureDetector.evict` or :meth:`Watch.close`), a
+re-registration of the same name gets the next epoch, and heartbeats
+stamped with a stale epoch are counted and dropped — a delayed message
+from a dead incarnation can never resurrect the peer.
 
 All jitter is drawn from the simulator's seeded RNG, so suspicion and
 recovery timestamps are reproducible for a fixed seed. The lease-aware
@@ -19,7 +33,7 @@ leases' exponential backoff so re-admission happens promptly.
 
 from __future__ import annotations
 
-from typing import Any, Callable, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from ..kernel import Simulator
 
@@ -30,7 +44,12 @@ WATCH_DOWN = "DOWN"
 
 
 class Watch:
-    """One monitored component (anything exposing an ``alive`` flag)."""
+    """One monitored peer.
+
+    ``component`` is anything exposing an ``alive`` flag (poll mode),
+    or None for push mode, where liveness arrives only through
+    :meth:`heartbeat`.
+    """
 
     def __init__(
         self,
@@ -39,19 +58,27 @@ class Watch:
         component: Any,
         on_down: Optional[Callable[["Watch"], None]],
         on_up: Optional[Callable[["Watch"], None]],
+        epoch: int = 1,
     ) -> None:
         self.detector = detector
         self.name = name
         self.component = component
         self.on_down = on_down
         self.on_up = on_up
+        #: Registration epoch of this incarnation of the peer (bumped
+        #: each time the same name is re-registered after eviction).
+        self.epoch = epoch
         self.state = WATCH_UP
+        #: Simulation time of the newest accepted heartbeat. Monotone
+        #: non-decreasing for the lifetime of the watch.
         self.last_heartbeat = detector.sim.now
         #: Simulation time of the most recent suspicion (None = never).
         self.suspected_at: Optional[float] = None
         # Statistics (scraped by repro.telemetry).
         self.suspicions = 0
         self.recoveries = 0
+        #: Heartbeats dropped because they carried a stale epoch.
+        self.stale_heartbeats = 0
         self._timer = None
         self._closed = False
         self._arm()
@@ -59,6 +86,33 @@ class Watch:
     @property
     def suspected(self) -> bool:
         return self.state == WATCH_DOWN
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def heartbeat(self, epoch: Optional[int] = None) -> bool:
+        """Record a pushed liveness report from the peer.
+
+        ``epoch``, when given, must match this watch's registration
+        epoch: a heartbeat from an evicted incarnation is counted in
+        ``stale_heartbeats`` and dropped (it must not resurrect the
+        peer). Returns True iff the heartbeat was accepted. Marks a
+        suspected peer UP again (firing ``on_up``) like a poll-mode
+        recovery would.
+        """
+        if self._closed:
+            return False
+        if epoch is not None and epoch != self.epoch:
+            self.stale_heartbeats += 1
+            self.detector.stale_heartbeats += 1
+            return False
+        now = self.detector.sim.now
+        if now > self.last_heartbeat:
+            self.last_heartbeat = now
+        if self.state == WATCH_DOWN:
+            self._mark_up()
+        return True
 
     def close(self) -> None:
         """Stop monitoring this component."""
@@ -68,6 +122,14 @@ class Watch:
             self._timer = None
 
     # -- internals ---------------------------------------------------------
+
+    def _mark_up(self) -> None:
+        self.state = WATCH_UP
+        self.recoveries += 1
+        self.detector.recoveries += 1
+        self.detector._emit("peer_up", peer=self.name)
+        if self.on_up is not None:
+            self.on_up(self)
 
     def _arm(self) -> None:
         self._timer = self.detector.sim.call_in(
@@ -79,15 +141,18 @@ class Watch:
         if self._closed:
             return
         sim = self.detector.sim
-        if bool(getattr(self.component, "alive", True)):
-            self.last_heartbeat = sim.now
+        component = self.component
+        alive = (
+            bool(getattr(component, "alive", True))
+            if component is not None
+            else None
+        )
+        if alive:
+            # Polling a live component counts as a heartbeat.
+            if sim.now > self.last_heartbeat:
+                self.last_heartbeat = sim.now
             if self.state == WATCH_DOWN:
-                self.state = WATCH_UP
-                self.recoveries += 1
-                self.detector.recoveries += 1
-                self.detector._emit("peer_up", peer=self.name)
-                if self.on_up is not None:
-                    self.on_up(self)
+                self._mark_up()
         elif (
             self.state == WATCH_UP
             and sim.now - self.last_heartbeat >= self.detector.timeout - 1e-12
@@ -105,7 +170,10 @@ class Watch:
         self._arm()
 
     def __repr__(self) -> str:
-        return f"<Watch {self.name} {self.state} suspicions={self.suspicions}>"
+        return (
+            f"<Watch {self.name}#{self.epoch} {self.state} "
+            f"suspicions={self.suspicions}>"
+        )
 
 
 class FailureDetector:
@@ -143,21 +211,55 @@ class FailureDetector:
         self.timeout = timeout
         self.jitter = jitter
         self.watches: List[Watch] = []
+        # Latest registration epoch handed out per peer name.
+        self._epochs: Dict[str, int] = {}
         # Statistics (scraped by repro.telemetry).
         self.suspicions = 0
         self.recoveries = 0
+        self.stale_heartbeats = 0
+        self.evictions = 0
 
     def watch(
         self,
         name: str,
-        component: Any,
+        component: Any = None,
         on_down: Optional[Callable[[Watch], None]] = None,
         on_up: Optional[Callable[[Watch], None]] = None,
     ) -> Watch:
-        """Supervise ``component`` (anything with an ``alive`` flag)."""
-        watch = Watch(self, name, component, on_down, on_up)
+        """Supervise a peer.
+
+        ``component`` is anything with an ``alive`` flag (poll mode)
+        or None (push mode — liveness arrives via
+        :meth:`Watch.heartbeat`). Registering a name again after its
+        watch was evicted or closed opens a fresh epoch.
+        """
+        epoch = self._epochs.get(name, 0) + 1
+        self._epochs[name] = epoch
+        watch = Watch(self, name, component, on_down, on_up, epoch=epoch)
         self.watches.append(watch)
         return watch
+
+    def lookup(self, name: str) -> Optional[Watch]:
+        """The live (non-closed) watch for ``name``, if any."""
+        for watch in reversed(self.watches):
+            if watch.name == name and not watch.closed:
+                return watch
+        return None
+
+    def evict(self, watch: Watch) -> None:
+        """Expel a peer: stop its watch and retire its epoch.
+
+        A later :meth:`watch` of the same name starts a fresh epoch, so
+        in-flight heartbeats stamped by the evicted incarnation are
+        rejected as stale rather than resurrecting the peer.
+        """
+        if watch.closed:
+            return
+        watch.close()
+        if watch in self.watches:
+            self.watches.remove(watch)
+        self.evictions += 1
+        self._emit("peer_evicted", peer=watch.name, epoch=watch.epoch)
 
     def close(self) -> None:
         """Stop all watches."""

@@ -19,17 +19,23 @@ Design notes
 * The journal survives a :meth:`crash` of its owner by construction —
   it is a separate object, the simulation analogue of a write-ahead
   log on stable storage.
+* Long-running services compact the log: :meth:`Journal.snapshot`
+  stores an owner-provided checkpoint payload covering everything up
+  to the current LSN, and :meth:`Journal.truncate_below` drops the
+  records the checkpoint subsumes. Replay then becomes "restore the
+  checkpoint, fold the suffix" — bounded by work since the last
+  checkpoint instead of service lifetime, and byte-identical to a
+  full-log replay (the broker's checkpoint stores its float accounting
+  values verbatim rather than recomputing them).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Any, Callable, List, Mapping, Tuple
 
 __all__ = ["Journal", "JournalRecord"]
 
 
-@dataclass(frozen=True)
 class JournalRecord:
     """One committed control-plane mutation.
 
@@ -38,11 +44,20 @@ class JournalRecord:
     (string/number/tuple) values so a record never pins live simulation
     objects — interfaces are named ``(node, iface)`` and re-resolved at
     replay time.
+
+    A ``__slots__`` class rather than a dataclass: journal appends sit
+    on the broker's admission fast path, and the frozen-dataclass
+    ``object.__setattr__`` per field costs more than the rest of the
+    append combined. Records are conceptually immutable — never mutate
+    one after :meth:`Journal.append` returns it.
     """
 
-    lsn: int
-    op: str
-    fields: Mapping[str, Any]
+    __slots__ = ("lsn", "op", "fields")
+
+    def __init__(self, lsn: int, op: str, fields: Mapping[str, Any]) -> None:
+        self.lsn = lsn
+        self.op = op
+        self.fields = fields
 
     def __repr__(self) -> str:
         return f"<JournalRecord #{self.lsn} {self.op} {dict(self.fields)!r}>"
@@ -57,6 +72,14 @@ class Journal:
         self._next_lsn = 1
         #: Total records ever appended (scraped by repro.telemetry).
         self.appends_total = 0
+        #: Checkpoint payload covering every mutation with
+        #: ``lsn <= snapshot_lsn`` (None = no checkpoint taken).
+        self.snapshot_payload: Any = None
+        #: LSN the checkpoint covers through (0 = no checkpoint).
+        self.snapshot_lsn = 0
+        #: Compaction statistics (scraped by repro.telemetry).
+        self.snapshots_total = 0
+        self.records_truncated = 0
 
     def append(self, op: str, **fields: Any) -> JournalRecord:
         """Durably log one committed mutation and return its record."""
@@ -73,8 +96,50 @@ class Journal:
 
     @property
     def last_lsn(self) -> int:
-        """LSN of the newest record (0 when the log is empty)."""
-        return self._records[-1].lsn if self._records else 0
+        """LSN of the newest mutation the log covers: the newest
+        retained record, or the checkpoint LSN when everything since
+        the checkpoint has been truncated."""
+        return self._records[-1].lsn if self._records else self.snapshot_lsn
+
+    # -- compaction ---------------------------------------------------------
+
+    def snapshot(self, payload: Any) -> int:
+        """Store a checkpoint covering every mutation logged so far.
+
+        ``payload`` is an owner-defined value (the broker stores its
+        full slot-table/usage/quota/counter state) that a restart
+        restores *before* folding the remaining records. Returns the
+        LSN the checkpoint covers through. Taking a snapshot does not
+        drop any records — call :meth:`truncate_below` with
+        ``snapshot_lsn + 1`` for that.
+        """
+        self.snapshot_payload = payload
+        self.snapshot_lsn = self.last_lsn
+        self.snapshots_total += 1
+        return self.snapshot_lsn
+
+    def truncate_below(self, lsn: int) -> int:
+        """Drop records with ``record.lsn < lsn``; returns how many.
+
+        Refuses to discard records newer than the checkpoint covers
+        (that would lose committed mutations).
+        """
+        if lsn > self.snapshot_lsn + 1:
+            raise ValueError(
+                f"truncate_below({lsn}) would drop records after the "
+                f"checkpoint (snapshot_lsn={self.snapshot_lsn})"
+            )
+        keep = [r for r in self._records if r.lsn >= lsn]
+        dropped = len(self._records) - len(keep)
+        self._records = keep
+        self.records_truncated += dropped
+        return dropped
+
+    def compact(self, payload: Any) -> int:
+        """:meth:`snapshot` then :meth:`truncate_below` in one step;
+        returns the number of records truncated."""
+        lsn = self.snapshot(payload)
+        return self.truncate_below(lsn + 1)
 
     def replay(self, apply: Callable[[JournalRecord], None]) -> int:
         """Left-fold ``apply`` over the log; returns records replayed."""

@@ -28,6 +28,8 @@ Usage::
 from .collect import (
     collect_any,
     collect_broker,
+    collect_broker_client,
+    collect_broker_service,
     collect_deployment,
     collect_domain,
     collect_mpi_world,
@@ -59,6 +61,8 @@ __all__ = [
     "active",
     "collect_any",
     "collect_broker",
+    "collect_broker_client",
+    "collect_broker_service",
     "collect_deployment",
     "collect_domain",
     "collect_mpi_world",

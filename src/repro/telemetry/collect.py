@@ -26,6 +26,8 @@ __all__ = [
     "collect_tcp_host",
     "collect_mpi_world",
     "collect_broker",
+    "collect_broker_service",
+    "collect_broker_client",
     "collect_domain",
 ]
 
@@ -153,6 +155,53 @@ def collect_broker(reg: MetricsRegistry, broker, prefix: str = "") -> None:
         reg.gauge(f"{tbase}.entries").set(len(table))
 
 
+def collect_broker_service(
+    reg: MetricsRegistry, service, prefix: str = ""
+) -> None:
+    """Wire-service counters: admission traffic, load shedding,
+    crash/recovery history, journal compaction — plus the underlying
+    broker via :func:`collect_broker`."""
+    base = f"{prefix}broker_service"
+    for name, value in service.status_counters().items():
+        if name == "sim_now":
+            reg.gauge(f"{base}.sim_now").set(value)
+        elif name in ("alive", "queue_depth", "connections",
+                      "live_reservations"):
+            reg.gauge(f"{base}.{name}").set(value)
+        else:
+            _set(reg, f"{base}.{name}", value)
+    detector = getattr(service, "detector", None)
+    if detector is not None:
+        _set(reg, f"{base}.detector.suspicions", detector.suspicions)
+        _set(reg, f"{base}.detector.evictions", detector.evictions)
+        _set(
+            reg, f"{base}.detector.stale_heartbeats",
+            detector.stale_heartbeats,
+        )
+        reg.gauge(f"{base}.detector.watches").set(len(detector.watches))
+    collect_broker(reg, service.broker, prefix=prefix)
+
+
+def collect_broker_client(
+    reg: MetricsRegistry, client, prefix: str = ""
+) -> None:
+    """Per-client view of the wire service: retry/backoff pressure,
+    degradations to best-effort, and idempotent replays observed."""
+    base = f"{prefix}broker_client.{client.name}"
+    _set(reg, f"{base}.requests", client.requests_total)
+    _set(reg, f"{base}.replies", client.replies_total)
+    _set(reg, f"{base}.retries", client.retries)
+    _set(reg, f"{base}.timeouts", client.timeouts)
+    _set(reg, f"{base}.conn_failures", client.conn_failures)
+    _set(reg, f"{base}.busy_seen", client.busy_seen)
+    _set(reg, f"{base}.retry_seen", client.retry_seen)
+    _set(reg, f"{base}.degradations", client.degradations)
+    _set(reg, f"{base}.upgrades", client.upgrades)
+    _set(reg, f"{base}.idempotent_acks", client.idempotent_acks)
+    _set(reg, f"{base}.heartbeats_sent", client.heartbeats_sent)
+    _set(reg, f"{base}.stale_epochs", client.stale_epochs)
+
+
 def collect_domain(reg: MetricsRegistry, domain, prefix: str = "") -> None:
     """Edge conditioners: drops plus per-rule conforming/exceeding."""
     for conditioner in domain.conditioners.values():
@@ -215,6 +264,10 @@ def collect_any(reg: MetricsRegistry, obj, prefix: str = "") -> None:
     """Duck-typed dispatch over the object shapes ``observe`` accepts."""
     if hasattr(obj, "gq") and hasattr(obj, "testbed"):  # GarnetDeployment
         collect_deployment(reg, obj, prefix=prefix)
+    elif hasattr(obj, "status_counters") and hasattr(obj, "broker"):
+        collect_broker_service(reg, obj, prefix=prefix)  # BrokerService
+    elif hasattr(obj, "idempotent_acks") and hasattr(obj, "new_key"):
+        collect_broker_client(reg, obj, prefix=prefix)  # BrokerClient
     elif hasattr(obj, "world") and hasattr(obj, "broker"):  # MpichGQ
         collect_mpichgq(reg, obj, prefix=prefix)
     elif hasattr(obj, "nodes"):  # Network

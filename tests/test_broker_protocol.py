@@ -1,0 +1,123 @@
+"""Wire protocol for the broker service: framing bounds, object-form
+lowering, and batch (including summary-mode) normalization."""
+
+import asyncio
+
+import pytest
+
+from repro.broker_service.protocol import (
+    MAX_FRAME,
+    FrameTooLarge,
+    ProtocolError,
+    decode_payload,
+    encode_frame,
+    normalize,
+    read_frame,
+)
+
+
+def read_fed(data, max_frame=MAX_FRAME, frames=1):
+    """Feed raw bytes to a fresh in-loop StreamReader and read frames."""
+
+    async def go():
+        reader = asyncio.StreamReader()
+        reader.feed_data(data)
+        reader.feed_eof()
+        out = []
+        for _ in range(frames):
+            out.append(await read_frame(reader, max_frame))
+        return out
+
+    return asyncio.run(go())
+
+
+def roundtrip(payload, max_frame=MAX_FRAME):
+    return read_fed(encode_frame(payload), max_frame)[0]
+
+
+class TestFraming:
+    def test_roundtrip_preserves_payload(self):
+        payload = ["rsv", 7, "k1", None, "a", "b", 1e6, 0.0, 100.0]
+        assert roundtrip(payload) == payload
+
+    def test_multiple_frames_stream_in_order(self):
+        data = encode_frame(["st", 1]) + encode_frame(["st", 2])
+        assert read_fed(data, frames=2) == [["st", 1], ["st", 2]]
+
+    def test_eof_raises_incomplete_read(self):
+        with pytest.raises(asyncio.IncompleteReadError):
+            read_fed(b"")
+
+    def test_oversized_frame_rejected_before_payload(self):
+        # The header alone trips the bound: the body is never read.
+        with pytest.raises(FrameTooLarge):
+            read_fed(encode_frame(["x" * 1024]), max_frame=64)
+
+    def test_undecodable_payload_raises_protocol_error(self):
+        with pytest.raises(ProtocolError):
+            decode_payload(b"{not json")
+
+
+class TestNormalize:
+    def test_array_form_passes_through(self):
+        msg = ["can", 3, "k", 12, None]
+        assert normalize(msg) is msg
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(ProtocolError):
+            normalize(["zap", 1])
+        with pytest.raises(ProtocolError):
+            normalize([])
+
+    def test_object_form_reserve_lowered(self):
+        lowered = normalize({
+            "op": "reserve", "id": 9, "key": "k", "owner": "o",
+            "src": "a", "dst": "b", "bandwidth": 1e6,
+            "start": 0.0, "end": 5.0,
+        })
+        assert lowered == ["rsv", 9, "k", "o", "a", "b", 1e6, 0.0, 5.0]
+
+    def test_object_form_missing_required_field(self):
+        with pytest.raises(ProtocolError):
+            normalize({"op": "reserve", "id": 1, "src": "a"})
+
+    def test_object_form_optional_fields_default_none(self):
+        assert normalize({"op": "cancel", "id": 2}) == [
+            "can", 2, None, None, None,
+        ]
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ProtocolError):
+            normalize({"op": "frobnicate", "id": 1})
+        with pytest.raises(ProtocolError):
+            normalize("st")
+
+    def test_batch_lowers_object_subs(self):
+        lowered = normalize([
+            "batch", 5,
+            [{"op": "claim", "id": 6, "rid": 4}, ["st", 7]],
+        ])
+        assert lowered == ["batch", 5, [["clm", 6, 4], ["st", 7]]]
+
+    def test_batch_summary_flag_survives_normalization(self):
+        assert normalize(["batch", 1, [["st", 2]], 1]) == [
+            "batch", 1, [["st", 2]], 1,
+        ]
+        # Falsy flag normalizes to the plain three-element form.
+        assert normalize(["batch", 1, [["st", 2]], 0]) == [
+            "batch", 1, [["st", 2]],
+        ]
+
+    def test_object_form_batch_with_summary(self):
+        lowered = normalize({
+            "op": "batch", "id": 8,
+            "requests": [{"op": "status", "id": 9}],
+            "summary": True,
+        })
+        assert lowered == ["batch", 8, [["st", 9]], 1]
+
+    def test_batch_requires_request_list(self):
+        with pytest.raises(ProtocolError):
+            normalize(["batch", 1, "not-a-list"])
+        with pytest.raises(ProtocolError):
+            normalize(["batch", 1])

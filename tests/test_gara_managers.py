@@ -116,6 +116,38 @@ class TestReservationLifecycle:
             NetworkReservationSpec(tb.premium_src, tb.premium_dst, mbps(7))
         )
 
+    def test_double_cancel_is_counted_noop(self, testbed):
+        # A retried cancel (client resend after a lost ack) must not
+        # release capacity twice or disturb the broker's accounting.
+        tb, domain, broker, gara = testbed
+        spec = NetworkReservationSpec(tb.premium_src, tb.premium_dst, mbps(7))
+        res = gara.reserve(spec)
+        res.cancel()
+        released = broker.releases
+        entries = sum(len(t) for t in broker._tables.values())
+        res.cancel()
+        res.cancel()
+        assert res.state == CANCELLED
+        assert broker.releases == released
+        assert sum(len(t) for t in broker._tables.values()) == entries
+        # The freed capacity is admissible exactly once.
+        gara.reserve(spec)
+        with pytest.raises(ReservationError):
+            gara.reserve(
+                NetworkReservationSpec(tb.premium_src, tb.premium_dst, kbps(1))
+            )
+
+    def test_cancel_after_expiry_is_noop(self, testbed):
+        tb, domain, broker, gara = testbed
+        spec = NetworkReservationSpec(tb.premium_src, tb.premium_dst, mbps(2))
+        res = gara.reserve(spec, start=1.0, duration=3.0)
+        tb.sim.run(until=10.0)
+        assert res.state == EXPIRED
+        released = broker.releases
+        res.cancel()  # idempotent: the expiry already released claims
+        assert res.state == EXPIRED
+        assert broker.releases == released
+
     def test_start_in_past_rejected(self, testbed):
         tb, domain, broker, gara = testbed
         tb.sim.run(until=5.0)

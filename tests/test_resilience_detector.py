@@ -89,6 +89,90 @@ class TestFailureDetector:
             FailureDetector(sim, jitter=1.0)
 
 
+class TestPushModeEpochs:
+    """Push-mode watches: monotonic heartbeats and epoch fencing."""
+
+    def test_push_mode_heartbeat_keeps_peer_up(self):
+        sim = Simulator(seed=4)
+        detector = FailureDetector(sim, interval=0.25, timeout=0.8)
+        watch = detector.watch("peer")  # no component: push mode
+        for step in range(1, 17):
+            sim.call_at(0.5 * step, watch.heartbeat)
+        sim.run(until=8.0)
+        assert watch.state == WATCH_UP
+        assert watch.suspicions == 0
+
+    def test_push_mode_silence_suspects_then_heartbeat_recovers(self):
+        sim = Simulator(seed=4)
+        detector = FailureDetector(sim, interval=0.25, timeout=0.8)
+        down, up = [], []
+        watch = detector.watch(
+            "peer",
+            on_down=lambda w: down.append(sim.now),
+            on_up=lambda w: up.append(sim.now),
+        )
+        sim.run(until=2.0)  # silent past the timeout
+        assert watch.suspected and len(down) == 1
+        sim.call_at(2.5, watch.heartbeat)
+        sim.run(until=3.0)
+        assert watch.state == WATCH_UP and len(up) == 1
+
+    def test_last_heartbeat_is_monotonic(self):
+        sim = Simulator(seed=4)
+        detector = FailureDetector(sim)
+        watch = detector.watch("peer")
+        sim.run(until=1.0)
+        watch.heartbeat()
+        recorded = watch.last_heartbeat
+        assert recorded == 1.0
+        # A second report at the same instant cannot move it backwards
+        # and later accepted reports only advance it.
+        watch.heartbeat()
+        assert watch.last_heartbeat == recorded
+        sim.run(until=1.5)
+        watch.heartbeat()
+        assert watch.last_heartbeat == 1.5
+
+    def test_reregistration_opens_fresh_epoch(self):
+        sim = Simulator(seed=4)
+        detector = FailureDetector(sim)
+        first = detector.watch("peer")
+        assert first.epoch == 1
+        detector.evict(first)
+        second = detector.watch("peer")
+        assert second.epoch == 2
+        assert detector.lookup("peer") is second
+        assert detector.evictions == 1
+
+    def test_stale_epoch_heartbeat_cannot_resurrect_peer(self):
+        sim = Simulator(seed=4)
+        detector = FailureDetector(sim, interval=0.25, timeout=0.8)
+        first = detector.watch("peer")
+        old_epoch = first.epoch
+        detector.evict(first)
+        second = detector.watch("peer")
+        sim.run(until=2.0)  # the new incarnation is silent: suspected
+        assert second.suspected
+        # A delayed heartbeat stamped by the dead incarnation must be
+        # dropped — counted, and the peer stays DOWN.
+        assert second.heartbeat(old_epoch) is False
+        assert second.suspected
+        assert second.stale_heartbeats == 1
+        assert detector.stale_heartbeats == 1
+        # The right epoch does recover it.
+        assert second.heartbeat(second.epoch) is True
+        assert second.state == WATCH_UP
+
+    def test_closed_watch_rejects_heartbeats(self):
+        sim = Simulator(seed=4)
+        detector = FailureDetector(sim)
+        watch = detector.watch("peer")
+        watch.close()
+        assert watch.closed
+        assert watch.heartbeat() is False
+        assert detector.lookup("peer") is None
+
+
 @pytest.fixture
 def deployment():
     sim = Simulator(seed=17)

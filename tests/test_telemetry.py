@@ -210,6 +210,47 @@ class TestCollectAndSnapshot:
         assert reg.counter("gara.twophase.transactions").value == 0
         assert reg.counter("gara.twophase.prepare_timeouts").value == 0
 
+    def test_broker_service_and_client_collectors(self):
+        import asyncio
+
+        from repro.broker_service import BrokerClient, BrokerService
+        from repro.gara import BandwidthBroker
+        from repro.net import Network
+        from repro.resilience import Journal
+        from repro.telemetry import MetricsRegistry, collect_any
+
+        async def go():
+            sim = Simulator(seed=6)
+            network = Network(sim)
+            a = network.add_host("a")
+            b = network.add_host("b")
+            network.connect(a, b, bandwidth=mbps(10), delay=1e-4)
+            network.build_routes()
+            broker = BandwidthBroker(network, journal=Journal("j"))
+            service = BrokerService(
+                broker, Journal("svc"), tick=None, evict_after=1.0
+            )
+            await service.start()
+            client = BrokerClient("127.0.0.1", service.port, name="c0")
+            res = await client.reserve("a", "b", mbps(2), 0.0, 10.0)
+            await client.heartbeat()
+            reg = MetricsRegistry()
+            collect_any(reg, service)  # duck-typed: BrokerService
+            collect_any(reg, client)   # duck-typed: BrokerClient
+            assert reg.counter("broker_service.admissions").value == 1
+            assert reg.gauge("broker_service.live_reservations").value == 1
+            assert reg.counter("broker_service.heartbeats").value == 1
+            assert reg.gauge("broker_service.detector.watches").value == 1
+            assert reg.counter("broker_client.c0.requests").value >= 2
+            assert reg.counter("broker_client.c0.heartbeats_sent").value == 1
+            # The underlying broker is scraped through the service.
+            assert reg.counter("gara.broker.admissions").value == 1
+            await client.cancel(res)
+            await client.close()
+            await service.close()
+
+        asyncio.run(go())
+
     def test_profiler_attaches_to_event_loop(self):
         sim = Simulator(seed=1)
         tel = Telemetry(profile=True)
