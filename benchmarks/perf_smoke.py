@@ -17,6 +17,10 @@ Workloads (``--workload``):
   exercising the three-color markers, the WRED'd DRR band, and the
   RFC 3168 ECN feedback loop end to end; baseline in
   ``BENCH_aqm.json``.
+* ``aqm-codel`` — the matching table1_l4s cell in ``codel`` mode:
+  the sojourn-stamped datapath, the dequeue-time drop/mark machinery
+  behind the peek contract, and CE marks feeding RFC 3168 senders;
+  baseline in ``BENCH_aqm_codel.json``.
 
 Usage::
 
@@ -76,6 +80,33 @@ def _run_aqm():
         )
 
 
+def _run_aqm_codel():
+    from repro.experiments import table1_l4s
+    from repro.experiments.table1_burstiness import NORMAL_DEPTH_DIVISOR
+
+    cell = table1_l4s.measure_cell(
+        bandwidth_kbps=1600.0,
+        fps=1.0,
+        bucket_divisor=NORMAL_DEPTH_DIVISOR,
+        mode="codel",
+        seed=0,
+        duration=5.0,
+    )
+    # Same guard as the aqm workload: the CoDel band must be marking
+    # (its actions ride the ECN path here), and the sojourn accounting
+    # that feeds queue_delay_ms must be live.
+    if cell["ecn_marks"] <= 0:
+        raise SystemExit(
+            f"aqm-codel workload produced no ECN marks ({cell!r}); "
+            "the CoDel datapath is not being exercised"
+        )
+    if cell["queue_delay_ms"] <= 0.0:
+        raise SystemExit(
+            f"aqm-codel workload reported no queue delay ({cell!r}); "
+            "sojourn accounting is not being exercised"
+        )
+
+
 #: name -> (description line for the baseline file, baseline file, fn)
 WORKLOADS = {
     "kernel": (
@@ -87,6 +118,11 @@ WORKLOADS = {
         "table1_aqm cell 1600/1fps wred+ecn wall time, best-of-N, gc off",
         REPO / "BENCH_aqm.json",
         _run_aqm,
+    ),
+    "aqm-codel": (
+        "table1_l4s cell 1600/1fps codel wall time, best-of-N, gc off",
+        REPO / "BENCH_aqm_codel.json",
+        _run_aqm_codel,
     ),
 }
 

@@ -1,4 +1,4 @@
-"""Active queue management: RED/WRED, three-color markers, DRR, ECN.
+"""Active queue management: RED/WRED, CoDel/PIE/DualPI2, markers, DRR.
 
 This layer replaces drop-tail-only congestion signaling:
 
@@ -6,6 +6,12 @@ This layer replaces drop-tail-only congestion signaling:
   queue, marking ECN-capable packets instead of dropping them;
 * :class:`WredQueue` — per-drop-precedence RED curves (Cisco-style
   WRED over the RFC 2597 AF matrix);
+* :class:`CoDelQdisc` — RFC 8289 sojourn-time AQM with head drop at
+  dequeue and the ``interval/sqrt(count)`` control law;
+* :class:`PieQdisc` — RFC 8033 proportional-integral probability
+  controller on queueing latency;
+* :class:`DualPi2Qdisc` — RFC 9332 L4S coupled dual queue (ECT(1)
+  classification, squared coupling, step marking);
 * :class:`SrTcmMarker` / :class:`TrTcmMarker` — RFC 2697/2698
   three-color meters; :class:`TcmMarking` remarks metered packets to
   AF drop precedences at the domain edge;
@@ -15,11 +21,14 @@ This layer replaces drop-tail-only congestion signaling:
   :class:`repro.diffserv.DiffServDomain` consumes.
 
 Everything implements the :class:`repro.net.queues.Qdisc` interface
-and is deterministic under a fixed simulator seed (RED's coin flips
-draw from ``sim.rng``).
+(including the ``peek`` contract, which is what lets dequeue-time
+droppers compose under DRR/priority schedulers) and is deterministic
+under a fixed simulator seed (all coin flips draw from ``sim.rng``).
 """
 
+from .codel import CoDelQdisc
 from .drr import DrrQdisc
+from .dualpi2 import DualPi2Qdisc
 from .marker import (
     COLOR_GREEN,
     COLOR_RED,
@@ -28,6 +37,7 @@ from .marker import (
     TcmMarking,
     TrTcmMarker,
 )
+from .pie import PieQdisc
 from .policy import AQM_MODES, AqmPolicy
 from .red import RedCurve, RedQueue, WredQueue
 
@@ -37,11 +47,57 @@ __all__ = [
     "COLOR_GREEN",
     "COLOR_RED",
     "COLOR_YELLOW",
+    "CoDelQdisc",
     "DrrQdisc",
+    "DualPi2Qdisc",
+    "PieQdisc",
     "RedCurve",
     "RedQueue",
     "SrTcmMarker",
     "TcmMarking",
     "TrTcmMarker",
     "WredQueue",
+    "registered_qdisc_factories",
 ]
+
+
+def registered_qdisc_factories():
+    """``name -> factory(sim)`` covering every shipped discipline.
+
+    The generic qdisc test suites iterate this registry so a new
+    discipline gets the conservation/backlog property checks for free
+    the moment it is registered here. Factories build small instances
+    (tight limits) so property tests actually exercise the drop paths.
+    """
+    from ..diffserv.dscp import service_class_of
+    from ..diffserv.phb import PriorityQdisc
+    from ..net.queues import DropTailQueue
+
+    return {
+        "droptail": lambda sim: DropTailQueue(limit_packets=16),
+        "red": lambda sim: RedQueue(sim, limit_packets=32),
+        "wred": lambda sim: WredQueue(sim, limit_packets=32),
+        "codel": lambda sim: CoDelQdisc(sim, limit_packets=32),
+        "codel+ecn": lambda sim: CoDelQdisc(sim, limit_packets=32, ecn=True),
+        "pie": lambda sim: PieQdisc(sim, limit_packets=32),
+        "dualpi2": lambda sim: DualPi2Qdisc(sim, limit_packets=32),
+        "drr": lambda sim: DrrQdisc(
+            bands=[
+                (DropTailQueue(limit_packets=16), 0.0),
+                (WredQueue(sim, limit_packets=32), 1500.0),
+                (CoDelQdisc(sim, limit_packets=32), 1500.0),
+            ],
+            classify=lambda packet: service_class_of(packet.dscp),
+            strict_bands=1,
+        ),
+        "priority": lambda sim: PriorityQdisc(
+            ef_limit_packets=16,
+            af_limit_packets=16,
+            be_limit_packets=16,
+        ),
+        "priority+aqm": lambda sim: PriorityQdisc(
+            ef_limit_packets=16,
+            af_qdisc=CoDelQdisc(sim, limit_packets=32),
+            be_limit_packets=16,
+        ),
+    }

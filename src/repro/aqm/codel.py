@@ -1,0 +1,243 @@
+"""CoDel — Controlled Delay AQM (RFC 8289).
+
+CoDel abandons queue-*length* thresholds entirely: it watches each
+packet's *sojourn time* (``now - packet.enqueued_at``, stamped at
+enqueue) and enters a dropping state only when the minimum sojourn has
+stayed above ``target`` for a full ``interval`` (so a standing queue is
+distinguished from a good burst). While dropping, the next drop is
+scheduled at ``drop_next = t + interval / sqrt(count)`` — the control
+law that drives a TCP toward the target delay — and the state unwinds
+as soon as the sojourn falls below target or the queue drains.
+
+Unlike RED/PIE, all the intelligence runs at *dequeue* time (head
+drop), which is exactly why this PR gave :class:`repro.net.queues.Qdisc`
+a real ``peek`` contract: a scheduler asking for CoDel's head must let
+the drop machinery run, so ``peek`` pulls the head through ``dequeue``
+and stashes it (still counted in ``__len__``/``backlog_bytes``).
+
+With ``ecn=True`` an action on an ECN-capable packet (ECT0/ECT1) sets
+CE and *delivers* the marked packet instead of dropping it, matching
+the Linux implementation; the control-law schedule advances the same
+way. CoDel itself is deterministic — there is no coin flip.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from math import sqrt
+from typing import Callable, Deque, Optional
+
+from ..net.packet import ECN_CE, ECN_ECT0, ECN_ECT1, Packet
+from ..net.queues import Qdisc
+
+__all__ = ["CoDelQdisc"]
+
+
+class CoDelQdisc(Qdisc):
+    """RFC 8289 CoDel over a FIFO backlog.
+
+    Parameters
+    ----------
+    sim:
+        The simulator (sojourn clock; no randomness is used).
+    target:
+        Acceptable standing queue delay in seconds (RFC default 5 ms).
+    interval:
+        Sliding window over which the minimum sojourn must exceed
+        ``target`` before dropping starts (RFC default 100 ms).
+    limit_packets:
+        Hard tail-drop bound at enqueue.
+    ecn:
+        Mark ECN-capable packets CE (and deliver them) instead of
+        dropping on a CoDel action. Tail drops are never converted.
+    """
+
+    def __init__(
+        self,
+        sim,
+        target: float = 0.005,
+        interval: float = 0.1,
+        limit_packets: int = 1000,
+        ecn: bool = False,
+    ) -> None:
+        if target <= 0 or interval <= 0:
+            raise ValueError("target and interval must be positive")
+        if limit_packets <= 0:
+            raise ValueError("limit_packets must be positive")
+        self.sim = sim
+        self.target = target
+        self.interval = interval
+        self.limit_packets = limit_packets
+        self.ecn = ecn
+        self._queue: Deque[Packet] = deque()
+        self._bytes = 0
+        # RFC 8289 state machine.
+        self._first_above_time = 0.0
+        self._drop_next = 0.0
+        self._count = 0  # drops since entering the current dropping state
+        self._dropping = False
+        self._maxpacket = 0  # largest packet seen (backlog floor check)
+        # Peek stash (qdisc_peek_dequeued): a packet pulled through the
+        # drop machinery by peek(), owed to the next dequeue().
+        self._head: Optional[Packet] = None
+        # Counters (Qdisc contract: drops == all losses here).
+        self.drops = 0
+        self.drop_bytes = 0
+        self.tail_drops = 0
+        self.early_drops = 0  # CoDel action drops (at dequeue)
+        self.ecn_marks = 0
+        self.sojourn_sum = 0.0
+        self.sojourn_count = 0
+        self.on_drop: Optional[Callable[[Packet], None]] = None
+
+    # -- internals ---------------------------------------------------------
+
+    def _dropped(self, packet: Packet, tail: bool) -> None:
+        self.drops += 1
+        self.drop_bytes += packet.size
+        if tail:
+            self.tail_drops += 1
+        else:
+            self.early_drops += 1
+        if self.on_drop is not None:
+            self.on_drop(packet)
+        tel = self.sim.telemetry
+        if tel is not None and tel.trace is not None:
+            event = "tail_drop" if tail else "early_drop"
+            if tel.trace.wants("aqm", event):
+                tel.trace.emit(
+                    self.sim.now, "aqm", event,
+                    src=packet.src, dst=packet.dst,
+                    sport=packet.sport, dport=packet.dport,
+                    dscp=packet.dscp, size=packet.size,
+                    sojourn=round(self.sim.now - packet.enqueued_at, 6),
+                )
+
+    def _marked(self, packet: Packet) -> None:
+        packet.ecn = ECN_CE
+        self.ecn_marks += 1
+        tel = self.sim.telemetry
+        if tel is not None and tel.trace is not None:
+            if tel.trace.wants("aqm", "ecn_mark"):
+                tel.trace.emit(
+                    self.sim.now, "aqm", "ecn_mark",
+                    src=packet.src, dst=packet.dst,
+                    sport=packet.sport, dport=packet.dport,
+                    dscp=packet.dscp, size=packet.size,
+                    sojourn=round(self.sim.now - packet.enqueued_at, 6),
+                )
+
+    def _control_law(self, t: float, count: int) -> float:
+        return t + self.interval / sqrt(count)
+
+    def _dodeque(self, now: float):
+        """Pop the head and judge it: ``(packet, ok_to_drop)``."""
+        if not self._queue:
+            self._first_above_time = 0.0
+            return None, False
+        packet = self._queue.popleft()
+        self._bytes -= packet.size
+        ok_to_drop = False
+        sojourn = now - packet.enqueued_at
+        if sojourn < self.target or self._bytes <= self._maxpacket:
+            # Went (or stayed) below target — restart the observation
+            # window; a sub-MTU backlog can never be a standing queue.
+            self._first_above_time = 0.0
+        elif self._first_above_time == 0.0:
+            # Just crossed target from below: give it one interval.
+            self._first_above_time = now + self.interval
+        elif now >= self._first_above_time:
+            ok_to_drop = True
+        return packet, ok_to_drop
+
+    def _action(self, packet: Packet) -> bool:
+        """One CoDel action on ``packet``; True if it was *delivered*
+        (ECN-marked) rather than dropped."""
+        if self.ecn and packet.ecn in (ECN_ECT0, ECN_ECT1):
+            self._marked(packet)
+            return True
+        self._dropped(packet, tail=False)
+        return False
+
+    def _deque_machine(self) -> Optional[Packet]:
+        now = self.sim.now
+        packet, ok_to_drop = self._dodeque(now)
+        if packet is None:
+            self._dropping = False
+            return None
+        if self._dropping:
+            if not ok_to_drop:
+                self._dropping = False
+            elif now >= self._drop_next:
+                while now >= self._drop_next and self._dropping:
+                    self._count += 1
+                    if self._action(packet):
+                        # Marked instead of dropped: deliver it, but
+                        # keep the cadence for the next dequeue.
+                        self._drop_next = self._control_law(
+                            self._drop_next, self._count
+                        )
+                        break
+                    packet, ok_to_drop = self._dodeque(now)
+                    if packet is None:
+                        self._dropping = False
+                    elif not ok_to_drop:
+                        self._dropping = False
+                    else:
+                        self._drop_next = self._control_law(
+                            self._drop_next, self._count
+                        )
+        elif ok_to_drop:
+            # Enter dropping state. If we were dropping recently, the
+            # drop rate that controlled the queue last cycle is a good
+            # starting point (RFC 8289 §5.3 re-entry heuristic).
+            delivered = self._action(packet)
+            if not delivered:
+                packet, _ = self._dodeque(now)
+            self._dropping = True
+            self._count = (
+                self._count - 2
+                if self._count > 2 and now - self._drop_next < 8 * self.interval
+                else 1
+            )
+            self._drop_next = self._control_law(now, self._count)
+        if packet is not None:
+            self.sojourn_sum += now - packet.enqueued_at
+            self.sojourn_count += 1
+        return packet
+
+    # -- qdisc interface ---------------------------------------------------
+
+    def enqueue(self, packet: Packet) -> bool:
+        if len(self._queue) >= self.limit_packets:
+            self._dropped(packet, tail=True)
+            return False
+        if packet.size > self._maxpacket:
+            self._maxpacket = packet.size
+        packet.enqueued_at = self.sim.now
+        self._queue.append(packet)
+        self._bytes += packet.size
+        return True
+
+    def dequeue(self) -> Optional[Packet]:
+        head = self._head
+        if head is not None:
+            self._head = None
+            return head
+        return self._deque_machine()
+
+    def peek(self) -> Optional[Packet]:
+        if self._head is None:
+            self._head = self._deque_machine()
+        return self._head
+
+    def __len__(self) -> int:
+        n = len(self._queue)
+        return n + 1 if self._head is not None else n
+
+    @property
+    def backlog_bytes(self) -> int:
+        total = self._bytes
+        if self._head is not None:
+            total += self._head.size
+        return total

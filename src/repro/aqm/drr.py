@@ -64,6 +64,17 @@ class DrrQdisc(Qdisc):
         self._deficit: List[float] = [0.0] * len(bands)
         #: DRR bands currently in the active rotation, in service order.
         self._active: List[int] = []
+        # Prebound child peeks: the deficit loop asks each band's head
+        # through the Qdisc.peek contract, so children that drop at
+        # dequeue time (CoDel, DualPI2) or keep no ``_queue`` deque at
+        # all compose correctly.
+        self._peeks: List[Callable[[], Optional[Packet]]] = [
+            q.peek for q in self._children
+        ]
+        # Own peek stash (qdisc_peek_dequeued pattern): ``peek`` runs
+        # one real dequeue and parks the result here; counted in
+        # ``__len__``/``backlog_bytes`` until the next ``dequeue``.
+        self._stash: Optional[Packet] = None
         self.filter_drops = 0
         self.band_filters = dict(band_filters) if band_filters else {}
 
@@ -89,6 +100,10 @@ class DrrQdisc(Qdisc):
         return True
 
     def dequeue(self) -> Optional[Packet]:
+        stashed = self._stash
+        if stashed is not None:
+            self._stash = None
+            return stashed
         # Strict lead bands first (EF keeps its latency bound).
         for band in range(self._strict):
             packet = self._children[band].dequeue()
@@ -98,7 +113,7 @@ class DrrQdisc(Qdisc):
         while active:
             band = active[0]
             child = self._children[band]
-            head = child._queue[0] if child._queue else None
+            head = self._peeks[band]()
             if head is None:
                 # Drained (possibly by an AQM child dropping its whole
                 # backlog): leave the rotation.
@@ -117,12 +132,23 @@ class DrrQdisc(Qdisc):
             active.append(active.pop(0))
         return None
 
+    def peek(self) -> Optional[Packet]:
+        # Scheduling decisions (deficits, rotation) are committed by a
+        # peek, so the only faithful peek is a dequeue-and-stash.
+        if self._stash is None:
+            self._stash = self.dequeue()
+        return self._stash
+
     def __len__(self) -> int:
-        return sum(len(q) for q in self._children)
+        n = sum(len(q) for q in self._children)
+        return n + 1 if self._stash is not None else n
 
     @property
     def backlog_bytes(self) -> int:
-        return sum(q.backlog_bytes for q in self._children)
+        total = sum(q.backlog_bytes for q in self._children)
+        if self._stash is not None:
+            total += self._stash.size
+        return total
 
     @property
     def drops(self) -> int:

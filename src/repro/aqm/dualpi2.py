@@ -1,0 +1,285 @@
+"""DualPI2 — the L4S coupled dual-queue AQM (RFC 9332).
+
+Two queues share one link. Packets carrying ECT(1) or CE — the L4S
+identifier (RFC 9331) — enter the low-latency **L queue**; everything
+else enters the **classic C queue**. One PI controller runs on the
+*classic* queue's delay and produces a base probability ``p'``; the
+coupling law then derives both signals:
+
+* classic queue: drop (or classic-ECN mark) with ``p_C = p'²`` — the
+  square matches a Reno/CUBIC-style halving response;
+* L queue: CE-mark with ``p_CL = min(k · p', 1)`` (``k = 2``), plus an
+  instantaneous *step* mark whenever the L sojourn exceeds
+  ``step_threshold`` — the shallow immediate signal a DCTCP-style
+  scalable sender needs.
+
+Because ``p_C = (p_CL / k)²``, a scalable flow and a classic flow
+sharing the link converge to roughly equal windows — the coupling is
+the fairness mechanism, not a scheduler share.
+
+Service order is a time-shifted FIFO: the L head wins whenever its
+sojourn plus ``l_shift`` exceeds the C head's sojourn, giving L
+priority in the short term without starving C. Classic drops happen at
+*dequeue* (drop-on-dequeue keeps the PI estimate honest under bursts),
+so this qdisc uses the stash-based ``peek`` like CoDel. The PI tick is
+replayed lazily (see :mod:`repro.aqm.pie`) instead of holding a
+standing sim timer.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Optional
+
+from ..net.packet import ECN_CE, ECN_ECT0, ECN_ECT1, Packet
+from ..net.queues import Qdisc
+
+__all__ = ["DualPi2Qdisc"]
+
+_MAX_CATCHUP = 256
+
+
+class DualPi2Qdisc(Qdisc):
+    """RFC 9332 coupled dual queue.
+
+    Parameters
+    ----------
+    sim:
+        The simulator (clock + seeded rng for the coin flips).
+    target:
+        PI latency reference for the classic queue (default 15 ms).
+    t_update:
+        PI update period (RFC 9332 default 16 ms).
+    alpha, beta:
+        Per-tick PI gains on the *base* probability ``p'`` (defaults
+        0.16 / 3.2 — the RFC 9332 derivation with RTT_max = 100 ms
+        and ``t_update`` = 16 ms folded in).
+    k:
+        Coupling factor between classic and L4S signals (default 2).
+    step_threshold:
+        L-queue sojourn above which every L packet is CE-marked
+        (default 1 ms).
+    l_shift:
+        Time-shift favouring the L queue in the FIFO comparison
+        (default 1 ms).
+    limit_packets:
+        Shared hard bound across both queues (tail drop at enqueue).
+    classic_ecn:
+        Treat ECT(0) classic packets as markable with ``p_C`` instead
+        of dropping (RFC 3168 coexistence; default False → drop).
+    """
+
+    def __init__(
+        self,
+        sim,
+        target: float = 0.015,
+        t_update: float = 0.016,
+        alpha: float = 0.16,
+        beta: float = 3.2,
+        k: float = 2.0,
+        step_threshold: float = 0.001,
+        l_shift: float = 0.001,
+        limit_packets: int = 1000,
+        classic_ecn: bool = False,
+    ) -> None:
+        if target <= 0 or t_update <= 0:
+            raise ValueError("target and t_update must be positive")
+        if k <= 0:
+            raise ValueError("coupling factor k must be positive")
+        if limit_packets <= 0:
+            raise ValueError("limit_packets must be positive")
+        self.sim = sim
+        self.target = target
+        self.t_update = t_update
+        self.alpha = alpha
+        self.beta = beta
+        self.k = k
+        self.step_threshold = step_threshold
+        self.l_shift = l_shift
+        self.limit_packets = limit_packets
+        self.classic_ecn = classic_ecn
+        self._lq: Deque[Packet] = deque()
+        self._cq: Deque[Packet] = deque()
+        self._bytes = 0
+        #: PI base probability p' (the coupled signals derive from it).
+        self.p_base = 0.0
+        self._qdelay_old = 0.0
+        self._t_next = t_update
+        self._head: Optional[Packet] = None  # peek stash
+        # Counters.
+        self.drops = 0
+        self.drop_bytes = 0
+        self.tail_drops = 0
+        self.early_drops = 0  # classic dequeue-time drops
+        self.ecn_marks = 0  # all CE marks (L prob + L step + classic)
+        self.step_marks = 0
+        self.l_packets = 0
+        self.c_packets = 0
+        self.sojourn_sum = 0.0
+        self.sojourn_count = 0
+        self.l_sojourn_sum = 0.0
+        self.l_sojourn_count = 0
+        self.on_drop: Optional[Callable[[Packet], None]] = None
+
+    # -- internals ---------------------------------------------------------
+
+    def _dropped(self, packet: Packet, tail: bool) -> bool:
+        self.drops += 1
+        self.drop_bytes += packet.size
+        if tail:
+            self.tail_drops += 1
+        else:
+            self.early_drops += 1
+        if self.on_drop is not None:
+            self.on_drop(packet)
+        tel = self.sim.telemetry
+        if tel is not None and tel.trace is not None:
+            event = "tail_drop" if tail else "early_drop"
+            if tel.trace.wants("aqm", event):
+                tel.trace.emit(
+                    self.sim.now, "aqm", event,
+                    src=packet.src, dst=packet.dst,
+                    sport=packet.sport, dport=packet.dport,
+                    dscp=packet.dscp, size=packet.size,
+                    p_base=round(self.p_base, 6),
+                )
+        return False
+
+    def _marked(self, packet: Packet, step: bool) -> None:
+        packet.ecn = ECN_CE
+        self.ecn_marks += 1
+        if step:
+            self.step_marks += 1
+        tel = self.sim.telemetry
+        if tel is not None and tel.trace is not None:
+            if tel.trace.wants("aqm", "ecn_mark"):
+                tel.trace.emit(
+                    self.sim.now, "aqm", "ecn_mark",
+                    src=packet.src, dst=packet.dst,
+                    sport=packet.sport, dport=packet.dport,
+                    dscp=packet.dscp, size=packet.size,
+                    p_base=round(self.p_base, 6),
+                )
+
+    def _c_qdelay(self, now: float) -> float:
+        if not self._cq:
+            return 0.0
+        delay = now - self._cq[0].enqueued_at
+        return delay if delay > 0.0 else 0.0
+
+    def _update_prob(self, qdelay: float) -> None:
+        # alpha/beta are per-tick gains (the RFC 9332 defaults already
+        # fold Tupdate in: alpha = 0.1*Tupdate/RTT_max², beta =
+        # 0.3/RTT_max with RTT_max = 100 ms).
+        delta = self.alpha * (qdelay - self.target) + self.beta * (
+            qdelay - self._qdelay_old
+        )
+        p = self.p_base + delta
+        if p < 0.0:
+            p = 0.0
+        elif p > 1.0:
+            p = 1.0
+        self.p_base = p
+        self._qdelay_old = qdelay
+
+    def _catch_up(self, now: float) -> None:
+        if now < self._t_next:
+            return
+        steps = 0
+        while now >= self._t_next and steps < _MAX_CATCHUP:
+            self._update_prob(self._c_qdelay(self._t_next))
+            self._t_next += self.t_update
+            steps += 1
+        if now >= self._t_next:
+            # Long idle stretch: the controller has integrated an
+            # empty queue the whole way down.
+            self.p_base = 0.0
+            self._qdelay_old = 0.0
+            self._t_next = now + self.t_update
+
+    def _select_queue(self, now: float) -> Optional[Deque[Packet]]:
+        """Time-shifted FIFO: earliest effective arrival wins, with
+        the L head credited ``l_shift`` of extra waiting."""
+        lq, cq = self._lq, self._cq
+        if not lq:
+            return cq if cq else None
+        if not cq:
+            return lq
+        if lq[0].enqueued_at - self.l_shift <= cq[0].enqueued_at:
+            return lq
+        return cq
+
+    def _deque_machine(self) -> Optional[Packet]:
+        now = self.sim.now
+        self._catch_up(now)
+        rng = self.sim.rng
+        while True:
+            queue = self._select_queue(now)
+            if queue is None:
+                return None
+            packet = queue.popleft()
+            self._bytes -= packet.size
+            sojourn = now - packet.enqueued_at
+            if queue is self._lq:
+                # L4S: step mark on instantaneous sojourn, else the
+                # coupled probability p_CL = min(k * p', 1).
+                p_cl = self.k * self.p_base
+                if sojourn > self.step_threshold or (
+                    p_cl > 0.0 and rng.random() < p_cl
+                ):
+                    self._marked(packet, step=sojourn > self.step_threshold)
+                self.l_sojourn_sum += sojourn
+                self.l_sojourn_count += 1
+            else:
+                # Classic: squared coupling. Drop recycles the loop so
+                # the link never goes idle while backlog remains.
+                p_c = self.p_base * self.p_base
+                if p_c > 0.0 and rng.random() < p_c:
+                    if self.classic_ecn and packet.ecn == ECN_ECT0:
+                        self._marked(packet, step=False)
+                    else:
+                        self._dropped(packet, tail=False)
+                        continue
+            self.sojourn_sum += sojourn
+            self.sojourn_count += 1
+            return packet
+
+    # -- qdisc interface ---------------------------------------------------
+
+    def enqueue(self, packet: Packet) -> bool:
+        now = self.sim.now
+        self._catch_up(now)
+        if len(self._lq) + len(self._cq) >= self.limit_packets:
+            return self._dropped(packet, tail=True)
+        packet.enqueued_at = now
+        if packet.ecn in (ECN_ECT1, ECN_CE):
+            self._lq.append(packet)
+            self.l_packets += 1
+        else:
+            self._cq.append(packet)
+            self.c_packets += 1
+        self._bytes += packet.size
+        return True
+
+    def dequeue(self) -> Optional[Packet]:
+        head = self._head
+        if head is not None:
+            self._head = None
+            return head
+        return self._deque_machine()
+
+    def peek(self) -> Optional[Packet]:
+        if self._head is None:
+            self._head = self._deque_machine()
+        return self._head
+
+    def __len__(self) -> int:
+        n = len(self._lq) + len(self._cq)
+        return n + 1 if self._head is not None else n
+
+    @property
+    def backlog_bytes(self) -> int:
+        total = self._bytes
+        if self._head is not None:
+            total += self._head.size
+        return total

@@ -1,0 +1,273 @@
+"""PIE — Proportional Integral controller Enhanced (RFC 8033).
+
+PIE keeps a drop probability ``p`` and steers it with a classic PI
+controller on the *queueing latency*:
+
+    p += alpha * (qdelay - target) + beta * (qdelay - qdelay_old)
+
+evaluated every ``t_update``. The latency estimate comes from packet
+timestamps (the RFC 8033 §4.3 alternative to the departure-rate
+estimator): the head packet's sojourn time is the delay the next
+departure will experience, and an empty queue means zero delay. The
+increment is auto-scaled down while ``p`` is small (the RFC's staged
+divisor table) so the controller is stable across many orders of
+magnitude, and ``p`` decays multiplicatively when the queue stays
+empty. A burst allowance admits everything for the first
+``max_burst`` seconds after an idle period.
+
+Unlike CoDel, PIE makes its decision at *enqueue* time (a coin flip
+against ``p`` from ``sim.rng``), so ``peek`` is a plain non-mutating
+head read. Rather than running a perpetual sim timer for the
+``t_update`` tick (which would inflate pinned event counts even for
+idle queues), the controller catches up lazily: every enqueue/dequeue
+first replays any update epochs that have elapsed — same arithmetic,
+same determinism, zero standing events.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Optional
+
+from ..net.packet import ECN_CE, ECN_ECT0, ECN_ECT1, Packet
+from ..net.queues import Qdisc
+
+__all__ = ["PieQdisc"]
+
+# RFC 8033 §5.1: scale the PI increment down while drop_prob is small.
+_SCALE_TABLE = (
+    (0.000001, 1.0 / 2048.0),
+    (0.00001, 1.0 / 512.0),
+    (0.0001, 1.0 / 128.0),
+    (0.001, 1.0 / 32.0),
+    (0.01, 1.0 / 8.0),
+    (0.1, 1.0 / 2.0),
+)
+
+# Catch-up bound: after this many empty-queue update epochs the
+# controller has decayed to dust (0.98**256 ~ 0.006), so the lazy
+# replay snaps forward instead of spinning through a long idle gap.
+_MAX_CATCHUP = 256
+
+
+class PieQdisc(Qdisc):
+    """RFC 8033 PIE over a FIFO backlog.
+
+    Parameters
+    ----------
+    sim:
+        The simulator (clock + seeded rng for the drop coin flips).
+    target:
+        Latency reference the controller steers to (RFC default 15 ms).
+    t_update:
+        Probability update period (RFC default 15 ms).
+    alpha, beta:
+        PI gains in 1/s (RFC defaults 0.125 and 1.25).
+    limit_packets:
+        Hard tail-drop bound.
+    ecn:
+        Mark ECN-capable packets instead of dropping while
+        ``p < ecn_threshold`` (RFC 8033 §5.1 optional ECN support).
+    ecn_threshold:
+        Marking ceiling — above it even ECT packets are dropped.
+    max_burst:
+        Seconds of burst admitted unconditionally after idle.
+    mean_pkt_size:
+        Backlog floor (bytes): at or below ``2 * mean_pkt_size`` PIE
+        never drops (work-conservation safeguard).
+    """
+
+    def __init__(
+        self,
+        sim,
+        target: float = 0.015,
+        t_update: float = 0.015,
+        alpha: float = 0.125,
+        beta: float = 1.25,
+        limit_packets: int = 1000,
+        ecn: bool = False,
+        ecn_threshold: float = 0.1,
+        max_burst: float = 0.15,
+        mean_pkt_size: int = 1000,
+    ) -> None:
+        if target <= 0 or t_update <= 0:
+            raise ValueError("target and t_update must be positive")
+        if limit_packets <= 0:
+            raise ValueError("limit_packets must be positive")
+        if not 0 < ecn_threshold <= 1:
+            raise ValueError("ecn_threshold must be in (0, 1]")
+        self.sim = sim
+        self.target = target
+        self.t_update = t_update
+        self.alpha = alpha
+        self.beta = beta
+        self.limit_packets = limit_packets
+        self.ecn = ecn
+        self.ecn_threshold = ecn_threshold
+        self.max_burst = max_burst
+        self.mean_pkt_size = mean_pkt_size
+        self._queue: Deque[Packet] = deque()
+        self._bytes = 0
+        #: Current drop probability (the controller's output).
+        self.drop_prob = 0.0
+        self._qdelay_old = 0.0
+        self._burst_allowance = max_burst
+        self._t_next = t_update  # next update epoch (sim time)
+        # Counters.
+        self.drops = 0
+        self.drop_bytes = 0
+        self.tail_drops = 0
+        self.early_drops = 0
+        self.ecn_marks = 0
+        self.sojourn_sum = 0.0
+        self.sojourn_count = 0
+        self.on_drop: Optional[Callable[[Packet], None]] = None
+
+    # -- internals ---------------------------------------------------------
+
+    def _dropped(self, packet: Packet, tail: bool) -> bool:
+        self.drops += 1
+        self.drop_bytes += packet.size
+        if tail:
+            self.tail_drops += 1
+        else:
+            self.early_drops += 1
+        if self.on_drop is not None:
+            self.on_drop(packet)
+        tel = self.sim.telemetry
+        if tel is not None and tel.trace is not None:
+            event = "tail_drop" if tail else "early_drop"
+            if tel.trace.wants("aqm", event):
+                tel.trace.emit(
+                    self.sim.now, "aqm", event,
+                    src=packet.src, dst=packet.dst,
+                    sport=packet.sport, dport=packet.dport,
+                    dscp=packet.dscp, size=packet.size,
+                    drop_prob=round(self.drop_prob, 6),
+                )
+        return False
+
+    def _marked(self, packet: Packet) -> None:
+        packet.ecn = ECN_CE
+        self.ecn_marks += 1
+        tel = self.sim.telemetry
+        if tel is not None and tel.trace is not None:
+            if tel.trace.wants("aqm", "ecn_mark"):
+                tel.trace.emit(
+                    self.sim.now, "aqm", "ecn_mark",
+                    src=packet.src, dst=packet.dst,
+                    sport=packet.sport, dport=packet.dport,
+                    dscp=packet.dscp, size=packet.size,
+                    drop_prob=round(self.drop_prob, 6),
+                )
+
+    def _qdelay(self, now: float) -> float:
+        """Timestamp-based latency estimate: the head's sojourn.
+
+        Clamped at zero — a lazy catch-up may evaluate an epoch that
+        predates the current head's arrival.
+        """
+        if not self._queue:
+            return 0.0
+        delay = now - self._queue[0].enqueued_at
+        return delay if delay > 0.0 else 0.0
+
+    def _update_prob(self, qdelay: float) -> None:
+        p = self.alpha * (qdelay - self.target) + self.beta * (
+            qdelay - self._qdelay_old
+        )
+        drop_prob = self.drop_prob
+        for ceiling, scale in _SCALE_TABLE:
+            if drop_prob < ceiling:
+                p *= scale
+                break
+        drop_prob += p
+        if qdelay == 0.0 and self._qdelay_old == 0.0:
+            drop_prob *= 0.98  # exponential decay while idle
+        if drop_prob < 0.0:
+            drop_prob = 0.0
+        elif drop_prob > 1.0:
+            drop_prob = 1.0
+        self.drop_prob = drop_prob
+        self._qdelay_old = qdelay
+        if self._burst_allowance > 0.0:
+            self._burst_allowance = max(
+                0.0, self._burst_allowance - self.t_update
+            )
+
+    def _catch_up(self, now: float) -> None:
+        if now < self._t_next:
+            return
+        steps = 0
+        while now >= self._t_next and steps < _MAX_CATCHUP:
+            self._update_prob(self._qdelay(self._t_next))
+            self._t_next += self.t_update
+            steps += 1
+        if now >= self._t_next:
+            # Still behind after the bound: the queue has been empty
+            # that whole stretch (every elapsed epoch decayed p), so
+            # snap the phase forward.
+            self.drop_prob = 0.0
+            self._qdelay_old = 0.0
+            self._t_next = now + self.t_update
+
+    # -- qdisc interface ---------------------------------------------------
+
+    def enqueue(self, packet: Packet) -> bool:
+        now = self.sim.now
+        self._catch_up(now)
+        if len(self._queue) >= self.limit_packets:
+            return self._dropped(packet, tail=True)
+        if self._should_act(packet):
+            if (
+                self.ecn
+                and self.drop_prob < self.ecn_threshold
+                and packet.ecn in (ECN_ECT0, ECN_ECT1)
+            ):
+                self._marked(packet)
+            else:
+                return self._dropped(packet, tail=False)
+        packet.enqueued_at = now
+        self._queue.append(packet)
+        self._bytes += packet.size
+        return True
+
+    def _should_act(self, packet: Packet) -> bool:
+        """RFC 8033 §4.1 enqueue decision (with safeguards)."""
+        if self._burst_allowance > 0.0:
+            return False
+        if self.drop_prob == 0.0:
+            # Fresh idle exit: re-arm the burst allowance.
+            if (
+                self._qdelay_old < self.target / 2.0
+                and self._qdelay(self.sim.now) < self.target / 2.0
+            ):
+                self._burst_allowance = self.max_burst
+                return False
+        # Work-conservation safeguards.
+        if self._qdelay_old < self.target / 2.0 and self.drop_prob < 0.2:
+            return False
+        if self._bytes <= 2 * self.mean_pkt_size:
+            return False
+        return self.sim.rng.random() < self.drop_prob
+
+    def dequeue(self) -> Optional[Packet]:
+        now = self.sim.now
+        self._catch_up(now)
+        if not self._queue:
+            return None
+        packet = self._queue.popleft()
+        self._bytes -= packet.size
+        self.sojourn_sum += now - packet.enqueued_at
+        self.sojourn_count += 1
+        return packet
+
+    def peek(self) -> Optional[Packet]:
+        return self._queue[0] if self._queue else None
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    @property
+    def backlog_bytes(self) -> int:
+        return self._bytes

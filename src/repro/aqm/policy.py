@@ -5,14 +5,19 @@ congestion. ``mode="droptail"`` (the default everywhere) is the
 paper's configuration and leaves every code path byte-identical to a
 domain built without a policy. The AQM modes change two things:
 
-* **egress qdiscs** become EF-strict DRR over an AF WRED band and a
+* **egress qdiscs** become EF-strict DRR over an AQM'd AF band and a
   BE drop-tail band, so excess premium traffic gets a *bounded* share
   of each link instead of strict-priority starvation or a hard drop;
 * **edge conditioning** of premium flows becomes three-color marking
   (srTCM or trTCM): conforming traffic is still EF, bursts are
-  remarked to AF drop precedences and survive unless WRED says
-  otherwise. With ``mode="wred+ecn"`` WRED marks CE instead of
-  dropping when the transport negotiated ECN.
+  remarked to AF drop precedences and survive unless the AF AQM says
+  otherwise.
+
+The AF-band discipline is chosen by ``mode``: the 1998-era family
+(``"wred"`` drops early, ``"wred+ecn"`` marks CE when the transport
+negotiated ECN) and the modern congestion-signaling family (``"codel"``
+RFC 8289, ``"pie"`` RFC 8033, ``"dualpi2"`` RFC 9332 L4S) — the modern
+three all mark ECN-capable packets, so :attr:`ecn` is True for them.
 """
 
 from __future__ import annotations
@@ -22,13 +27,19 @@ from typing import Dict, Optional
 
 from ..diffserv.dscp import EF, af_dscp, service_class_of
 from ..net.queues import DropTailQueue, Qdisc
+from .codel import CoDelQdisc
 from .drr import DrrQdisc
+from .dualpi2 import DualPi2Qdisc
 from .marker import SrTcmMarker, TcmMarking, TrTcmMarker
+from .pie import PieQdisc
 from .red import RedCurve, WredQueue
 
 __all__ = ["AqmPolicy", "AQM_MODES"]
 
-AQM_MODES = ("droptail", "wred", "wred+ecn")
+AQM_MODES = ("droptail", "wred", "wred+ecn", "codel", "pie", "dualpi2")
+
+#: Modes whose AF-band discipline marks ECN-capable packets.
+_ECN_MODES = ("wred+ecn", "codel", "pie", "dualpi2")
 
 
 @dataclass
@@ -38,7 +49,9 @@ class AqmPolicy:
     Attributes
     ----------
     mode:
-        ``"droptail"`` | ``"wred"`` | ``"wred+ecn"``.
+        One of :data:`AQM_MODES` — ``"droptail"``, the WRED pair
+        (``"wred"`` / ``"wred+ecn"``), or the modern family
+        (``"codel"`` / ``"pie"`` / ``"dualpi2"``).
     marker:
         ``"srtcm"`` (RFC 2697) or ``"trtcm"`` (RFC 2698) for premium
         edge conditioning in the AQM modes.
@@ -57,7 +70,15 @@ class AqmPolicy:
         Drop-precedence → :class:`RedCurve`; defaults to
         :attr:`WredQueue.DEFAULT_CURVES`.
     wred_limit_packets, wred_wq, idle_pkt_time:
-        WRED queue bound and EWMA tuning.
+        WRED queue bound and EWMA tuning. ``wred_limit_packets``
+        doubles as the AF-band hard bound for the modern modes.
+    codel_target, codel_interval:
+        CoDel tuning (RFC 8289 defaults 5 ms / 100 ms).
+    pie_target, pie_t_update:
+        PIE tuning (RFC 8033 defaults 15 ms / 15 ms).
+    dualpi2_target, dualpi2_step_threshold:
+        DualPI2 classic-queue PI target and L-queue step-mark
+        threshold (RFC 9332 defaults 15 ms / 1 ms).
     """
 
     mode: str = "droptail"
@@ -71,6 +92,12 @@ class AqmPolicy:
     wred_limit_packets: int = 100
     wred_wq: float = 0.002
     idle_pkt_time: float = field(default=1e-3)
+    codel_target: float = 0.005
+    codel_interval: float = 0.1
+    pie_target: float = 0.015
+    pie_t_update: float = 0.015
+    dualpi2_target: float = 0.015
+    dualpi2_step_threshold: float = 0.001
 
     def __post_init__(self) -> None:
         if self.mode not in AQM_MODES:
@@ -91,7 +118,8 @@ class AqmPolicy:
 
     @property
     def ecn(self) -> bool:
-        return self.mode == "wred+ecn"
+        """True when the AF-band AQM marks ECN-capable packets."""
+        return self.mode in _ECN_MODES
 
     # -- factories (one per router egress port / edge rule) -----------------
 
@@ -102,32 +130,62 @@ class AqmPolicy:
         be_limit_packets: int = 100,
         ef_filter=None,
     ) -> Qdisc:
-        """One egress discipline: EF strict over DRR{AF: WRED, BE}.
+        """One egress discipline: EF strict over DRR{AF: AQM, BE}.
 
-        ``ef_filter`` optionally gates EF admissions (the domain's
-        aggregate policer hook).
+        The AF band carries the mode's discipline (WRED, CoDel, PIE,
+        or DualPI2). ``ef_filter`` optionally gates EF admissions (the
+        domain's aggregate policer hook).
         """
         af_quantum = max(64.0, self.af_share * self.quantum_bytes)
         be_quantum = max(64.0, (1.0 - self.af_share) * self.quantum_bytes)
-        wred = WredQueue(
-            sim,
-            curves=self.wred_curves,
-            limit_packets=self.wred_limit_packets,
-            wq=self.wred_wq,
-            ecn=self.ecn,
-            idle_pkt_time=self.idle_pkt_time,
-        )
+        af_band = self.build_af_qdisc(sim)
         filters = {0: ef_filter} if ef_filter is not None else None
         return DrrQdisc(
             bands=[
                 (DropTailQueue(limit_packets=ef_limit_packets), 0.0),
-                (wred, af_quantum),
+                (af_band, af_quantum),
                 (DropTailQueue(limit_packets=be_limit_packets), be_quantum),
             ],
             classify=lambda packet: service_class_of(packet.dscp),
             strict_bands=1,
             band_filters=filters,
         )
+
+    def build_af_qdisc(self, sim) -> Qdisc:
+        """The AF-band discipline for this mode (WRED/CoDel/PIE/DualPI2)."""
+        if self.mode in ("wred", "wred+ecn"):
+            return WredQueue(
+                sim,
+                curves=self.wred_curves,
+                limit_packets=self.wred_limit_packets,
+                wq=self.wred_wq,
+                ecn=self.ecn,
+                idle_pkt_time=self.idle_pkt_time,
+            )
+        if self.mode == "codel":
+            return CoDelQdisc(
+                sim,
+                target=self.codel_target,
+                interval=self.codel_interval,
+                limit_packets=self.wred_limit_packets,
+                ecn=True,
+            )
+        if self.mode == "pie":
+            return PieQdisc(
+                sim,
+                target=self.pie_target,
+                t_update=self.pie_t_update,
+                limit_packets=self.wred_limit_packets,
+                ecn=True,
+            )
+        if self.mode == "dualpi2":
+            return DualPi2Qdisc(
+                sim,
+                target=self.dualpi2_target,
+                step_threshold=self.dualpi2_step_threshold,
+                limit_packets=self.wred_limit_packets,
+            )
+        raise ValueError(f"mode {self.mode!r} has no AF-band discipline")
 
     def build_meter(self, rate: float, depth: float):
         """A three-color meter committed to ``rate``/``depth``."""

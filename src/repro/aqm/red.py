@@ -1,21 +1,25 @@
 """RED and WRED queues (Floyd & Jacobson 1993, Cisco-style WRED).
 
 Both disciplines keep a FIFO backlog and apply their intelligence at
-enqueue time only, which lets them serve as band queues inside
-:class:`repro.diffserv.PriorityQdisc` (whose dequeue fast path pops
-the band's ``_queue`` deque directly) as well as stand-alone qdiscs.
+enqueue time only; the head is exposed through :meth:`Qdisc.peek`, so
+they compose under schedulers (:class:`repro.aqm.DrrQdisc`,
+:class:`repro.diffserv.PriorityQdisc`) as well as standing alone.
 
 The average queue is an EWMA in *packets*, updated at every arrival:
 
     avg <- (1 - wq) * avg + wq * len(queue)
 
-with the idle-period correction from the RED paper: after the queue
-drains, the average decays as if ``m`` small packets had departed
-(``m = idle_time / idle_pkt_time``). Between ``min_th`` and ``max_th``
-the drop/mark probability ramps linearly to ``p_max`` and is inflated
-by the count of packets admitted since the last action (the uniform-
-spacing trick from the paper); at or above ``max_th`` every arrival is
-dropped (not marked — RFC 3168 §7 treats persistent overload as loss).
+with the idle-period correction from the RED paper: on arrival to an
+empty queue the average decays as if ``m`` small packets had departed
+(``m = idle_time / idle_pkt_time``) — the decay *replaces* the EWMA
+step for that arrival, it does not stack on top of one. On
+``min_th <= avg < max_th`` the drop/mark probability ramps linearly to
+``p_max`` and is inflated by the count of packets admitted since the
+last action (the uniform-spacing trick from the paper; WRED keeps one
+such counter *per drop precedence*, as Cisco dscp-based WRED does —
+a burst of red-marked actions must not inflate green packets' drop
+probability); at or above ``max_th`` every arrival is dropped (not
+marked — RFC 3168 §7 treats persistent overload as loss).
 
 Determinism: the only randomness is ``sim.rng.random()``, the
 simulator's seeded generator, so runs are bit-reproducible and
@@ -98,19 +102,24 @@ class RedQueue(Qdisc):
         self.wq = wq
         self.ecn = ecn
         self.idle_pkt_time = idle_pkt_time
-        # Band protocol: PriorityQdisc/DrrQdisc pop these directly.
         self._queue: Deque[Packet] = deque()
         self._bytes = 0
         #: EWMA average queue length in packets.
         self.avg = 0.0
         self._idle_since: Optional[float] = 0.0
-        self._count = -1  # packets since last early action
+        # Packets since the last early action, keyed by count key
+        # (plain RED has one key; WRED keys by drop precedence).
+        self._counts: Dict[int, int] = {0: -1}
         # Counters (the Qdisc drop contract: drops == all losses).
         self.drops = 0
         self.drop_bytes = 0
         self.tail_drops = 0
         self.early_drops = 0
         self.ecn_marks = 0
+        #: Aggregate time-in-queue of dequeued packets (seconds) — the
+        #: queue-delay figure experiments report as sojourn_sum/count.
+        self.sojourn_sum = 0.0
+        self.sojourn_count = 0
         self.on_drop: Optional[Callable[[Packet], None]] = None
 
     # -- internals ---------------------------------------------------------
@@ -155,45 +164,52 @@ class RedQueue(Qdisc):
         if self._queue:
             self.avg += self.wq * (len(self._queue) - self.avg)
         else:
-            # Queue is idle: decay as if m packets had drained.
+            # Queue is idle: decay as if m packets had drained. The
+            # RED paper applies the decay *alone* on arrival to an
+            # empty queue — no additional EWMA step with sample 0.
             if self._idle_since is not None:
                 m = (self.sim.now - self._idle_since) / self.idle_pkt_time
                 if m > 0:
                     self.avg *= (1.0 - self.wq) ** m
                 self._idle_since = None
-            self.avg += self.wq * (0.0 - self.avg)
         return self.avg
 
-    def _early_action(self, curve: RedCurve, avg: float) -> bool:
+    def _early_action(self, curve: RedCurve, avg: float, key: int) -> bool:
         """True if this arrival should be marked/dropped early."""
-        self._count += 1
+        count = self._counts[key] + 1
+        self._counts[key] = count
         p_b = curve.p_max * (avg - curve.min_th) / (curve.max_th - curve.min_th)
-        denom = 1.0 - self._count * p_b
+        denom = 1.0 - count * p_b
         p_a = 1.0 if denom <= 0 else p_b / denom
         if self.sim.rng.random() < p_a:
-            self._count = 0
+            self._counts[key] = 0
             return True
         return False
 
+    def _select(self, packet: Packet) -> "tuple[RedCurve, int]":
+        """The drop curve for ``packet`` and its count key."""
+        return self.curve, 0
+
     def _curve_for(self, packet: Packet) -> RedCurve:
-        return self.curve
+        return self._select(packet)[0]
 
     # -- qdisc interface ---------------------------------------------------
 
     def enqueue(self, packet: Packet) -> bool:
         avg = self._update_avg()
-        curve = self._curve_for(packet)
+        curve, key = self._select(packet)
         if avg >= curve.max_th or len(self._queue) >= self.limit_packets:
-            self._count = -1
+            self._counts[key] = -1
             return self._dropped(packet, tail=True)
-        if avg > curve.min_th:
-            if self._early_action(curve, avg):
+        if avg >= curve.min_th:
+            if self._early_action(curve, avg, key):
                 if self.ecn and packet.ecn in (ECN_ECT0, ECN_ECT1):
                     self._marked(packet)
                 else:
                     return self._dropped(packet, tail=False)
         else:
-            self._count = -1
+            self._counts[key] = -1
+        packet.enqueued_at = self.sim.now
         self._queue.append(packet)
         self._bytes += packet.size
         return True
@@ -203,9 +219,14 @@ class RedQueue(Qdisc):
             return None
         packet = self._queue.popleft()
         self._bytes -= packet.size
+        self.sojourn_sum += self.sim.now - packet.enqueued_at
+        self.sojourn_count += 1
         if not self._queue:
             self._idle_since = self.sim.now
         return packet
+
+    def peek(self) -> Optional[Packet]:
+        return self._queue[0] if self._queue else None
 
     def __len__(self) -> int:
         return len(self._queue)
@@ -222,9 +243,11 @@ class WredQueue(RedQueue):
     :class:`RedCurve`; precedence 1 (greens) gets the most headroom,
     precedence 3 (reds) the least. Non-AF packets use the precedence-1
     curve (:func:`repro.diffserv.dscp.drop_precedence_of`). The EWMA
-    average is shared — what differs per color is only where on the
-    average the curve bites, which is exactly Cisco MQC ``random-detect
-    dscp-based`` behaviour.
+    average is shared — what differs per color is where on the average
+    the curve bites *and* the packets-since-last-action counter, which
+    is kept per precedence (one precedence's action burst must not
+    inflate another's drop probability). This is exactly Cisco MQC
+    ``random-detect dscp-based`` behaviour.
     """
 
     #: Default curves over a 100-packet queue: greens survive longest.
@@ -256,6 +279,8 @@ class WredQueue(RedQueue):
             idle_pkt_time=idle_pkt_time,
         )
         self.curves = chosen
+        self._counts = {1: -1, 2: -1, 3: -1}
 
-    def _curve_for(self, packet: Packet) -> RedCurve:
-        return self.curves[drop_precedence_of(packet.dscp)]
+    def _select(self, packet: Packet) -> "tuple[RedCurve, int]":
+        prec = drop_precedence_of(packet.dscp)
+        return self.curves[prec], prec

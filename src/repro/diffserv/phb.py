@@ -10,11 +10,12 @@ and always dequeues from the highest non-empty class. An optional
 aggregate EF policer at a domain-ingress port limits the total
 expedited traffic, "to prevent starvation of nonexpedited flows" (§2).
 
-Band queues default to drop-tail but are pluggable: any discipline
-that keeps its backlog in a ``_queue`` deque with a ``_bytes`` byte
-count (the band protocol :class:`repro.aqm.RedQueue` and friends
-follow) can serve as a band, which is how WRED drops into the AF band
-without touching the scheduler.
+Band queues default to drop-tail but are pluggable: any
+:class:`~repro.net.queues.Qdisc` can serve as a band — the scheduler
+talks to overrides only through ``enqueue``/``dequeue``/``peek``, which
+is how WRED (or CoDel) drops into the AF band without touching the
+scheduler. Plain drop-tail bands keep the historical inlined fast path
+(byte-identical datapath, no extra dispatch).
 """
 
 from __future__ import annotations
@@ -49,9 +50,10 @@ class PriorityQdisc(Qdisc):
         arrivals at this port (used at domain-ingress routers).
     ef_qdisc, af_qdisc, be_qdisc:
         Optional band-queue overrides (e.g. a WRED queue on the AF
-        band). An override must follow the band protocol: expose
-        ``_queue``/``_bytes`` for the scheduler's dequeue fast path
-        and do its own drop accounting in ``enqueue``.
+        band). Overrides are served through the ordinary
+        ``enqueue``/``dequeue``/``peek`` qdisc interface (so
+        dequeue-time droppers compose); only genuine
+        :class:`DropTailQueue` bands take the inlined fast path.
     """
 
     N_CLASSES = 3
@@ -76,6 +78,13 @@ class PriorityQdisc(Qdisc):
         # fast path; anything else is dispatched dynamically.
         self._band_enqueue = [
             None if type(q) is DropTailQueue else q.enqueue
+            for q in self._queues
+        ]
+        # Per-band dequeue plan, same gate: a genuine DropTailQueue is
+        # popped inline; any other discipline is served through its own
+        # dequeue so idle stamps and dequeue-time drops actually run.
+        self._deq_bands = [
+            (q, None if type(q) is DropTailQueue else q.dequeue)
             for q in self._queues
         ]
         self.ef_aggregate_policer = ef_aggregate_policer
@@ -148,15 +157,32 @@ class PriorityQdisc(Qdisc):
         return True
 
     def dequeue(self) -> Optional[Packet]:
-        for queue in self._queues:
-            # Peek and pop the band's deque directly: the scan skips
-            # (usually empty) higher-priority bands without a call, and
-            # the hit avoids a second method dispatch. Band overrides
-            # keep this valid by exposing _queue/_bytes (all RED-family
-            # work happens at enqueue; dequeue is plain FIFO).
-            if queue._queue:
-                packet = queue._queue.popleft()
-                queue._bytes -= packet.size
+        for queue, band_dequeue in self._deq_bands:
+            if band_dequeue is None:
+                # Inlined drop-tail pop: the scan skips (usually empty)
+                # higher-priority bands without a call, and the hit
+                # avoids a second method dispatch.
+                if queue._queue:
+                    packet = queue._queue.popleft()
+                    queue._bytes -= packet.size
+                    return packet
+            elif len(queue):
+                # Custom band (WRED, CoDel, …) — its dequeue may drop
+                # the whole backlog and come back empty-handed, in
+                # which case service falls to the next band.
+                packet = band_dequeue()
+                if packet is not None:
+                    return packet
+        return None
+
+    def peek(self) -> Optional[Packet]:
+        for queue, band_dequeue in self._deq_bands:
+            packet = (
+                (queue._queue[0] if queue._queue else None)
+                if band_dequeue is None
+                else queue.peek()
+            )
+            if packet is not None:
                 return packet
         return None
 

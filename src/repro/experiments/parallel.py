@@ -27,7 +27,7 @@ import time
 from pathlib import Path
 from typing import Any, Dict, List, NamedTuple, Optional, Tuple
 
-from . import fig6_visualization, table1_aqm, table1_burstiness
+from . import fig6_visualization, table1_aqm, table1_burstiness, table1_l4s
 
 __all__ = ["run_parallel"]
 
@@ -41,6 +41,7 @@ _WHOLE_WEIGHTS = {
     "fig7": 2.0,
     "table1": 60.0,
     "table1_aqm": 40.0,
+    "table1_l4s": 50.0,
     "fig8": 0.5,
     "fig9": 11.0,
 }
@@ -131,6 +132,16 @@ def _table1_aqm_cell_job(kwargs: dict, seed: int):
     return value, time.time() - started
 
 
+def _table1_l4s_cell_job(kwargs: dict, seed: int):
+    started = time.time()
+    gc.disable()
+    try:
+        value = table1_l4s.measure_cell(seed=seed, **kwargs)
+    finally:
+        gc.enable()
+    return value, time.time() - started
+
+
 # ---------------------------------------------------------------------------
 # Planning, execution, merging
 # ---------------------------------------------------------------------------
@@ -175,6 +186,17 @@ def _plan(
                         ("table1_aqm", key),
                         bandwidth * _TABLE1_AQM_CELL_WEIGHT_PER_KBPS,
                         _table1_aqm_cell_job,
+                        (kwargs, seed),
+                    )
+                )
+        elif partition and name == "table1_l4s":
+            for key, kwargs in table1_l4s.plan_cells(quick=quick):
+                bandwidth = key[0]
+                jobs.append(
+                    _Job(
+                        ("table1_l4s", key),
+                        bandwidth * _TABLE1_AQM_CELL_WEIGHT_PER_KBPS,
+                        _table1_l4s_cell_job,
                         (kwargs, seed),
                     )
                 )
@@ -244,6 +266,14 @@ def run_parallel(
             values = {k: raw[("table1_aqm", k)][0] for k in keys}
             elapsed = sum(raw[("table1_aqm", k)][1] for k in keys)
             result = table1_aqm.run(
+                quick=quick, seed=seed, cell_results=values
+            )
+            results.append((name, result, elapsed, None))
+        elif partition and name == "table1_l4s":
+            keys = [k for k, _ in table1_l4s.plan_cells(quick=quick)]
+            values = {k: raw[("table1_l4s", k)][0] for k in keys}
+            elapsed = sum(raw[("table1_l4s", k)][1] for k in keys)
+            result = table1_l4s.run(
                 quick=quick, seed=seed, cell_results=values
             )
             results.append((name, result, elapsed, None))

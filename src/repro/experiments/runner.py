@@ -5,8 +5,8 @@ Usage::
     mpichgq-experiments [--quick] [--seed N] [--out DIR] [--parallel N]
                         [exp ...]
 
-where ``exp`` is any of: fig1 fig5 fig6 fig7 table1 table1_aqm fig8
-fig9 (default: all, in paper order). ``--quick`` runs the scaled-down variants the
+where ``exp`` is any of: fig1 fig5 fig6 fig7 table1 table1_aqm
+table1_l4s fig8 fig9 (default: all, in paper order). ``--quick`` runs the scaled-down variants the
 benchmark suite uses. ``--parallel N`` fans the work out over N worker
 processes (see :mod:`repro.experiments.parallel`); results are
 identical to a serial run except for ``elapsed_seconds``.
@@ -31,6 +31,7 @@ from . import (
     fig9_combined,
     table1_aqm,
     table1_burstiness,
+    table1_l4s,
 )
 from .report import render_result
 
@@ -43,6 +44,7 @@ EXPERIMENTS = {
     "fig7": fig7_burstiness_traces.run,
     "table1": table1_burstiness.run,
     "table1_aqm": table1_aqm.run,
+    "table1_l4s": table1_l4s.run,
     "fig8": fig8_cpu_reservation.run,
     "fig9": fig9_combined.run,
 }

@@ -1,23 +1,26 @@
-"""Table 1 revisited under active queue management.
+"""The burstiness grid under modern congestion signaling (L4S study).
 
-A beyond-paper ablation: the Table 1 burstiness grid is rerun with the
-reservation deliberately *undersized* (``RES_FACTOR`` of the target
-rate — the oversubscribed regime §5.4 warns about) under three domain
-configurations:
+Companion to :mod:`.table1_aqm`: the same undersized-reservation grid
+(``RES_FACTOR`` of the target rate), but pitting the 1998-era
+WRED+ECN baseline against the modern AQM family on the AF band:
 
-* ``droptail`` — the paper's strict-priority + policer setup, built
-  through exactly the pre-AQM code path;
-* ``wred`` — premium excess is three-color-remarked into a WRED'd
-  assured band with a small bounded DRR share;
-* ``wred+ecn`` — same, but WRED marks CE instead of dropping and the
-  transport negotiates RFC 3168 ECN.
+* ``wred+ecn`` — the :mod:`.table1_aqm` reference point (RFC 3168 ECN
+  over per-precedence WRED curves);
+* ``codel`` — RFC 8289 sojourn-time control, head drop/mark at
+  dequeue;
+* ``pie`` — RFC 8033 proportional-integral probability on queue
+  latency;
+* ``dualpi2`` — RFC 9332 coupled dual queue, paired with the matching
+  modern *transport*: DCTCP-style proportional ECN response over
+  ECT(1) (so the data rides the L queue) and CUBIC growth.
 
-Where the paper's configuration turns an undersized reservation into
-policer drops, RTO timeouts, and go-back-N resends, the AQM modes keep
-the excess flowing: WRED converts bursts into early drops the sender
-repairs cheaply, and WRED+ECN signals congestion with no loss at all.
-The interesting columns are the resent segments and timeouts next to
-the achieved throughput.
+The first three run the same period-correct Reno/RFC 3168 transport as
+``table1_aqm`` so differences isolate the *qdisc*; the ``dualpi2`` row
+is deliberately the full modern stack, because L4S only delivers its
+latency story when a scalable sender feeds the L queue. The headline
+column is ``queue_delay_ms`` — the AF band's mean per-packet sojourn —
+next to the achieved throughput: the modern qdiscs should hold the
+standing queue near their targets where WRED rides its curve knee.
 """
 
 from __future__ import annotations
@@ -26,23 +29,30 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..aqm import AqmPolicy
 from ..apps import VisualizationPipeline
-from ..net import KB, kbps, mbps
+from ..net import kbps, mbps
 from ..transport.tcp import TcpConfig
 from .common import ExperimentResult, build_deployment
+from .table1_aqm import RES_FACTOR
 from .table1_burstiness import CONFIGS, FULL_BANDWIDTHS, QUICK_BANDWIDTHS
 
-__all__ = ["run", "measure_cell", "plan_cells", "RES_FACTOR", "MODES"]
+__all__ = ["run", "measure_cell", "plan_cells", "MODES"]
 
-#: This experiment's fixed mode grid. Deliberately *not*
-#: ``repro.aqm.AQM_MODES`` — new disciplines joining that registry
-#: (CoDel/PIE/DualPI2 live in ``table1_l4s``) must not silently widen
-#: this table or shift its pinned outputs.
-MODES = ("droptail", "wred", "wred+ecn")
+#: The mode grid: the WRED+ECN baseline plus the modern family.
+MODES = ("wred+ecn", "codel", "pie", "dualpi2")
 
-#: Reservation as a fraction of the application's target rate. 0.6
-#: leaves enough excess to exceed the AF band's DRR share on bursty
-#: cells, so WRED actually has to arbitrate.
-RES_FACTOR = 0.6
+
+def _tcp_config(mode: str) -> TcpConfig:
+    if mode == "dualpi2":
+        # The L4S pairing: scalable DCTCP response + CUBIC growth.
+        return TcpConfig(
+            min_rto=0.3,
+            ecn=True,
+            ecn_response="dctcp",
+            cc="cubic",
+        )
+    # Period-correct transport, identical to table1_aqm's, so the
+    # classic-AQM rows isolate the queue discipline.
+    return TcpConfig(recovery="reno", min_rto=0.3, ecn=True)
 
 
 def measure_cell(
@@ -53,23 +63,13 @@ def measure_cell(
     seed: int = 0,
     duration: float = 8.0,
 ) -> Dict[str, float]:
-    """One grid cell under one AQM mode.
-
-    Same deployment recipe as :func:`..fig6_visualization.measure_point`
-    (30 Mb/s backbone, 40 Mb/s UDP contention, period-correct Reno with
-    a 300 ms RTO floor), but with the domain's AQM policy switched and
-    the loss-recovery cost captured alongside the throughput.
-    """
-    aqm = None if mode == "droptail" else AqmPolicy(mode=mode)
+    """One grid cell under one mode (deployment recipe as table1_aqm)."""
+    aqm = AqmPolicy(mode=mode)
     dep = build_deployment(
         seed=seed,
         backbone_bandwidth=mbps(30.0),
         contention_rate=mbps(40.0),
-        tcp_config=TcpConfig(
-            recovery="reno",
-            min_rto=0.3,
-            ecn=aqm is not None and aqm.ecn,
-        ),
+        tcp_config=_tcp_config(mode),
         aqm=aqm,
     )
     sim, gq = dep.sim, dep.gq
@@ -89,7 +89,7 @@ def measure_cell(
         else 0.0
     )
 
-    resent = timeouts = ce = 0
+    resent = timeouts = ce = responses = 0
     from ..net.packet import PROTO_TCP
 
     for proc in gq.world.procs:
@@ -100,7 +100,10 @@ def measure_cell(
             resent += conn.resent_segments
             timeouts += conn.timeouts
             ce += conn.ecn_ce_received
+            responses += conn.ecn_responses
     early = tail = marks = 0
+    sojourn_sum = 0.0
+    sojourn_count = 0
     for qdisc in gq.domain.priority_qdiscs:
         bands = getattr(qdisc, "bands", None)
         if bands is None or callable(bands):
@@ -109,6 +112,11 @@ def measure_cell(
             early += getattr(band, "early_drops", 0)
             tail += getattr(band, "tail_drops", 0)
             marks += getattr(band, "ecn_marks", 0)
+            sojourn_sum += getattr(band, "sojourn_sum", 0.0)
+            sojourn_count += getattr(band, "sojourn_count", 0)
+    queue_delay_ms = (
+        sojourn_sum / sojourn_count * 1e3 if sojourn_count else 0.0
+    )
     return {
         "reservation_kbps": reservation_kbps,
         "throughput_kbps": throughput,
@@ -118,6 +126,8 @@ def measure_cell(
         "tail_drops": tail,
         "ecn_marks": marks,
         "ce_received": ce,
+        "ecn_responses": responses,
+        "queue_delay_ms": queue_delay_ms,
     }
 
 
@@ -138,12 +148,8 @@ def plan_cells(
     bandwidths_kbps: Optional[Sequence[float]] = None,
     duration: Optional[float] = None,
 ) -> List[Tuple[Tuple[float, str, str], dict]]:
-    """The grid as independent jobs, keyed ``(bandwidth, config, mode)``.
-
-    Each cell builds a fresh deployment from the seed, so cells
-    parallelise without changing any value; :func:`run`'s
-    ``cell_results`` merges them through the serial assembly path.
-    """
+    """The grid as independent jobs, keyed ``(bandwidth, config, mode)``
+    — the same merge contract as :func:`repro.experiments.table1_aqm.plan_cells`."""
     bandwidths_kbps, duration = _resolve_grid(quick, bandwidths_kbps, duration)
     return [
         (
@@ -169,18 +175,13 @@ def run(
     duration: Optional[float] = None,
     cell_results: Optional[Dict[Tuple[float, str, str], Dict[str, float]]] = None,
 ) -> ExperimentResult:
-    """Produce the AQM-ablation table.
-
-    ``cell_results`` optionally supplies precomputed cell measurements
-    (keyed as in :func:`plan_cells`) so the parallel runner merges
-    through the same assembly code as a serial run.
-    """
+    """Produce the L4S/modern-AQM comparison table."""
     bandwidths_kbps, duration = _resolve_grid(quick, bandwidths_kbps, duration)
 
     result = ExperimentResult(
-        experiment="table1_aqm",
+        experiment="table1_l4s",
         description=f"Table 1 grid at {RES_FACTOR:.0%} reservation: "
-        "drop-tail vs WRED vs WRED+ECN",
+        "WRED+ECN vs CoDel vs PIE vs DualPI2+DCTCP",
         headers=[
             "bandwidth_kbps",
             "config",
@@ -192,10 +193,19 @@ def run(
             "early_drops",
             "tail_drops",
             "ecn_marks",
+            "queue_delay_ms",
         ],
     )
-    totals = {mode: {"resent": 0, "timeouts": 0, "throughput": 0.0}
-              for mode in MODES}
+    totals = {
+        mode: {
+            "resent": 0,
+            "timeouts": 0,
+            "throughput": 0.0,
+            "delay_sum": 0.0,
+            "cells": 0,
+        }
+        for mode in MODES
+    }
     for bandwidth in bandwidths_kbps:
         for label, fps, divisor in CONFIGS:
             for mode in MODES:
@@ -221,13 +231,20 @@ def run(
                     cell["early_drops"],
                     cell["tail_drops"],
                     cell["ecn_marks"],
+                    cell["queue_delay_ms"],
                 ])
                 totals[mode]["resent"] += cell["resent_segments"]
                 totals[mode]["timeouts"] += cell["timeouts"]
                 totals[mode]["throughput"] += cell["throughput_kbps"]
+                totals[mode]["delay_sum"] += cell["queue_delay_ms"]
+                totals[mode]["cells"] += 1
     for mode in MODES:
         key = mode.replace("+", "_")
-        result.extra[f"{key}_resent_segments"] = totals[mode]["resent"]
-        result.extra[f"{key}_timeouts"] = totals[mode]["timeouts"]
-        result.extra[f"{key}_total_throughput_kbps"] = totals[mode]["throughput"]
+        t = totals[mode]
+        result.extra[f"{key}_resent_segments"] = t["resent"]
+        result.extra[f"{key}_timeouts"] = t["timeouts"]
+        result.extra[f"{key}_total_throughput_kbps"] = t["throughput"]
+        result.extra[f"{key}_mean_queue_delay_ms"] = (
+            t["delay_sum"] / t["cells"] if t["cells"] else 0.0
+        )
     return result

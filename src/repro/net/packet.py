@@ -75,6 +75,11 @@ class Packet:
     ecn:
         ECN field (``ECN_NOT_ECT``/``ECN_ECT0``/``ECN_ECT1``/``ECN_CE``).
         Routers may rewrite ECT to CE in place of an early drop.
+    enqueued_at:
+        Sojourn stamp: the sim time this packet entered the queue it is
+        currently waiting in. Written by delay-measuring qdiscs (CoDel,
+        PIE, DualPI2, WRED) on enqueue and read back at dequeue; it is
+        per-hop scratch state, not an end-to-end timestamp.
     size:
         Total wire length in bytes, headers included.
     payload:
@@ -94,6 +99,7 @@ class Packet:
         "uid",
         "created_at",
         "ecn",
+        "enqueued_at",
     )
 
     def __init__(
@@ -124,6 +130,7 @@ class Packet:
         self.uid = next(_uid_counter)
         self.created_at = created_at
         self.ecn = ecn
+        self.enqueued_at = 0.0
 
     @property
     def flow_key(self) -> FlowKey:

@@ -24,8 +24,21 @@ class Qdisc:
     experiments consume. The default ``total_drops`` simply mirrors
     ``drops``; disciplines that keep finer-grained counters (tail vs
     early vs policer) must make sure the two stay consistent — a
-    packet handed to ``enqueue`` is either queued, or counted in
-    ``drops`` exactly once.
+    packet handed to ``enqueue`` is either *eventually* dequeued, or
+    counted in ``drops`` exactly once. (Dequeue-time droppers such as
+    CoDel discard packets they previously accepted; the conservation
+    law is therefore ``enqueued == dequeued + queued + total_drops``,
+    not ``accepted == dequeued + queued``.)
+
+    Peek contract: ``peek()`` returns, without removing it, exactly
+    the packet the next ``dequeue()`` will return (or None). For
+    disciplines that decide drops at dequeue time, peek must run the
+    drop machinery and *commit* to its answer — the conventional
+    implementation pulls the head through ``dequeue()`` and stashes it
+    for the next dequeue call, with ``__len__``/``backlog_bytes``
+    still counting the stashed packet. Schedulers (DRR, priority) must
+    peek children through this method, never through a child's private
+    backlog storage.
     """
 
     #: Packets this discipline dropped (tail, early, or policed).
@@ -37,6 +50,15 @@ class Qdisc:
 
     def dequeue(self) -> Optional[Packet]:
         """Remove and return the next packet to transmit, or None."""
+        raise NotImplementedError
+
+    def peek(self) -> Optional[Packet]:
+        """The packet the next ``dequeue()`` will return, not removed.
+
+        May mutate internal state (run dequeue-time drops, stash the
+        head) but must stay consistent: repeated peeks return the same
+        packet, and the following dequeue returns it too.
+        """
         raise NotImplementedError
 
     def __len__(self) -> int:
@@ -111,6 +133,9 @@ class DropTailQueue(Qdisc):
         packet = self._queue.popleft()
         self._bytes -= packet.size
         return packet
+
+    def peek(self) -> Optional[Packet]:
+        return self._queue[0] if self._queue else None
 
     def __len__(self) -> int:
         return len(self._queue)

@@ -48,11 +48,28 @@ class TcpConfig:
     #: it (negotiated at the handshake); data segments then go out
     #: ECT(0) and AQM marks CE instead of dropping.
     ecn: bool = False
+    #: How the sender reacts to ECN congestion signals. "rfc3168"
+    #: halves cwnd once per window on any ECE. "dctcp" (RFC 8257)
+    #: tracks the per-window fraction of CE-marked bytes and scales
+    #: the reduction — cwnd *= (1 - alpha/2) — so a shallow-marking
+    #: AQM (CoDel/PIE/DualPI2 step) modulates the rate smoothly; data
+    #: segments go out ECT(1) (the L4S identifier, so DualPI2 steers
+    #: them to the low-latency queue) and the receiver echoes the CE
+    #: state of each data segment rather than latching ECE.
+    #: Requires ``ecn=True``.
+    ecn_response: str = "rfc3168"
     #: Loss recovery: "newreno" (partial ACKs retransmit the next hole)
     #: or "reno" (any new ACK ends recovery; multiple drops per window
     #: usually end in a retransmission timeout — the 2000-era behaviour
     #: behind the paper's Figure 1 oscillations).
     recovery: str = "newreno"
+    #: Congestion control: "reno" (the classic AIMD the paper's era
+    #: ran) or "cubic" (RFC 8312: W(t) = C(t-K)^3 + W_max growth in
+    #: congestion avoidance, beta = 0.7 multiplicative decrease, fast
+    #: convergence). Slow start, recovery, and the ECN machinery are
+    #: shared; only the avoidance growth and the decrease factor
+    #: change.
+    cc: str = "reno"
 
     def __post_init__(self) -> None:
         if self.mss <= 0:
@@ -63,3 +80,11 @@ class TcpConfig:
             raise ValueError("invalid RTO bounds")
         if self.recovery not in ("newreno", "reno"):
             raise ValueError(f"unknown recovery style {self.recovery!r}")
+        if self.ecn_response not in ("rfc3168", "dctcp"):
+            raise ValueError(
+                f"unknown ecn_response {self.ecn_response!r}"
+            )
+        if self.ecn_response == "dctcp" and not self.ecn:
+            raise ValueError("ecn_response='dctcp' requires ecn=True")
+        if self.cc not in ("reno", "cubic"):
+            raise ValueError(f"unknown congestion control {self.cc!r}")

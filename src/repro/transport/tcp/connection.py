@@ -1,5 +1,5 @@
-"""The TCP connection state machine: Reno congestion control with
-NewReno partial-ACK recovery.
+"""The TCP connection state machine: Reno/CUBIC congestion control
+with NewReno partial-ACK recovery and RFC 3168/DCTCP ECN responses.
 
 This is the component the paper's headline results hinge on: token-
 bucket policing drops packets of a too-fast premium flow, and TCP's
@@ -21,7 +21,11 @@ Implemented behaviour:
 * zero-window persist probing;
 * blocking ``send`` with a finite send buffer and blocking ``recv`` /
   ``recv_object`` with a finite receive buffer (advertised window);
-* application message boundaries via stream markers (used by MPI).
+* application message boundaries via stream markers (used by MPI);
+* optional CUBIC window growth (``cc="cubic"``, RFC 8312) and a
+  DCTCP-style proportional ECN response (``ecn_response="dctcp"``,
+  RFC 8257) — the modern pairing the ``table1_l4s`` experiment runs
+  against DualPI2.
 """
 
 from __future__ import annotations
@@ -34,6 +38,7 @@ from ...net.packet import (
     DEFAULT_TTL,
     ECN_CE,
     ECN_ECT0,
+    ECN_ECT1,
     ECN_NOT_ECT,
     PROTO_TCP,
     Packet,
@@ -52,6 +57,16 @@ SYN_RCVD = "SYN_RCVD"
 ESTABLISHED = "ESTABLISHED"
 
 _MAX_SYN_RETRIES = 6
+
+# CUBIC (RFC 8312) constants: the cubic coefficient (segments/s³), the
+# multiplicative-decrease factor, and the TCP-friendly AIMD growth rate
+# 3*(1-beta)/(1+beta) derived from beta.
+_CUBIC_C = 0.4
+_CUBIC_BETA = 0.7
+_CUBIC_AIMD = 3.0 * (1.0 - _CUBIC_BETA) / (1.0 + _CUBIC_BETA)
+
+# DCTCP (RFC 8257) EWMA gain for the CE-fraction estimate.
+_DCTCP_G = 1.0 / 16.0
 
 
 class ConnectionClosed(Exception):
@@ -125,6 +140,29 @@ class TcpConnection:
         self._ecn_recover = -1
         self.ecn_ce_received = 0
         self.ecn_responses = 0
+
+        # DCTCP (RFC 8257). The receiver echoes the CE state of each
+        # *data* segment instead of latching ECE; the sender counts
+        # marked vs acked bytes over one window (``_dctcp_fence`` is
+        # the snd_nxt boundary), folds the fraction into ``alpha`` with
+        # gain 1/16, and reduces cwnd *= (1 - alpha/2) when the window
+        # saw any marks. Data goes out ECT(1) — the L4S identifier —
+        # so DualPI2 steers it into the low-latency queue.
+        self.dctcp = cfg.ecn and cfg.ecn_response == "dctcp"
+        self.dctcp_alpha = 1.0  # start conservative (RFC 8257 §4.2)
+        self._dctcp_bytes_acked = 0
+        self._dctcp_bytes_marked = 0
+        self._dctcp_fence = 0
+
+        # CUBIC (RFC 8312). All window arithmetic stays byte-
+        # denominated; the cubic curve is evaluated in segment units
+        # and the growth is spread over ACKs through a fractional
+        # byte accumulator so ``cwnd`` remains an int.
+        self.cubic = cfg.cc == "cubic"
+        self._cubic_w_max = 0.0  # bytes
+        self._cubic_k = 0.0
+        self._cubic_epoch = -1.0  # avoidance-epoch start (<0: unset)
+        self._cubic_acc = 0.0
 
         # Blocking-call plumbing.
         self._send_waiters: Deque[Tuple[Event, int, Any]] = deque()
@@ -341,7 +379,8 @@ class TcpConnection:
                     cwnd=self.cwnd,
                 )
         # Only data segments are ECT (RFC 3168 §6.1.1 forbids marking
-        # pure ACKs and handshake segments ECN-capable).
+        # pure ACKs and handshake segments ECN-capable). DCTCP data
+        # rides ECT(1), the L4S identifier (RFC 9331).
         self._emit(
             TcpSegment(
                 seq=seq,
@@ -351,7 +390,11 @@ class TcpConnection:
                 length=length,
                 markers=markers or None,
             ),
-            ecn=ECN_ECT0 if self.ecn_enabled else ECN_NOT_ECT,
+            ecn=(
+                (ECN_ECT1 if self.dctcp else ECN_ECT0)
+                if self.ecn_enabled
+                else ECN_NOT_ECT
+            ),
         )
 
     # ------------------------------------------------------------------
@@ -448,9 +491,10 @@ class TcpConnection:
         if self.flight_size <= 0 and not (self._fin_sent and not self._fin_acked):
             return  # everything acked in the meantime
         self.timeouts += 1
-        self.ssthresh = max(self.flight_size // 2, 2 * self.config.mss)
+        self.ssthresh = self._ssthresh_after_loss()
         self.cwnd = self.config.mss
         self._ca_acc = 0
+        self._cubic_epoch = -1.0
         self.in_recovery = False
         self.dupacks = 0
         self.rtt.backoff()
@@ -522,13 +566,23 @@ class TcpConnection:
             return
 
         if self.ecn_enabled:
-            # CWR receipt first: it closes the previous CE episode even
-            # when this very packet carries a fresh CE mark.
-            if segment.flags & CWR:
-                self._ecn_echo = False
-            if packet.ecn == ECN_CE:
-                self.ecn_ce_received += 1
-                self._ecn_echo = True
+            if self.dctcp:
+                # RFC 8257 receiver: the echo mirrors the CE state of
+                # each *data* segment (no ECE latch, CWR irrelevant) so
+                # the sender can reconstruct the marked-byte fraction.
+                if segment.length > 0:
+                    ce = packet.ecn == ECN_CE
+                    if ce:
+                        self.ecn_ce_received += 1
+                    self._ecn_echo = ce
+            else:
+                # CWR receipt first: it closes the previous CE episode
+                # even when this very packet carries a fresh CE mark.
+                if segment.flags & CWR:
+                    self._ecn_echo = False
+                if packet.ecn == ECN_CE:
+                    self.ecn_ce_received += 1
+                    self._ecn_echo = True
 
         if segment.flags & FINACK:
             self._on_finack()
@@ -589,6 +643,7 @@ class TcpConnection:
 
         if (
             self.ecn_enabled
+            and not self.dctcp
             and segment.flags & ECE
             and not self.in_recovery
             and ack > self._ecn_recover
@@ -597,12 +652,18 @@ class TcpConnection:
             # halve the window, no retransmission — at most once per
             # window of data; confirm with CWR on the next new segment.
             self.ecn_responses += 1
-            self.ssthresh = max(self.flight_size // 2, 2 * cfg.mss)
+            self.ssthresh = self._ssthresh_after_loss()
             self.cwnd = max(self.ssthresh, cfg.mss)
             self._ca_acc = 0
+            self._cubic_epoch = -1.0
             self._cwr_pending = True
             self._ecn_recover = self.snd_nxt
             self._record_cwnd()
+
+        if self.dctcp and ack > una:
+            self._dctcp_on_ack(
+                min(ack, self.snd_nxt) - una, bool(segment.flags & ECE)
+            )
 
         if ack > una:
             newly = self.send_buffer.ack_to(min(ack, self.snd_nxt))
@@ -633,6 +694,8 @@ class TcpConnection:
             else:
                 if self.cwnd < self.ssthresh:
                     self.cwnd += min(newly, cfg.mss)  # slow start
+                elif self.cubic:
+                    self._cubic_growth(newly)
                 else:
                     self._ca_acc += newly
                     while self._ca_acc >= self.cwnd:
@@ -664,14 +727,104 @@ class TcpConnection:
     def _enter_fast_recovery(self) -> None:
         cfg = self.config
         self.fast_retransmits += 1
-        self.ssthresh = max(self.flight_size // 2, 2 * cfg.mss)
+        self.ssthresh = self._ssthresh_after_loss()
         self.recover = self.snd_nxt
         self._retransmit_head()
         self.cwnd = self.ssthresh + 3 * cfg.mss
         self._ca_acc = 0
+        self._cubic_epoch = -1.0
         self.in_recovery = True
         self._record_cwnd()
         self._reset_rto_timer()
+
+    def _ssthresh_after_loss(self) -> int:
+        """Post-loss slow-start threshold under the configured cc.
+
+        Reno keeps the classic ``flight/2``; CUBIC multiplies by
+        ``beta = 0.7`` and books ``W_max`` for the cubic trajectory
+        (with RFC 8312 fast convergence when the window was still
+        below the previous peak).
+        """
+        cfg = self.config
+        flight = self.flight_size
+        if not self.cubic:
+            return max(flight // 2, 2 * cfg.mss)
+        cwnd = float(self.cwnd)
+        if cwnd < self._cubic_w_max:
+            # Fast convergence: release bandwidth to newer flows.
+            self._cubic_w_max = cwnd * (2.0 - _CUBIC_BETA) / 2.0
+        else:
+            self._cubic_w_max = cwnd
+        return max(int(flight * _CUBIC_BETA), 2 * cfg.mss)
+
+    def _cubic_growth(self, newly: int) -> None:
+        """RFC 8312 congestion-avoidance growth for ``newly`` acked
+        bytes: steer cwnd toward ``W(t+RTT) = C(t-K)³ + W_max``,
+        floored by the TCP-friendly AIMD estimate."""
+        cfg = self.config
+        mss = cfg.mss
+        now = self.sim._now
+        srtt = self.rtt.srtt
+        if srtt is None or srtt <= 0.0:
+            srtt = 0.1
+        if self._cubic_epoch < 0.0:
+            self._cubic_epoch = now
+            self._cubic_acc = 0.0
+            if self._cubic_w_max < self.cwnd:
+                # No loss on record below us: start a fresh plateau.
+                self._cubic_w_max = float(self.cwnd)
+                self._cubic_k = 0.0
+            else:
+                self._cubic_k = (
+                    (self._cubic_w_max - self.cwnd) / (_CUBIC_C * mss)
+                ) ** (1.0 / 3.0)
+        t = now - self._cubic_epoch + srtt
+        w_max_seg = self._cubic_w_max / mss
+        cwnd_seg = self.cwnd / mss
+        target_seg = w_max_seg + _CUBIC_C * (t - self._cubic_k) ** 3
+        friendly_seg = w_max_seg * _CUBIC_BETA + _CUBIC_AIMD * (t / srtt)
+        if target_seg < friendly_seg:
+            target_seg = friendly_seg  # TCP-friendly region
+        if target_seg <= cwnd_seg:
+            return  # at/above the curve: hold
+        inc = (target_seg - cwnd_seg) * newly * mss / self.cwnd
+        if inc > newly:
+            inc = float(newly)  # never outgrow slow-start pace
+        self._cubic_acc += inc
+        grow = int(self._cubic_acc)
+        if grow:
+            self._cubic_acc -= grow
+            self.cwnd += grow
+
+    def _dctcp_on_ack(self, newly: int, ece: bool) -> None:
+        """RFC 8257 sender: per-window CE-fraction accounting and the
+        proportional ``cwnd *= (1 - alpha/2)`` reduction."""
+        self._dctcp_bytes_acked += newly
+        if ece:
+            self._dctcp_bytes_marked += newly
+        if self.send_buffer.una + newly <= self._dctcp_fence:
+            return  # window still open
+        # One window's worth acknowledged: fold the observed fraction
+        # into alpha and reduce once if anything was marked.
+        acked = self._dctcp_bytes_acked
+        marked = self._dctcp_bytes_marked
+        frac = marked / acked if acked > 0 else 0.0
+        self.dctcp_alpha += _DCTCP_G * (frac - self.dctcp_alpha)
+        self._dctcp_bytes_acked = 0
+        self._dctcp_bytes_marked = 0
+        self._dctcp_fence = self.snd_nxt
+        if marked > 0 and not self.in_recovery:
+            cfg = self.config
+            self.ecn_responses += 1
+            reduced = int(self.cwnd * (1.0 - self.dctcp_alpha / 2.0))
+            self.cwnd = max(reduced, 2 * cfg.mss)
+            self.ssthresh = self.cwnd
+            self._ca_acc = 0
+            if self.cubic:
+                self._cubic_w_max = float(self.cwnd)
+                self._cubic_epoch = -1.0
+            self._cwr_pending = True
+            self._record_cwnd()
 
     def _record_cwnd(self) -> None:
         if self.cwnd_monitor is not None:

@@ -162,6 +162,73 @@ class TestWredQueue:
         assert drop_precedence_of(0) == 1
 
 
+class TestRedWredRegressions:
+    """Pinned-down fixes: the idle-decay double count, the
+    ``min_th``/``max_th`` boundary semantics, and WRED's shared
+    action counter."""
+
+    def test_idle_decay_is_not_double_counted(self):
+        # The idle correction must be the (1-wq)^m decay *alone* — an
+        # extra EWMA step with sample 0 used to shrink avg by another
+        # factor of (1-wq) on every idle-exit arrival.
+        sim = Simulator(seed=1)
+        q = RedQueue(sim, curve=RedCurve(2, 50, 0.1), wq=0.1,
+                     idle_pkt_time=1e-3)
+        for _ in range(10):
+            q.enqueue(pkt())
+        while q.dequeue() is not None:
+            pass
+        high = q.avg
+        sim.run(until=sim.now + 0.01)  # m = 10 idle packet-times
+        q.enqueue(pkt())
+        assert q.avg == pytest.approx(high * 0.9 ** 10)
+
+    def test_early_action_band_includes_min_th(self):
+        # RED's band is min_th <= avg < max_th: at avg exactly min_th
+        # the counter must start running (not stay reset), even though
+        # the drop probability there is still zero.
+        sim = Simulator(seed=1)
+        q = RedQueue(sim, curve=RedCurve(3, 10, 0.1), wq=1.0,
+                     limit_packets=100)
+        for _ in range(4):
+            q.enqueue(pkt())  # wq=1: avg == len before each append
+        assert q.avg == 3.0
+        assert q._counts[0] == 0  # engaged at the boundary
+        assert q.drops == 0  # p_b is 0 exactly at min_th
+
+    def test_forced_drop_band_includes_max_th(self):
+        sim = Simulator(seed=1)
+        q = RedQueue(sim, curve=RedCurve(1, 3, 0.001), wq=1.0,
+                     limit_packets=100)
+        for _ in range(3):
+            assert q.enqueue(pkt(ecn=ECN_ECT0))
+        # avg == max_th exactly: forced drop, ECN notwithstanding.
+        assert not q.enqueue(pkt(ecn=ECN_ECT0))
+        assert q.tail_drops == 1
+
+    def test_wred_counts_are_per_precedence(self):
+        # A precedence whose curve is engaged must run its own counter
+        # while an unengaged precedence's counter stays reset — one
+        # color's action burst must not inflate another's probability.
+        sim = Simulator(seed=1)
+        q = WredQueue(
+            sim,
+            curves={
+                1: RedCurve(50, 90, 0.1),
+                2: RedCurve(20, 90, 0.1),
+                3: RedCurve(1, 90, 0.001),
+            },
+            wq=1.0,
+            limit_packets=200,
+        )
+        for _ in range(10):
+            q.enqueue(pkt(dscp=af_dscp(1, 3)))  # reds: engaged past avg 1
+        q.enqueue(pkt(dscp=af_dscp(1, 1)))  # green: avg 10 < 50
+        assert set(q._counts) == {1, 2, 3}
+        assert q._counts[3] >= 0  # red counter is running
+        assert q._counts[1] == -1  # green counter untouched by reds
+
+
 class TestSrTcm:
     def test_color_ladder(self):
         m = SrTcmMarker(cir=8000.0, cbs=1000.0, ebs=2000.0)  # 1 KB/s
@@ -298,6 +365,77 @@ class TestDrrQdisc:
         assert q.drops == 1
         assert q.total_drops == 1
 
+    def test_head_dropping_child_without_private_queue(self):
+        # Regression: the deficit loop used to read child._queue[0]
+        # directly, which (a) broke on children with other storage and
+        # (b) sized the deficit against a head a dequeue-time dropper
+        # was about to discard. The peek contract fixes both — this
+        # child has no _queue attribute at all and drops every other
+        # head at dequeue.
+        from typing import Optional
+
+        from repro.net.queues import Qdisc
+
+        class HeadDropChild(Qdisc):
+            def __init__(self):
+                self._items = []
+                self._stash = None
+                self._served = 0
+                self.drops = 0
+
+            def enqueue(self, packet):
+                self._items.append(packet)
+                return True
+
+            def dequeue(self):
+                if self._stash is not None:
+                    head, self._stash = self._stash, None
+                    return head
+                while self._items:
+                    packet = self._items.pop(0)
+                    self._served += 1
+                    if self._served % 2 == 0:
+                        self.drops += 1  # dequeue-time drop
+                        continue
+                    return packet
+                return None
+
+            def peek(self):
+                if self._stash is None:
+                    self._stash = self.dequeue()
+                return self._stash
+
+            def __len__(self):
+                n = len(self._items)
+                return n + 1 if self._stash is not None else n
+
+            @property
+            def backlog_bytes(self):
+                total = sum(p.size for p in self._items)
+                if self._stash is not None:
+                    total += self._stash.size
+                return total
+
+        child = HeadDropChild()
+        q = DrrQdisc(
+            bands=[(child, 1500.0), (DropTailQueue(limit_packets=10), 1500.0)],
+            classify=lambda p: p.dscp,
+        )
+        for i in range(6):
+            q.enqueue(pkt(dscp=0, sport=i))
+        q.enqueue(pkt(dscp=1, sport=99))
+        out = []
+        while True:
+            p = q.dequeue()
+            if p is None:
+                break
+            out.append(p)
+        # 6 in band 0, every 2nd dropped at dequeue; band 1 intact.
+        assert len(out) == 4
+        assert child.drops == 3
+        assert q.total_drops == 3
+        assert len(q) == 0 and q.backlog_bytes == 0
+
 
 class TestAqmPolicy:
     def test_mode_validation(self):
@@ -307,7 +445,9 @@ class TestAqmPolicy:
             AqmPolicy(marker="1tcm")
         with pytest.raises(ValueError):
             AqmPolicy(af_share=1.5)
-        assert set(AQM_MODES) == {"droptail", "wred", "wred+ecn"}
+        assert set(AQM_MODES) == {
+            "droptail", "wred", "wred+ecn", "codel", "pie", "dualpi2",
+        }
 
     def test_droptail_is_inactive(self):
         p = AqmPolicy()

@@ -1,0 +1,196 @@
+"""CoDel (RFC 8289): the sojourn state machine, the
+``interval/sqrt(count)`` drop cadence, ECN marking, and the peek
+stash contract."""
+
+import math
+
+import pytest
+
+from repro.aqm import CoDelQdisc
+from repro.kernel import Simulator
+from repro.net import ECN_CE, ECN_ECT0, ECN_NOT_ECT, Packet
+
+
+def pkt(size=1000, ecn=ECN_NOT_ECT, sport=1):
+    return Packet(1, 2, sport, 2, 17, size, None, 0, 64, 0.0, ecn)
+
+
+def make(sim=None, **kwargs):
+    sim = sim if sim is not None else Simulator(seed=0)
+    return sim, CoDelQdisc(sim, **kwargs)
+
+
+class TestValidation:
+    def test_rejects_bad_params(self):
+        sim = Simulator(seed=0)
+        with pytest.raises(ValueError):
+            CoDelQdisc(sim, target=0.0)
+        with pytest.raises(ValueError):
+            CoDelQdisc(sim, interval=-1.0)
+        with pytest.raises(ValueError):
+            CoDelQdisc(sim, limit_packets=0)
+
+
+class TestStateMachine:
+    def test_below_target_never_drops(self):
+        sim, q = make()
+        for _ in range(20):
+            q.enqueue(pkt())
+        # Sojourn is zero (no time passed): everything comes back out.
+        out = 0
+        while q.dequeue() is not None:
+            out += 1
+        assert out == 20
+        assert q.drops == 0
+
+    def test_one_interval_of_grace_before_dropping(self):
+        sim, q = make()
+        for _ in range(50):
+            q.enqueue(pkt())
+        # Sojourn far above target, but the first above-target dequeue
+        # only opens the observation window.
+        sim.run(until=0.05)
+        assert q.dequeue() is not None
+        assert not q._dropping
+        # Still inside the window: delivered, not dropped.
+        sim.run(until=0.10)
+        assert q.dequeue() is not None
+        assert q.early_drops == 0
+        # Past first_above_time (0.05 + interval): dropping starts.
+        sim.run(until=0.16)
+        delivered = q.dequeue()
+        assert delivered is not None
+        assert q._dropping
+        assert q.early_drops == 1
+
+    def test_sub_mtu_backlog_is_not_a_standing_queue(self):
+        sim, q = make()
+        q.enqueue(pkt())
+        q.enqueue(pkt())
+        sim.run(until=1.0)  # ancient packets, huge sojourn
+        # Popping the head leaves <= one MTU behind: CoDel must let
+        # the queue drain rather than drop its way to empty.
+        assert q.dequeue() is not None
+        assert q.dequeue() is not None
+        assert q.drops == 0
+
+    def test_fresh_traffic_unwinds_dropping_state(self):
+        sim, q = make()
+        for _ in range(200):
+            q.enqueue(pkt())
+        # Dropping needs the sojourn to stay above target for a full
+        # interval of dequeues — drain slowly across real time.
+        t = 0.0
+        while t < 0.3:
+            t = round(t + 0.002, 6)
+            sim.run(until=t)
+            q.dequeue()
+        assert q._dropping  # entered under the standing queue
+        while q.dequeue() is not None:
+            pass
+        # New packets with sub-target sojourn exit the state.
+        for _ in range(3):
+            q.enqueue(pkt())
+        assert q.dequeue() is not None
+        assert not q._dropping
+
+    def test_tail_drop_at_limit(self):
+        sim, q = make(limit_packets=4)
+        for _ in range(4):
+            assert q.enqueue(pkt())
+        assert not q.enqueue(pkt())
+        assert q.tail_drops == 1 and q.drops == 1
+
+
+class TestDropCadence:
+    def test_cadence_follows_inverse_sqrt_count(self):
+        """Published-value spot check: while dropping persists, the
+        k-th gap between early drops tracks ``interval/sqrt(k+1)``."""
+        sim, q = make(target=0.005, interval=0.1)
+        for _ in range(400):
+            q.enqueue(pkt())
+        drop_times = []
+        q.on_drop = lambda p: drop_times.append(sim.now)
+        # Service the queue on a 1 ms poll; every head is ancient, so
+        # the state machine governs the drop times exactly.
+        t = 0.0
+        while t < 0.6:
+            t = round(t + 0.001, 6)
+            sim.run(until=t)
+            q.dequeue()
+        assert len(drop_times) >= 5
+        # First drop: one interval after the sojourn first crossed
+        # target (at t = target on this poll cadence).
+        assert drop_times[0] == pytest.approx(0.105, abs=0.003)
+        # After the k-th drop the counter is k, so the next drop is
+        # scheduled interval/sqrt(k) later.
+        gaps = [b - a for a, b in zip(drop_times, drop_times[1:])]
+        for k, gap in enumerate(gaps[:4]):
+            expected = 0.1 / math.sqrt(k + 1)
+            assert gap == pytest.approx(expected, abs=0.002)
+
+    def test_control_law_arithmetic(self):
+        sim, q = make(interval=0.1)
+        assert q._control_law(1.0, 1) == pytest.approx(1.1)
+        assert q._control_law(1.0, 4) == pytest.approx(1.05)
+        assert q._control_law(2.0, 16) == pytest.approx(2.025)
+
+
+class TestEcn:
+    def _drain_slowly(self, sim, q, until=0.4, dt=0.002):
+        out = []
+        t = sim.now
+        while t < until:
+            t = round(t + dt, 6)
+            sim.run(until=t)
+            p = q.dequeue()
+            if p is not None:
+                out.append(p)
+        return out
+
+    def test_marks_and_delivers_instead_of_dropping(self):
+        sim, q = make(ecn=True)
+        packets = [pkt(ecn=ECN_ECT0) for _ in range(200)]
+        for p in packets:
+            q.enqueue(p)
+        out = self._drain_slowly(sim, q)
+        assert len(out) == 200  # nothing lost: actions became marks
+        assert q.early_drops == 0
+        assert q.ecn_marks > 0
+        assert sum(1 for p in out if p.ecn == ECN_CE) == q.ecn_marks
+
+    def test_not_ect_is_dropped_even_with_ecn_on(self):
+        sim, q = make(ecn=True)
+        for _ in range(200):
+            q.enqueue(pkt(ecn=ECN_NOT_ECT))
+        self._drain_slowly(sim, q)
+        assert q.ecn_marks == 0
+        assert q.early_drops > 0
+
+
+class TestPeekContract:
+    def test_peek_is_stable_and_counted(self):
+        sim, q = make()
+        p1, p2 = pkt(sport=1), pkt(sport=2)
+        q.enqueue(p1)
+        q.enqueue(p2)
+        head = q.peek()
+        assert head is p1
+        assert q.peek() is p1  # stable
+        assert len(q) == 2  # stash still counted
+        assert q.backlog_bytes == 2000
+        assert q.dequeue() is p1
+        assert q.dequeue() is p2
+
+    def test_peek_runs_the_drop_machinery(self):
+        sim, q = make()
+        for _ in range(50):
+            q.enqueue(pkt())
+        sim.run(until=0.05)
+        q.dequeue()  # opens the observation window
+        sim.run(until=0.16)
+        head = q.peek()
+        # The peek committed a drop: the head it stashed is the
+        # survivor, and the following dequeue returns exactly it.
+        assert q.early_drops == 1
+        assert q.dequeue() is head

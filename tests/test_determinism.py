@@ -15,6 +15,7 @@ from repro.experiments import (
     fig6_visualization,
     table1_aqm,
     table1_burstiness,
+    table1_l4s,
 )
 from repro.kernel import Simulator
 from repro.kernel.simulator import _COMPACT_MIN_DEAD
@@ -217,8 +218,53 @@ class TestPartitionedMerge:
         keys = [k for k, _ in table1_aqm.plan_cells(quick=True)]
         # 2 bandwidths x 3 configs x 3 modes
         assert len(keys) == len(set(keys)) == 18
+
+    def test_table1_l4s_cell_results_assembly(self):
+        fields = ("reservation_kbps", "throughput_kbps", "resent_segments",
+                  "timeouts", "early_drops", "tail_drops", "ecn_marks",
+                  "queue_delay_ms", "ce_received", "ecn_responses")
+        cells = {
+            key: {f: float(100 * i + j) for j, f in enumerate(fields)}
+            for i, (key, _) in enumerate(table1_l4s.plan_cells(quick=True))
+        }
+        result = table1_l4s.run(quick=True, cell_results=cells)
+        row_fields = ("reservation_kbps", "throughput_kbps",
+                      "resent_segments", "timeouts", "early_drops",
+                      "tail_drops", "ecn_marks", "queue_delay_ms")
+        for row in result.rows:
+            bandwidth, label, mode = row[0], row[1], row[2]
+            cell = cells[(bandwidth, label, mode)]
+            assert row[3:] == [cell[f] for f in row_fields]
+        for mode in table1_l4s.MODES:
+            mode_cells = [c for (_, _, m), c in cells.items() if m == mode]
+            key = mode.replace("+", "_")
+            assert result.extra[f"{key}_resent_segments"] == sum(
+                c["resent_segments"] for c in mode_cells
+            )
+            assert result.extra[f"{key}_mean_queue_delay_ms"] == pytest.approx(
+                sum(c["queue_delay_ms"] for c in mode_cells) / len(mode_cells)
+            )
+
+    def test_table1_l4s_cell_results_match_serial(self):
+        """Serially measured cells fed back through run(cell_results=...)
+        reproduce the serial run exactly — the parallel runner's merge
+        contract, on a reduced grid."""
+        grid = dict(bandwidths_kbps=[1600.0], duration=2.0)
+        serial = table1_l4s.run(seed=0, **grid)
+        cells = {
+            key: table1_l4s.measure_cell(seed=0, **kwargs)
+            for key, kwargs in table1_l4s.plan_cells(**grid)
+        }
+        merged = table1_l4s.run(seed=0, cell_results=cells, **grid)
+        assert merged.rows == serial.rows
+        assert merged.extra == serial.extra
+
+    def test_table1_l4s_plan_covers_quick_grid(self):
+        keys = [k for k, _ in table1_l4s.plan_cells(quick=True)]
+        # 2 bandwidths x 3 configs x 4 modes
+        assert len(keys) == len(set(keys)) == 24
         modes = {mode for _, _, mode in keys}
-        assert modes == {"droptail", "wred", "wred+ecn"}
+        assert modes == set(table1_l4s.MODES)
 
 
 # ---------------------------------------------------------------------------

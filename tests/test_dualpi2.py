@@ -1,0 +1,192 @@
+"""DualPI2 (RFC 9332): ECT(1) classification, the squared coupling
+between the classic and L4S signals, step marking, the time-shifted
+FIFO, and classic drop-on-dequeue."""
+
+import pytest
+
+from repro.aqm import DualPi2Qdisc
+from repro.kernel import Simulator
+from repro.net import ECN_CE, ECN_ECT0, ECN_ECT1, ECN_NOT_ECT, Packet
+
+
+def pkt(size=1000, ecn=ECN_NOT_ECT, sport=1):
+    return Packet(1, 2, sport, 2, 17, size, None, 0, 64, 0.0, ecn)
+
+
+def make(sim=None, **kwargs):
+    sim = sim if sim is not None else Simulator(seed=0)
+    return sim, DualPi2Qdisc(sim, **kwargs)
+
+
+class TestValidation:
+    def test_rejects_bad_params(self):
+        sim = Simulator(seed=0)
+        with pytest.raises(ValueError):
+            DualPi2Qdisc(sim, target=0.0)
+        with pytest.raises(ValueError):
+            DualPi2Qdisc(sim, k=0.0)
+        with pytest.raises(ValueError):
+            DualPi2Qdisc(sim, limit_packets=0)
+
+
+class TestClassification:
+    def test_ect1_and_ce_go_to_l_queue(self):
+        sim, q = make()
+        q.enqueue(pkt(ecn=ECN_ECT1))
+        q.enqueue(pkt(ecn=ECN_CE))
+        q.enqueue(pkt(ecn=ECN_ECT0))
+        q.enqueue(pkt(ecn=ECN_NOT_ECT))
+        assert q.l_packets == 2 and len(q._lq) == 2
+        assert q.c_packets == 2 and len(q._cq) == 2
+
+    def test_shared_tail_limit(self):
+        sim, q = make(limit_packets=4)
+        q.enqueue(pkt(ecn=ECN_ECT1))
+        q.enqueue(pkt(ecn=ECN_ECT1))
+        q.enqueue(pkt(ecn=ECN_ECT0))
+        q.enqueue(pkt(ecn=ECN_ECT0))
+        assert not q.enqueue(pkt(ecn=ECN_ECT1))
+        assert q.tail_drops == 1
+
+
+class TestStepMarking:
+    def test_l_sojourn_above_threshold_marks(self):
+        sim, q = make(step_threshold=0.001)
+        p = pkt(ecn=ECN_ECT1)
+        q.enqueue(p)
+        sim.run(until=0.002)
+        out = q.dequeue()
+        assert out is p and out.ecn == ECN_CE
+        assert q.step_marks == 1 and q.ecn_marks == 1
+
+    def test_fresh_l_packet_unmarked_at_zero_prob(self):
+        sim, q = make()
+        p = pkt(ecn=ECN_ECT1)
+        q.enqueue(p)
+        out = q.dequeue()  # zero sojourn, p_base = 0
+        assert out is p and out.ecn == ECN_ECT1
+        assert q.ecn_marks == 0
+
+
+class TestCoupling:
+    def _rate(self, outcomes):
+        return sum(outcomes) / len(outcomes)
+
+    def test_l_mark_rate_is_k_times_base(self):
+        sim, q = make(k=2.0)
+        q.p_base = 0.3  # white-box: pin the controller output
+        marks = []
+        for _ in range(2000):
+            p = pkt(ecn=ECN_ECT1)
+            q.enqueue(p)
+            q.dequeue()
+            marks.append(1 if p.ecn == ECN_CE else 0)
+            q.p_base = 0.3  # undo any controller motion
+        # p_CL = min(k * p', 1) = 0.6
+        assert self._rate(marks) == pytest.approx(0.6, abs=0.05)
+
+    def test_classic_drop_rate_is_base_squared(self):
+        sim, q = make()
+        q.p_base = 0.3
+        dropped = []
+        for _ in range(2000):
+            q.enqueue(pkt(ecn=ECN_NOT_ECT))
+            dropped.append(1 if q.dequeue() is None else 0)
+            q.p_base = 0.3
+        # p_C = p'^2 = 0.09 — an order sparser than the L signal.
+        assert self._rate(dropped) == pytest.approx(0.09, abs=0.03)
+        assert q.early_drops == sum(dropped)
+
+    def test_saturated_coupling_marks_every_l_packet(self):
+        sim, q = make(k=2.0)
+        q.p_base = 0.6  # k * p' >= 1
+        for _ in range(50):
+            p = pkt(ecn=ECN_ECT1)
+            q.enqueue(p)
+            q.dequeue()
+            assert p.ecn == ECN_CE
+            q.p_base = 0.6
+
+    def test_classic_ecn_marks_ect0_instead_of_dropping(self):
+        sim, q = make(classic_ecn=True)
+        q.p_base = 1.0  # p_C = 1: every classic packet acted on
+        p = pkt(ecn=ECN_ECT0)
+        q.enqueue(p)
+        assert q.dequeue() is p
+        assert p.ecn == ECN_CE
+        assert q.early_drops == 0
+
+
+class TestServiceOrder:
+    def test_l_head_wins_within_the_shift(self):
+        sim, q = make(l_shift=0.001)
+        c = pkt(ecn=ECN_NOT_ECT)
+        q.enqueue(c)
+        sim.run(until=0.0005)
+        l = pkt(ecn=ECN_ECT1)
+        q.enqueue(l)  # arrived later, but within l_shift of c
+        assert q.dequeue() is l
+        assert q.dequeue() is c
+
+    def test_c_head_wins_beyond_the_shift(self):
+        sim, q = make(l_shift=0.001)
+        c = pkt(ecn=ECN_NOT_ECT)
+        q.enqueue(c)
+        sim.run(until=0.005)
+        l = pkt(ecn=ECN_ECT1)
+        q.enqueue(l)  # c has been waiting longer than the shift
+        assert q.dequeue() is c
+        assert q.dequeue() is l
+
+
+class TestDropOnDequeue:
+    def test_drop_recycles_to_the_next_packet(self):
+        sim, q = make()
+        q.p_base = 1.0  # every classic head is dropped
+        for i in range(5):
+            q.enqueue(pkt(ecn=ECN_NOT_ECT, sport=i))
+        # The classic heads age beyond l_shift so the time-shifted
+        # FIFO actually serves (and drops) them before the L packet.
+        sim.run(until=0.005)
+        survivor = pkt(ecn=ECN_ECT1, sport=99)
+        q.enqueue(survivor)
+        # The whole classic backlog is consumed by the drop loop; the
+        # L packet is what actually comes out.
+        assert q.dequeue() is survivor
+        assert q.early_drops == 5
+        assert len(q) == 0 and q.backlog_bytes == 0
+
+    def test_peek_stash_counted(self):
+        sim, q = make()
+        p1 = pkt(ecn=ECN_ECT1, sport=1)
+        p2 = pkt(ecn=ECN_ECT1, sport=2)
+        q.enqueue(p1)
+        q.enqueue(p2)
+        assert q.peek() is p1
+        assert q.peek() is p1
+        assert len(q) == 2
+        assert q.backlog_bytes == 2000
+        assert q.dequeue() is p1
+        assert q.dequeue() is p2
+
+
+class TestController:
+    def test_standing_classic_queue_raises_p_base(self):
+        sim, q = make()
+        for _ in range(100):
+            q.enqueue(pkt(ecn=ECN_NOT_ECT))
+        t = 0.0
+        while t < 0.5:
+            t = round(t + 0.016, 6)
+            sim.run(until=t)
+            q._catch_up(sim.now)
+        assert q.p_base > 0.0
+
+    def test_long_idle_snaps_to_zero(self):
+        sim, q = make()
+        q.p_base = 0.5
+        q._qdelay_old = 0.5
+        sim.run(until=3600.0)
+        q.enqueue(pkt(ecn=ECN_ECT1))
+        assert q.p_base == 0.0
+        assert q._t_next > 3600.0

@@ -1,0 +1,199 @@
+"""PIE (RFC 8033): the PI probability controller, burst allowance,
+work-conservation safeguards, ECN marking, and the lazy catch-up."""
+
+import pytest
+
+from repro.aqm import PieQdisc
+from repro.kernel import Simulator
+from repro.net import ECN_CE, ECN_ECT0, ECN_NOT_ECT, Packet
+
+
+def pkt(size=1000, ecn=ECN_NOT_ECT, sport=1):
+    return Packet(1, 2, sport, 2, 17, size, None, 0, 64, 0.0, ecn)
+
+
+def make(sim=None, **kwargs):
+    sim = sim if sim is not None else Simulator(seed=0)
+    return sim, PieQdisc(sim, **kwargs)
+
+
+def spin(sim, q, until, dt=0.005):
+    """Advance the clock in small steps, touching the qdisc each step
+    so the controller replays its epochs against a live backlog."""
+    t = sim.now
+    while t < until:
+        t = round(t + dt, 6)
+        sim.run(until=t)
+        q.peek()
+        q._catch_up(sim.now)
+
+
+class TestValidation:
+    def test_rejects_bad_params(self):
+        sim = Simulator(seed=0)
+        with pytest.raises(ValueError):
+            PieQdisc(sim, target=0.0)
+        with pytest.raises(ValueError):
+            PieQdisc(sim, t_update=-1.0)
+        with pytest.raises(ValueError):
+            PieQdisc(sim, limit_packets=0)
+        with pytest.raises(ValueError):
+            PieQdisc(sim, ecn_threshold=0.0)
+
+
+class TestController:
+    def test_standing_queue_raises_drop_prob(self):
+        sim, q = make()
+        for _ in range(100):
+            q.enqueue(pkt())
+        spin(sim, q, 0.5)
+        assert q.drop_prob > 0.0
+
+    def test_empty_queue_decays_drop_prob(self):
+        sim, q = make()
+        for _ in range(100):
+            q.enqueue(pkt())
+        spin(sim, q, 0.5)
+        while q.dequeue() is not None:
+            pass
+        high = q.drop_prob
+        assert high > 0.0
+        # A handful of empty epochs: the 0.98 decay (plus the negative
+        # PI term) must pull the probability down, not hold it.
+        spin(sim, q, 1.0)
+        assert q.drop_prob < high
+
+    def test_long_idle_snaps_probability_to_zero(self):
+        sim, q = make(t_update=0.015)
+        for _ in range(100):
+            q.enqueue(pkt())
+        spin(sim, q, 0.5)
+        while q.dequeue() is not None:
+            pass
+        assert q.drop_prob > 0.0
+        # Far more than _MAX_CATCHUP epochs elapse in one jump: the
+        # lazy replay must snap forward with p = 0, not spin.
+        sim.run(until=sim.now + 3600.0)
+        q.enqueue(pkt())
+        assert q.drop_prob == 0.0
+        assert q._t_next > 3600.0
+
+    def test_overload_produces_early_drops(self):
+        sim, q = make()
+        drops = 0
+        t = 0.0
+        # Feed faster than we drain: ~4 arrivals and 1 departure per
+        # 5 ms against a 15 ms target.
+        for step in range(400):
+            t = round(t + 0.005, 6)
+            sim.run(until=t)
+            for _ in range(4):
+                q.enqueue(pkt())
+            q.dequeue()
+        assert q.early_drops > 0
+        assert q.drops == q.early_drops + q.tail_drops
+
+
+class TestBurstAllowance:
+    def test_initial_burst_is_admitted(self):
+        sim, q = make(max_burst=0.15)
+        # Even a huge instantaneous burst passes while the allowance
+        # holds — PIE only counts down during update epochs.
+        results = [q.enqueue(pkt()) for _ in range(500)]
+        assert all(results)
+        assert q.early_drops == 0
+
+    def test_allowance_rearms_after_idle_recovery(self):
+        sim, q = make()
+        for _ in range(100):
+            q.enqueue(pkt())
+        spin(sim, q, 0.5)
+        while q.dequeue() is not None:
+            pass
+        assert q._burst_allowance == 0.0
+        # Long quiet period: p decays to 0 and the delay estimate is
+        # clean, so the next arrival re-arms the burst allowance.
+        sim.run(until=sim.now + 3600.0)
+        q.enqueue(pkt())
+        assert q._burst_allowance == q.max_burst
+
+
+class TestSafeguards:
+    def _armed(self, q):
+        """White-box: force the controller into a dropping posture."""
+        q._burst_allowance = 0.0
+        q.drop_prob = 1.0
+        q._qdelay_old = 1.0
+
+    def test_tiny_backlog_never_drops(self):
+        sim, q = make(mean_pkt_size=1000)
+        self._armed(q)
+        # Backlog at/below 2 * mean_pkt_size: always admitted.
+        assert q.enqueue(pkt(size=1000))
+        assert q.enqueue(pkt(size=1000))
+        assert q.early_drops == 0
+
+    def test_low_delay_low_prob_never_drops(self):
+        sim, q = make()
+        q._burst_allowance = 0.0
+        q.drop_prob = 0.19  # under the 0.2 ceiling
+        q._qdelay_old = 0.0  # under target/2
+        for _ in range(50):
+            assert q.enqueue(pkt())
+        assert q.early_drops == 0
+
+    def test_armed_controller_does_drop(self):
+        sim, q = make()
+        self._armed(q)
+        for _ in range(10):
+            q.enqueue(pkt())  # builds the backlog past the floor
+        dropped = sum(0 if q.enqueue(pkt()) else 1 for _ in range(20))
+        assert dropped == 20  # p = 1: every arrival past the floor
+
+
+class TestEcn:
+    def test_marks_below_threshold(self):
+        sim, q = make(ecn=True, ecn_threshold=0.1)
+        q._burst_allowance = 0.0
+        q.drop_prob = 0.05
+        q._qdelay_old = 1.0
+        for _ in range(10):
+            q.enqueue(pkt(ecn=ECN_ECT0))
+        baseline = q.ecn_marks  # warm-up arrivals may get marked too
+        marked = 0
+        for _ in range(200):
+            p = pkt(ecn=ECN_ECT0)
+            assert q.enqueue(p)  # never dropped: marked instead
+            if p.ecn == ECN_CE:
+                marked += 1
+        assert marked == q.ecn_marks - baseline
+        assert marked > 0
+        assert q.early_drops == 0
+
+    def test_drops_above_threshold_even_ect(self):
+        sim, q = make(ecn=True, ecn_threshold=0.1)
+        q._burst_allowance = 0.0
+        q.drop_prob = 0.5
+        q._qdelay_old = 1.0
+        for _ in range(10):
+            q.enqueue(pkt(ecn=ECN_ECT0))
+        results = [q.enqueue(pkt(ecn=ECN_ECT0)) for _ in range(100)]
+        assert not all(results)
+        assert q.early_drops > 0
+        assert q.ecn_marks == 0
+
+
+class TestDeterminism:
+    def test_same_seed_same_pattern(self):
+        def run(seed):
+            sim = Simulator(seed=seed)
+            q = PieQdisc(sim)
+            q._burst_allowance = 0.0
+            q.drop_prob = 0.3
+            q._qdelay_old = 1.0
+            for _ in range(10):
+                q.enqueue(pkt())
+            return [q.enqueue(pkt()) for _ in range(100)]
+
+        assert run(3) == run(3)
+        assert run(3) != run(4)
