@@ -1,0 +1,73 @@
+"""Closed-loop SLO adaptation: static vs adaptive under surge + faults.
+
+Runs the fig_adaptation experiment (quick variant) once and asserts
+the shape properties the adaptation story promises: the adaptive
+flavor's SLO-compliance fraction strictly exceeds the static flavor's,
+the control loop actually renegotiated (and rode out the broker
+outage with retries rather than cancel-and-reacquire), and the flap
+count respects the documented ``1 + floor(T/cooldown)`` bound.
+
+Throughput regression gating for this workload lives in
+``perf_smoke.py --workload adaptation`` against
+``BENCH_adaptation.json`` (fails on any event-count drift or a >30%
+events/second drop).
+"""
+
+from repro.experiments import fig_adaptation
+from repro.slo.chaos import run_soak
+
+SOAK_SEEDS = (0, 1, 2)
+
+
+def test_adaptive_beats_static_compliance(once):
+    result = once(fig_adaptation.run, quick=True, seed=0)
+    static = result.extra["static_compliance"]
+    adaptive = result.extra["adaptive_compliance"]
+    # The whole point of closing the loop: strictly higher compliance
+    # on the identical surge + broker-fault timeline.
+    assert adaptive > static
+    assert result.extra["adaptive_within_flap_bound"]
+    rows = {row[0]: row for row in result.rows}
+    cols = {name: i for i, name in enumerate(result.headers)}
+    adaptive_row = rows["adaptive"]
+    # The loop must have renegotiated through the outage, not around it.
+    assert adaptive_row[cols["renegotiations"]] >= 1
+    assert adaptive_row[cols["broker_retries"]] >= 1
+    # Static never touches the control plane after setup.
+    static_row = rows["static"]
+    assert static_row[cols["renegotiations"]] == 0
+    assert static_row[cols["flaps"]] == 0
+
+
+def _soak_one(seed: int):
+    """Module-level so --bench-parallel can ship it to pool workers."""
+    return run_soak(seed=seed, cycles=2)
+
+
+def test_adaptation_chaos_soak(once, fanout):
+    """The CI soak's invariants, over 3 seeds: conservation after each
+    restart, empty slot tables at the end, flaps under the bound, and
+    the full ladder (degrade to best-effort, restore to premium)."""
+
+    def soak():
+        return fanout(_soak_one, SOAK_SEEDS)
+
+    runs = once(soak)
+    for seed, stats in zip(SOAK_SEEDS, runs):
+        # run_soak raises SoakFailure on any violated invariant; here
+        # just confirm the ladder really cycled on every seed.
+        assert stats["degradations"] >= 1, f"seed {seed}: ladder idle"
+        assert stats["restores"] >= 1, f"seed {seed}: never climbed back"
+        assert stats["final_rung"] == "premium", f"seed {seed} stuck"
+        assert stats["flaps"] <= stats["flap_bound"], f"seed {seed} flapped"
+
+
+def test_same_seed_identical_adaptation(once):
+    def experiment():
+        return (
+            fig_adaptation.measure_cell("adaptive", seed=0, duration=20.0),
+            fig_adaptation.measure_cell("adaptive", seed=0, duration=20.0),
+        )
+
+    first, second = once(experiment)
+    assert first == second

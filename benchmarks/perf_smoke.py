@@ -21,6 +21,10 @@ Workloads (``--workload``):
   the sojourn-stamped datapath, the dequeue-time drop/mark machinery
   behind the peek contract, and CE marks feeding RFC 3168 senders;
   baseline in ``BENCH_aqm_codel.json``.
+* ``adaptation`` — the fig_adaptation adaptive cell: the SLO monitor's
+  windowed quantiles, the K-of-N vote, and the renegotiation state
+  machine riding a broker crash/restart; baseline in
+  ``BENCH_adaptation.json``.
 
 Usage::
 
@@ -107,6 +111,25 @@ def _run_aqm_codel():
         )
 
 
+def _run_adaptation():
+    from repro.experiments import fig_adaptation
+
+    cell = fig_adaptation.measure_cell("adaptive", seed=0, duration=20.0)
+    # The control loop must actually close: a silent config drift that
+    # never trips the K-of-N vote (or never reaches the broker) would
+    # turn this into a plain streaming benchmark.
+    if cell["renegotiations"] <= 0:
+        raise SystemExit(
+            f"adaptation workload performed no renegotiations ({cell!r}); "
+            "the SLO control loop is not being exercised"
+        )
+    if cell["broker_retries"] <= 0:
+        raise SystemExit(
+            f"adaptation workload saw no broker retries ({cell!r}); "
+            "the crash/restart no longer lands mid-renegotiation"
+        )
+
+
 #: name -> (description line for the baseline file, baseline file, fn)
 WORKLOADS = {
     "kernel": (
@@ -123,6 +146,11 @@ WORKLOADS = {
         "table1_l4s cell 1600/1fps codel wall time, best-of-N, gc off",
         REPO / "BENCH_aqm_codel.json",
         _run_aqm_codel,
+    ),
+    "adaptation": (
+        "fig_adaptation adaptive cell 20s wall time, best-of-N, gc off",
+        REPO / "BENCH_adaptation.json",
+        _run_adaptation,
     ),
 }
 

@@ -12,19 +12,27 @@ consult the bandwidth broker for what *is* available and take it (down
 to a floor); watch the reservation's lifecycle callbacks and
 renegotiate when it expires or is preempted. The application reads
 :attr:`granted_bps` to adapt (e.g. drop its frame rate).
+
+The class is a thin shim over
+:class:`repro.slo.AdaptationController`, which generalises the loop
+into full closed-loop SLO supervision (violation detection, upward
+renegotiation, a degradation ladder, bounded-flap restoration). A
+session without a monitor *is* the controller in its legacy mode —
+availability-driven only — with the same constructor surface,
+counters, and listener contract as always.
 """
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from typing import Optional
 
-from ..gara import ReservationError
+from ..slo.controller import AdaptationController
 from .agent import MpiQosAgent
 
 __all__ = ["AdaptiveQosSession"]
 
 
-class AdaptiveQosSession:
+class AdaptiveQosSession(AdaptationController):
     """Keeps the best obtainable premium reservation for one direction."""
 
     def __init__(
@@ -37,118 +45,16 @@ class AdaptiveQosSession:
         renegotiate: bool = True,
         upgrade_interval: Optional[float] = 5.0,
     ) -> None:
-        if desired_bps <= 0:
-            raise ValueError("desired bandwidth must be positive")
-        if not 0 <= minimum_bps <= desired_bps:
-            raise ValueError("need 0 <= minimum <= desired")
-        if upgrade_interval is not None and upgrade_interval <= 0:
-            raise ValueError("upgrade_interval must be positive or None")
-        self.agent = agent
-        self.sim = agent.world.sim
-        self.src_rank = src_rank
-        self.dst_rank = dst_rank
-        self.desired_bps = desired_bps
-        self.minimum_bps = minimum_bps
-        self.renegotiate = renegotiate
-        self.upgrade_interval = upgrade_interval
-        self.reservation = None
-        self.granted_bps = 0.0
-        #: ``fn(session)`` invoked after every (re)negotiation.
-        self.listeners: List[Callable] = []
-        self.negotiations = 0
-        self.upgrades = 0
-        self._closed = False
-        self.negotiate()
-        if upgrade_interval is not None:
-            self.sim.call_in(upgrade_interval, self._upgrade_tick)
-
-    # -- negotiation ---------------------------------------------------------
-
-    def _available_now(self) -> float:
-        src = self.agent.world.procs[self.src_rank].host
-        dst = self.agent.world.procs[self.dst_rank].host
-        broker = self.agent.gara.manager("network").broker
-        horizon = self.sim.now + 1.0
-        return broker.path_available(src, dst, self.sim.now, horizon)
-
-    def negotiate(self) -> float:
-        """(Re)acquire the best available bandwidth; returns it (bps)."""
-        if self._closed:
-            return 0.0
-        self.negotiations += 1
-        for attempt_bps in self._candidates():
-            try:
-                reservation = self.agent.reserve_flows(
-                    self.src_rank, self.dst_rank, attempt_bps
-                )
-            except ReservationError:
-                continue
-            self.reservation = reservation
-            self.granted_bps = attempt_bps
-            reservation.register_callback(self._on_state_change)
-            self._notify()
-            return attempt_bps
-        # Nothing obtainable above the floor: run best effort.
-        self.reservation = None
-        self.granted_bps = 0.0
-        self._notify()
-        return 0.0
-
-    def _candidates(self):
-        yield self.desired_bps
-        available = self._available_now()
-        # Leave a sliver so concurrent requesters are not starved by
-        # exact-fit rounding.
-        fallback = min(self.desired_bps, available * 0.99)
-        if fallback >= max(self.minimum_bps, 1.0) and fallback < self.desired_bps:
-            yield fallback
-
-    def _on_state_change(self, reservation, old, new) -> None:
-        if new in ("EXPIRED", "CANCELLED") and reservation is self.reservation:
-            self.reservation = None
-            self.granted_bps = 0.0
-            if self.renegotiate and not self._closed:
-                self.negotiate()
-            else:
-                self._notify()
-
-    def _notify(self) -> None:
-        for listener in list(self.listeners):
-            listener(self)
-
-    # -- background upgrades ----------------------------------------------
-
-    def _upgrade_tick(self) -> None:
-        """Periodically try to claw back toward the desired bandwidth
-        (capacity may have been freed by other reservations expiring)."""
-        if self._closed:
-            return
-        if self.granted_bps < self.desired_bps:
-            if self.reservation is None:
-                self.negotiate()
-            else:
-                try:
-                    # Transactional: the network manager re-admits at
-                    # the new bandwidth and rolls back on failure.
-                    self.agent.gara.modify(
-                        self.reservation, bandwidth=self.desired_bps
-                    )
-                    self.granted_bps = self.desired_bps
-                    self.upgrades += 1
-                    self._notify()
-                except ReservationError:
-                    pass
-        self.sim.call_in(self.upgrade_interval, self._upgrade_tick)
-
-    # -- teardown ----------------------------------------------------------
-
-    def close(self) -> None:
-        """Cancel the held reservation and stop renegotiating."""
-        self._closed = True
-        if self.reservation is not None:
-            reservation, self.reservation = self.reservation, None
-            reservation.cancel()
-        self.granted_bps = 0.0
+        super().__init__(
+            agent,
+            src_rank,
+            dst_rank,
+            desired_bps,
+            minimum_bps=minimum_bps,
+            renegotiate=renegotiate,
+            upgrade_interval=upgrade_interval,
+            monitor=None,
+        )
 
     def __repr__(self) -> str:
         return (

@@ -90,6 +90,11 @@ class QosAttribute:
     #: while a lease is degraded the flows run best-effort and
     #: ``granted`` is False, flipping back once re-admission succeeds.
     leases: List[Any] = field(default_factory=list)
+    #: Optional service-level objective (a :class:`repro.slo.SloSpec`)
+    #: stating what the application *needs* from this QoS, as opposed
+    #: to what it reserved. Typed loosely to keep ``repro.core`` free
+    #: of a dependency on ``repro.slo`` (which builds on top of it).
+    slo: Optional[Any] = None
 
     @property
     def bandwidth_bps(self) -> float:

@@ -48,11 +48,14 @@ def build_deployment(
     bucket_divisor: Optional[float] = None,
     start_contention: bool = True,
     aqm=None,
+    resilient: bool = False,
 ) -> GarnetDeployment:
     """GARNET + MPICH-GQ (ranks 0/1 on the premium hosts) + optional
     UDP contention between the competitive hosts. ``aqm`` optionally
     switches the domain from the paper's drop-tail configuration to a
-    WRED / WRED+ECN one (see :class:`repro.aqm.AqmPolicy`)."""
+    WRED / WRED+ECN one (see :class:`repro.aqm.AqmPolicy`);
+    ``resilient`` attaches the broker's write-ahead journal so
+    crash/restart experiments recover state instead of losing it."""
     sim = Simulator(seed=seed)
     testbed = garnet(
         sim,
@@ -67,6 +70,7 @@ def build_deployment(
         tcp_config=tcp_config,
         bucket_divisor=bucket_divisor,
         aqm=aqm,
+        resilient=resilient,
     )
     contention = None
     if contention_rate:

@@ -27,7 +27,13 @@ import time
 from pathlib import Path
 from typing import Any, Dict, List, NamedTuple, Optional, Tuple
 
-from . import fig6_visualization, table1_aqm, table1_burstiness, table1_l4s
+from . import (
+    fig6_visualization,
+    fig_adaptation,
+    table1_aqm,
+    table1_burstiness,
+    table1_l4s,
+)
 
 __all__ = ["run_parallel"]
 
@@ -44,7 +50,10 @@ _WHOLE_WEIGHTS = {
     "table1_l4s": 50.0,
     "fig8": 0.5,
     "fig9": 11.0,
+    "fig_adaptation": 5.0,
 }
+#: One fig_adaptation flavor is a single fixed-duration run.
+_FIG_ADAPTATION_CELL_WEIGHT = 2.5
 _FIG6_POINT_WEIGHT = 2.0
 #: A table1 cell runs ~5-10 bisection probes; probe cost grows with
 #: the cell's target bandwidth, so weight by it (the constant only
@@ -142,6 +151,16 @@ def _table1_l4s_cell_job(kwargs: dict, seed: int):
     return value, time.time() - started
 
 
+def _fig_adaptation_cell_job(kwargs: dict, seed: int):
+    started = time.time()
+    gc.disable()
+    try:
+        value = fig_adaptation.measure_cell(seed=seed, **kwargs)
+    finally:
+        gc.enable()
+    return value, time.time() - started
+
+
 # ---------------------------------------------------------------------------
 # Planning, execution, merging
 # ---------------------------------------------------------------------------
@@ -197,6 +216,16 @@ def _plan(
                         ("table1_l4s", key),
                         bandwidth * _TABLE1_AQM_CELL_WEIGHT_PER_KBPS,
                         _table1_l4s_cell_job,
+                        (kwargs, seed),
+                    )
+                )
+        elif partition and name == "fig_adaptation":
+            for key, kwargs in fig_adaptation.plan_cells(quick=quick):
+                jobs.append(
+                    _Job(
+                        ("fig_adaptation", key),
+                        _FIG_ADAPTATION_CELL_WEIGHT,
+                        _fig_adaptation_cell_job,
                         (kwargs, seed),
                     )
                 )
@@ -274,6 +303,14 @@ def run_parallel(
             values = {k: raw[("table1_l4s", k)][0] for k in keys}
             elapsed = sum(raw[("table1_l4s", k)][1] for k in keys)
             result = table1_l4s.run(
+                quick=quick, seed=seed, cell_results=values
+            )
+            results.append((name, result, elapsed, None))
+        elif partition and name == "fig_adaptation":
+            keys = [k for k, _ in fig_adaptation.plan_cells(quick=quick)]
+            values = {k: raw[("fig_adaptation", k)][0] for k in keys}
+            elapsed = sum(raw[("fig_adaptation", k)][1] for k in keys)
+            result = fig_adaptation.run(
                 quick=quick, seed=seed, cell_results=values
             )
             results.append((name, result, elapsed, None))

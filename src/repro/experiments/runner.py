@@ -6,7 +6,7 @@ Usage::
                         [exp ...]
 
 where ``exp`` is any of: fig1 fig5 fig6 fig7 table1 table1_aqm
-table1_l4s fig8 fig9 (default: all, in paper order). ``--quick`` runs the scaled-down variants the
+table1_l4s fig8 fig9 fig_adaptation (default: all, in paper order). ``--quick`` runs the scaled-down variants the
 benchmark suite uses. ``--parallel N`` fans the work out over N worker
 processes (see :mod:`repro.experiments.parallel`); results are
 identical to a serial run except for ``elapsed_seconds``.
@@ -29,6 +29,7 @@ from . import (
     fig7_burstiness_traces,
     fig8_cpu_reservation,
     fig9_combined,
+    fig_adaptation,
     table1_aqm,
     table1_burstiness,
     table1_l4s,
@@ -47,6 +48,7 @@ EXPERIMENTS = {
     "table1_l4s": table1_l4s.run,
     "fig8": fig8_cpu_reservation.run,
     "fig9": fig9_combined.run,
+    "fig_adaptation": fig_adaptation.run,
 }
 
 

@@ -1,0 +1,67 @@
+"""Closed-loop SLO supervision and adaptation.
+
+The paper's §4.2/§5 adaptation story, end to end: state what the
+application needs (:class:`SloSpec`), measure whether it is getting it
+(:class:`SloMonitor`, windowed quantiles with K-of-N voting and
+hysteresis), and act when it is not (:class:`AdaptationController` —
+renegotiate upward through GARA, degrade premium → AF → best-effort on
+repeated denial, restore with cooldown-bounded flap rate).
+
+Quickstart::
+
+    from repro import slo
+
+    spec = slo.SloSpec(p95_latency_s=0.050, goodput_floor_bps=2e6)
+    monitor = slo.SloMonitor(sim, spec, window=1.0,
+                             n_windows=5, k_violations=3)
+    ctl = slo.AdaptationController(
+        gq.agent, 0, 1, desired_bps=4e6, monitor=monitor,
+    )
+    # feed the monitor from the application:
+    #   monitor.record_latency(rtt); monitor.record_delivered(nbytes)
+    ...run...
+    print(monitor.compliance_fraction, ctl.state, ctl.flaps)
+    ctl.close()
+
+Determinism contract: the loop runs entirely on the simulator clock
+and draws jitter only from ``sim.rng``; monitors own their instruments
+directly (nothing routes through the optional telemetry session), so a
+supervised run measures the same with telemetry on or off — and code
+that never constructs these objects is byte-identical to before the
+subsystem existed.
+"""
+
+from .controller import (
+    CLOSED,
+    DEGRADED,
+    MEETING,
+    RENEGOTIATING,
+    RESTORING,
+    RUNG_AF,
+    RUNG_BEST_EFFORT,
+    RUNG_NAMES,
+    RUNG_PREMIUM,
+    VIOLATING,
+    AdaptationController,
+    BrokerClientChannel,
+)
+from .monitor import SloMonitor
+from .spec import SloSpec, WindowStats
+
+__all__ = [
+    "AdaptationController",
+    "BrokerClientChannel",
+    "CLOSED",
+    "DEGRADED",
+    "MEETING",
+    "RENEGOTIATING",
+    "RESTORING",
+    "RUNG_AF",
+    "RUNG_BEST_EFFORT",
+    "RUNG_NAMES",
+    "RUNG_PREMIUM",
+    "SloMonitor",
+    "SloSpec",
+    "VIOLATING",
+    "WindowStats",
+]

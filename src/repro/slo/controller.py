@@ -1,0 +1,551 @@
+"""The closed-loop adaptation controller (§4.2/§5's adaptation story).
+
+"An MPI program can select from among alternative resources, according
+to their availability, and adapt execution strategies or change
+reservations if reservations cannot be satisfied in full or are
+preempted." The :class:`AdaptationController` closes that loop for one
+flow direction:
+
+* an :class:`~repro.slo.SloMonitor` (optional) judges the flow against
+  its :class:`~repro.slo.SloSpec`, window by window, with K-of-N
+  voting and hysteresis;
+* while an episode is open the controller renegotiates the premium
+  reservation *upward* through ``gara.modify`` (make-before-break in
+  the network manager, so a denied boost keeps the old grant);
+* a dead broker is retried with the shared capped-exponential backoff
+  (``repro.faults.backoff_delay``, jittered from ``sim.rng``), and the
+  held reservation is never cancelled-and-reacquired around an outage
+  — journal replay plus claim re-registration guarantee the old grant
+  survives the restart, so re-reserving would double-book;
+* repeated admission denial (or retry exhaustion) walks a degradation
+  ladder premium → AF (low-latency marking, no admission control) →
+  best-effort, one rung per cooldown;
+* a periodic restore tick climbs back up the ladder, also one rung per
+  cooldown, so the flap rate is provably bounded: every rung change
+  after the first requires ``cooldown`` elapsed simulated seconds,
+  hence ``flaps(T) <= 1 + floor(T / cooldown)``.
+
+State machine (terminal state in caps on the right):
+
+    MEETING -> VIOLATING -> RENEGOTIATING -> MEETING
+                   |              |
+                   +-- denials ---+--> DEGRADED <-> RESTORING
+                                            |
+    any state ------------------------------+----> CLOSED
+
+Without a monitor the controller is exactly the legacy
+:class:`~repro.core.AdaptiveQosSession` availability loop (negotiate
+down to what the broker offers, renegotiate on expiry/preemption,
+background-upgrade toward the desired rate), which is why that class
+is now a thin shim over this one.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from ..faults.lease import backoff_delay
+from ..gara import ReservationError
+from ..gara.broker import BrokerUnavailable
+from .monitor import SloMonitor
+
+__all__ = [
+    "AdaptationController",
+    "BrokerClientChannel",
+    "MEETING",
+    "VIOLATING",
+    "RENEGOTIATING",
+    "DEGRADED",
+    "RESTORING",
+    "CLOSED",
+    "RUNG_PREMIUM",
+    "RUNG_AF",
+    "RUNG_BEST_EFFORT",
+    "RUNG_NAMES",
+]
+
+MEETING = "MEETING"  # SLO met (or no monitor attached)
+VIOLATING = "VIOLATING"  # violation episode open, between actions
+RENEGOTIATING = "RENEGOTIATING"  # boost in flight (incl. broker retries)
+DEGRADED = "DEGRADED"  # running below premium (AF or best-effort)
+RESTORING = "RESTORING"  # climbing back up the ladder
+CLOSED = "CLOSED"  # terminal; no transition leaves it
+
+RUNG_PREMIUM = 0
+RUNG_AF = 1
+RUNG_BEST_EFFORT = 2
+RUNG_NAMES = {
+    RUNG_PREMIUM: "premium",
+    RUNG_AF: "low-latency",
+    RUNG_BEST_EFFORT: "best-effort",
+}
+
+
+class AdaptationController:
+    """Keeps one rank-to-rank direction meeting its SLO.
+
+    The first seven parameters are the legacy
+    :class:`~repro.core.AdaptiveQosSession` surface and behave
+    identically when ``monitor`` is None. The rest tune the closed
+    loop; all times are simulated seconds.
+    """
+
+    def __init__(
+        self,
+        agent,
+        src_rank: int,
+        dst_rank: int,
+        desired_bps: float,
+        minimum_bps: float = 0.0,
+        renegotiate: bool = True,
+        upgrade_interval: Optional[float] = 5.0,
+        *,
+        monitor: Optional[SloMonitor] = None,
+        boost_factor: float = 1.5,
+        max_bps: Optional[float] = None,
+        max_renegotiations_per_window: int = 3,
+        renegotiation_window: float = 5.0,
+        denials_before_degrade: int = 2,
+        cooldown: float = 3.0,
+        backoff_base: float = 0.25,
+        backoff_cap: float = 2.0,
+        backoff_jitter: float = 0.1,
+        max_broker_retries: int = 4,
+    ) -> None:
+        if desired_bps <= 0:
+            raise ValueError("desired bandwidth must be positive")
+        if not 0 <= minimum_bps <= desired_bps:
+            raise ValueError("need 0 <= minimum <= desired")
+        if upgrade_interval is not None and upgrade_interval <= 0:
+            raise ValueError("upgrade_interval must be positive or None")
+        if boost_factor <= 1.0:
+            raise ValueError("boost_factor must exceed 1")
+        if max_bps is not None and max_bps < desired_bps:
+            raise ValueError("max_bps must be >= desired_bps")
+        if cooldown <= 0:
+            raise ValueError("cooldown must be positive")
+        if max_renegotiations_per_window < 1 or renegotiation_window <= 0:
+            raise ValueError("renegotiation budget must be positive")
+        if denials_before_degrade < 1:
+            raise ValueError("denials_before_degrade must be >= 1")
+        if max_broker_retries < 0:
+            raise ValueError("max_broker_retries must be >= 0")
+        self.agent = agent
+        self.sim = agent.world.sim
+        self.src_rank = src_rank
+        self.dst_rank = dst_rank
+        self.desired_bps = desired_bps
+        self.minimum_bps = minimum_bps
+        self.renegotiate = renegotiate
+        self.upgrade_interval = upgrade_interval
+        self.monitor = monitor
+        self.boost_factor = boost_factor
+        self.max_bps = 2.0 * desired_bps if max_bps is None else max_bps
+        self.max_renegotiations_per_window = max_renegotiations_per_window
+        self.renegotiation_window = renegotiation_window
+        self.denials_before_degrade = denials_before_degrade
+        self.cooldown = cooldown
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.backoff_jitter = backoff_jitter
+        self.max_broker_retries = max_broker_retries
+
+        self.reservation = None
+        self.granted_bps = 0.0
+        #: ``fn(controller)`` invoked after every (re)negotiation and
+        #: rung change. A raising listener is counted, not propagated.
+        self.listeners: List[Callable] = []
+
+        # Counters (scraped by repro.telemetry's collector).
+        self.negotiations = 0
+        self.upgrades = 0
+        self.renegotiations = 0
+        self.denials = 0
+        self.degradations = 0
+        self.restores = 0
+        self.flaps = 0
+        self.violations = 0
+        self.broker_retries = 0
+        self.listener_errors = 0
+
+        self.state = MEETING
+        self.rung = RUNG_PREMIUM
+        self._closed = False
+        self._af_handle = None
+        self._denial_streak = 0
+        self._rung_violation_streak = 0
+        self._reneg_window_start = self.sim.now
+        self._reneg_in_window = 0
+        self._last_rung_change = float("-inf")
+        self._upgrade_timer = None
+        self._retry_timer = None
+
+        self.negotiate()
+        if upgrade_interval is not None:
+            self._upgrade_timer = self.sim.call_in(
+                upgrade_interval, self._upgrade_tick
+            )
+        if monitor is not None:
+            monitor.on_violation = self._on_violation
+            monitor.on_clear = self._on_clear
+            monitor.start()
+
+    # ------------------------------------------------------------------
+    # Negotiation (the legacy availability loop)
+    # ------------------------------------------------------------------
+
+    def _available_now(self) -> float:
+        src = self.agent.world.procs[self.src_rank].host
+        dst = self.agent.world.procs[self.dst_rank].host
+        broker = self.agent.gara.manager("network").broker
+        horizon = self.sim.now + 1.0
+        return broker.path_available(src, dst, self.sim.now, horizon)
+
+    def negotiate(self) -> float:
+        """(Re)acquire the best available bandwidth; returns it (bps)."""
+        if self._closed:
+            return 0.0
+        self.negotiations += 1
+        for attempt_bps in self._candidates():
+            try:
+                reservation = self.agent.reserve_flows(
+                    self.src_rank, self.dst_rank, attempt_bps
+                )
+            except ReservationError:
+                continue
+            self.reservation = reservation
+            self.granted_bps = attempt_bps
+            reservation.register_callback(self._on_reservation_change)
+            self._notify()
+            return attempt_bps
+        # Nothing obtainable above the floor: run best effort.
+        self.reservation = None
+        self.granted_bps = 0.0
+        self._notify()
+        return 0.0
+
+    def _candidates(self):
+        yield self.desired_bps
+        available = self._available_now()
+        # Leave a sliver so concurrent requesters are not starved by
+        # exact-fit rounding.
+        fallback = min(self.desired_bps, available * 0.99)
+        if fallback >= max(self.minimum_bps, 1.0) and fallback < self.desired_bps:
+            yield fallback
+
+    def _on_reservation_change(self, reservation, old, new) -> None:
+        if new in ("EXPIRED", "CANCELLED") and reservation is self.reservation:
+            self.reservation = None
+            self.granted_bps = 0.0
+            if self.renegotiate and not self._closed:
+                self.negotiate()
+            else:
+                self._notify()
+
+    def _notify(self) -> None:
+        for listener in list(self.listeners):
+            try:
+                listener(self)
+            except Exception:
+                # One broken listener must not abort dispatch for the
+                # rest (or unwind the kernel's event loop).
+                self.listener_errors += 1
+
+    # ------------------------------------------------------------------
+    # SLO violation handling
+    # ------------------------------------------------------------------
+
+    def _on_violation(self, monitor, violations) -> None:
+        if self._closed:
+            return
+        self.violations += 1
+        if self.state == RENEGOTIATING:
+            return  # a boost (or its broker-retry backoff) is in flight
+        if self.rung == RUNG_AF:
+            # AF has no admission control to renegotiate, so after the
+            # same streak threshold there are two ways out: premium may
+            # be obtainable again (capacity freed, broker restarted) —
+            # try that first, it is the only rung that can actually fix
+            # the violation — and only if the climb fails stop
+            # pretending and drop to plain best-effort.
+            self._rung_violation_streak += 1
+            if self._rung_violation_streak >= self.denials_before_degrade:
+                self._try_restore()
+                if self.rung != RUNG_PREMIUM:
+                    self._degrade()
+            return
+        if self.rung == RUNG_BEST_EFFORT:
+            return  # bottom of the ladder; the restore tick climbs
+        self.state = VIOLATING
+        self._attempt_boost()
+
+    def _on_clear(self, monitor) -> None:
+        if self._closed:
+            return
+        self._denial_streak = 0
+        self._rung_violation_streak = 0
+        if self._retry_timer is not None:
+            # The SLO recovered while we were waiting out a broker
+            # outage: the boost is moot.
+            self._retry_timer.cancel()
+            self._retry_timer = None
+        if self.rung == RUNG_PREMIUM:
+            self.state = MEETING
+
+    def _attempt_boost(self, attempt: int = 0) -> None:
+        """One renegotiation toward more premium bandwidth. First
+        attempts consume the per-window budget; broker-outage retries
+        of the same boost do not."""
+        if self._closed or self.rung != RUNG_PREMIUM:
+            return
+        if attempt == 0:
+            now = self.sim.now
+            if now - self._reneg_window_start >= self.renegotiation_window:
+                self._reneg_window_start = now
+                self._reneg_in_window = 0
+            if self._reneg_in_window >= self.max_renegotiations_per_window:
+                return  # budget exhausted; wait for the window to roll
+            self._reneg_in_window += 1
+            self.renegotiations += 1
+        if self.reservation is None:
+            # Initial admission failed outright; retake the legacy path.
+            if self.negotiate() <= 0.0 and attempt == 0:
+                self._note_denial()
+            return
+        target = min(self.max_bps, self.granted_bps * self.boost_factor)
+        if target <= self.granted_bps:
+            return  # at the ceiling; more bandwidth is not the answer
+        self.state = RENEGOTIATING
+        try:
+            # Make-before-break in the network manager: a denial rolls
+            # back to the old grant, so failure costs nothing.
+            self.agent.gara.modify(self.reservation, bandwidth=target)
+        except BrokerUnavailable:
+            self._schedule_broker_retry(attempt)
+            return
+        except ReservationError:
+            self.state = VIOLATING
+            self._note_denial()
+            return
+        self.granted_bps = target
+        self._denial_streak = 0
+        self.state = VIOLATING  # the episode closes via the monitor
+        self._notify()
+
+    def _note_denial(self) -> None:
+        self.denials += 1
+        self._denial_streak += 1
+        if self._denial_streak >= self.denials_before_degrade:
+            self._degrade()
+
+    def _schedule_broker_retry(self, attempt: int) -> None:
+        """The broker never processed the boost — the reservation is
+        intact (journal replay + claim re-registration restore it on
+        restart), so we must retry the *modify*, never cancel and
+        re-reserve: a re-reserve racing the replayed grant would
+        double-book the path."""
+        self.broker_retries += 1
+        if attempt >= self.max_broker_retries:
+            self.state = VIOLATING
+            self._note_denial()
+            return
+        delay = backoff_delay(
+            attempt, self.backoff_base, self.backoff_cap,
+            self.backoff_jitter, self.sim.rng,
+        )
+        self._retry_timer = self.sim.call_in(
+            delay, lambda: self._broker_retry(attempt + 1)
+        )
+
+    def _broker_retry(self, attempt: int) -> None:
+        self._retry_timer = None
+        if self._closed or self.state != RENEGOTIATING:
+            return
+        self._attempt_boost(attempt)
+
+    # ------------------------------------------------------------------
+    # The degradation ladder
+    # ------------------------------------------------------------------
+
+    def _cooldown_passed(self) -> bool:
+        return self.sim.now - self._last_rung_change >= self.cooldown
+
+    def _set_rung(self, rung: int) -> None:
+        self.rung = rung
+        self.flaps += 1
+        self._last_rung_change = self.sim.now
+        self._rung_violation_streak = 0
+
+    def _install_af(self) -> None:
+        if self._af_handle is None:
+            specs = self.agent._flow_specs(self.src_rank, self.dst_rank)
+            self._af_handle = self.agent.domain.install_low_latency_flow(specs)
+
+    def _remove_af(self) -> None:
+        if self._af_handle is not None:
+            handle, self._af_handle = self._af_handle, None
+            self.agent.domain.remove_premium_flow(handle)
+
+    def _degrade(self) -> bool:
+        """One rung down (cooldown-gated). Returns True on a change."""
+        if self.rung >= RUNG_BEST_EFFORT or not self._cooldown_passed():
+            return False
+        if self.rung == RUNG_PREMIUM:
+            if self.reservation is not None:
+                reservation, self.reservation = self.reservation, None
+                self.granted_bps = 0.0
+                reservation.cancel()
+            self._install_af()
+            self._set_rung(RUNG_AF)
+        else:
+            self._remove_af()
+            self._set_rung(RUNG_BEST_EFFORT)
+        self.degradations += 1
+        self._denial_streak = 0
+        self.state = DEGRADED
+        self._notify()
+        return True
+
+    def _try_restore(self) -> None:
+        """One rung up (cooldown-gated), driven by the upgrade tick."""
+        if not self._cooldown_passed():
+            return
+        if self.rung == RUNG_BEST_EFFORT:
+            self.state = RESTORING
+            self._install_af()
+            self._set_rung(RUNG_AF)
+            self.restores += 1
+            self.state = DEGRADED
+            self._notify()
+            return
+        # AF -> premium needs admission back.
+        self.state = RESTORING
+        for attempt_bps in self._candidates():
+            try:
+                reservation = self.agent.reserve_flows(
+                    self.src_rank, self.dst_rank, attempt_bps
+                )
+            except BrokerUnavailable:
+                self.state = DEGRADED
+                return  # outage; the next tick retries
+            except ReservationError:
+                continue
+            self._remove_af()
+            self.reservation = reservation
+            self.granted_bps = attempt_bps
+            reservation.register_callback(self._on_reservation_change)
+            self._set_rung(RUNG_PREMIUM)
+            self.restores += 1
+            self.state = (
+                VIOLATING
+                if self.monitor is not None and self.monitor.violating
+                else MEETING
+            )
+            self._notify()
+            return
+        self.denials += 1
+        self.state = DEGRADED
+
+    # ------------------------------------------------------------------
+    # Background tick: legacy upgrades at premium, restores below it
+    # ------------------------------------------------------------------
+
+    def _upgrade_tick(self) -> None:
+        """Periodically claw back toward the desired service (capacity
+        may have been freed by other reservations expiring)."""
+        if self._closed:
+            return
+        if self.rung != RUNG_PREMIUM:
+            self._try_restore()
+        elif self.granted_bps < self.desired_bps:
+            if self.reservation is None:
+                self.negotiate()
+            else:
+                try:
+                    # Transactional: the network manager re-admits at
+                    # the new bandwidth and rolls back on failure.
+                    self.agent.gara.modify(
+                        self.reservation, bandwidth=self.desired_bps
+                    )
+                    self.granted_bps = self.desired_bps
+                    self.upgrades += 1
+                    self._notify()
+                except ReservationError:
+                    pass
+        self._upgrade_timer = self.sim.call_in(
+            self.upgrade_interval, self._upgrade_tick
+        )
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+
+    @property
+    def rung_name(self) -> str:
+        return RUNG_NAMES[self.rung]
+
+    def flap_bound(self, horizon: float) -> int:
+        """The provable ceiling on rung changes over ``horizon``
+        simulated seconds: the first change is free, every further one
+        needs ``cooldown`` elapsed since the previous."""
+        if horizon < 0:
+            return 0
+        return 1 + int(horizon / self.cooldown)
+
+    # ------------------------------------------------------------------
+    # Teardown
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Cancel the held service and stop every loop. Terminal: no
+        event — violation, clear, timer, callback — transitions a
+        CLOSED controller."""
+        if self._closed:
+            return
+        self._closed = True
+        self.state = CLOSED
+        for timer in (self._upgrade_timer, self._retry_timer):
+            if timer is not None:
+                timer.cancel()
+        self._upgrade_timer = self._retry_timer = None
+        if self.monitor is not None:
+            self.monitor.stop()
+        self._remove_af()
+        if self.reservation is not None:
+            reservation, self.reservation = self.reservation, None
+            reservation.cancel()
+        self.granted_bps = 0.0
+
+    def __repr__(self) -> str:
+        return (
+            f"<{type(self).__name__} {self.src_rank}->{self.dst_rank} "
+            f"{self.state} rung={self.rung_name} "
+            f"granted={self.granted_bps / 1e3:.0f}Kb/s "
+            f"of {self.desired_bps / 1e3:.0f}Kb/s>"
+        )
+
+
+class BrokerClientChannel:
+    """Renegotiation over the wire: adapts the PR 6 asyncio
+    :class:`~repro.broker_service.BrokerClient` to the controller's
+    acquire/boost/release shape, inheriting the client's capped-
+    exponential retries, journaled idempotency keys, and
+    degrade-to-best-effort semantics wholesale."""
+
+    def __init__(self, client) -> None:
+        self.client = client
+
+    async def acquire(
+        self, src: str, dst: str, bandwidth: float, start: float, end: float,
+        **kwargs,
+    ):
+        return await self.client.reserve(
+            src, dst, bandwidth, start, end,
+            key=self.client.new_key(), **kwargs,
+        )
+
+    async def boost(self, reservation, bandwidth: float):
+        return await self.client.modify(reservation, bandwidth=bandwidth)
+
+    async def release(self, reservation) -> int:
+        return await self.client.cancel(reservation)

@@ -1,0 +1,220 @@
+"""Windowed SLO supervision with K-of-N voting and hysteresis.
+
+The monitor samples the flow (latency observations, delivered/sent
+bytes, losses) into a :class:`~repro.telemetry.WindowedHistogram` and
+evaluates the :class:`~repro.slo.SloSpec` once per window against the
+window that just closed. A single bad window does nothing: the monitor
+votes over the last N verdicts and declares a *violation episode* only
+when K of them are bad, then requires ``clear_windows`` consecutive
+clean windows before declaring recovery. Both thresholds together are
+the hysteresis that keeps transient spikes from triggering adaptation
+(and adaptation's own transients from immediately re-triggering it).
+
+The monitor owns its instruments outright — nothing here routes
+through ``sim.telemetry``, so supervised experiments measure the same
+whether the optional telemetry session is installed or not.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, List, Optional
+
+from ..telemetry.windowed import WindowedHistogram
+from .spec import SloSpec, WindowStats
+
+__all__ = ["SloMonitor"]
+
+
+class SloMonitor:
+    """Judges one flow against one SLO, window by window.
+
+    Parameters
+    ----------
+    sim:
+        The simulator whose clock drives evaluation.
+    slo:
+        The :class:`SloSpec` to enforce.
+    window:
+        Evaluation period, seconds; each evaluation judges the window
+        that just ended.
+    n_windows, k_violations:
+        Vote over the last N window verdicts; >= K bad verdicts opens
+        a violation episode.
+    clear_windows:
+        Consecutive clean windows required to close an episode.
+    on_violation:
+        ``fn(monitor, violations)`` invoked at every evaluation while
+        an episode is open (``violations`` is the current window's
+        violated-dimension list, possibly empty inside an episode).
+    on_clear:
+        ``fn(monitor)`` invoked once when an episode closes.
+    """
+
+    def __init__(
+        self,
+        sim,
+        slo: SloSpec,
+        *,
+        window: float = 1.0,
+        n_windows: int = 5,
+        k_violations: int = 3,
+        clear_windows: int = 3,
+        on_violation: Optional[Callable] = None,
+        on_clear: Optional[Callable] = None,
+    ) -> None:
+        if window <= 0:
+            raise ValueError("window must be positive")
+        if not 1 <= k_violations <= n_windows:
+            raise ValueError("need 1 <= k_violations <= n_windows")
+        if clear_windows < 1:
+            raise ValueError("clear_windows must be >= 1")
+        self.sim = sim
+        self.slo = slo
+        self.window = float(window)
+        self.n_windows = n_windows
+        self.k_violations = k_violations
+        self.clear_windows = clear_windows
+        self.on_violation = on_violation
+        self.on_clear = on_clear
+
+        self.latency = WindowedHistogram(
+            f"slo.{slo.name}.latency",
+            bucket_s=self.window,
+            n_buckets=max(2 * n_windows, 8),
+        )
+        self._delivered_bytes = 0.0
+        self._sent_frames = 0
+        self._lost_frames = 0
+        # Totals at the close of the previous window, to difference.
+        self._delivered_mark = 0.0
+        self._sent_mark = 0
+        self._lost_mark = 0
+
+        self._verdicts: deque = deque(maxlen=n_windows)
+        self._clean_streak = 0
+        #: True while a violation episode is open.
+        self.violating = False
+        #: The current window's violated dimensions (diagnostics).
+        self.last_violations: List[str] = []
+        self.last_stats: Optional[WindowStats] = None
+
+        # Compliance accounting (the fig_adaptation outputs).
+        self.evaluations = 0
+        self.violation_windows = 0
+        self.episodes = 0
+        self._timer = None
+        self._started = False
+
+    # -- feeding -----------------------------------------------------------
+
+    def record_latency(self, seconds: float) -> None:
+        self.latency.observe(self.sim.now, seconds)
+
+    def record_delivered(self, nbytes: int) -> None:
+        self._delivered_bytes += nbytes
+
+    def record_sent(self, frames: int = 1) -> None:
+        self._sent_frames += frames
+
+    def record_lost(self, frames: int = 1) -> None:
+        self._lost_frames += frames
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        self._timer = self.sim.call_in(self.window, self._evaluate)
+
+    def stop(self) -> None:
+        self._started = False
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    # -- evaluation --------------------------------------------------------
+
+    def _window_stats(self) -> WindowStats:
+        now = self.sim.now
+        # Judge exactly the bucket that just closed. The histogram's
+        # trailing-window query includes every *overlapping* bucket, so
+        # a full-width window here would also pull in the previous one
+        # (making every latency spike count against two verdicts);
+        # shaving an epsilon off t_now and halving the query width
+        # selects the closed bucket alone (bucket_s == self.window).
+        t_q = now - 1e-9
+        w_q = self.window / 2.0
+        samples = self.latency.count_over(t_q, w_q)
+        p95 = p99 = None
+        if samples:
+            p95 = self.latency.quantile(95, t_q, w_q)
+            p99 = self.latency.quantile(99, t_q, w_q)
+        delivered = self._delivered_bytes - self._delivered_mark
+        sent = self._sent_frames - self._sent_mark
+        lost = self._lost_frames - self._lost_mark
+        self._delivered_mark = self._delivered_bytes
+        self._sent_mark = self._sent_frames
+        self._lost_mark = self._lost_frames
+        loss = lost / sent if sent else (1.0 if lost else 0.0)
+        return WindowStats(
+            p95_latency_s=p95,
+            p99_latency_s=p99,
+            goodput_bps=delivered * 8.0 / self.window,
+            loss_fraction=loss,
+            samples=samples,
+        )
+
+    def _evaluate(self) -> None:
+        stats = self._window_stats()
+        violations = self.slo.evaluate(stats)
+        self.last_stats = stats
+        self.last_violations = violations
+        self.evaluations += 1
+        bad = bool(violations)
+        if bad:
+            self.violation_windows += 1
+        self._verdicts.append(bad)
+
+        if not self.violating:
+            if sum(self._verdicts) >= self.k_violations:
+                self.violating = True
+                self.episodes += 1
+                self._clean_streak = 0
+        else:
+            if bad:
+                self._clean_streak = 0
+            else:
+                self._clean_streak += 1
+                if self._clean_streak >= self.clear_windows:
+                    self.violating = False
+                    self._verdicts.clear()
+                    self._clean_streak = 0
+                    if self.on_clear is not None:
+                        self.on_clear(self)
+        if self.violating and self.on_violation is not None:
+            self.on_violation(self, violations)
+        if self._started:
+            self._timer = self.sim.call_in(self.window, self._evaluate)
+
+    # -- reporting ---------------------------------------------------------
+
+    @property
+    def violation_seconds(self) -> float:
+        """Total simulated time spent in violating windows."""
+        return self.violation_windows * self.window
+
+    @property
+    def compliance_fraction(self) -> float:
+        """Fraction of evaluated windows that met the SLO."""
+        if not self.evaluations:
+            return 1.0
+        return 1.0 - self.violation_windows / self.evaluations
+
+    def __repr__(self) -> str:
+        state = "VIOLATING" if self.violating else "meeting"
+        return (
+            f"<SloMonitor {self.slo.name!r} {state} "
+            f"{self.violation_windows}/{self.evaluations} bad windows>"
+        )

@@ -1,0 +1,113 @@
+"""Service-level objectives for one flow.
+
+A :class:`SloSpec` states what the application *needs* — tail latency,
+goodput, loss — as opposed to what it *reserved*. The two are related
+but distinct: a premium reservation sized below the offered load meets
+neither, and an over-provisioned one meets both with slack. The SLO is
+the ground truth the adaptation loop steers by.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional
+
+__all__ = ["SloSpec", "WindowStats"]
+
+
+@dataclass
+class WindowStats:
+    """What one evaluation window actually measured.
+
+    Latency quantiles are ``None`` when the window carried no latency
+    samples (then only the goodput/loss dimensions are judged — an
+    entirely silent flow is a goodput violation, not a latency one).
+    """
+
+    p95_latency_s: Optional[float] = None
+    p99_latency_s: Optional[float] = None
+    goodput_bps: float = 0.0
+    loss_fraction: float = 0.0
+    samples: int = 0
+
+
+@dataclass(frozen=True)
+class SloSpec:
+    """Targets for one flow; any ``None`` dimension is unconstrained."""
+
+    p95_latency_s: Optional[float] = None
+    p99_latency_s: Optional[float] = None
+    goodput_floor_bps: Optional[float] = None
+    loss_ceiling: Optional[float] = None
+    name: str = "slo"
+
+    def __post_init__(self) -> None:
+        for attr in ("p95_latency_s", "p99_latency_s", "goodput_floor_bps"):
+            value = getattr(self, attr)
+            if value is not None and value <= 0:
+                raise ValueError(f"{attr} must be positive or None")
+        if self.loss_ceiling is not None and not 0 <= self.loss_ceiling <= 1:
+            raise ValueError("loss_ceiling must be in [0, 1] or None")
+        if all(
+            getattr(self, attr) is None
+            for attr in (
+                "p95_latency_s", "p99_latency_s",
+                "goodput_floor_bps", "loss_ceiling",
+            )
+        ):
+            raise ValueError("an SloSpec needs at least one dimension")
+
+    def evaluate(self, stats: WindowStats) -> List[str]:
+        """Violated dimensions for one window, as human-readable
+        strings; an empty list means the window met the SLO."""
+        violations: List[str] = []
+        if (
+            self.p95_latency_s is not None
+            and stats.p95_latency_s is not None
+            and not math.isnan(stats.p95_latency_s)
+            and stats.p95_latency_s > self.p95_latency_s
+        ):
+            violations.append(
+                f"p95 latency {stats.p95_latency_s * 1e3:.1f}ms > "
+                f"{self.p95_latency_s * 1e3:.1f}ms"
+            )
+        if (
+            self.p99_latency_s is not None
+            and stats.p99_latency_s is not None
+            and not math.isnan(stats.p99_latency_s)
+            and stats.p99_latency_s > self.p99_latency_s
+        ):
+            violations.append(
+                f"p99 latency {stats.p99_latency_s * 1e3:.1f}ms > "
+                f"{self.p99_latency_s * 1e3:.1f}ms"
+            )
+        if (
+            self.goodput_floor_bps is not None
+            and stats.goodput_bps < self.goodput_floor_bps
+        ):
+            violations.append(
+                f"goodput {stats.goodput_bps / 1e3:.0f}Kb/s < floor "
+                f"{self.goodput_floor_bps / 1e3:.0f}Kb/s"
+            )
+        if (
+            self.loss_ceiling is not None
+            and stats.loss_fraction > self.loss_ceiling
+        ):
+            violations.append(
+                f"loss {stats.loss_fraction:.2%} > "
+                f"ceiling {self.loss_ceiling:.2%}"
+            )
+        return violations
+
+    def __repr__(self) -> str:
+        dims = []
+        if self.p95_latency_s is not None:
+            dims.append(f"p95<{self.p95_latency_s * 1e3:.0f}ms")
+        if self.p99_latency_s is not None:
+            dims.append(f"p99<{self.p99_latency_s * 1e3:.0f}ms")
+        if self.goodput_floor_bps is not None:
+            dims.append(f"goodput>{self.goodput_floor_bps / 1e3:.0f}Kb/s")
+        if self.loss_ceiling is not None:
+            dims.append(f"loss<{self.loss_ceiling:.1%}")
+        return f"SloSpec({self.name}: {', '.join(dims)})"

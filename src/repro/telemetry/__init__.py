@@ -47,6 +47,7 @@ from .registry import (
     MetricsRegistry,
 )
 from .spans import FlowTrace, SpanEvent
+from .windowed import WindowedHistogram
 
 __all__ = [
     "CallSite",
@@ -58,6 +59,7 @@ __all__ = [
     "SimProfiler",
     "SpanEvent",
     "Telemetry",
+    "WindowedHistogram",
     "active",
     "collect_any",
     "collect_broker",

@@ -19,7 +19,15 @@ from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
-__all__ = ["MetricsRegistry", "CounterMetric", "GaugeMetric", "HistogramMetric"]
+from .windowed import WindowedHistogram, _stable_seed
+
+__all__ = [
+    "MetricsRegistry",
+    "CounterMetric",
+    "GaugeMetric",
+    "HistogramMetric",
+    "WindowedHistogram",
+]
 
 
 class Metric:
@@ -81,14 +89,20 @@ class GaugeMetric(Metric):
 class HistogramMetric(Metric):
     """A distribution of observed values (latencies, message sizes).
 
-    Observations are kept verbatim up to ``max_samples`` and then
-    reservoir-free truncation stops recording raw samples (count/sum/
-    min/max stay exact) — simulations are finite, so in practice the
-    cap is a memory guard, not a statistics compromise.
+    Observations are kept verbatim up to ``max_samples``; past the cap
+    the sample buffer becomes a uniform reservoir (Algorithm R), so
+    percentiles keep tracking the *whole* run instead of freezing on
+    its first ``max_samples`` observations. Count/sum/min/max stay
+    exact regardless. The reservoir draws from a private generator
+    seeded from the metric's name — never from the simulation RNG,
+    because recording telemetry must not perturb the simulated
+    system's random stream.
     """
 
     kind = "histogram"
-    __slots__ = ("samples", "count", "total", "min", "max", "max_samples")
+    __slots__ = (
+        "samples", "count", "total", "min", "max", "max_samples", "_rng",
+    )
 
     def __init__(self, name: str, max_samples: int = 100_000) -> None:
         super().__init__(name)
@@ -98,6 +112,7 @@ class HistogramMetric(Metric):
         self.min = float("inf")
         self.max = float("-inf")
         self.max_samples = max_samples
+        self._rng = None
 
     def observe(self, value: float) -> None:
         self.count += 1
@@ -106,8 +121,14 @@ class HistogramMetric(Metric):
             self.min = value
         if value > self.max:
             self.max = value
-        if len(self.samples) < self.max_samples:
+        if self.count <= self.max_samples:
             self.samples.append(value)
+        else:
+            if self._rng is None:
+                self._rng = np.random.default_rng(_stable_seed(self.name, 0))
+            j = int(self._rng.integers(self.count))
+            if j < self.max_samples:
+                self.samples[j] = value
 
     @property
     def mean(self) -> float:
@@ -165,6 +186,9 @@ class MetricsRegistry:
 
     def histogram(self, name: str, max_samples: int = 100_000) -> HistogramMetric:
         return self._get(name, HistogramMetric, max_samples=max_samples)
+
+    def windowed_histogram(self, name: str, **kwargs) -> WindowedHistogram:
+        return self._get(name, WindowedHistogram, **kwargs)
 
     def get(self, name: str) -> Optional[Metric]:
         return self._metrics.get(name)

@@ -1,0 +1,210 @@
+"""Time-bucketed histograms for windowed quantile queries.
+
+:class:`HistogramMetric` answers "what was the p99 over the whole
+run?"; SLO supervision needs "what was the p95 over the *last two
+seconds*?". A :class:`WindowedHistogram` keeps observations in
+fixed-width time buckets and answers quantile/rate queries over any
+trailing window, evicting buckets that age out of the retention
+horizon so memory stays bounded for arbitrarily long runs.
+
+Buckets past ``max_samples_per_bucket`` switch to seeded reservoir
+sampling (Algorithm R) — the same estimator :class:`HistogramMetric`
+uses — with the generator seeded from the histogram's name, never the
+simulation RNG: recording telemetry must not perturb the simulated
+system's random stream.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Dict, List, Optional
+
+import numpy as np
+
+__all__ = ["WindowedHistogram"]
+
+
+def _stable_seed(name: str, seed: int) -> int:
+    """Deterministic per-instrument seed (``hash()`` is salted per
+    process, so it cannot be used here)."""
+    return zlib.crc32(name.encode("utf-8")) ^ (seed & 0xFFFFFFFF)
+
+
+class _Bucket:
+    """Samples and exact aggregates of one time bucket."""
+
+    __slots__ = ("count", "total", "min", "max", "samples")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+        self.samples: List[float] = []
+
+
+class WindowedHistogram:
+    """A distribution observed against the simulation clock.
+
+    Parameters
+    ----------
+    name:
+        Instrument name (also seeds the reservoir RNG).
+    bucket_s:
+        Width of one time bucket, seconds.
+    n_buckets:
+        Retention horizon in buckets; observations older than
+        ``bucket_s * n_buckets`` behind the newest are evicted.
+    max_samples_per_bucket:
+        Raw-sample cap per bucket before reservoir sampling engages.
+        Count/sum/min/max stay exact regardless.
+    """
+
+    kind = "windowed_histogram"
+
+    __slots__ = (
+        "name", "bucket_s", "n_buckets", "max_samples_per_bucket",
+        "count", "total", "_buckets", "_newest", "_rng", "_seed",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        bucket_s: float = 1.0,
+        n_buckets: int = 60,
+        max_samples_per_bucket: int = 4096,
+        seed: int = 0,
+    ) -> None:
+        if bucket_s <= 0:
+            raise ValueError("bucket_s must be positive")
+        if n_buckets < 1:
+            raise ValueError("need at least one bucket")
+        if max_samples_per_bucket < 1:
+            raise ValueError("max_samples_per_bucket must be positive")
+        self.name = name
+        self.bucket_s = float(bucket_s)
+        self.n_buckets = n_buckets
+        self.max_samples_per_bucket = max_samples_per_bucket
+        #: Lifetime observation count (evicted buckets included).
+        self.count = 0
+        self.total = 0.0
+        self._buckets: Dict[int, _Bucket] = {}
+        self._newest: Optional[int] = None
+        self._rng = None
+        self._seed = seed
+
+    # -- recording ---------------------------------------------------------
+
+    def _index(self, t: float) -> int:
+        return int(t / self.bucket_s)
+
+    def observe(self, t: float, value: float) -> None:
+        """Record ``value`` observed at simulation time ``t``."""
+        idx = self._index(t)
+        bucket = self._buckets.get(idx)
+        if bucket is None:
+            bucket = self._buckets[idx] = _Bucket()
+            if self._newest is None or idx > self._newest:
+                self._newest = idx
+                self._evict(idx)
+        self.count += 1
+        self.total += value
+        bucket.count += 1
+        bucket.total += value
+        if value < bucket.min:
+            bucket.min = value
+        if value > bucket.max:
+            bucket.max = value
+        if bucket.count <= self.max_samples_per_bucket:
+            bucket.samples.append(value)
+        else:
+            if self._rng is None:
+                self._rng = np.random.default_rng(
+                    _stable_seed(self.name, self._seed)
+                )
+            j = int(self._rng.integers(bucket.count))
+            if j < self.max_samples_per_bucket:
+                bucket.samples[j] = value
+
+    def _evict(self, newest: int) -> None:
+        floor = newest - self.n_buckets + 1
+        if len(self._buckets) > self.n_buckets:
+            for idx in [i for i in self._buckets if i < floor]:
+                del self._buckets[idx]
+
+    # -- windowed queries --------------------------------------------------
+
+    def _window_buckets(self, t_now: float, window: Optional[float]):
+        """Buckets overlapping ``[t_now - window, t_now]`` (all retained
+        buckets when ``window`` is None)."""
+        if window is None:
+            return list(self._buckets.values())
+        if window <= 0:
+            raise ValueError("window must be positive")
+        lo = self._index(t_now - window)
+        hi = self._index(t_now)
+        return [
+            b for i, b in self._buckets.items() if lo <= i <= hi
+        ]
+
+    def count_over(self, t_now: float, window: Optional[float] = None) -> int:
+        return sum(b.count for b in self._window_buckets(t_now, window))
+
+    def sum_over(self, t_now: float, window: Optional[float] = None) -> float:
+        return sum(b.total for b in self._window_buckets(t_now, window))
+
+    def mean_over(self, t_now: float, window: Optional[float] = None) -> float:
+        buckets = self._window_buckets(t_now, window)
+        n = sum(b.count for b in buckets)
+        if n == 0:
+            return float("nan")
+        return sum(b.total for b in buckets) / n
+
+    def max_over(self, t_now: float, window: Optional[float] = None) -> float:
+        buckets = [b for b in self._window_buckets(t_now, window) if b.count]
+        if not buckets:
+            return float("nan")
+        return max(b.max for b in buckets)
+
+    def quantile(
+        self, p: float, t_now: float, window: Optional[float] = None
+    ) -> float:
+        """The ``p``-th percentile (0-100) over the trailing window
+        (NaN when the window holds no samples)."""
+        if not 0 <= p <= 100:
+            raise ValueError("percentile must be in [0, 100]")
+        samples = [
+            s for b in self._window_buckets(t_now, window) for s in b.samples
+        ]
+        if not samples:
+            return float("nan")
+        return float(np.percentile(np.asarray(samples), p))
+
+    # -- registry integration ---------------------------------------------
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else float("nan")
+
+    def snapshot(self) -> dict:
+        out = {
+            "type": self.kind,
+            "count": self.count,
+            "sum": self.total,
+            "mean": self.mean if self.count else None,
+            "bucket_s": self.bucket_s,
+            "retained_buckets": len(self._buckets),
+        }
+        samples = [s for b in self._buckets.values() for s in b.samples]
+        if samples:
+            qs = np.percentile(np.asarray(samples), [50, 90, 95, 99])
+            out["p50"], out["p90"], out["p95"], out["p99"] = (
+                float(q) for q in qs
+            )
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"<WindowedHistogram {self.name!r} {len(self._buckets)} "
+            f"buckets x {self.bucket_s}s count={self.count}>"
+        )

@@ -503,3 +503,30 @@ class TestDegradation:
             await client.close()
 
         asyncio.run(go())
+
+
+class TestBrokerClientChannel:
+    def test_channel_adapts_client_to_controller_shape(self):
+        # The PR 8 controller renegotiates through any object with
+        # acquire/boost/release; the channel maps those onto the wire
+        # client's reserve/modify/cancel with fresh idempotency keys.
+        from repro.slo import BrokerClientChannel
+
+        async def go():
+            service = build_service()
+            await service.start()
+            client = BrokerClient("127.0.0.1", service.port, name="ctl")
+            channel = BrokerClientChannel(client)
+            res = await channel.acquire("a", "b", mbps(2), 0.0, 30.0)
+            assert res.held and res.rid is not None
+            assert live_entries(service) == 1
+            boosted = await channel.boost(res, mbps(4))
+            assert boosted.bandwidth == mbps(4)
+            # One booking, modified in place -- never double-booked.
+            assert live_entries(service) == 1
+            assert await channel.release(boosted) == 1
+            assert live_entries(service) == 0
+            await client.close()
+            await service.close()
+
+        asyncio.run(go())

@@ -1,0 +1,249 @@
+"""The SLO layer below the controller: windowed telemetry, specs, and
+the K-of-N voting monitor with hysteresis."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.kernel import Simulator
+from repro.slo import SloMonitor, SloSpec, WindowStats
+from repro.telemetry import WindowedHistogram
+
+
+class TestWindowedHistogram:
+    def test_windowed_quantiles(self):
+        h = WindowedHistogram("lat", bucket_s=1.0, n_buckets=10)
+        for t in range(5):
+            h.observe(float(t) + 0.5, 10.0)
+        h.observe(9.5, 1000.0)
+        # Over the last 2 s only the outlier bucket is visible.
+        assert h.quantile(50, t_now=9.9, window=2.0) == 1000.0
+        # The full retention still sees the quiet past.
+        assert h.quantile(50, t_now=9.9, window=None) == 10.0
+
+    def test_empty_window_is_nan(self):
+        h = WindowedHistogram("lat", bucket_s=1.0, n_buckets=10)
+        h.observe(0.5, 1.0)
+        assert math.isnan(h.quantile(95, t_now=50.0, window=2.0))
+        assert math.isnan(h.mean_over(50.0, 2.0))
+        assert h.count_over(50.0, 2.0) == 0
+
+    def test_eviction_bounds_memory_but_not_totals(self):
+        h = WindowedHistogram("lat", bucket_s=1.0, n_buckets=4)
+        for t in range(100):
+            h.observe(float(t) + 0.1, 1.0)
+        assert len(h._buckets) <= 4
+        # Lifetime aggregates survive eviction.
+        assert h.count == 100
+        assert h.total == pytest.approx(100.0)
+
+    def test_reservoir_keeps_exact_aggregates(self):
+        h = WindowedHistogram(
+            "lat", bucket_s=1.0, n_buckets=4, max_samples_per_bucket=16
+        )
+        values = [float(i) for i in range(500)]
+        for v in values:
+            h.observe(0.5, v)  # all in one bucket, far past the cap
+        b = h._buckets[0]
+        assert len(b.samples) == 16  # bounded
+        assert b.count == 500  # exact
+        assert b.total == pytest.approx(sum(values))
+        assert b.min == 0.0 and b.max == 499.0
+
+    def test_reservoir_is_statistically_sound(self):
+        # Uniform[0,1000) observations; the p50 estimate from a
+        # 256-sample reservoir must land near 500.
+        h = WindowedHistogram(
+            "lat", bucket_s=1.0, n_buckets=2, max_samples_per_bucket=256
+        )
+        rng = np.random.default_rng(7)
+        for v in rng.uniform(0, 1000, size=20_000):
+            h.observe(0.5, float(v))
+        est = h.quantile(50, t_now=0.9, window=1.0)
+        assert 400.0 < est < 600.0
+
+    def test_reservoir_deterministic_per_name(self):
+        def build(name):
+            h = WindowedHistogram(
+                name, bucket_s=1.0, n_buckets=2, max_samples_per_bucket=8
+            )
+            for i in range(100):
+                h.observe(0.5, float(i))
+            return tuple(h._buckets[0].samples)
+
+        assert build("a") == build("a")  # same name, same reservoir
+        assert build("a") != build("b")  # different stream per name
+
+    def test_snapshot_and_registry_shape(self):
+        h = WindowedHistogram("lat", bucket_s=0.5)
+        for i in range(10):
+            h.observe(i * 0.1, float(i))
+        snap = h.snapshot()
+        assert snap["type"] == "windowed_histogram"
+        assert snap["count"] == 10
+        assert snap["p50"] == pytest.approx(4.5)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            WindowedHistogram("x", bucket_s=0)
+        with pytest.raises(ValueError):
+            WindowedHistogram("x", n_buckets=0)
+        with pytest.raises(ValueError):
+            WindowedHistogram("x", max_samples_per_bucket=0)
+        h = WindowedHistogram("x")
+        with pytest.raises(ValueError):
+            h.quantile(101, t_now=0.0)
+        with pytest.raises(ValueError):
+            h.count_over(0.0, window=-1.0)
+
+
+class TestSloSpec:
+    def test_evaluates_each_dimension(self):
+        spec = SloSpec(
+            p95_latency_s=0.1,
+            goodput_floor_bps=1e6,
+            loss_ceiling=0.01,
+        )
+        bad = WindowStats(
+            p95_latency_s=0.5, goodput_bps=1e5, loss_fraction=0.5
+        )
+        violations = spec.evaluate(bad)
+        assert len(violations) == 3
+        good = WindowStats(
+            p95_latency_s=0.05, goodput_bps=2e6, loss_fraction=0.0
+        )
+        assert spec.evaluate(good) == []
+
+    def test_silent_window_is_goodput_not_latency_violation(self):
+        spec = SloSpec(p95_latency_s=0.1, goodput_floor_bps=1e6)
+        silent = WindowStats(p95_latency_s=None, goodput_bps=0.0)
+        violations = spec.evaluate(silent)
+        assert len(violations) == 1
+        assert "goodput" in violations[0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SloSpec()  # no dimensions
+        with pytest.raises(ValueError):
+            SloSpec(p95_latency_s=-1.0)
+        with pytest.raises(ValueError):
+            SloSpec(loss_ceiling=1.5)
+
+
+def make_monitor(sim, **kwargs):
+    spec = SloSpec(p95_latency_s=0.1, goodput_floor_bps=8_000.0)
+    defaults = dict(window=1.0, n_windows=5, k_violations=3, clear_windows=3)
+    defaults.update(kwargs)
+    return SloMonitor(sim, spec, **defaults)
+
+
+def feed(sim, monitor, latency, until, nbytes=2_000, period=0.25):
+    """A process feeding constant-latency traffic to the monitor."""
+
+    def gen():
+        while sim.now < until:
+            monitor.record_latency(latency)
+            monitor.record_sent(1)
+            monitor.record_delivered(nbytes)
+            yield sim.timeout(period)
+
+    sim.process(gen())
+
+
+class TestSloMonitor:
+    def test_one_bad_window_does_not_open_episode(self):
+        sim = Simulator(seed=0)
+        monitor = make_monitor(sim)
+        feed(sim, monitor, latency=0.01, until=10.0)
+        # One latency spike inside a single window.
+        sim.call_at(4.1, lambda: monitor.record_latency(5.0))
+        monitor.start()
+        sim.run(until=10.0)
+        assert monitor.violation_windows == 1
+        assert monitor.episodes == 0
+        assert not monitor.violating
+
+    def test_k_of_n_opens_episode_and_clear_needs_streak(self):
+        sim = Simulator(seed=0)
+        monitor = make_monitor(
+            sim, n_windows=4, k_violations=2, clear_windows=2
+        )
+        opened = []
+        cleared = []
+        monitor.on_violation = lambda m, v: opened.append(sim.now)
+        monitor.on_clear = lambda m: cleared.append(sim.now)
+        # Good traffic throughout; bad latency only during [3, 6).
+        feed(sim, monitor, latency=0.01, until=3.0)
+
+        def bad_phase():
+            while sim.now < 6.0:
+                monitor.record_latency(1.0)
+                monitor.record_sent(1)
+                monitor.record_delivered(2_000)
+                yield sim.timeout(0.25)
+            while sim.now < 12.0:
+                monitor.record_latency(0.01)
+                monitor.record_sent(1)
+                monitor.record_delivered(2_000)
+                yield sim.timeout(0.25)
+
+        sim.call_at(3.0, lambda: sim.process(bad_phase()))
+        monitor.start()
+        sim.run(until=13.0)
+        assert monitor.episodes == 1
+        assert opened  # fired while the episode was open
+        assert len(cleared) == 1  # and closed exactly once
+        assert not monitor.violating
+        # The episode opened only after the SECOND bad window (K=2).
+        assert min(opened) >= 5.0 - 1e-9
+
+    def test_hysteresis_rides_out_alternating_windows(self):
+        # Alternating good/bad windows with K=3 of N=4: never 3 bad
+        # verdicts in any 4-window span, so no episode ever opens.
+        sim = Simulator(seed=0)
+        monitor = make_monitor(sim, n_windows=4, k_violations=3)
+
+        def alternating():
+            while sim.now < 20.0:
+                bad = int(sim.now) % 2 == 0
+                monitor.record_latency(1.0 if bad else 0.01)
+                monitor.record_sent(1)
+                monitor.record_delivered(2_000)
+                yield sim.timeout(0.25)
+
+        sim.process(alternating())
+        monitor.start()
+        sim.run(until=20.0)
+        assert monitor.violation_windows >= 5  # plenty of bad windows...
+        assert monitor.episodes == 0  # ...but hysteresis never trips
+
+    def test_compliance_accounting(self):
+        sim = Simulator(seed=0)
+        monitor = make_monitor(sim)
+        feed(sim, monitor, latency=1.0, until=10.0)  # always violating
+        monitor.start()
+        sim.run(until=9.5)
+        assert monitor.evaluations == 9
+        assert monitor.compliance_fraction == 0.0
+        assert monitor.violation_seconds == pytest.approx(9.0)
+
+    def test_stop_cancels_timer(self):
+        sim = Simulator(seed=0)
+        monitor = make_monitor(sim)
+        monitor.start()
+        sim.run(until=2.5)
+        monitor.stop()
+        evaluations = monitor.evaluations
+        sim.run(until=10.0)
+        assert monitor.evaluations == evaluations
+
+    def test_invalid_params(self):
+        sim = Simulator(seed=0)
+        spec = SloSpec(p95_latency_s=0.1)
+        with pytest.raises(ValueError):
+            SloMonitor(sim, spec, window=0)
+        with pytest.raises(ValueError):
+            SloMonitor(sim, spec, n_windows=2, k_violations=3)
+        with pytest.raises(ValueError):
+            SloMonitor(sim, spec, clear_windows=0)

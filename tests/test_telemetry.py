@@ -81,6 +81,35 @@ class TestRegistry:
         assert h.count == 100
         assert h.max == 99.0
 
+    def test_histogram_reservoir_tracks_whole_run(self):
+        # Pre-PR-8 the buffer was a plain truncation: after the cap the
+        # percentiles froze on the first max_samples observations. The
+        # reservoir must keep sampling the tail of the stream.
+        reg = MetricsRegistry()
+        h = reg.histogram("h", max_samples=64)
+        for _ in range(64):
+            h.observe(1.0)
+        for _ in range(10_000):
+            h.observe(1000.0)
+        # ~99.4% of observations were 1000.0; a truncated buffer would
+        # still report p50 == 1.0.
+        assert h.percentile(50) == 1000.0
+        assert h.count == 10_064
+        assert h.total == pytest.approx(64 + 10_000 * 1000.0)
+
+    def test_histogram_reservoir_deterministic_per_name(self):
+        def samples(name):
+            reg = MetricsRegistry()
+            h = reg.histogram(name, max_samples=8)
+            for i in range(200):
+                h.observe(float(i))
+            return tuple(h.samples)
+
+        # Same metric name -> identical reservoir, across registries
+        # and processes (the seed is a CRC of the name, not hash()).
+        assert samples("tcp.rtt") == samples("tcp.rtt")
+        assert samples("tcp.rtt") != samples("udp.rtt")
+
     def test_names_prefix_query(self):
         reg = MetricsRegistry()
         reg.counter("tcp.a.retransmits")
