@@ -53,7 +53,11 @@ class UdpTrafficGenerator:
         # A sink on the destination so datagrams terminate cleanly.
         dst_layer = dst.protocols.get(PROTO_UDP)
         dst_udp = dst_layer if isinstance(dst_layer, UdpLayer) else UdpLayer(dst)
+        self._dst_udp = dst_udp
         self.sink = dst_udp.create_socket(port=port)
+        #: Hybrid mode: the rate envelope standing in for the packet
+        #: blaster (:class:`repro.net.fluid.FluidAggregate`), else None.
+        self.fluid = None
         self.sim.process(self._sink_loop(), name="udp-gen-sink")
 
     def _sink_loop(self):
@@ -64,10 +68,49 @@ class UdpTrafficGenerator:
         if self._running:
             return
         self._running = True
+        if self.sim.fluid:
+            self._start_fluid()
+            return
         self.sim.process(self._send_loop(), name="udp-gen")
 
     def stop(self) -> None:
         self._running = False
+        if self.fluid is not None:
+            self.fluid.running = False
+
+    def _start_fluid(self) -> None:
+        """Hybrid mode: advance as a rate envelope instead of sending
+        packets — the blaster is exactly the open-loop, constant-rate
+        aggregate the fluid approximation is valid for."""
+        if self.fluid is None:
+            from ..net.fluid import FluidAggregate  # late: apps<->net layering
+
+            wire_bytes = self.payload_bytes + 28  # IP + UDP headers
+            payload_share = self.payload_bytes / wire_bytes
+            aggregate = FluidAggregate(
+                self.src,
+                self.dst,
+                rate=self.rate,
+                packet_bytes=wire_bytes,
+                dscp=self.socket.dscp,
+                on_time=self.on_time,
+                off_time=self.off_time,
+            )
+            # Keep the packet-world counters meaningful: offered wire
+            # bytes feed the sent counter (payload share, like sendto),
+            # deliveries tally the sink layer's datagram count.
+            aggregate.on_offered = lambda b: self.sent.add(b * payload_share)
+            previous = {"datagrams": 0}
+
+            def on_delivered(_bytes: float) -> None:
+                total = aggregate.delivered_datagrams
+                self._dst_udp.rx_datagrams += total - previous["datagrams"]
+                previous["datagrams"] = total
+
+            aggregate.on_delivered = on_delivered
+            self.fluid = self.sim.get_fluid_engine().register(aggregate)
+        self.fluid.running = True
+        self.fluid._phase_start = self.sim.now
 
     @property
     def interval(self) -> float:

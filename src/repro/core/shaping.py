@@ -19,6 +19,8 @@ __all__ = ["Shaper"]
 class Shaper:
     """Token-bucket pacing of application sends."""
 
+    __slots__ = ("sim", "bucket", "delayed_sends", "total_delay")
+
     def __init__(
         self, sim: Simulator, rate: float, depth_bytes: float
     ) -> None:

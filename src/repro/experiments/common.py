@@ -49,14 +49,18 @@ def build_deployment(
     start_contention: bool = True,
     aqm=None,
     resilient: bool = False,
+    mode: str = "packet",
 ) -> GarnetDeployment:
     """GARNET + MPICH-GQ (ranks 0/1 on the premium hosts) + optional
     UDP contention between the competitive hosts. ``aqm`` optionally
     switches the domain from the paper's drop-tail configuration to a
     WRED / WRED+ECN one (see :class:`repro.aqm.AqmPolicy`);
     ``resilient`` attaches the broker's write-ahead journal so
-    crash/restart experiments recover state instead of losing it."""
-    sim = Simulator(seed=seed)
+    crash/restart experiments recover state instead of losing it.
+    ``mode`` selects the datapath fidelity (``"packet"``, ``"batch"``,
+    ``"hybrid"`` — see :class:`repro.kernel.Simulator`); in hybrid mode
+    the UDP contention generator advances as a fluid rate envelope."""
+    sim = Simulator(seed=seed, mode=mode)
     testbed = garnet(
         sim,
         backbone_bandwidth=backbone_bandwidth,

@@ -35,6 +35,9 @@ def run(
     reserved_rate: float = mbps(40.0),
     duration: float = None,
     bin_seconds: float = 1.0,
+    mode: str = "packet",
+    contention_rate: float = mbps(30.0),
+    access_bandwidth: float = mbps(100.0),
 ) -> ExperimentResult:
     if duration is None:
         duration = 12.0 if quick else 100.0
@@ -47,9 +50,11 @@ def run(
     dep = build_deployment(
         seed=seed,
         backbone_bandwidth=mbps(155.0),
+        access_bandwidth=access_bandwidth,
         backbone_delay=2e-3,
-        contention_rate=mbps(30.0),
+        contention_rate=contention_rate,
         tcp_config=cfg,
+        mode=mode,
     )
     sim, tb, gq = dep.sim, dep.testbed, dep.gq
 
@@ -123,4 +128,11 @@ def run(
             "retransmissions": state["client"].retransmissions,
         },
     )
+    if mode != "packet":
+        # Only non-default modes annotate the payload: the packet-mode
+        # quick JSON is pinned byte-identical across PRs.
+        result.extra["mode"] = mode
+        result.extra["events_processed"] = sim.events_processed
+        result.extra["events_credited"] = sim.events_credited
+        result.extra["effective_events"] = sim.effective_events
     return result

@@ -123,6 +123,12 @@ def main(argv=None) -> int:
     parser.add_argument("--quick", action="store_true",
                         help="scaled-down parameters")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--mode", choices=("packet", "batch", "hybrid"), default="packet",
+        help="datapath fidelity mode for experiments that support it "
+             "(packet: byte-identical per-packet chain; batch: batched "
+             "egress; hybrid: batched egress + fluid background traffic)",
+    )
     parser.add_argument("--out", type=Path, default=None,
                         help="directory for JSON result dumps")
     parser.add_argument(
@@ -152,6 +158,24 @@ def main(argv=None) -> int:
         )
     if args.parallel < 1:
         parser.error(f"--parallel must be >= 1, got {args.parallel}")
+
+    selected_early = args.experiments or list(EXPERIMENTS)
+    if args.mode != "packet":
+        import inspect
+
+        if args.parallel > 1:
+            parser.error("--mode batch/hybrid runs serially; drop --parallel")
+
+        unsupported = [
+            name for name in selected_early
+            if "mode" not in inspect.signature(EXPERIMENTS[name]).parameters
+        ]
+        if unsupported:
+            parser.error(
+                f"--mode {args.mode} is not supported by: "
+                f"{', '.join(unsupported)} (only experiments taking a "
+                f"mode parameter run in non-packet modes)"
+            )
 
     # Telemetry is on whenever results are being written out, unless
     # explicitly disabled; --telemetry forces it on for console runs.
@@ -187,7 +211,10 @@ def main(argv=None) -> int:
         # it is suspended for the duration of the experiment.
         gc.disable()
         try:
-            result = EXPERIMENTS[name](quick=args.quick, seed=args.seed)
+            kwargs = {"quick": args.quick, "seed": args.seed}
+            if args.mode != "packet":
+                kwargs["mode"] = args.mode
+            result = EXPERIMENTS[name](**kwargs)
         finally:
             gc.enable()
             gc.collect()

@@ -18,7 +18,13 @@ from ..kernel.simulator import _FAST
 from .packet import Packet
 from .queues import DropTailQueue, Qdisc
 
-__all__ = ["Interface", "Node", "Host", "Router"]
+__all__ = ["Interface", "Node", "Host", "Router", "BATCH_MAX_PACKETS"]
+
+#: Upper bound on one egress burst in batch/hybrid modes. Bounds how
+#: long a drained-but-not-yet-transmitted burst can defer a mid-burst
+#: high-priority arrival (the batch-granularity approximation), and
+#: keeps per-burst arrival scheduling cache-friendly.
+BATCH_MAX_PACKETS = 32
 
 
 class Interface:
@@ -28,6 +34,17 @@ class Interface:
     interface serialises them at the link bandwidth and hands them to
     the peer interface's node after the propagation delay.
     """
+
+    # The tx chain reads these per packet; a fixed layout keeps the
+    # lookups dict-free. Qdisc classes deliberately do NOT get slots:
+    # tests patch ``enqueue`` on qdisc instances.
+    __slots__ = (
+        "node", "sim", "name", "_bandwidth", "_sec_per_byte", "delay",
+        "_qdisc", "_dequeue", "peer", "ingress", "up", "impairments",
+        "_busy", "_batch", "fluid_channel", "_tx_done", "tx_packets",
+        "tx_bytes", "rx_packets", "rx_bytes", "ingress_drops",
+        "link_down_drops", "impairment_drops",
+    )
 
     def __init__(
         self,
@@ -59,6 +76,18 @@ class Interface:
         #: means the injector destroyed the packet.
         self.impairments: List[Callable[[Packet], bool]] = []
         self._busy = False
+        # A prebound slot instead of a per-packet method binding; also
+        # the tap point PacketTracer splices into (instance assignment
+        # must stay possible, hence the method lives under _tx_done_impl
+        # and this slot holds the active callable).
+        self._tx_done = self._tx_done_impl
+        # Batched egress is a per-simulator mode decision fixed at
+        # construction; the packet-mode transmit path stays exactly the
+        # historical (byte-identical) event chain.
+        self._batch = node.sim.batch_egress
+        #: Fluid background channel sharing this egress line
+        #: (:class:`repro.net.fluid.FluidChannel`), hybrid mode only.
+        self.fluid_channel = None
         # Counters.
         self.tx_packets = 0
         self.tx_bytes = 0
@@ -116,6 +145,12 @@ class Interface:
                 )
             return False
         if not self._busy:
+            if self._batch:
+                # Batch/hybrid modes: the burst drain owns the
+                # transmitter until the whole burst is on the wire.
+                self._busy = True
+                self._drain_batch()
+                return True
             # Inlined _transmit_next — starting an idle transmitter is
             # the common case on lightly-loaded host NICs.
             packet = self._dequeue()
@@ -134,6 +169,105 @@ class Interface:
                     ),
                 )
         return True
+
+    def _drain_batch(self) -> None:
+        """Batched egress (batch/hybrid modes): drain one qdisc burst
+        and put it on the wire in a single kernel callback.
+
+        Serialization times are summed analytically — packet *k* of the
+        burst finishes at ``now + sum(size[0..k]) / rate`` and arrives
+        at the peer exactly one propagation delay later, so arrival
+        times are identical to the per-packet event chain. What is
+        approximated is burst-granularity preemption: a higher-priority
+        packet enqueued mid-burst waits for the in-flight burst (at
+        most :data:`BATCH_MAX_PACKETS` serializations) where packet
+        mode would let it jump ahead at the next packet boundary, and
+        link-down/impairment state is sampled once per burst. Each
+        collapsed per-packet tx-done event is credited to
+        ``sim.events_credited``.
+        """
+        while True:
+            # Lone-packet fast path first: most drains start with an
+            # idle transmitter and a single queued packet (host NICs,
+            # paced flows), where allocating a burst list and
+            # rescanning bands per packet would cost more than the
+            # per-packet event chain it replaces.
+            qdisc = self._qdisc
+            head = self._dequeue()
+            if head is None:
+                self._busy = False
+                return
+            sim = self.sim
+            if not self.up:
+                # A dead link drains instantly in packet mode too (each
+                # tx-done counts a loss and immediately dequeues the
+                # next); keep looping until the queue is empty.
+                self.link_down_drops += 1
+                sim.events_credited += 1
+                continue
+            if len(qdisc):
+                batch = qdisc.dequeue_batch(BATCH_MAX_PACKETS - 1)
+                batch.insert(0, head)
+            else:
+                batch = [head]
+            queue = sim._queue
+            seq = sim._seq
+            spb = self._sec_per_byte
+            delay = self.delay
+            finish = sim._now
+            fluid = self.fluid_channel
+            if fluid is not None:
+                # Share the line with the background envelope: fluid
+                # backlog that would be serviced ahead of this burst
+                # (same or higher band) delays its first serialization.
+                finish += fluid.on_foreground_burst(sim._now, batch)
+            peer_deliver = self.peer._deliver_arrival
+            tel = sim.telemetry
+            want_tx = (
+                tel is not None
+                and tel.trace is not None
+                and tel.trace.wants("net", "tx")
+            )
+            impairments = self.impairments
+            for packet in batch:
+                # Serialization is spent even on packets an impairment
+                # destroys afterwards, exactly as in packet mode.
+                finish += packet.size * spb
+                if impairments:
+                    destroyed = False
+                    for impair in impairments:
+                        if impair(packet):
+                            self.impairment_drops += 1
+                            destroyed = True
+                            break
+                    if destroyed:
+                        continue
+                self.tx_packets += 1
+                self.tx_bytes += packet.size
+                if want_tx:
+                    tel.trace.emit(
+                        sim.now, "net", "tx",
+                        node=self.node.name, iface=self.name,
+                        src=packet.src, dst=packet.dst,
+                        sport=packet.sport, dport=packet.dport,
+                        dscp=packet.dscp, size=packet.size,
+                        backlog=len(self.qdisc),
+                    )
+                _heappush(
+                    queue,
+                    (finish + delay, _NORMAL, next(seq), _FAST,
+                     peer_deliver, packet),
+                )
+            sim.events_credited += len(batch) - 1
+            _heappush(
+                queue,
+                (finish, _NORMAL, next(seq), _FAST, self._batch_done, None),
+            )
+            return
+
+    def _batch_done(self, _arg) -> None:
+        """End of one egress burst: drain the next or go idle."""
+        self._drain_batch()
 
     def _transmit_next(self) -> None:
         packet = self._dequeue()
@@ -155,7 +289,7 @@ class Interface:
             ),
         )
 
-    def _tx_done(self, packet: Packet) -> None:
+    def _tx_done_impl(self, packet: Packet) -> None:
         if not self.up:
             # The link died while this packet was on the wire.
             self.link_down_drops += 1

@@ -1,0 +1,320 @@
+"""Struct-of-arrays hot state for the packet datapath.
+
+The per-packet fields the datapath touches on every hop — wire size,
+DiffServ codepoint, ECN field, sojourn stamp, flow identity — live in
+preallocated parallel arrays (:class:`PacketPool`), indexed by a
+recycled *slot*. A :class:`SlabPacket` is a thin view over one slot:
+it subclasses :class:`~repro.net.packet.Packet` so every consumer of
+the ordinary packet interface keeps working, but its hot attributes
+are properties that read and write the pool's arrays, and the view
+object itself is recycled together with its slot — steady-state
+traffic allocates no packet objects at all.
+
+Analytics read the arrays wholesale instead of walking packet objects:
+:meth:`PacketPool.sizes_view` and friends hand out zero-copy NumPy
+views (when NumPy is available), and :meth:`PacketPool.flow_bytes`
+aggregates in-flight bytes per flow with one vectorised pass.
+
+Slot lifecycle contract
+-----------------------
+``acquire()`` hands out a live view; ``release()`` returns its slot to
+the free list, after which the view may be *reissued with different
+contents* — callers must not keep references across a release. The
+pool is therefore only wired into datapaths whose packet lifetime is
+provably bracketed (the UDP datapath: created in ``sendto``, released
+when the receiving :class:`~repro.transport.udp.UdpLayer` has
+demultiplexed the datagram). Packets that die mid-network (qdisc
+drops, TTL, impairments) intentionally *leak* their slot rather than
+risk a premature recycle under a telemetry or tracer reference; a
+drained pool degrades gracefully — ``acquire()`` falls back to plain
+heap :class:`Packet` objects and counts the overflow.
+
+The pool is active only in batch/hybrid simulator modes
+(``Simulator(mode="batch"|"hybrid")``); packet mode keeps the historic
+allocation behaviour byte-for-byte.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Any, Dict, List, Optional
+
+from .packet import (
+    DEFAULT_TTL,
+    ECN_NOT_ECT,
+    FlowKey,
+    Packet,
+    _uid_counter,
+)
+
+try:  # pragma: no cover - exercised on both paths in CI images
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
+__all__ = ["PacketPool", "SlabPacket", "DEFAULT_POOL_SLOTS"]
+
+#: Default slot count — sized so fig1-scale workloads (≲ a few hundred
+#: packets in flight, plus drop leakage) never overflow in practice.
+DEFAULT_POOL_SLOTS = 16384
+
+
+class SlabPacket(Packet):
+    """A packet whose hot fields live in a :class:`PacketPool` slot.
+
+    The cold fields (addresses, ports, payload, ttl, uid) stay ordinary
+    instance slots inherited from :class:`Packet`; ``size``, ``dscp``,
+    ``ecn`` and ``enqueued_at`` are properties over the pool arrays, so
+    array readers and attribute readers always agree.
+    """
+
+    __slots__ = ("pool", "slot")
+
+    def __init__(self, *args, **kwargs) -> None:  # pragma: no cover
+        raise TypeError("SlabPacket is created via PacketPool.acquire()")
+
+    # -- hot fields: array-backed -----------------------------------------
+
+    @property
+    def size(self) -> int:
+        return self.pool.sizes[self.slot]
+
+    @size.setter
+    def size(self, value: int) -> None:
+        self.pool.sizes[self.slot] = value
+
+    @property
+    def dscp(self) -> int:
+        return self.pool.dscps[self.slot]
+
+    @dscp.setter
+    def dscp(self, value: int) -> None:
+        self.pool.dscps[self.slot] = value
+
+    @property
+    def ecn(self) -> int:
+        return self.pool.ecns[self.slot]
+
+    @ecn.setter
+    def ecn(self, value: int) -> None:
+        self.pool.ecns[self.slot] = value
+
+    @property
+    def enqueued_at(self) -> float:
+        return self.pool.enqueued_ats[self.slot]
+
+    @enqueued_at.setter
+    def enqueued_at(self, value: float) -> None:
+        self.pool.enqueued_ats[self.slot] = value
+
+    @property
+    def flow_id(self) -> int:
+        """The pool-interned small-integer flow identity."""
+        return self.pool.flow_ids[self.slot]
+
+
+class PacketPool:
+    """Preallocated parallel arrays of per-packet hot state.
+
+    Typecodes are fixed-width so the NumPy views are portable:
+    ``q`` (int64) for sizes and flow ids, ``b`` (int8) for the 6-bit
+    DSCP and 2-bit ECN fields, ``d`` (float64) for sojourn stamps.
+    """
+
+    __slots__ = (
+        "capacity",
+        "sizes",
+        "dscps",
+        "ecns",
+        "enqueued_ats",
+        "flow_ids",
+        "in_use",
+        "_free",
+        "_views",
+        "_flow_intern",
+        "_flow_keys",
+        "acquired",
+        "released",
+        "recycled_views",
+        "overflow",
+    )
+
+    def __init__(self, capacity: int = DEFAULT_POOL_SLOTS) -> None:
+        if capacity <= 0:
+            raise ValueError("pool capacity must be positive")
+        self.capacity = capacity
+        zero_q = array("q", [0]) * capacity
+        self.sizes = array("q", zero_q)
+        self.flow_ids = array("q", zero_q)
+        self.dscps = array("b", bytes(capacity))
+        self.ecns = array("b", bytes(capacity))
+        self.in_use = array("b", bytes(capacity))
+        self.enqueued_ats = array("d", [0.0]) * capacity
+        # Popping from the tail hands out low slots first, keeping the
+        # live region of the arrays dense (cache-friendly scans).
+        self._free: List[int] = list(range(capacity - 1, -1, -1))
+        self._views: List[Optional[SlabPacket]] = [None] * capacity
+        self._flow_intern: Dict[FlowKey, int] = {}
+        self._flow_keys: List[FlowKey] = []
+        #: Lifetime counters for the allocation audit.
+        self.acquired = 0
+        self.released = 0
+        self.recycled_views = 0
+        self.overflow = 0
+
+    # -- flow interning ---------------------------------------------------
+
+    def intern_flow(self, key: FlowKey) -> int:
+        """Map a 5-tuple to a dense small-integer flow id."""
+        fid = self._flow_intern.get(key)
+        if fid is None:
+            fid = len(self._flow_keys)
+            self._flow_intern[key] = fid
+            self._flow_keys.append(key)
+        return fid
+
+    def flow_key_of(self, flow_id: int) -> FlowKey:
+        return self._flow_keys[flow_id]
+
+    @property
+    def flow_count(self) -> int:
+        return len(self._flow_keys)
+
+    # -- slot lifecycle ---------------------------------------------------
+
+    def acquire(
+        self,
+        src: int,
+        dst: int,
+        sport: int,
+        dport: int,
+        proto: int,
+        size: int,
+        payload: Any = None,
+        dscp: int = 0,
+        ttl: int = DEFAULT_TTL,
+        created_at: float = 0.0,
+        ecn: int = ECN_NOT_ECT,
+    ) -> Packet:
+        """A live packet for one datagram — slab-backed when a slot is
+        free, a plain heap :class:`Packet` otherwise."""
+        if size <= 0:
+            raise ValueError(f"packet size must be positive, got {size}")
+        free = self._free
+        if not free:
+            self.overflow += 1
+            return Packet(
+                src, dst, sport, dport, proto, size,
+                payload, dscp, ttl, created_at, ecn,
+            )
+        slot = free.pop()
+        self.sizes[slot] = size
+        self.dscps[slot] = dscp
+        self.ecns[slot] = ecn
+        self.enqueued_ats[slot] = 0.0
+        self.flow_ids[slot] = self.intern_flow(
+            FlowKey(src, dst, sport, dport, proto)
+        )
+        self.in_use[slot] = 1
+        view = self._views[slot]
+        if view is None:
+            view = SlabPacket.__new__(SlabPacket)
+            view.pool = self
+            view.slot = slot
+            self._views[slot] = view
+        else:
+            self.recycled_views += 1
+        view.src = src
+        view.dst = dst
+        view.sport = sport
+        view.dport = dport
+        view.proto = proto
+        view.payload = payload
+        view.ttl = ttl
+        view.uid = next(_uid_counter)
+        view.created_at = created_at
+        self.acquired += 1
+        return view
+
+    def release(self, packet: Packet) -> None:
+        """Return ``packet``'s slot to the free list.
+
+        Plain packets (overflow fallbacks, foreign construction) are
+        ignored, so callers may release unconditionally.
+        """
+        if type(packet) is not SlabPacket or packet.pool is not self:
+            return
+        slot = packet.slot
+        if not self.in_use[slot]:
+            return  # double release — already back on the free list
+        packet.payload = None  # drop the reference; the slot may idle
+        self.in_use[slot] = 0
+        self._free.append(slot)
+        self.released += 1
+
+    @property
+    def in_flight(self) -> int:
+        """Slots currently out (live packets plus leaked drop slots)."""
+        return self.capacity - len(self._free)
+
+    # -- array readers ----------------------------------------------------
+
+    def sizes_view(self):
+        """Zero-copy int64 view of the size column (NumPy required)."""
+        return _np.frombuffer(self.sizes, dtype=_np.int64)
+
+    def dscps_view(self):
+        return _np.frombuffer(self.dscps, dtype=_np.int8)
+
+    def ecns_view(self):
+        return _np.frombuffer(self.ecns, dtype=_np.int8)
+
+    def enqueued_ats_view(self):
+        return _np.frombuffer(self.enqueued_ats, dtype=_np.float64)
+
+    def flow_ids_view(self):
+        return _np.frombuffer(self.flow_ids, dtype=_np.int64)
+
+    def in_use_view(self):
+        return _np.frombuffer(self.in_use, dtype=_np.int8)
+
+    @staticmethod
+    def numpy_available() -> bool:
+        return _np is not None
+
+    def flow_bytes(self) -> Dict[FlowKey, int]:
+        """In-flight bytes per flow, one vectorised pass over the slab
+        (pure-python fallback when NumPy is absent)."""
+        if _np is not None:
+            used = self.in_use_view().astype(bool)
+            if not used.any():
+                return {}
+            totals = _np.bincount(
+                self.flow_ids_view()[used],
+                weights=self.sizes_view()[used],
+                minlength=len(self._flow_keys),
+            )
+            return {
+                self._flow_keys[fid]: int(total)
+                for fid, total in enumerate(totals)
+                if total
+            }
+        totals: Dict[int, int] = {}
+        for slot in range(self.capacity):
+            if self.in_use[slot]:
+                fid = self.flow_ids[slot]
+                totals[fid] = totals.get(fid, 0) + self.sizes[slot]
+        return {self._flow_keys[fid]: b for fid, b in totals.items()}
+
+    def stats(self) -> dict:
+        """JSON-ready counters for telemetry snapshots and the
+        allocation audit."""
+        return {
+            "capacity": self.capacity,
+            "in_flight": self.in_flight,
+            "acquired": self.acquired,
+            "released": self.released,
+            "recycled_views": self.recycled_views,
+            "overflow": self.overflow,
+            "flows": len(self._flow_keys),
+        }

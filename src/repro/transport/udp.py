@@ -26,6 +26,11 @@ _EPHEMERAL_BASE = 32768
 class UdpLayer:
     """Per-host UDP: port allocation and datagram demultiplexing."""
 
+    __slots__ = (
+        "host", "sim", "_sockets", "_next_ephemeral", "rx_datagrams",
+        "no_port_drops",
+    )
+
     def __init__(self, host: Host) -> None:
         self.host = host
         self.sim = host.sim
@@ -58,13 +63,24 @@ class UdpLayer:
         sock = self._sockets.get(packet.dport)
         if sock is None:
             self.no_port_drops += 1
-            return
-        self.rx_datagrams += 1
-        sock._on_datagram(packet)
+        else:
+            self.rx_datagrams += 1
+            sock._on_datagram(packet)
+        # End of a pooled datagram's bracketed lifetime: the inbox keeps
+        # the extracted fields, never the packet, so its slab slot (if
+        # any) can be recycled. No-op for plain packets / packet mode.
+        pool = self.sim.packet_pool
+        if pool is not None:
+            pool.release(packet)
 
 
 class UdpSocket:
     """A bound UDP endpoint."""
+
+    __slots__ = (
+        "layer", "port", "dscp", "_inbox", "tx_datagrams", "tx_bytes",
+        "closed",
+    )
 
     def __init__(self, layer: UdpLayer, port: int, dscp: int = 0) -> None:
         self.layer = layer
@@ -98,22 +114,48 @@ class UdpSocket:
             )
         # Positional construction (src, dst, sport, dport, proto, size,
         # payload, dscp, ttl, created_at): the contention generator
-        # builds one of these per datagram.
-        packet = Packet(
-            self.host.addr,
-            dst,
-            self.port,
-            dport,
-            PROTO_UDP,
-            nbytes + IP_HEADER_BYTES + UDP_HEADER_BYTES,
-            payload,
-            self.dscp,
-            DEFAULT_TTL,
-            self.layer.sim._now,
-        )
+        # builds one of these per datagram. Batch/hybrid modes draw the
+        # datagram from the struct-of-arrays slab instead — UDP is the
+        # one datapath whose packet lifetime is provably bracketed
+        # (released by the receiving UdpLayer), so it is the pooled one.
+        sim = self.layer.sim
+        size = nbytes + IP_HEADER_BYTES + UDP_HEADER_BYTES
+        if sim.batch_egress:
+            packet = sim.get_packet_pool().acquire(
+                self.host.addr,
+                dst,
+                self.port,
+                dport,
+                PROTO_UDP,
+                size,
+                payload,
+                self.dscp,
+                DEFAULT_TTL,
+                sim._now,
+            )
+        else:
+            packet = Packet(
+                self.host.addr,
+                dst,
+                self.port,
+                dport,
+                PROTO_UDP,
+                size,
+                payload,
+                self.dscp,
+                DEFAULT_TTL,
+                sim._now,
+            )
         self.tx_datagrams += 1
         self.tx_bytes += nbytes
-        return self.host.send_packet(packet)
+        accepted = self.host.send_packet(packet)
+        if not accepted:
+            # Refused at the local egress queue — the packet is dead
+            # and nothing downstream saw it; reclaim its slot.
+            pool = sim.packet_pool
+            if pool is not None:
+                pool.release(packet)
+        return accepted
 
     def recvfrom(self) -> Event:
         """Event yielding ``(payload_bytes, src_addr, sport, payload)``."""
