@@ -30,6 +30,12 @@ Workloads (``--workload``):
   run, asserting the hybrid Fig 1 statistics stay within 1% of packet
   mode (the fidelity gate) and reporting *effective* events/second
   (processed + credited); baseline in ``BENCH_hybrid.json``.
+* ``pdes`` — the ``garnet_xl`` grid (1,000 routers, 100k flows) run
+  2-sharded through the conservative PDES layer (inline backend, so
+  both shard simulators are measured in-process); the baseline in
+  ``BENCH_pdes.json`` additionally pins the per-shard event counts,
+  window count, and boundary-message total exactly — any drift means
+  the partition, the lookahead, or the boundary protocol changed.
 
 Usage::
 
@@ -195,6 +201,32 @@ def _run_hybrid():
             )
 
 
+def _run_pdes():
+    from repro.pdes import run_scenario
+
+    result = run_scenario("garnet_xl", seed=0, shards=2, backend="inline")
+    if sum(result.per_shard_events) != result.total_events:
+        raise SystemExit(
+            f"pdes workload lost events: shards {result.per_shard_events} "
+            f"vs total {result.total_events}"
+        )
+    if min(result.per_shard_events) <= 0:
+        raise SystemExit(
+            f"pdes workload left a shard idle ({result.per_shard_events}); "
+            "the partition is degenerate"
+        )
+    if sum(result.boundary_messages) <= 0:
+        raise SystemExit(
+            "pdes workload exchanged no boundary messages; the cut is "
+            "not being exercised"
+        )
+    return {
+        "per_shard_events": list(result.per_shard_events),
+        "windows": result.windows,
+        "boundary_messages": sum(result.boundary_messages),
+    }
+
+
 #: name -> (description line for the baseline file, baseline file, fn)
 WORKLOADS = {
     "kernel": (
@@ -223,11 +255,18 @@ WORKLOADS = {
         REPO / "BENCH_hybrid.json",
         _run_hybrid,
     ),
+    "pdes": (
+        "garnet_xl 2-shard inline PDES wall time + exact shard pins, gc off",
+        REPO / "BENCH_pdes.json",
+        _run_pdes,
+    ),
 }
 
 
 def measure_once(workload_fn):
-    """One workload run; returns (events, credited, wall_seconds)."""
+    """One workload run; returns (events, credited, wall_seconds,
+    pinned). ``pinned`` is the workload's optional dict of exact-match
+    values (e.g. the pdes per-shard event counts), None otherwise."""
     from repro.kernel import simulator as sim_mod
 
     sims = []
@@ -241,7 +280,7 @@ def measure_once(workload_fn):
     gc.disable()
     try:
         started = time.perf_counter()
-        workload_fn()
+        pinned = workload_fn()
         wall = time.perf_counter() - started
     finally:
         gc.enable()
@@ -251,23 +290,29 @@ def measure_once(workload_fn):
         sum(s.events_processed for s in sims),
         sum(s.events_credited for s in sims),
         wall,
+        pinned,
     )
 
 
 def measure(rounds: int, workload_fn):
     """Run ``rounds`` times; returns
-    (events, credited, best_wall, median_wall)."""
-    events = credited = None
+    (events, credited, best_wall, median_wall, pinned)."""
+    events = credited = pinned = None
     walls = []
     for i in range(rounds):
-        n, c, wall = measure_once(workload_fn)
+        n, c, wall, p = measure_once(workload_fn)
         if events is None:
-            events, credited = n, c
+            events, credited, pinned = n, c, p
         elif (n, c) != (events, credited):
             raise SystemExit(
                 f"nondeterministic event count: round {i} processed "
                 f"{n} (+{c} credited), round 0 processed {events} "
                 f"(+{credited} credited)"
+            )
+        elif p != pinned:
+            raise SystemExit(
+                f"nondeterministic workload pins: round {i} produced "
+                f"{p!r}, round 0 produced {pinned!r}"
             )
         walls.append(wall)
         effective = "" if not c else (
@@ -275,7 +320,7 @@ def measure(rounds: int, workload_fn):
         )
         print(f"round {i}: {n} events in {wall:.2f}s "
               f"({n / wall:,.0f} events/s{effective})")
-    return events, credited, min(walls), statistics.median(walls)
+    return events, credited, min(walls), statistics.median(walls), pinned
 
 
 def _baseline_floor(baseline: dict, tolerance: float):
@@ -367,7 +412,7 @@ def main(argv=None) -> int:
             )
         return _profile(workload_fn, args.profile_out)
 
-    events, credited, best, median = measure(args.rounds, workload_fn)
+    events, credited, best, median, pinned = measure(args.rounds, workload_fn)
     best_eps = events / best
     median_eps = events / median
     line = (
@@ -406,6 +451,14 @@ def main(argv=None) -> int:
                 f"shortcuts drifted"
             )
             status = 1
+        baseline_pinned = baseline.get("pinned")
+        if baseline_pinned is not None and pinned != baseline_pinned:
+            print(
+                f"FAIL: pinned workload values changed:\n"
+                f"  measured: {json.dumps(pinned, sort_keys=True)}\n"
+                f"  baseline: {json.dumps(baseline_pinned, sort_keys=True)}"
+            )
+            status = 1
         metric, floor = _baseline_floor(baseline, args.tolerance)
         gate_eps = median_eps if metric == "median" else best_eps
         if gate_eps < floor:
@@ -437,6 +490,8 @@ def main(argv=None) -> int:
             entry["effective_events_per_sec"] = round(
                 (events + credited) / median
             )
+        if pinned is not None:
+            entry["pinned"] = pinned
         bench["history"].append(entry)
         bench_file.write_text(json.dumps(bench, indent=2) + "\n")
         print(f"recorded in {bench_file}")

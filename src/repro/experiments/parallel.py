@@ -17,6 +17,11 @@ Telemetry: a telemetry session is process-global state tied to one
 simulator at a time, so when collection is on, partitioning is
 disabled — each experiment runs whole inside one worker, which
 installs its own session and exports its own metrics files.
+
+Fallback: with ``--parallel 1``, or on platforms without the ``fork``
+start method, the same job plan executes in-process — no pool, no
+pickling — and produces byte-identical results (every job builds its
+deployment from the seed, so values never depend on where they ran).
 """
 
 from __future__ import annotations
@@ -51,6 +56,7 @@ _WHOLE_WEIGHTS = {
     "fig8": 0.5,
     "fig9": 11.0,
     "fig_adaptation": 5.0,
+    "garnet_xl": 25.0,
 }
 #: One fig_adaptation flavor is a single fixed-duration run.
 _FIG_ADAPTATION_CELL_WEIGHT = 2.5
@@ -261,15 +267,26 @@ def run_parallel(
     # Longest first: the heaviest job bounds the pool's critical path,
     # so it must never be picked up last.
     ordered = sorted(jobs, key=lambda j: -j.weight)
-    # Fork keeps worker startup cheap and inherits the imported stack.
-    ctx = mp.get_context("fork")
     raw: Dict[Tuple[str, Any], Any] = {}
-    with ctx.Pool(processes=processes) as pool:
-        pending = [(job.key, pool.apply_async(job.fn, job.args)) for job in ordered]
-        pool.close()
-        for key, handle in pending:
-            raw[key] = handle.get()
-        pool.join()
+    if processes <= 1 or "fork" not in mp.get_all_start_methods():
+        # In-process fallback: same plan, same merge, no pool. Each
+        # job rebuilds its deployment from the seed, so the output is
+        # byte-identical to a pooled run.
+        for job in ordered:
+            raw[job.key] = job.fn(*job.args)
+    else:
+        # Fork keeps worker startup cheap and inherits the imported
+        # stack.
+        ctx = mp.get_context("fork")
+        with ctx.Pool(processes=processes) as pool:
+            pending = [
+                (job.key, pool.apply_async(job.fn, job.args))
+                for job in ordered
+            ]
+            pool.close()
+            for key, handle in pending:
+                raw[key] = handle.get()
+            pool.join()
 
     results = []
     partition = not collect

@@ -6,10 +6,14 @@ Usage::
                         [exp ...]
 
 where ``exp`` is any of: fig1 fig5 fig6 fig7 table1 table1_aqm
-table1_l4s fig8 fig9 fig_adaptation (default: all, in paper order). ``--quick`` runs the scaled-down variants the
+table1_l4s fig8 fig9 fig_adaptation garnet_xl (default: all, in paper
+order). ``--quick`` runs the scaled-down variants the
 benchmark suite uses. ``--parallel N`` fans the work out over N worker
 processes (see :mod:`repro.experiments.parallel`); results are
-identical to a serial run except for ``elapsed_seconds``.
+identical to a serial run except for ``elapsed_seconds``. ``--shards
+N`` partitions a single simulation across N PDES workers (see
+:mod:`repro.pdes`) for the experiments that support it; merged results
+are byte-identical to the 1-shard run.
 """
 
 from __future__ import annotations
@@ -30,6 +34,7 @@ from . import (
     fig8_cpu_reservation,
     fig9_combined,
     fig_adaptation,
+    garnet_xl,
     table1_aqm,
     table1_burstiness,
     table1_l4s,
@@ -49,6 +54,7 @@ EXPERIMENTS = {
     "fig8": fig8_cpu_reservation.run,
     "fig9": fig9_combined.run,
     "fig_adaptation": fig_adaptation.run,
+    "garnet_xl": garnet_xl.run,
 }
 
 
@@ -135,6 +141,12 @@ def main(argv=None) -> int:
         "--parallel", type=int, default=1, metavar="N",
         help="run experiments over N worker processes (default: serial)",
     )
+    parser.add_argument(
+        "--shards", type=int, default=1, metavar="N",
+        help="partition each supporting experiment's single simulation "
+             "across N PDES workers (repro.pdes); merged output is "
+             "byte-identical to --shards 1",
+    )
     telemetry_group = parser.add_mutually_exclusive_group()
     telemetry_group.add_argument(
         "--telemetry", dest="telemetry", action="store_true", default=None,
@@ -158,8 +170,27 @@ def main(argv=None) -> int:
         )
     if args.parallel < 1:
         parser.error(f"--parallel must be >= 1, got {args.parallel}")
+    if args.shards < 1:
+        parser.error(f"--shards must be >= 1, got {args.shards}")
 
     selected_early = args.experiments or list(EXPERIMENTS)
+    if args.shards > 1:
+        import inspect
+
+        if args.parallel > 1:
+            parser.error(
+                "--shards partitions one simulation across processes and "
+                "--parallel fans whole experiments out; pick one"
+            )
+        unsupported = [
+            name for name in selected_early
+            if "shards" not in inspect.signature(EXPERIMENTS[name]).parameters
+        ]
+        if unsupported:
+            parser.error(
+                f"--shards is not supported by: {', '.join(unsupported)} "
+                f"(only PDES-backed experiments take a shards parameter)"
+            )
     if args.mode != "packet":
         import inspect
 
@@ -214,6 +245,8 @@ def main(argv=None) -> int:
             kwargs = {"quick": args.quick, "seed": args.seed}
             if args.mode != "packet":
                 kwargs["mode"] = args.mode
+            if args.shards > 1:
+                kwargs["shards"] = args.shards
             result = EXPERIMENTS[name](**kwargs)
         finally:
             gc.enable()

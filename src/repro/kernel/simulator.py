@@ -41,6 +41,8 @@ lazily when popped; when more than half the heap is dead
 from __future__ import annotations
 
 import heapq
+import math
+import zlib
 from itertools import count
 from time import perf_counter
 from typing import Any, Callable, Generator, Iterable, Optional
@@ -119,6 +121,8 @@ class Simulator:
         "_dead",
         "_active_proc",
         "rng",
+        "_seed",
+        "_rng_streams",
         "events_processed",
         "events_credited",
         "mode",
@@ -150,6 +154,10 @@ class Simulator:
         self._dead: int = 0
         self._active_proc: Optional[Process] = None
         self.rng: np.random.Generator = np.random.default_rng(seed)
+        # Root seed for named substreams (see rng_stream); streams are
+        # cached so repeated lookups return the same generator object.
+        self._seed: int = seed
+        self._rng_streams: dict = {}
         #: Number of live queue entries processed so far (for
         #: profiling). Dead entries skipped by the run loop do not
         #: count.
@@ -240,6 +248,31 @@ class Simulator:
     def active_process(self) -> Optional[Process]:
         """The process currently being stepped, if any."""
         return self._active_proc
+
+    @property
+    def seed(self) -> int:
+        """The seed this simulator was constructed with."""
+        return self._seed
+
+    def rng_stream(self, name: str) -> np.random.Generator:
+        """A named random substream derived from the simulator seed.
+
+        The stream for a given ``name`` depends only on ``(seed, name)``
+        — never on how many other streams exist or in what order they
+        were created — so components that draw from named streams
+        produce the same values regardless of how a topology is
+        partitioned across shards. This is the determinism contract
+        sharded runs rely on: use ``rng_stream`` (not :attr:`rng`) for
+        any randomness consumed at runtime in a scenario that must be
+        shard-count invariant.
+        """
+        gen = self._rng_streams.get(name)
+        if gen is None:
+            gen = np.random.default_rng(
+                [self._seed & 0xFFFFFFFF, zlib.crc32(name.encode("utf-8"))]
+            )
+            self._rng_streams[name] = gen
+        return gen
 
     # -- scheduling -----------------------------------------------------
 
@@ -594,6 +627,40 @@ class Simulator:
                             ) from exc
         finally:
             self.events_processed += processed
+
+    def run_window(self, limit: float) -> None:
+        """Process every queue entry with ``time < limit`` (strict).
+
+        The conservative-PDES building block: a shard runs a lockstep
+        window ``[now, limit)`` and stops with the clock at or before
+        ``limit`` without consuming any entry at ``limit`` itself, so
+        messages injected by peers *at* ``limit`` (the lookahead
+        guarantee) are still in the future. Implemented on top of the
+        inclusive :meth:`run` by stepping ``limit`` one ulp down, so
+        the clock lands strictly below ``limit`` (the PDES runtime owns
+        clock finalisation at the end of the whole run).
+        """
+        if limit <= self._now:
+            return
+        bound = math.nextafter(limit, -math.inf)
+        if bound < self._now:  # limit is one ulp above now: nothing strictly inside
+            return
+        self.run(until=bound)
+
+    def inject(self, time: float, priority: int, fn: Callable, arg: Any) -> None:
+        """Schedule ``fn(arg)`` at absolute ``time`` from outside the run loop.
+
+        The cross-shard delivery primitive: the PDES runtime turns a
+        peer shard's egress message back into a local fast-path entry.
+        ``time`` must not be in the past — conservative synchronization
+        guarantees arrivals land at or after the current window start.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"inject at t={time!r} is in the past (now={self._now}); "
+                "lookahead violated"
+            )
+        _heappush(self._queue, (time, priority, next(self._seq), _FAST, fn, arg))
 
     def run_until_event(self, event: Event, limit: float = float("inf")) -> Any:
         """Run until ``event`` is processed; returns its value.

@@ -14,6 +14,7 @@ from .packet import (
     TCP_HEADER_BYTES,
     UDP_HEADER_BYTES,
 )
+from .grid import GridFlow, GridRouter, GridTestbed, garnet_grid, plan_flows
 from .node import Host, Interface, Node, Router
 from .queues import DropTailQueue, Qdisc
 from .topology import (
@@ -24,6 +25,7 @@ from .topology import (
     WideAreaTestbed,
     garnet,
     garnet_wide,
+    partition_topology,
 )
 from .trace import PacketTracer, TraceRecord
 from .units import KB, MB, kbps, mbps, to_kbps, to_mbps, transmission_time
@@ -37,6 +39,9 @@ __all__ = [
     "ECN_NOT_ECT",
     "FlowKey",
     "GarnetTestbed",
+    "GridFlow",
+    "GridRouter",
+    "GridTestbed",
     "Host",
     "IP_HEADER_BYTES",
     "Interface",
@@ -57,8 +62,11 @@ __all__ = [
     "UDP_HEADER_BYTES",
     "WideAreaTestbed",
     "garnet",
+    "garnet_grid",
     "garnet_wide",
     "kbps",
+    "partition_topology",
+    "plan_flows",
     "mbps",
     "to_kbps",
     "to_mbps",

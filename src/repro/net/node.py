@@ -41,9 +41,9 @@ class Interface:
     __slots__ = (
         "node", "sim", "name", "_bandwidth", "_sec_per_byte", "delay",
         "_qdisc", "_dequeue", "peer", "ingress", "up", "impairments",
-        "_busy", "_batch", "fluid_channel", "_tx_done", "tx_packets",
-        "tx_bytes", "rx_packets", "rx_bytes", "ingress_drops",
-        "link_down_drops", "impairment_drops",
+        "_busy", "_batch", "fluid_channel", "_tx_done", "remote_egress",
+        "tx_packets", "tx_bytes", "rx_packets", "rx_bytes",
+        "ingress_drops", "link_down_drops", "impairment_drops",
     )
 
     def __init__(
@@ -88,6 +88,13 @@ class Interface:
         #: Fluid background channel sharing this egress line
         #: (:class:`repro.net.fluid.FluidChannel`), hybrid mode only.
         self.fluid_channel = None
+        #: Cross-shard egress hook (conservative PDES). When set, the
+        #: link's far end lives on another shard: instead of scheduling
+        #: ``peer._deliver_arrival`` locally, the tx path calls
+        #: ``remote_egress(arrival_time, packet)`` and the PDES runtime
+        #: ships the packet as a timestamped event message. None (one
+        #: slot load + branch) on every non-sharded run.
+        self.remote_egress = None
         # Counters.
         self.tx_packets = 0
         self.tx_bytes = 0
@@ -222,6 +229,7 @@ class Interface:
                 # (same or higher band) delays its first serialization.
                 finish += fluid.on_foreground_burst(sim._now, batch)
             peer_deliver = self.peer._deliver_arrival
+            remote = self.remote_egress
             tel = sim.telemetry
             want_tx = (
                 tel is not None
@@ -253,11 +261,14 @@ class Interface:
                         dscp=packet.dscp, size=packet.size,
                         backlog=len(self.qdisc),
                     )
-                _heappush(
-                    queue,
-                    (finish + delay, _NORMAL, next(seq), _FAST,
-                     peer_deliver, packet),
-                )
+                if remote is None:
+                    _heappush(
+                        queue,
+                        (finish + delay, _NORMAL, next(seq), _FAST,
+                         peer_deliver, packet),
+                    )
+                else:
+                    remote(finish + delay, packet)
             sim.events_credited += len(batch) - 1
             _heappush(
                 queue,
@@ -319,17 +330,23 @@ class Interface:
             )
         # Inlined sim.call_fast — propagation arrival at the peer.
         sim = self.sim
-        _heappush(
-            sim._queue,
-            (
-                sim._now + self.delay,
-                _NORMAL,
-                next(sim._seq),
-                _FAST,
-                self.peer._deliver_arrival,
-                packet,
-            ),
-        )
+        remote = self.remote_egress
+        if remote is None:
+            _heappush(
+                sim._queue,
+                (
+                    sim._now + self.delay,
+                    _NORMAL,
+                    next(sim._seq),
+                    _FAST,
+                    self.peer._deliver_arrival,
+                    packet,
+                ),
+            )
+        else:
+            # Peer lives on another shard: hand the packet to the PDES
+            # runtime stamped with its physical arrival time.
+            remote(sim._now + self.delay, packet)
         # Inlined _transmit_next: this tail runs once per transmitted
         # packet, so the extra call is worth eliding.
         packet = self._dequeue()

@@ -21,7 +21,14 @@ from .node import Host, Interface, Node, Router
 from .queues import DropTailQueue, Qdisc
 from .units import mbps
 
-__all__ = ["Network", "LinkRecord", "RouteError", "GarnetTestbed", "garnet"]
+__all__ = [
+    "Network",
+    "LinkRecord",
+    "RouteError",
+    "GarnetTestbed",
+    "garnet",
+    "partition_topology",
+]
 
 
 @dataclass
@@ -263,6 +270,113 @@ class Network:
 
     def node(self, name: str) -> Node:
         return self.nodes[name]
+
+
+def partition_topology(
+    network: Network,
+    n_shards: int,
+    hint: Optional[Dict[str, int]] = None,
+) -> Dict[str, int]:
+    """Partition a topology's nodes into ``n_shards`` groups at link
+    boundaries, preferring cuts through *high-delay* links.
+
+    Returns a deterministic mapping ``node name -> shard index``. The
+    conservative-PDES lookahead is the minimum propagation delay over
+    the links the partition cuts, so a good partition cuts the slowest
+    links: shards synchronize less often and ship fewer boundary
+    messages. The algorithm is single-linkage agglomeration (Kruskal
+    order): starting from one cluster per node, merge across links in
+    ascending delay order — ties broken by sorted endpoint names — so
+    tightly-coupled low-delay neighborhoods coalesce first and the
+    surviving inter-shard links are the high-delay ones. A size cap
+    (relaxed only when merging stalls) keeps the shards balanced, and
+    disconnected components are folded together smallest-first as a
+    last resort.
+
+    ``hint`` short-circuits everything: an explicit full
+    ``name -> shard`` mapping (topology generators that know their own
+    best cut, like the grid generator's row stripes, pass one).
+
+    Shard indices are stable: shards are numbered by the insertion
+    order of their earliest-registered node, so shard 0 always holds
+    the first node added to the network.
+    """
+    if n_shards < 1:
+        raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+    names = list(network.nodes)  # insertion order
+    if not names:
+        raise ValueError("cannot partition an empty network")
+    if hint is not None:
+        missing = [n for n in names if n not in hint]
+        if missing:
+            raise ValueError(f"partition hint is missing nodes: {missing[:5]}")
+        used = sorted({hint[n] for n in names})
+        if used != list(range(n_shards)):
+            raise ValueError(
+                f"partition hint uses shard ids {used}, expected 0..{n_shards - 1}"
+            )
+        return {n: hint[n] for n in names}
+    if n_shards > len(names):
+        raise ValueError(
+            f"n_shards={n_shards} exceeds node count {len(names)}"
+        )
+    if n_shards == 1:
+        return {n: 0 for n in names}
+
+    order = {name: i for i, name in enumerate(names)}
+    # Union-find over node names.
+    parent = {n: n for n in names}
+
+    def find(x: str) -> str:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    size = {n: 1 for n in names}
+    count = len(names)
+    edges = sorted(
+        (link.delay, *sorted((link.node_a.name, link.node_b.name)))
+        for link in network.links
+    )
+    cap = -(-len(names) // n_shards)  # ceil
+    while count > n_shards:
+        merged = 0
+        for _delay, a, b in edges:
+            if count <= n_shards:
+                break
+            ra, rb = find(a), find(b)
+            if ra == rb or size[ra] + size[rb] > cap:
+                continue
+            # Attach to the earlier-registered root for stable numbering.
+            if order[rb] < order[ra]:
+                ra, rb = rb, ra
+            parent[rb] = ra
+            size[ra] += size[rb]
+            count -= 1
+            merged += 1
+        if count <= n_shards:
+            break
+        if merged == 0:
+            if cap < len(names):
+                cap = max(cap + 1, cap * 5 // 4)
+            else:
+                # Disconnected components: fold the two smallest
+                # clusters together (ties by insertion order).
+                roots = sorted(
+                    (r for r in names if find(r) == r),
+                    key=lambda r: (size[r], order[r]),
+                )
+                ra, rb = roots[0], roots[1]
+                if order[rb] < order[ra]:
+                    ra, rb = rb, ra
+                parent[rb] = ra
+                size[ra] += size[rb]
+                count -= 1
+    # Number shards by insertion order of their earliest node.
+    roots = sorted((r for r in names if find(r) == r), key=lambda r: order[r])
+    shard_of_root = {r: i for i, r in enumerate(roots)}
+    return {n: shard_of_root[find(n)] for n in names}
 
 
 @dataclass

@@ -1,0 +1,29 @@
+"""Conservative parallel discrete-event simulation (PDES).
+
+One topology, many workers: :func:`repro.net.topology.partition_topology`
+cuts the node set at link boundaries, each shard runs its own
+:class:`repro.kernel.Simulator` over the full (identically built)
+topology with only its *owned* actors installed, and shards advance in
+lockstep windows bounded by the **lookahead** — the minimum propagation
+delay of any cut link. Cross-shard packet delivery becomes a
+timestamped event message instead of a direct Python call
+(:attr:`repro.net.node.Interface.remote_egress`), and a deterministic
+merge makes the N-shard run byte-identical to the 1-shard run for the
+same seed (see docs/INTERNALS.md, "Conservative PDES").
+"""
+
+from .plan import ShardPlan, make_plan
+from .runtime import PdesResult, run_scenario
+from .scenarios import SCENARIOS, Scenario, get_scenario
+from .shard import ShardRunner
+
+__all__ = [
+    "PdesResult",
+    "SCENARIOS",
+    "Scenario",
+    "ShardPlan",
+    "ShardRunner",
+    "get_scenario",
+    "make_plan",
+    "run_scenario",
+]

@@ -1,0 +1,111 @@
+"""Shard-count-invariance gate: ``python -m repro.pdes.check``.
+
+Runs one scenario at each requested shard count and byte-compares the
+deterministically merged outputs (and the per-run total event count,
+which a sharded run must conserve exactly). Exit status 0 when every
+layout reproduces the 1-shard bytes, 1 otherwise — CI runs this on a
+one-core container, where the fork backend still exercises the real
+cross-process protocol even though it yields no speedup.
+
+Examples::
+
+    python -m repro.pdes.check --scenario garnet_small --shards 1,2,4
+    python -m repro.pdes.check --scenario fig1 --shards 1,2 --duration 4
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from .runtime import run_scenario
+
+__all__ = ["main"]
+
+
+def _first_diff(a: str, b: str, context: int = 60) -> str:
+    n = min(len(a), len(b))
+    for i in range(n):
+        if a[i] != b[i]:
+            lo = max(0, i - context)
+            return (
+                f"first differing byte at offset {i}:\n"
+                f"  reference: ...{a[lo:i + context]!r}\n"
+                f"  candidate: ...{b[lo:i + context]!r}"
+            )
+    return f"payload lengths differ: {len(a)} vs {len(b)}"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.pdes.check",
+        description="verify N-shard PDES runs are byte-identical to 1-shard",
+    )
+    parser.add_argument("--scenario", default="garnet_small")
+    parser.add_argument(
+        "--shards",
+        default="1,2,4",
+        help="comma-separated shard counts; the first is the reference",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--duration", type=float, default=None,
+        help="override the scenario's run length (seconds)",
+    )
+    parser.add_argument(
+        "--backend", default="auto", choices=["auto", "inline", "fork"],
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="emit the per-layout summaries as JSON on stdout",
+    )
+    args = parser.parse_args(argv)
+
+    counts = [int(s) for s in args.shards.split(",") if s.strip()]
+    if not counts:
+        parser.error("--shards must name at least one count")
+
+    reference = None
+    ref_events = None
+    summaries = []
+    failed = False
+    for shards in counts:
+        result = run_scenario(
+            args.scenario,
+            seed=args.seed,
+            shards=shards,
+            backend=args.backend,
+            duration=args.duration,
+        )
+        payload = json.dumps(result.merged, sort_keys=True)
+        summaries.append(result.summary())
+        line = (
+            f"{args.scenario} x{shards} [{result.backend}]: "
+            f"{result.total_events} events, {result.windows} windows, "
+            f"{sum(result.boundary_messages)} boundary msgs, "
+            f"{result.wall_s:.2f}s"
+        )
+        if reference is None:
+            reference, ref_events = payload, result.total_events
+            print(f"{line} (reference)")
+            continue
+        ok = payload == reference and result.total_events == ref_events
+        print(f"{line} -> {'OK' if ok else 'MISMATCH'}")
+        if not ok:
+            failed = True
+            if result.total_events != ref_events:
+                print(
+                    f"  event count diverged: {result.total_events} "
+                    f"vs {ref_events}",
+                    file=sys.stderr,
+                )
+            if payload != reference:
+                print("  " + _first_diff(reference, payload), file=sys.stderr)
+    if args.json:
+        print(json.dumps(summaries, indent=2, sort_keys=True))
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,76 @@
+"""Shard plans: who owns which node, and what the lookahead is."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..net.topology import Network, partition_topology
+
+__all__ = ["ShardPlan", "make_plan"]
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """A partition of one topology across ``n_shards`` workers.
+
+    ``lookahead`` is the minimum propagation delay over the cut links:
+    a message generated at time *t* on one shard cannot arrive on
+    another before ``t + lookahead``, which is what lets every shard
+    safely process a window of that width without hearing from its
+    peers. ``inf`` when nothing is cut (one shard, or disconnected
+    components).
+    """
+
+    n_shards: int
+    #: node name -> shard index, for every node in the network.
+    assignment: Dict[str, int]
+    #: Minimum propagation delay over the cut links (seconds).
+    lookahead: float
+    #: Indices into ``network.links`` of the links the partition cuts.
+    cut_links: Tuple[int, ...]
+
+    def owner(self, name: str) -> int:
+        return self.assignment[name]
+
+    def owns(self, shard_id: int, name: str) -> bool:
+        return self.assignment[name] == shard_id
+
+    def shard_sizes(self) -> Tuple[int, ...]:
+        sizes = [0] * self.n_shards
+        for shard in self.assignment.values():
+            sizes[shard] += 1
+        return tuple(sizes)
+
+
+def make_plan(
+    network: Network,
+    n_shards: int,
+    hint: Optional[Dict[str, int]] = None,
+) -> ShardPlan:
+    """Partition ``network`` and derive the cut set and lookahead.
+
+    Conservative synchronization needs strictly positive lookahead, so
+    a partition that cuts a zero-delay link is rejected — repartition
+    (or pass a ``hint``) so such links stay internal to a shard.
+    """
+    assignment = partition_topology(network, n_shards, hint=hint)
+    cut = []
+    lookahead = float("inf")
+    for idx, link in enumerate(network.links):
+        if assignment[link.node_a.name] != assignment[link.node_b.name]:
+            if link.delay <= 0.0:
+                raise ValueError(
+                    f"partition cuts zero-delay link "
+                    f"{link.node_a.name}--{link.node_b.name}; conservative "
+                    "PDES needs positive lookahead on every cut link"
+                )
+            cut.append(idx)
+            if link.delay < lookahead:
+                lookahead = link.delay
+    return ShardPlan(
+        n_shards=n_shards,
+        assignment=assignment,
+        lookahead=lookahead,
+        cut_links=tuple(cut),
+    )

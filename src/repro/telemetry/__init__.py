@@ -39,6 +39,7 @@ from .collect import (
 )
 from .export import export_csv, export_json, metrics_csv_text, metrics_payload
 from .hub import Telemetry, active, install, uninstall
+from .merge import merge_registries
 from .profiler import CallSite, SimProfiler
 from .registry import (
     CounterMetric,
@@ -74,6 +75,7 @@ __all__ = [
     "export_csv",
     "export_json",
     "install",
+    "merge_registries",
     "metrics_csv_text",
     "metrics_payload",
     "uninstall",

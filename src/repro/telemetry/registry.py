@@ -70,20 +70,32 @@ class GaugeMetric(Metric):
     slot-table utilisation, scraped interface byte totals)."""
 
     kind = "gauge"
-    __slots__ = ("value",)
+    __slots__ = ("value", "t")
 
     def __init__(self, name: str) -> None:
         super().__init__(name)
         self.value = 0.0
+        #: Simulation time of the last write, when the writer supplies
+        #: it. Cross-process merges use it for last-writer-wins
+        #: (:mod:`repro.telemetry.merge`); unstamped gauges merge by
+        #: shard order instead.
+        self.t: Optional[float] = None
 
-    def set(self, value: float) -> None:
+    def set(self, value: float, t: Optional[float] = None) -> None:
         self.value = float(value)
+        if t is not None:
+            self.t = t
 
-    def add(self, delta: float) -> None:
+    def add(self, delta: float, t: Optional[float] = None) -> None:
         self.value += delta
+        if t is not None:
+            self.t = t
 
     def snapshot(self) -> dict:
-        return {"type": self.kind, "value": self.value}
+        out = {"type": self.kind, "value": self.value}
+        if self.t is not None:
+            out["t"] = self.t
+        return out
 
 
 class HistogramMetric(Metric):
